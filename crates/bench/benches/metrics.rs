@@ -1,0 +1,39 @@
+//! Metric-computation scaling: the footrule (sort + bucket positions) and
+//! L1 costs that the evaluation pipeline pays per subgraph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use approxrank_metrics::footrule::footrule_from_scores;
+use approxrank_metrics::l1_distance;
+
+/// Deterministic pseudo-random scores with plenty of exact ties
+/// (quantized), mirroring real PageRank estimate vectors.
+fn scores(n: usize, salt: u64) -> Vec<f64> {
+    let mut state = salt | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) % 10_000) as f64 / 10_000.0
+        })
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    for n in [1_000usize, 10_000, 100_000] {
+        let a = scores(n, 3);
+        let b = scores(n, 7);
+        group.bench_with_input(BenchmarkId::new("l1", n), &n, |bch, _| {
+            bch.iter(|| l1_distance(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("footrule", n), &n, |bch, _| {
+            bch.iter(|| footrule_from_scores(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Global PageRank scaling: serial vs parallel power iteration.
+//!
+//! Context for Tables V/VI: the cost of the global computation every
+//! subgraph algorithm is trying to avoid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use approxrank_bench::datasets::{au_dataset, DatasetScale};
+use approxrank_pagerank::{pagerank, PageRankOptions};
+
+fn bench_global_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_pagerank");
+    group.sample_size(10);
+    for scale in [0.05, 0.1, 0.25] {
+        let data = au_dataset(DatasetScale(scale));
+        let n = data.graph().num_nodes();
+        group.bench_with_input(BenchmarkId::new("serial", n), &data, |b, d| {
+            b.iter(|| pagerank(d.graph(), &PageRankOptions::paper()));
+        });
+        group.bench_with_input(BenchmarkId::new("threads4", n), &data, |b, d| {
+            b.iter(|| pagerank(d.graph(), &PageRankOptions::paper().with_threads(4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_pagerank);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all [--scale F] [--markdown]
+//! repro table2|table3|table4|table5|table6|figure7|theorem1|theorem2 [--scale F]
+//! ```
+//!
+//! `--scale 1.0` (default) is a 1:20 reduction of the paper's crawls
+//! sized for a laptop; `--scale 20` is paper-sized. `--markdown` emits
+//! GitHub-flavoured markdown (the format `EXPERIMENTS.md` embeds).
+
+use std::process::ExitCode;
+
+use approxrank_bench::datasets::DatasetScale;
+use approxrank_bench::experiments::{
+    ablation_cohesion, ablation_damping, ablation_serverrank, ablation_solvers, convergence,
+    figure7, scaling, scorecard, table2,
+    table3, table4, table5, table6, theorem1, theorem2, topk, updating, AuContext,
+    ExperimentOutput, PoliticsContext,
+};
+
+const USAGE: &str = "usage: repro <experiment> [--scale F] [--markdown]
+experiments: all, table2, table3, table4, table5, table6, figure7, theorem1, theorem2,
+             topk, serverrank, updating, cohesion, damping, solvers, scaling,
+             convergence, scorecard (extensions)";
+
+struct Args {
+    experiment: String,
+    scale: DatasetScale,
+    markdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = None;
+    let mut scale = DatasetScale::default();
+    let mut markdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                let f: f64 = v.parse().map_err(|e| format!("bad --scale {v:?}: {e}"))?;
+                if f <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+                scale = DatasetScale(f);
+            }
+            "--markdown" => markdown = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if experiment.is_none() => experiment = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        experiment: experiment.ok_or(USAGE)?,
+        scale,
+        markdown,
+    })
+}
+
+fn emit(out: &ExperimentOutput, markdown: bool) {
+    if markdown {
+        print!("{}", out.render_markdown());
+    } else {
+        print!("{}", out.render());
+    }
+}
+
+fn run_all(scale: DatasetScale, markdown: bool) {
+    eprintln!("[repro] building politics-like dataset (scale {}) ...", scale.0);
+    let politics = PoliticsContext::build(scale);
+    eprintln!(
+        "[repro] politics-like: {} pages, global PageRank {:.2}s",
+        politics.data.graph().num_nodes(),
+        politics.truth.seconds
+    );
+    eprintln!("[repro] building AU-like dataset ...");
+    let au = AuContext::build(scale);
+    eprintln!(
+        "[repro] AU-like: {} pages, global PageRank {:.2}s",
+        au.data.graph().num_nodes(),
+        au.truth.seconds
+    );
+
+    emit(&table2::run(scale), markdown);
+    eprintln!("[repro] table3 ...");
+    emit(&table3::run_with(&politics).1, markdown);
+    eprintln!("[repro] table4 (includes SC on 12 domains; the slow one) ...");
+    emit(&table4::run_with(&au, true).1, markdown);
+    eprintln!("[repro] table5 ...");
+    emit(&table5::run_with(&politics).1, markdown);
+    eprintln!("[repro] table6 ...");
+    emit(&table6::run_with(&au).1, markdown);
+    eprintln!("[repro] figure7 ...");
+    emit(&figure7::run_with(&au).1, markdown);
+    eprintln!("[repro] theorem1 ...");
+    emit(&theorem1::run_with(&au, 3).1, markdown);
+    eprintln!("[repro] theorem2 ...");
+    emit(&theorem2::run_with(&politics, 20).1, markdown);
+    eprintln!("[repro] topk ...");
+    emit(&topk::run_with(&au).1, markdown);
+    eprintln!("[repro] serverrank ablation ...");
+    emit(&ablation_serverrank::run_with(&au).1, markdown);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.experiment.as_str() {
+        "all" => run_all(args.scale, args.markdown),
+        "table2" => emit(&table2::run(args.scale), args.markdown),
+        "table3" => emit(&table3::run(args.scale), args.markdown),
+        "table4" => emit(&table4::run(args.scale), args.markdown),
+        "table5" => emit(&table5::run(args.scale), args.markdown),
+        "table6" => emit(&table6::run(args.scale), args.markdown),
+        "figure7" => emit(&figure7::run(args.scale), args.markdown),
+        "theorem1" => emit(&theorem1::run(args.scale), args.markdown),
+        "theorem2" => emit(&theorem2::run(args.scale), args.markdown),
+        "topk" => emit(&topk::run(args.scale), args.markdown),
+        "serverrank" => emit(&ablation_serverrank::run(args.scale), args.markdown),
+        "cohesion" => emit(&ablation_cohesion::run(args.scale), args.markdown),
+        "damping" => emit(&ablation_damping::run(args.scale), args.markdown),
+        "solvers" => emit(&ablation_solvers::run(args.scale), args.markdown),
+        "updating" => emit(&updating::run(args.scale), args.markdown),
+        "scaling" => emit(&scaling::run(args.scale), args.markdown),
+        "convergence" => emit(&convergence::run(args.scale), args.markdown),
+        "scorecard" => emit(&scorecard::run(args.scale), args.markdown),
+        other => {
+            eprintln!("unknown experiment {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

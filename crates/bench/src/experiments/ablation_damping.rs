@@ -1,0 +1,101 @@
+//! Ablation: sensitivity to the damping factor ε.
+//!
+//! Theorem 2's constant is `ε/(1−ε)` — 1 at ε = 0.5, 5.67 at the paper's
+//! 0.85, 19 at 0.95 — so the *worst-case* gap between ApproxRank and the
+//! truth grows steeply with ε. This sweep measures how much of that
+//! headroom the real gap uses on an actual TS subgraph: both the
+//! measured footrule/L1 and the bound are reported per ε.
+
+use approxrank_core::theory::{external_assumption_gap, theorem2_bound};
+use approxrank_core::ApproxRank;
+use approxrank_graph::Subgraph;
+use approxrank_pagerank::pagerank;
+
+use crate::datasets::{politics_dataset, DatasetScale};
+use crate::eval::{evaluate, Evaluation};
+use crate::experiments::ExperimentOutput;
+use crate::report::{fmt_dist, Table};
+
+/// The damping factors swept (0.85 is the paper's setting).
+pub const DAMPING_LEVELS: [f64; 4] = [0.50, 0.70, 0.85, 0.95];
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Damping factor ε.
+    pub damping: f64,
+    /// ApproxRank evaluation at this ε (truth recomputed at the same ε).
+    pub approx: Evaluation,
+    /// The Theorem-2 limit bound `ε/(1−ε)·‖E − E_approx‖₁` at this ε.
+    pub limit_bound: f64,
+}
+
+/// Runs the sweep.
+pub fn run(scale: DatasetScale) -> ExperimentOutput {
+    run_rows(scale).1
+}
+
+/// Runs the sweep, returning structured rows too.
+pub fn run_rows(scale: DatasetScale) -> (Vec<Row>, ExperimentOutput) {
+    let data = politics_dataset(DatasetScale(scale.0 * 0.5));
+    let topic = data.topic_index("socialism").expect("paper topic");
+    let sub = Subgraph::extract(data.graph(), data.ts_subgraph(topic, 3));
+
+    let mut rows = Vec::new();
+    for &eps in &DAMPING_LEVELS {
+        let opts = approxrank_pagerank::PageRankOptions::paper().with_damping(eps);
+        let truth = pagerank(data.graph(), &opts);
+        let approx = ApproxRank::new(opts);
+        let eval = evaluate(&approx, data.graph(), &sub, &truth.scores);
+        let gap = external_assumption_gap(&truth.scores, &sub);
+        rows.push(Row {
+            damping: eps,
+            approx: eval,
+            limit_bound: theorem2_bound(eps, None, gap),
+        });
+    }
+
+    let mut t = Table::new(
+        "Ablation — ApproxRank accuracy vs damping factor ε (subgraph 'socialism')",
+        &["ε", "footrule", "L1 (normalized)", "Theorem-2 limit bound", "bound factor ε/(1−ε)"],
+    );
+    for r in &rows {
+        t.push_row(vec![
+            format!("{:.2}", r.damping),
+            fmt_dist(r.approx.footrule),
+            fmt_dist(r.approx.l1),
+            format!("{:.4}", r.limit_bound),
+            format!("{:.2}", r.damping / (1.0 - r.damping)),
+        ]);
+    }
+    let out = ExperimentOutput {
+        tables: vec![t],
+        notes: vec![
+            "expected shape: the bound grows steeply with ε while the measured \
+             distances grow gently — ApproxRank uses little of the worst-case headroom"
+                .to_string(),
+        ],
+    };
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_grows_with_damping_and_holds() {
+        let (rows, _) = run_rows(DatasetScale(0.1));
+        assert_eq!(rows.len(), DAMPING_LEVELS.len());
+        for w in rows.windows(2) {
+            assert!(
+                w[0].limit_bound < w[1].limit_bound,
+                "the Theorem-2 bound is monotone in ε"
+            );
+        }
+        for r in &rows {
+            assert!(r.approx.converged, "ε = {}", r.damping);
+            assert!(r.approx.footrule < 0.5, "ε = {}", r.damping);
+        }
+    }
+}

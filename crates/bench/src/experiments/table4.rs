@@ -1,0 +1,166 @@
+//! Table IV: Spearman's footrule on DS (domain-specific) subgraphs of the
+//! AU-like dataset.
+//!
+//! Paper shape to reproduce: for every domain,
+//! `ApproxRank ≪ LPR2 ≲ SC < local PageRank`, and distances shrink as the
+//! domain's share of the global graph grows.
+
+use approxrank_core::baselines::{LocalPageRank, Lpr2};
+use approxrank_core::{ApproxRank, StochasticComplementation};
+use approxrank_gen::au::PAPER_DOMAINS;
+use approxrank_graph::Subgraph;
+
+use crate::datasets::DatasetScale;
+use crate::eval::{evaluate, Evaluation};
+use crate::experiments::{experiment_options, AuContext, ExperimentOutput};
+use crate::report::{fmt_dist, Table};
+
+/// Structured result for one DS subgraph.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Domain name.
+    pub domain: String,
+    /// Domain share of the global graph, in percent.
+    pub percent_of_global: f64,
+    /// Mean out-degree of the domain's pages.
+    pub avg_out_degree: f64,
+    /// Evaluations: local PageRank (■), SC (◆), LPR2 (●), ApproxRank (▲).
+    pub local: Evaluation,
+    /// SC (◆).
+    pub sc: Evaluation,
+    /// LPR2 (●).
+    pub lpr2: Evaluation,
+    /// ApproxRank (▲).
+    pub approx: Evaluation,
+}
+
+/// Runs the experiment against an existing context. `with_sc = false`
+/// skips the expensive SC column (useful for quick runs).
+pub fn run_with(ctx: &AuContext, with_sc: bool) -> (Vec<Row>, ExperimentOutput) {
+    let opts = experiment_options();
+    let local = LocalPageRank::new(opts.clone());
+    let lpr2 = Lpr2::new(opts.clone());
+    let approx = ApproxRank::new(opts);
+    let sc = StochasticComplementation::default();
+
+    let mut rows = Vec::new();
+    for name in PAPER_DOMAINS {
+        let d = ctx.data.domain_index(name).expect("paper domain exists");
+        let sub = Subgraph::extract(ctx.data.graph(), ctx.data.ds_subgraph(d));
+        let g = ctx.data.graph();
+        let truth = &ctx.truth.result.scores;
+        let local_eval = evaluate(&local, g, &sub, truth);
+        let sc_eval = if with_sc {
+            evaluate(&sc, g, &sub, truth)
+        } else {
+            Evaluation {
+                name: "SC",
+                l1: f64::NAN,
+                footrule: f64::NAN,
+                seconds: 0.0,
+                iterations: 0,
+                converged: false,
+            }
+        };
+        let lpr2_eval = evaluate(&lpr2, g, &sub, truth);
+        let approx_eval = evaluate(&approx, g, &sub, truth);
+        rows.push(Row {
+            domain: name.to_string(),
+            percent_of_global: ctx.data.domain_percentage(d),
+            avg_out_degree: ctx.data.domain_avg_out_degree(d),
+            local: local_eval,
+            sc: sc_eval,
+            lpr2: lpr2_eval,
+            approx: approx_eval,
+        });
+    }
+
+    let mut t = Table::new(
+        "Table IV — Spearman's footrule for DS subgraphs (AU-like dataset)",
+        &[
+            "domain",
+            "% of global",
+            "avg outdeg",
+            "local PageRank",
+            "SC",
+            "LPR2",
+            "ApproxRank",
+        ],
+    );
+    for r in &rows {
+        t.push_row(vec![
+            r.domain.clone(),
+            format!("{:.2}", r.percent_of_global),
+            format!("{:.2}", r.avg_out_degree),
+            fmt_dist(r.local.footrule),
+            if r.sc.footrule.is_nan() {
+                "-".into()
+            } else {
+                fmt_dist(r.sc.footrule)
+            },
+            fmt_dist(r.lpr2.footrule),
+            fmt_dist(r.approx.footrule),
+        ]);
+    }
+    let beats_local = rows
+        .iter()
+        .filter(|r| r.approx.footrule < r.local.footrule)
+        .count();
+    let out = ExperimentOutput {
+        tables: vec![t],
+        notes: vec![format!(
+            "paper shape: ApproxRank < LPR2 <= SC < local PageRank on footrule \
+             (ApproxRank beats local PageRank on {beats_local}/{} domains)",
+            rows.len()
+        )],
+    };
+    (rows, out)
+}
+
+/// Builds the context and runs the full experiment.
+pub fn run(scale: DatasetScale) -> ExperimentOutput {
+    run_with(&AuContext::build(scale), true).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support;
+
+    #[test]
+    fn paper_shape_orderings() {
+        let ctx = test_support::au();
+        let (rows, _) = run_with(&ctx, true);
+        assert_eq!(rows.len(), 12);
+        let mut approx_beats_local = 0;
+        let mut approx_beats_lpr2 = 0;
+        let mut approx_beats_sc = 0;
+        for r in &rows {
+            if r.approx.footrule < r.local.footrule {
+                approx_beats_local += 1;
+            }
+            if r.approx.footrule < r.lpr2.footrule {
+                approx_beats_lpr2 += 1;
+            }
+            if r.approx.footrule < r.sc.footrule {
+                approx_beats_sc += 1;
+            }
+        }
+        // The paper's headline orderings must hold on (almost) all domains.
+        assert!(approx_beats_local >= 11, "vs local: {approx_beats_local}/12");
+        assert!(approx_beats_lpr2 >= 10, "vs LPR2: {approx_beats_lpr2}/12");
+        assert!(approx_beats_sc >= 10, "vs SC: {approx_beats_sc}/12");
+    }
+
+    #[test]
+    fn sizes_ascend_like_the_paper() {
+        let ctx = test_support::au();
+        let (rows, _) = run_with(&ctx, false);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].percent_of_global <= w[1].percent_of_global + 1e-9,
+                "domains must ascend in size"
+            );
+        }
+    }
+}

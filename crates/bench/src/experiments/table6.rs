@@ -1,0 +1,70 @@
+//! Table VI: runtime comparison on DS subgraphs (AU-like dataset).
+//!
+//! Same columns as Table V, over the twelve paper domains in ascending
+//! size. Paper shape: SC's runtime degrades sharply with domain size —
+//! on the largest domains it can exceed the *global* PageRank cost —
+//! while ApproxRank stays within a small multiple of local PageRank.
+
+use approxrank_gen::au::PAPER_DOMAINS;
+use approxrank_graph::Subgraph;
+
+use crate::datasets::DatasetScale;
+use crate::experiments::table5::{render_rows, time_subgraph, Row};
+use crate::experiments::{AuContext, ExperimentOutput};
+
+/// Runs the experiment against an existing context.
+pub fn run_with(ctx: &AuContext) -> (Vec<Row>, ExperimentOutput) {
+    let mut rows = Vec::new();
+    for name in PAPER_DOMAINS {
+        let d = ctx.data.domain_index(name).expect("paper domain exists");
+        let sub = Subgraph::extract(ctx.data.graph(), ctx.data.ds_subgraph(d));
+        rows.push(time_subgraph(ctx.data.graph(), name.to_string(), &sub));
+    }
+    let notes = vec![format!(
+        "global PageRank on the AU-like graph ({} pages): {:.3} s, {} iterations",
+        ctx.data.graph().num_nodes(),
+        ctx.truth.seconds,
+        ctx.truth.result.iterations
+    )];
+    let out = render_rows(
+        "Table VI — runtime comparison on DS subgraphs (AU-like dataset)",
+        &rows,
+        notes,
+    );
+    (rows, out)
+}
+
+/// Builds the context and runs the experiment.
+pub fn run(scale: DatasetScale) -> ExperimentOutput {
+    run_with(&AuContext::build(scale)).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support;
+
+    #[test]
+    fn sc_degrades_with_domain_size() {
+        let ctx = test_support::au();
+        let (rows, _) = run_with(&ctx);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(
+                r.sc_secs > r.approx_secs,
+                "{}: SC must be slower",
+                r.subgraph
+            );
+        }
+        // SC cost on the largest domain dwarfs its cost on the smallest.
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(last.n > first.n);
+        assert!(
+            last.sc_secs > first.sc_secs,
+            "SC cost should grow with n: {} vs {}",
+            last.sc_secs,
+            first.sc_secs
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness: regenerates every table and figure of the
+//! ApproxRank paper's evaluation (§V) on the synthetic stand-in datasets.
+//!
+//! * [`datasets`] — the canonical seeded datasets (politics-like, AU-like)
+//!   at a configurable scale, with cached global ground truth.
+//! * [`eval`] — runs a ranking algorithm on a subgraph and scores it
+//!   against the global PageRank restriction (normalized L1 + Spearman's
+//!   footrule, §V-B).
+//! * [`experiments`] — one module per paper artefact: Tables II–VI,
+//!   Figure 7, and the Theorem 1/2 validations.
+//! * [`report`] — fixed-width table rendering shared by the experiments.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! repro all                # every experiment at the default scale
+//! repro table4 --scale 2   # one experiment, larger dataset
+//! ```
+
+pub mod datasets;
+pub mod eval;
+pub mod experiments;
+pub mod report;
+
+pub use datasets::{DatasetScale, GroundTruth};
+pub use eval::{evaluate, Evaluation};

@@ -1,0 +1,367 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+/// Which subgraph-ranking algorithm `subrank rank` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// ApproxRank (the default).
+    #[default]
+    ApproxRank,
+    /// IdealRank; requires `--scores`.
+    IdealRank,
+    /// Local PageRank baseline.
+    Local,
+    /// LPR2 baseline.
+    Lpr2,
+    /// Stochastic complementation baseline.
+    Sc,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "approxrank" => Ok(Algorithm::ApproxRank),
+            "idealrank" => Ok(Algorithm::IdealRank),
+            "local" => Ok(Algorithm::Local),
+            "lpr2" => Ok(Algorithm::Lpr2),
+            "sc" => Ok(Algorithm::Sc),
+            other => Err(format!(
+                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc)"
+            )),
+        }
+    }
+}
+
+/// Which global solver `subrank global` uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Solver {
+    /// Power iteration (the default).
+    #[default]
+    Power,
+    /// Lumped Gauss–Seidel.
+    GaussSeidel,
+    /// `A_ε` extrapolation.
+    Extrapolated,
+}
+
+impl Solver {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "power" => Ok(Solver::Power),
+            "gauss-seidel" | "gs" => Ok(Solver::GaussSeidel),
+            "extrapolated" => Ok(Solver::Extrapolated),
+            other => Err(format!(
+                "unknown solver {other:?} (power|gauss-seidel|extrapolated)"
+            )),
+        }
+    }
+}
+
+/// `subrank rank` arguments.
+#[derive(Clone, Debug, Default)]
+pub struct RankArgs {
+    /// Edge-list (or binary) graph file.
+    pub graph: String,
+    /// File of subgraph member ids, one per line.
+    pub subgraph: String,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Known global scores file (IdealRank only).
+    pub scores: Option<String>,
+    /// Damping factor.
+    pub damping: f64,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Print only the top-k pages (0 = all).
+    pub top: usize,
+}
+
+/// `subrank global` arguments.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalArgs {
+    /// Edge-list (or binary) graph file.
+    pub graph: String,
+    /// Solver choice.
+    pub solver: Solver,
+    /// Damping factor.
+    pub damping: f64,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Print only the top-k pages (0 = all).
+    pub top: usize,
+}
+
+/// `subrank compare` arguments.
+#[derive(Clone, Debug, Default)]
+pub struct CompareArgs {
+    /// Edge-list (or binary) graph file.
+    pub graph: String,
+    /// File of subgraph member ids, one per line.
+    pub subgraph: String,
+    /// Damping factor.
+    pub damping: f64,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Also compute global PageRank and score every algorithm against it.
+    pub with_truth: bool,
+}
+
+/// `subrank stats` arguments.
+#[derive(Clone, Debug, Default)]
+pub struct StatsArgs {
+    /// Edge-list (or binary) graph file.
+    pub graph: String,
+}
+
+/// `subrank gen` arguments.
+#[derive(Clone, Debug)]
+pub struct GenArgs {
+    /// Which dataset family (`au` or `politics`).
+    pub dataset: String,
+    /// Page count.
+    pub pages: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output path (`-` writes the edge list to the returned string).
+    pub out: String,
+}
+
+/// The parsed command line.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// The subcommand with its arguments.
+    pub command: Command,
+}
+
+/// All `subrank` subcommands.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Rank a subgraph.
+    Rank(RankArgs),
+    /// Global PageRank.
+    Global(GlobalArgs),
+    /// Graph statistics.
+    Stats(StatsArgs),
+    /// Side-by-side algorithm comparison.
+    Compare(CompareArgs),
+    /// Generate a synthetic dataset.
+    Gen(GenArgs),
+}
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "usage:
+  subrank rank   --graph FILE --subgraph FILE [--algorithm approxrank|idealrank|local|lpr2|sc]
+                 [--scores FILE] [--damping 0.85] [--tolerance 1e-5] [--top K]
+  subrank global --graph FILE [--solver power|gauss-seidel|extrapolated]
+                 [--damping 0.85] [--tolerance 1e-5] [--top K]
+  subrank compare --graph FILE --subgraph FILE [--truth yes] [--damping 0.85] [--tolerance 1e-5]
+  subrank stats  --graph FILE
+  subrank gen    --dataset au|politics --pages N [--seed S] --out FILE";
+
+struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {flag:?}\n{USAGE}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value\n{USAGE}"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Options { pairs })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        let idx = self.pairs.iter().position(|(n, _)| n == name)?;
+        Some(self.pairs.remove(idx).1)
+    }
+
+    fn require(&mut self, name: &str) -> Result<String, String> {
+        self.take(name)
+            .ok_or_else(|| format!("missing required --{name}\n{USAGE}"))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if let Some((name, _)) = self.pairs.first() {
+            return Err(format!("unknown flag --{name}\n{USAGE}"));
+        }
+        Ok(())
+    }
+
+    fn numeric<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.take(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("bad --{name} value {v:?}: {e}")),
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, String> {
+        let (sub, rest) = argv.split_first().ok_or(USAGE)?;
+        let mut opts = Options::parse(rest)?;
+        let command = match sub.as_str() {
+            "rank" => {
+                let args = RankArgs {
+                    graph: opts.require("graph")?,
+                    subgraph: opts.require("subgraph")?,
+                    algorithm: match opts.take("algorithm") {
+                        None => Algorithm::default(),
+                        Some(v) => Algorithm::parse(&v)?,
+                    },
+                    scores: opts.take("scores"),
+                    damping: opts.numeric("damping", 0.85)?,
+                    tolerance: opts.numeric("tolerance", 1e-5)?,
+                    top: opts.numeric("top", 0usize)?,
+                };
+                if args.algorithm == Algorithm::IdealRank && args.scores.is_none() {
+                    return Err("idealrank requires --scores FILE".into());
+                }
+                Command::Rank(args)
+            }
+            "global" => Command::Global(GlobalArgs {
+                graph: opts.require("graph")?,
+                solver: match opts.take("solver") {
+                    None => Solver::default(),
+                    Some(v) => Solver::parse(&v)?,
+                },
+                damping: opts.numeric("damping", 0.85)?,
+                tolerance: opts.numeric("tolerance", 1e-5)?,
+                top: opts.numeric("top", 0usize)?,
+            }),
+            "stats" => Command::Stats(StatsArgs {
+                graph: opts.require("graph")?,
+            }),
+            "compare" => Command::Compare(CompareArgs {
+                graph: opts.require("graph")?,
+                subgraph: opts.require("subgraph")?,
+                damping: opts.numeric("damping", 0.85)?,
+                tolerance: opts.numeric("tolerance", 1e-5)?,
+                with_truth: matches!(
+                    opts.take("truth").as_deref(),
+                    Some("yes") | Some("true") | Some("1")
+                ),
+            }),
+            "gen" => Command::Gen(GenArgs {
+                dataset: opts.require("dataset")?,
+                pages: opts.numeric("pages", 10_000usize)?,
+                seed: opts.numeric("seed", 0u64)?,
+                out: opts.require("out")?,
+            }),
+            "--help" | "-h" | "help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+        };
+        opts.finish()?;
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_rank_defaults() {
+        let cli = Cli::parse(&argv("rank --graph g.edges --subgraph s.txt")).unwrap();
+        let Command::Rank(a) = cli.command else {
+            panic!("expected rank")
+        };
+        assert_eq!(a.graph, "g.edges");
+        assert_eq!(a.algorithm, Algorithm::ApproxRank);
+        assert_eq!(a.damping, 0.85);
+        assert_eq!(a.top, 0);
+    }
+
+    #[test]
+    fn parses_rank_full() {
+        let cli = Cli::parse(&argv(
+            "rank --graph g --subgraph s --algorithm sc --damping 0.9 --tolerance 1e-8 --top 10",
+        ))
+        .unwrap();
+        let Command::Rank(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.algorithm, Algorithm::Sc);
+        assert_eq!(a.damping, 0.9);
+        assert_eq!(a.tolerance, 1e-8);
+        assert_eq!(a.top, 10);
+    }
+
+    #[test]
+    fn idealrank_needs_scores() {
+        let err = Cli::parse(&argv("rank --graph g --subgraph s --algorithm idealrank"))
+            .unwrap_err();
+        assert!(err.contains("--scores"));
+        assert!(Cli::parse(&argv(
+            "rank --graph g --subgraph s --algorithm idealrank --scores r.txt"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_subcommand() {
+        assert!(Cli::parse(&argv("rank --graph g --subgraph s --bogus 1"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(Cli::parse(&argv("frob --graph g"))
+            .unwrap_err()
+            .contains("unknown subcommand"));
+        assert!(Cli::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_compare() {
+        let cli = Cli::parse(&argv("compare --graph g --subgraph s --truth yes")).unwrap();
+        let Command::Compare(a) = cli.command else {
+            panic!()
+        };
+        assert!(a.with_truth);
+        let cli = Cli::parse(&argv("compare --graph g --subgraph s")).unwrap();
+        let Command::Compare(a) = cli.command else {
+            panic!()
+        };
+        assert!(!a.with_truth);
+    }
+
+    #[test]
+    fn parses_gen_and_stats() {
+        let cli = Cli::parse(&argv("gen --dataset au --pages 5000 --out x.edges")).unwrap();
+        let Command::Gen(a) = cli.command else { panic!() };
+        assert_eq!(a.pages, 5_000);
+        assert_eq!(a.seed, 0);
+        let cli = Cli::parse(&argv("stats --graph x.edges")).unwrap();
+        assert!(matches!(cli.command, Command::Stats(_)));
+    }
+
+    #[test]
+    fn solver_aliases() {
+        let cli = Cli::parse(&argv("global --graph g --solver gs")).unwrap();
+        let Command::Global(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.solver, Solver::GaussSeidel);
+    }
+
+    #[test]
+    fn bad_numeric_reported() {
+        let err =
+            Cli::parse(&argv("global --graph g --damping abc")).unwrap_err();
+        assert!(err.contains("--damping"));
+    }
+}

@@ -1,0 +1,82 @@
+//! `subrank global` — compute global PageRank with a chosen solver.
+
+use approxrank_pagerank::{
+    pagerank, pagerank_extrapolated, pagerank_gauss_seidel, PageRankOptions,
+};
+
+use crate::args::{GlobalArgs, Solver};
+use crate::commands::{load_graph, render_scores};
+
+/// Runs the command, returning the rendered scores.
+pub fn run(args: &GlobalArgs) -> Result<String, String> {
+    let graph = load_graph(&args.graph)?;
+    let options = PageRankOptions::paper()
+        .with_damping(args.damping)
+        .with_tolerance(args.tolerance);
+    let (name, result) = match args.solver {
+        Solver::Power => ("power iteration", pagerank(&graph, &options)),
+        Solver::GaussSeidel => ("Gauss-Seidel", pagerank_gauss_seidel(&graph, &options)),
+        Solver::Extrapolated => (
+            "A_eps extrapolation",
+            pagerank_extrapolated(&graph, &options),
+        ),
+    };
+    let mut pairs: Vec<(u32, f64)> = result
+        .scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as u32, s))
+        .collect();
+    let mut out = format!(
+        "# global PageRank via {name} on {} pages (converged: {}, iterations: {})\n",
+        graph.num_nodes(),
+        result.converged,
+        result.iterations
+    );
+    out.push_str(&render_scores(&mut pairs, args.top));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::{io, DiGraph};
+
+    fn graph_file() -> String {
+        let dir = std::env::temp_dir().join("subrank-global-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let p = dir.join("g.edges");
+        io::write_edge_list_file(&g, &p).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn all_solvers_produce_same_top_page() {
+        let g = graph_file();
+        let mut tops = Vec::new();
+        for solver in [Solver::Power, Solver::GaussSeidel, Solver::Extrapolated] {
+            let out = run(&GlobalArgs {
+                graph: g.clone(),
+                solver,
+                damping: 0.85,
+                tolerance: 1e-10,
+                top: 1,
+            })
+            .unwrap();
+            let top_line = out.lines().find(|l| !l.starts_with('#')).unwrap().to_string();
+            tops.push(
+                out.lines()
+                    .filter(|l| !l.starts_with('#'))
+                    .nth(1)
+                    .unwrap()
+                    .split('\t')
+                    .next()
+                    .unwrap()
+                    .to_string(),
+            );
+            assert!(top_line.starts_with("page"));
+        }
+        assert!(tops.windows(2).all(|w| w[0] == w[1]), "{tops:?}");
+    }
+}

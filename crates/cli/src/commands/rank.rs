@@ -1,0 +1,172 @@
+//! `subrank rank` — rank a subgraph of a global graph.
+
+use approxrank_core::baselines::{LocalPageRank, Lpr2};
+use approxrank_core::{ApproxRank, IdealRank, StochasticComplementation, SubgraphRanker};
+use approxrank_graph::{NodeSet, Subgraph};
+use approxrank_pagerank::PageRankOptions;
+
+use crate::args::{Algorithm, RankArgs};
+use crate::commands::{load_graph, load_node_ids, load_scores, render_scores};
+
+/// Runs the command, returning the rendered ranking.
+pub fn run(args: &RankArgs) -> Result<String, String> {
+    let graph = load_graph(&args.graph)?;
+    let ids = load_node_ids(&args.subgraph)?;
+    for &id in &ids {
+        if id as usize >= graph.num_nodes() {
+            return Err(format!(
+                "subgraph id {id} out of range (graph has {} nodes)",
+                graph.num_nodes()
+            ));
+        }
+    }
+    let nodes = NodeSet::from_sorted(graph.num_nodes(), ids);
+    let subgraph = Subgraph::extract(&graph, nodes);
+    let options = PageRankOptions::paper()
+        .with_damping(args.damping)
+        .with_tolerance(args.tolerance);
+
+    let ranker: Box<dyn SubgraphRanker> = match args.algorithm {
+        Algorithm::ApproxRank => Box::new(ApproxRank::new(options)),
+        Algorithm::Local => Box::new(LocalPageRank::new(options)),
+        Algorithm::Lpr2 => Box::new(Lpr2::new(options)),
+        Algorithm::Sc => Box::new(StochasticComplementation {
+            options,
+            ..StochasticComplementation::default()
+        }),
+        Algorithm::IdealRank => {
+            let path = args.scores.as_ref().expect("checked at parse time");
+            let scores = load_scores(path)?;
+            if scores.len() != graph.num_nodes() {
+                return Err(format!(
+                    "{path} has {} scores but the graph has {} nodes",
+                    scores.len(),
+                    graph.num_nodes()
+                ));
+            }
+            Box::new(IdealRank {
+                options,
+                global_scores: scores,
+            })
+        }
+    };
+
+    let result = ranker.rank(&graph, &subgraph);
+    let mut pairs: Vec<(u32, f64)> = subgraph
+        .nodes()
+        .members()
+        .iter()
+        .zip(&result.local_scores)
+        .map(|(&g, &s)| (g, s))
+        .collect();
+    let mut out = format!(
+        "# {} on {} local pages of {} (converged: {}, iterations: {})\n",
+        ranker.name(),
+        subgraph.len(),
+        graph.num_nodes(),
+        result.converged,
+        result.iterations
+    );
+    if let Some(lambda) = result.lambda_score {
+        out.push_str(&format!("# external node Λ holds {lambda:.6} of the mass\n"));
+    }
+    out.push_str(&render_scores(&mut pairs, args.top));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::{io, DiGraph};
+
+    fn setup() -> (String, String) {
+        let dir = std::env::temp_dir().join("subrank-rank-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        );
+        let gpath = dir.join("fig4.edges");
+        io::write_edge_list_file(&g, &gpath).unwrap();
+        let spath = dir.join("sub.txt");
+        std::fs::write(&spath, "0\n1\n2\n3\n").unwrap();
+        (
+            gpath.to_string_lossy().into_owned(),
+            spath.to_string_lossy().into_owned(),
+        )
+    }
+
+    #[test]
+    fn ranks_with_every_algorithm() {
+        let (g, s) = setup();
+        for algo in [
+            Algorithm::ApproxRank,
+            Algorithm::Local,
+            Algorithm::Lpr2,
+            Algorithm::Sc,
+        ] {
+            let out = run(&RankArgs {
+                graph: g.clone(),
+                subgraph: s.clone(),
+                algorithm: algo,
+                scores: None,
+                damping: 0.85,
+                tolerance: 1e-8,
+                top: 0,
+            })
+            .unwrap();
+            assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 5);
+        }
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (g, s) = setup();
+        let out = run(&RankArgs {
+            graph: g,
+            subgraph: s,
+            algorithm: Algorithm::ApproxRank,
+            scores: None,
+            damping: 0.85,
+            tolerance: 1e-8,
+            top: 2,
+        })
+        .unwrap();
+        assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let (g, _) = setup();
+        let dir = std::env::temp_dir().join("subrank-rank-tests");
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "99\n").unwrap();
+        let err = run(&RankArgs {
+            graph: g,
+            subgraph: bad.to_string_lossy().into_owned(),
+            algorithm: Algorithm::ApproxRank,
+            scores: None,
+            damping: 0.85,
+            tolerance: 1e-5,
+            top: 0,
+        })
+        .unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+}

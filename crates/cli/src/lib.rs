@@ -1,0 +1,31 @@
+//! Library backing the `subrank` command-line tool.
+//!
+//! Everything the binary does is implemented (and unit-tested) here; the
+//! binary's `main` only parses `std::env::args` and prints.
+//!
+//! ```text
+//! subrank rank   --graph web.edges --subgraph ids.txt [--algorithm approxrank]
+//! subrank global --graph web.edges [--solver power]
+//! subrank compare --graph web.edges --subgraph ids.txt --truth yes
+//! subrank stats  --graph web.edges
+//! subrank gen    --dataset au --pages 50000 --out web.edges
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command};
+
+/// Entry point shared by the binary and the integration tests: parses
+/// `argv` (without the program name), runs the command, and returns the
+/// rendered output or an error message.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let cli = Cli::parse(argv)?;
+    match cli.command {
+        Command::Rank(a) => commands::rank::run(&a),
+        Command::Global(a) => commands::global::run(&a),
+        Command::Stats(a) => commands::stats::run(&a),
+        Command::Compare(a) => commands::compare::run(&a),
+        Command::Gen(a) => commands::generate::run(&a),
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `subrank` binary: generate a corpus, inspect
+//! it, rank a subgraph — all through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn subrank() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_subrank"))
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("subrank-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_stats_rank_pipeline() {
+    let dir = workdir();
+    let graph = dir.join("au.edges");
+
+    // 1. Generate a small AU-like corpus.
+    let out = subrank()
+        .args([
+            "gen",
+            "--dataset",
+            "au",
+            "--pages",
+            "4000",
+            "--seed",
+            "5",
+            "--out",
+            graph.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4000 pages"));
+
+    // 2. Stats over it.
+    let out = subrank()
+        .args(["stats", "--graph", graph.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("pages:            4000"), "{text}");
+
+    // 3. Rank the pages of the first domain (ids from the .parts file).
+    let parts =
+        std::fs::read_to_string(format!("{}.parts", graph.to_str().unwrap())).unwrap();
+    let first_domain = parts.lines().next().unwrap().split('\t').nth(1).unwrap();
+    let ids: Vec<&str> = parts
+        .lines()
+        .filter(|l| l.ends_with(first_domain))
+        .map(|l| l.split('\t').next().unwrap())
+        .take(300)
+        .collect();
+    let subfile = dir.join("sub.txt");
+    std::fs::write(&subfile, ids.join("\n")).unwrap();
+
+    let out = subrank()
+        .args([
+            "rank",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--subgraph",
+            subfile.to_str().unwrap(),
+            "--top",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("ApproxRank"), "{text}");
+    assert!(text.contains("external node Λ"), "{text}");
+    assert_eq!(
+        text.lines().filter(|l| !l.starts_with('#')).count(),
+        6,
+        "header + 5 rows:\n{text}"
+    );
+}
+
+#[test]
+fn global_solvers_agree_through_the_binary() {
+    let dir = workdir();
+    let graph = dir.join("tiny.edges");
+    std::fs::write(&graph, "0 1\n1 2\n2 0\n2 1\n3 0\n").unwrap();
+    let mut first_lines = Vec::new();
+    for solver in ["power", "gs", "extrapolated"] {
+        let out = subrank()
+            .args([
+                "global",
+                "--graph",
+                graph.to_str().unwrap(),
+                "--solver",
+                solver,
+                "--tolerance",
+                "1e-10",
+                "--top",
+                "1",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        let top = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .nth(1)
+            .unwrap()
+            .split('\t')
+            .next()
+            .unwrap()
+            .to_string();
+        first_lines.push(top);
+    }
+    assert!(
+        first_lines.windows(2).all(|w| w[0] == w[1]),
+        "solvers disagree on the top page: {first_lines:?}"
+    );
+}
+
+#[test]
+fn helpful_errors() {
+    let out = subrank().args(["rank", "--graph", "g"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--subgraph"));
+
+    let out = subrank().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}

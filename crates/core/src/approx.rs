@@ -1,0 +1,244 @@
+//! ApproxRank (paper §IV): the practical solution when external PageRank
+//! scores are unknown.
+//!
+//! `Λ`'s row treats all external pages as equally important (Equation 7):
+//! `E_approx = [1/(N−n), …, 1/(N−n)]`. Everything else — the local block,
+//! the `to_lambda` column, the personalization vector — is identical to
+//! IdealRank, so the error analysis of §IV-C applies verbatim (see
+//! [`crate::theory`]).
+
+use approxrank_graph::{DiGraph, Subgraph};
+use approxrank_pagerank::PageRankOptions;
+
+use crate::extended::ExtendedLocalGraph;
+use crate::precompute::GlobalPrecomputation;
+use crate::ranker::{RankScores, SubgraphRanker};
+
+/// The ApproxRank algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct ApproxRank {
+    /// Solver settings (damping, tolerance, iteration cap).
+    pub options: PageRankOptions,
+}
+
+impl ApproxRank {
+    /// Creates an ApproxRank solver with explicit options.
+    pub fn new(options: PageRankOptions) -> Self {
+        ApproxRank { options }
+    }
+
+    /// Builds `A_approx` for `subgraph`, scanning the global graph's
+    /// degree array once for the external dangling-page count. For
+    /// multi-subgraph workloads, precompute that count once with
+    /// [`GlobalPrecomputation`] and use
+    /// [`ApproxRank::extended_graph_precomputed`].
+    pub fn extended_graph(&self, global: &DiGraph, subgraph: &Subgraph) -> ExtendedLocalGraph {
+        let pre = GlobalPrecomputation::compute(global);
+        self.extended_graph_precomputed(&pre, subgraph)
+    }
+
+    /// Builds `A_approx` using precomputed global aggregates; runs in
+    /// `O(n + boundary)` — no pass over the global graph (the
+    /// precomputation fast path of §IV-B's last paragraph).
+    pub fn extended_graph_precomputed(
+        &self,
+        pre: &GlobalPrecomputation,
+        subgraph: &Subgraph,
+    ) -> ExtendedLocalGraph {
+        let n = subgraph.len();
+        let big_n = subgraph.global_nodes();
+        assert_eq!(
+            pre.num_nodes(),
+            big_n,
+            "precomputation is for a different graph"
+        );
+        if big_n == n {
+            return ExtendedLocalGraph::new(subgraph, vec![0.0; n], 0.0);
+        }
+        let num_ext = (big_n - n) as f64;
+
+        // Dangling pages among the external set = global dangling count
+        // minus the subgraph's own dangling pages.
+        let local_dangling = subgraph
+            .global_out_degrees()
+            .iter()
+            .filter(|&&d| d == 0)
+            .count();
+        let ext_dangling = (pre.num_dangling() - local_dangling) as f64;
+
+        // Λ → k: uniform-weighted boundary in-flow plus dangling share.
+        let mut from_lambda = vec![0.0f64; n];
+        let mut boundary_flow = 0.0;
+        for e in &subgraph.boundary().in_edges {
+            let w = 1.0 / e.source_out_degree as f64;
+            from_lambda[e.target_local as usize] += w;
+            boundary_flow += w;
+        }
+        let inv_big_n = 1.0 / big_n as f64;
+        let per_local_dangling = ext_dangling * inv_big_n;
+        for f in from_lambda.iter_mut() {
+            *f = (*f + per_local_dangling) / num_ext;
+        }
+        // Each non-dangling external page's row sums to 1; its local share
+        // is counted in boundary_flow, the rest stays external. Dangling
+        // external pages send (N−n)/N of their uniform row to Λ.
+        let nondangling_ext = num_ext - ext_dangling;
+        let lambda_self =
+            ((nondangling_ext - boundary_flow) + ext_dangling * num_ext * inv_big_n) / num_ext;
+        ExtendedLocalGraph::new(subgraph, from_lambda, lambda_self)
+    }
+
+    /// Runs ApproxRank, returning local scores plus `Λ`'s score.
+    pub fn rank_subgraph(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
+        let ext = self.extended_graph(global, subgraph);
+        Self::solve_scores(&ext, &self.options, subgraph.len())
+    }
+
+    /// Runs ApproxRank with precomputed global aggregates.
+    pub fn rank_subgraph_precomputed(
+        &self,
+        pre: &GlobalPrecomputation,
+        subgraph: &Subgraph,
+    ) -> RankScores {
+        let ext = self.extended_graph_precomputed(pre, subgraph);
+        Self::solve_scores(&ext, &self.options, subgraph.len())
+    }
+
+    fn solve_scores(
+        ext: &ExtendedLocalGraph,
+        options: &PageRankOptions,
+        n: usize,
+    ) -> RankScores {
+        let result = ext.solve(options);
+        let mut scores = result.scores;
+        let lambda = scores.pop().expect("n+1 states");
+        debug_assert_eq!(scores.len(), n);
+        RankScores {
+            local_scores: scores,
+            lambda_score: Some(lambda),
+            iterations: result.iterations,
+            converged: result.converged,
+        }
+    }
+}
+
+impl SubgraphRanker for ApproxRank {
+    fn name(&self) -> &'static str {
+        "ApproxRank"
+    }
+
+    fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
+        self.rank_subgraph(global, subgraph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::NodeSet;
+    use approxrank_pagerank::pagerank;
+
+    fn figure4() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        )
+    }
+
+    fn tight() -> PageRankOptions {
+        PageRankOptions::paper().with_tolerance(1e-13)
+    }
+
+    #[test]
+    fn figure6_matrix_entries() {
+        // The worked example of §IV-B, end-to-end through ApproxRank.
+        let g = figure4();
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2, 3]));
+        let e = ApproxRank::default().extended_graph(&g, &sub);
+        assert!((e.to_lambda()[0] - 0.5).abs() < 1e-12, "(A,Λ) = 1/2");
+        assert!((e.from_lambda()[2] - 4.0 / 9.0).abs() < 1e-12, "(Λ,C) = 4/9");
+        assert!((e.lambda_self() - 7.0 / 18.0).abs() < 1e-12, "(Λ,Λ) = 7/18");
+        assert!(e.max_row_sum_error() < 1e-12);
+    }
+
+    #[test]
+    fn approx_close_to_truth_on_figure4() {
+        let g = figure4();
+        let truth = pagerank(&g, &tight());
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2, 3]));
+        let approx = ApproxRank::new(tight());
+        let r = approx.rank_subgraph(&g, &sub);
+        assert!(r.converged);
+        let restricted = sub.nodes().restrict(&truth.scores);
+        let l1: f64 = r
+            .local_scores
+            .iter()
+            .zip(&restricted)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        // Theorem 2 bound with ε=0.85: ‖E−E_approx‖₁·ε/(1−ε) ≥ l1; on this
+        // tiny graph the uniform assumption is decent.
+        assert!(l1 < 0.2, "L1 {l1}");
+        // Ordering is fully preserved on this example.
+        let rank = |v: &[f64]| {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap());
+            idx
+        };
+        assert_eq!(rank(&r.local_scores), rank(&restricted));
+    }
+
+    #[test]
+    fn precomputed_path_identical() {
+        let g = figure4();
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2, 3]));
+        let approx = ApproxRank::new(tight());
+        let pre = GlobalPrecomputation::compute(&g);
+        let a = approx.rank_subgraph(&g, &sub);
+        let b = approx.rank_subgraph_precomputed(&pre, &sub);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matrix_stochastic_with_dangling() {
+        // Dangling pages both local (2) and external (5).
+        let g = DiGraph::from_edges(
+            6,
+            &[(0, 1), (0, 3), (1, 2), (3, 1), (3, 4), (4, 0), (4, 5)],
+        );
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(6, [0, 1, 2]));
+        let e = ApproxRank::default().extended_graph(&g, &sub);
+        assert!(e.max_row_sum_error() < 1e-12);
+        let r = ApproxRank::new(tight()).rank_subgraph(&g, &sub);
+        let total = r.local_mass() + r.lambda_score.unwrap();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_graph_reduces_to_pagerank() {
+        let g = figure4();
+        let truth = pagerank(&g, &tight());
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, 0..7));
+        let r = ApproxRank::new(tight()).rank_subgraph(&g, &sub);
+        for k in 0..7 {
+            assert!((r.local_scores[k] - truth.scores[k]).abs() < 1e-8);
+        }
+        assert!(r.lambda_score.unwrap() < 1e-8);
+    }
+}

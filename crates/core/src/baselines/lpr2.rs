@@ -1,0 +1,145 @@
+//! LPR2: the paper's second baseline (●), a component of ServerRank \[18\].
+
+use approxrank_graph::{DiGraph, NodeId, Subgraph};
+use approxrank_pagerank::{pagerank, PageRankOptions};
+
+use crate::ranker::{RankScores, SubgraphRanker};
+
+/// LPR2 adds one artificial page `ξ` to the local graph:
+///
+/// * an edge `i → ξ` if local page `i` has *any* out-of-domain out-link;
+/// * an edge `ξ → i` if any out-of-domain page links to `i`;
+///
+/// then runs standard PageRank on the `n+1`-page graph. Because the edges
+/// are unweighted and deduplicated, a page with three external in-links is
+/// treated identically to one with a single external in-link — exactly the
+/// shortcoming the paper's Figure 5 discussion calls out, and the reason
+/// LPR2 collapses on boundary-heavy BFS subgraphs (Figure 7).
+#[derive(Clone, Debug, Default)]
+pub struct Lpr2 {
+    /// Solver settings.
+    pub options: PageRankOptions,
+}
+
+impl Lpr2 {
+    /// Creates the baseline with explicit options.
+    pub fn new(options: PageRankOptions) -> Self {
+        Lpr2 { options }
+    }
+
+    /// Builds the `n+1`-page LPR2 graph (`ξ` is node `n`).
+    pub fn build_graph(subgraph: &Subgraph) -> DiGraph {
+        let n = subgraph.len();
+        let xi = n as NodeId;
+        let local = subgraph.local_graph();
+        let mut edges: Vec<(NodeId, NodeId)> = local.edges().collect();
+        for (i, &out_ext) in subgraph.boundary().out_external.iter().enumerate() {
+            if out_ext > 0 {
+                edges.push((i as NodeId, xi));
+            }
+        }
+        let mut has_ext_in = vec![false; n];
+        for e in &subgraph.boundary().in_edges {
+            has_ext_in[e.target_local as usize] = true;
+        }
+        for (i, &flag) in has_ext_in.iter().enumerate() {
+            if flag {
+                edges.push((xi, i as NodeId));
+            }
+        }
+        DiGraph::from_edges(n + 1, &edges)
+    }
+}
+
+impl SubgraphRanker for Lpr2 {
+    fn name(&self) -> &'static str {
+        "LPR2"
+    }
+
+    fn rank(&self, _global: &DiGraph, subgraph: &Subgraph) -> RankScores {
+        let g = Self::build_graph(subgraph);
+        let result = pagerank(&g, &self.options);
+        let mut scores = result.scores;
+        let xi_score = scores.pop().expect("n+1 pages");
+        RankScores {
+            local_scores: scores,
+            lambda_score: Some(xi_score),
+            iterations: result.iterations,
+            converged: result.converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::NodeSet;
+
+    fn figure4() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn builds_figure5_topology() {
+        // Figure 5 of the paper: A gets one edge to ξ (despite two external
+        // out-links); ξ gets edges to C and D (despite C having three
+        // external in-links).
+        let g = figure4();
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2, 3]));
+        let lg = Lpr2::build_graph(&sub);
+        let xi = 4;
+        assert_eq!(lg.num_nodes(), 5);
+        assert!(lg.has_edge(0, xi), "A→ξ");
+        assert_eq!(lg.out_degree(0), 3, "A: B, C, ξ — multiplicity lost");
+        assert!(lg.has_edge(xi, 2), "ξ→C");
+        assert!(lg.has_edge(xi, 3), "ξ→D");
+        assert_eq!(lg.out_degree(xi), 2);
+        assert!(!lg.has_edge(1, xi), "B has no external out-links");
+    }
+
+    #[test]
+    fn cannot_distinguish_multiplicity() {
+        // Page 1 has three external in-links, page 2 has one; LPR2 sees
+        // them identically (modulo the rest of the structure).
+        let g = DiGraph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (3, 1), (4, 1), (5, 1), (6, 2), (1, 0), (2, 0)],
+        );
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2]));
+        let r = Lpr2::default().rank(&g, &sub);
+        assert!(
+            (r.local_scores[1] - r.local_scores[2]).abs() < 1e-9,
+            "LPR2 is blind to in-link multiplicity: {} vs {}",
+            r.local_scores[1],
+            r.local_scores[2]
+        );
+    }
+
+    #[test]
+    fn mass_split_with_xi() {
+        let g = figure4();
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2, 3]));
+        let r = Lpr2::default().rank(&g, &sub);
+        let total = r.local_mass() + r.lambda_score.unwrap();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,19 @@
+//! The two baseline algorithms of the paper's evaluation.
+//!
+//! * [`LocalPageRank`] (■) — standard PageRank on the induced subgraph,
+//!   ignoring external pages entirely.
+//! * [`Lpr2`] (●) — the LPR2 component of ServerRank (Wang & DeWitt,
+//!   VLDB'04 \[18\]): a single artificial page `ξ` stands for the outside,
+//!   connected by *unweighted single edges*, losing the multiplicity
+//!   information ApproxRank preserves (the defect Figures 4–6 illustrate).
+//! * [`ServerRank`] — the *full* three-stage distributed scheme of \[18\]
+//!   (local PageRank per server × ranked server graph), beyond what the
+//!   paper's evaluation includes; used by the `serverrank` ablation.
+
+mod local;
+mod lpr2;
+mod serverrank;
+
+pub use local::LocalPageRank;
+pub use lpr2::Lpr2;
+pub use serverrank::{ServerRank, ServerRankResult};

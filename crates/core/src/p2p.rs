@@ -1,0 +1,332 @@
+//! JXP-style peer-to-peer PageRank approximation (Parreira, Donato,
+//! Michel & Weikum, VLDB'06 — the paper's reference \[16\]).
+//!
+//! The paper's §I motivates subgraph ranking with P2P search networks;
+//! §II-C describes JXP: every peer holds a fragment of the web graph plus
+//! a *world node* standing for everything else (the direct ancestor of
+//! the paper's `Λ`), ranks its fragment locally, then repeatedly *meets*
+//! other peers, exchanging score knowledge and re-ranking. JXP scores
+//! converge to the true global PageRank as meetings accumulate.
+//!
+//! This implementation reuses the extended-local-graph machinery: a
+//! peer's world-node row blends IdealRank-style weighting (for external
+//! pages whose scores it has learned in meetings) with ApproxRank's
+//! uniform assumption (for pages it knows nothing about). With no
+//! meetings at all, a peer's estimate *is* ApproxRank; with full
+//! knowledge it *is* IdealRank — the sweep in between is the JXP
+//! convergence behaviour the tests verify.
+//!
+//! Meetings follow an explicit caller-supplied schedule, keeping the
+//! module deterministic (the original JXP meets peers uniformly at
+//! random; a random schedule can be layered on top).
+
+use std::collections::BTreeMap;
+
+use approxrank_graph::{DiGraph, NodeId, NodeSet, Subgraph};
+use approxrank_pagerank::PageRankOptions;
+
+use crate::extended::ExtendedLocalGraph;
+
+/// One peer: a fragment of the global graph plus learned score knowledge.
+#[derive(Clone, Debug)]
+pub struct Peer {
+    subgraph: Subgraph,
+    /// Learned external scores: global id → last heard estimate.
+    /// A BTreeMap keeps summation order (and thus floating-point
+    /// results) deterministic run-to-run.
+    knowledge: BTreeMap<NodeId, f64>,
+    /// Current estimates for the peer's own pages (local-id order).
+    scores: Vec<f64>,
+    /// Current estimate of the external node's mass.
+    lambda: f64,
+}
+
+impl Peer {
+    /// Scores for the peer's own pages, in its subgraph's local order.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The peer's subgraph.
+    pub fn subgraph(&self) -> &Subgraph {
+        &self.subgraph
+    }
+
+    /// Number of external pages this peer has learned scores for.
+    pub fn knowledge_size(&self) -> usize {
+        self.knowledge.len()
+    }
+}
+
+/// A JXP network over a partition of the global graph.
+pub struct JxpNetwork {
+    peers: Vec<Peer>,
+    options: PageRankOptions,
+    total_nodes: usize,
+}
+
+impl JxpNetwork {
+    /// Builds the network: one peer per node set. Sets may overlap (JXP
+    /// permits overlapping crawls); together they need not cover the
+    /// graph. Every peer starts with zero knowledge and an
+    /// ApproxRank-style initial ranking.
+    pub fn new(global: &DiGraph, fragments: Vec<NodeSet>, options: PageRankOptions) -> Self {
+        assert!(!fragments.is_empty(), "need at least one peer");
+        let total_nodes = global.num_nodes();
+        let mut peers = Vec::with_capacity(fragments.len());
+        for nodes in fragments {
+            assert!(!nodes.is_empty(), "peers need non-empty fragments");
+            let subgraph = Subgraph::extract(global, nodes);
+            let n = subgraph.len();
+            peers.push(Peer {
+                subgraph,
+                knowledge: BTreeMap::new(),
+                scores: vec![0.0; n],
+                lambda: 0.0,
+            });
+        }
+        let mut net = JxpNetwork {
+            peers,
+            options,
+            total_nodes,
+        };
+        for p in 0..net.peers.len() {
+            net.rerank(p);
+        }
+        net
+    }
+
+    /// Number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Read access to a peer.
+    pub fn peer(&self, index: usize) -> &Peer {
+        &self.peers[index]
+    }
+
+    /// Re-ranks peer `p` with its current knowledge: the world-node row
+    /// uses learned scores where available and the uniform ApproxRank
+    /// assumption elsewhere.
+    fn rerank(&mut self, p: usize) {
+        let peer = &self.peers[p];
+        let sub = &peer.subgraph;
+        let n = sub.len();
+        let big_n = self.total_nodes;
+        if big_n == n {
+            // Degenerate single-peer-owns-everything case.
+            let ext = ExtendedLocalGraph::new(sub, vec![0.0; n], 0.0);
+            let r = ext.solve(&self.options);
+            let peer = &mut self.peers[p];
+            peer.lambda = r.scores[n];
+            peer.scores = r.scores[..n].to_vec();
+            return;
+        }
+        let num_ext = (big_n - n) as f64;
+
+        // Estimate each boundary source's score: learned knowledge, or
+        // the uniform share of the unknown external mass.
+        let known_mass: f64 = peer.knowledge.values().sum();
+        let known_count = peer.knowledge.len() as f64;
+        // Assume external mass ≈ (N−n)/N when nothing better is known
+        // (the P_ideal prior); refine with the current λ estimate.
+        let ext_mass_prior = if peer.lambda > 0.0 {
+            peer.lambda
+        } else {
+            num_ext / big_n as f64
+        };
+        let unknown_mass = (ext_mass_prior - known_mass).max(0.0);
+        let unknown_each = unknown_mass / (num_ext - known_count).max(1.0);
+
+        let mut from_lambda = vec![0.0f64; n];
+        let mut boundary_weighted = 0.0;
+        for e in &sub.boundary().in_edges {
+            let est = peer
+                .knowledge
+                .get(&e.source)
+                .copied()
+                .unwrap_or(unknown_each);
+            let w = est / e.source_out_degree as f64;
+            from_lambda[e.target_local as usize] += w;
+            boundary_weighted += w;
+        }
+        // Total external estimated mass; everything not flowing across
+        // the boundary self-loops at the world node. (External dangling
+        // pages are folded into the self-loop — the peer cannot see
+        // degrees of pages it never met, which is faithful to JXP.)
+        let ext_sum = (known_mass + unknown_mass).max(f64::MIN_POSITIVE);
+        for f in from_lambda.iter_mut() {
+            *f /= ext_sum;
+        }
+        let mut lambda_self = 1.0 - boundary_weighted / ext_sum;
+        // Guard against a peer having learned scores that overshoot.
+        if lambda_self < 0.0 {
+            let scale = 1.0 / (boundary_weighted / ext_sum);
+            for f in from_lambda.iter_mut() {
+                *f *= scale;
+            }
+            lambda_self = 0.0;
+        }
+        let ext = ExtendedLocalGraph::new(sub, from_lambda, lambda_self);
+        let r = ext.solve(&self.options);
+        let peer = &mut self.peers[p];
+        peer.lambda = r.scores[n];
+        peer.scores = r.scores[..n].to_vec();
+    }
+
+    /// One meeting between peers `a` and `b`: each learns the other's
+    /// current estimates for pages it does not own, then re-ranks.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn meet(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "a peer cannot meet itself");
+        let exchange = |from: &Peer, to: &Peer| -> Vec<(NodeId, f64)> {
+            from.subgraph
+                .nodes()
+                .members()
+                .iter()
+                .enumerate()
+                .filter(|(_, &g)| !to.subgraph.nodes().contains(g))
+                .map(|(li, &g)| (g, from.scores[li]))
+                .collect()
+        };
+        let to_b = exchange(&self.peers[a], &self.peers[b]);
+        let to_a = exchange(&self.peers[b], &self.peers[a]);
+        for (g, s) in to_a {
+            self.peers[a].knowledge.insert(g, s);
+        }
+        for (g, s) in to_b {
+            self.peers[b].knowledge.insert(g, s);
+        }
+        self.rerank(a);
+        self.rerank(b);
+    }
+
+    /// Runs full round-robin meeting rounds: in each round every
+    /// unordered peer pair meets once (deterministic order).
+    pub fn round_robin(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            for a in 0..self.peers.len() {
+                for b in (a + 1)..self.peers.len() {
+                    self.meet(a, b);
+                }
+            }
+        }
+    }
+
+    /// The network's combined estimate: each page's score from the last
+    /// peer that owns it (overlapping fragments: later peers win),
+    /// normalized to unit mass — individual peers track *relative*
+    /// importance, so the combined raw masses need not sum to one.
+    pub fn global_estimate(&self) -> Vec<f64> {
+        let mut est = vec![0.0f64; self.total_nodes];
+        for peer in &self.peers {
+            for (li, &g) in peer.subgraph.nodes().members().iter().enumerate() {
+                est[g as usize] = peer.scores[li];
+            }
+        }
+        let mass: f64 = est.iter().sum();
+        if mass > 0.0 {
+            for v in est.iter_mut() {
+                *v /= mass;
+            }
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_metrics::l1_distance;
+    use approxrank_pagerank::pagerank;
+
+    /// Three-cluster graph split across three peers.
+    fn setup() -> (DiGraph, Vec<NodeSet>) {
+        let n = 90u32;
+        let mut edges = Vec::new();
+        for c in 0..3u32 {
+            let base = c * 30;
+            for i in 0..30 {
+                edges.push((base + i, base + (i + 1) % 30));
+                edges.push((base + i, base + (i * 7 + 3) % 30));
+            }
+            // Cross-cluster endorsements, deliberately asymmetric.
+            for k in 0..(3 - c) * 4 {
+                edges.push((base + k, ((c + 1) % 3) * 30 + k));
+            }
+        }
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let fragments = (0..3)
+            .map(|c| NodeSet::from_sorted(n as usize, (c * 30)..(c * 30 + 30)))
+            .collect();
+        (g, fragments)
+    }
+
+    fn opts() -> PageRankOptions {
+        PageRankOptions::paper().with_tolerance(1e-12)
+    }
+
+    #[test]
+    fn zero_meetings_equals_approxrank_spirit() {
+        let (g, frags) = setup();
+        let net = JxpNetwork::new(&g, frags, opts());
+        // Sanity: every peer has a ranking and no knowledge yet.
+        for p in 0..net.num_peers() {
+            assert_eq!(net.peer(p).knowledge_size(), 0);
+            assert_eq!(net.peer(p).scores().len(), 30);
+            assert!(net.peer(p).scores().iter().all(|&s| s > 0.0));
+        }
+    }
+
+    #[test]
+    fn meetings_improve_the_estimate() {
+        let (g, frags) = setup();
+        let truth = pagerank(&g, &opts());
+        let mut net = JxpNetwork::new(&g, frags, opts());
+        let err_before = l1_distance(&net.global_estimate(), &truth.scores);
+        net.round_robin(4);
+        let err_after = l1_distance(&net.global_estimate(), &truth.scores);
+        assert!(
+            err_after < err_before,
+            "meetings must help: {err_after} vs {err_before}"
+        );
+    }
+
+    #[test]
+    fn converges_toward_global_pagerank() {
+        let (g, frags) = setup();
+        let truth = pagerank(&g, &opts());
+        let mut net = JxpNetwork::new(&g, frags, opts());
+        net.round_robin(25);
+        let err = l1_distance(&net.global_estimate(), &truth.scores);
+        // Every page's in-neighborhood is eventually known exactly, so the
+        // fixed point is the true PageRank (up to the world-node residue
+        // from unseen-degree folding, small on this graph).
+        assert!(err < 0.02, "L1 after 25 rounds: {err}");
+    }
+
+    #[test]
+    fn knowledge_grows_monotonically() {
+        let (g, frags) = setup();
+        let mut net = JxpNetwork::new(&g, frags, opts());
+        net.meet(0, 1);
+        let k1 = net.peer(0).knowledge_size();
+        assert!(k1 > 0);
+        net.meet(0, 2);
+        assert!(net.peer(0).knowledge_size() > k1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, frags) = setup();
+        let run = || {
+            let mut net = JxpNetwork::new(&g, frags.clone(), opts());
+            net.round_robin(3);
+            net.global_estimate()
+        };
+        assert_eq!(run(), run());
+    }
+}

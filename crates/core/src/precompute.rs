@@ -1,0 +1,68 @@
+//! Global precomputation for multi-subgraph workloads.
+//!
+//! The paper (§IV-B, last paragraph) points out that ApproxRank "is
+//! suitable to adopt precomputation for various subgraphs": with the same
+//! global graph, `A_approx` can be assembled from the difference between
+//! local and global aggregates. This module captures the global side of
+//! that difference — per-node out-degrees and the dangling count — so
+//! that building `A_approx` for any subgraph afterwards touches only the
+//! subgraph and its boundary.
+//!
+//! The ablation bench `construction` measures exactly this naive-vs-
+//! precomputed difference.
+
+use approxrank_graph::DiGraph;
+
+/// Global aggregates reused across subgraphs of the same global graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalPrecomputation {
+    out_degrees: Vec<u32>,
+    num_dangling: usize,
+}
+
+impl GlobalPrecomputation {
+    /// One `O(N)` pass over the degree array.
+    pub fn compute(global: &DiGraph) -> Self {
+        let mut out_degrees = Vec::with_capacity(global.num_nodes());
+        let mut num_dangling = 0;
+        for u in global.nodes() {
+            let d = global.out_degree(u) as u32;
+            num_dangling += usize::from(d == 0);
+            out_degrees.push(d);
+        }
+        GlobalPrecomputation {
+            out_degrees,
+            num_dangling,
+        }
+    }
+
+    /// `N`, the global node count this precomputation belongs to.
+    pub fn num_nodes(&self) -> usize {
+        self.out_degrees.len()
+    }
+
+    /// Number of dangling pages in the whole graph.
+    pub fn num_dangling(&self) -> usize {
+        self.num_dangling
+    }
+
+    /// Global out-degree of a page.
+    pub fn out_degree(&self, node: u32) -> u32 {
+        self.out_degrees[node as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_graph() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (0, 3)]);
+        let pre = GlobalPrecomputation::compute(&g);
+        assert_eq!(pre.num_nodes(), 5);
+        assert_eq!(pre.num_dangling(), 3); // 2, 3, 4
+        assert_eq!(pre.out_degree(0), 2);
+        assert_eq!(pre.out_degree(4), 0);
+    }
+}

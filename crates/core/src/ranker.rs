@@ -1,0 +1,78 @@
+//! The common interface every subgraph-ranking algorithm implements.
+
+use approxrank_graph::{DiGraph, Subgraph};
+
+/// The output of a subgraph-ranking algorithm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankScores {
+    /// Score per local page, in the subgraph's local-id order.
+    pub local_scores: Vec<f64>,
+    /// Score of the external node `Λ` (absent for algorithms without one,
+    /// e.g. local PageRank).
+    pub lambda_score: Option<f64>,
+    /// Power iterations the final solve took.
+    pub iterations: usize,
+    /// Whether the final solve converged within its iteration cap.
+    pub converged: bool,
+}
+
+impl RankScores {
+    /// Total probability mass assigned to local pages.
+    pub fn local_mass(&self) -> f64 {
+        self.local_scores.iter().sum()
+    }
+
+    /// Local scores rescaled to sum to 1 — the form the evaluation's L1
+    /// comparisons use so that algorithms assigning different total mass
+    /// to the subgraph (e.g. local PageRank's full unit mass vs
+    /// ApproxRank's `Λ`-split mass) are compared on distribution shape.
+    pub fn normalized_local(&self) -> Vec<f64> {
+        let mass = self.local_mass();
+        if mass <= 0.0 {
+            return self.local_scores.clone();
+        }
+        self.local_scores.iter().map(|s| s / mass).collect()
+    }
+}
+
+/// A ranking algorithm that estimates PageRank-style scores for the pages
+/// of a subgraph, given (at most) the global graph and the extracted
+/// subgraph structure.
+pub trait SubgraphRanker {
+    /// Short display name used in experiment tables
+    /// (e.g. `"ApproxRank"`, `"SC"`).
+    fn name(&self) -> &'static str;
+
+    /// Estimates scores for the subgraph's local pages.
+    fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let r = RankScores {
+            local_scores: vec![0.1, 0.3],
+            lambda_score: Some(0.6),
+            iterations: 3,
+            converged: true,
+        };
+        assert!((r.local_mass() - 0.4).abs() < 1e-15);
+        let n = r.normalized_local();
+        assert!((n[0] - 0.25).abs() < 1e-15);
+        assert!((n[1] - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_mass_is_identity() {
+        let r = RankScores {
+            local_scores: vec![0.0, 0.0],
+            lambda_score: None,
+            iterations: 0,
+            converged: true,
+        };
+        assert_eq!(r.normalized_local(), vec![0.0, 0.0]);
+    }
+}

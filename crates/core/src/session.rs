@@ -1,0 +1,231 @@
+//! Incremental re-ranking sessions for evolving subgraphs.
+//!
+//! The paper's motivating applications keep *changing* their subgraph: a
+//! focused crawler adds pages batch by batch (Figure 1), an index ingests
+//! and expires documents. Rebuilding `A_approx` is cheap (`O(n +
+//! boundary)` with the §IV-B precomputation), but a cold power iteration
+//! is not. A [`SubgraphSession`] owns the precomputation and the previous
+//! solution, maps it onto each revised member set as the starting vector,
+//! and re-solves warm — the same trick SC's 25-round loop depends on,
+//! offered as a first-class API.
+
+use approxrank_graph::{DiGraph, NodeId, NodeSet, Subgraph};
+use approxrank_pagerank::PageRankOptions;
+
+use crate::approx::ApproxRank;
+use crate::precompute::GlobalPrecomputation;
+use crate::ranker::RankScores;
+
+/// A long-lived ApproxRank session over one global graph.
+pub struct SubgraphSession {
+    options: PageRankOptions,
+    precomputation: GlobalPrecomputation,
+    members: Vec<NodeId>,
+    subgraph: Subgraph,
+    /// Last solution in extended-state order (`n` locals + Λ), kept in
+    /// global-id terms for remapping across membership changes.
+    last_scores: Option<(Vec<(NodeId, f64)>, f64)>,
+    last_iterations: usize,
+}
+
+impl SubgraphSession {
+    /// Opens a session for an initial member set.
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty.
+    pub fn new(global: &DiGraph, initial: NodeSet, options: PageRankOptions) -> Self {
+        assert!(!initial.is_empty(), "session needs a non-empty subgraph");
+        let members = initial.members().to_vec();
+        let subgraph = Subgraph::extract(global, initial);
+        SubgraphSession {
+            options,
+            precomputation: GlobalPrecomputation::compute(global),
+            members,
+            subgraph,
+            last_scores: None,
+            last_iterations: 0,
+        }
+    }
+
+    /// Current members in local-id order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The current extracted subgraph.
+    pub fn subgraph(&self) -> &Subgraph {
+        &self.subgraph
+    }
+
+    /// Iterations the most recent solve took (0 before the first solve).
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// Adds pages (ignoring duplicates) and re-extracts the subgraph.
+    ///
+    /// # Panics
+    /// Panics if a page id is out of range for the global graph.
+    pub fn add_pages(&mut self, global: &DiGraph, pages: &[NodeId]) {
+        for &p in pages {
+            assert!(
+                (p as usize) < global.num_nodes(),
+                "page {p} out of range"
+            );
+        }
+        let current = NodeSet::from_iter_order(
+            global.num_nodes(),
+            self.members.iter().copied().chain(pages.iter().copied()),
+        );
+        self.members = current.members().to_vec();
+        self.subgraph = Subgraph::extract(global, current);
+    }
+
+    /// Removes pages (ignoring non-members) and re-extracts the subgraph.
+    ///
+    /// # Panics
+    /// Panics if the removal would empty the subgraph.
+    pub fn remove_pages(&mut self, global: &DiGraph, pages: &[NodeId]) {
+        let drop: std::collections::HashSet<NodeId> = pages.iter().copied().collect();
+        let remaining: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|p| !drop.contains(p))
+            .collect();
+        assert!(!remaining.is_empty(), "cannot empty the subgraph");
+        let current = NodeSet::from_iter_order(global.num_nodes(), remaining);
+        self.members = current.members().to_vec();
+        self.subgraph = Subgraph::extract(global, current);
+    }
+
+    /// Solves ApproxRank for the current membership, warm-starting from
+    /// the previous solution when one exists: retained pages keep their
+    /// scores, new pages enter at the teleport floor, Λ absorbs the rest.
+    pub fn solve(&mut self) -> RankScores {
+        let approx = ApproxRank::new(self.options.clone());
+        let ext = approx.extended_graph_precomputed(&self.precomputation, &self.subgraph);
+        let n = self.subgraph.len();
+        let result = match &self.last_scores {
+            None => ext.solve(&self.options),
+            Some((prev, prev_lambda)) => {
+                let floor = (1.0 - self.options.damping) / ext.num_global() as f64;
+                let mut start = vec![floor; n + 1];
+                for &(g, s) in prev {
+                    if let Some(li) = self.subgraph.nodes().local_id(g) {
+                        start[li as usize] = s;
+                    }
+                }
+                start[n] = *prev_lambda;
+                // Project back onto the simplex.
+                let mass: f64 = start.iter().sum();
+                if mass > 0.0 {
+                    for v in start.iter_mut() {
+                        *v /= mass;
+                    }
+                }
+                ext.solve_from(&self.options, &start)
+            }
+        };
+        self.last_iterations = result.iterations;
+        let lambda = result.scores[n];
+        let locals: Vec<(NodeId, f64)> = self
+            .subgraph
+            .nodes()
+            .members()
+            .iter()
+            .zip(&result.scores[..n])
+            .map(|(&g, &s)| (g, s))
+            .collect();
+        self.last_scores = Some((locals, lambda));
+        RankScores {
+            local_scores: result.scores[..n].to_vec(),
+            lambda_score: Some(lambda),
+            iterations: result.iterations,
+            converged: result.converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring-of-rings graph big enough that warm starts visibly pay off.
+    fn global() -> DiGraph {
+        let n = 600u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            edges.push((i, (i * 13 + 7) % n));
+            if i % 9 == 0 {
+                edges.push((i, (i + n / 2) % n));
+            }
+        }
+        DiGraph::from_edges(n as usize, &edges)
+    }
+
+    fn opts() -> PageRankOptions {
+        PageRankOptions::paper().with_tolerance(1e-10)
+    }
+
+    #[test]
+    fn session_matches_fresh_approxrank() {
+        let g = global();
+        let initial = NodeSet::from_sorted(g.num_nodes(), 100..250u32);
+        let mut session = SubgraphSession::new(&g, initial, opts());
+        session.add_pages(&g, &[250, 251, 252]);
+        let scores = session.solve();
+
+        let fresh_set = NodeSet::from_sorted(g.num_nodes(), (100..253u32).collect::<Vec<_>>());
+        let fresh_sub = Subgraph::extract(&g, fresh_set);
+        let fresh = ApproxRank::new(opts()).rank_subgraph(&g, &fresh_sub);
+        for (a, b) in scores.local_scores.iter().zip(&fresh.local_scores) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_start_saves_iterations_on_small_changes() {
+        let g = global();
+        let initial = NodeSet::from_sorted(g.num_nodes(), 0..300u32);
+        let mut session = SubgraphSession::new(&g, initial, opts());
+        let first = session.solve();
+        assert!(first.converged);
+        let cold_iterations = first.iterations;
+
+        // Small membership change: a handful of pages in, one out.
+        session.add_pages(&g, &[300, 301, 302, 303]);
+        session.remove_pages(&g, &[0]);
+        let second = session.solve();
+        assert!(second.converged);
+        assert!(
+            second.iterations < cold_iterations,
+            "warm {} vs cold {}",
+            second.iterations,
+            cold_iterations
+        );
+    }
+
+    #[test]
+    fn membership_bookkeeping() {
+        let g = global();
+        let mut session =
+            SubgraphSession::new(&g, NodeSet::from_sorted(g.num_nodes(), [5, 6, 7]), opts());
+        assert_eq!(session.members(), &[5, 6, 7]);
+        session.add_pages(&g, &[7, 8]); // 7 is a duplicate
+        assert_eq!(session.members(), &[5, 6, 7, 8]);
+        session.remove_pages(&g, &[6, 999]); // 999 is not a member
+        assert_eq!(session.members(), &[5, 7, 8]);
+        assert_eq!(session.subgraph().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot empty")]
+    fn refuses_to_empty() {
+        let g = global();
+        let mut session =
+            SubgraphSession::new(&g, NodeSet::from_sorted(g.num_nodes(), [5]), opts());
+        session.remove_pages(&g, &[5]);
+    }
+}

@@ -1,0 +1,165 @@
+//! The AU-like dataset: a 38-domain synthetic stand-in for the paper's
+//! crawl of Australian university domains (3.88 M pages, 23.9 M links).
+//!
+//! Domain sizes follow a Zipf law tuned so the largest domain holds about
+//! 10 % of the graph and the smallest well under 1 % — matching the spread
+//! of the paper's Table IV (0.35 %–10.42 %). Twelve domains carry the
+//! paper's `.edu.au` names so Tables IV/VI print familiar rows; the rest
+//! get systematic names.
+
+use crate::domains::DomainDataset;
+use crate::webgraph::{generate_partitioned_graph, PartitionedGraphConfig};
+use crate::zipf::zipf_partition;
+
+/// Configuration of [`au_like`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuConfig {
+    /// Total pages `N`. The paper's crawl has 3 884 199; the default here
+    /// is a 1:20 scale that keeps the full experiment suite laptop-sized.
+    pub pages: usize,
+    /// Number of domains (paper: 38).
+    pub domains: usize,
+    /// Zipf exponent of the domain-size law.
+    pub size_exponent: f64,
+    /// Mean fraction of links staying inside their domain; individual
+    /// domains deviate with size (see [`au_like`]).
+    pub intra_domain_prob: f64,
+    /// Half-width of the size-dependent cohesion spread: the largest
+    /// domain links internally with probability `intra + spread`, the
+    /// smallest with `intra - spread`. Matches the web's observed
+    /// pattern (larger sites are more self-contained) and produces the
+    /// paper's "distance decreases with size" effect in Table IV.
+    pub cohesion_spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AuConfig {
+    fn default() -> Self {
+        AuConfig {
+            pages: 194_000,
+            domains: 38,
+            size_exponent: 0.72,
+            intra_domain_prob: 0.75,
+            cohesion_spread: 0.12,
+            seed: 0xA0_5EED,
+        }
+    }
+}
+
+/// The twelve domain names of the paper's Tables IV and VI.
+pub const PAPER_DOMAINS: [&str; 12] = [
+    "acu.edu.au",
+    "bond.edu.au",
+    "canberra.edu.au",
+    "cdu.edu.au",
+    "ballarat.edu.au",
+    "cqu.edu.au",
+    "csu.edu.au",
+    "adelaide.edu.au",
+    "curtin.edu.au",
+    "jcu.edu.au",
+    "monash.edu.au",
+    "anu.edu.au",
+];
+
+/// Builds the AU-like [`DomainDataset`].
+///
+/// Domain 0 is the largest; the twelve paper domains are assigned so their
+/// *relative* size ordering matches Table IV (acu smallest … anu largest).
+pub fn au_like(config: &AuConfig) -> DomainDataset {
+    assert!(config.domains >= PAPER_DOMAINS.len(), "need >= 12 domains");
+    let sizes = zipf_partition(config.pages, config.domains, config.size_exponent, 50);
+    // Size-dependent cohesion: interpolate log-linearly between the
+    // smallest (least cohesive) and largest (most cohesive) domains.
+    let (min_s, max_s) = (
+        *sizes.iter().min().expect("non-empty") as f64,
+        *sizes.iter().max().expect("non-empty") as f64,
+    );
+    let intra_probs: Vec<f64> = sizes
+        .iter()
+        .map(|&s| {
+            let t = if max_s > min_s {
+                ((s as f64).ln() - min_s.ln()) / (max_s.ln() - min_s.ln())
+            } else {
+                0.5
+            };
+            (config.intra_domain_prob - config.cohesion_spread
+                + 2.0 * config.cohesion_spread * t)
+                .clamp(0.05, 0.98)
+        })
+        .collect();
+    let pg = generate_partitioned_graph(&PartitionedGraphConfig {
+        part_sizes: sizes.clone(),
+        intra_part_prob: config.intra_domain_prob,
+        part_intra_probs: Some(intra_probs),
+        seed: config.seed,
+        ..PartitionedGraphConfig::default()
+    });
+    // zipf_partition returns descending sizes; map the paper's domains onto
+    // a descending-size selection so their Table-IV ordering (ascending
+    // size) is preserved: anu gets the biggest slot, acu the smallest of
+    // the twelve chosen slots. We interleave chosen slots across the size
+    // range: slots 0, 2, 4, ... so other domains fill in between.
+    let mut names: Vec<String> = (0..config.domains)
+        .map(|i| format!("site{i:02}.example.au"))
+        .collect();
+    let step = config.domains / PAPER_DOMAINS.len();
+    for (rank, name) in PAPER_DOMAINS.iter().rev().enumerate() {
+        // rank 0 = anu -> largest chosen slot.
+        let slot = (rank * step).min(config.domains - 1);
+        names[slot] = (*name).to_string();
+    }
+    DomainDataset::new(pg, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DomainDataset {
+        au_like(&AuConfig {
+            pages: 20_000,
+            ..AuConfig::default()
+        })
+    }
+
+    #[test]
+    fn has_38_domains_and_paper_names() {
+        let d = small();
+        assert_eq!(d.num_domains(), 38);
+        for name in PAPER_DOMAINS {
+            assert!(d.domain_index(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn paper_domain_size_ordering_matches_table_iv() {
+        let d = small();
+        let sizes: Vec<usize> = PAPER_DOMAINS
+            .iter()
+            .map(|n| d.domain_size(d.domain_index(n).unwrap()))
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1], "paper domains must ascend in size: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn size_spread_spans_an_order_of_magnitude() {
+        let d = small();
+        let largest = d.domain_percentage(0);
+        let smallest = (0..d.num_domains())
+            .map(|i| d.domain_percentage(i))
+            .fold(f64::INFINITY, f64::min);
+        assert!(largest > 5.0, "largest {largest}%");
+        assert!(smallest < 1.5, "smallest {smallest}%");
+        assert!(largest / smallest > 8.0, "spread {largest}/{smallest}");
+    }
+
+    #[test]
+    fn total_pages_respected() {
+        let d = small();
+        assert_eq!(d.graph().num_nodes(), 20_000);
+    }
+}

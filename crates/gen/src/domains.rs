@@ -1,0 +1,140 @@
+//! Domain-partitioned datasets (the AU-like corpus).
+
+use approxrank_graph::{DiGraph, NodeId, NodeSet};
+
+use crate::webgraph::PartitionedGraph;
+
+/// A web graph whose pages belong to named domains; the paper's **DS
+/// subgraphs** are exactly the per-domain page sets.
+#[derive(Clone, Debug)]
+pub struct DomainDataset {
+    partitioned: PartitionedGraph,
+    domain_names: Vec<String>,
+}
+
+impl DomainDataset {
+    /// Wraps a generated partitioned graph with domain names.
+    ///
+    /// # Panics
+    /// Panics if the name count differs from the part count.
+    pub fn new(partitioned: PartitionedGraph, domain_names: Vec<String>) -> Self {
+        assert_eq!(
+            partitioned.part_ranges.len(),
+            domain_names.len(),
+            "one name per domain"
+        );
+        DomainDataset {
+            partitioned,
+            domain_names,
+        }
+    }
+
+    /// The global graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.partitioned.graph
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.domain_names.len()
+    }
+
+    /// Name of domain `d`.
+    pub fn domain_name(&self, d: usize) -> &str {
+        &self.domain_names[d]
+    }
+
+    /// Index of a domain by name.
+    pub fn domain_index(&self, name: &str) -> Option<usize> {
+        self.domain_names.iter().position(|n| n == name)
+    }
+
+    /// Number of pages in domain `d`.
+    pub fn domain_size(&self, d: usize) -> usize {
+        self.partitioned.part_ranges[d].len()
+    }
+
+    /// Domain id of a page.
+    pub fn domain_of(&self, page: NodeId) -> u32 {
+        self.partitioned.part_of[page as usize]
+    }
+
+    /// The **DS subgraph** node set of domain `d`: all of its pages.
+    pub fn ds_subgraph(&self, d: usize) -> NodeSet {
+        let range = self.partitioned.part_ranges[d].clone();
+        NodeSet::from_iter_order(self.graph().num_nodes(), range)
+    }
+
+    /// Domain size as a percentage of the global graph (the paper's
+    /// "(%) of global graph" column).
+    pub fn domain_percentage(&self, d: usize) -> f64 {
+        100.0 * self.domain_size(d) as f64 / self.graph().num_nodes() as f64
+    }
+
+    /// Mean out-degree within the domain's pages (counting all their
+    /// out-links, as the paper's "Average outdegree" column does).
+    pub fn domain_avg_out_degree(&self, d: usize) -> f64 {
+        let range = self.partitioned.part_ranges[d].clone();
+        let total: usize = range
+            .clone()
+            .map(|u| self.graph().out_degree(u))
+            .sum();
+        total as f64 / range.len() as f64
+    }
+
+    /// Domains ordered by ascending page count (the order of Tables IV
+    /// and VI).
+    pub fn domains_by_size(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.num_domains()).collect();
+        order.sort_by_key(|&d| self.domain_size(d));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::webgraph::{generate_partitioned_graph, PartitionedGraphConfig};
+
+    fn dataset() -> DomainDataset {
+        let pg = generate_partitioned_graph(&PartitionedGraphConfig {
+            part_sizes: vec![500, 300, 200],
+            seed: 9,
+            ..PartitionedGraphConfig::default()
+        });
+        DomainDataset::new(pg, vec!["a.edu".into(), "b.edu".into(), "c.edu".into()])
+    }
+
+    #[test]
+    fn lookup_by_name_and_size() {
+        let d = dataset();
+        assert_eq!(d.num_domains(), 3);
+        assert_eq!(d.domain_index("b.edu"), Some(1));
+        assert_eq!(d.domain_index("zzz"), None);
+        assert_eq!(d.domain_size(0), 500);
+        assert!((d.domain_percentage(2) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ds_subgraph_is_whole_domain() {
+        let d = dataset();
+        let s = d.ds_subgraph(1);
+        assert_eq!(s.len(), 300);
+        assert!(s.contains(500));
+        assert!(s.contains(799));
+        assert!(!s.contains(499));
+        assert!(!s.contains(800));
+    }
+
+    #[test]
+    fn size_ordering() {
+        let d = dataset();
+        assert_eq!(d.domains_by_size(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn avg_out_degree_positive() {
+        let d = dataset();
+        assert!(d.domain_avg_out_degree(0) > 1.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Temporal graph evolution: localized churn for the update scenario.
+//!
+//! The paper's §I motivates subgraph ranking with "the subgraph of the
+//! Web that experiences the most change" — the frontier, or a
+//! restructured site. This module mutates a graph *inside a designated
+//! region* (new pages, added links, dropped links) and reports exactly
+//! which pages changed, which is the contract the IdealRank/IAD update
+//! paths consume.
+
+use std::ops::Range;
+
+use approxrank_graph::{DiGraph, NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of one [`evolve`] step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Page-id range the churn is confined to (sources of changed links
+    /// and anchors of new pages all lie here).
+    pub region: Range<NodeId>,
+    /// Fraction of the region's existing out-links to drop.
+    pub drop_link_frac: f64,
+    /// New out-links added per region page (expected value).
+    pub add_links_per_page: f64,
+    /// Brand-new pages appended to the graph, each linked from and to
+    /// the region.
+    pub new_pages: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            region: 0..0,
+            drop_link_frac: 0.2,
+            add_links_per_page: 1.0,
+            new_pages: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of one evolution step.
+#[derive(Clone, Debug)]
+pub struct Evolution {
+    /// The evolved graph (may have more pages than the input).
+    pub graph: DiGraph,
+    /// All pages whose out-links changed, plus every new page — the
+    /// "changed subgraph" for IdealRank / IAD updates.
+    pub changed: NodeSet,
+    /// Links dropped.
+    pub dropped_links: usize,
+    /// Links added.
+    pub added_links: usize,
+}
+
+/// Applies localized churn to `graph` per `config`.
+///
+/// # Panics
+/// Panics if the region is empty or out of range, or fractions are
+/// negative.
+pub fn evolve(graph: &DiGraph, config: &ChurnConfig) -> Evolution {
+    let n_old = graph.num_nodes();
+    assert!(
+        !config.region.is_empty() && (config.region.end as usize) <= n_old,
+        "region must be non-empty and inside the graph"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.drop_link_frac),
+        "drop fraction in [0,1]"
+    );
+    assert!(config.add_links_per_page >= 0.0, "non-negative add rate");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_new = n_old + config.new_pages;
+    let region = config.region.clone();
+    let in_region = |p: NodeId| region.contains(&p);
+
+    let mut changed = vec![false; n_new];
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(graph.num_edges());
+    let mut dropped = 0usize;
+    for (s, t) in graph.edges() {
+        if in_region(s) && rng.random::<f64>() < config.drop_link_frac {
+            dropped += 1;
+            changed[s as usize] = true;
+            continue;
+        }
+        edges.push((s, t));
+    }
+    let mut added = 0usize;
+    for s in region.clone() {
+        // Poisson-ish: geometric trials around the expected rate.
+        let mut budget = config.add_links_per_page;
+        while budget > 0.0 {
+            if rng.random::<f64>() < budget.min(1.0) {
+                let t = rng.random_range(0..n_new as NodeId);
+                edges.push((s, t));
+                added += 1;
+                changed[s as usize] = true;
+            }
+            budget -= 1.0;
+        }
+    }
+    // New pages: each is linked from a region page and links back to a
+    // region page (so it joins the changed neighborhood, not a vacuum).
+    for k in 0..config.new_pages {
+        let page = (n_old + k) as NodeId;
+        let anchor = region.start + (rng.random_range(0..region.len()) as NodeId);
+        edges.push((anchor, page));
+        edges.push((page, region.start + (rng.random_range(0..region.len()) as NodeId)));
+        changed[anchor as usize] = true;
+        changed[page as usize] = true;
+        added += 2;
+    }
+
+    let graph = DiGraph::from_edges(n_new, &edges);
+    let changed_ids: Vec<NodeId> = changed
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| i as NodeId)
+        .collect();
+    Evolution {
+        graph,
+        changed: NodeSet::from_sorted(n_new, changed_ids),
+        dropped_links: dropped,
+        added_links: added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::webgraph::{generate_partitioned_graph, PartitionedGraphConfig};
+
+    fn base() -> DiGraph {
+        generate_partitioned_graph(&PartitionedGraphConfig {
+            part_sizes: vec![400, 400],
+            seed: 3,
+            ..PartitionedGraphConfig::default()
+        })
+        .graph
+    }
+
+    fn config() -> ChurnConfig {
+        ChurnConfig {
+            region: 100..200,
+            drop_link_frac: 0.3,
+            add_links_per_page: 1.5,
+            new_pages: 10,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn churn_is_confined_to_the_region_and_new_pages() {
+        let g = base();
+        let evo = evolve(&g, &config());
+        assert_eq!(evo.graph.num_nodes(), g.num_nodes() + 10);
+        for &p in evo.changed.members() {
+            assert!(
+                (100..200).contains(&p) || p as usize >= g.num_nodes(),
+                "changed page {p} outside region"
+            );
+        }
+        // Out-links of non-region old pages are untouched.
+        for u in 0..100u32 {
+            assert_eq!(
+                evo.graph.out_neighbors(u),
+                g.out_neighbors(u),
+                "page {u} must be untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_accurate_counts() {
+        let g = base();
+        let evo = evolve(&g, &config());
+        assert!(evo.dropped_links > 0);
+        assert!(evo.added_links >= 20, "10 new pages contribute 20 links");
+        assert!(!evo.changed.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = base();
+        let a = evolve(&g, &config());
+        let b = evolve(&g, &config());
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.changed.members(), b.changed.members());
+    }
+
+    #[test]
+    fn zero_churn_is_identity_plus_pages() {
+        let g = base();
+        let evo = evolve(
+            &g,
+            &ChurnConfig {
+                region: 0..10,
+                drop_link_frac: 0.0,
+                add_links_per_page: 0.0,
+                new_pages: 0,
+                seed: 1,
+            },
+        );
+        assert_eq!(evo.graph, g);
+        assert!(evo.changed.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "region")]
+    fn rejects_empty_region() {
+        evolve(&base(), &ChurnConfig::default());
+    }
+}

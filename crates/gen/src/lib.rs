@@ -1,0 +1,37 @@
+//! Synthetic web-graph datasets for the ApproxRank reproduction.
+//!
+//! The paper evaluates on two private 2008 crawls (a 4.4 M-page *politics*
+//! topic crawl and a 3.9 M-page *AU* domain crawl). Those crawls are not
+//! available, so this crate generates seeded synthetic stand-ins that
+//! preserve the structural properties the experiments actually exercise —
+//! link locality (intra-domain / intra-topic bias), power-law degree and
+//! community sizes, and dangling pages. See `DESIGN.md` §4 for the
+//! substitution rationale.
+//!
+//! * [`webgraph`] — the core generator: preferential attachment inside a
+//!   node partition with tunable locality and dangling fraction.
+//! * [`domains`] / [`au`] — the AU-like multi-domain dataset
+//!   (DS subgraphs = whole domains).
+//! * [`topics`] / [`politics`] — the politics-like topic-labelled dataset
+//!   (TS subgraphs = dmoz-listed category pages + 3-link crawl).
+//! * [`crawler`] — BFS, best-first (focused), and score-guided crawlers
+//!   producing BFS subgraphs and the Figure-1 scenario.
+//! * [`evolve`] — localized graph churn for the update scenario (§I).
+//! * [`zipf`] — power-law size and value samplers shared by the above.
+
+pub mod au;
+pub mod crawler;
+pub mod domains;
+pub mod evolve;
+pub mod politics;
+pub mod topics;
+pub mod webgraph;
+pub mod zipf;
+
+pub use au::{au_like, AuConfig};
+pub use crawler::{BestFirstCrawler, BfsCrawler, ScoreGuidedCrawler};
+pub use domains::DomainDataset;
+pub use evolve::{evolve, ChurnConfig, Evolution};
+pub use politics::{politics_like, PoliticsConfig};
+pub use topics::TopicDataset;
+pub use webgraph::{PartitionedGraphConfig, generate_partitioned_graph};

@@ -1,0 +1,132 @@
+//! The politics-like dataset: a synthetic stand-in for the paper's crawl
+//! of the dmoz politics hierarchy (4.38 M pages, 17.3 M links).
+//!
+//! The corpus is divided into many dmoz-style categories with Zipf sizes
+//! and topic-homophilous linking. Three categories carry the paper's
+//! subgraph names — **liberalism**, **conservatism**, **socialism** —
+//! assigned to size slots reproducing the paper's subgraph-size ordering
+//! (socialism ≪ conservatism < liberalism; Table V: 12 991 / 42 797 /
+//! 61 724 pages out of 4.38 M → roughly 0.3 % / 1.0 % / 1.4 %).
+
+use crate::topics::TopicDataset;
+use crate::webgraph::{generate_partitioned_graph, PartitionedGraphConfig};
+use crate::zipf::zipf_partition;
+
+/// Configuration of [`politics_like`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoliticsConfig {
+    /// Total pages `N`; default is a 1:20 scale of the paper's 4.38 M.
+    pub pages: usize,
+    /// Number of dmoz-style categories.
+    pub categories: usize,
+    /// Zipf exponent of category sizes.
+    pub size_exponent: f64,
+    /// Fraction of links staying inside their category.
+    pub intra_topic_prob: f64,
+    /// Fraction of each category that is directory-listed.
+    pub listed_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PoliticsConfig {
+    fn default() -> Self {
+        PoliticsConfig {
+            pages: 219_000,
+            categories: 80,
+            size_exponent: 0.8,
+            intra_topic_prob: 0.80,
+            listed_frac: 0.08,
+            seed: 0x9011_71C5,
+        }
+    }
+}
+
+/// The paper's three TS subgraph categories with their approximate share
+/// of the global graph (derived from Table V page counts).
+pub const PAPER_TOPICS: [(&str, f64); 3] = [
+    ("liberalism", 0.0141),
+    ("conservatism", 0.0098),
+    ("socialism", 0.0030),
+];
+
+/// Builds the politics-like [`TopicDataset`].
+pub fn politics_like(config: &PoliticsConfig) -> TopicDataset {
+    assert!(config.categories > PAPER_TOPICS.len(), "too few categories");
+    let sizes = zipf_partition(config.pages, config.categories, config.size_exponent, 30);
+    // Assign each paper topic to the free slot whose size is closest to
+    // its target share of the corpus.
+    let mut names: Vec<String> = (0..config.categories)
+        .map(|i| format!("politics/category{i:02}"))
+        .collect();
+    let mut taken = vec![false; config.categories];
+    for (name, share) in PAPER_TOPICS {
+        let target = share * config.pages as f64;
+        let slot = (0..config.categories)
+            .filter(|&i| !taken[i])
+            .min_by(|&a, &b| {
+                let da = (sizes[a] as f64 - target).abs();
+                let db = (sizes[b] as f64 - target).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+            .expect("a free slot always exists");
+        taken[slot] = true;
+        names[slot] = name.to_string();
+    }
+    let pg = generate_partitioned_graph(&PartitionedGraphConfig {
+        part_sizes: sizes,
+        intra_part_prob: config.intra_topic_prob,
+        seed: config.seed,
+        ..PartitionedGraphConfig::default()
+    });
+    TopicDataset::new(pg, names, config.listed_frac, config.seed ^ 0x5EED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TopicDataset {
+        politics_like(&PoliticsConfig {
+            pages: 30_000,
+            categories: 40,
+            ..PoliticsConfig::default()
+        })
+    }
+
+    #[test]
+    fn paper_topics_present() {
+        let d = small();
+        for (name, _) in PAPER_TOPICS {
+            assert!(d.topic_index(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn paper_topic_size_ordering() {
+        let d = small();
+        let size = |n: &str| d.topic_size(d.topic_index(n).unwrap());
+        assert!(size("socialism") < size("conservatism"));
+        assert!(size("conservatism") <= size("liberalism"));
+    }
+
+    #[test]
+    fn ts_subgraphs_are_small_fractions() {
+        let d = small();
+        for (name, _) in PAPER_TOPICS {
+            let s = d.ts_subgraph(d.topic_index(name).unwrap(), 3);
+            let frac = s.len() as f64 / d.graph().num_nodes() as f64;
+            assert!(
+                (0.001..0.30).contains(&frac),
+                "{name} subgraph fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph(), b.graph());
+    }
+}

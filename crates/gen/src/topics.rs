@@ -1,0 +1,188 @@
+//! Topic-labelled datasets (the politics-like corpus).
+//!
+//! Pages carry a topic (dmoz-style category). A fraction of each topic's
+//! pages is *listed* — the analogue of appearing in the dmoz directory.
+//! The paper's **TS subgraphs** are built exactly as §V-C describes:
+//! the listed category pages plus everything within three out-links.
+
+use approxrank_graph::{traversal::bfs_within_depth, DiGraph, NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::webgraph::PartitionedGraph;
+
+/// A web graph whose pages belong to named topics, with per-topic listed
+/// (directory-member) pages.
+#[derive(Clone, Debug)]
+pub struct TopicDataset {
+    partitioned: PartitionedGraph,
+    topic_names: Vec<String>,
+    listed: Vec<Vec<NodeId>>,
+}
+
+impl TopicDataset {
+    /// Wraps a partitioned graph, sampling `listed_frac` of each topic's
+    /// pages as directory-listed (deterministic under `seed`).
+    ///
+    /// # Panics
+    /// Panics if names and parts disagree or `listed_frac` ∉ (0, 1].
+    pub fn new(
+        partitioned: PartitionedGraph,
+        topic_names: Vec<String>,
+        listed_frac: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            partitioned.part_ranges.len(),
+            topic_names.len(),
+            "one name per topic"
+        );
+        assert!(
+            listed_frac > 0.0 && listed_frac <= 1.0,
+            "listed_frac must be in (0,1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let listed = partitioned
+            .part_ranges
+            .iter()
+            .map(|range| {
+                let members: Vec<NodeId> = range.clone().collect();
+                let want = ((members.len() as f64 * listed_frac).ceil() as usize).max(1);
+                // Partial Fisher–Yates: uniformly sample `want` members.
+                let mut pool = members;
+                for i in 0..want.min(pool.len()) {
+                    let j = rng.random_range(i..pool.len());
+                    pool.swap(i, j);
+                }
+                pool.truncate(want);
+                pool.sort_unstable();
+                pool
+            })
+            .collect();
+        TopicDataset {
+            partitioned,
+            topic_names,
+            listed,
+        }
+    }
+
+    /// The global graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.partitioned.graph
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.topic_names.len()
+    }
+
+    /// Name of topic `t`.
+    pub fn topic_name(&self, t: usize) -> &str {
+        &self.topic_names[t]
+    }
+
+    /// Index of a topic by name.
+    pub fn topic_index(&self, name: &str) -> Option<usize> {
+        self.topic_names.iter().position(|n| n == name)
+    }
+
+    /// Topic id of a page.
+    pub fn topic_of(&self, page: NodeId) -> u32 {
+        self.partitioned.part_of[page as usize]
+    }
+
+    /// Number of pages with topic `t`.
+    pub fn topic_size(&self, t: usize) -> usize {
+        self.partitioned.part_ranges[t].len()
+    }
+
+    /// The directory-listed pages of topic `t`.
+    pub fn listed_pages(&self, t: usize) -> &[NodeId] {
+        &self.listed[t]
+    }
+
+    /// The **TS subgraph** for topic `t`: its listed pages plus every page
+    /// reachable within `depth` out-links (paper: depth 3).
+    pub fn ts_subgraph(&self, t: usize, depth: usize) -> NodeSet {
+        let order = bfs_within_depth(self.graph(), &self.listed[t], depth);
+        NodeSet::from_iter_order(self.graph().num_nodes(), order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::webgraph::{generate_partitioned_graph, PartitionedGraphConfig};
+
+    fn dataset() -> TopicDataset {
+        let pg = generate_partitioned_graph(&PartitionedGraphConfig {
+            part_sizes: vec![400, 400, 200],
+            intra_part_prob: 0.95,
+            seed: 5,
+            ..PartitionedGraphConfig::default()
+        });
+        TopicDataset::new(
+            pg,
+            vec!["alpha".into(), "beta".into(), "gamma".into()],
+            0.05,
+            99,
+        )
+    }
+
+    #[test]
+    fn listed_pages_belong_to_topic() {
+        let d = dataset();
+        for t in 0..d.num_topics() {
+            assert!(!d.listed_pages(t).is_empty());
+            for &p in d.listed_pages(t) {
+                assert_eq!(d.topic_of(p) as usize, t);
+            }
+        }
+        // ~5% of 400.
+        assert!((15..=25).contains(&d.listed_pages(0).len()));
+    }
+
+    #[test]
+    fn listed_sampling_deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.listed_pages(1), b.listed_pages(1));
+    }
+
+    #[test]
+    fn ts_subgraph_contains_listed_and_grows_with_depth() {
+        let d = dataset();
+        let s0 = d.ts_subgraph(0, 0);
+        assert_eq!(s0.len(), d.listed_pages(0).len());
+        let s3 = d.ts_subgraph(0, 3);
+        assert!(s3.len() > s0.len());
+        for &p in d.listed_pages(0) {
+            assert!(s3.contains(p));
+        }
+    }
+
+    #[test]
+    fn ts_subgraph_mostly_on_topic() {
+        let d = dataset();
+        let s = d.ts_subgraph(0, 3);
+        let on_topic = s
+            .members()
+            .iter()
+            .filter(|&&p| d.topic_of(p) == 0)
+            .count();
+        // Homophilous links keep the crawl mostly inside the category.
+        assert!(
+            on_topic as f64 / s.len() as f64 > 0.5,
+            "{on_topic}/{}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn topic_lookup() {
+        let d = dataset();
+        assert_eq!(d.topic_index("beta"), Some(1));
+        assert_eq!(d.topic_size(2), 200);
+        assert_eq!(d.topic_name(0), "alpha");
+    }
+}

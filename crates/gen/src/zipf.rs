@@ -1,0 +1,141 @@
+//! Power-law samplers.
+//!
+//! Web-graph structure is power-law everywhere it matters for this
+//! reproduction: domain sizes (the paper's AU domains span 0.35 %–10.42 %
+//! of the graph), topic sizes, and out-degrees. This module provides the
+//! small deterministic samplers the generators share.
+
+use rand::{Rng, RngExt};
+
+/// Splits `total` into `parts` sizes following a Zipf law with the given
+/// exponent: part `i` (1-based) gets a share proportional to `1/i^exp`.
+/// Every part receives at least `min_size` (taken off the top before the
+/// proportional split). The sizes sum to exactly `total`.
+///
+/// # Panics
+/// Panics if `parts == 0` or `total < parts * min_size`.
+pub fn zipf_partition(total: usize, parts: usize, exponent: f64, min_size: usize) -> Vec<usize> {
+    assert!(parts > 0, "need at least one part");
+    assert!(
+        total >= parts * min_size,
+        "total {total} too small for {parts} parts of at least {min_size}"
+    );
+    let budget = total - parts * min_size;
+    let weights: Vec<f64> = (1..=parts).map(|i| (i as f64).powf(-exponent)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| min_size + (budget as f64 * w / wsum).floor() as usize)
+        .collect();
+    // Distribute the rounding remainder to the largest parts first.
+    let mut assigned: usize = sizes.iter().sum();
+    let mut i = 0;
+    while assigned < total {
+        sizes[i % parts] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    sizes
+}
+
+/// Samples an integer from a bounded discrete power law on
+/// `[min, max]` with tail exponent `alpha > 1`, via inverse-transform
+/// sampling of the continuous Pareto and rounding down.
+pub fn sample_powerlaw<R: Rng>(rng: &mut R, min: usize, max: usize, alpha: f64) -> usize {
+    assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    let (a, b) = (min as f64, max as f64 + 1.0);
+    let u: f64 = rng.random();
+    let one_minus = 1.0 - alpha;
+    // Inverse CDF of the truncated Pareto density x^-alpha on [a, b).
+    let x = (a.powf(one_minus) + u * (b.powf(one_minus) - a.powf(one_minus))).powf(1.0 / one_minus);
+    (x.floor() as usize).clamp(min, max)
+}
+
+/// Weighted index sampling: returns `i` with probability
+/// `weights[i] / Σ weights`. Linear scan — used only for small weight
+/// vectors (domain/topic choices).
+pub fn sample_weighted<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partition_sums_to_total() {
+        let sizes = zipf_partition(1_000, 7, 1.1, 10);
+        assert_eq!(sizes.iter().sum::<usize>(), 1_000);
+        assert!(sizes.iter().all(|&s| s >= 10));
+    }
+
+    #[test]
+    fn partition_is_descending() {
+        let sizes = zipf_partition(10_000, 10, 1.2, 5);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "{sizes:?}");
+        }
+        // Head part should dominate the tail noticeably.
+        assert!(sizes[0] > 3 * sizes[9]);
+    }
+
+    #[test]
+    fn partition_single_part() {
+        assert_eq!(zipf_partition(42, 1, 1.0, 1), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn partition_infeasible() {
+        zipf_partition(5, 3, 1.0, 10);
+    }
+
+    #[test]
+    fn powerlaw_within_bounds_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 2];
+        for _ in 0..2_000 {
+            let v = sample_powerlaw(&mut rng, 1, 50, 2.2);
+            assert!((1..=50).contains(&v));
+            counts[usize::from(v > 5)] += 1;
+        }
+        // A tail exponent of 2.2 concentrates most mass at small values.
+        assert!(counts[0] > counts[1] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = [1.0, 0.0, 9.0];
+        let mut hits = [0usize; 3];
+        for _ in 0..5_000 {
+            hits[sample_weighted(&mut rng, &w)] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        assert!(hits[2] > hits[0] * 5, "{hits:?}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| sample_powerlaw(&mut rng, 1, 100, 2.0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}

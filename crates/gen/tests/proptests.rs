@@ -1,0 +1,102 @@
+//! Property-based tests for the dataset generators.
+
+use approxrank_gen::webgraph::{generate_partitioned_graph, PartitionedGraphConfig};
+use approxrank_gen::zipf::{sample_powerlaw, sample_weighted, zipf_partition};
+use approxrank_gen::BfsCrawler;
+use approxrank_graph::stats::intra_part_fraction;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zipf_partition_invariants(
+        total in 100usize..20_000,
+        parts in 1usize..30,
+        exponent in 0.3f64..2.0,
+    ) {
+        prop_assume!(total >= parts * 5);
+        let sizes = zipf_partition(total, parts, exponent, 5);
+        prop_assert_eq!(sizes.len(), parts);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+        prop_assert!(sizes.iter().all(|&s| s >= 5));
+        // Descending (Zipf head first).
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn powerlaw_sampler_in_bounds(
+        seed in any::<u64>(),
+        min in 1usize..10,
+        span in 1usize..200,
+        alpha in 1.1f64..4.0,
+    ) {
+        let max = min + span;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = sample_powerlaw(&mut rng, min, max, alpha);
+            prop_assert!((min..=max).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_sampler_never_picks_zero_weight(
+        seed in any::<u64>(),
+        idx in 0usize..4,
+    ) {
+        let mut w = [1.0f64, 1.0, 1.0, 1.0];
+        w[idx] = 0.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert_ne!(sample_weighted(&mut rng, &w), idx);
+        }
+    }
+
+    #[test]
+    fn generated_graph_respects_config(
+        seed in any::<u64>(),
+        part_a in 50usize..300,
+        part_b in 50usize..300,
+        intra in 0.5f64..0.95,
+    ) {
+        let cfg = PartitionedGraphConfig {
+            part_sizes: vec![part_a, part_b],
+            intra_part_prob: intra,
+            seed,
+            ..PartitionedGraphConfig::default()
+        };
+        let g = generate_partitioned_graph(&cfg);
+        prop_assert_eq!(g.num_nodes(), part_a + part_b);
+        // Edges exist and locality is within a generous band of the knob.
+        prop_assert!(g.graph.num_edges() > 0);
+        let frac = intra_part_fraction(&g.graph, &g.part_of);
+        prop_assert!(frac > intra - 0.25, "intra fraction {frac} vs knob {intra}");
+        // Determinism.
+        let g2 = generate_partitioned_graph(&cfg);
+        prop_assert_eq!(g.graph, g2.graph);
+    }
+
+    #[test]
+    fn bfs_crawl_fraction_is_monotone(
+        seed in any::<u64>(),
+        size in 200usize..800,
+    ) {
+        let cfg = PartitionedGraphConfig {
+            part_sizes: vec![size],
+            dangling_frac: 0.0,
+            seed,
+            ..PartitionedGraphConfig::default()
+        };
+        let g = generate_partitioned_graph(&cfg);
+        let crawler = BfsCrawler::new(0);
+        let small = crawler.crawl_fraction(&g.graph, 0.1);
+        let large = crawler.crawl_fraction(&g.graph, 0.3);
+        prop_assert!(small.len() <= large.len());
+        // The smaller crawl is a prefix of the larger (BFS determinism).
+        for &m in small.members() {
+            prop_assert!(large.contains(m));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Incremental edge-list builder.
+
+use crate::{DiGraph, NodeId};
+
+/// Accumulates edges (in any order, with duplicates) and finalizes into a
+/// [`DiGraph`]. The generators in `approxrank-gen` produce edges
+/// incrementally as pages are "crawled", so this is their natural sink.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder with no nodes and no edges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder pre-sized for `num_nodes` nodes and reserving edge space.
+    pub fn with_capacity(num_nodes: usize, edge_hint: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(edge_hint),
+        }
+    }
+
+    /// Allocates a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.num_nodes as NodeId;
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Ensures at least `n` nodes exist.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Records a directed edge. Endpoints beyond the current node count
+    /// implicitly grow the graph (mirrors edge-list file semantics).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        self.num_nodes = self.num_nodes.max(from as usize + 1).max(to as usize + 1);
+        self.edges.push((from, to));
+    }
+
+    /// Current node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Current (pre-dedup) edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a [`DiGraph`], deduplicating edges.
+    pub fn build(self) -> DiGraph {
+        DiGraph::from_edges(self.num_nodes, &self.edges)
+    }
+
+    /// Borrows the raw edge list (useful for tests).
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_build() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let c = b.add_node();
+        b.add_edge(a, c);
+        b.add_edge(c, a);
+        b.add_edge(a, c); // duplicate
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edges_grow_node_count() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 9);
+        assert_eq!(b.num_nodes(), 10);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(g.is_dangling(5));
+    }
+
+    #[test]
+    fn ensure_nodes_creates_isolated() {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.out_degree(3), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Compressed sparse row adjacency storage.
+//!
+//! A [`Csr`] stores, for each node `u`, a contiguous sorted slice of the
+//! targets of `u`'s edges. Offsets are `usize` so edge counts are bounded
+//! only by memory; targets are [`NodeId`] (`u32`).
+
+use crate::NodeId;
+
+/// A compressed-sparse-row adjacency structure over `num_nodes` nodes.
+///
+/// Invariants (enforced by constructors, relied upon everywhere):
+/// * `offsets.len() == num_nodes + 1`, `offsets[0] == 0`, non-decreasing;
+/// * `targets.len() == offsets[num_nodes]`;
+/// * within each row, targets are sorted ascending and deduplicated;
+/// * every target is `< num_nodes`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from per-source edge lists.
+    ///
+    /// `edges` is iterated once; pairs may arrive in any order and may
+    /// contain duplicates (deduplicated). Self-loops are kept: the web
+    /// graph model permits them and PageRank handles them naturally.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut counts = vec![0usize; num_nodes + 1];
+        for &(s, t) in edges {
+            assert!(
+                (s as usize) < num_nodes && (t as usize) < num_nodes,
+                "edge ({s},{t}) out of bounds for {num_nodes} nodes"
+            );
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..=num_nodes {
+            counts[i] += counts[i - 1];
+        }
+        let mut targets = vec![0 as NodeId; edges.len()];
+        let mut cursor = counts.clone();
+        for &(s, t) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c] = t;
+            *c += 1;
+        }
+        // Sort and dedup each row in place, then compact.
+        let mut write = 0usize;
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for u in 0..num_nodes {
+            let (lo, hi) = (counts[u], counts[u + 1]);
+            let row = &mut targets[lo..hi];
+            row.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            let row_start = write;
+            for i in lo..hi {
+                let t = targets[i];
+                if prev != Some(t) {
+                    targets[write] = t;
+                    write += 1;
+                    prev = Some(t);
+                }
+            }
+            offsets[u] = row_start;
+        }
+        offsets[num_nodes] = write;
+        // offsets currently holds row starts; fix them to be cumulative
+        // (they already are, since rows were written consecutively).
+        targets.truncate(write);
+        targets.shrink_to_fit();
+        Csr { offsets, targets }
+    }
+
+    /// Constructs a CSR from raw parts, validating all invariants.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Result<Self, String> {
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err("offsets must start with 0".into());
+        }
+        let n = offsets.len() - 1;
+        if *offsets.last().unwrap() != targets.len() {
+            return Err("last offset must equal targets.len()".into());
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        for u in 0..n {
+            let row = &targets[offsets[u]..offsets[u + 1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("row {u} not strictly sorted"));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= n {
+                    return Err(format!("row {u} has out-of-range target {last}"));
+                }
+            }
+        }
+        Ok(Csr { offsets, targets })
+    }
+
+    /// An empty graph over `num_nodes` isolated nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        Csr {
+            offsets: vec![0; num_nodes + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (deduplicated) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted targets of node `u`'s edges.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Out-degree of `u` in this CSR.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// `true` when `u` has an edge to `v` (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all edges as `(source, target)` pairs in row order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Builds the transposed CSR (in-edges become out-edges).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut counts = vec![0usize; n + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let mut targets = vec![0 as NodeId; self.targets.len()];
+        let mut cursor = counts.clone();
+        // Row order iteration yields sources ascending per target row,
+        // so the transposed rows come out sorted without an extra sort.
+        for (s, t) in self.edges() {
+            let c = &mut cursor[t as usize];
+            targets[*c] = s;
+            *c += 1;
+        }
+        Csr {
+            offsets: counts,
+            targets,
+        }
+    }
+
+    /// Access to the raw offsets array (for serialization).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Access to the raw targets array (for serialization).
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> 1,2 ; 1 -> 2 ; 2 -> 0 ; 3 isolated
+        Csr::from_edges(4, &[(0, 2), (0, 1), (1, 2), (2, 0), (0, 1)])
+    }
+
+    #[test]
+    fn from_edges_sorts_and_dedups() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.neighbors(3), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn degree_and_has_edge() {
+        let g = sample();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn edges_iterator_row_order() {
+        let g = sample();
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            vec![(0, 1), (0, 2), (1, 2), (2, 0)]
+        );
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let g = sample();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn self_loops_kept() {
+        let g = Csr::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_edge_panics() {
+        Csr::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(Csr::from_parts(vec![0, 1], vec![0]).is_ok());
+        assert!(Csr::from_parts(vec![1, 1], vec![0]).is_err());
+        assert!(Csr::from_parts(vec![0, 2], vec![0]).is_err());
+        assert!(Csr::from_parts(vec![0, 2], vec![1, 0]).is_err(), "unsorted row");
+        assert!(Csr::from_parts(vec![0, 1], vec![5]).is_err(), "target range");
+    }
+}

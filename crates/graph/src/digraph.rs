@@ -1,0 +1,143 @@
+//! The directed graph type every ranking algorithm consumes.
+
+use crate::{Csr, NodeId};
+
+/// A directed graph with both out-edge and in-edge CSR views.
+///
+/// The forward view answers "where does `u` link to" (needed by push-style
+/// PageRank and crawlers); the reverse view answers "who links to `v`"
+/// (needed by pull-style PageRank and by the Λ-row aggregation in
+/// IdealRank/ApproxRank, which must sum incoming boundary flow).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiGraph {
+    out: Csr,
+    #[allow(clippy::struct_field_names)]
+    in_: Csr,
+}
+
+impl DiGraph {
+    /// Builds the graph from an edge list; duplicates are removed.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let out = Csr::from_edges(num_nodes, edges);
+        let in_ = out.transpose();
+        DiGraph { out, in_ }
+    }
+
+    /// Wraps an already-built forward CSR.
+    pub fn from_csr(out: Csr) -> Self {
+        let in_ = out.transpose();
+        DiGraph { out, in_ }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out.num_nodes()
+    }
+
+    /// Number of distinct directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Sorted out-neighbors of `u`.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.out.neighbors(u)
+    }
+
+    /// Sorted in-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.in_.neighbors(v)
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out.degree(u)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_.degree(v)
+    }
+
+    /// `true` when `u` has no out-links (a *dangling* page).
+    #[inline]
+    pub fn is_dangling(&self, u: NodeId) -> bool {
+        self.out.degree(u) == 0
+    }
+
+    /// Indices of all dangling pages.
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId)
+            .filter(|&u| self.is_dangling(u))
+            .collect()
+    }
+
+    /// Edge membership test.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out.has_edge(u, v)
+    }
+
+    /// Iterates all edges in `(source, target)` row order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out.edges()
+    }
+
+    /// The forward CSR.
+    pub fn forward(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The reverse CSR.
+    pub fn reverse(&self) -> &Csr {
+        &self.in_
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 ; 3 dangling
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn forward_and_reverse_views_agree() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let g = diamond();
+        assert!(g.is_dangling(3));
+        assert!(!g.is_dangling(0));
+        assert_eq!(g.dangling_nodes(), vec![3]);
+    }
+
+    #[test]
+    fn edge_count_consistent_across_views() {
+        let g = diamond();
+        let fwd: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let rev: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, g.num_edges());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph parsing and validation.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An I/O failure while reading or writing a graph file.
+    Io(std::io::Error),
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what failed to parse.
+        message: String,
+    },
+    /// A structural invariant was violated (bad header, corrupt payload).
+    InvalidFormat(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "graph I/O error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::InvalidFormat(m) => write!(f, "invalid graph format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::InvalidFormat("magic".into());
+        assert!(e.to_string().contains("magic"));
+        let e: GraphError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Sparse directed-graph substrate for the ApproxRank reproduction.
+//!
+//! This crate provides the storage layer every other crate builds on:
+//!
+//! * [`Csr`] — a compact compressed-sparse-row adjacency structure.
+//! * [`DiGraph`] — a directed graph with both forward (out-edge) and
+//!   reverse (in-edge) CSR views, the shape all ranking algorithms consume.
+//! * [`GraphBuilder`] — an incremental, deduplicating edge-list builder.
+//! * [`NodeSet`] / [`Subgraph`] — subgraph selection with local↔global id
+//!   maps and boundary (cross-edge) extraction, the raw material for the
+//!   extended local graph of the paper.
+//! * [`traversal`] — BFS/DFS iterators and connected components.
+//! * [`io`] — plain edge-list and binary persistence.
+//! * [`stats`] — degree distributions and link-locality summaries.
+//!
+//! Node identifiers are `u32` ([`NodeId`]); a graph can therefore hold up to
+//! ~4.2 billion nodes, far beyond anything the experiment harness builds.
+
+pub mod bitset;
+pub mod builder;
+pub mod csr;
+pub mod digraph;
+pub mod error;
+pub mod io;
+pub mod scc;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use digraph::DiGraph;
+pub use error::GraphError;
+pub use scc::{strongly_connected_components, SccResult};
+pub use stats::GraphStats;
+pub use subgraph::{BoundaryEdges, NodeSet, Subgraph};
+
+/// Identifier of a node within a graph: a dense index in `0..num_nodes`.
+pub type NodeId = u32;

@@ -1,0 +1,167 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! PageRank's convergence argument (paper §II-A) requires the damped
+//! chain to be irreducible and aperiodic; damping guarantees it, but the
+//! *undamped* structure of crawled subgraphs is interesting in its own
+//! right — the classic bow-tie analysis — and the dataset generators use
+//! SCC statistics as a realism check.
+
+use crate::{DiGraph, NodeId};
+
+/// Assigns each node a strongly-connected-component id in `0..count`.
+///
+/// Component ids are in reverse topological order of the condensation
+/// (an edge between components always goes from a higher id to a lower
+/// id) — a property of Tarjan's algorithm that tests rely on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SccResult {
+    /// Component id per node.
+    pub component_of: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccResult {
+    /// Sizes of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component_of {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Iterative Tarjan SCC (explicit stack; safe for deep graphs where the
+/// recursive version would overflow).
+pub fn strongly_connected_components(graph: &DiGraph) -> SccResult {
+    let n = graph.num_nodes();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component_of = vec![UNSET; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Explicit DFS frames: (node, next neighbor offset).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut ni)) = frames.last_mut() {
+            let neighbors = graph.out_neighbors(v);
+            if *ni < neighbors.len() {
+                let w = neighbors[*ni];
+                *ni += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of a component.
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w as usize] = false;
+                        component_of[w as usize] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccResult {
+        component_of,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_one_component() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 1);
+        assert_eq!(r.largest(), 4);
+    }
+
+    #[test]
+    fn dag_every_node_own_component() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 4);
+        assert_eq!(r.largest(), 1);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // Cycle {0,1}, cycle {2,3}, bridge 1 -> 2.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.component_of[0], r.component_of[1]);
+        assert_eq!(r.component_of[2], r.component_of[3]);
+        assert_ne!(r.component_of[0], r.component_of[2]);
+        // Reverse topological: the edge 1→2 goes from the higher id to
+        // the lower id.
+        assert!(r.component_of[1] > r.component_of[2]);
+    }
+
+    #[test]
+    fn self_loop_is_a_component() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 200k-node chain would blow a recursive Tarjan's call stack.
+        let n = 200_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, n as usize);
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.sizes().iter().sum::<usize>(), 6);
+        assert_eq!(r.largest(), 3);
+    }
+}

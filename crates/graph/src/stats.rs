@@ -1,0 +1,187 @@
+//! Descriptive graph statistics.
+//!
+//! Used by the experiment harness to print Table II-style dataset
+//! characteristics and to sanity-check the synthetic generators (average
+//! out-degree, dangling fraction, link locality).
+
+use crate::{DiGraph, NodeSet};
+
+/// Summary statistics of a directed graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of distinct edges.
+    pub num_edges: usize,
+    /// Mean out-degree (= mean in-degree).
+    pub avg_out_degree: f64,
+    /// Largest out-degree.
+    pub max_out_degree: usize,
+    /// Largest in-degree.
+    pub max_in_degree: usize,
+    /// Number of pages with no out-links.
+    pub num_dangling: usize,
+    /// Number of pages with neither in- nor out-links.
+    pub num_isolated: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics in one pass over the degree arrays.
+    pub fn compute(graph: &DiGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        let mut dangling = 0usize;
+        let mut isolated = 0usize;
+        for u in graph.nodes() {
+            let od = graph.out_degree(u);
+            let id = graph.in_degree(u);
+            max_out = max_out.max(od);
+            max_in = max_in.max(id);
+            if od == 0 {
+                dangling += 1;
+                if id == 0 {
+                    isolated += 1;
+                }
+            }
+        }
+        GraphStats {
+            num_nodes: n,
+            num_edges: graph.num_edges(),
+            avg_out_degree: if n == 0 {
+                0.0
+            } else {
+                graph.num_edges() as f64 / n as f64
+            },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            num_dangling: dangling,
+            num_isolated: isolated,
+        }
+    }
+
+    /// Fraction of pages that are dangling.
+    pub fn dangling_fraction(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_dangling as f64 / self.num_nodes as f64
+        }
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_histogram(graph: &DiGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in graph.nodes() {
+        let d = graph.out_degree(u);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Link-locality of a node partition: fraction of edges whose endpoints
+/// share a part. `part[u]` assigns each node a part id.
+pub fn intra_part_fraction(graph: &DiGraph, part: &[u32]) -> f64 {
+    assert_eq!(part.len(), graph.num_nodes());
+    if graph.num_edges() == 0 {
+        return 0.0;
+    }
+    let intra = graph
+        .edges()
+        .filter(|&(s, t)| part[s as usize] == part[t as usize])
+        .count();
+    intra as f64 / graph.num_edges() as f64
+}
+
+/// Counts the edges crossing into / out of / inside a node set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CutStats {
+    /// Edges with both endpoints in the set.
+    pub internal: usize,
+    /// Edges leaving the set (local source, external target).
+    pub outgoing: usize,
+    /// Edges entering the set (external source, local target).
+    pub incoming: usize,
+    /// Edges with both endpoints outside the set.
+    pub external: usize,
+}
+
+/// One pass over the edges, classifying each against the node set.
+pub fn cut_stats(graph: &DiGraph, set: &NodeSet) -> CutStats {
+    let mut c = CutStats::default();
+    for (s, t) in graph.edges() {
+        match (set.contains(s), set.contains(t)) {
+            (true, true) => c.internal += 1,
+            (true, false) => c.outgoing += 1,
+            (false, true) => c.incoming += 1,
+            (false, false) => c.external += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    fn sample() -> DiGraph {
+        // 0->1, 0->2, 1->2; 3 dangling with in-edge; 4 isolated
+        DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(s.num_nodes, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.num_dangling, 2); // nodes 3 and 4
+        assert_eq!(s.num_isolated, 1); // node 4
+        assert!((s.avg_out_degree - 0.8).abs() < 1e-12);
+        assert!((s.dangling_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram() {
+        let h = out_degree_histogram(&sample());
+        assert_eq!(h, vec![2, 2, 1]); // two deg-0, two deg-1, one deg-2
+    }
+
+    #[test]
+    fn locality() {
+        let g = sample();
+        // parts: {0,1,2} and {3,4}; edge 2->3 crosses.
+        let part = vec![0, 0, 0, 1, 1];
+        assert!((intra_part_fraction(&g, &part) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_classification() {
+        let g = sample();
+        let set = NodeSet::from_sorted(5, [0, 1]);
+        let c = cut_stats(&g, &set);
+        assert_eq!(
+            c,
+            CutStats {
+                internal: 1,  // 0->1
+                outgoing: 2,  // 0->2, 1->2
+                incoming: 0,
+                external: 1, // 2->3
+            }
+        );
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = DiGraph::from_edges(0, &[]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Graph traversals: BFS, DFS, reachability, weakly connected components.
+//!
+//! The BFS here is the generic building block; the *crawler* semantics
+//! (fraction targets, frontier policies) live in `approxrank-gen`.
+
+use std::collections::VecDeque;
+
+use crate::{BitSet, DiGraph, NodeId};
+
+/// Breadth-first order from `start` following out-edges.
+///
+/// Returns visited nodes in discovery order (including `start`).
+pub fn bfs_order(graph: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    bfs_limit(graph, start, usize::MAX)
+}
+
+/// BFS from `start`, stopping once `limit` nodes have been discovered.
+pub fn bfs_limit(graph: &DiGraph, start: NodeId, limit: usize) -> Vec<NodeId> {
+    let mut visited = BitSet::new(graph.num_nodes());
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    if limit == 0 {
+        return order;
+    }
+    visited.insert(start as usize);
+    order.push(start);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.out_neighbors(u) {
+            if order.len() >= limit {
+                return order;
+            }
+            if visited.insert(v as usize) {
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// BFS discovery order limited to `max_depth` hops from `start`
+/// (depth 0 = just the start page). Used to build the paper's TS
+/// subgraphs ("crawling to all pages within three links").
+pub fn bfs_within_depth(graph: &DiGraph, starts: &[NodeId], max_depth: usize) -> Vec<NodeId> {
+    let mut visited = BitSet::new(graph.num_nodes());
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in starts {
+        if visited.insert(s as usize) {
+            order.push(s);
+            queue.push_back((s, 0usize));
+        }
+    }
+    while let Some((u, d)) = queue.pop_front() {
+        if d == max_depth {
+            continue;
+        }
+        for &v in graph.out_neighbors(u) {
+            if visited.insert(v as usize) {
+                order.push(v);
+                queue.push_back((v, d + 1));
+            }
+        }
+    }
+    order
+}
+
+/// Iterative depth-first preorder from `start` following out-edges.
+pub fn dfs_order(graph: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    let mut visited = BitSet::new(graph.num_nodes());
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if !visited.insert(u as usize) {
+            continue;
+        }
+        order.push(u);
+        // Push in reverse so neighbors are visited in ascending order.
+        for &v in graph.out_neighbors(u).iter().rev() {
+            if !visited.contains(v as usize) {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Weakly connected components: component id per node, ignoring direction.
+pub fn weakly_connected_components(graph: &DiGraph) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s as NodeId);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph
+                .out_neighbors(u)
+                .iter()
+                .chain(graph.in_neighbors(u).iter())
+            {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of weakly connected components.
+pub fn num_weak_components(graph: &DiGraph) -> usize {
+    weakly_connected_components(graph)
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_branch() -> DiGraph {
+        // 0 -> 1 -> 2 -> 3, 1 -> 4, 5 isolated
+        DiGraph::from_edges(6, &[(0, 1), (1, 2), (1, 4), (2, 3)])
+    }
+
+    #[test]
+    fn bfs_discovery_order() {
+        let g = chain_with_branch();
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 4, 3]);
+    }
+
+    #[test]
+    fn bfs_limit_truncates() {
+        let g = chain_with_branch();
+        assert_eq!(bfs_limit(&g, 0, 3), vec![0, 1, 2]);
+        assert_eq!(bfs_limit(&g, 0, 0), Vec::<NodeId>::new());
+        assert_eq!(bfs_limit(&g, 5, 10), vec![5]);
+    }
+
+    #[test]
+    fn bfs_depth_bounded() {
+        let g = chain_with_branch();
+        assert_eq!(bfs_within_depth(&g, &[0], 0), vec![0]);
+        assert_eq!(bfs_within_depth(&g, &[0], 1), vec![0, 1]);
+        assert_eq!(bfs_within_depth(&g, &[0], 2), vec![0, 1, 2, 4]);
+        // Multiple seeds.
+        assert_eq!(bfs_within_depth(&g, &[2, 5], 1), vec![2, 5, 3]);
+    }
+
+    #[test]
+    fn dfs_preorder() {
+        let g = chain_with_branch();
+        assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weak_components() {
+        let g = chain_with_branch();
+        let comp = weakly_connected_components(&g);
+        assert_eq!(comp[0], comp[4]);
+        assert_ne!(comp[0], comp[5]);
+        assert_eq!(num_weak_components(&g), 2);
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let g = DiGraph::from_edges(3, &[(1, 0), (1, 2)]);
+        assert_eq!(num_weak_components(&g), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Spearman's footrule distance for partial rankings with ties.
+//!
+//! The paper's primary ordering-accuracy metric (§V-B):
+//!
+//! ```text
+//! F(σ₁, σ₂) = Σᵢ |σ₁(i) − σ₂(i)|  /  ⌊n²/2⌋
+//! ```
+//!
+//! where positions use the tied-bucket convention of
+//! [`crate::PartialRanking`]. The denominator `⌊n²/2⌋` is the maximum
+//! possible displacement sum, so the distance lies in `[0, 1]`.
+
+use crate::PartialRanking;
+
+/// Normalized Spearman footrule between two partial rankings of the same
+/// item universe.
+///
+/// # Panics
+/// Panics if the rankings cover different numbers of items.
+pub fn spearman_footrule(a: &PartialRanking, b: &PartialRanking) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "footrule compares rankings over the same items"
+    );
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let total: f64 = a
+        .positions()
+        .iter()
+        .zip(b.positions())
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    total / ((n * n / 2) as f64)
+}
+
+/// Convenience: footrule between two *score vectors* (buckets formed by
+/// exact score equality, as in the paper's evaluation).
+///
+/// ```
+/// use approxrank_metrics::footrule::footrule_from_scores;
+///
+/// let truth    = [0.4, 0.3, 0.2, 0.1];
+/// let estimate = [0.4, 0.3, 0.2, 0.1];
+/// assert_eq!(footrule_from_scores(&truth, &estimate), 0.0);
+///
+/// // Swapping the top two ranks displaces each by 1: 2 / ⌊16/2⌋ = 0.25.
+/// let swapped = [0.3, 0.4, 0.2, 0.1];
+/// assert!((footrule_from_scores(&truth, &swapped) - 0.25).abs() < 1e-12);
+/// ```
+pub fn footrule_from_scores(a: &[f64], b: &[f64]) -> f64 {
+    spearman_footrule(
+        &PartialRanking::from_scores(a),
+        &PartialRanking::from_scores(b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_zero() {
+        let a = PartialRanking::from_scores(&[0.4, 0.1, 0.3, 0.2]);
+        assert_eq!(spearman_footrule(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn reversed_rankings_near_one() {
+        let n = 10;
+        let asc: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let desc: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let f = footrule_from_scores(&asc, &desc);
+        // Reversal displacement sum = 2·⌊n²/4⌋ = n²/2 for even n → exactly 1.
+        assert!((f - 1.0).abs() < 1e-12, "{f}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = PartialRanking::from_scores(&[0.5, 0.2, 0.3]);
+        let b = PartialRanking::from_scores(&[0.1, 0.6, 0.3]);
+        assert_eq!(spearman_footrule(&a, &b), spearman_footrule(&b, &a));
+    }
+
+    #[test]
+    fn bounded_unit_interval() {
+        let a = PartialRanking::from_scores(&[0.9, 0.8, 0.1, 0.2, 0.5]);
+        let b = PartialRanking::from_scores(&[0.2, 0.2, 0.2, 0.9, 0.1]);
+        let f = spearman_footrule(&a, &b);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn single_swap_hand_computed() {
+        // Rankings over 4 items differing by swapping ranks 1 and 2:
+        // displacement 1 + 1 = 2, denominator ⌊16/2⌋ = 8 → 0.25.
+        let a = PartialRanking::from_scores(&[0.9, 0.8, 0.2, 0.1]);
+        let b = PartialRanking::from_scores(&[0.8, 0.9, 0.2, 0.1]);
+        assert!((spearman_footrule(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_vs_strict_partial_credit() {
+        // a ranks {0,1} tied then 2; b ranks 0,1,2 strictly.
+        // a positions: 1.5, 1.5, 3 ; b positions: 1, 2, 3.
+        // displacement = 0.5 + 0.5 + 0 = 1; denom = ⌊9/2⌋ = 4 → 0.25.
+        let a = PartialRanking::from_scores(&[0.5, 0.5, 0.1]);
+        let b = PartialRanking::from_scores(&[0.6, 0.5, 0.1]);
+        assert!((spearman_footrule(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let a = PartialRanking::from_scores(&[0.5]);
+        assert_eq!(spearman_footrule(&a, &a), 0.0);
+        let e = PartialRanking::from_scores(&[]);
+        assert_eq!(spearman_footrule(&e, &e), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_universe_panics() {
+        let a = PartialRanking::from_scores(&[0.5]);
+        let b = PartialRanking::from_scores(&[0.5, 0.1]);
+        spearman_footrule(&a, &b);
+    }
+}

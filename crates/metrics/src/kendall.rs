@@ -1,0 +1,90 @@
+//! Kendall tau distance for partial rankings (extension metric).
+//!
+//! Counts item pairs ordered differently by the two rankings; pairs tied
+//! in one ranking but ordered in the other contribute a ½ penalty (the
+//! `K^(1/2)` variant of Fagin et al., PODS'04). Normalized by `n(n−1)/2`.
+//!
+//! The implementation is the O(n²) pair scan — fine for the subgraph sizes
+//! in the experiment harness's metric validation; the footrule (O(n log n))
+//! is the metric used in the hot path, as in the paper.
+
+use crate::PartialRanking;
+
+/// Normalized Kendall tau distance with ties, in `[0, 1]`.
+///
+/// # Panics
+/// Panics if the rankings cover different numbers of items.
+pub fn kendall_tau_distance(a: &PartialRanking, b: &PartialRanking) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall compares equal item universes");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut penalty = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a.position(i) - a.position(j);
+            let db = b.position(i) - b.position(j);
+            let oa = da.partial_cmp(&0.0).unwrap();
+            let ob = db.partial_cmp(&0.0).unwrap();
+            use std::cmp::Ordering::Equal;
+            if oa == ob {
+                continue;
+            }
+            penalty += if oa == Equal || ob == Equal { 0.5 } else { 1.0 };
+        }
+    }
+    penalty / (n * (n - 1) / 2) as f64
+}
+
+/// Convenience wrapper over raw score vectors.
+pub fn kendall_from_scores(a: &[f64], b: &[f64]) -> f64 {
+    kendall_tau_distance(
+        &PartialRanking::from_scores(a),
+        &PartialRanking::from_scores(b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_zero() {
+        let s = [0.3, 0.1, 0.9, 0.5];
+        assert_eq!(kendall_from_scores(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn full_reversal_is_one() {
+        let a = [4.0, 3.0, 2.0, 1.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(kendall_from_scores(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn single_adjacent_swap() {
+        // One discordant pair out of 6 → 1/6.
+        let a = [0.9, 0.8, 0.2, 0.1];
+        let b = [0.8, 0.9, 0.2, 0.1];
+        assert!((kendall_from_scores(&a, &b) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_versus_order_half_penalty() {
+        // a ties items 0,1; b orders them: penalty 0.5 of 1 pair → 0.5/1.
+        let a = [0.5, 0.5];
+        let b = [0.6, 0.4];
+        assert!((kendall_from_scores(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let a = [0.1, 0.5, 0.5, 0.9];
+        let b = [0.9, 0.2, 0.4, 0.1];
+        let d1 = kendall_from_scores(&a, &b);
+        let d2 = kendall_from_scores(&b, &a);
+        assert_eq!(d1, d2);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+}

@@ -1,0 +1,78 @@
+//! Score-vector distances.
+
+/// `‖a − b‖₁ = Σ |a[i] − b[i]|` — the paper's score-accuracy metric
+/// (§V-B), reported in Table III.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "L1 distance needs equal-length vectors");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Euclidean distance `‖a − b‖₂`.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "L2 distance needs equal-length vectors");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Chebyshev distance `‖a − b‖∞ = max |a[i] − b[i]|`.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "Linf distance needs equal-length vectors");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_basic() {
+        assert_eq!(l1_distance(&[1.0, 2.0], &[0.5, 3.0]), 1.5);
+        assert_eq!(l1_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let v = [0.1, 0.7, 0.2];
+        assert_eq!(l1_distance(&v, &v), 0.0);
+        assert_eq!(l2_distance(&v, &v), 0.0);
+        assert_eq!(linf_distance(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0.4, 0.6];
+        let b = [0.1, 0.9];
+        assert_eq!(l1_distance(&a, &b), l1_distance(&b, &a));
+        assert_eq!(l2_distance(&a, &b), l2_distance(&b, &a));
+        assert_eq!(linf_distance(&a, &b), linf_distance(&b, &a));
+    }
+
+    #[test]
+    fn norm_ordering() {
+        // ‖·‖∞ ≤ ‖·‖₂ ≤ ‖·‖₁ always.
+        let a = [0.3, 0.3, 0.4];
+        let b = [0.5, 0.2, 0.3];
+        let (l1, l2, li) = (
+            l1_distance(&a, &b),
+            l2_distance(&a, &b),
+            linf_distance(&a, &b),
+        );
+        assert!(li <= l2 + 1e-15);
+        assert!(l2 <= l1 + 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        l1_distance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Ranking-quality metrics used by the paper's evaluation.
+//!
+//! * [`l1`] — `L1`/`L2`/`L∞` distances between score vectors (paper §V-B:
+//!   the SC comparison metric).
+//! * [`ranking`] — converting a score vector into a *partial ranking*
+//!   (ranked buckets of tied pages).
+//! * [`footrule`] — Spearman's footrule for partial rankings with ties
+//!   (Fagin et al., PODS'04), the paper's primary accuracy metric.
+//! * [`kendall`] — Kendall tau distance with ties (extension).
+//! * [`topk`] — top-k overlap / precision (extension).
+//! * [`ndcg`] — normalized discounted cumulative gain (extension).
+
+pub mod footrule;
+pub mod kendall;
+pub mod l1;
+pub mod ndcg;
+pub mod ranking;
+pub mod topk;
+
+pub use footrule::spearman_footrule;
+pub use kendall::kendall_tau_distance;
+pub use l1::{l1_distance, l2_distance, linf_distance};
+pub use ndcg::ndcg_at_k;
+pub use ranking::PartialRanking;
+pub use topk::top_k_overlap;

@@ -1,0 +1,114 @@
+//! Normalized discounted cumulative gain (extension metric).
+//!
+//! The paper's Top-K argument (§V-C) is about *which* pages make the top
+//! of the list; NDCG additionally weights *where* they land — a standard
+//! IR metric for graded ranking quality. We use the true scores as
+//! graded relevance and the estimate's ordering as the ranking under
+//! test:
+//!
+//! ```text
+//! DCG@k  = Σ_{i=1..k} rel(page at estimated rank i) / log₂(i + 1)
+//! NDCG@k = DCG@k / IDCG@k            (IDCG = DCG of the true ordering)
+//! ```
+
+/// NDCG@k of `estimate`'s ordering against `truth`'s graded relevance.
+///
+/// Both vectors are indexed by item; relevance is the truth score itself
+/// (non-negative). Returns a value in `[0, 1]`; `1` iff the estimate's
+/// top-k ordering is relevance-optimal.
+///
+/// # Panics
+/// Panics on length mismatch, `k == 0`, NaN scores, or negative truth
+/// scores.
+pub fn ndcg_at_k(truth: &[f64], estimate: &[f64], k: usize) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "equal-length score vectors");
+    assert!(k > 0, "k must be positive");
+    assert!(
+        truth.iter().chain(estimate).all(|s| !s.is_nan()),
+        "scores must not be NaN"
+    );
+    assert!(
+        truth.iter().all(|&s| s >= 0.0),
+        "relevance grades must be non-negative"
+    );
+    let n = truth.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let k = k.min(n);
+    let order = |scores: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("checked NaN")
+                .then(a.cmp(&b))
+        });
+        idx
+    };
+    let dcg = |ranking: &[usize]| -> f64 {
+        ranking
+            .iter()
+            .take(k)
+            .enumerate()
+            .map(|(i, &item)| truth[item] / ((i + 2) as f64).log2())
+            .sum()
+    };
+    let ideal = dcg(&order(truth));
+    if ideal <= 0.0 {
+        return 1.0; // all-zero relevance: any ordering is "perfect"
+    }
+    dcg(&order(estimate)) / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ordering_scores_one() {
+        let truth = [0.5, 0.3, 0.2];
+        assert!((ndcg_at_k(&truth, &truth, 3) - 1.0).abs() < 1e-12);
+        // Any monotone transform of the truth also orders perfectly.
+        let est = [5.0, 3.0, 2.0];
+        assert!((ndcg_at_k(&truth, &est, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversal_scores_below_one() {
+        let truth = [0.5, 0.3, 0.2];
+        let est = [0.2, 0.3, 0.5];
+        let v = ndcg_at_k(&truth, &est, 3);
+        assert!(v < 1.0 && v > 0.0, "{v}");
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // truth relevance: item0 = 3, item1 = 1; estimate flips them.
+        // DCG(est order [1,0]) = 1/log2(2) + 3/log2(3) = 1 + 1.8928
+        // IDCG               = 3/log2(2) + 1/log2(3) = 3 + 0.6309
+        let truth = [3.0, 1.0];
+        let est = [0.1, 0.9];
+        let expected = (1.0 + 3.0 / 3f64.log2()) / (3.0 + 1.0 / 3f64.log2());
+        assert!((ndcg_at_k(&truth, &est, 2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_limits_the_window() {
+        // Only the top-1 position matters at k = 1.
+        let truth = [1.0, 0.9, 0.0];
+        let good_top = [1.0, 0.0, 0.5]; // top-1 correct, rest scrambled
+        assert!((ndcg_at_k(&truth, &good_top, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_relevance_is_trivially_perfect() {
+        assert_eq!(ndcg_at_k(&[0.0, 0.0], &[0.3, 0.7], 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_relevance() {
+        ndcg_at_k(&[-0.1, 0.5], &[0.1, 0.2], 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Partial rankings: ranked buckets of tied items.
+//!
+//! The paper (§V-B) notes that PageRank estimates contain substantial
+//! numbers of tied pages and adopts the bucket formulation of Fagin et al.
+//! (PODS'04): a ranking with ties is a sequence of buckets `B₁ … B_t`; the
+//! *bucket position* is
+//!
+//! ```text
+//! pos(B_i) = Σ_{j<i} |B_j| + (|B_i| + 1) / 2
+//! ```
+//!
+//! (the average position inside the bucket) and every item in `B_i` is
+//! assigned `σ(x) = pos(B_i)`.
+
+/// A ranking of items `0..len` with ties, stored as per-item positions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialRanking {
+    positions: Vec<f64>,
+    num_buckets: usize,
+}
+
+impl PartialRanking {
+    /// Ranks items by *descending* score; exactly equal scores share a
+    /// bucket.
+    pub fn from_scores(scores: &[f64]) -> Self {
+        Self::from_scores_with_tolerance(scores, 0.0)
+    }
+
+    /// Ranks items by descending score; scores within `tolerance` of the
+    /// current bucket's first member join that bucket. A small tolerance
+    /// (e.g. 1e-12) absorbs float jitter between algorithm variants.
+    ///
+    /// # Panics
+    /// Panics if any score is NaN or the tolerance is negative.
+    pub fn from_scores_with_tolerance(scores: &[f64], tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        assert!(
+            scores.iter().all(|s| !s.is_nan()),
+            "scores must not be NaN"
+        );
+        let n = scores.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        let mut positions = vec![0.0f64; n];
+        let mut num_buckets = 0;
+        let mut i = 0;
+        let mut consumed = 0usize; // items in earlier buckets
+        while i < n {
+            let head = scores[order[i]];
+            let mut j = i + 1;
+            while j < n && (head - scores[order[j]]).abs() <= tolerance {
+                j += 1;
+            }
+            let size = j - i;
+            let pos = consumed as f64 + (size as f64 + 1.0) / 2.0;
+            for &item in &order[i..j] {
+                positions[item] = pos;
+            }
+            num_buckets += 1;
+            consumed += size;
+            i = j;
+        }
+        PartialRanking {
+            positions,
+            num_buckets,
+        }
+    }
+
+    /// Number of ranked items.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when no items are ranked.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of distinct buckets (distinct score values).
+    pub fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+
+    /// Position `σ(item)` (1-based, fractional for tied buckets).
+    pub fn position(&self, item: usize) -> f64 {
+        self.positions[item]
+    }
+
+    /// All positions, indexed by item.
+    pub fn positions(&self) -> &[f64] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ties_positions_are_ranks() {
+        let r = PartialRanking::from_scores(&[0.1, 0.4, 0.2]);
+        // Descending: item1 (pos 1), item2 (pos 2), item0 (pos 3).
+        assert_eq!(r.position(1), 1.0);
+        assert_eq!(r.position(2), 2.0);
+        assert_eq!(r.position(0), 3.0);
+        assert_eq!(r.num_buckets(), 3);
+    }
+
+    #[test]
+    fn ties_share_average_position() {
+        // items 0,1 tie for first: pos = (2+1)/2 = 1.5; item 2 pos 3.
+        let r = PartialRanking::from_scores(&[0.5, 0.5, 0.1]);
+        assert_eq!(r.position(0), 1.5);
+        assert_eq!(r.position(1), 1.5);
+        assert_eq!(r.position(2), 3.0);
+        assert_eq!(r.num_buckets(), 2);
+    }
+
+    #[test]
+    fn all_tied_single_bucket() {
+        let r = PartialRanking::from_scores(&[0.2, 0.2, 0.2, 0.2]);
+        for i in 0..4 {
+            assert_eq!(r.position(i), 2.5);
+        }
+        assert_eq!(r.num_buckets(), 1);
+    }
+
+    #[test]
+    fn tolerance_merges_close_scores() {
+        let exact = PartialRanking::from_scores(&[0.5, 0.5 + 1e-13, 0.1]);
+        assert_eq!(exact.num_buckets(), 3);
+        let fuzzy = PartialRanking::from_scores_with_tolerance(&[0.5, 0.5 + 1e-13, 0.1], 1e-12);
+        assert_eq!(fuzzy.num_buckets(), 2);
+        assert_eq!(fuzzy.position(0), fuzzy.position(1));
+    }
+
+    #[test]
+    fn paper_bucket_position_formula() {
+        // Buckets: {a,b,c} then {d,e}. pos(B1) = 0 + (3+1)/2 = 2,
+        // pos(B2) = 3 + (2+1)/2 = 4.5 — matches the paper's definition.
+        let r = PartialRanking::from_scores(&[0.9, 0.9, 0.9, 0.3, 0.3]);
+        assert_eq!(r.position(0), 2.0);
+        assert_eq!(r.position(4), 4.5);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = PartialRanking::from_scores(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.num_buckets(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        PartialRanking::from_scores(&[0.1, f64::NAN]);
+    }
+}

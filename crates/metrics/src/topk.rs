@@ -1,0 +1,69 @@
+//! Top-k agreement metrics (extension).
+//!
+//! The paper argues (§V-C) that ordering accuracy matters most for Top-K
+//! query answering; these helpers quantify exactly that: how much of the
+//! true top-k a ranking estimate recovers.
+
+/// Fraction of the true top-`k` items (by `truth` scores, descending) that
+/// also appear in the estimated top-`k` (by `estimate` scores).
+///
+/// Ties at the k-th position are broken by ascending item id, matching
+/// [`crate::PartialRanking`]'s deterministic ordering.
+///
+/// # Panics
+/// Panics if the slices differ in length or `k == 0`.
+pub fn top_k_overlap(truth: &[f64], estimate: &[f64], k: usize) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "equal-length score vectors");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(truth.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let top = |scores: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores must not be NaN")
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    };
+    let t = top(truth);
+    let e = top(estimate);
+    let eset: std::collections::HashSet<usize> = e.into_iter().collect();
+    t.iter().filter(|i| eset.contains(i)).count() as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_overlap() {
+        let s = [0.4, 0.3, 0.2, 0.1];
+        assert_eq!(top_k_overlap(&s, &s, 2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_topk() {
+        let truth = [1.0, 0.9, 0.1, 0.2];
+        let est = [0.1, 0.2, 1.0, 0.9];
+        assert_eq!(top_k_overlap(&truth, &est, 2), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let truth = [1.0, 0.9, 0.5, 0.1];
+        let est = [1.0, 0.1, 0.9, 0.5];
+        // true top-2 = {0,1}; est top-2 = {0,2} → overlap 1/2.
+        assert_eq!(top_k_overlap(&truth, &est, 2), 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let s = [0.2, 0.1];
+        assert_eq!(top_k_overlap(&s, &s, 10), 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the ranking metrics.
+
+use approxrank_metrics::footrule::{footrule_from_scores, spearman_footrule};
+use approxrank_metrics::kendall::kendall_from_scores;
+use approxrank_metrics::{l1_distance, l2_distance, linf_distance, PartialRanking};
+use proptest::prelude::*;
+
+fn scores_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let v = proptest::collection::vec(0.0f64..1.0, n);
+        (v.clone(), v)
+    })
+}
+
+proptest! {
+    #[test]
+    fn distances_are_metrics((a, b) in scores_pair()) {
+        for d in [l1_distance, l2_distance, linf_distance] {
+            prop_assert!(d(&a, &b) >= 0.0);
+            prop_assert_eq!(d(&a, &b), d(&b, &a));
+            prop_assert!(d(&a, &a).abs() < 1e-15);
+        }
+        // Norm ordering: Linf <= L2 <= L1.
+        prop_assert!(linf_distance(&a, &b) <= l2_distance(&a, &b) + 1e-12);
+        prop_assert!(l2_distance(&a, &b) <= l1_distance(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn l1_triangle_inequality(
+        (a, b, c) in (2usize..60).prop_flat_map(|n| {
+            let v = proptest::collection::vec(0.0f64..1.0, n);
+            (v.clone(), v.clone(), v)
+        })
+    ) {
+        prop_assert!(l1_distance(&a, &b) <= l1_distance(&a, &c) + l1_distance(&c, &b) + 1e-12);
+    }
+
+    #[test]
+    fn footrule_in_unit_interval((a, b) in scores_pair()) {
+        let f = footrule_from_scores(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        prop_assert!(footrule_from_scores(&a, &a).abs() < 1e-15);
+        prop_assert_eq!(footrule_from_scores(&a, &b), footrule_from_scores(&b, &a));
+    }
+
+    #[test]
+    fn footrule_invariant_to_positive_scaling((a, b) in scores_pair()) {
+        let a2: Vec<f64> = a.iter().map(|x| x * 7.5).collect();
+        let f1 = footrule_from_scores(&a, &b);
+        let f2 = footrule_from_scores(&a2, &b);
+        prop_assert!((f1 - f2).abs() < 1e-12, "ranking metrics ignore scale");
+    }
+
+    #[test]
+    fn kendall_in_unit_interval((a, b) in scores_pair()) {
+        let k = kendall_from_scores(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&k));
+        prop_assert!(kendall_from_scores(&a, &a).abs() < 1e-15);
+    }
+
+    #[test]
+    fn footrule_bounded_by_twice_kendall((a, b) in scores_pair()) {
+        // Diaconis–Graham: K <= F <= 2K for total orders; the bucket
+        // variants preserve the upper bound direction we rely on.
+        let f = footrule_from_scores(&a, &b);
+        let k = kendall_from_scores(&a, &b);
+        // Normalizations differ (n²/2 vs n(n−1)/2); compare denormalized.
+        let n = a.len() as f64;
+        let f_raw = f * (n * n / 2.0).floor();
+        let k_raw = k * (n * (n - 1.0) / 2.0);
+        prop_assert!(f_raw <= 2.0 * k_raw + 1e-9, "F={f_raw} K={k_raw}");
+    }
+
+    #[test]
+    fn bucket_positions_average_to_center(v in proptest::collection::vec(0.0f64..1.0, 1..60)) {
+        let r = PartialRanking::from_scores(&v);
+        // Positions always average to (n+1)/2, ties or not.
+        let mean: f64 = r.positions().iter().sum::<f64>() / v.len() as f64;
+        prop_assert!((mean - (v.len() as f64 + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_respects_score_order(v in proptest::collection::vec(0.0f64..1.0, 2..60)) {
+        let r = PartialRanking::from_scores(&v);
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] > v[j] {
+                    prop_assert!(r.position(i) < r.position(j));
+                } else if v[i] == v[j] {
+                    prop_assert_eq!(r.position(i), r.position(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footrule_of_partial_rankings_consistent((a, b) in scores_pair()) {
+        let ra = PartialRanking::from_scores(&a);
+        let rb = PartialRanking::from_scores(&b);
+        prop_assert_eq!(spearman_footrule(&ra, &rb), footrule_from_scores(&a, &b));
+    }
+}

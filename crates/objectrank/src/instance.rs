@@ -1,0 +1,221 @@
+//! Typed instance graphs and their weighted lowering.
+//!
+//! The ObjectRank instance-level rule: if object `u` has `k` outgoing
+//! instances of schema edge `e`, each carries weight
+//! `rate(e) / k` — the type-level transfer rate is split evenly among
+//! the concrete edges. Backward rates produce reverse instance edges
+//! the same way.
+
+use approxrank_pagerank::WeightedDiGraph;
+
+use crate::schema::{SchemaEdgeId, SchemaGraph, TypeId};
+
+/// Identifier of an object in an instance graph.
+pub type ObjectId = u32;
+
+#[derive(Clone, Debug)]
+struct InstanceEdge {
+    from: ObjectId,
+    to: ObjectId,
+    schema_edge: SchemaEdgeId,
+}
+
+/// A typed instance graph over a schema.
+#[derive(Clone, Debug)]
+pub struct InstanceGraph {
+    schema: SchemaGraph,
+    types: Vec<TypeId>,
+    labels: Vec<String>,
+    edges: Vec<InstanceEdge>,
+}
+
+impl InstanceGraph {
+    /// An empty instance of `schema`.
+    pub fn new(schema: &SchemaGraph) -> Self {
+        InstanceGraph {
+            schema: schema.clone(),
+            types: Vec::new(),
+            labels: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an object of the given type with a human-readable label
+    /// (used for keyword matching).
+    ///
+    /// # Panics
+    /// Panics on an unknown type.
+    pub fn add_object(&mut self, ty: TypeId, label: &str) -> ObjectId {
+        assert!(
+            (ty as usize) < self.schema.num_types(),
+            "unknown type {ty}"
+        );
+        self.types.push(ty);
+        self.labels.push(label.to_string());
+        (self.types.len() - 1) as ObjectId
+    }
+
+    /// Adds an instance of schema edge `e` from `u` to `v`.
+    ///
+    /// Returns an error if the endpoint types do not match the schema
+    /// edge's declaration.
+    pub fn add_edge(
+        &mut self,
+        from: ObjectId,
+        to: ObjectId,
+        schema_edge: SchemaEdgeId,
+    ) -> Result<(), String> {
+        let e = self.schema.edge(schema_edge);
+        let (ft, tt) = (self.types[from as usize], self.types[to as usize]);
+        if ft != e.from || tt != e.to {
+            return Err(format!(
+                "edge type mismatch: schema edge {}→{} applied to objects of type {}→{}",
+                self.schema.type_name(e.from),
+                self.schema.type_name(e.to),
+                self.schema.type_name(ft),
+                self.schema.type_name(tt),
+            ));
+        }
+        self.edges.push(InstanceEdge {
+            from,
+            to,
+            schema_edge,
+        });
+        Ok(())
+    }
+
+    /// Number of objects.
+    pub fn num_objects(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of instance edges (forward declarations only; the weighted
+    /// lowering doubles edges with nonzero backward rates).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The type of an object.
+    pub fn object_type(&self, o: ObjectId) -> TypeId {
+        self.types[o as usize]
+    }
+
+    /// The label of an object.
+    pub fn label(&self, o: ObjectId) -> &str {
+        &self.labels[o as usize]
+    }
+
+    /// The schema this instance conforms to.
+    pub fn schema(&self) -> &SchemaGraph {
+        &self.schema
+    }
+
+    /// Objects whose label contains `keyword` (case-insensitive) — the
+    /// ObjectRank *base set*.
+    pub fn base_set(&self, keyword: &str) -> Vec<ObjectId> {
+        let kw = keyword.to_lowercase();
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.to_lowercase().contains(&kw))
+            .map(|(i, _)| i as ObjectId)
+            .collect()
+    }
+
+    /// All objects of one type (e.g. every Paper).
+    pub fn objects_of_type(&self, ty: TypeId) -> Vec<ObjectId> {
+        (0..self.num_objects() as ObjectId)
+            .filter(|&o| self.types[o as usize] == ty)
+            .collect()
+    }
+
+    /// Lowers the typed instance into a weighted graph per the ObjectRank
+    /// rule: forward instances of schema edge `e` out of `u` share
+    /// `forward_rate(e)` evenly; backward instances share
+    /// `backward_rate(e)` evenly.
+    pub fn to_weighted(&self) -> WeightedDiGraph {
+        let n = self.num_objects();
+        // Count per (object, schema edge, direction) multiplicities.
+        let mut fwd_count: std::collections::HashMap<(ObjectId, SchemaEdgeId), usize> =
+            std::collections::HashMap::new();
+        let mut bwd_count: std::collections::HashMap<(ObjectId, SchemaEdgeId), usize> =
+            std::collections::HashMap::new();
+        for e in &self.edges {
+            *fwd_count.entry((e.from, e.schema_edge)).or_insert(0) += 1;
+            *bwd_count.entry((e.to, e.schema_edge)).or_insert(0) += 1;
+        }
+        let mut weighted = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            let s = self.schema.edge(e.schema_edge);
+            if s.forward_rate > 0.0 {
+                let k = fwd_count[&(e.from, e.schema_edge)] as f64;
+                weighted.push((e.from, e.to, s.forward_rate / k));
+            }
+            if s.backward_rate > 0.0 {
+                let k = bwd_count[&(e.to, e.schema_edge)] as f64;
+                weighted.push((e.to, e.from, s.backward_rate / k));
+            }
+        }
+        WeightedDiGraph::from_edges(n, &weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaGraph;
+
+    fn tiny() -> (InstanceGraph, ObjectId, ObjectId, ObjectId) {
+        let (schema, h) = SchemaGraph::dblp_like();
+        let mut inst = InstanceGraph::new(&schema);
+        let p1 = inst.add_object(h.paper, "paper: subgraph ranking");
+        let p2 = inst.add_object(h.paper, "paper: focused crawling");
+        let a = inst.add_object(h.author, "alice");
+        inst.add_edge(p2, p1, h.cites).unwrap();
+        inst.add_edge(a, p1, h.writes).unwrap();
+        inst.add_edge(a, p2, h.writes).unwrap();
+        (inst, p1, p2, a)
+    }
+
+    #[test]
+    fn transfer_rate_split_among_instances() {
+        let (inst, p1, p2, a) = tiny();
+        let w = inst.to_weighted();
+        // Alice writes two papers: 0.2 forward split in half.
+        let (targets, weights) = w.out_edges(a);
+        let idx1 = targets.iter().position(|&t| t == p1).unwrap();
+        assert!((weights[idx1] - 0.1).abs() < 1e-12);
+        // p2 cites one paper: full 0.7 forward; plus 0.2 backward to alice.
+        let (t2, w2) = w.out_edges(p2);
+        let c = t2.iter().position(|&t| t == p1).unwrap();
+        assert!((w2[c] - 0.7).abs() < 1e-12);
+        let b = t2.iter().position(|&t| t == a).unwrap();
+        assert!((w2[b] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn type_checked_edges() {
+        let (schema, h) = SchemaGraph::dblp_like();
+        let mut inst = InstanceGraph::new(&schema);
+        let p = inst.add_object(h.paper, "p");
+        let a = inst.add_object(h.author, "a");
+        // A paper cannot "write" a paper.
+        assert!(inst.add_edge(p, p, h.writes).is_err());
+        assert!(inst.add_edge(a, p, h.writes).is_ok());
+    }
+
+    #[test]
+    fn base_set_keyword_matching() {
+        let (inst, p1, p2, _) = tiny();
+        assert_eq!(inst.base_set("subgraph"), vec![p1]);
+        assert_eq!(inst.base_set("PAPER"), vec![p1, p2]);
+        assert!(inst.base_set("zebra").is_empty());
+    }
+
+    #[test]
+    fn objects_of_type() {
+        let (inst, p1, p2, a) = tiny();
+        assert_eq!(inst.objects_of_type(inst.object_type(p1)), vec![p1, p2]);
+        assert_eq!(inst.objects_of_type(inst.object_type(a)), vec![a]);
+    }
+}

@@ -1,0 +1,52 @@
+//! ObjectRank-style semantic ranking substrate (Balmin, Hristidis &
+//! Papakonstantinou, VLDB'04 — the ApproxRank paper's reference \[8\] and
+//! the motivation behind its Figures 2–3).
+//!
+//! ObjectRank generalizes PageRank from web pages to typed *objects*
+//! (papers, authors, conferences …) connected by semantic edges. A
+//! domain expert annotates the **schema graph** with *authority transfer
+//! rates*; the **instance graph** inherits per-edge weights from those
+//! rates; keyword queries personalize the walk through a **base set** of
+//! matching objects.
+//!
+//! This crate provides that machinery and its bridge to the ApproxRank
+//! framework: the paper's §I observes that a domain expert's interest
+//! usually covers only a *subgraph* of the instance graph, and that the
+//! IdealRank/ApproxRank collapse applies to ObjectRank unchanged —
+//! [`subrank`] makes that concrete via
+//! [`approxrank_core::weighted`].
+//!
+//! ```
+//! use approxrank_objectrank::{SchemaGraph, InstanceGraph, ObjectRank};
+//!
+//! // Schema: Paper cites Paper (0.7), Paper written-by Author (0.2 each way).
+//! let mut schema = SchemaGraph::new();
+//! let paper = schema.add_type("Paper");
+//! let author = schema.add_type("Author");
+//! let cites = schema.add_edge(paper, paper, 0.7, 0.0);
+//! let wrote = schema.add_edge(author, paper, 0.2, 0.2);
+//!
+//! let mut inst = InstanceGraph::new(&schema);
+//! let p1 = inst.add_object(paper, "p1");
+//! let p2 = inst.add_object(paper, "p2");
+//! let a1 = inst.add_object(author, "alice");
+//! inst.add_edge(p2, p1, cites).unwrap();
+//! inst.add_edge(a1, p1, wrote).unwrap();
+//! inst.add_edge(a1, p2, wrote).unwrap();
+//!
+//! let scores = ObjectRank::default().global(&inst);
+//! assert!(scores.scores[p1 as usize] > scores.scores[p2 as usize],
+//!         "the cited paper outranks the citing paper");
+//! ```
+
+pub mod instance;
+pub mod rank;
+pub mod schema;
+pub mod subrank;
+pub mod synth;
+
+pub use instance::InstanceGraph;
+pub use rank::ObjectRank;
+pub use schema::{SchemaEdgeId, SchemaGraph, TypeId};
+pub use subrank::rank_type_subgraph;
+pub use synth::{synthetic_bibliography, BibliographyConfig};

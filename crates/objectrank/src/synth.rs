@@ -1,0 +1,158 @@
+//! Synthetic bibliographic instance graphs (the DBLP-like corpus the
+//! semantic-ranking experiments and example use).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::instance::InstanceGraph;
+use crate::schema::SchemaGraph;
+
+/// Configuration of [`synthetic_bibliography`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BibliographyConfig {
+    /// Number of papers.
+    pub papers: usize,
+    /// Number of authors.
+    pub authors: usize,
+    /// Number of conferences; papers cluster into conference communities
+    /// with Zipf sizes.
+    pub conferences: usize,
+    /// Maximum citations per paper (drawn uniformly in `0..=max`).
+    pub max_citations: usize,
+    /// Probability a citation goes to an already-cited paper
+    /// (preferential attachment on citations).
+    pub citation_pref: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BibliographyConfig {
+    fn default() -> Self {
+        BibliographyConfig {
+            papers: 3_000,
+            authors: 900,
+            conferences: 12,
+            max_citations: 4,
+            citation_pref: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a DBLP-like instance over [`SchemaGraph::dblp_like`]:
+/// papers cite earlier papers (preferentially), have 1–3 authors and one
+/// conference. Deterministic under the seed. Object ids: papers first,
+/// then authors, then conferences.
+pub fn synthetic_bibliography(config: &BibliographyConfig) -> InstanceGraph {
+    assert!(config.papers >= 1 && config.authors >= 1 && config.conferences >= 1);
+    let (schema, h) = SchemaGraph::dblp_like();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut inst = InstanceGraph::new(&schema);
+
+    let papers: Vec<u32> = (0..config.papers)
+        .map(|i| inst.add_object(h.paper, &format!("paper-{i:05}")))
+        .collect();
+    let authors: Vec<u32> = (0..config.authors)
+        .map(|i| inst.add_object(h.author, &format!("author-{i:04}")))
+        .collect();
+    let conferences: Vec<u32> = (0..config.conferences)
+        .map(|i| inst.add_object(h.conference, &format!("conf-{i:02}")))
+        .collect();
+
+    // Conference communities with Zipf-ish sizes via weighted sampling.
+    let conf_weights: Vec<f64> = (1..=config.conferences)
+        .map(|i| 1.0 / (i as f64).powf(1.3))
+        .collect();
+    let mut citation_pool: Vec<u32> = Vec::new();
+    for (i, &p) in papers.iter().enumerate() {
+        let c = crate::synth::sample_weighted(&mut rng, &conf_weights);
+        inst.add_edge(conferences[c], p, h.publishes)
+            .expect("schema types match");
+        for _ in 0..rng.random_range(1..=3u32) {
+            let a = authors[rng.random_range(0..config.authors)];
+            inst.add_edge(a, p, h.writes).expect("schema types match");
+        }
+        if i > 0 {
+            for _ in 0..rng.random_range(0..=config.max_citations) {
+                let q = if !citation_pool.is_empty()
+                    && rng.random::<f64>() < config.citation_pref
+                {
+                    citation_pool[rng.random_range(0..citation_pool.len())]
+                } else {
+                    papers[rng.random_range(0..i)]
+                };
+                inst.add_edge(p, q, h.cites).expect("schema types match");
+                citation_pool.push(q);
+            }
+        }
+    }
+    inst
+}
+
+/// Weighted index sampling (local copy to avoid a gen-crate dependency).
+fn sample_weighted<R: rand::Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_counts() {
+        let inst = synthetic_bibliography(&BibliographyConfig {
+            papers: 100,
+            authors: 30,
+            conferences: 4,
+            ..BibliographyConfig::default()
+        });
+        assert_eq!(inst.num_objects(), 134);
+        assert_eq!(inst.objects_of_type(0).len(), 100, "papers are type 0");
+        assert!(inst.num_edges() > 200, "venue + authors + citations");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BibliographyConfig {
+            papers: 50,
+            authors: 20,
+            conferences: 3,
+            ..BibliographyConfig::default()
+        };
+        let a = synthetic_bibliography(&cfg);
+        let b = synthetic_bibliography(&cfg);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.to_weighted(), b.to_weighted());
+    }
+
+    #[test]
+    fn citations_point_backward() {
+        // Papers only cite earlier papers: the citation subgraph is a DAG,
+        // so the weighted graph restricted to papers has no cycles through
+        // increasing ids. Spot-check via weights: every citation edge
+        // (u, v) with both papers satisfies v < u.
+        let inst = synthetic_bibliography(&BibliographyConfig {
+            papers: 80,
+            authors: 10,
+            conferences: 2,
+            ..BibliographyConfig::default()
+        });
+        let w = inst.to_weighted();
+        for u in 0..80u32 {
+            let (targets, _) = w.out_edges(u);
+            for &v in targets {
+                if v < 80 {
+                    assert!(v < u, "citation {u} -> {v} must point backward");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the ObjectRank substrate.
+
+use approxrank_objectrank::subrank::{rank_focus_subgraph, rank_focus_subgraph_ideal};
+use approxrank_objectrank::{synthetic_bibliography, BibliographyConfig, InstanceGraph, ObjectRank, SchemaGraph};
+use approxrank_pagerank::authority::{authority_flow, FlowModel};
+use approxrank_pagerank::PageRankOptions;
+use proptest::prelude::*;
+
+fn opts() -> PageRankOptions {
+    PageRankOptions::paper().with_tolerance(1e-11)
+}
+
+/// Random small bibliographies.
+fn bib_strategy() -> impl Strategy<Value = InstanceGraph> {
+    (20usize..120, 5usize..40, 2usize..6, any::<u64>()).prop_map(
+        |(papers, authors, conferences, seed)| {
+            synthetic_bibliography(&BibliographyConfig {
+                papers,
+                authors,
+                conferences,
+                seed,
+                ..BibliographyConfig::default()
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lowering_splits_rates_exactly(inst in bib_strategy()) {
+        // Every object's out-weight, grouped by target type, must equal
+        // the schema's transfer rate (when it has any such out-edges).
+        let (schema, h) = SchemaGraph::dblp_like();
+        let w = inst.to_weighted();
+        for u in 0..inst.num_objects() as u32 {
+            let (targets, weights) = w.out_edges(u);
+            let mut per_type = [0.0f64; 3];
+            for (&t, &wt) in targets.iter().zip(weights) {
+                per_type[inst.object_type(t) as usize] += wt;
+            }
+            let uty = inst.object_type(u);
+            for ty in 0..3u32 {
+                if per_type[ty as usize] == 0.0 {
+                    continue;
+                }
+                // Find the schema rate for uty → ty.
+                let mut rate = 0.0;
+                for e in [h.cites, h.writes, h.publishes] {
+                    let se = schema.edge(e);
+                    if se.from == uty && se.to == ty {
+                        rate += se.forward_rate;
+                    }
+                    if se.to == uty && se.from == ty {
+                        rate += se.backward_rate;
+                    }
+                }
+                prop_assert!(
+                    (per_type[ty as usize] - rate).abs() < 1e-9,
+                    "object {u} emits {} to type {ty}, schema says {rate}",
+                    per_type[ty as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objectrank_scores_positive_and_bounded(inst in bib_strategy()) {
+        let r = ObjectRank::default().global(&inst);
+        prop_assert!(r.converged);
+        prop_assert!(r.scores.iter().all(|&s| s > 0.0 && s < 1.0));
+        // Raw rates are sub-stochastic for this schema: mass leaks.
+        prop_assert!(r.total_mass() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn weighted_theorem1_on_random_bibliographies(inst in bib_strategy()) {
+        let weighted = inst.to_weighted();
+        let n = inst.num_objects();
+        let p = vec![1.0 / n as f64; n];
+        let truth = authority_flow(&weighted, &opts(), &p, FlowModel::Stochastic);
+        let focus = inst.objects_of_type(0); // all papers
+        let (r, nodes) = rank_focus_subgraph_ideal(&inst, &focus, &truth.scores, &opts());
+        for (li, &g) in nodes.members().iter().enumerate() {
+            prop_assert!(
+                (r.local_scores[li] - truth.scores[g as usize]).abs() < 1e-7,
+                "object {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_focus_ranking_is_a_subdistribution(inst in bib_strategy()) {
+        let focus = inst.objects_of_type(1); // all authors
+        prop_assume!(!focus.is_empty());
+        let (r, nodes) = rank_focus_subgraph(&inst, &focus, &opts());
+        prop_assert_eq!(r.local_scores.len(), nodes.len());
+        prop_assert!(r.local_scores.iter().all(|&s| s >= 0.0));
+        let total = r.local_mass() + r.lambda_score.unwrap();
+        prop_assert!((total - 1.0).abs() < 1e-7, "total {total}");
+    }
+
+    #[test]
+    fn keyword_base_set_monotone(inst in bib_strategy()) {
+        // A broader keyword (matching more objects) never yields an empty
+        // result when a narrower one matched.
+        let narrow = inst.base_set("paper-0000");
+        let broad = inst.base_set("paper-");
+        prop_assert!(broad.len() >= narrow.len());
+        for o in &narrow {
+            prop_assert!(broad.contains(o));
+        }
+    }
+}

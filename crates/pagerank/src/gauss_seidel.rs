@@ -1,0 +1,148 @@
+//! Gauss–Seidel PageRank: in-place updates that consume fresh values
+//! within the same sweep.
+//!
+//! Related-work context for the paper's §II-B: solving the PageRank
+//! linear system `(I − εAᵀ)x = (1−ε)p` with Gauss–Seidel sweeps converges
+//! roughly twice as fast as Jacobi-style power iteration on web graphs.
+//! The harness uses it as an independent solver to cross-validate the
+//! power iteration's fixed point.
+
+use approxrank_graph::DiGraph;
+
+use crate::{PageRankOptions, PageRankResult};
+
+/// Gauss–Seidel solve of the PageRank system with uniform
+/// personalization and uniform dangling jumps.
+///
+/// Uses the *lumped* formulation (Langville & Meyer): because the
+/// dangling jump distribution equals the uniform personalization vector,
+/// the PageRank vector is the normalized solution of the dangling-free
+/// linear system `x = εĀᵀx + (1−ε)/N` (where `Ā` zeroes dangling rows).
+/// Gauss–Seidel sweeps that system in ascending id order, consuming
+/// fresh values within the sweep, and normalizes at the end.
+pub fn pagerank_gauss_seidel(graph: &DiGraph, options: &PageRankOptions) -> PageRankResult {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+        };
+    }
+    let inv_n = 1.0 / n as f64;
+    let eps = options.damping;
+    let mut x = vec![inv_n; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut residuals = Vec::new();
+
+    // Cache reciprocal degrees once.
+    let inv_deg: Vec<f64> = (0..n as u32)
+        .map(|u| {
+            let d = graph.out_degree(u);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+
+    while iterations < options.max_iterations {
+        iterations += 1;
+        let mut delta = 0.0;
+        for v in 0..n {
+            let mut acc = 0.0;
+            for &u in graph.in_neighbors(v as u32) {
+                acc += x[u as usize] * inv_deg[u as usize];
+            }
+            let new = eps * acc + (1.0 - eps) * inv_n;
+            delta += (new - x[v]).abs();
+            x[v] = new;
+        }
+        // The lumped solution's mass is below 1; compare the residual at
+        // the scale of the final normalized vector so the tolerance means
+        // the same thing as in the power iteration.
+        let mass: f64 = x.iter().sum();
+        let scaled = if mass > 0.0 { delta / mass } else { delta };
+        if options.record_residuals {
+            residuals.push(scaled);
+        }
+        if scaled < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    // Undo the lumping: the true PageRank is the normalized solution.
+    let mass: f64 = x.iter().sum();
+    if mass > 0.0 {
+        for v in x.iter_mut() {
+            *v /= mass;
+        }
+    }
+
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank;
+
+    fn graph() -> DiGraph {
+        let n = 250u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i * 7 + 3) % n));
+            if i % 4 != 0 {
+                edges.push((i, (i + 1) % n));
+            }
+        }
+        DiGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn agrees_with_power_iteration() {
+        let g = graph();
+        let o = PageRankOptions::paper().with_tolerance(1e-12);
+        let a = pagerank(&g, &o);
+        let b = pagerank_gauss_seidel(&g, &o);
+        assert!(b.converged);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn converges_in_fewer_sweeps() {
+        let g = graph();
+        let o = PageRankOptions::paper().with_tolerance(1e-12);
+        let power = pagerank(&g, &o);
+        let gs = pagerank_gauss_seidel(&g, &o);
+        assert!(
+            gs.iterations < power.iterations,
+            "GS {} vs power {}",
+            gs.iterations,
+            power.iterations
+        );
+    }
+
+    #[test]
+    fn handles_dangling_pages() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let o = PageRankOptions::paper().with_tolerance(1e-12);
+        let a = pagerank(&g, &o);
+        let b = pagerank_gauss_seidel(&g, &o);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x - y).abs() < 1e-8);
+        }
+        assert!((b.total_mass() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! HITS — Hyperlink-Induced Topic Search (Kleinberg, JACM'99; the
+//! paper's reference \[3\] and, with PageRank, one of the "two seminal
+//! approaches" its introduction builds on).
+//!
+//! HITS separates each page's role into a *hub* score (how well it points
+//! at good authorities) and an *authority* score (how well it is pointed
+//! at by good hubs), computed by the mutually recursive power iteration
+//!
+//! ```text
+//! a ← Lᵀh,   h ← La,   then L2-normalize both
+//! ```
+//!
+//! over the link matrix `L`. Unlike PageRank it has no damping and is
+//! usually run on a query-focused subgraph — which makes it a natural
+//! companion for the subgraph machinery in `approxrank-core`.
+
+use approxrank_graph::DiGraph;
+
+/// Outcome of a HITS computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HitsResult {
+    /// Hub score per node (L2-normalized).
+    pub hubs: Vec<f64>,
+    /// Authority score per node (L2-normalized).
+    pub authorities: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether both vectors converged within tolerance.
+    pub converged: bool,
+}
+
+/// Options for the HITS iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HitsOptions {
+    /// L1 convergence threshold on both vectors.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for HitsOptions {
+    fn default() -> Self {
+        HitsOptions {
+            tolerance: 1e-8,
+            max_iterations: 1000,
+        }
+    }
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Runs HITS on `graph`.
+pub fn hits(graph: &DiGraph, options: &HitsOptions) -> HitsResult {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return HitsResult {
+            hubs: Vec::new(),
+            authorities: Vec::new(),
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let init = 1.0 / (n as f64).sqrt();
+    let mut hubs = vec![init; n];
+    let mut authorities = vec![init; n];
+    let mut new_h = vec![0.0f64; n];
+    let mut new_a = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < options.max_iterations {
+        iterations += 1;
+        // a ← Lᵀ h
+        for (v, slot) in new_a.iter_mut().enumerate() {
+            *slot = graph
+                .in_neighbors(v as u32)
+                .iter()
+                .map(|&u| hubs[u as usize])
+                .sum();
+        }
+        l2_normalize(&mut new_a);
+        // h ← L a (using the fresh authorities, the standard update).
+        for (u, slot) in new_h.iter_mut().enumerate() {
+            *slot = graph
+                .out_neighbors(u as u32)
+                .iter()
+                .map(|&v| new_a[v as usize])
+                .sum();
+        }
+        l2_normalize(&mut new_h);
+        let delta: f64 = new_a
+            .iter()
+            .zip(&authorities)
+            .chain(new_h.iter().zip(&hubs))
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        std::mem::swap(&mut authorities, &mut new_a);
+        std::mem::swap(&mut hubs, &mut new_h);
+        if delta < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    HitsResult {
+        hubs,
+        authorities,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_and_authority_separate_roles() {
+        // 0 and 1 are hubs pointing at authorities 2, 3; 4 is noise.
+        let g = DiGraph::from_edges(5, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 0)]);
+        let r = hits(&g, &HitsOptions::default());
+        assert!(r.converged);
+        // Authorities 2,3 dominate the authority vector.
+        assert!(r.authorities[2] > r.authorities[0]);
+        assert!(r.authorities[3] > r.authorities[4]);
+        // Hubs 0,1 dominate the hub vector.
+        assert!(r.hubs[0] > r.hubs[2]);
+        assert!(r.hubs[1] > r.hubs[3]);
+        // 0 also receives a link, but it's from a weak hub.
+        assert!(r.authorities[2] > r.authorities[0]);
+    }
+
+    #[test]
+    fn vectors_are_l2_normalized() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let r = hits(&g, &HitsOptions::default());
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm(&r.hubs) - 1.0).abs() < 1e-9);
+        assert!((norm(&r.authorities) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bipartite_core_is_the_fixed_point() {
+        // Complete bipartite 2x2 core plus an isolated page: the classic
+        // HITS motivating structure.
+        let g = DiGraph::from_edges(5, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let r = hits(&g, &HitsOptions::default());
+        assert!((r.hubs[0] - r.hubs[1]).abs() < 1e-9, "symmetric hubs");
+        assert!(
+            (r.authorities[2] - r.authorities[3]).abs() < 1e-9,
+            "symmetric authorities"
+        );
+        assert!((r.hubs[0] - 1.0 / 2f64.sqrt()).abs() < 1e-6);
+        assert_eq!(r.hubs[4], 0.0);
+        assert_eq!(r.authorities[4], 0.0);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let r = hits(&DiGraph::from_edges(0, &[]), &HitsOptions::default());
+        assert!(r.converged && r.hubs.is_empty());
+        let r = hits(&DiGraph::from_edges(3, &[]), &HitsOptions::default());
+        assert!(r.hubs.iter().all(|&h| h == 0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Solver configuration.
+
+/// Where the probability mass of dangling pages goes each step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DanglingMode {
+    /// A dangling page jumps uniformly to every page (`1/N` each).
+    ///
+    /// This is the model the paper's formulas assume and the one the
+    /// extended-local-graph collapse in `approxrank-core` mirrors, so it is
+    /// the default.
+    #[default]
+    UniformJump,
+    /// A dangling page jumps according to the personalization vector.
+    Personalization,
+}
+
+/// Parameters of the power iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PageRankOptions {
+    /// Damping factor ε: probability of following a hyperlink
+    /// (paper default 0.85).
+    pub damping: f64,
+    /// Convergence threshold on the L1 residual `‖x_{m} − x_{m−1}‖₁`
+    /// (paper default 1e-5).
+    pub tolerance: f64,
+    /// Iteration cap; the solver reports non-convergence when reached.
+    pub max_iterations: usize,
+    /// Dangling-page model.
+    pub dangling: DanglingMode,
+    /// Worker threads for the parallel solver (1 = serial path).
+    pub threads: usize,
+    /// Record the residual after every iteration (for convergence plots).
+    pub record_residuals: bool,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions {
+            damping: 0.85,
+            tolerance: 1e-5,
+            max_iterations: 1000,
+            dangling: DanglingMode::UniformJump,
+            threads: 1,
+            record_residuals: false,
+        }
+    }
+}
+
+impl PageRankOptions {
+    /// The paper's experimental setting (ε = 0.85, L1 < 1e-5).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style damping override.
+    ///
+    /// # Panics
+    /// Panics unless `0 < damping < 1`.
+    pub fn with_damping(mut self, damping: f64) -> Self {
+        assert!(
+            damping > 0.0 && damping < 1.0,
+            "damping must be in (0,1), got {damping}"
+        );
+        self.damping = damping;
+        self
+    }
+
+    /// Builder-style tolerance override.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Builder-style iteration cap override.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Builder-style thread-count override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style residual recording toggle.
+    pub fn with_residuals(mut self) -> Self {
+        self.record_residuals = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = PageRankOptions::paper();
+        assert_eq!(o.damping, 0.85);
+        assert_eq!(o.tolerance, 1e-5);
+        assert_eq!(o.dangling, DanglingMode::UniformJump);
+    }
+
+    #[test]
+    fn builders() {
+        let o = PageRankOptions::default()
+            .with_damping(0.9)
+            .with_tolerance(1e-8)
+            .with_max_iterations(10)
+            .with_threads(4)
+            .with_residuals();
+        assert_eq!(o.damping, 0.9);
+        assert_eq!(o.tolerance, 1e-8);
+        assert_eq!(o.max_iterations, 10);
+        assert_eq!(o.threads, 4);
+        assert!(o.record_residuals);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn damping_bounds() {
+        PageRankOptions::default().with_damping(1.0);
+    }
+}

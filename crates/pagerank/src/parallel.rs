@@ -1,0 +1,175 @@
+//! Multi-threaded pull-style power iteration.
+//!
+//! Each iteration computes per-node contributions serially (O(n)), then
+//! splits the pull step — the O(edges) part — across scoped threads on
+//! disjoint chunks of the output vector. No locks: every thread writes a
+//! distinct slice and only reads the shared immutable state.
+
+use approxrank_graph::DiGraph;
+
+use crate::power::l1_delta;
+use crate::{DanglingMode, PageRankOptions, PageRankResult};
+
+/// Parallel PageRank; invoked via [`crate::pagerank_with_start`] when
+/// `options.threads > 1`. Produces bit-for-bit the same iteration sequence
+/// as the serial path (same summation order per node).
+pub fn pagerank_parallel(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    personalization: &[f64],
+    start: &[f64],
+) -> PageRankResult {
+    let n = graph.num_nodes();
+    let threads = options.threads.min(n.max(1));
+    let eps = options.damping;
+    let inv_n = 1.0 / n as f64;
+    let mut x = start.to_vec();
+    let mut next = vec![0.0f64; n];
+    let mut contrib = vec![0.0f64; n];
+    let mut residuals = Vec::new();
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < options.max_iterations {
+        iterations += 1;
+        let mut dangling_mass = 0.0;
+        for u in 0..n {
+            let d = graph.out_degree(u as u32);
+            if d == 0 {
+                dangling_mass += x[u];
+                contrib[u] = 0.0;
+            } else {
+                contrib[u] = x[u] / d as f64;
+            }
+        }
+        let chunk = n.div_ceil(threads);
+        let contrib_ref = &contrib;
+        let pers_ref = personalization;
+        let dangling_mode = options.dangling;
+        std::thread::scope(|scope| {
+            let mut remaining: &mut [f64] = &mut next;
+            let mut base = 0usize;
+            let mut handles = Vec::with_capacity(threads);
+            while !remaining.is_empty() {
+                let take = chunk.min(remaining.len());
+                let (head, tail) = remaining.split_at_mut(take);
+                remaining = tail;
+                let start_v = base;
+                base += take;
+                handles.push(scope.spawn(move || {
+                    for (i, slot) in head.iter_mut().enumerate() {
+                        let v = (start_v + i) as u32;
+                        let mut acc = 0.0;
+                        for &u in graph.in_neighbors(v) {
+                            acc += contrib_ref[u as usize];
+                        }
+                        let jump = match dangling_mode {
+                            DanglingMode::UniformJump => dangling_mass * inv_n,
+                            DanglingMode::Personalization => {
+                                dangling_mass * pers_ref[v as usize]
+                            }
+                        };
+                        *slot = eps * (acc + jump) + (1.0 - eps) * pers_ref[v as usize];
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("pagerank worker panicked");
+            }
+        });
+        let delta = l1_delta(&next, &x);
+        std::mem::swap(&mut x, &mut next);
+        if options.record_residuals {
+            residuals.push(delta);
+        }
+        if delta < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank;
+    use approxrank_graph::DiGraph;
+
+    fn ring_with_chords(n: usize) -> DiGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            edges.push((i, (i + 1) % n as u32));
+            if i % 3 == 0 {
+                edges.push((i, (i + 7) % n as u32));
+            }
+            if i % 5 == 0 {
+                // make some dangling pages by not giving them the ring edge
+            }
+        }
+        // Add a few dangling pages: n..n+4 receive links but emit none.
+        let base = n as u32;
+        for k in 0..4u32 {
+            edges.push((k, base + k));
+        }
+        DiGraph::from_edges(n + 4, &edges)
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let g = ring_with_chords(197);
+        let serial = pagerank(&g, &PageRankOptions::paper().with_tolerance(1e-10));
+        for threads in [2, 3, 8] {
+            let par = pagerank(
+                &g,
+                &PageRankOptions::paper()
+                    .with_tolerance(1e-10)
+                    .with_threads(threads),
+            );
+            assert_eq!(serial.iterations, par.iterations);
+            for (a, b) in serial.scores.iter().zip(&par.scores) {
+                assert_eq!(a, b, "bit-identical summation order expected");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = pagerank(&g, &PageRankOptions::paper().with_threads(64));
+        assert!(r.converged);
+        assert!((r.total_mass() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use crate::{pagerank, pagerank_with_start, PageRankOptions};
+    use approxrank_graph::DiGraph;
+
+    #[test]
+    fn single_node_graph_parallel() {
+        let g = DiGraph::from_edges(1, &[]);
+        let r = pagerank(&g, &PageRankOptions::paper().with_threads(8));
+        assert!(r.converged);
+        assert!((r.scores[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_personalized_matches_serial() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let p = [0.5, 0.1, 0.1, 0.1, 0.1, 0.1];
+        let start = vec![1.0 / 6.0; 6];
+        let o_serial = PageRankOptions::paper().with_tolerance(1e-11);
+        let o_par = o_serial.clone().with_threads(3);
+        let a = pagerank_with_start(&g, &o_serial, &p, &start);
+        let b = pagerank_with_start(&g, &o_par, &p, &start);
+        assert_eq!(a.scores, b.scores);
+    }
+}

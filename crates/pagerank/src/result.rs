@@ -1,0 +1,84 @@
+//! Solver output.
+
+/// The outcome of a power-iteration solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PageRankResult {
+    /// Final score per node; sums to 1 for stochastic walks.
+    pub scores: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the L1 residual dropped below tolerance before the cap.
+    pub converged: bool,
+    /// Per-iteration residuals, when requested via
+    /// [`crate::PageRankOptions::record_residuals`].
+    pub residuals: Vec<f64>,
+}
+
+impl PageRankResult {
+    /// Total probability mass (≈ 1 for stochastic models).
+    pub fn total_mass(&self) -> f64 {
+        self.scores.iter().sum()
+    }
+
+    /// Node indices sorted by descending score (ties by ascending id).
+    pub fn ranking(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b as usize]
+                .partial_cmp(&self.scores[a as usize])
+                .expect("scores must not be NaN")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The `k` highest-scoring nodes with their scores.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        self.ranking()
+            .into_iter()
+            .take(k)
+            .map(|i| (i, self.scores[i as usize]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> PageRankResult {
+        PageRankResult {
+            scores: vec![0.1, 0.4, 0.2, 0.3],
+            iterations: 5,
+            converged: true,
+            residuals: vec![],
+        }
+    }
+
+    #[test]
+    fn ranking_descending() {
+        assert_eq!(r().ranking(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn ranking_tie_breaks_by_id() {
+        let res = PageRankResult {
+            scores: vec![0.5, 0.5, 0.2],
+            iterations: 1,
+            converged: true,
+            residuals: vec![],
+        };
+        assert_eq!(res.ranking(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k() {
+        assert_eq!(r().top_k(2), vec![(1, 0.4), (3, 0.3)]);
+        assert_eq!(r().top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn mass() {
+        assert!((r().total_mass() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Edge-weighted directed graphs for authority-flow (ObjectRank-style)
+//! ranking.
+//!
+//! The paper's semantic-ranking motivation (Figures 2–3) assigns each edge
+//! an *authority transfer rate* chosen by a domain expert; rates out of a
+//! node need not sum to one. [`WeightedDiGraph`] stores those rates in CSR
+//! form with forward and reverse views.
+
+use approxrank_graph::NodeId;
+
+/// A directed graph with an `f64` weight per edge.
+///
+/// Parallel edges given at construction are merged by *summing* weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedDiGraph {
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f64>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<f64>,
+}
+
+impl WeightedDiGraph {
+    /// Builds from `(source, target, weight)` triples.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or non-finite/negative weights.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId, f64)]) -> Self {
+        for &(s, t, w) in edges {
+            assert!(
+                (s as usize) < num_nodes && (t as usize) < num_nodes,
+                "edge ({s},{t}) out of bounds"
+            );
+            assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0");
+        }
+        let mut sorted: Vec<(NodeId, NodeId, f64)> = edges.to_vec();
+        sorted.sort_by_key(|a| (a.0, a.1));
+        // Merge duplicates by summing.
+        let mut merged: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(sorted.len());
+        for (s, t, w) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == s && last.1 == t => last.2 += w,
+                _ => merged.push((s, t, w)),
+            }
+        }
+        let build = |key: fn(&(NodeId, NodeId, f64)) -> (NodeId, NodeId)| {
+            let mut items = merged.clone();
+            items.sort_by_key(&key);
+            let mut offsets = vec![0usize; num_nodes + 1];
+            let mut nbrs = Vec::with_capacity(items.len());
+            let mut weights = Vec::with_capacity(items.len());
+            for it in &items {
+                let (row, col) = key(it);
+                offsets[row as usize + 1] += 1;
+                nbrs.push(col);
+                weights.push(it.2);
+            }
+            for i in 1..=num_nodes {
+                offsets[i] += offsets[i - 1];
+            }
+            (offsets, nbrs, weights)
+        };
+        let (out_offsets, out_targets, out_weights) = build(|e| (e.0, e.1));
+        let (in_offsets, in_sources, in_weights) = build(|e| (e.1, e.0));
+        WeightedDiGraph {
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of merged edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-edges of `u` as parallel `(targets, weights)` slices.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> (&[NodeId], &[f64]) {
+        let (lo, hi) = (self.out_offsets[u as usize], self.out_offsets[u as usize + 1]);
+        (&self.out_targets[lo..hi], &self.out_weights[lo..hi])
+    }
+
+    /// In-edges of `v` as parallel `(sources, weights)` slices.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let (lo, hi) = (self.in_offsets[v as usize], self.in_offsets[v as usize + 1]);
+        (&self.in_sources[lo..hi], &self.in_weights[lo..hi])
+    }
+
+    /// Sum of weights on `u`'s out-edges.
+    pub fn out_weight_sum(&self, u: NodeId) -> f64 {
+        self.out_edges(u).1.iter().sum()
+    }
+
+    /// Lifts an unweighted graph: every edge gets weight `1/out_degree`,
+    /// i.e. the standard PageRank transition row.
+    pub fn from_unweighted(graph: &approxrank_graph::DiGraph) -> Self {
+        let mut edges = Vec::with_capacity(graph.num_edges());
+        for u in graph.nodes() {
+            let d = graph.out_degree(u);
+            for &v in graph.out_neighbors(u) {
+                edges.push((u, v, 1.0 / d as f64));
+            }
+        }
+        WeightedDiGraph::from_edges(graph.num_nodes(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = WeightedDiGraph::from_edges(3, &[(0, 1, 0.5), (0, 2, 0.3), (2, 0, 1.0)]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let (t, w) = g.out_edges(0);
+        assert_eq!(t, &[1, 2]);
+        assert_eq!(w, &[0.5, 0.3]);
+        assert!((g.out_weight_sum(0) - 0.8).abs() < 1e-12);
+        let (s, w) = g.in_edges(0);
+        assert_eq!(s, &[2]);
+        assert_eq!(w, &[1.0]);
+    }
+
+    #[test]
+    fn duplicates_merge_by_sum() {
+        let g = WeightedDiGraph::from_edges(2, &[(0, 1, 0.25), (0, 1, 0.25)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.out_edges(0).1[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lift_unweighted() {
+        let d = approxrank_graph::DiGraph::from_edges(3, &[(0, 1), (0, 2), (1, 0)]);
+        let g = WeightedDiGraph::from_unweighted(&d);
+        assert!((g.out_weight_sum(0) - 1.0).abs() < 1e-12);
+        assert!((g.out_weight_sum(1) - 1.0).abs() < 1e-12);
+        assert_eq!(g.out_weight_sum(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn rejects_negative_weight() {
+        WeightedDiGraph::from_edges(2, &[(0, 1, -0.1)]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Reproducibility: every pipeline stage is deterministic under a fixed
+//! seed — datasets, crawls, rankings, and persisted graphs.
+
+use approxrank::gen::{au_like, politics_like, AuConfig, BfsCrawler, PoliticsConfig};
+use approxrank::graph::io;
+use approxrank::pagerank::pagerank;
+use approxrank::{ApproxRank, PageRankOptions, StochasticComplementation, Subgraph, SubgraphRanker};
+
+#[test]
+fn datasets_are_bit_identical_across_builds() {
+    let cfg = AuConfig {
+        pages: 5_000,
+        ..AuConfig::default()
+    };
+    assert_eq!(au_like(&cfg).graph(), au_like(&cfg).graph());
+
+    let pcfg = PoliticsConfig {
+        pages: 5_000,
+        categories: 10,
+        ..PoliticsConfig::default()
+    };
+    let a = politics_like(&pcfg);
+    let b = politics_like(&pcfg);
+    assert_eq!(a.graph(), b.graph());
+    for t in 0..a.num_topics() {
+        assert_eq!(a.listed_pages(t), b.listed_pages(t));
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let data = au_like(&AuConfig {
+            pages: 5_000,
+            ..AuConfig::default()
+        });
+        let g = data.graph();
+        let truth = pagerank(g, &PageRankOptions::paper());
+        let seed = (0..g.num_nodes() as u32)
+            .find(|&u| g.out_degree(u) >= 3)
+            .unwrap();
+        let nodes = BfsCrawler::new(seed).crawl_fraction(g, 0.05);
+        let sub = Subgraph::extract(g, nodes);
+        let approx = ApproxRank::default().rank(g, &sub);
+        let sc = StochasticComplementation::default().rank(g, &sub);
+        (truth.scores, approx.local_scores, sc.local_scores)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn persisted_graph_ranks_identically() {
+    let data = au_like(&AuConfig {
+        pages: 3_000,
+        ..AuConfig::default()
+    });
+    let g = data.graph();
+
+    // Round-trip through both on-disk formats.
+    let dir = std::env::temp_dir().join("approxrank-determinism-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = dir.join("au.bin");
+    let txt = dir.join("au.edges");
+    io::write_binary_file(g, &bin).unwrap();
+    io::write_edge_list_file(g, &txt).unwrap();
+    let g_bin = io::read_binary_file(&bin).unwrap();
+    let g_txt = io::read_edge_list_file(&txt).unwrap();
+    assert_eq!(g, &g_bin);
+    assert_eq!(g, &g_txt);
+
+    let sub = Subgraph::extract(g, data.ds_subgraph(1));
+    let sub_bin = Subgraph::extract(&g_bin, data.ds_subgraph(1));
+    let a = ApproxRank::default().rank(g, &sub);
+    let b = ApproxRank::default().rank(&g_bin, &sub_bin);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: the ObjectRank substrate driving the weighted
+//! Λ-collapse (the paper's Figure-3 scenario end-to-end).
+
+use approxrank::objectrank::subrank::{
+    focus_node_set, rank_focus_subgraph, rank_focus_subgraph_ideal,
+};
+use approxrank::objectrank::{synthetic_bibliography, BibliographyConfig, ObjectRank};
+use approxrank::pagerank::authority::{authority_flow, FlowModel};
+use approxrank::PageRankOptions;
+use approxrank_metrics::footrule::footrule_from_scores;
+
+fn instance() -> approxrank::objectrank::InstanceGraph {
+    synthetic_bibliography(&BibliographyConfig {
+        papers: 800,
+        authors: 250,
+        conferences: 8,
+        seed: 99,
+        ..BibliographyConfig::default()
+    })
+}
+
+fn opts() -> PageRankOptions {
+    PageRankOptions::paper().with_tolerance(1e-11)
+}
+
+#[test]
+fn weighted_ideal_rank_is_exact_on_semantic_focus() {
+    let inst = instance();
+    let weighted = inst.to_weighted();
+    let n = inst.num_objects();
+    let p = vec![1.0 / n as f64; n];
+    let truth = authority_flow(&weighted, &opts(), &p, FlowModel::Stochastic);
+
+    // The focus: all papers (type 0).
+    let focus = inst.objects_of_type(0);
+    let (ideal, nodes) = rank_focus_subgraph_ideal(&inst, &focus, &truth.scores, &opts());
+    assert!(ideal.converged);
+    let restricted = nodes.restrict(&truth.scores);
+    let err: f64 = ideal
+        .local_scores
+        .iter()
+        .zip(&restricted)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    assert!(err < 1e-7, "weighted Theorem 1: L1 {err}");
+}
+
+#[test]
+fn weighted_approx_rank_beats_local_view_on_semantic_focus() {
+    let inst = instance();
+    let weighted = inst.to_weighted();
+    let n = inst.num_objects();
+    let p = vec![1.0 / n as f64; n];
+    let truth = authority_flow(&weighted, &opts(), &p, FlowModel::Stochastic);
+
+    let focus = inst.objects_of_type(0);
+    let (approx, nodes) = rank_focus_subgraph(&inst, &focus, &opts());
+    let restricted = nodes.restrict(&truth.scores);
+    let fr_approx = footrule_from_scores(&approx.local_scores, &restricted);
+
+    // "Local view": authority flow on the focus subgraph alone (papers
+    // citing papers, blind to authors/conferences).
+    let focus_nodes = focus_node_set(&inst, &focus);
+    let mut local_edges = Vec::new();
+    for &u in focus_nodes.members() {
+        let (targets, weights) = weighted.out_edges(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            if let (Some(lu), Some(lv)) = (focus_nodes.local_id(u), focus_nodes.local_id(v)) {
+                local_edges.push((lu, lv, w));
+            }
+        }
+    }
+    let local_graph =
+        approxrank::pagerank::WeightedDiGraph::from_edges(focus_nodes.len(), &local_edges);
+    let lp = vec![1.0 / focus_nodes.len() as f64; focus_nodes.len()];
+    let local = authority_flow(&local_graph, &opts(), &lp, FlowModel::Stochastic);
+    let fr_local = footrule_from_scores(&local.scores, &restricted);
+
+    assert!(
+        fr_approx < fr_local,
+        "weighted ApproxRank {fr_approx} must beat the local view {fr_local}"
+    );
+}
+
+#[test]
+fn keyword_objectrank_and_subgraph_ranking_compose() {
+    let inst = instance();
+    let or = ObjectRank::default();
+    // Global ObjectRank's top paper should stay top-3 within the focus
+    // ranking of all papers (mild consistency between the two pipelines).
+    let global = or.global(&inst);
+    let papers = inst.objects_of_type(0);
+    let (approx, nodes) = rank_focus_subgraph(&inst, &papers, &opts());
+
+    let top_global_paper = papers
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            global.scores[a as usize]
+                .partial_cmp(&global.scores[b as usize])
+                .unwrap()
+        })
+        .unwrap();
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by(|&a, &b| approx.local_scores[b].partial_cmp(&approx.local_scores[a]).unwrap());
+    let rank_of_top = order
+        .iter()
+        .position(|&k| nodes.global_id(k as u32) == top_global_paper)
+        .unwrap();
+    assert!(
+        rank_of_top < 5,
+        "global top paper ranked #{} in the focus ranking",
+        rank_of_top + 1
+    );
+}
