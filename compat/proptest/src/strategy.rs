@@ -1,0 +1,232 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking tree: a strategy is just a
+/// deterministic function of the [`TestRng`] stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a dependent strategy from
+    /// it, and samples that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u64) - (*self.start() as u64) + 1;
+                self.start() + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// String-pattern strategy (real proptest accepts any regex).
+///
+/// Supported subset: `\PC{lo,hi}` — between `lo` and `hi` arbitrary
+/// non-control characters, biased toward ASCII so parser fuzzing hits
+/// digit/whitespace paths often — or a plain literal (no metacharacters).
+/// Anything else panics so an unsupported pattern fails loudly instead of
+/// silently generating the wrong distribution.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some(rest) = self.strip_prefix("\\PC{") {
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+            let (lo, hi) = body
+                .split_once(',')
+                .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+            let lo: u64 = lo.trim().parse().expect("bad repetition bound");
+            let hi: u64 = hi.trim().parse().expect("bad repetition bound");
+            let len = lo + rng.below(hi - lo + 1);
+            return (0..len).map(|_| random_char(rng)).collect();
+        }
+        assert!(
+            !self.contains(['\\', '[', '(', '*', '+', '?', '{', '|', '.']),
+            "unsupported string pattern {self:?}"
+        );
+        self.to_string()
+    }
+}
+
+/// A non-control scalar: half the time printable ASCII (including
+/// newline/tab, the separators an edge-list parser cares about), half the
+/// time an arbitrary non-control, non-surrogate code point.
+fn random_char(rng: &mut TestRng) -> char {
+    if rng.next_u64() & 1 == 0 {
+        let ascii = b" \t\n0123456789 abcdefXYZ,;:#->!";
+        ascii[rng.below(ascii.len() as u64) as usize] as char
+    } else {
+        loop {
+            let code = rng.below(0x11_0000) as u32;
+            if let Some(c) = char::from_u32(code) {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ );)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut r);
+            assert!((0.25..0.75).contains(&f));
+            let i = (2u32..=4).generate(&mut r);
+            assert!((2..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let s = (1usize..5).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let (n, k) = s.generate(&mut r);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn tuples_and_just() {
+        let s = (Just(41usize), 0usize..10);
+        let mut r = rng();
+        let (a, b) = s.generate(&mut r);
+        assert_eq!(a, 41);
+        assert!(b < 10);
+    }
+}

@@ -1,0 +1,188 @@
+//! Case generation and the test loop.
+
+/// Deterministic generator feeding the strategies (SplitMix64).
+///
+/// Seeds derive from the test name, so every `cargo test` run generates
+/// the same cases — a failure reproduces without a persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)` (rejection sampling, no bias).
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "cannot sample from an empty range");
+        if span == 1 {
+            return 0;
+        }
+        let mask = u64::MAX >> (span - 1).leading_zeros();
+        loop {
+            let v = self.next_u64() & mask;
+            if v < span {
+                return v;
+            }
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed; the message is reported in the panic.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is discarded.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Convenience constructor used by the assertion macros.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running the given number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a of the test name: the base of the deterministic seed schedule.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure with enough context to reproduce it.
+///
+/// # Panics
+/// Panics if a case fails, or if too many consecutive cases are rejected
+/// (`prop_assume!` filtering out more than ~95% of inputs).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut passed: u32 = 0;
+    let mut attempt: u32 = 0;
+    let max_attempts = config.cases.saturating_mul(20).max(20);
+    while passed < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "[{name}] gave up: only {passed}/{} cases passed after {attempt} attempts \
+                 (prop_assume! rejects too much)",
+                config.cases
+            );
+        }
+        let seed = base ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut rng = TestRng::from_seed(seed);
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("[{name}] case {attempt} (seed {seed:#018x}) failed:\n{msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut total = 0;
+        let mut passed = 0;
+        run_cases(&ProptestConfig::with_cases(10), "rej", |rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            passed += 1;
+            Ok(())
+        });
+        assert_eq!(passed, 10);
+        assert!(total >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failure_panics() {
+        run_cases(&ProptestConfig::default(), "fails", |_| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn all_rejected_gives_up() {
+        run_cases(&ProptestConfig::with_cases(5), "all-rejected", |_| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let collect = |name: &str| {
+            let mut vals = Vec::new();
+            run_cases(&ProptestConfig::with_cases(5), name, |rng| {
+                vals.push(rng.next_u64());
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect("a"), collect("a"));
+        assert_ne!(collect("a"), collect("b"));
+    }
+}

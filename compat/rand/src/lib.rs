@@ -1,0 +1,235 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of the `rand` API its generators and tests use:
+//!
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] — a deterministic,
+//!   seedable generator (SplitMix64; not cryptographic, which matches the
+//!   workspace's use: reproducible synthetic datasets and tests);
+//! * [`Rng`] — the core trait producing raw `u64`s;
+//! * [`RngExt`] — `random::<T>()` and `random_range(range)` extension
+//!   methods, blanket-implemented for every [`Rng`].
+//!
+//! Determinism is part of the contract: a given seed must produce the
+//! same stream on every platform and in every future version, because
+//! the experiment harness's datasets are seeded and the repro tables are
+//! checked against recorded values.
+
+/// A source of uniformly distributed `u64`s.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled from raw random bits via [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`'s uniform bit stream.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types [`RngExt::random_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Converts to the `u64` sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the `u64` sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges [`RngExt::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// The `[low, high)` bounds in the `u64` domain.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn bounds(&self) -> (u64, u64);
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(&self) -> (u64, u64) {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "cannot sample from an empty range");
+        (lo, hi)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (u64, u64) {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        (lo, hi + 1)
+    }
+}
+
+/// Extension methods every [`Rng`] gets for free.
+pub trait RngExt: Rng {
+    /// Draws one uniformly random value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniformly random value from `range`.
+    ///
+    /// Uses rejection sampling over a power-of-two mask, so the result is
+    /// exactly uniform (no modulo bias) and deterministic per seed.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let span = hi - lo;
+        if span == 1 {
+            return T::from_u64(lo);
+        }
+        // Smallest all-ones mask covering span-1.
+        let mask = u64::MAX >> (span - 1).leading_zeros();
+        loop {
+            let v = self.next_u64() & mask;
+            if v < span {
+                return T::from_u64(lo + v);
+            }
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: SplitMix64
+    /// (Steele, Lea & Flood 2014). Passes BigCrush on its own and is
+    /// byte-for-byte reproducible across platforms — exactly what seeded
+    /// dataset generation needs. Not cryptographically secure.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..8).map(|_| rng.random::<u64>()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let a: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: usize = rng.random_range(5..=5);
+            assert_eq!(b, 5);
+            let c: u64 = rng.random_range(0..=3);
+            assert!(c <= 3);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.random_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u32 = rng.random_range(5..5);
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+}

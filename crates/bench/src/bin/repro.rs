@@ -1,25 +1,28 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all [--scale F] [--markdown]
+//! repro all [--scale F] [--markdown] [--quiet] [--trace-json FILE]
 //! repro table2|table3|table4|table5|table6|figure7|theorem1|theorem2 [--scale F]
 //! ```
 //!
 //! `--scale 1.0` (default) is a 1:20 reduction of the paper's crawls
 //! sized for a laptop; `--scale 20` is paper-sized. `--markdown` emits
 //! GitHub-flavoured markdown (the format `EXPERIMENTS.md` embeds).
+//! `--quiet` silences the progress notes on stderr; `--trace-json FILE`
+//! records a per-experiment span stream that `subrank report` renders.
 
 use std::process::ExitCode;
 
 use approxrank_bench::datasets::DatasetScale;
 use approxrank_bench::experiments::{
     ablation_cohesion, ablation_damping, ablation_serverrank, ablation_solvers, convergence,
-    figure7, scaling, scorecard, table2,
-    table3, table4, table5, table6, theorem1, theorem2, topk, updating, AuContext,
-    ExperimentOutput, PoliticsContext,
+    figure7, scaling, scorecard, table2, table3, table4, table5, table6, theorem1, theorem2, topk,
+    updating, AuContext, ExperimentOutput, PoliticsContext,
 };
+use approxrank_trace::{Observer, Recorder};
 
-const USAGE: &str = "usage: repro <experiment> [--scale F] [--markdown]
+const USAGE: &str =
+    "usage: repro <experiment> [--scale F] [--markdown] [--quiet] [--trace-json FILE]
 experiments: all, table2, table3, table4, table5, table6, figure7, theorem1, theorem2,
              topk, serverrank, updating, cohesion, damping, solvers, scaling,
              convergence, scorecard (extensions)";
@@ -28,12 +31,16 @@ struct Args {
     experiment: String,
     scale: DatasetScale,
     markdown: bool,
+    quiet: bool,
+    trace_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = None;
     let mut scale = DatasetScale::default();
     let mut markdown = false;
+    let mut quiet = false;
+    let mut trace_json = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
                 scale = DatasetScale(f);
             }
             "--markdown" => markdown = true,
+            "--quiet" => quiet = true,
+            "--trace-json" => trace_json = Some(it.next().ok_or("--trace-json needs a value")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if experiment.is_none() => experiment = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
@@ -55,52 +64,106 @@ fn parse_args() -> Result<Args, String> {
         experiment: experiment.ok_or(USAGE)?,
         scale,
         markdown,
+        quiet,
+        trace_json,
     })
 }
 
-fn emit(out: &ExperimentOutput, markdown: bool) {
-    if markdown {
-        print!("{}", out.render_markdown());
-    } else {
-        print!("{}", out.render());
+/// Runs experiments, routing progress notes (stderr, silenced by
+/// `--quiet`) and telemetry spans (collected when `--trace-json` asks
+/// for them) through one place instead of scattered `eprintln!`s.
+struct Harness {
+    markdown: bool,
+    quiet: bool,
+    recorder: Option<Recorder>,
+}
+
+impl Harness {
+    fn new(args: &Args) -> Harness {
+        Harness {
+            markdown: args.markdown,
+            quiet: args.quiet,
+            recorder: args.trace_json.as_ref().map(|_| Recorder::new()),
+        }
+    }
+
+    fn note(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("[repro] {msg}");
+        }
+    }
+
+    fn obs(&self) -> &dyn Observer {
+        match &self.recorder {
+            Some(r) => r,
+            None => approxrank_trace::null(),
+        }
+    }
+
+    /// Announces, times (as a span named after the experiment), runs,
+    /// and prints one experiment.
+    fn run(&self, name: &str, f: impl FnOnce() -> ExperimentOutput) {
+        self.note(&format!("{name} ..."));
+        let out = {
+            let _span = self.obs().span(name);
+            f()
+        };
+        if self.markdown {
+            print!("{}", out.render_markdown());
+        } else {
+            print!("{}", out.render());
+        }
+    }
+
+    /// Writes the collected event stream, if `--trace-json` asked for it.
+    fn finish(&self, trace_json: Option<&str>) -> Result<(), String> {
+        let (Some(path), Some(recorder)) = (trace_json, &self.recorder) else {
+            return Ok(());
+        };
+        std::fs::write(path, approxrank_trace::jsonl::emit(&recorder.events()))
+            .map_err(|e| format!("cannot write {path}: {e}"))
     }
 }
 
-fn run_all(scale: DatasetScale, markdown: bool) {
-    eprintln!("[repro] building politics-like dataset (scale {}) ...", scale.0);
-    let politics = PoliticsContext::build(scale);
-    eprintln!(
-        "[repro] politics-like: {} pages, global PageRank {:.2}s",
+fn run_all(h: &Harness, scale: DatasetScale) {
+    h.note(&format!(
+        "building politics-like dataset (scale {}) ...",
+        scale.0
+    ));
+    let politics = {
+        let _span = h.obs().span("build_politics");
+        PoliticsContext::build(scale)
+    };
+    h.note(&format!(
+        "politics-like: {} pages, global PageRank {}",
         politics.data.graph().num_nodes(),
-        politics.truth.seconds
-    );
-    eprintln!("[repro] building AU-like dataset ...");
-    let au = AuContext::build(scale);
-    eprintln!(
-        "[repro] AU-like: {} pages, global PageRank {:.2}s",
+        politics.truth.result.summary()
+    ));
+    h.note("building AU-like dataset ...");
+    let au = {
+        let _span = h.obs().span("build_au");
+        AuContext::build(scale)
+    };
+    h.note(&format!(
+        "AU-like: {} pages, global PageRank {}",
         au.data.graph().num_nodes(),
-        au.truth.seconds
-    );
+        au.truth.result.summary()
+    ));
 
-    emit(&table2::run(scale), markdown);
-    eprintln!("[repro] table3 ...");
-    emit(&table3::run_with(&politics).1, markdown);
-    eprintln!("[repro] table4 (includes SC on 12 domains; the slow one) ...");
-    emit(&table4::run_with(&au, true).1, markdown);
-    eprintln!("[repro] table5 ...");
-    emit(&table5::run_with(&politics).1, markdown);
-    eprintln!("[repro] table6 ...");
-    emit(&table6::run_with(&au).1, markdown);
-    eprintln!("[repro] figure7 ...");
-    emit(&figure7::run_with(&au).1, markdown);
-    eprintln!("[repro] theorem1 ...");
-    emit(&theorem1::run_with(&au, 3).1, markdown);
-    eprintln!("[repro] theorem2 ...");
-    emit(&theorem2::run_with(&politics, 20).1, markdown);
-    eprintln!("[repro] topk ...");
-    emit(&topk::run_with(&au).1, markdown);
-    eprintln!("[repro] serverrank ablation ...");
-    emit(&ablation_serverrank::run_with(&au).1, markdown);
+    h.run("table2", || table2::run(scale));
+    h.run("table3", || table3::run_with(&politics).1);
+    h.run("table4 (includes SC on 12 domains; the slow one)", || {
+        table4::run_with(&au, true).1
+    });
+    h.run("table5", || table5::run_with(&politics).1);
+    h.run("table6", || table6::run_with(&au).1);
+    h.run("figure7", || figure7::run_with(&au).1);
+    h.run("theorem1", || theorem1::run_with(&au, 3).1);
+    h.run("theorem2", || theorem2::run_with(&politics, 20).1);
+    h.run("topk", || topk::run_with(&au).1);
+    h.run("serverrank ablation", || {
+        ablation_serverrank::run_with(&au).1
+    });
 }
 
 fn main() -> ExitCode {
@@ -111,29 +174,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let h = Harness::new(&args);
+    let scale = args.scale;
     match args.experiment.as_str() {
-        "all" => run_all(args.scale, args.markdown),
-        "table2" => emit(&table2::run(args.scale), args.markdown),
-        "table3" => emit(&table3::run(args.scale), args.markdown),
-        "table4" => emit(&table4::run(args.scale), args.markdown),
-        "table5" => emit(&table5::run(args.scale), args.markdown),
-        "table6" => emit(&table6::run(args.scale), args.markdown),
-        "figure7" => emit(&figure7::run(args.scale), args.markdown),
-        "theorem1" => emit(&theorem1::run(args.scale), args.markdown),
-        "theorem2" => emit(&theorem2::run(args.scale), args.markdown),
-        "topk" => emit(&topk::run(args.scale), args.markdown),
-        "serverrank" => emit(&ablation_serverrank::run(args.scale), args.markdown),
-        "cohesion" => emit(&ablation_cohesion::run(args.scale), args.markdown),
-        "damping" => emit(&ablation_damping::run(args.scale), args.markdown),
-        "solvers" => emit(&ablation_solvers::run(args.scale), args.markdown),
-        "updating" => emit(&updating::run(args.scale), args.markdown),
-        "scaling" => emit(&scaling::run(args.scale), args.markdown),
-        "convergence" => emit(&convergence::run(args.scale), args.markdown),
-        "scorecard" => emit(&scorecard::run(args.scale), args.markdown),
+        "all" => run_all(&h, scale),
+        "table2" => h.run("table2", || table2::run(scale)),
+        "table3" => h.run("table3", || table3::run(scale)),
+        "table4" => h.run("table4", || table4::run(scale)),
+        "table5" => h.run("table5", || table5::run(scale)),
+        "table6" => h.run("table6", || table6::run(scale)),
+        "figure7" => h.run("figure7", || figure7::run(scale)),
+        "theorem1" => h.run("theorem1", || theorem1::run(scale)),
+        "theorem2" => h.run("theorem2", || theorem2::run(scale)),
+        "topk" => h.run("topk", || topk::run(scale)),
+        "serverrank" => h.run("serverrank", || ablation_serverrank::run(scale)),
+        "cohesion" => h.run("cohesion", || ablation_cohesion::run(scale)),
+        "damping" => h.run("damping", || ablation_damping::run(scale)),
+        "solvers" => h.run("solvers", || ablation_solvers::run(scale)),
+        "updating" => h.run("updating", || updating::run(scale)),
+        "scaling" => h.run("scaling", || scaling::run(scale)),
+        "convergence" => h.run("convergence", || convergence::run(scale)),
+        "scorecard" => h.run("scorecard", || scorecard::run(scale)),
         other => {
             eprintln!("unknown experiment {other:?}\n{USAGE}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Err(msg) = h.finish(args.trace_json.as_deref()) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

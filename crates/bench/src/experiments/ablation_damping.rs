@@ -57,7 +57,13 @@ pub fn run_rows(scale: DatasetScale) -> (Vec<Row>, ExperimentOutput) {
 
     let mut t = Table::new(
         "Ablation — ApproxRank accuracy vs damping factor ε (subgraph 'socialism')",
-        &["ε", "footrule", "L1 (normalized)", "Theorem-2 limit bound", "bound factor ε/(1−ε)"],
+        &[
+            "ε",
+            "footrule",
+            "L1 (normalized)",
+            "Theorem-2 limit bound",
+            "bound factor ε/(1−ε)",
+        ],
     );
     for r in &rows {
         t.push_row(vec![

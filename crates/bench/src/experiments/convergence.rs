@@ -86,7 +86,12 @@ pub fn run_rows(scale: DatasetScale) -> (Vec<Row>, ExperimentOutput) {
 
     let mut t = Table::new(
         "Ablation — residual decay (ε = 0.85; geometric ratio should be ≤ ε)",
-        &["solve", "iterations to 1e-5", "residual @5", "tail decay ratio"],
+        &[
+            "solve",
+            "iterations to 1e-5",
+            "residual @5",
+            "tail decay ratio",
+        ],
     );
     for r in &rows {
         t.push_row(vec![

@@ -69,7 +69,14 @@ pub fn run_with(ctx: &AuContext) -> (Vec<Row>, ExperimentOutput) {
 
     let mut t = Table::new(
         "Figure 7 — Spearman's footrule for BFS subgraphs (AU-like dataset)",
-        &["% crawled", "n", "ApproxRank", "local PageRank", "LPR2", "SC"],
+        &[
+            "% crawled",
+            "n",
+            "ApproxRank",
+            "local PageRank",
+            "LPR2",
+            "SC",
+        ],
     );
     for r in &rows {
         t.push_row(vec![
@@ -78,18 +85,14 @@ pub fn run_with(ctx: &AuContext) -> (Vec<Row>, ExperimentOutput) {
             fmt_dist(r.approx.footrule),
             fmt_dist(r.local.footrule),
             fmt_dist(r.lpr2.footrule),
-            r.sc
-                .as_ref()
-                .map_or("-".into(), |e| fmt_dist(e.footrule)),
+            r.sc.as_ref().map_or("-".into(), |e| fmt_dist(e.footrule)),
         ]);
     }
     let out = ExperimentOutput {
         tables: vec![t],
-        notes: vec![
-            "paper shape: BFS distances ≫ DS distances at equal size; \
+        notes: vec!["paper shape: BFS distances ≫ DS distances at equal size; \
              ApproxRank ~10x better than both baselines; LPR2 worst"
-                .to_string(),
-        ],
+            .to_string()],
     };
     (rows, out)
 }

@@ -10,8 +10,8 @@ pub mod ablation_serverrank;
 pub mod ablation_solvers;
 pub mod convergence;
 pub mod figure7;
-pub mod scorecard;
 pub mod scaling;
+pub mod scorecard;
 pub mod table2;
 pub mod table3;
 pub mod table4;

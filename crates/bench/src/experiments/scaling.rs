@@ -64,7 +64,14 @@ pub fn run_rows(base: DatasetScale) -> (Vec<Row>, ExperimentOutput) {
 
     let mut t = Table::new(
         "Ablation — conclusion stability across dataset scale (domain adelaide.edu.au)",
-        &["scale", "pages", "n", "ApproxRank", "local PageRank", "LPR2"],
+        &[
+            "scale",
+            "pages",
+            "n",
+            "ApproxRank",
+            "local PageRank",
+            "LPR2",
+        ],
     );
     for r in &rows {
         t.push_row(vec![

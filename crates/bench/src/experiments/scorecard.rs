@@ -39,7 +39,10 @@ pub fn run_claims(scale: DatasetScale) -> (Vec<Claim>, ExperimentOutput) {
     // Table III: ApproxRank beats SC on footrule for all TS subgraphs.
     {
         let (rows, _) = table3::run_with(&politics);
-        let wins = rows.iter().filter(|r| r.approx.footrule < r.sc.footrule).count();
+        let wins = rows
+            .iter()
+            .filter(|r| r.approx.footrule < r.sc.footrule)
+            .count();
         claims.push(Claim {
             artefact: "Table III",
             claim: "ApproxRank beats SC on Spearman's footrule for every TS subgraph",
@@ -53,11 +56,12 @@ pub fn run_claims(scale: DatasetScale) -> (Vec<Claim>, ExperimentOutput) {
         let (rows, _) = table4::run_with(&au, true);
         let full_order = rows
             .iter()
-            .filter(|r| {
-                r.approx.footrule < r.lpr2.footrule && r.lpr2.footrule < r.local.footrule
-            })
+            .filter(|r| r.approx.footrule < r.lpr2.footrule && r.lpr2.footrule < r.local.footrule)
             .count();
-        let beats_sc = rows.iter().filter(|r| r.approx.footrule < r.sc.footrule).count();
+        let beats_sc = rows
+            .iter()
+            .filter(|r| r.approx.footrule < r.sc.footrule)
+            .count();
         claims.push(Claim {
             artefact: "Table IV",
             claim: "ApproxRank < LPR2 < local PageRank on every DS subgraph; ApproxRank beats SC",
@@ -90,9 +94,7 @@ pub fn run_claims(scale: DatasetScale) -> (Vec<Claim>, ExperimentOutput) {
         let (rows, _) = figure7::run_with(&au);
         let wins = rows
             .iter()
-            .filter(|r| {
-                r.approx.footrule < r.local.footrule && r.approx.footrule < r.lpr2.footrule
-            })
+            .filter(|r| r.approx.footrule < r.local.footrule && r.approx.footrule < r.lpr2.footrule)
             .count();
         claims.push(Claim {
             artefact: "Figure 7",

@@ -67,7 +67,10 @@ pub fn run_with(ctx: &PoliticsContext) -> (Vec<Row>, ExperimentOutput) {
             fmt_dist(r.approx.footrule),
         ]);
     }
-    let wins = rows.iter().filter(|r| r.approx.footrule < r.sc.footrule).count();
+    let wins = rows
+        .iter()
+        .filter(|r| r.approx.footrule < r.sc.footrule)
+        .count();
     let out = ExperimentOutput {
         tables: vec![t],
         notes: vec![format!(

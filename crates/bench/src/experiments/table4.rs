@@ -147,7 +147,10 @@ mod tests {
             }
         }
         // The paper's headline orderings must hold on (almost) all domains.
-        assert!(approx_beats_local >= 11, "vs local: {approx_beats_local}/12");
+        assert!(
+            approx_beats_local >= 11,
+            "vs local: {approx_beats_local}/12"
+        );
         assert!(approx_beats_lpr2 >= 10, "vs LPR2: {approx_beats_lpr2}/12");
         assert!(approx_beats_sc >= 10, "vs SC: {approx_beats_sc}/12");
     }

@@ -36,11 +36,7 @@ pub struct Row {
 }
 
 /// Times all three algorithms on one extracted subgraph.
-pub fn time_subgraph(
-    ctx_graph: &approxrank_graph::DiGraph,
-    name: String,
-    sub: &Subgraph,
-) -> Row {
+pub fn time_subgraph(ctx_graph: &approxrank_graph::DiGraph, name: String, sub: &Subgraph) -> Row {
     let opts = experiment_options();
     let local = LocalPageRank::new(opts.clone());
     let approx = ApproxRank::new(opts);

@@ -94,12 +94,7 @@ mod tests {
         for r in &rows {
             // The ground truth itself converged to 1e-5, so IdealRank can
             // only match it to that order; the residual must not be worse.
-            assert!(
-                r.l1_to_truth < 1e-3,
-                "{}: L1 {}",
-                r.subgraph,
-                r.l1_to_truth
-            );
+            assert!(r.l1_to_truth < 1e-3, "{}: L1 {}", r.subgraph, r.l1_to_truth);
             assert!(r.lambda_error < 1e-3, "{}", r.subgraph);
         }
     }

@@ -78,14 +78,22 @@ pub fn run_with(ctx: &PoliticsContext, iterations: usize) -> (Theorem2Result, Ex
             "Theorem 2 — measured gap vs bound on '{name}' \
              (‖E − E_approx‖₁ = {gap:.6})"
         ),
-        &["iteration m", "measured ‖Rᵢ−Rₐ‖₁", "bound (ε+…+ε^m)·gap", "tightness"],
+        &[
+            "iteration m",
+            "measured ‖Rᵢ−Rₐ‖₁",
+            "bound (ε+…+ε^m)·gap",
+            "tightness",
+        ],
     );
     for r in &result.iterations {
         t.push_row(vec![
             r.m.to_string(),
             format!("{:.6e}", r.measured),
             format!("{:.6e}", r.bound),
-            format!("{:.1}%", 100.0 * r.measured / r.bound.max(f64::MIN_POSITIVE)),
+            format!(
+                "{:.1}%",
+                100.0 * r.measured / r.bound.max(f64::MIN_POSITIVE)
+            ),
         ]);
     }
     let out = ExperimentOutput {

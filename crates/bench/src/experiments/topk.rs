@@ -67,19 +67,17 @@ pub fn run_with(ctx: &AuContext) -> (Vec<Row>, ExperimentOutput) {
 
     let mut t = Table::new(
         "Top-K answer quality (fraction of the true top-k recovered)",
-        &[
-            "subgraph",
-            "k",
-            "ApproxRank",
-            "local PageRank",
-            "LPR2",
-        ],
+        &["subgraph", "k", "ApproxRank", "local PageRank", "LPR2"],
     );
     for r in &rows {
         for (i, &k) in KS.iter().enumerate() {
             let (a, l, p) = r.overlaps[i];
             t.push_row(vec![
-                if i == 0 { r.subgraph.clone() } else { String::new() },
+                if i == 0 {
+                    r.subgraph.clone()
+                } else {
+                    String::new()
+                },
                 k.to_string(),
                 format!("{:.0}%", 100.0 * a),
                 format!("{:.0}%", 100.0 * l),

@@ -76,7 +76,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -113,11 +117,7 @@ mod tests {
         assert!(s.contains("| value"));
         assert!(s.contains("alpha"));
         // All data lines have equal width.
-        let widths: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.chars().count())
-            .collect();
+        let widths: Vec<usize> = s.lines().skip(1).map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
     }
 

@@ -56,6 +56,32 @@ impl Solver {
     }
 }
 
+/// Telemetry flags shared by the solving subcommands.
+#[derive(Clone, Debug, Default)]
+pub struct TraceOpts {
+    /// Append a human-readable run report (as `#` comment lines).
+    pub trace: bool,
+    /// Write the raw event stream as JSON lines to this path.
+    pub trace_json: Option<String>,
+    /// Suppress `#` comment lines (headers and reports); scores only.
+    pub quiet: bool,
+}
+
+impl TraceOpts {
+    /// True when events must be collected at all.
+    pub fn enabled(&self) -> bool {
+        self.trace || self.trace_json.is_some()
+    }
+
+    fn take(opts: &mut Options) -> TraceOpts {
+        TraceOpts {
+            trace: opts.flag("trace"),
+            trace_json: opts.take("trace-json"),
+            quiet: opts.flag("quiet"),
+        }
+    }
+}
+
 /// `subrank rank` arguments.
 #[derive(Clone, Debug, Default)]
 pub struct RankArgs {
@@ -73,6 +99,8 @@ pub struct RankArgs {
     pub tolerance: f64,
     /// Print only the top-k pages (0 = all).
     pub top: usize,
+    /// Telemetry flags.
+    pub trace: TraceOpts,
 }
 
 /// `subrank global` arguments.
@@ -88,6 +116,8 @@ pub struct GlobalArgs {
     pub tolerance: f64,
     /// Print only the top-k pages (0 = all).
     pub top: usize,
+    /// Telemetry flags.
+    pub trace: TraceOpts,
 }
 
 /// `subrank compare` arguments.
@@ -110,6 +140,13 @@ pub struct CompareArgs {
 pub struct StatsArgs {
     /// Edge-list (or binary) graph file.
     pub graph: String,
+}
+
+/// `subrank report` arguments.
+#[derive(Clone, Debug, Default)]
+pub struct ReportArgs {
+    /// JSON-lines trace file written by `--trace-json`.
+    pub input: String,
 }
 
 /// `subrank gen` arguments.
@@ -145,17 +182,25 @@ pub enum Command {
     Compare(CompareArgs),
     /// Generate a synthetic dataset.
     Gen(GenArgs),
+    /// Summarize a `--trace-json` event file.
+    Report(ReportArgs),
 }
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "usage:
   subrank rank   --graph FILE --subgraph FILE [--algorithm approxrank|idealrank|local|lpr2|sc]
                  [--scores FILE] [--damping 0.85] [--tolerance 1e-5] [--top K]
+                 [--trace] [--trace-json FILE] [--quiet]
   subrank global --graph FILE [--solver power|gauss-seidel|extrapolated]
                  [--damping 0.85] [--tolerance 1e-5] [--top K]
+                 [--trace] [--trace-json FILE] [--quiet]
   subrank compare --graph FILE --subgraph FILE [--truth yes] [--damping 0.85] [--tolerance 1e-5]
   subrank stats  --graph FILE
-  subrank gen    --dataset au|politics --pages N [--seed S] --out FILE";
+  subrank gen    --dataset au|politics --pages N [--seed S] --out FILE
+  subrank report --input TRACE.jsonl";
+
+/// Flags that take no value; their presence alone means "on".
+const BOOLEAN_FLAGS: &[&str] = &["trace", "quiet"];
 
 struct Options {
     pairs: Vec<(String, String)>,
@@ -169,6 +214,10 @@ impl Options {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(format!("expected a --flag, got {flag:?}\n{USAGE}"));
             };
+            if BOOLEAN_FLAGS.contains(&name) {
+                pairs.push((name.to_string(), String::new()));
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("--{name} needs a value\n{USAGE}"))?;
@@ -180,6 +229,10 @@ impl Options {
     fn take(&mut self, name: &str) -> Option<String> {
         let idx = self.pairs.iter().position(|(n, _)| n == name)?;
         Some(self.pairs.remove(idx).1)
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        self.take(name).is_some()
     }
 
     fn require(&mut self, name: &str) -> Result<String, String> {
@@ -225,6 +278,7 @@ impl Cli {
                     damping: opts.numeric("damping", 0.85)?,
                     tolerance: opts.numeric("tolerance", 1e-5)?,
                     top: opts.numeric("top", 0usize)?,
+                    trace: TraceOpts::take(&mut opts),
                 };
                 if args.algorithm == Algorithm::IdealRank && args.scores.is_none() {
                     return Err("idealrank requires --scores FILE".into());
@@ -240,6 +294,7 @@ impl Cli {
                 damping: opts.numeric("damping", 0.85)?,
                 tolerance: opts.numeric("tolerance", 1e-5)?,
                 top: opts.numeric("top", 0usize)?,
+                trace: TraceOpts::take(&mut opts),
             }),
             "stats" => Command::Stats(StatsArgs {
                 graph: opts.require("graph")?,
@@ -259,6 +314,9 @@ impl Cli {
                 pages: opts.numeric("pages", 10_000usize)?,
                 seed: opts.numeric("seed", 0u64)?,
                 out: opts.require("out")?,
+            }),
+            "report" => Command::Report(ReportArgs {
+                input: opts.require("input")?,
             }),
             "--help" | "-h" | "help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -305,8 +363,8 @@ mod tests {
 
     #[test]
     fn idealrank_needs_scores() {
-        let err = Cli::parse(&argv("rank --graph g --subgraph s --algorithm idealrank"))
-            .unwrap_err();
+        let err =
+            Cli::parse(&argv("rank --graph g --subgraph s --algorithm idealrank")).unwrap_err();
         assert!(err.contains("--scores"));
         assert!(Cli::parse(&argv(
             "rank --graph g --subgraph s --algorithm idealrank --scores r.txt"
@@ -342,11 +400,41 @@ mod tests {
     #[test]
     fn parses_gen_and_stats() {
         let cli = Cli::parse(&argv("gen --dataset au --pages 5000 --out x.edges")).unwrap();
-        let Command::Gen(a) = cli.command else { panic!() };
+        let Command::Gen(a) = cli.command else {
+            panic!()
+        };
         assert_eq!(a.pages, 5_000);
         assert_eq!(a.seed, 0);
         let cli = Cli::parse(&argv("stats --graph x.edges")).unwrap();
         assert!(matches!(cli.command, Command::Stats(_)));
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let cli = Cli::parse(&argv(
+            "global --graph g --trace --quiet --trace-json t.jsonl",
+        ))
+        .unwrap();
+        let Command::Global(a) = cli.command else {
+            panic!()
+        };
+        assert!(a.trace.trace && a.trace.quiet && a.trace.enabled());
+        assert_eq!(a.trace.trace_json.as_deref(), Some("t.jsonl"));
+        let cli = Cli::parse(&argv("rank --graph g --subgraph s")).unwrap();
+        let Command::Rank(a) = cli.command else {
+            panic!()
+        };
+        assert!(!a.trace.enabled() && !a.trace.quiet);
+    }
+
+    #[test]
+    fn parses_report() {
+        let cli = Cli::parse(&argv("report --input t.jsonl")).unwrap();
+        let Command::Report(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.input, "t.jsonl");
+        assert!(Cli::parse(&argv("report")).is_err());
     }
 
     #[test]
@@ -360,8 +448,7 @@ mod tests {
 
     #[test]
     fn bad_numeric_reported() {
-        let err =
-            Cli::parse(&argv("global --graph g --damping abc")).unwrap_err();
+        let err = Cli::parse(&argv("global --graph g --damping abc")).unwrap_err();
         assert!(err.contains("--damping"));
     }
 }

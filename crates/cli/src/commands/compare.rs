@@ -105,8 +105,14 @@ mod tests {
         let gpath = dir.join("g.edges");
         io::write_edge_list_file(&g, &gpath).unwrap();
         let spath = dir.join("s.txt");
-        std::fs::write(&spath, (0..20).map(|i| i.to_string()).collect::<Vec<_>>().join("\n"))
-            .unwrap();
+        std::fs::write(
+            &spath,
+            (0..20)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+        .unwrap();
         (
             gpath.to_string_lossy().into_owned(),
             spath.to_string_lossy().into_owned(),

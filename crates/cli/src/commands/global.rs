@@ -1,11 +1,13 @@
 //! `subrank global` — compute global PageRank with a chosen solver.
 
 use approxrank_pagerank::{
-    pagerank, pagerank_extrapolated, pagerank_gauss_seidel, PageRankOptions,
+    pagerank_extrapolated_observed, pagerank_gauss_seidel_observed, pagerank_observed,
+    PageRankOptions,
 };
+use approxrank_trace::{Observer, Recorder};
 
 use crate::args::{GlobalArgs, Solver};
-use crate::commands::{load_graph, render_scores};
+use crate::commands::{load_graph, render_scores, render_trace};
 
 /// Runs the command, returning the rendered scores.
 pub fn run(args: &GlobalArgs) -> Result<String, String> {
@@ -13,12 +15,21 @@ pub fn run(args: &GlobalArgs) -> Result<String, String> {
     let options = PageRankOptions::paper()
         .with_damping(args.damping)
         .with_tolerance(args.tolerance);
+    let recorder = Recorder::new();
+    let obs: &dyn Observer = if args.trace.enabled() {
+        &recorder
+    } else {
+        approxrank_trace::null()
+    };
     let (name, result) = match args.solver {
-        Solver::Power => ("power iteration", pagerank(&graph, &options)),
-        Solver::GaussSeidel => ("Gauss-Seidel", pagerank_gauss_seidel(&graph, &options)),
+        Solver::Power => ("power iteration", pagerank_observed(&graph, &options, obs)),
+        Solver::GaussSeidel => (
+            "Gauss-Seidel",
+            pagerank_gauss_seidel_observed(&graph, &options, obs),
+        ),
         Solver::Extrapolated => (
             "A_eps extrapolation",
-            pagerank_extrapolated(&graph, &options),
+            pagerank_extrapolated_observed(&graph, &options, obs),
         ),
     };
     let mut pairs: Vec<(u32, f64)> = result
@@ -27,13 +38,16 @@ pub fn run(args: &GlobalArgs) -> Result<String, String> {
         .enumerate()
         .map(|(i, &s)| (i as u32, s))
         .collect();
-    let mut out = format!(
-        "# global PageRank via {name} on {} pages (converged: {}, iterations: {})\n",
-        graph.num_nodes(),
-        result.converged,
-        result.iterations
-    );
+    let mut out = String::new();
+    if !args.trace.quiet {
+        out.push_str(&format!(
+            "# global PageRank via {name} on {} pages: {}\n",
+            graph.num_nodes(),
+            result.summary()
+        ));
+    }
     out.push_str(&render_scores(&mut pairs, args.top));
+    out.push_str(&render_trace(&recorder.events(), &args.trace)?);
     Ok(out)
 }
 
@@ -62,9 +76,14 @@ mod tests {
                 damping: 0.85,
                 tolerance: 1e-10,
                 top: 1,
+                trace: Default::default(),
             })
             .unwrap();
-            let top_line = out.lines().find(|l| !l.starts_with('#')).unwrap().to_string();
+            let top_line = out
+                .lines()
+                .find(|l| !l.starts_with('#'))
+                .unwrap()
+                .to_string();
             tops.push(
                 out.lines()
                     .filter(|l| !l.starts_with('#'))

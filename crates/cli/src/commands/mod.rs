@@ -4,9 +4,13 @@ pub mod compare;
 pub mod generate;
 pub mod global;
 pub mod rank;
+pub mod report;
 pub mod stats;
 
 use approxrank_graph::{io, DiGraph, GraphError};
+use approxrank_trace::Event;
+
+use crate::args::TraceOpts;
 
 /// Loads a graph, auto-detecting the binary format by its magic bytes.
 pub fn load_graph(path: &str) -> Result<DiGraph, String> {
@@ -22,8 +26,7 @@ pub fn load_graph(path: &str) -> Result<DiGraph, String> {
 
 /// Reads a whitespace/newline-separated list of node ids.
 pub fn load_node_ids(path: &str) -> Result<Vec<u32>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut ids = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let t = line.trim();
@@ -31,9 +34,10 @@ pub fn load_node_ids(path: &str) -> Result<Vec<u32>, String> {
             continue;
         }
         for tok in t.split_whitespace() {
-            ids.push(tok.parse::<u32>().map_err(|e| {
-                format!("{path}:{}: bad node id {tok:?}: {e}", lineno + 1)
-            })?);
+            ids.push(
+                tok.parse::<u32>()
+                    .map_err(|e| format!("{path}:{}: bad node id {tok:?}: {e}", lineno + 1))?,
+            );
         }
     }
     if ids.is_empty() {
@@ -44,26 +48,55 @@ pub fn load_node_ids(path: &str) -> Result<Vec<u32>, String> {
 
 /// Reads one floating-point score per line.
 pub fn load_scores(path: &str) -> Result<Vec<f64>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut scores = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
             continue;
         }
-        scores.push(t.parse::<f64>().map_err(|e| {
-            format!("{path}:{}: bad score {t:?}: {e}", lineno + 1)
-        })?);
+        scores.push(
+            t.parse::<f64>()
+                .map_err(|e| format!("{path}:{}: bad score {t:?}: {e}", lineno + 1))?,
+        );
     }
     Ok(scores)
+}
+
+/// Honors the telemetry flags for a finished command: writes the JSONL
+/// event file if `--trace-json` was given and returns the human-readable
+/// run report as `#` comment lines if `--trace` was given.
+pub fn render_trace(events: &[Event], trace: &TraceOpts) -> Result<String, String> {
+    if let Some(path) = &trace.trace_json {
+        std::fs::write(path, approxrank_trace::jsonl::emit(events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if !trace.trace {
+        return Ok(String::new());
+    }
+    let report = approxrank_trace::RunReport::from_events(events);
+    let mut out = String::new();
+    for line in report.render().lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// Renders a `page<TAB>score` listing, optionally truncated to the top-k
 /// by score.
 pub fn render_scores(pairs: &mut [(u32, f64)], top: usize) -> String {
-    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN scores").then(a.0.cmp(&b.0)));
-    let take = if top == 0 { pairs.len() } else { top.min(pairs.len()) };
+    pairs.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN scores")
+            .then(a.0.cmp(&b.0))
+    });
+    let take = if top == 0 {
+        pairs.len()
+    } else {
+        top.min(pairs.len())
+    };
     let mut out = String::from("page\tscore\n");
     for &(page, score) in pairs.iter().take(take) {
         out.push_str(&format!("{page}\t{score:.10e}\n"));

@@ -4,9 +4,10 @@ use approxrank_core::baselines::{LocalPageRank, Lpr2};
 use approxrank_core::{ApproxRank, IdealRank, StochasticComplementation, SubgraphRanker};
 use approxrank_graph::{NodeSet, Subgraph};
 use approxrank_pagerank::PageRankOptions;
+use approxrank_trace::{Observer, Recorder};
 
 use crate::args::{Algorithm, RankArgs};
-use crate::commands::{load_graph, load_node_ids, load_scores, render_scores};
+use crate::commands::{load_graph, load_node_ids, load_scores, render_scores, render_trace};
 
 /// Runs the command, returning the rendered ranking.
 pub fn run(args: &RankArgs) -> Result<String, String> {
@@ -51,7 +52,13 @@ pub fn run(args: &RankArgs) -> Result<String, String> {
         }
     };
 
-    let result = ranker.rank(&graph, &subgraph);
+    let recorder = Recorder::new();
+    let obs: &dyn Observer = if args.trace.enabled() {
+        &recorder
+    } else {
+        approxrank_trace::null()
+    };
+    let result = ranker.rank_observed(&graph, &subgraph, obs);
     let mut pairs: Vec<(u32, f64)> = subgraph
         .nodes()
         .members()
@@ -59,18 +66,24 @@ pub fn run(args: &RankArgs) -> Result<String, String> {
         .zip(&result.local_scores)
         .map(|(&g, &s)| (g, s))
         .collect();
-    let mut out = format!(
-        "# {} on {} local pages of {} (converged: {}, iterations: {})\n",
-        ranker.name(),
-        subgraph.len(),
-        graph.num_nodes(),
-        result.converged,
-        result.iterations
-    );
-    if let Some(lambda) = result.lambda_score {
-        out.push_str(&format!("# external node Λ holds {lambda:.6} of the mass\n"));
+    let mut out = String::new();
+    if !args.trace.quiet {
+        out.push_str(&format!(
+            "# {} on {} local pages of {} (converged: {}, iterations: {})\n",
+            ranker.name(),
+            subgraph.len(),
+            graph.num_nodes(),
+            result.converged,
+            result.iterations
+        ));
+        if let Some(lambda) = result.lambda_score {
+            out.push_str(&format!(
+                "# external node Λ holds {lambda:.6} of the mass\n"
+            ));
+        }
     }
     out.push_str(&render_scores(&mut pairs, args.top));
+    out.push_str(&render_trace(&recorder.events(), &args.trace)?);
     Ok(out)
 }
 
@@ -129,6 +142,7 @@ mod tests {
                 damping: 0.85,
                 tolerance: 1e-8,
                 top: 0,
+                trace: Default::default(),
             })
             .unwrap();
             assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 5);
@@ -146,9 +160,56 @@ mod tests {
             damping: 0.85,
             tolerance: 1e-8,
             top: 2,
+            trace: Default::default(),
         })
         .unwrap();
         assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 3);
+    }
+
+    #[test]
+    fn trace_flags_drive_report_and_json() {
+        use crate::args::TraceOpts;
+        let (g, s) = setup();
+        let dir = std::env::temp_dir().join("subrank-rank-tests");
+        let jsonl = dir.join("trace.jsonl").to_string_lossy().into_owned();
+        let out = run(&RankArgs {
+            graph: g.clone(),
+            subgraph: s.clone(),
+            algorithm: Algorithm::ApproxRank,
+            scores: None,
+            damping: 0.85,
+            tolerance: 1e-8,
+            top: 0,
+            trace: TraceOpts {
+                trace: true,
+                trace_json: Some(jsonl.clone()),
+                quiet: false,
+            },
+        })
+        .unwrap();
+        // The report rides along as comment lines mentioning the solver.
+        assert!(out.contains("extended"), "{out}");
+        // The JSONL file parses back into the same event stream shape.
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let events = approxrank_trace::jsonl::parse(&text).unwrap();
+        assert!(!events.is_empty());
+
+        // --quiet strips every comment line.
+        let out = run(&RankArgs {
+            graph: g,
+            subgraph: s,
+            algorithm: Algorithm::ApproxRank,
+            scores: None,
+            damping: 0.85,
+            tolerance: 1e-8,
+            top: 0,
+            trace: TraceOpts {
+                quiet: true,
+                ..TraceOpts::default()
+            },
+        })
+        .unwrap();
+        assert!(out.lines().all(|l| !l.starts_with('#')), "{out}");
     }
 
     #[test]
@@ -165,6 +226,7 @@ mod tests {
             damping: 0.85,
             tolerance: 1e-5,
             top: 0,
+            trace: Default::default(),
         })
         .unwrap_err();
         assert!(err.contains("out of range"));

@@ -1,0 +1,91 @@
+//! `subrank report` — summarize a `--trace-json` event file.
+
+use approxrank_trace::RunReport;
+
+use crate::args::ReportArgs;
+
+/// Runs the command, returning the rendered report.
+pub fn run(args: &ReportArgs) -> Result<String, String> {
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let events =
+        approxrank_trace::jsonl::parse(&text).map_err(|e| format!("{}: {e}", args.input))?;
+    if events.is_empty() {
+        return Ok(format!("{}: no events\n", args.input));
+    }
+    Ok(RunReport::from_events(&events).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_trace::{Event, Recorder};
+
+    fn tmp(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("subrank-report-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, contents).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn round_trips_a_recorded_trace() {
+        let rec = Recorder::new();
+        {
+            use approxrank_trace::Observer;
+            let obs: &dyn Observer = &rec;
+            let _span = obs.span("solve");
+            obs.counter("pages", 7);
+        }
+        let p = tmp("ok.jsonl", &approxrank_trace::jsonl::emit(&rec.events()));
+        let out = run(&ReportArgs { input: p }).unwrap();
+        assert!(out.contains("solve"), "{out}");
+        assert!(out.contains("pages"), "{out}");
+    }
+
+    #[test]
+    fn empty_file_reports_no_events() {
+        let p = tmp("empty.jsonl", "");
+        let out = run(&ReportArgs { input: p }).unwrap();
+        assert!(out.contains("no events"));
+    }
+
+    #[test]
+    fn malformed_file_is_an_error() {
+        let p = tmp("bad.jsonl", "{not json\n");
+        assert!(run(&ReportArgs { input: p }).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = run(&ReportArgs {
+            input: "/nonexistent/trace.jsonl".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn events_from_iteration_stream_render_solver_table() {
+        let events = vec![
+            Event::Iteration {
+                solver: "power".into(),
+                iteration: 0,
+                residual: 0.5,
+                dangling_mass: 0.1,
+                elapsed_ns: 1000,
+            },
+            Event::Iteration {
+                solver: "power".into(),
+                iteration: 1,
+                residual: 0.05,
+                dangling_mass: 0.1,
+                elapsed_ns: 900,
+            },
+        ];
+        let p = tmp("iters.jsonl", &approxrank_trace::jsonl::emit(&events));
+        let out = run(&ReportArgs { input: p }).unwrap();
+        assert!(out.contains("power"), "{out}");
+    }
+}

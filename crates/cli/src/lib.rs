@@ -9,7 +9,12 @@
 //! subrank compare --graph web.edges --subgraph ids.txt --truth yes
 //! subrank stats  --graph web.edges
 //! subrank gen    --dataset au --pages 50000 --out web.edges
+//! subrank report --input trace.jsonl
 //! ```
+//!
+//! The solving subcommands accept `--trace` (append a run report),
+//! `--trace-json FILE` (dump the raw event stream as JSON lines, which
+//! `subrank report` re-renders), and `--quiet` (suppress `#` comments).
 
 pub mod args;
 pub mod commands;
@@ -27,5 +32,6 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Stats(a) => commands::stats::run(&a),
         Command::Compare(a) => commands::compare::run(&a),
         Command::Gen(a) => commands::generate::run(&a),
+        Command::Report(a) => commands::report::run(&a),
     }
 }

@@ -34,7 +34,11 @@ fn gen_stats_rank_pipeline() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("4000 pages"));
 
     // 2. Stats over it.
@@ -47,8 +51,7 @@ fn gen_stats_rank_pipeline() {
     assert!(text.contains("pages:            4000"), "{text}");
 
     // 3. Rank the pages of the first domain (ids from the .parts file).
-    let parts =
-        std::fs::read_to_string(format!("{}.parts", graph.to_str().unwrap())).unwrap();
+    let parts = std::fs::read_to_string(format!("{}.parts", graph.to_str().unwrap())).unwrap();
     let first_domain = parts.lines().next().unwrap().split('\t').nth(1).unwrap();
     let ids: Vec<&str> = parts
         .lines()
@@ -71,7 +74,11 @@ fn gen_stats_rank_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(text.contains("ApproxRank"), "{text}");
     assert!(text.contains("external node Λ"), "{text}");

@@ -9,6 +9,7 @@
 
 use approxrank_graph::{DiGraph, Subgraph};
 use approxrank_pagerank::PageRankOptions;
+use approxrank_trace::Observer;
 
 use crate::extended::ExtendedLocalGraph;
 use crate::precompute::GlobalPrecomputation;
@@ -90,8 +91,23 @@ impl ApproxRank {
 
     /// Runs ApproxRank, returning local scores plus `Λ`'s score.
     pub fn rank_subgraph(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
-        let ext = self.extended_graph(global, subgraph);
-        Self::solve_scores(&ext, &self.options, subgraph.len())
+        self.rank_subgraph_observed(global, subgraph, approxrank_trace::null())
+    }
+
+    /// [`Self::rank_subgraph`] with telemetry: a `collapse_lambda` span
+    /// around the `A_approx` assembly, solver events from the power
+    /// iteration, and a `normalize` span around the score split.
+    pub fn rank_subgraph_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let ext = {
+            let _span = obs.span("collapse_lambda");
+            self.extended_graph(global, subgraph)
+        };
+        Self::solve_scores(&ext, &self.options, subgraph.len(), obs)
     }
 
     /// Runs ApproxRank with precomputed global aggregates.
@@ -100,16 +116,31 @@ impl ApproxRank {
         pre: &GlobalPrecomputation,
         subgraph: &Subgraph,
     ) -> RankScores {
-        let ext = self.extended_graph_precomputed(pre, subgraph);
-        Self::solve_scores(&ext, &self.options, subgraph.len())
+        self.rank_subgraph_precomputed_observed(pre, subgraph, approxrank_trace::null())
+    }
+
+    /// [`Self::rank_subgraph_precomputed`] with telemetry.
+    pub fn rank_subgraph_precomputed_observed(
+        &self,
+        pre: &GlobalPrecomputation,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let ext = {
+            let _span = obs.span("collapse_lambda");
+            self.extended_graph_precomputed(pre, subgraph)
+        };
+        Self::solve_scores(&ext, &self.options, subgraph.len(), obs)
     }
 
     fn solve_scores(
         ext: &ExtendedLocalGraph,
         options: &PageRankOptions,
         n: usize,
+        obs: &dyn Observer,
     ) -> RankScores {
-        let result = ext.solve(options);
+        let result = ext.solve_observed(options, obs);
+        let _span = obs.span("normalize");
         let mut scores = result.scores;
         let lambda = scores.pop().expect("n+1 states");
         debug_assert_eq!(scores.len(), n);
@@ -129,6 +160,15 @@ impl SubgraphRanker for ApproxRank {
 
     fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
         self.rank_subgraph(global, subgraph)
+    }
+
+    fn rank_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        self.rank_subgraph_observed(global, subgraph, obs)
     }
 }
 
@@ -172,7 +212,10 @@ mod tests {
         let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2, 3]));
         let e = ApproxRank::default().extended_graph(&g, &sub);
         assert!((e.to_lambda()[0] - 0.5).abs() < 1e-12, "(A,Λ) = 1/2");
-        assert!((e.from_lambda()[2] - 4.0 / 9.0).abs() < 1e-12, "(Λ,C) = 4/9");
+        assert!(
+            (e.from_lambda()[2] - 4.0 / 9.0).abs() < 1e-12,
+            "(Λ,C) = 4/9"
+        );
         assert!((e.lambda_self() - 7.0 / 18.0).abs() < 1e-12, "(Λ,Λ) = 7/18");
         assert!(e.max_row_sum_error() < 1e-12);
     }
@@ -218,10 +261,7 @@ mod tests {
     #[test]
     fn matrix_stochastic_with_dangling() {
         // Dangling pages both local (2) and external (5).
-        let g = DiGraph::from_edges(
-            6,
-            &[(0, 1), (0, 3), (1, 2), (3, 1), (3, 4), (4, 0), (4, 5)],
-        );
+        let g = DiGraph::from_edges(6, &[(0, 1), (0, 3), (1, 2), (3, 1), (3, 4), (4, 0), (4, 5)]);
         let sub = Subgraph::extract(&g, NodeSet::from_sorted(6, [0, 1, 2]));
         let e = ApproxRank::default().extended_graph(&g, &sub);
         assert!(e.max_row_sum_error() < 1e-12);

@@ -1,7 +1,8 @@
 //! Local PageRank: the paper's first baseline (■).
 
 use approxrank_graph::{DiGraph, Subgraph};
-use approxrank_pagerank::{pagerank, PageRankOptions};
+use approxrank_pagerank::{pagerank, pagerank_observed, PageRankOptions};
+use approxrank_trace::Observer;
 
 use crate::ranker::{RankScores, SubgraphRanker};
 
@@ -28,6 +29,21 @@ impl SubgraphRanker for LocalPageRank {
 
     fn rank(&self, _global: &DiGraph, subgraph: &Subgraph) -> RankScores {
         let result = pagerank(subgraph.local_graph(), &self.options);
+        RankScores {
+            local_scores: result.scores,
+            lambda_score: None,
+            iterations: result.iterations,
+            converged: result.converged,
+        }
+    }
+
+    fn rank_observed(
+        &self,
+        _global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let result = pagerank_observed(subgraph.local_graph(), &self.options, obs);
         RankScores {
             local_scores: result.scores,
             lambda_score: None,

@@ -1,7 +1,8 @@
 //! LPR2: the paper's second baseline (●), a component of ServerRank \[18\].
 
 use approxrank_graph::{DiGraph, NodeId, Subgraph};
-use approxrank_pagerank::{pagerank, PageRankOptions};
+use approxrank_pagerank::{pagerank_observed, PageRankOptions};
+use approxrank_trace::Observer;
 
 use crate::ranker::{RankScores, SubgraphRanker};
 
@@ -56,9 +57,22 @@ impl SubgraphRanker for Lpr2 {
         "LPR2"
     }
 
-    fn rank(&self, _global: &DiGraph, subgraph: &Subgraph) -> RankScores {
-        let g = Self::build_graph(subgraph);
-        let result = pagerank(&g, &self.options);
+    fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
+        self.rank_observed(global, subgraph, approxrank_trace::null())
+    }
+
+    fn rank_observed(
+        &self,
+        _global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let g = {
+            let _span = obs.span("boundary_extraction");
+            Self::build_graph(subgraph)
+        };
+        let result = pagerank_observed(&g, &self.options, obs);
+        let _span = obs.span("normalize");
         let mut scores = result.scores;
         let xi_score = scores.pop().expect("n+1 pages");
         RankScores {
@@ -122,7 +136,16 @@ mod tests {
         // them identically (modulo the rest of the structure).
         let g = DiGraph::from_edges(
             7,
-            &[(0, 1), (0, 2), (3, 1), (4, 1), (5, 1), (6, 2), (1, 0), (2, 0)],
+            &[
+                (0, 1),
+                (0, 2),
+                (3, 1),
+                (4, 1),
+                (5, 1),
+                (6, 2),
+                (1, 0),
+                (2, 0),
+            ],
         );
         let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2]));
         let r = Lpr2::default().rank(&g, &sub);

@@ -49,12 +49,7 @@ impl ServerRank {
     /// # Panics
     /// Panics if `server_of.len() != graph.num_nodes()` or a server id
     /// is `>= num_servers`.
-    pub fn rank(
-        &self,
-        graph: &DiGraph,
-        server_of: &[u32],
-        num_servers: usize,
-    ) -> ServerRankResult {
+    pub fn rank(&self, graph: &DiGraph, server_of: &[u32], num_servers: usize) -> ServerRankResult {
         let n = graph.num_nodes();
         assert_eq!(server_of.len(), n, "one server id per page");
         assert!(
@@ -177,9 +172,8 @@ mod tests {
         let (g, part) = setup();
         let truth = pagerank(&g, &PageRankOptions::paper().with_tolerance(1e-12));
         let r = ServerRank::default().rank(&g, &part, 3);
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         let uniform = vec![1.0 / 7.0; 7];
         assert!(
             l1(&r.page_scores, &truth.scores) < l1(&uniform, &truth.scores),

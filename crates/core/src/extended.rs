@@ -20,8 +20,11 @@
 //! plus the list of locally dangling pages, whose uniform `1/N` rows are
 //! applied as a rank-1 correction inside the matvec.
 
+use std::time::Instant;
+
 use approxrank_graph::Subgraph;
 use approxrank_pagerank::{PageRankOptions, PageRankResult};
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
 
 /// The `(n+1)`-state collapsed transition structure. Construct via
 /// [`crate::IdealRank`] or [`crate::ApproxRank`], or directly through
@@ -270,10 +273,7 @@ impl ExtendedLocalGraph {
             // Degenerate: no external pages; Λ is unreachable and empty.
             row_sums[n] = 1.0;
         }
-        row_sums
-            .iter()
-            .map(|s| (s - 1.0).abs())
-            .fold(0.0, f64::max)
+        row_sums.iter().map(|s| (s - 1.0).abs()).fold(0.0, f64::max)
     }
 
     /// Power iteration to the fixed point of
@@ -281,12 +281,28 @@ impl ExtendedLocalGraph {
     ///
     /// Returns scores of length `n + 1`; entry `n` is `Λ`'s score.
     pub fn solve(&self, options: &PageRankOptions) -> PageRankResult {
-        self.solve_from(options, &self.personalization())
+        self.solve_observed(options, approxrank_trace::null())
+    }
+
+    /// [`Self::solve`] with telemetry: per-iteration events under solver
+    /// name `"extended"` flow to `obs`.
+    pub fn solve_observed(&self, options: &PageRankOptions, obs: &dyn Observer) -> PageRankResult {
+        self.solve_from_with(
+            options,
+            &self.personalization(),
+            &self.personalization(),
+            obs,
+        )
     }
 
     /// Power iteration from an explicit start vector of length `n + 1`.
     pub fn solve_from(&self, options: &PageRankOptions, start: &[f64]) -> PageRankResult {
-        self.solve_from_with(options, start, &self.personalization())
+        self.solve_from_with(
+            options,
+            start,
+            &self.personalization(),
+            approxrank_trace::null(),
+        )
     }
 
     /// Power iteration with an explicit collapsed personalization vector
@@ -296,7 +312,17 @@ impl ExtendedLocalGraph {
         options: &PageRankOptions,
         personalization: &[f64],
     ) -> PageRankResult {
-        self.solve_from_with(options, personalization, personalization)
+        self.solve_personalized_observed(options, personalization, approxrank_trace::null())
+    }
+
+    /// [`Self::solve_personalized`] with telemetry.
+    pub fn solve_personalized_observed(
+        &self,
+        options: &PageRankOptions,
+        personalization: &[f64],
+        obs: &dyn Observer,
+    ) -> PageRankResult {
+        self.solve_from_with(options, personalization, personalization, obs)
     }
 
     /// Power iteration that stops as soon as the *identity* of the top-`k`
@@ -318,6 +344,7 @@ impl ExtendedLocalGraph {
     ) -> (PageRankResult, Vec<u32>) {
         assert!(k > 0, "k must be positive");
         assert!(stable_rounds > 0, "stable_rounds must be positive");
+        let t0 = Instant::now();
         let n = self.n;
         let k = k.min(n);
         let p = self.personalization();
@@ -364,6 +391,7 @@ impl ExtendedLocalGraph {
                 iterations,
                 converged,
                 residuals: Vec::new(),
+                elapsed: t0.elapsed(),
             },
             prev_top,
         )
@@ -374,9 +402,13 @@ impl ExtendedLocalGraph {
         options: &PageRankOptions,
         start: &[f64],
         personalization: &[f64],
+        obs: &dyn Observer,
     ) -> PageRankResult {
         assert_eq!(start.len(), self.n + 1, "start vector length");
         assert_eq!(personalization.len(), self.n + 1, "personalization length");
+        let t0 = Instant::now();
+        let _span = obs.span("extended");
+        let mut sweep = Stopwatch::start(obs);
         let mut x = start.to_vec();
         let mut next = vec![0.0f64; self.n + 1];
         let mut iterations = 0;
@@ -385,12 +417,22 @@ impl ExtendedLocalGraph {
         while iterations < options.max_iterations {
             iterations += 1;
             self.step_with(&x, &mut next, options.damping, personalization);
-            let delta: f64 = next
-                .iter()
-                .zip(&x)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = next.iter().zip(&x).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut x, &mut next);
+            if obs.enabled() {
+                // `step_with` folds the dangling correction into the matvec;
+                // recompute the mass it used (from the pre-step vector, which
+                // sits in `next` after the swap) only when someone listens.
+                let dangling_mass: f64 =
+                    self.dangling_local.iter().map(|&i| next[i as usize]).sum();
+                obs.iteration(IterationEvent {
+                    solver: "extended",
+                    iteration: iterations - 1,
+                    residual: delta,
+                    dangling_mass,
+                    elapsed_ns: sweep.lap_ns(),
+                });
+            }
             if options.record_residuals {
                 residuals.push(delta);
             }
@@ -404,6 +446,7 @@ impl ExtendedLocalGraph {
             iterations,
             converged,
             residuals,
+            elapsed: t0.elapsed(),
         }
     }
 }

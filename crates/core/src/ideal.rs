@@ -10,6 +10,7 @@
 
 use approxrank_graph::{DiGraph, Subgraph};
 use approxrank_pagerank::PageRankOptions;
+use approxrank_trace::Observer;
 
 use crate::extended::ExtendedLocalGraph;
 use crate::ranker::{RankScores, SubgraphRanker};
@@ -129,8 +130,24 @@ impl IdealRank {
 
     /// Runs IdealRank, returning local scores plus `Λ`'s score.
     pub fn rank_subgraph(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
-        let ext = self.extended_graph(global, subgraph);
-        let result = ext.solve(&self.options);
+        self.rank_subgraph_observed(global, subgraph, approxrank_trace::null())
+    }
+
+    /// [`Self::rank_subgraph`] with telemetry: a `collapse_lambda` span
+    /// around the `A_ideal` assembly, solver events from the power
+    /// iteration, and a `normalize` span around the score split.
+    pub fn rank_subgraph_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let ext = {
+            let _span = obs.span("collapse_lambda");
+            self.extended_graph(global, subgraph)
+        };
+        let result = ext.solve_observed(&self.options, obs);
+        let _span = obs.span("normalize");
         let n = subgraph.len();
         let mut scores = result.scores;
         let lambda = scores.pop().expect("n+1 states");
@@ -151,6 +168,15 @@ impl SubgraphRanker for IdealRank {
 
     fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
         self.rank_subgraph(global, subgraph)
+    }
+
+    fn rank_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        self.rank_subgraph_observed(global, subgraph, obs)
     }
 }
 
@@ -220,10 +246,7 @@ mod tests {
     #[test]
     fn theorem1_with_dangling_pages() {
         // 0,1,2 local (2 dangling); 3,4,5 external (5 dangling).
-        let g = DiGraph::from_edges(
-            6,
-            &[(0, 1), (0, 3), (1, 2), (3, 1), (3, 4), (4, 0), (4, 3)],
-        );
+        let g = DiGraph::from_edges(6, &[(0, 1), (0, 3), (1, 2), (3, 1), (3, 4), (4, 0), (4, 3)]);
         let truth = pagerank(&g, &tight());
         let sub = Subgraph::extract(&g, NodeSet::from_sorted(6, [0, 1, 2]));
         let ideal = IdealRank {
@@ -255,14 +278,19 @@ mod tests {
             }
             let deg = 1 + (u % 4);
             for _ in 0..deg {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = ((state >> 33) % n as u64) as u32;
                 edges.push((u, v));
             }
         }
         let g = DiGraph::from_edges(n as usize, &edges);
         let truth = pagerank(&g, &tight());
-        let sub = Subgraph::extract(&g, NodeSet::from_sorted(n as usize, (10..30).collect::<Vec<_>>()));
+        let sub = Subgraph::extract(
+            &g,
+            NodeSet::from_sorted(n as usize, (10..30).collect::<Vec<_>>()),
+        );
         let ideal = IdealRank {
             options: tight(),
             global_scores: truth.scores.clone(),

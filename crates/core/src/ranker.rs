@@ -1,6 +1,7 @@
 //! The common interface every subgraph-ranking algorithm implements.
 
 use approxrank_graph::{DiGraph, Subgraph};
+use approxrank_trace::Observer;
 
 /// The output of a subgraph-ranking algorithm.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,6 +46,20 @@ pub trait SubgraphRanker {
 
     /// Estimates scores for the subgraph's local pages.
     fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores;
+
+    /// [`Self::rank`] with telemetry: phase spans and solver iteration
+    /// events flow to `obs`. The default ignores the observer, so existing
+    /// implementors keep working; the in-tree rankers all override it (and
+    /// implement `rank` by passing [`approxrank_trace::null()`] here).
+    fn rank_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let _ = obs;
+        self.rank(global, subgraph)
+    }
 }
 
 #[cfg(test)]

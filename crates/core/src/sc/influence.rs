@@ -99,7 +99,10 @@ mod tests {
         let in_super = BitSet::from_indices(3, [0usize, 1]);
         let a = frontier_influence(&g, &in_super, &[0, 1], &[0.9, 0.1], &[2], 0.85);
         let b = frontier_influence(&g, &in_super, &[0, 1], &[0.5, 0.5], &[2], 0.85);
-        assert!(a[0].1 == b[0].1, "total inflow identical when shares sum equal");
+        assert!(
+            a[0].1 == b[0].1,
+            "total inflow identical when shares sum equal"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@
 pub mod influence;
 
 use approxrank_graph::{BitSet, DiGraph, NodeId, NodeSet, Subgraph};
-use approxrank_pagerank::{pagerank_with_start, PageRankOptions};
+use approxrank_pagerank::power::pagerank_with_start_observed;
+use approxrank_pagerank::PageRankOptions;
+use approxrank_trace::Observer;
 
 use crate::ranker::{RankScores, SubgraphRanker};
 
@@ -74,6 +76,18 @@ impl StochasticComplementation {
         global: &DiGraph,
         subgraph: &Subgraph,
     ) -> (RankScores, ScReport) {
+        self.rank_with_report_observed(global, subgraph, approxrank_trace::null())
+    }
+
+    /// [`Self::rank_with_report`] with telemetry: per-round `expand` spans
+    /// (supergraph solve + frontier scoring), a `frontier_size` gauge per
+    /// round, and a final `solve` span for the closing supergraph ranking.
+    pub fn rank_with_report_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> (RankScores, ScReport) {
         let n = subgraph.len();
         let big_n = global.num_nodes();
         let rounds = self.expansion_rounds.max(1);
@@ -95,6 +109,7 @@ impl StochasticComplementation {
         let mut last_result: Option<approxrank_pagerank::PageRankResult> = None;
 
         for _round in 0..rounds {
+            let _round_span = obs.span("expand");
             // (a) Rank the current supergraph (warm-started from the
             // previous round, as the KDD'06 implementation does).
             let super_sub = Subgraph::extract(
@@ -113,11 +128,12 @@ impl StochasticComplementation {
                     *v /= s;
                 }
             }
-            let result = pagerank_with_start(
+            let result = pagerank_with_start_observed(
                 super_sub.local_graph(),
                 &self.options,
                 &personalization,
                 &start,
+                obs,
             );
             prev_scores = result.scores.clone();
             last_result = Some(result);
@@ -134,11 +150,13 @@ impl StochasticComplementation {
             }
             report.frontier_sizes.push(frontier.len());
             report.rounds_executed += 1;
+            obs.gauge("frontier_size", frontier.len() as f64);
             if frontier.is_empty() {
                 break;
             }
 
             // (c) Influence of every candidate.
+            let _influence_span = obs.span("influence");
             let mut scored = frontier_influence(
                 global,
                 &in_super,
@@ -161,6 +179,7 @@ impl StochasticComplementation {
         }
 
         // (3) Final supergraph ranking, restricted to the original pages.
+        let _solve_span = obs.span("solve");
         let super_sub = Subgraph::extract(
             global,
             NodeSet::from_iter_order(big_n, members.iter().copied()),
@@ -175,15 +194,15 @@ impl StochasticComplementation {
                 *v /= s;
             }
         }
-        let result = pagerank_with_start(
+        let result = pagerank_with_start_observed(
             super_sub.local_graph(),
             &self.options,
             &personalization,
             &start,
+            obs,
         );
         report.supergraph_size = m;
-        let iterations = result.iterations
-            + last_result.as_ref().map_or(0, |r| r.iterations);
+        let iterations = result.iterations + last_result.as_ref().map_or(0, |r| r.iterations);
         let converged = result.converged;
         let local_scores = result.scores[..n].to_vec();
         (
@@ -205,6 +224,15 @@ impl SubgraphRanker for StochasticComplementation {
 
     fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
         self.rank_with_report(global, subgraph).0
+    }
+
+    fn rank_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        self.rank_with_report_observed(global, subgraph, obs).0
     }
 }
 
@@ -282,9 +310,8 @@ mod tests {
             v.iter().map(|x| x / s).collect::<Vec<_>>()
         };
         let truth_n = norm(&restricted);
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         let sc = StochasticComplementation {
             options: tight.clone(),
             ..StochasticComplementation::default()

@@ -68,10 +68,7 @@ impl SubgraphSession {
     /// Panics if a page id is out of range for the global graph.
     pub fn add_pages(&mut self, global: &DiGraph, pages: &[NodeId]) {
         for &p in pages {
-            assert!(
-                (p as usize) < global.num_nodes(),
-                "page {p} out of range"
-            );
+            assert!((p as usize) < global.num_nodes(), "page {p} out of range");
         }
         let current = NodeSet::from_iter_order(
             global.num_nodes(),

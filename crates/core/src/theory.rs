@@ -150,9 +150,7 @@ mod tests {
     fn bound_formula() {
         assert!((theorem2_bound(0.85, None, 1.0) - 0.85 / 0.15).abs() < 1e-12);
         assert!((theorem2_bound(0.85, Some(1), 1.0) - 0.85).abs() < 1e-12);
-        assert!(
-            (theorem2_bound(0.85, Some(2), 1.0) - (0.85 + 0.85 * 0.85)).abs() < 1e-12
-        );
+        assert!((theorem2_bound(0.85, Some(2), 1.0) - (0.85 + 0.85 * 0.85)).abs() < 1e-12);
         // Monotone in m, approaching the limit.
         assert!(theorem2_bound(0.85, Some(50), 1.0) < theorem2_bound(0.85, None, 1.0));
     }

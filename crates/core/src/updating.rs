@@ -95,12 +95,7 @@ impl IadUpdate {
     ///
     /// # Panics
     /// Panics if lengths disagree or `changed` is empty.
-    pub fn update(
-        &self,
-        new_graph: &DiGraph,
-        changed: &NodeSet,
-        old_scores: &[f64],
-    ) -> IadResult {
+    pub fn update(&self, new_graph: &DiGraph, changed: &NodeSet, old_scores: &[f64]) -> IadResult {
         let n = new_graph.num_nodes();
         assert_eq!(old_scores.len(), n, "one old score per page");
         assert!(!changed.is_empty(), "the changed set must be non-empty");
@@ -175,11 +170,7 @@ impl IadUpdate {
                 global_steps += 1;
             }
 
-            let delta: f64 = x
-                .iter()
-                .zip(&before)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = x.iter().zip(&before).map(|(a, b)| (a - b).abs()).sum();
             if delta < self.tolerance {
                 converged = true;
                 break;
@@ -216,11 +207,8 @@ mod tests {
         }
         let before = DiGraph::from_edges(n, &edges);
         // Change: pages 0..12 rewire to all point at page 3.
-        let mut after_edges: Vec<(u32, u32)> = edges
-            .iter()
-            .copied()
-            .filter(|&(s, _)| s >= 12)
-            .collect();
+        let mut after_edges: Vec<(u32, u32)> =
+            edges.iter().copied().filter(|&(s, _)| s >= 12).collect();
         for i in 0..12u32 {
             after_edges.push((i, 3));
             after_edges.push((i, (i + 1) % 12));

@@ -166,7 +166,11 @@ pub fn weighted_ideal_graph(
 ) -> ExtendedLocalGraph {
     let n = sub.len();
     let big_n = global.num_nodes();
-    assert_eq!(global_scores.len(), big_n, "scores must cover all N objects");
+    assert_eq!(
+        global_scores.len(),
+        big_n,
+        "scores must cover all N objects"
+    );
     if big_n == n {
         return weighted_approx_graph(global, sub);
     }
@@ -382,8 +386,11 @@ mod tests {
         let flipped = WeightedDiGraph::from_edges(6, &flipped_edges);
         let set = || NodeSet::from_sorted(6, [0, 1, 2]);
         let r_base = weighted_approx_rank(&base, &WeightedSubgraph::extract(&base, set()), &opts());
-        let r_flip =
-            weighted_approx_rank(&flipped, &WeightedSubgraph::extract(&flipped, set()), &opts());
+        let r_flip = weighted_approx_rank(
+            &flipped,
+            &WeightedSubgraph::extract(&flipped, set()),
+            &opts(),
+        );
         // Object 1's relative standing must drop.
         let share = |r: &RankScores, i: usize| r.local_scores[i] / r.local_mass();
         assert!(share(&r_flip, 1) < share(&r_base, 1));

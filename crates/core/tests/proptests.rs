@@ -17,8 +17,7 @@ fn graph_and_subgraph() -> impl Strategy<Value = (DiGraph, NodeSet)> {
         let picks = proptest::collection::vec(any::<bool>(), n);
         (edges, picks).prop_map(move |(es, picks)| {
             let g = DiGraph::from_edges(n, &es);
-            let mut members: Vec<u32> =
-                (0..n as u32).filter(|&u| picks[u as usize]).collect();
+            let mut members: Vec<u32> = (0..n as u32).filter(|&u| picks[u as usize]).collect();
             if members.is_empty() {
                 members.push(0);
             }

@@ -42,10 +42,7 @@ fn battery() -> Vec<(&'static str, DiGraph, Vec<u32>)> {
     // Subgraph with a locally-dangling page and a dangling external page.
     cases.push((
         "dangling_both_sides",
-        DiGraph::from_edges(
-            6,
-            &[(0, 1), (0, 3), (1, 2), (3, 1), (3, 4), (4, 0), (4, 5)],
-        ),
+        DiGraph::from_edges(6, &[(0, 1), (0, 3), (1, 2), (3, 1), (3, 4), (4, 0), (4, 5)]),
         vec![0, 1, 2],
     ));
     // Subgraph that is internally disconnected.
@@ -53,7 +50,16 @@ fn battery() -> Vec<(&'static str, DiGraph, Vec<u32>)> {
         "disconnected_local",
         DiGraph::from_edges(
             8,
-            &[(0, 4), (4, 1), (1, 5), (5, 2), (2, 6), (6, 3), (3, 7), (7, 0)],
+            &[
+                (0, 4),
+                (4, 1),
+                (1, 5),
+                (5, 2),
+                (2, 6),
+                (6, 3),
+                (3, 7),
+                (7, 0),
+            ],
         ),
         vec![0, 1, 2, 3],
     ));

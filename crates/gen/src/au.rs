@@ -84,8 +84,7 @@ pub fn au_like(config: &AuConfig) -> DomainDataset {
             } else {
                 0.5
             };
-            (config.intra_domain_prob - config.cohesion_spread
-                + 2.0 * config.cohesion_spread * t)
+            (config.intra_domain_prob - config.cohesion_spread + 2.0 * config.cohesion_spread * t)
                 .clamp(0.05, 0.98)
         })
         .collect();

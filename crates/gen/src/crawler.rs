@@ -180,10 +180,10 @@ impl ScoreGuidedCrawler {
         let mut order: Vec<NodeId> = Vec::new();
         let mut frontier: Vec<NodeId> = Vec::new();
         let push_page = |page: NodeId,
-                             order: &mut Vec<NodeId>,
-                             frontier: &mut Vec<NodeId>,
-                             in_fragment: &mut BitSet,
-                             in_frontier: &mut BitSet| {
+                         order: &mut Vec<NodeId>,
+                         frontier: &mut Vec<NodeId>,
+                         in_fragment: &mut BitSet,
+                         in_frontier: &mut BitSet| {
             if in_fragment.insert(page as usize) {
                 order.push(page);
                 for &v in graph.out_neighbors(page) {
@@ -195,7 +195,13 @@ impl ScoreGuidedCrawler {
         };
         for &s in &self.seeds {
             assert!((s as usize) < n, "seed in range");
-            push_page(s, &mut order, &mut frontier, &mut in_fragment, &mut in_frontier);
+            push_page(
+                s,
+                &mut order,
+                &mut frontier,
+                &mut in_fragment,
+                &mut in_frontier,
+            );
             if order.len() >= limit {
                 break;
             }
@@ -229,7 +235,13 @@ impl ScoreGuidedCrawler {
             let chosen: Vec<NodeId> = idx[..take].iter().map(|&i| frontier[i]).collect();
             for page in chosen {
                 in_frontier.remove(page as usize);
-                push_page(page, &mut order, &mut frontier, &mut in_fragment, &mut in_frontier);
+                push_page(
+                    page,
+                    &mut order,
+                    &mut frontier,
+                    &mut in_fragment,
+                    &mut in_frontier,
+                );
             }
         }
         NodeSet::from_iter_order(n, order)
@@ -281,11 +293,14 @@ mod tests {
         let g = two_community_graph();
         // Community B pages are "relevant"; the crawler should cross the
         // bridge and prefer B pages over finishing A's ring.
-        let crawler =
-            BestFirstCrawler::new(vec![0], |p| if p >= 5 { 1.0 } else { 0.1 });
+        let crawler = BestFirstCrawler::new(vec![0], |p| if p >= 5 { 1.0 } else { 0.1 });
         let s = crawler.crawl_limit(&g, 8);
         let b_count = s.members().iter().filter(|&&p| p >= 5).count();
-        assert!(b_count >= 4, "crawled B pages: {b_count} of {:?}", s.members());
+        assert!(
+            b_count >= 4,
+            "crawled B pages: {b_count} of {:?}",
+            s.members()
+        );
     }
 
     #[test]

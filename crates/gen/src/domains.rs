@@ -75,10 +75,7 @@ impl DomainDataset {
     /// out-links, as the paper's "Average outdegree" column does).
     pub fn domain_avg_out_degree(&self, d: usize) -> f64 {
         let range = self.partitioned.part_ranges[d].clone();
-        let total: usize = range
-            .clone()
-            .map(|u| self.graph().out_degree(u))
-            .sum();
+        let total: usize = range.clone().map(|u| self.graph().out_degree(u)).sum();
         total as f64 / range.len() as f64
     }
 

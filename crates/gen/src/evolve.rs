@@ -108,7 +108,10 @@ pub fn evolve(graph: &DiGraph, config: &ChurnConfig) -> Evolution {
         let page = (n_old + k) as NodeId;
         let anchor = region.start + (rng.random_range(0..region.len()) as NodeId);
         edges.push((anchor, page));
-        edges.push((page, region.start + (rng.random_range(0..region.len()) as NodeId)));
+        edges.push((
+            page,
+            region.start + (rng.random_range(0..region.len()) as NodeId),
+        ));
         changed[anchor as usize] = true;
         changed[page as usize] = true;
         added += 2;

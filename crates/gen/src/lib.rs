@@ -34,4 +34,4 @@ pub use domains::DomainDataset;
 pub use evolve::{evolve, ChurnConfig, Evolution};
 pub use politics::{politics_like, PoliticsConfig};
 pub use topics::TopicDataset;
-pub use webgraph::{PartitionedGraphConfig, generate_partitioned_graph};
+pub use webgraph::{generate_partitioned_graph, PartitionedGraphConfig};

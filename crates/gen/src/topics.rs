@@ -165,11 +165,7 @@ mod tests {
     fn ts_subgraph_mostly_on_topic() {
         let d = dataset();
         let s = d.ts_subgraph(0, 3);
-        let on_topic = s
-            .members()
-            .iter()
-            .filter(|&&p| d.topic_of(p) == 0)
-            .count();
+        let on_topic = s.members().iter().filter(|&&p| d.topic_of(p) == 0).count();
         // Homophilous links keep the crawl mostly inside the category.
         assert!(
             on_topic as f64 / s.len() as f64 > 0.5,

@@ -256,7 +256,13 @@ mod tests {
         assert!(Csr::from_parts(vec![0, 1], vec![0]).is_ok());
         assert!(Csr::from_parts(vec![1, 1], vec![0]).is_err());
         assert!(Csr::from_parts(vec![0, 2], vec![0]).is_err());
-        assert!(Csr::from_parts(vec![0, 2], vec![1, 0]).is_err(), "unsorted row");
-        assert!(Csr::from_parts(vec![0, 1], vec![5]).is_err(), "target range");
+        assert!(
+            Csr::from_parts(vec![0, 2], vec![1, 0]).is_err(),
+            "unsorted row"
+        );
+        assert!(
+            Csr::from_parts(vec![0, 1], vec![5]).is_err(),
+            "target range"
+        );
     }
 }

@@ -169,8 +169,8 @@ mod tests {
         assert_eq!(
             c,
             CutStats {
-                internal: 1,  // 0->1
-                outgoing: 2,  // 0->2, 1->2
+                internal: 1, // 0->1
+                outgoing: 2, // 0->2, 1->2
                 incoming: 0,
                 external: 1, // 2->3
             }

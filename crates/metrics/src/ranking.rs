@@ -34,10 +34,7 @@ impl PartialRanking {
     /// Panics if any score is NaN or the tolerance is negative.
     pub fn from_scores_with_tolerance(scores: &[f64], tolerance: f64) -> Self {
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
-        assert!(
-            scores.iter().all(|s| !s.is_nan()),
-            "scores must not be NaN"
-        );
+        assert!(scores.iter().all(|s| !s.is_nan()), "scores must not be NaN");
         let n = scores.len();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());

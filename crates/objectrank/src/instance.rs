@@ -46,10 +46,7 @@ impl InstanceGraph {
     /// # Panics
     /// Panics on an unknown type.
     pub fn add_object(&mut self, ty: TypeId, label: &str) -> ObjectId {
-        assert!(
-            (ty as usize) < self.schema.num_types(),
-            "unknown type {ty}"
-        );
+        assert!((ty as usize) < self.schema.num_types(), "unknown type {ty}");
         self.types.push(ty);
         self.labels.push(label.to_string());
         (self.types.len() - 1) as ObjectId

@@ -90,8 +90,7 @@ mod tests {
         let truth = authority_flow(&weighted, &opts(), &p, FlowModel::Stochastic);
         let (schema_paper, _) = (0u32, ());
         let focus = inst.objects_of_type(schema_paper);
-        let (r, nodes) =
-            rank_focus_subgraph_ideal(&inst, &focus, &truth.scores, &opts());
+        let (r, nodes) = rank_focus_subgraph_ideal(&inst, &focus, &truth.scores, &opts());
         assert!(r.converged);
         for (li, &g) in nodes.members().iter().enumerate() {
             assert!(

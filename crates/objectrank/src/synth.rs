@@ -74,9 +74,7 @@ pub fn synthetic_bibliography(config: &BibliographyConfig) -> InstanceGraph {
         }
         if i > 0 {
             for _ in 0..rng.random_range(0..=config.max_citations) {
-                let q = if !citation_pool.is_empty()
-                    && rng.random::<f64>() < config.citation_pref
-                {
+                let q = if !citation_pool.is_empty() && rng.random::<f64>() < config.citation_pref {
                     citation_pool[rng.random_range(0..citation_pool.len())]
                 } else {
                     papers[rng.random_range(0..i)]

@@ -1,7 +1,9 @@
 //! Property-based tests for the ObjectRank substrate.
 
 use approxrank_objectrank::subrank::{rank_focus_subgraph, rank_focus_subgraph_ideal};
-use approxrank_objectrank::{synthetic_bibliography, BibliographyConfig, InstanceGraph, ObjectRank, SchemaGraph};
+use approxrank_objectrank::{
+    synthetic_bibliography, BibliographyConfig, InstanceGraph, ObjectRank, SchemaGraph,
+};
 use approxrank_pagerank::authority::{authority_flow, FlowModel};
 use approxrank_pagerank::PageRankOptions;
 use proptest::prelude::*;

@@ -7,7 +7,10 @@
 //! saves a large fraction of the per-iteration pull work at a small,
 //! controlled accuracy cost.
 
+use std::time::Instant;
+
 use approxrank_graph::DiGraph;
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
 
 use crate::power::l1_delta;
 use crate::{DanglingMode, PageRankOptions, PageRankResult};
@@ -28,6 +31,17 @@ pub struct AdaptiveResult {
 
 /// Runs adaptive PageRank with a uniform personalization vector.
 pub fn pagerank_adaptive(graph: &DiGraph, options: &PageRankOptions) -> AdaptiveResult {
+    pagerank_adaptive_observed(graph, options, approxrank_trace::null())
+}
+
+/// [`pagerank_adaptive`] with telemetry; the frozen-page fraction is
+/// reported as a `frozen_fraction` gauge each sweep.
+pub fn pagerank_adaptive_observed(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    obs: &dyn Observer,
+) -> AdaptiveResult {
+    let t0 = Instant::now();
     let n = graph.num_nodes();
     if n == 0 {
         return AdaptiveResult {
@@ -36,10 +50,13 @@ pub fn pagerank_adaptive(graph: &DiGraph, options: &PageRankOptions) -> Adaptive
                 iterations: 0,
                 converged: true,
                 residuals: Vec::new(),
+                elapsed: t0.elapsed(),
             },
             skipped_fraction: 0.0,
         };
     }
+    let _span = obs.span("adaptive");
+    let mut sweep = Stopwatch::start(obs);
     let inv_n = 1.0 / n as f64;
     let eps = options.damping;
 
@@ -87,6 +104,14 @@ pub fn pagerank_adaptive(graph: &DiGraph, options: &PageRankOptions) -> Adaptive
         skipped_total += skipped;
         let delta = l1_delta(&next, &x);
         std::mem::swap(&mut x, &mut next);
+        obs.iteration(IterationEvent {
+            solver: "adaptive",
+            iteration: iterations - 1,
+            residual: delta,
+            dangling_mass,
+            elapsed_ns: sweep.lap_ns(),
+        });
+        obs.gauge("frozen_fraction", skipped as f64 / n as f64);
         if options.record_residuals {
             residuals.push(delta);
         }
@@ -102,6 +127,7 @@ pub fn pagerank_adaptive(graph: &DiGraph, options: &PageRankOptions) -> Adaptive
             iterations,
             converged,
             residuals,
+            elapsed: t0.elapsed(),
         },
         skipped_fraction: skipped_total as f64 / (iterations * n) as f64,
     }

@@ -11,6 +11,10 @@
 //!   The iteration still converges for damping < 1 / spectral-radius, which
 //!   holds for the sub-stochastic assignments used in practice.
 
+use std::time::Instant;
+
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
+
 use crate::{PageRankOptions, PageRankResult, WeightedDiGraph};
 
 /// How edge weights become transition probabilities.
@@ -34,6 +38,27 @@ pub fn authority_flow(
     personalization: &[f64],
     model: FlowModel,
 ) -> PageRankResult {
+    authority_flow_observed(
+        graph,
+        options,
+        personalization,
+        model,
+        approxrank_trace::null(),
+    )
+}
+
+/// [`authority_flow`] with telemetry.
+///
+/// # Panics
+/// Panics if `personalization.len() != graph.num_nodes()`.
+pub fn authority_flow_observed(
+    graph: &WeightedDiGraph,
+    options: &PageRankOptions,
+    personalization: &[f64],
+    model: FlowModel,
+    obs: &dyn Observer,
+) -> PageRankResult {
+    let t0 = Instant::now();
     let n = graph.num_nodes();
     assert_eq!(personalization.len(), n, "personalization length mismatch");
     if n == 0 {
@@ -42,8 +67,11 @@ pub fn authority_flow(
             iterations: 0,
             converged: true,
             residuals: Vec::new(),
+            elapsed: t0.elapsed(),
         };
     }
+    let _span = obs.span("authority_flow");
+    let mut sweep = Stopwatch::start(obs);
     let eps = options.damping;
     let inv_n = 1.0 / n as f64;
     // Per-node emission scale: 1/out_weight_sum for Stochastic, 1 for Raw.
@@ -80,11 +108,17 @@ pub fn authority_flow(
             for (&u, &w) in sources.iter().zip(weights) {
                 acc += x[u as usize] * w * scale[u as usize];
             }
-            next[v] =
-                eps * (acc + dangling_mass * inv_n) + (1.0 - eps) * personalization[v];
+            next[v] = eps * (acc + dangling_mass * inv_n) + (1.0 - eps) * personalization[v];
         }
         let delta = crate::power::l1_delta(&next, &x);
         std::mem::swap(&mut x, &mut next);
+        obs.iteration(IterationEvent {
+            solver: "authority_flow",
+            iteration: iterations - 1,
+            residual: delta,
+            dangling_mass,
+            elapsed_ns: sweep.lap_ns(),
+        });
         if options.record_residuals {
             residuals.push(delta);
         }
@@ -99,6 +133,7 @@ pub fn authority_flow(
         iterations,
         converged,
         residuals,
+        elapsed: t0.elapsed(),
     }
 }
 

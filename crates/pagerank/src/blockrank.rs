@@ -99,8 +99,7 @@ pub fn blockrank(
         .collect();
     let block_graph = WeightedDiGraph::from_edges(num_blocks, &block_edges);
     let p = vec![1.0 / num_blocks as f64; num_blocks];
-    let block_scores =
-        authority_flow(&block_graph, options, &p, FlowModel::Stochastic).scores;
+    let block_scores = authority_flow(&block_graph, options, &p, FlowModel::Stochastic).scores;
 
     // Stage 3: global PageRank from the aggregated start vector.
     let mut start: Vec<f64> = (0..n)

@@ -15,7 +15,10 @@
 //! short warm-up; power iteration then polishes the result (and safely
 //! re-damps the perturbation on graphs where the assumption is off).
 
+use std::time::Instant;
+
 use approxrank_graph::DiGraph;
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
 
 use crate::power::l1_delta;
 use crate::{DanglingMode, PageRankOptions, PageRankResult};
@@ -30,6 +33,17 @@ pub const EXTRAPOLATION_WARMUP: usize = 8;
 /// `λ₂ ≈ ε` (loosely coupled clusters, the web's block structure) it
 /// converges in substantially fewer iterations.
 pub fn pagerank_extrapolated(graph: &DiGraph, options: &PageRankOptions) -> PageRankResult {
+    pagerank_extrapolated_observed(graph, options, approxrank_trace::null())
+}
+
+/// [`pagerank_extrapolated`] with telemetry; the single `A_ε` jump is
+/// marked by an `extrapolation_jump` counter carrying its iteration.
+pub fn pagerank_extrapolated_observed(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    obs: &dyn Observer,
+) -> PageRankResult {
+    let t0 = Instant::now();
     let n = graph.num_nodes();
     if n == 0 {
         return PageRankResult {
@@ -37,8 +51,11 @@ pub fn pagerank_extrapolated(graph: &DiGraph, options: &PageRankOptions) -> Page
             iterations: 0,
             converged: true,
             residuals: Vec::new(),
+            elapsed: t0.elapsed(),
         };
     }
+    let _span = obs.span("extrapolation");
+    let mut sweep = Stopwatch::start(obs);
     let inv_n = 1.0 / n as f64;
     let personalization = vec![inv_n; n];
     let eps = options.damping;
@@ -78,6 +95,13 @@ pub fn pagerank_extrapolated(graph: &DiGraph, options: &PageRankOptions) -> Page
         // Rotate buffers: prev <- current, x <- newest, next <- scratch.
         std::mem::swap(&mut prev, &mut x);
         std::mem::swap(&mut x, &mut next);
+        obs.iteration(IterationEvent {
+            solver: "extrapolation",
+            iteration: iterations - 1,
+            residual: delta,
+            dangling_mass,
+            elapsed_ns: sweep.lap_ns(),
+        });
         if options.record_residuals {
             residuals.push(delta);
         }
@@ -88,6 +112,7 @@ pub fn pagerank_extrapolated(graph: &DiGraph, options: &PageRankOptions) -> Page
         if !extrapolated && iterations >= EXTRAPOLATION_WARMUP {
             extrapolated = true;
             a_eps_jump(&mut x, &prev, eps);
+            obs.counter("extrapolation_jump", iterations as u64);
         }
     }
 
@@ -96,6 +121,7 @@ pub fn pagerank_extrapolated(graph: &DiGraph, options: &PageRankOptions) -> Page
         iterations,
         converged,
         residuals,
+        elapsed: t0.elapsed(),
     }
 }
 

@@ -7,7 +7,10 @@
 //! The harness uses it as an independent solver to cross-validate the
 //! power iteration's fixed point.
 
+use std::time::Instant;
+
 use approxrank_graph::DiGraph;
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
 
 use crate::{PageRankOptions, PageRankResult};
 
@@ -21,6 +24,16 @@ use crate::{PageRankOptions, PageRankResult};
 /// Gauss–Seidel sweeps that system in ascending id order, consuming
 /// fresh values within the sweep, and normalizes at the end.
 pub fn pagerank_gauss_seidel(graph: &DiGraph, options: &PageRankOptions) -> PageRankResult {
+    pagerank_gauss_seidel_observed(graph, options, approxrank_trace::null())
+}
+
+/// [`pagerank_gauss_seidel`] with telemetry.
+pub fn pagerank_gauss_seidel_observed(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    obs: &dyn Observer,
+) -> PageRankResult {
+    let t0 = Instant::now();
     let n = graph.num_nodes();
     if n == 0 {
         return PageRankResult {
@@ -28,8 +41,11 @@ pub fn pagerank_gauss_seidel(graph: &DiGraph, options: &PageRankOptions) -> Page
             iterations: 0,
             converged: true,
             residuals: Vec::new(),
+            elapsed: t0.elapsed(),
         };
     }
+    let _span = obs.span("gauss_seidel");
+    let mut sweep = Stopwatch::start(obs);
     let inv_n = 1.0 / n as f64;
     let eps = options.damping;
     let mut x = vec![inv_n; n];
@@ -66,6 +82,15 @@ pub fn pagerank_gauss_seidel(graph: &DiGraph, options: &PageRankOptions) -> Page
         // the same thing as in the power iteration.
         let mass: f64 = x.iter().sum();
         let scaled = if mass > 0.0 { delta / mass } else { delta };
+        obs.iteration(IterationEvent {
+            solver: "gauss_seidel",
+            iteration: iterations - 1,
+            residual: scaled,
+            // The lumped system has no explicit dangling term; the leaked
+            // mass (1 − Σx before normalization) plays that role.
+            dangling_mass: (1.0 - mass).max(0.0),
+            elapsed_ns: sweep.lap_ns(),
+        });
         if options.record_residuals {
             residuals.push(scaled);
         }
@@ -88,6 +113,7 @@ pub fn pagerank_gauss_seidel(graph: &DiGraph, options: &PageRankOptions) -> Page
         iterations,
         converged,
         residuals,
+        elapsed: t0.elapsed(),
     }
 }
 

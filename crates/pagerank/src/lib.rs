@@ -30,12 +30,12 @@ pub mod result;
 pub mod weighted;
 
 pub use options::{DanglingMode, PageRankOptions};
-pub use power::{pagerank, pagerank_with_start};
+pub use power::{pagerank, pagerank_observed, pagerank_with_start, pagerank_with_start_observed};
 pub use result::PageRankResult;
 pub use weighted::WeightedDiGraph;
 
-pub use adaptive::pagerank_adaptive;
+pub use adaptive::{pagerank_adaptive, pagerank_adaptive_observed};
 pub use blockrank::{blockrank, BlockRankResult};
-pub use extrapolation::pagerank_extrapolated;
-pub use gauss_seidel::pagerank_gauss_seidel;
+pub use extrapolation::{pagerank_extrapolated, pagerank_extrapolated_observed};
+pub use gauss_seidel::{pagerank_gauss_seidel, pagerank_gauss_seidel_observed};
 pub use hits::{hits, HitsOptions, HitsResult};

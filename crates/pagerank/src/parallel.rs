@@ -5,7 +5,10 @@
 //! disjoint chunks of the output vector. No locks: every thread writes a
 //! distinct slice and only reads the shared immutable state.
 
+use std::time::Instant;
+
 use approxrank_graph::DiGraph;
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
 
 use crate::power::l1_delta;
 use crate::{DanglingMode, PageRankOptions, PageRankResult};
@@ -13,14 +16,23 @@ use crate::{DanglingMode, PageRankOptions, PageRankResult};
 /// Parallel PageRank; invoked via [`crate::pagerank_with_start`] when
 /// `options.threads > 1`. Produces bit-for-bit the same iteration sequence
 /// as the serial path (same summation order per node).
+///
+/// Telemetry goes to `obs` (pass [`approxrank_trace::null()`] for none);
+/// events are emitted from the coordinating thread only, so any
+/// thread-safe [`Observer`] works unmodified.
 pub fn pagerank_parallel(
     graph: &DiGraph,
     options: &PageRankOptions,
     personalization: &[f64],
     start: &[f64],
+    obs: &dyn Observer,
 ) -> PageRankResult {
+    let t0 = Instant::now();
     let n = graph.num_nodes();
     let threads = options.threads.min(n.max(1));
+    let _span = obs.span("parallel");
+    obs.counter("threads", threads as u64);
+    let mut sweep = Stopwatch::start(obs);
     let eps = options.damping;
     let inv_n = 1.0 / n as f64;
     let mut x = start.to_vec();
@@ -65,9 +77,7 @@ pub fn pagerank_parallel(
                         }
                         let jump = match dangling_mode {
                             DanglingMode::UniformJump => dangling_mass * inv_n,
-                            DanglingMode::Personalization => {
-                                dangling_mass * pers_ref[v as usize]
-                            }
+                            DanglingMode::Personalization => dangling_mass * pers_ref[v as usize],
                         };
                         *slot = eps * (acc + jump) + (1.0 - eps) * pers_ref[v as usize];
                     }
@@ -79,6 +89,13 @@ pub fn pagerank_parallel(
         });
         let delta = l1_delta(&next, &x);
         std::mem::swap(&mut x, &mut next);
+        obs.iteration(IterationEvent {
+            solver: "parallel",
+            iteration: iterations - 1,
+            residual: delta,
+            dangling_mass,
+            elapsed_ns: sweep.lap_ns(),
+        });
         if options.record_residuals {
             residuals.push(delta);
         }
@@ -93,6 +110,7 @@ pub fn pagerank_parallel(
         iterations,
         converged,
         residuals,
+        elapsed: t0.elapsed(),
     }
 }
 

@@ -9,7 +9,10 @@
 //! where `jump(v)` is `1/N` under [`DanglingMode::UniformJump`] (the
 //! paper's model) or `P[v]` under [`DanglingMode::Personalization`].
 
+use std::time::Instant;
+
 use approxrank_graph::DiGraph;
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
 
 use crate::{DanglingMode, PageRankOptions, PageRankResult};
 
@@ -34,9 +37,20 @@ pub(crate) fn l1_delta(a: &[f64], b: &[f64]) -> f64 {
 /// assert!((r.total_mass() - 1.0).abs() < 1e-6);
 /// ```
 pub fn pagerank(graph: &DiGraph, options: &PageRankOptions) -> PageRankResult {
+    pagerank_observed(graph, options, approxrank_trace::null())
+}
+
+/// [`pagerank`] with telemetry: spans and per-iteration events flow to
+/// `obs`. With [`approxrank_trace::null()`] this is exactly [`pagerank`].
+pub fn pagerank_observed(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    obs: &dyn Observer,
+) -> PageRankResult {
     let n = graph.num_nodes();
     let uniform = vec![1.0 / n.max(1) as f64; n];
-    pagerank_personalized(graph, options, &uniform)
+    let start = uniform.clone();
+    pagerank_with_start_observed(graph, options, &uniform, &start, obs)
 }
 
 /// Runs PageRank with an explicit personalization vector `p`
@@ -46,9 +60,19 @@ pub fn pagerank_personalized(
     options: &PageRankOptions,
     personalization: &[f64],
 ) -> PageRankResult {
+    pagerank_personalized_observed(graph, options, personalization, approxrank_trace::null())
+}
+
+/// [`pagerank_personalized`] with telemetry.
+pub fn pagerank_personalized_observed(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    personalization: &[f64],
+    obs: &dyn Observer,
+) -> PageRankResult {
     let n = graph.num_nodes();
     let start = vec![1.0 / n.max(1) as f64; n];
-    pagerank_with_start(graph, options, personalization, &start)
+    pagerank_with_start_observed(graph, options, personalization, &start, obs)
 }
 
 /// Runs PageRank from an explicit starting vector.
@@ -65,20 +89,44 @@ pub fn pagerank_with_start(
     personalization: &[f64],
     start: &[f64],
 ) -> PageRankResult {
+    pagerank_with_start_observed(
+        graph,
+        options,
+        personalization,
+        start,
+        approxrank_trace::null(),
+    )
+}
+
+/// [`pagerank_with_start`] with telemetry.
+///
+/// # Panics
+/// Panics if vector lengths disagree with the node count.
+pub fn pagerank_with_start_observed(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    personalization: &[f64],
+    start: &[f64],
+    obs: &dyn Observer,
+) -> PageRankResult {
     let n = graph.num_nodes();
     assert_eq!(personalization.len(), n, "personalization length mismatch");
     assert_eq!(start.len(), n, "start vector length mismatch");
+    let t0 = Instant::now();
     if n == 0 {
         return PageRankResult {
             scores: Vec::new(),
             iterations: 0,
             converged: true,
             residuals: Vec::new(),
+            elapsed: t0.elapsed(),
         };
     }
     if options.threads > 1 {
-        return crate::parallel::pagerank_parallel(graph, options, personalization, start);
+        return crate::parallel::pagerank_parallel(graph, options, personalization, start, obs);
     }
+    let _span = obs.span("power");
+    let mut sweep = Stopwatch::start(obs);
 
     let eps = options.damping;
     let mut x = start.to_vec();
@@ -114,6 +162,13 @@ pub fn pagerank_with_start(
         }
         let delta = l1_delta(&next, &x);
         std::mem::swap(&mut x, &mut next);
+        obs.iteration(IterationEvent {
+            solver: "power",
+            iteration: iterations - 1,
+            residual: delta,
+            dangling_mass,
+            elapsed_ns: sweep.lap_ns(),
+        });
         if options.record_residuals {
             residuals.push(delta);
         }
@@ -128,6 +183,7 @@ pub fn pagerank_with_start(
         iterations,
         converged,
         residuals,
+        elapsed: t0.elapsed(),
     }
 }
 

@@ -1,7 +1,9 @@
 //! Solver output.
 
+use std::time::Duration;
+
 /// The outcome of a power-iteration solve.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct PageRankResult {
     /// Final score per node; sums to 1 for stochastic walks.
     pub scores: Vec<f64>,
@@ -12,6 +14,19 @@ pub struct PageRankResult {
     /// Per-iteration residuals, when requested via
     /// [`crate::PageRankOptions::record_residuals`].
     pub residuals: Vec<f64>,
+    /// Wall-clock time of the solve; always populated by the solvers.
+    pub elapsed: Duration,
+}
+
+/// Timing is run-dependent, so equality compares everything *except*
+/// `elapsed` — two solves of the same system are equal results.
+impl PartialEq for PageRankResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.scores == other.scores
+            && self.iterations == other.iterations
+            && self.converged == other.converged
+            && self.residuals == other.residuals
+    }
 }
 
 impl PageRankResult {
@@ -40,6 +55,24 @@ impl PageRankResult {
             .map(|i| (i, self.scores[i as usize]))
             .collect()
     }
+
+    /// One-line human summary of the solve, e.g.
+    /// `converged in 42 iterations, 1.3ms (residual 8.2e-6)`.
+    pub fn summary(&self) -> String {
+        let outcome = if self.converged {
+            "converged in"
+        } else {
+            "hit iteration cap at"
+        };
+        let time = approxrank_trace::report::fmt_ns(self.elapsed.as_nanos() as u64);
+        match self.residuals.last() {
+            Some(r) => format!(
+                "{outcome} {} iterations, {time} (residual {r:.1e})",
+                self.iterations
+            ),
+            None => format!("{outcome} {} iterations, {time}", self.iterations),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -52,6 +85,7 @@ mod tests {
             iterations: 5,
             converged: true,
             residuals: vec![],
+            elapsed: Duration::from_micros(1500),
         }
     }
 
@@ -67,6 +101,7 @@ mod tests {
             iterations: 1,
             converged: true,
             residuals: vec![],
+            elapsed: Duration::ZERO,
         };
         assert_eq!(res.ranking(), vec![0, 1, 2]);
     }
@@ -80,5 +115,27 @@ mod tests {
     #[test]
     fn mass() {
         assert!((r().total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_ignores_elapsed() {
+        let mut a = r();
+        let b = r();
+        a.elapsed = Duration::from_secs(9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_mentions_outcome_and_time() {
+        let s = r().summary();
+        assert!(s.contains("converged in 5 iterations"), "{s}");
+        assert!(s.contains("1.5µs") || s.contains("ms"), "{s}");
+
+        let mut nc = r();
+        nc.converged = false;
+        nc.residuals = vec![0.5, 0.02];
+        let s = nc.summary();
+        assert!(s.contains("hit iteration cap"), "{s}");
+        assert!(s.contains("2.0e-2"), "{s}");
     }
 }

@@ -88,7 +88,10 @@ impl WeightedDiGraph {
     /// Out-edges of `u` as parallel `(targets, weights)` slices.
     #[inline]
     pub fn out_edges(&self, u: NodeId) -> (&[NodeId], &[f64]) {
-        let (lo, hi) = (self.out_offsets[u as usize], self.out_offsets[u as usize + 1]);
+        let (lo, hi) = (
+            self.out_offsets[u as usize],
+            self.out_offsets[u as usize + 1],
+        );
         (&self.out_targets[lo..hi], &self.out_weights[lo..hi])
     }
 

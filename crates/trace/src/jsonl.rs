@@ -1,0 +1,352 @@
+//! JSON-lines export and import for [`Event`] streams.
+//!
+//! One event per line, flat objects only. Both directions are hand
+//! rolled — this crate has no serde. Floats are written with Rust's
+//! shortest round-trip `{:?}` formatting, so `parse(&emit(events))`
+//! reproduces the input bit-for-bit; non-finite floats emit as `NaN` /
+//! `inf` / `-inf` (a deviation from strict JSON that only this parser
+//! needs to read back).
+
+use crate::Event;
+
+/// Serializes events, one JSON object per line (trailing newline
+/// included when non-empty).
+pub fn emit(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        emit_event(&mut out, event);
+        out.push('\n');
+    }
+    out
+}
+
+fn emit_event(out: &mut String, event: &Event) {
+    match event {
+        Event::SpanStart { name } => {
+            out.push_str("{\"type\":\"span_start\",\"name\":");
+            emit_str(out, name);
+            out.push('}');
+        }
+        Event::SpanEnd { name, elapsed_ns } => {
+            out.push_str("{\"type\":\"span_end\",\"name\":");
+            emit_str(out, name);
+            out.push_str(&format!(",\"elapsed_ns\":{elapsed_ns}}}"));
+        }
+        Event::Counter { name, value } => {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            emit_str(out, name);
+            out.push_str(&format!(",\"value\":{value}}}"));
+        }
+        Event::Gauge { name, value } => {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            emit_str(out, name);
+            out.push_str(&format!(",\"value\":{value:?}}}"));
+        }
+        Event::Iteration {
+            solver,
+            iteration,
+            residual,
+            dangling_mass,
+            elapsed_ns,
+        } => {
+            out.push_str("{\"type\":\"iteration\",\"solver\":");
+            emit_str(out, solver);
+            out.push_str(&format!(
+                ",\"iteration\":{iteration},\"residual\":{residual:?},\
+                 \"dangling_mass\":{dangling_mass:?},\"elapsed_ns\":{elapsed_ns}}}"
+            ));
+        }
+    }
+}
+
+fn emit_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses the output of [`emit`] (blank lines ignored). Returns the
+/// first malformed line's number and problem on error.
+pub fn parse(input: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event =
+            parse_line(line).map_err(|e| format!("line {}: {} (in {:?})", idx + 1, e, line))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// A scanned field value: strings decoded, numbers kept raw so integer
+/// fields parse without a float round-trip.
+enum Value {
+    Str(String),
+    Num(String),
+}
+
+impl Value {
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Num(n) => Err(format!("expected string, got number {n}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Num(n) => n.parse().map_err(|e| format!("bad integer {n}: {e}")),
+            Value::Str(s) => Err(format!("expected number, got string {s:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Num(n) => match n.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "NaN" => Ok(f64::NAN),
+                n => n.parse().map_err(|e| format!("bad float {n}: {e}")),
+            },
+            Value::Str(s) => Err(format!("expected number, got string {s:?}")),
+        }
+    }
+}
+
+fn parse_line(line: &str) -> Result<Event, String> {
+    let fields = scan_object(line)?;
+    let get = |key: &str| -> Result<&Value, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    match get("type")?.as_str()? {
+        "span_start" => Ok(Event::SpanStart {
+            name: get("name")?.as_str()?.to_string(),
+        }),
+        "span_end" => Ok(Event::SpanEnd {
+            name: get("name")?.as_str()?.to_string(),
+            elapsed_ns: get("elapsed_ns")?.as_u64()?,
+        }),
+        "counter" => Ok(Event::Counter {
+            name: get("name")?.as_str()?.to_string(),
+            value: get("value")?.as_u64()?,
+        }),
+        "gauge" => Ok(Event::Gauge {
+            name: get("name")?.as_str()?.to_string(),
+            value: get("value")?.as_f64()?,
+        }),
+        "iteration" => Ok(Event::Iteration {
+            solver: get("solver")?.as_str()?.to_string(),
+            iteration: get("iteration")?.as_u64()? as usize,
+            residual: get("residual")?.as_f64()?,
+            dangling_mass: get("dangling_mass")?.as_f64()?,
+            elapsed_ns: get("elapsed_ns")?.as_u64()?,
+        }),
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+/// Scans a single flat JSON object `{"k": v, ...}` with string or number
+/// values.
+fn scan_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.chars().peekable();
+    let mut fields = Vec::new();
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = scan_string(&mut chars)?;
+            skip_ws(&mut chars);
+            expect(&mut chars, ':')?;
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some('"') => Value::Str(scan_string(&mut chars)?),
+                Some(_) => Value::Num(scan_number(&mut chars)?),
+                None => return Err("unexpected end of line".into()),
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(fields),
+        Some(c) => Err(format!("trailing character {c:?}")),
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut std::iter::Peekable<std::str::Chars>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn scan_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('/') => s.push('/'),
+                Some('n') => s.push('\n'),
+                Some('t') => s.push('\t'),
+                Some('r') => s.push('\r'),
+                Some('b') => s.push('\u{0008}'),
+                Some('f') => s.push('\u{000C}'),
+                Some('u') => {
+                    let code = scan_hex4(chars)?;
+                    match char::from_u32(code) {
+                        Some(c) => s.push(c),
+                        // Surrogate pairs: names here are ASCII, so a
+                        // lone surrogate is simply rejected.
+                        None => return Err(format!("invalid \\u escape {code:04x}")),
+                    }
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => s.push(c),
+        }
+    }
+}
+
+fn scan_hex4(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<u32, String> {
+    let mut code = 0u32;
+    for _ in 0..4 {
+        let c = chars.next().ok_or("truncated \\u escape")?;
+        code = code * 16
+            + c.to_digit(16)
+                .ok_or_else(|| format!("bad hex digit {c:?}"))?;
+    }
+    Ok(code)
+}
+
+fn scan_number(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    let mut s = String::new();
+    while chars
+        .peek()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        s.push(chars.next().unwrap());
+    }
+    if s.is_empty() {
+        Err("expected a number".into())
+    } else {
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::SpanStart {
+                name: "solve".into(),
+            },
+            Event::Iteration {
+                solver: "power".into(),
+                iteration: 0,
+                residual: 0.123456789,
+                dangling_mass: 1e-7,
+                elapsed_ns: 42_000,
+            },
+            Event::Counter {
+                name: "boundary_nodes".into(),
+                value: 17,
+            },
+            Event::Gauge {
+                name: "skipped_fraction".into(),
+                value: 0.1,
+            },
+            Event::SpanEnd {
+                name: "solve".into(),
+                elapsed_ns: 1_234_567,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let events = sample_events();
+        let text = emit(&events);
+        assert_eq!(parse(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let events = vec![Event::SpanStart {
+            name: "odd \"name\"\\with\nstuff\u{1}".into(),
+        }];
+        assert_eq!(parse(&emit(&events)).unwrap(), events);
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let events = sample_events();
+        let text = format!("\n{}\n\n", emit(&events));
+        assert_eq!(parse(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = parse("{\"type\":\"counter\",\"name\":\"x\"}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(parse("{\"type\":\"mystery\"}").is_err());
+    }
+
+    #[test]
+    fn non_finite_gauges_round_trip() {
+        let events = vec![
+            Event::Gauge {
+                name: "a".into(),
+                value: f64::INFINITY,
+            },
+            Event::Gauge {
+                name: "b".into(),
+                value: f64::NEG_INFINITY,
+            },
+        ];
+        assert_eq!(parse(&emit(&events)).unwrap(), events);
+    }
+}

@@ -1,0 +1,377 @@
+//! Aggregation of raw event streams into human-readable run reports.
+
+use std::collections::HashMap;
+
+use crate::Event;
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanSummary {
+    /// The span name.
+    pub name: String,
+    /// How many times the span closed.
+    pub count: u64,
+    /// Sum of elapsed time across closings.
+    pub total_ns: u64,
+    /// Fastest single closing.
+    pub min_ns: u64,
+    /// Slowest single closing.
+    pub max_ns: u64,
+}
+
+/// Aggregate statistics for one counter name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSummary {
+    /// The counter name.
+    pub name: String,
+    /// How many times it was recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub total: u64,
+    /// The most recent value.
+    pub last: u64,
+}
+
+/// Aggregate statistics for one gauge name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugeSummary {
+    /// The gauge name.
+    pub name: String,
+    /// How many times it was recorded.
+    pub count: u64,
+    /// The most recent value.
+    pub last: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+/// Aggregate statistics for one solver's iteration stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverSummary {
+    /// The solver name.
+    pub solver: String,
+    /// Number of sweeps recorded.
+    pub iterations: u64,
+    /// Residual of the first sweep.
+    pub first_residual: f64,
+    /// Residual of the last sweep.
+    pub final_residual: f64,
+    /// Dangling mass of the last sweep.
+    pub final_dangling_mass: f64,
+    /// Total wall-clock time across sweeps.
+    pub total_ns: u64,
+}
+
+/// A run's telemetry, aggregated per name in first-seen order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Per-span aggregates.
+    pub spans: Vec<SpanSummary>,
+    /// Per-counter aggregates.
+    pub counters: Vec<CounterSummary>,
+    /// Per-gauge aggregates.
+    pub gauges: Vec<GaugeSummary>,
+    /// Per-solver iteration aggregates.
+    pub solvers: Vec<SolverSummary>,
+}
+
+impl RunReport {
+    /// Aggregates an event stream. Unclosed spans (a `SpanStart` with no
+    /// matching `SpanEnd`) contribute nothing to timing.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut report = RunReport::default();
+        // name → index caches to keep first-seen order with O(1) lookup.
+        let mut span_idx: HashMap<String, usize> = HashMap::new();
+        let mut counter_idx: HashMap<String, usize> = HashMap::new();
+        let mut gauge_idx: HashMap<String, usize> = HashMap::new();
+        let mut solver_idx: HashMap<String, usize> = HashMap::new();
+        for event in events {
+            match event {
+                Event::SpanStart { .. } => {}
+                Event::SpanEnd { name, elapsed_ns } => {
+                    let idx = *span_idx.entry(name.clone()).or_insert_with(|| {
+                        report.spans.push(SpanSummary {
+                            name: name.clone(),
+                            count: 0,
+                            total_ns: 0,
+                            min_ns: u64::MAX,
+                            max_ns: 0,
+                        });
+                        report.spans.len() - 1
+                    });
+                    let s = &mut report.spans[idx];
+                    s.count += 1;
+                    s.total_ns += elapsed_ns;
+                    s.min_ns = s.min_ns.min(*elapsed_ns);
+                    s.max_ns = s.max_ns.max(*elapsed_ns);
+                }
+                Event::Counter { name, value } => {
+                    let idx = *counter_idx.entry(name.clone()).or_insert_with(|| {
+                        report.counters.push(CounterSummary {
+                            name: name.clone(),
+                            count: 0,
+                            total: 0,
+                            last: 0,
+                        });
+                        report.counters.len() - 1
+                    });
+                    let c = &mut report.counters[idx];
+                    c.count += 1;
+                    c.total += value;
+                    c.last = *value;
+                }
+                Event::Gauge { name, value } => {
+                    let idx = *gauge_idx.entry(name.clone()).or_insert_with(|| {
+                        report.gauges.push(GaugeSummary {
+                            name: name.clone(),
+                            count: 0,
+                            last: 0.0,
+                            min: f64::INFINITY,
+                            max: f64::NEG_INFINITY,
+                        });
+                        report.gauges.len() - 1
+                    });
+                    let g = &mut report.gauges[idx];
+                    g.count += 1;
+                    g.last = *value;
+                    g.min = g.min.min(*value);
+                    g.max = g.max.max(*value);
+                }
+                Event::Iteration {
+                    solver,
+                    residual,
+                    dangling_mass,
+                    elapsed_ns,
+                    ..
+                } => {
+                    let idx = *solver_idx.entry(solver.clone()).or_insert_with(|| {
+                        report.solvers.push(SolverSummary {
+                            solver: solver.clone(),
+                            iterations: 0,
+                            first_residual: *residual,
+                            final_residual: *residual,
+                            final_dangling_mass: *dangling_mass,
+                            total_ns: 0,
+                        });
+                        report.solvers.len() - 1
+                    });
+                    let s = &mut report.solvers[idx];
+                    s.iterations += 1;
+                    s.final_residual = *residual;
+                    s.final_dangling_mass = *dangling_mass;
+                    s.total_ns += elapsed_ns;
+                }
+            }
+        }
+        report
+    }
+
+    /// Whether no events contributed anything.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.solvers.is_empty()
+    }
+
+    /// Renders aligned plain-text tables, one section per event kind
+    /// with data.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "trace: no events recorded\n".to_string();
+        }
+        let mut out = String::new();
+        if !self.solvers.is_empty() {
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>13} {:>13} {:>10}\n",
+                "solver", "iters", "residual", "dangling", "time"
+            ));
+            for s in &self.solvers {
+                out.push_str(&format!(
+                    "{:<16} {:>6} {:>13.3e} {:>13.3e} {:>10}\n",
+                    s.solver,
+                    s.iterations,
+                    s.final_residual,
+                    s.final_dangling_mass,
+                    fmt_ns(s.total_ns)
+                ));
+            }
+        }
+        if !self.spans.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<28} {:>6} {:>10} {:>10} {:>10}\n",
+                "span", "count", "total", "min", "max"
+            ));
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "{:<28} {:>6} {:>10} {:>10} {:>10}\n",
+                    s.name,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.max_ns)
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<28} {:>6} {:>12} {:>12}\n",
+                "counter", "count", "total", "last"
+            ));
+            for c in &self.counters {
+                out.push_str(&format!(
+                    "{:<28} {:>6} {:>12} {:>12}\n",
+                    c.name, c.count, c.total, c.last
+                ));
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<28} {:>6} {:>13} {:>13} {:>13}\n",
+                "gauge", "count", "last", "min", "max"
+            ));
+            for g in &self.gauges {
+                out.push_str(&format!(
+                    "{:<28} {:>6} {:>13.4e} {:>13.4e} {:>13.4e}\n",
+                    g.name, g.count, g.last, g.min, g.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Nanoseconds to a compact human unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iteration(solver: &str, i: usize, residual: f64) -> Event {
+        Event::Iteration {
+            solver: solver.into(),
+            iteration: i,
+            residual,
+            dangling_mass: 0.01,
+            elapsed_ns: 100,
+        }
+    }
+
+    #[test]
+    fn aggregates_spans() {
+        let events = vec![
+            Event::SpanStart { name: "a".into() },
+            Event::SpanEnd {
+                name: "a".into(),
+                elapsed_ns: 10,
+            },
+            Event::SpanEnd {
+                name: "a".into(),
+                elapsed_ns: 30,
+            },
+        ];
+        let report = RunReport::from_events(&events);
+        assert_eq!(report.spans.len(), 1);
+        let s = &report.spans[0];
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 40, 10, 30));
+    }
+
+    #[test]
+    fn aggregates_solver_iterations() {
+        let events = vec![
+            iteration("power", 0, 0.5),
+            iteration("power", 1, 0.1),
+            iteration("power", 2, 0.01),
+        ];
+        let report = RunReport::from_events(&events);
+        assert_eq!(report.solvers.len(), 1);
+        let s = &report.solvers[0];
+        assert_eq!(s.iterations, 3);
+        assert_eq!(s.first_residual, 0.5);
+        assert_eq!(s.final_residual, 0.01);
+        assert_eq!(s.total_ns, 300);
+    }
+
+    #[test]
+    fn preserves_first_seen_order() {
+        let events = vec![
+            Event::Counter {
+                name: "b".into(),
+                value: 1,
+            },
+            Event::Counter {
+                name: "a".into(),
+                value: 2,
+            },
+            Event::Counter {
+                name: "b".into(),
+                value: 3,
+            },
+        ];
+        let report = RunReport::from_events(&events);
+        let names: Vec<&str> = report.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["b", "a"]);
+        assert_eq!(report.counters[0].total, 4);
+        assert_eq!(report.counters[0].last, 3);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let events = vec![
+            iteration("power", 0, 0.5),
+            Event::SpanEnd {
+                name: "solve".into(),
+                elapsed_ns: 500,
+            },
+            Event::Counter {
+                name: "edges".into(),
+                value: 9,
+            },
+            Event::Gauge {
+                name: "mass".into(),
+                value: 1.0,
+            },
+        ];
+        let text = RunReport::from_events(&events).render();
+        for needle in ["power", "solve", "edges", "mass"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let report = RunReport::from_events(&[]);
+        assert!(report.is_empty());
+        assert!(report.render().contains("no events"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_000_000), "2.0ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -40,8 +40,13 @@ fn main() {
     // Focused crawl: seeds are the category's directory-listed pages; the
     // frontier is prioritized by topical relevance (on-topic ≫ off-topic).
     let seeds = dataset.listed_pages(topic).to_vec();
-    let relevance =
-        |page: u32| -> f64 { if dataset.topic_of(page) as usize == topic { 1.0 } else { 0.05 } };
+    let relevance = |page: u32| -> f64 {
+        if dataset.topic_of(page) as usize == topic {
+            1.0
+        } else {
+            0.05
+        }
+    };
     let crawler = BestFirstCrawler::new(seeds, relevance);
     let fetched = crawler.crawl_limit(graph, dataset.topic_size(topic));
     let on_topic = fetched
@@ -56,7 +61,10 @@ fn main() {
     );
 
     // Rank the crawled fragment.
-    let subgraph = Subgraph::extract(graph, NodeSet::from_iter_order(graph.num_nodes(), fetched.members().iter().copied()));
+    let subgraph = Subgraph::extract(
+        graph,
+        NodeSet::from_iter_order(graph.num_nodes(), fetched.members().iter().copied()),
+    );
     let options = PageRankOptions::paper();
     let approx = ApproxRank::new(options.clone()).rank(graph, &subgraph);
     let local = LocalPageRank::new(options.clone()).rank(graph, &subgraph);
@@ -84,7 +92,11 @@ fn main() {
 
     println!("\ntop-10 pages the crawler would serve (ApproxRank order):");
     let mut order: Vec<usize> = (0..subgraph.len()).collect();
-    order.sort_by(|&a, &b| approx.local_scores[b].partial_cmp(&approx.local_scores[a]).unwrap());
+    order.sort_by(|&a, &b| {
+        approx.local_scores[b]
+            .partial_cmp(&approx.local_scores[a])
+            .unwrap()
+    });
     for (rank, &k) in order.iter().take(10).enumerate() {
         let page = subgraph.nodes().global_id(k as u32);
         println!(

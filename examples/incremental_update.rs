@@ -92,7 +92,9 @@ fn main() {
     let fr_stale = footrule_from_scores(&stale_restricted, &truth_restricted);
 
     println!("\naccuracy on the changed domain (vs fresh global PageRank):");
-    println!("  IdealRank (stale externals): L1 {l1_ideal:.6}, footrule {fr_ideal:.6}, {ideal_secs:.3}s");
+    println!(
+        "  IdealRank (stale externals): L1 {l1_ideal:.6}, footrule {fr_ideal:.6}, {ideal_secs:.3}s"
+    );
     println!("  stale scores (do nothing):   L1 {l1_stale:.6}, footrule {fr_stale:.6}");
     println!("  fresh global recompute:      exact, {fresh_secs:.2}s");
     println!(

@@ -13,7 +13,9 @@
 use approxrank::core::baselines::LocalPageRank;
 use approxrank::core::theory;
 use approxrank::pagerank::pagerank;
-use approxrank::{ApproxRank, DiGraph, IdealRank, NodeSet, PageRankOptions, Subgraph, SubgraphRanker};
+use approxrank::{
+    ApproxRank, DiGraph, IdealRank, NodeSet, PageRankOptions, Subgraph, SubgraphRanker,
+};
 
 fn main() {
     // The paper's Figure 4 (X's and Y's extra external edges reconstructed
@@ -92,8 +94,7 @@ fn main() {
     // 4. Theorem 2: ApproxRank's error is bounded a priori.
     let gap = theory::external_assumption_gap(&truth.scores, &subgraph);
     let bound = theory::theorem2_bound(options.damping, None, gap);
-    let measured =
-        theory::converged_gap(&ideal_scores.local_scores, &approx_scores.local_scores);
+    let measured = theory::converged_gap(&ideal_scores.local_scores, &approx_scores.local_scores);
     println!("\n== Theorem 2 ==");
     println!("  ‖E − E_approx‖₁          = {gap:.6}");
     println!("  bound ε/(1−ε)·gap        = {bound:.6}");

@@ -70,15 +70,12 @@ fn main() {
             }
         }
     }
-    println!(
-        "\nexpert focus: conf-00 community — {} of {n} objects",
-        {
-            let mut f = focus.clone();
-            f.sort_unstable();
-            f.dedup();
-            f.len()
-        }
-    );
+    println!("\nexpert focus: conf-00 community — {} of {n} objects", {
+        let mut f = focus.clone();
+        f.sort_unstable();
+        f.dedup();
+        f.len()
+    });
 
     // Ground truth under the stochastic flow model (what the collapse
     // approximates), restricted to the focus.
@@ -97,12 +94,19 @@ fn main() {
     println!("\nfocus-subgraph ranking vs full-graph authority flow:");
     println!("  weighted IdealRank footrule:  {fr_ideal:.2e} (Theorem 1: exact)");
     println!("  weighted ApproxRank footrule: {fr_approx:.5}");
-    println!("  weighted ApproxRank top-10 overlap: {:.0}%", 100.0 * top10);
+    println!(
+        "  weighted ApproxRank top-10 overlap: {:.0}%",
+        100.0 * top10
+    );
     assert!(fr_ideal < 1e-6, "weighted Theorem 1 must hold");
 
     println!("\ntop-5 community objects (weighted ApproxRank order):");
     let mut order: Vec<usize> = (0..nodes.len()).collect();
-    order.sort_by(|&a, &b| approx.local_scores[b].partial_cmp(&approx.local_scores[a]).unwrap());
+    order.sort_by(|&a, &b| {
+        approx.local_scores[b]
+            .partial_cmp(&approx.local_scores[a])
+            .unwrap()
+    });
     for (rank, &k) in order.iter().take(5).enumerate() {
         let id = nodes.global_id(k as u32);
         println!(

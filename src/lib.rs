@@ -15,6 +15,7 @@
 //! | [`core`] | `approxrank-core` | IdealRank, ApproxRank, baselines, SC, Theorem 2 |
 //! | [`metrics`] | `approxrank-metrics` | L1, Spearman footrule with ties, Kendall, top-k |
 //! | [`objectrank`] | `approxrank-objectrank` | semantic ranking: schema graphs, authority transfer, keyword base sets |
+//! | [`trace`] | `approxrank-trace` | solver telemetry: observers, recorders, JSONL export, run reports |
 //! | [`bench`](mod@bench) | `approxrank-bench` | the experiment harness behind `repro` |
 //!
 //! The most common types are re-exported at the root:
@@ -41,6 +42,7 @@ pub use approxrank_graph as graph;
 pub use approxrank_metrics as metrics;
 pub use approxrank_objectrank as objectrank;
 pub use approxrank_pagerank as pagerank;
+pub use approxrank_trace as trace;
 
 pub use approxrank_core::{
     ApproxRank, GlobalPrecomputation, IdealRank, RankScores, StochasticComplementation,

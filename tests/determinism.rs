@@ -4,7 +4,9 @@
 use approxrank::gen::{au_like, politics_like, AuConfig, BfsCrawler, PoliticsConfig};
 use approxrank::graph::io;
 use approxrank::pagerank::pagerank;
-use approxrank::{ApproxRank, PageRankOptions, StochasticComplementation, Subgraph, SubgraphRanker};
+use approxrank::{
+    ApproxRank, PageRankOptions, StochasticComplementation, Subgraph, SubgraphRanker,
+};
 
 #[test]
 fn datasets_are_bit_identical_across_builds() {

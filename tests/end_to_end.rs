@@ -44,7 +44,10 @@ fn all_rankers_run_and_order_sanely_on_a_domain() {
         assert!(scores.converged, "{} did not converge", r.name());
         assert_eq!(scores.local_scores.len(), sub.len());
         assert!(
-            scores.local_scores.iter().all(|&s| s.is_finite() && s >= 0.0),
+            scores
+                .local_scores
+                .iter()
+                .all(|&s| s.is_finite() && s >= 0.0),
             "{} produced invalid scores",
             r.name()
         );

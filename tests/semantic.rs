@@ -102,7 +102,11 @@ fn keyword_objectrank_and_subgraph_ranking_compose() {
         })
         .unwrap();
     let mut order: Vec<usize> = (0..nodes.len()).collect();
-    order.sort_by(|&a, &b| approx.local_scores[b].partial_cmp(&approx.local_scores[a]).unwrap());
+    order.sort_by(|&a, &b| {
+        approx.local_scores[b]
+            .partial_cmp(&approx.local_scores[a])
+            .unwrap()
+    });
     let rank_of_top = order
         .iter()
         .position(|&k| nodes.global_id(k as u32) == top_global_paper)

@@ -82,7 +82,10 @@ fn theorem2_bound_holds_on_random_subgraphs() {
         let ra = ApproxRank::new(opts.clone()).rank_subgraph(g, &sub);
         let cg = converged_gap(&ri.local_scores, &ra.local_scores);
         let limit = theorem2_bound(eps, None, gap);
-        assert!(cg <= limit, "trial {trial}: converged gap {cg} > limit {limit}");
+        assert!(
+            cg <= limit,
+            "trial {trial}: converged gap {cg} > limit {limit}"
+        );
     }
 }
 

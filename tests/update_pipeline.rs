@@ -60,10 +60,7 @@ fn evolve_then_update_pipeline() {
     };
     let r_ideal = ideal.rank_subgraph(&evo.graph, &subgraph);
     let fr_ideal = footrule_from_scores(&r_ideal.local_scores, &truth_restricted);
-    let fr_stale = footrule_from_scores(
-        &subgraph.nodes().restrict(&stale),
-        &truth_restricted,
-    );
+    let fr_stale = footrule_from_scores(&subgraph.nodes().restrict(&stale), &truth_restricted);
     assert!(
         fr_ideal < fr_stale,
         "IdealRank ({fr_ideal}) must beat stale scores ({fr_stale})"
@@ -101,10 +98,7 @@ fn crawler_session_incremental_ranking() {
             None => {
                 let mut s = SubgraphSession::new(
                     g,
-                    NodeSet::from_iter_order(
-                        g.num_nodes(),
-                        fragment.members().iter().copied(),
-                    ),
+                    NodeSet::from_iter_order(g.num_nodes(), fragment.members().iter().copied()),
                     opts(),
                 );
                 let r = s.solve();
@@ -112,8 +106,7 @@ fn crawler_session_incremental_ranking() {
                 r
             }
             Some(s) => {
-                let current: std::collections::HashSet<u32> =
-                    s.members().iter().copied().collect();
+                let current: std::collections::HashSet<u32> = s.members().iter().copied().collect();
                 let fresh: Vec<u32> = fragment
                     .members()
                     .iter()
@@ -134,9 +127,9 @@ fn crawler_session_incremental_ranking() {
                 g.in_neighbors(f)
                     .iter()
                     .filter_map(|&u| {
-                        fragment.local_id(u).map(|li| {
-                            scores.local_scores[li as usize] / g.out_degree(u) as f64
-                        })
+                        fragment
+                            .local_id(u)
+                            .map(|li| scores.local_scores[li as usize] / g.out_degree(u) as f64)
                     })
                     .sum()
             })
