@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: an exact `usize` or a
+/// A length specification for [`vec()`]: an exact `usize` or a
 /// `Range<usize>`.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
@@ -46,7 +46,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

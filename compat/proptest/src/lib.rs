@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors a compatible *subset* of proptest: the [`Strategy`] trait with
+//! vendors a compatible *subset* of proptest: the `Strategy` trait with
 //! `prop_map` / `prop_flat_map`, range and tuple strategies,
 //! [`collection::vec`], [`arbitrary::any`], and the [`proptest!`] /
 //! `prop_assert*` / [`prop_assume!`] macros.

@@ -1,8 +1,9 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all [--scale F] [--markdown] [--quiet] [--trace-json FILE]
+//! repro all [--scale F] [--jobs N] [--markdown] [--quiet] [--trace-json FILE]
 //! repro table2|table3|table4|table5|table6|figure7|theorem1|theorem2 [--scale F]
+//! repro bench [--scale F] [--markdown]   # thread-scaling baseline (PERFORMANCE.md)
 //! ```
 //!
 //! `--scale 1.0` (default) is a 1:20 reduction of the paper's crawls
@@ -10,26 +11,31 @@
 //! GitHub-flavoured markdown (the format `EXPERIMENTS.md` embeds).
 //! `--quiet` silences the progress notes on stderr; `--trace-json FILE`
 //! records a per-experiment span stream that `subrank report` renders.
+//! `--jobs N` fans the independent experiments of `repro all` across a
+//! persistent work pool; output order and telemetry order are identical
+//! to `--jobs 1`.
 
 use std::process::ExitCode;
 
 use approxrank_bench::datasets::DatasetScale;
 use approxrank_bench::experiments::{
     ablation_cohesion, ablation_damping, ablation_serverrank, ablation_solvers, convergence,
-    figure7, scaling, scorecard, table2, table3, table4, table5, table6, theorem1, theorem2, topk,
-    updating, AuContext, ExperimentOutput, PoliticsContext,
+    figure7, perf, scaling, scorecard, table2, table3, table4, table5, table6, theorem1, theorem2,
+    topk, updating, AuContext, ExperimentOutput, PoliticsContext,
 };
-use approxrank_trace::{Observer, Recorder};
+use approxrank_exec::{Executor, Partition};
+use approxrank_trace::{Event, Observer, Recorder};
 
 const USAGE: &str =
-    "usage: repro <experiment> [--scale F] [--markdown] [--quiet] [--trace-json FILE]
+    "usage: repro <experiment> [--scale F] [--jobs N] [--markdown] [--quiet] [--trace-json FILE]
 experiments: all, table2, table3, table4, table5, table6, figure7, theorem1, theorem2,
              topk, serverrank, updating, cohesion, damping, solvers, scaling,
-             convergence, scorecard (extensions)";
+             convergence, scorecard, bench (extensions)";
 
 struct Args {
     experiment: String,
     scale: DatasetScale,
+    jobs: usize,
     markdown: bool,
     quiet: bool,
     trace_json: Option<String>,
@@ -38,6 +44,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut experiment = None;
     let mut scale = DatasetScale::default();
+    let mut jobs = 1usize;
     let mut markdown = false;
     let mut quiet = false;
     let mut trace_json = None;
@@ -52,6 +59,13 @@ fn parse_args() -> Result<Args, String> {
                 }
                 scale = DatasetScale(f);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|e| format!("bad --jobs {v:?}: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--markdown" => markdown = true,
             "--quiet" => quiet = true,
             "--trace-json" => trace_json = Some(it.next().ok_or("--trace-json needs a value")?),
@@ -63,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         experiment: experiment.ok_or(USAGE)?,
         scale,
+        jobs,
         markdown,
         quiet,
         trace_json,
@@ -125,7 +140,7 @@ impl Harness {
     }
 }
 
-fn run_all(h: &Harness, scale: DatasetScale) {
+fn run_all(h: &Harness, scale: DatasetScale, jobs: usize) {
     h.note(&format!(
         "building politics-like dataset (scale {}) ...",
         scale.0
@@ -150,20 +165,85 @@ fn run_all(h: &Harness, scale: DatasetScale) {
         au.truth.result.summary()
     ));
 
-    h.run("table2", || table2::run(scale));
-    h.run("table3", || table3::run_with(&politics).1);
-    h.run("table4 (includes SC on 12 domains; the slow one)", || {
-        table4::run_with(&au, true).1
+    if jobs <= 1 {
+        h.run("table2", || table2::run(scale));
+        h.run("table3", || table3::run_with(&politics).1);
+        h.run("table4 (includes SC on 12 domains; the slow one)", || {
+            table4::run_with(&au, true).1
+        });
+        h.run("table5", || table5::run_with(&politics).1);
+        h.run("table6", || table6::run_with(&au).1);
+        h.run("figure7", || figure7::run_with(&au).1);
+        h.run("theorem1", || theorem1::run_with(&au, 3).1);
+        h.run("theorem2", || theorem2::run_with(&politics, 20).1);
+        h.run("topk", || topk::run_with(&au).1);
+        h.run("serverrank ablation", || {
+            ablation_serverrank::run_with(&au).1
+        });
+        return;
+    }
+
+    // Fan the independent experiments across a persistent pool. Each job
+    // records into its own Recorder; the streams are merged (and printed)
+    // in the fixed experiment order afterwards, so everything except the
+    // wall-clock columns matches a sequential run byte for byte.
+    type Job<'a> = (&'static str, Box<dyn Fn() -> ExperimentOutput + Sync + 'a>);
+    let tasks: Vec<Job> = vec![
+        ("table2", Box::new(|| table2::run(scale))),
+        ("table3", Box::new(|| table3::run_with(&politics).1)),
+        (
+            "table4 (includes SC on 12 domains; the slow one)",
+            Box::new(|| table4::run_with(&au, true).1),
+        ),
+        ("table5", Box::new(|| table5::run_with(&politics).1)),
+        ("table6", Box::new(|| table6::run_with(&au).1)),
+        ("figure7", Box::new(|| figure7::run_with(&au).1)),
+        ("theorem1", Box::new(|| theorem1::run_with(&au, 3).1)),
+        ("theorem2", Box::new(|| theorem2::run_with(&politics, 20).1)),
+        ("topk", Box::new(|| topk::run_with(&au).1)),
+        (
+            "serverrank ablation",
+            Box::new(|| ablation_serverrank::run_with(&au).1),
+        ),
+    ];
+    h.note(&format!(
+        "running {} experiments across {} jobs ...",
+        tasks.len(),
+        jobs
+    ));
+    let tracing = h.recorder.is_some();
+    let exec = Executor::new(jobs.min(tasks.len()));
+    let mut slots: Vec<Option<(ExperimentOutput, Vec<Event>)>> =
+        (0..tasks.len()).map(|_| None).collect();
+    let part = Partition::uniform(tasks.len(), tasks.len());
+    exec.for_each_chunk(&mut slots, &part, |i, _, slot| {
+        let (name, f) = &tasks[i];
+        slot[0] = Some(if tracing {
+            let rec = Recorder::new();
+            let obs: &dyn Observer = &rec;
+            let out = {
+                let _span = obs.span(name);
+                f()
+            };
+            (out, rec.take())
+        } else {
+            (f(), Vec::new())
+        });
     });
-    h.run("table5", || table5::run_with(&politics).1);
-    h.run("table6", || table6::run_with(&au).1);
-    h.run("figure7", || figure7::run_with(&au).1);
-    h.run("theorem1", || theorem1::run_with(&au, 3).1);
-    h.run("theorem2", || theorem2::run_with(&politics, 20).1);
-    h.run("topk", || topk::run_with(&au).1);
-    h.run("serverrank ablation", || {
-        ablation_serverrank::run_with(&au).1
-    });
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (out, events) = slot.expect("every job runs to completion");
+        h.note(&format!("{} done", tasks[i].0));
+        if let Some(rec) = &h.recorder {
+            for e in events {
+                rec.record(e);
+            }
+        }
+        if h.markdown {
+            print!("{}", out.render_markdown());
+        } else {
+            print!("{}", out.render());
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -177,7 +257,7 @@ fn main() -> ExitCode {
     let h = Harness::new(&args);
     let scale = args.scale;
     match args.experiment.as_str() {
-        "all" => run_all(&h, scale),
+        "all" => run_all(&h, scale, args.jobs),
         "table2" => h.run("table2", || table2::run(scale)),
         "table3" => h.run("table3", || table3::run(scale)),
         "table4" => h.run("table4", || table4::run(scale)),
@@ -195,6 +275,7 @@ fn main() -> ExitCode {
         "scaling" => h.run("scaling", || scaling::run(scale)),
         "convergence" => h.run("convergence", || convergence::run(scale)),
         "scorecard" => h.run("scorecard", || scorecard::run(scale)),
+        "bench" => h.run("bench", || perf::run(scale)),
         other => {
             eprintln!("unknown experiment {other:?}\n{USAGE}");
             return ExitCode::FAILURE;

@@ -10,6 +10,7 @@ pub mod ablation_serverrank;
 pub mod ablation_solvers;
 pub mod convergence;
 pub mod figure7;
+pub mod perf;
 pub mod scaling;
 pub mod scorecard;
 pub mod table2;

@@ -39,6 +39,8 @@ pub enum Solver {
     Power,
     /// Lumped Gauss–Seidel.
     GaussSeidel,
+    /// Red/black Gauss–Seidel (parallelizable; see `--threads`).
+    GaussSeidelRb,
     /// `A_ε` extrapolation.
     Extrapolated,
 }
@@ -48,9 +50,10 @@ impl Solver {
         match s {
             "power" => Ok(Solver::Power),
             "gauss-seidel" | "gs" => Ok(Solver::GaussSeidel),
+            "gauss-seidel-rb" | "gs-rb" => Ok(Solver::GaussSeidelRb),
             "extrapolated" => Ok(Solver::Extrapolated),
             other => Err(format!(
-                "unknown solver {other:?} (power|gauss-seidel|extrapolated)"
+                "unknown solver {other:?} (power|gauss-seidel|gs-rb|extrapolated)"
             )),
         }
     }
@@ -99,6 +102,8 @@ pub struct RankArgs {
     pub tolerance: f64,
     /// Print only the top-k pages (0 = all).
     pub top: usize,
+    /// Worker threads for the solvers (1 = sequential, the default).
+    pub threads: usize,
     /// Telemetry flags.
     pub trace: TraceOpts,
 }
@@ -116,6 +121,8 @@ pub struct GlobalArgs {
     pub tolerance: f64,
     /// Print only the top-k pages (0 = all).
     pub top: usize,
+    /// Worker threads for the solvers (1 = sequential, the default).
+    pub threads: usize,
     /// Telemetry flags.
     pub trace: TraceOpts,
 }
@@ -190,10 +197,10 @@ pub enum Command {
 pub const USAGE: &str = "usage:
   subrank rank   --graph FILE --subgraph FILE [--algorithm approxrank|idealrank|local|lpr2|sc]
                  [--scores FILE] [--damping 0.85] [--tolerance 1e-5] [--top K]
-                 [--trace] [--trace-json FILE] [--quiet]
-  subrank global --graph FILE [--solver power|gauss-seidel|extrapolated]
+                 [--threads N] [--trace] [--trace-json FILE] [--quiet]
+  subrank global --graph FILE [--solver power|gauss-seidel|gs-rb|extrapolated]
                  [--damping 0.85] [--tolerance 1e-5] [--top K]
-                 [--trace] [--trace-json FILE] [--quiet]
+                 [--threads N] [--trace] [--trace-json FILE] [--quiet]
   subrank compare --graph FILE --subgraph FILE [--truth yes] [--damping 0.85] [--tolerance 1e-5]
   subrank stats  --graph FILE
   subrank gen    --dataset au|politics --pages N [--seed S] --out FILE
@@ -260,6 +267,15 @@ impl Options {
     }
 }
 
+/// Parses `--threads` (default 1, must be at least 1).
+fn take_threads(opts: &mut Options) -> Result<usize, String> {
+    let threads = opts.numeric("threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(threads)
+}
+
 impl Cli {
     /// Parses `argv` (without the program name).
     pub fn parse(argv: &[String]) -> Result<Cli, String> {
@@ -278,6 +294,7 @@ impl Cli {
                     damping: opts.numeric("damping", 0.85)?,
                     tolerance: opts.numeric("tolerance", 1e-5)?,
                     top: opts.numeric("top", 0usize)?,
+                    threads: take_threads(&mut opts)?,
                     trace: TraceOpts::take(&mut opts),
                 };
                 if args.algorithm == Algorithm::IdealRank && args.scores.is_none() {
@@ -294,6 +311,7 @@ impl Cli {
                 damping: opts.numeric("damping", 0.85)?,
                 tolerance: opts.numeric("tolerance", 1e-5)?,
                 top: opts.numeric("top", 0usize)?,
+                threads: take_threads(&mut opts)?,
                 trace: TraceOpts::take(&mut opts),
             }),
             "stats" => Command::Stats(StatsArgs {
@@ -444,6 +462,36 @@ mod tests {
             panic!()
         };
         assert_eq!(a.solver, Solver::GaussSeidel);
+        for alias in ["gs-rb", "gauss-seidel-rb"] {
+            let cli = Cli::parse(&argv(&format!("global --graph g --solver {alias}"))).unwrap();
+            let Command::Global(a) = cli.command else {
+                panic!()
+            };
+            assert_eq!(a.solver, Solver::GaussSeidelRb);
+        }
+    }
+
+    #[test]
+    fn parses_threads() {
+        let cli = Cli::parse(&argv("global --graph g --threads 4")).unwrap();
+        let Command::Global(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.threads, 4);
+        let cli = Cli::parse(&argv("rank --graph g --subgraph s --threads 2")).unwrap();
+        let Command::Rank(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.threads, 2);
+        // Default is sequential; zero is rejected.
+        let cli = Cli::parse(&argv("global --graph g")).unwrap();
+        let Command::Global(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.threads, 1);
+        assert!(Cli::parse(&argv("global --graph g --threads 0"))
+            .unwrap_err()
+            .contains("--threads"));
     }
 
     #[test]

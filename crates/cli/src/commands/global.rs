@@ -1,8 +1,8 @@
 //! `subrank global` — compute global PageRank with a chosen solver.
 
 use approxrank_pagerank::{
-    pagerank_extrapolated_observed, pagerank_gauss_seidel_observed, pagerank_observed,
-    PageRankOptions,
+    pagerank_extrapolated_observed, pagerank_gauss_seidel_observed,
+    pagerank_gauss_seidel_red_black_observed, pagerank_observed, PageRankOptions,
 };
 use approxrank_trace::{Observer, Recorder};
 
@@ -14,7 +14,8 @@ pub fn run(args: &GlobalArgs) -> Result<String, String> {
     let graph = load_graph(&args.graph)?;
     let options = PageRankOptions::paper()
         .with_damping(args.damping)
-        .with_tolerance(args.tolerance);
+        .with_tolerance(args.tolerance)
+        .with_threads(args.threads.max(1));
     let recorder = Recorder::new();
     let obs: &dyn Observer = if args.trace.enabled() {
         &recorder
@@ -26,6 +27,10 @@ pub fn run(args: &GlobalArgs) -> Result<String, String> {
         Solver::GaussSeidel => (
             "Gauss-Seidel",
             pagerank_gauss_seidel_observed(&graph, &options, obs),
+        ),
+        Solver::GaussSeidelRb => (
+            "red/black Gauss-Seidel",
+            pagerank_gauss_seidel_red_black_observed(&graph, &options, obs),
         ),
         Solver::Extrapolated => (
             "A_eps extrapolation",
@@ -69,13 +74,19 @@ mod tests {
     fn all_solvers_produce_same_top_page() {
         let g = graph_file();
         let mut tops = Vec::new();
-        for solver in [Solver::Power, Solver::GaussSeidel, Solver::Extrapolated] {
+        for solver in [
+            Solver::Power,
+            Solver::GaussSeidel,
+            Solver::GaussSeidelRb,
+            Solver::Extrapolated,
+        ] {
             let out = run(&GlobalArgs {
                 graph: g.clone(),
                 solver,
                 damping: 0.85,
                 tolerance: 1e-10,
                 top: 1,
+                threads: 1,
                 trace: Default::default(),
             })
             .unwrap();
@@ -97,5 +108,38 @@ mod tests {
             assert!(top_line.starts_with("page"));
         }
         assert!(tops.windows(2).all(|w| w[0] == w[1]), "{tops:?}");
+    }
+
+    #[test]
+    fn threads_do_not_change_scores_and_trace_shows_pool() {
+        use crate::args::TraceOpts;
+        let g = graph_file();
+        let run_with = |threads: usize, trace: bool| {
+            run(&GlobalArgs {
+                graph: g.clone(),
+                solver: Solver::Power,
+                damping: 0.85,
+                tolerance: 1e-10,
+                top: 0,
+                threads,
+                trace: TraceOpts {
+                    trace,
+                    ..TraceOpts::default()
+                },
+            })
+            .unwrap()
+        };
+        let strip = |out: &str| {
+            out.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let sequential = run_with(1, false);
+        let pooled = run_with(3, true);
+        assert_eq!(strip(&sequential), strip(&pooled));
+        // The run report surfaces the pool's efficiency line.
+        assert!(pooled.contains("parallel:"), "{pooled}");
+        assert!(pooled.contains("pool_threads"), "{pooled}");
     }
 }

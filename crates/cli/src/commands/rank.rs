@@ -25,7 +25,8 @@ pub fn run(args: &RankArgs) -> Result<String, String> {
     let subgraph = Subgraph::extract(&graph, nodes);
     let options = PageRankOptions::paper()
         .with_damping(args.damping)
-        .with_tolerance(args.tolerance);
+        .with_tolerance(args.tolerance)
+        .with_threads(args.threads.max(1));
 
     let ranker: Box<dyn SubgraphRanker> = match args.algorithm {
         Algorithm::ApproxRank => Box::new(ApproxRank::new(options)),
@@ -142,6 +143,7 @@ mod tests {
                 damping: 0.85,
                 tolerance: 1e-8,
                 top: 0,
+                threads: 1,
                 trace: Default::default(),
             })
             .unwrap();
@@ -160,6 +162,7 @@ mod tests {
             damping: 0.85,
             tolerance: 1e-8,
             top: 2,
+            threads: 1,
             trace: Default::default(),
         })
         .unwrap();
@@ -180,6 +183,7 @@ mod tests {
             damping: 0.85,
             tolerance: 1e-8,
             top: 0,
+            threads: 1,
             trace: TraceOpts {
                 trace: true,
                 trace_json: Some(jsonl.clone()),
@@ -203,6 +207,7 @@ mod tests {
             damping: 0.85,
             tolerance: 1e-8,
             top: 0,
+            threads: 1,
             trace: TraceOpts {
                 quiet: true,
                 ..TraceOpts::default()
@@ -226,6 +231,7 @@ mod tests {
             damping: 0.85,
             tolerance: 1e-5,
             top: 0,
+            threads: 1,
             trace: Default::default(),
         })
         .unwrap_err();

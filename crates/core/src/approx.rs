@@ -7,11 +7,13 @@
 //! IdealRank, so the error analysis of §IV-C applies verbatim (see
 //! [`crate::theory`]).
 
+use approxrank_exec::{Executor, Partition};
 use approxrank_graph::{DiGraph, Subgraph};
-use approxrank_pagerank::PageRankOptions;
+use approxrank_pagerank::{emit_exec_stats, PageRankOptions};
 use approxrank_trace::Observer;
 
 use crate::extended::ExtendedLocalGraph;
+use crate::par::boundary_partition;
 use crate::precompute::GlobalPrecomputation;
 use crate::ranker::{RankScores, SubgraphRanker};
 
@@ -38,6 +40,12 @@ impl ApproxRank {
         self.extended_graph_precomputed(&pre, subgraph)
     }
 
+    /// An executor sized from `self.options.threads`, clamped so tiny
+    /// subgraphs never pay for idle workers.
+    fn executor(&self, subgraph: &Subgraph) -> Executor {
+        Executor::new(self.options.threads.min(subgraph.len().max(1)))
+    }
+
     /// Builds `A_approx` using precomputed global aggregates; runs in
     /// `O(n + boundary)` — no pass over the global graph (the
     /// precomputation fast path of §IV-B's last paragraph).
@@ -45,6 +53,20 @@ impl ApproxRank {
         &self,
         pre: &GlobalPrecomputation,
         subgraph: &Subgraph,
+    ) -> ExtendedLocalGraph {
+        self.extended_graph_precomputed_on(pre, subgraph, &self.executor(subgraph))
+    }
+
+    /// [`Self::extended_graph_precomputed`] on a caller-supplied executor:
+    /// the dangling census, the Λ-row accumulation over the boundary
+    /// in-edges, and the CSR assembly all fan out over the pool. The chunk
+    /// grid depends only on the subgraph, so the collapsed matrix is
+    /// bit-identical at any thread count.
+    pub fn extended_graph_precomputed_on(
+        &self,
+        pre: &GlobalPrecomputation,
+        subgraph: &Subgraph,
+        exec: &Executor,
     ) -> ExtendedLocalGraph {
         let n = subgraph.len();
         let big_n = subgraph.global_nodes();
@@ -54,39 +76,60 @@ impl ApproxRank {
             "precomputation is for a different graph"
         );
         if big_n == n {
-            return ExtendedLocalGraph::new(subgraph, vec![0.0; n], 0.0);
+            return ExtendedLocalGraph::new_on(subgraph, vec![0.0; n], 0.0, exec);
         }
         let num_ext = (big_n - n) as f64;
+        let node_part = Partition::uniform(n, Partition::auto_chunks(n));
 
         // Dangling pages among the external set = global dangling count
         // minus the subgraph's own dangling pages.
-        let local_dangling = subgraph
-            .global_out_degrees()
-            .iter()
-            .filter(|&&d| d == 0)
-            .count();
+        let degs = subgraph.global_out_degrees();
+        let local_dangling = exec
+            .map_reduce(
+                &node_part,
+                |_, range| degs[range].iter().filter(|&&d| d == 0).count(),
+                |a, b| a + b,
+            )
+            .unwrap_or(0);
         let ext_dangling = (pre.num_dangling() - local_dangling) as f64;
 
         // Λ → k: uniform-weighted boundary in-flow plus dangling share.
+        // Each chunk owns a disjoint target range (see `boundary_partition`),
+        // so every `from_lambda` entry is accumulated by exactly one task,
+        // in edge order — the same order a serial scan uses.
+        let edges = &subgraph.boundary().in_edges;
+        let (edge_part, target_part) = boundary_partition(edges, n);
         let mut from_lambda = vec![0.0f64; n];
-        let mut boundary_flow = 0.0;
-        for e in &subgraph.boundary().in_edges {
-            let w = 1.0 / e.source_out_degree as f64;
-            from_lambda[e.target_local as usize] += w;
-            boundary_flow += w;
-        }
+        let boundary_flow = exec
+            .map_chunks(
+                &mut from_lambda,
+                &target_part,
+                |c, trange, slot| {
+                    let mut flow = 0.0;
+                    for e in &edges[edge_part.range(c)] {
+                        let w = 1.0 / e.source_out_degree as f64;
+                        slot[e.target_local as usize - trange.start] += w;
+                        flow += w;
+                    }
+                    flow
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0);
         let inv_big_n = 1.0 / big_n as f64;
         let per_local_dangling = ext_dangling * inv_big_n;
-        for f in from_lambda.iter_mut() {
-            *f = (*f + per_local_dangling) / num_ext;
-        }
+        exec.for_each_chunk(&mut from_lambda, &node_part, |_, _, slot| {
+            for f in slot {
+                *f = (*f + per_local_dangling) / num_ext;
+            }
+        });
         // Each non-dangling external page's row sums to 1; its local share
         // is counted in boundary_flow, the rest stays external. Dangling
         // external pages send (N−n)/N of their uniform row to Λ.
         let nondangling_ext = num_ext - ext_dangling;
         let lambda_self =
             ((nondangling_ext - boundary_flow) + ext_dangling * num_ext * inv_big_n) / num_ext;
-        ExtendedLocalGraph::new(subgraph, from_lambda, lambda_self)
+        ExtendedLocalGraph::new_on(subgraph, from_lambda, lambda_self, exec)
     }
 
     /// Runs ApproxRank, returning local scores plus `Λ`'s score.
@@ -103,11 +146,15 @@ impl ApproxRank {
         subgraph: &Subgraph,
         obs: &dyn Observer,
     ) -> RankScores {
+        let exec = self.executor(subgraph);
         let ext = {
             let _span = obs.span("collapse_lambda");
-            self.extended_graph(global, subgraph)
+            let pre = GlobalPrecomputation::compute(global);
+            self.extended_graph_precomputed_on(&pre, subgraph, &exec)
         };
-        Self::solve_scores(&ext, &self.options, subgraph.len(), obs)
+        let scores = Self::solve_scores(&ext, &self.options, subgraph.len(), obs);
+        emit_exec_stats(&exec, obs);
+        scores
     }
 
     /// Runs ApproxRank with precomputed global aggregates.
@@ -126,11 +173,14 @@ impl ApproxRank {
         subgraph: &Subgraph,
         obs: &dyn Observer,
     ) -> RankScores {
+        let exec = self.executor(subgraph);
         let ext = {
             let _span = obs.span("collapse_lambda");
-            self.extended_graph_precomputed(pre, subgraph)
+            self.extended_graph_precomputed_on(pre, subgraph, &exec)
         };
-        Self::solve_scores(&ext, &self.options, subgraph.len(), obs)
+        let scores = Self::solve_scores(&ext, &self.options, subgraph.len(), obs);
+        emit_exec_stats(&exec, obs);
+        scores
     }
 
     fn solve_scores(
@@ -268,6 +318,31 @@ mod tests {
         let r = ApproxRank::new(tight()).rank_subgraph(&g, &sub);
         let total = r.local_mass() + r.lambda_score.unwrap();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_scores() {
+        // A few hundred nodes so the chunk grid actually splits; scores
+        // must match bit-for-bit between threads ∈ {1, 2, 7}.
+        let n = 360u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            if i % 17 == 2 {
+                continue; // dangling
+            }
+            edges.push((i, (i * 13 + 5) % n));
+            edges.push((i, (i + 1) % n));
+            if i % 3 == 0 {
+                edges.push((i, (i % 11) * 7));
+            }
+        }
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(n as usize, 40..260u32));
+        let reference = ApproxRank::new(tight()).rank_subgraph(&g, &sub);
+        for threads in [2usize, 7] {
+            let r = ApproxRank::new(tight().with_threads(threads)).rank_subgraph(&g, &sub);
+            assert_eq!(reference, r, "threads={threads}");
+        }
     }
 
     #[test]

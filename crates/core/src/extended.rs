@@ -22,6 +22,7 @@
 
 use std::time::Instant;
 
+use approxrank_exec::{Executor, Partition};
 use approxrank_graph::Subgraph;
 use approxrank_pagerank::{PageRankOptions, PageRankResult};
 use approxrank_trace::{IterationEvent, Observer, Stopwatch};
@@ -55,6 +56,20 @@ impl ExtendedLocalGraph {
     /// distribution (within 1e-9), unless the subgraph covers the whole
     /// graph (no external pages), in which case the row must be all zero.
     pub fn new(subgraph: &Subgraph, from_lambda: Vec<f64>, lambda_self: f64) -> Self {
+        Self::new_on(subgraph, from_lambda, lambda_self, &Executor::sequential())
+    }
+
+    /// [`Self::new`] on a caller-supplied executor: the in-edge CSR fill,
+    /// the weight computation, and the `to_lambda`/dangling scan all fan
+    /// out over the pool. The chunk grid is a function of the subgraph
+    /// only, so the assembled structure is bit-identical at any thread
+    /// count (and identical to what [`Self::new`] builds).
+    pub fn new_on(
+        subgraph: &Subgraph,
+        from_lambda: Vec<f64>,
+        lambda_self: f64,
+        exec: &Executor,
+    ) -> Self {
         let n = subgraph.len();
         let big_n = subgraph.global_nodes();
         assert_eq!(from_lambda.len(), n, "Λ row length must be n");
@@ -74,27 +89,56 @@ impl ExtendedLocalGraph {
         for k in 0..n as u32 {
             in_offsets[k as usize + 1] = in_offsets[k as usize] + local.in_degree(k);
         }
-        let mut in_sources = Vec::with_capacity(local.num_edges());
-        let mut in_weights = Vec::with_capacity(local.num_edges());
-        for k in 0..n as u32 {
-            for &s in local.in_neighbors(k) {
+        let num_edges = in_offsets[n];
+        // Degree-aware grid over targets, and the same cuts in edge space:
+        // chunk c of `node_part` owns exactly chunk c of `edge_part`.
+        let node_part = Partition::by_offsets(&in_offsets, Partition::auto_chunks(n));
+        let edge_part =
+            Partition::from_bounds(node_part.bounds().iter().map(|&b| in_offsets[b]).collect());
+
+        let mut in_sources = vec![0u32; num_edges];
+        exec.for_each_chunk(&mut in_sources, &edge_part, |c, _range, out| {
+            let mut pos = 0;
+            for k in node_part.range(c) {
+                for &s in local.in_neighbors(k as u32) {
+                    out[pos] = s;
+                    pos += 1;
+                }
+            }
+        });
+        let mut in_weights = vec![0.0f64; num_edges];
+        exec.for_each_chunk(&mut in_weights, &edge_part, |_, range, out| {
+            for (w, &s) in out.iter_mut().zip(&in_sources[range]) {
                 let d = subgraph.global_out_degree(s);
                 debug_assert!(d > 0, "a page with out-edges cannot be dangling");
-                in_sources.push(s);
-                in_weights.push(1.0 / d as f64);
+                *w = 1.0 / d as f64;
             }
-        }
+        });
 
         let mut to_lambda = vec![0.0f64; n];
-        let mut dangling_local = Vec::new();
-        for (i, t) in to_lambda.iter_mut().enumerate() {
-            let d = subgraph.global_out_degree(i as u32);
-            if d == 0 {
-                dangling_local.push(i as u32);
-            } else {
-                *t = subgraph.boundary().out_external[i] as f64 / d as f64;
-            }
-        }
+        let uniform_part = Partition::uniform(n, Partition::auto_chunks(n));
+        let dangling_local = exec
+            .map_chunks(
+                &mut to_lambda,
+                &uniform_part,
+                |_, range, slot| {
+                    let mut dang = Vec::new();
+                    for (i, t) in range.zip(slot.iter_mut()) {
+                        let d = subgraph.global_out_degree(i as u32);
+                        if d == 0 {
+                            dang.push(i as u32);
+                        } else {
+                            *t = subgraph.boundary().out_external[i] as f64 / d as f64;
+                        }
+                    }
+                    dang
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+            .unwrap_or_default();
 
         ExtendedLocalGraph {
             n,
@@ -562,6 +606,54 @@ mod tests {
     fn rejects_non_stochastic_lambda_row() {
         let (_, sub) = figure4();
         ExtendedLocalGraph::new(&sub, vec![0.1, 0.1, 0.1, 0.1], 0.1);
+    }
+
+    #[test]
+    fn new_on_pool_builds_identical_structure() {
+        // Large enough for several chunks; compare every exposed piece
+        // bit-for-bit between the sequential and pooled constructions.
+        let n_total = 400u32;
+        let mut edges = Vec::new();
+        for i in 0..n_total {
+            if i % 13 == 5 {
+                continue; // dangling
+            }
+            edges.push((i, (i + 1) % n_total));
+            edges.push((i, (i * 31 + 7) % n_total));
+            if i % 5 == 0 {
+                edges.push((i, (i / 2) % n_total));
+            }
+        }
+        let g = DiGraph::from_edges(n_total as usize, &edges);
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(n_total as usize, 0..250u32));
+        let approx = crate::ApproxRank::default();
+        let reference = approx.extended_graph(&g, &sub);
+        for threads in [2usize, 7] {
+            let exec = approxrank_exec::Executor::new(threads);
+            let pooled = ExtendedLocalGraph::new_on(
+                &sub,
+                reference.from_lambda().to_vec(),
+                reference.lambda_self(),
+                &exec,
+            );
+            assert!(reference
+                .to_lambda()
+                .iter()
+                .zip(pooled.to_lambda())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(reference.max_row_sum_error(), pooled.max_row_sum_error());
+            let opts = PageRankOptions::paper().with_tolerance(1e-10);
+            let a = reference.solve(&opts);
+            let b = pooled.solve(&opts);
+            assert_eq!(a.iterations, b.iterations);
+            assert!(
+                a.scores
+                    .iter()
+                    .zip(&b.scores)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! `Λ` entry equals the total external mass — `tests` and the repro
 //! harness verify this to solver tolerance.
 
+use approxrank_exec::{Executor, Partition};
 use approxrank_graph::{DiGraph, Subgraph};
-use approxrank_pagerank::PageRankOptions;
+use approxrank_pagerank::{emit_exec_stats, PageRankOptions};
 use approxrank_trace::Observer;
 
 use crate::extended::ExtendedLocalGraph;
+use crate::par::boundary_partition;
 use crate::ranker::{RankScores, SubgraphRanker};
 
 /// The IdealRank algorithm. Holds the known global score vector
@@ -43,6 +45,26 @@ impl IdealRank {
     /// Panics if the score vector's length differs from the global node
     /// count or the subgraph has no external pages with positive mass.
     pub fn extended_graph(&self, global: &DiGraph, subgraph: &Subgraph) -> ExtendedLocalGraph {
+        self.extended_graph_on(global, subgraph, &self.executor(subgraph))
+    }
+
+    /// An executor sized from `self.options.threads`, clamped so tiny
+    /// subgraphs never pay for idle workers.
+    fn executor(&self, subgraph: &Subgraph) -> Executor {
+        Executor::new(self.options.threads.min(subgraph.len().max(1)))
+    }
+
+    /// [`Self::extended_graph`] on a caller-supplied executor: the
+    /// dangling-mass census, the score-weighted Λ-row accumulation, and
+    /// the CSR assembly fan out over the pool; the chunk grid depends
+    /// only on the data, so the structure is bit-identical at any thread
+    /// count.
+    pub fn extended_graph_on(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        exec: &Executor,
+    ) -> ExtendedLocalGraph {
         let n = subgraph.len();
         let big_n = subgraph.global_nodes();
         assert_eq!(
@@ -59,35 +81,67 @@ impl IdealRank {
             .iter()
             .map(|&g| r[g as usize])
             .sum();
-        let total_mass: f64 = r.iter().sum();
+        let global_part = Partition::uniform(big_n, Partition::auto_chunks(big_n));
+        let total_mass = exec
+            .map_reduce(
+                &global_part,
+                |_, range| r[range].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0);
         let ext_sum = total_mass - local_mass;
         assert!(
             big_n == n || ext_sum > 0.0,
             "external pages must hold positive mass"
         );
-        let mut dang_ext_mass = 0.0;
-        for u in global.nodes() {
-            if global.is_dangling(u) && !subgraph.nodes().contains(u) {
-                dang_ext_mass += r[u as usize];
-            }
-        }
+        let dang_ext_mass = exec
+            .map_reduce(
+                &global_part,
+                |_, range| {
+                    let mut acc = 0.0;
+                    for u in range {
+                        let u = u as u32;
+                        if global.is_dangling(u) && !subgraph.nodes().contains(u) {
+                            acc += r[u as usize];
+                        }
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0);
 
         // Λ → k: score-weighted boundary in-flow plus the dangling share.
+        // `boundary_flow` is Σ_{ext j non-dangling} R[j]·(local targets of
+        // j)/D_j, needed for the Λ self-loop via complement.
+        let edges = &subgraph.boundary().in_edges;
+        let (edge_part, target_part) = boundary_partition(edges, n);
         let mut from_lambda = vec![0.0f64; n];
-        // Σ_{ext j non-dangling} R[j]·(local targets of j)/D_j, needed for
-        // the Λ self-loop via complement.
-        let mut boundary_flow = 0.0;
-        for e in &subgraph.boundary().in_edges {
-            let w = r[e.source as usize] / e.source_out_degree as f64;
-            from_lambda[e.target_local as usize] += w;
-            boundary_flow += w;
-        }
+        let boundary_flow = exec
+            .map_chunks(
+                &mut from_lambda,
+                &target_part,
+                |c, trange, slot| {
+                    let mut flow = 0.0;
+                    for e in &edges[edge_part.range(c)] {
+                        let w = r[e.source as usize] / e.source_out_degree as f64;
+                        slot[e.target_local as usize - trange.start] += w;
+                        flow += w;
+                    }
+                    flow
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0);
         if big_n > n {
             let inv_big_n = 1.0 / big_n as f64;
             let per_local_dangling = dang_ext_mass * inv_big_n;
-            for f in from_lambda.iter_mut() {
-                *f = (*f + per_local_dangling) / ext_sum;
-            }
+            let node_part = Partition::uniform(n, Partition::auto_chunks(n));
+            exec.for_each_chunk(&mut from_lambda, &node_part, |_, _, slot| {
+                for f in slot {
+                    *f = (*f + per_local_dangling) / ext_sum;
+                }
+            });
             // Non-dangling external mass flows either to local pages
             // (boundary_flow) or among external pages; dangling external
             // mass sends (N−n)/N of itself to Λ.
@@ -95,9 +149,9 @@ impl IdealRank {
             let lambda_self = ((nondangling_ext_mass - boundary_flow)
                 + dang_ext_mass * (big_n - n) as f64 * inv_big_n)
                 / ext_sum;
-            ExtendedLocalGraph::new(subgraph, from_lambda, lambda_self)
+            ExtendedLocalGraph::new_on(subgraph, from_lambda, lambda_self, exec)
         } else {
-            ExtendedLocalGraph::new(subgraph, vec![0.0; n], 0.0)
+            ExtendedLocalGraph::new_on(subgraph, vec![0.0; n], 0.0, exec)
         }
     }
 
@@ -142,11 +196,13 @@ impl IdealRank {
         subgraph: &Subgraph,
         obs: &dyn Observer,
     ) -> RankScores {
+        let exec = self.executor(subgraph);
         let ext = {
             let _span = obs.span("collapse_lambda");
-            self.extended_graph(global, subgraph)
+            self.extended_graph_on(global, subgraph, &exec)
         };
         let result = ext.solve_observed(&self.options, obs);
+        emit_exec_stats(&exec, obs);
         let _span = obs.span("normalize");
         let n = subgraph.len();
         let mut scores = result.scores;

@@ -41,6 +41,7 @@ pub mod baselines;
 pub mod extended;
 pub mod ideal;
 pub mod p2p;
+mod par;
 pub mod precompute;
 pub mod ranker;
 pub mod sc;

@@ -1,0 +1,87 @@
+//! Chunk-grid helpers shared by the parallel collapse paths.
+
+use approxrank_exec::Partition;
+use approxrank_graph::BoundaryInEdge;
+
+/// Builds a pair of aligned partitions over a boundary in-edge list and
+/// the `from_lambda` entries it scatters into.
+///
+/// `Subgraph::extract` emits `in_edges` sorted by `target_local`, so the
+/// edge list can be cut at (approximately) even positions, with each cut
+/// bumped forward until it lands on a target boundary. Chunk `c` of the
+/// returned edge partition then touches exactly the `from_lambda` range
+/// given by chunk `c` of the returned target partition — disjoint writes,
+/// and per-target accumulation order identical to a serial scan.
+pub(crate) fn boundary_partition(edges: &[BoundaryInEdge], n: usize) -> (Partition, Partition) {
+    let m = edges.len();
+    let chunks = Partition::auto_chunks(m);
+    let mut edge_bounds = Vec::with_capacity(chunks + 1);
+    let mut target_bounds = Vec::with_capacity(chunks + 1);
+    edge_bounds.push(0);
+    target_bounds.push(0);
+    for c in 1..chunks {
+        let mut cut = m * c / chunks;
+        while cut > 0 && cut < m && edges[cut].target_local == edges[cut - 1].target_local {
+            cut += 1;
+        }
+        if cut >= m || cut <= *edge_bounds.last().unwrap() {
+            continue;
+        }
+        edge_bounds.push(cut);
+        target_bounds.push(edges[cut].target_local as usize);
+    }
+    edge_bounds.push(m);
+    target_bounds.push(n);
+    (
+        Partition::from_bounds(edge_bounds),
+        Partition::from_bounds(target_bounds),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(target: u32) -> BoundaryInEdge {
+        BoundaryInEdge {
+            source: 1000 + target,
+            source_out_degree: 2,
+            target_local: target,
+        }
+    }
+
+    #[test]
+    fn cuts_never_split_a_target() {
+        // 90 targets with a heavy run of 400 edges on target 40.
+        let mut edges = Vec::new();
+        for t in 0..90u32 {
+            let count = if t == 40 { 400 } else { 3 };
+            for _ in 0..count {
+                edges.push(edge(t));
+            }
+        }
+        let (edge_part, target_part) = boundary_partition(&edges, 90);
+        assert_eq!(edge_part.len(), target_part.len());
+        assert_eq!(edge_part.total(), edges.len());
+        assert_eq!(target_part.total(), 90);
+        for c in 0..edge_part.len() {
+            let er = edge_part.range(c);
+            let tr = target_part.range(c);
+            for e in &edges[er] {
+                assert!(
+                    tr.contains(&(e.target_local as usize)),
+                    "edge target {} outside chunk targets {tr:?}",
+                    e.target_local
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_boundary_yields_one_full_target_chunk() {
+        let (edge_part, target_part) = boundary_partition(&[], 17);
+        assert_eq!(edge_part.len(), 1);
+        assert_eq!(edge_part.total(), 0);
+        assert_eq!(target_part.range(0), 0..17);
+    }
+}

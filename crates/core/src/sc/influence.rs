@@ -20,6 +20,7 @@
 //! paper-scale frontiers (tens of thousands of candidates per round,
 //! Tables V/VI) this, plus the repeated supergraph solves, is SC's cost.
 
+use approxrank_exec::{Executor, Partition};
 use approxrank_graph::{BitSet, DiGraph, NodeId};
 
 /// Scores every frontier candidate. `members` and `scores` describe the
@@ -35,6 +36,30 @@ pub fn frontier_influence(
     frontier: &[NodeId],
     damping: f64,
 ) -> Vec<(NodeId, f64)> {
+    frontier_influence_on(
+        global,
+        in_super,
+        members,
+        scores,
+        frontier,
+        damping,
+        &Executor::sequential(),
+    )
+}
+
+/// [`frontier_influence`] on a caller-supplied executor: the inflow
+/// accumulation fans out over member chunks (per-chunk partial vectors,
+/// folded elementwise in ascending chunk order) and the per-candidate
+/// scoring over frontier chunks — both bit-identical at any thread count.
+pub fn frontier_influence_on(
+    global: &DiGraph,
+    in_super: &BitSet,
+    members: &[NodeId],
+    scores: &[f64],
+    frontier: &[NodeId],
+    damping: f64,
+    exec: &Executor,
+) -> Vec<(NodeId, f64)> {
     debug_assert_eq!(members.len(), scores.len());
     // Accumulate inflow at every frontier page in one pass over the
     // supergraph's out-edges (sparse map over global ids).
@@ -42,24 +67,44 @@ pub fn frontier_influence(
     for (idx, &j) in frontier.iter().enumerate() {
         inflow_index[j as usize] = idx as u32;
     }
-    let mut inflow = vec![0.0f64; frontier.len()];
-    for (&u, &p) in members.iter().zip(scores) {
-        let d = global.out_degree(u);
-        if d == 0 {
-            continue;
-        }
-        let share = p / d as f64;
-        for &t in global.out_neighbors(u) {
-            let idx = inflow_index[t as usize];
-            if idx != u32::MAX {
-                inflow[idx as usize] += share;
-            }
-        }
-    }
-    frontier
-        .iter()
-        .zip(&inflow)
-        .map(|(&j, &inf)| {
+    let member_part = Partition::uniform(members.len(), Partition::auto_chunks(members.len()));
+    let inflow = exec
+        .map_reduce(
+            &member_part,
+            |_, range| {
+                let mut partial = vec![0.0f64; frontier.len()];
+                for (&u, &p) in members[range.clone()].iter().zip(&scores[range]) {
+                    let d = global.out_degree(u);
+                    if d == 0 {
+                        continue;
+                    }
+                    let share = p / d as f64;
+                    for &t in global.out_neighbors(u) {
+                        let idx = inflow_index[t as usize];
+                        if idx != u32::MAX {
+                            partial[idx as usize] += share;
+                        }
+                    }
+                }
+                partial
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+        .unwrap_or_default();
+
+    let mut out: Vec<(NodeId, f64)> = vec![(0, 0.0); frontier.len()];
+    let frontier_part = Partition::uniform(frontier.len(), Partition::auto_chunks(frontier.len()));
+    exec.for_each_chunk(&mut out, &frontier_part, |_, range, slot| {
+        for ((o, &j), &inf) in slot
+            .iter_mut()
+            .zip(&frontier[range.clone()])
+            .zip(&inflow[range])
+        {
             let d = global.out_degree(j);
             let ret = if d == 0 {
                 0.0
@@ -71,9 +116,10 @@ pub fn frontier_influence(
                     .count() as f64
                     / d as f64
             };
-            (j, inf * (damping * ret + (1.0 - damping)))
-        })
-        .collect()
+            *o = (j, inf * (damping * ret + (1.0 - damping)));
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -112,6 +158,48 @@ mod tests {
         let infl = frontier_influence(&g, &in_super, &[0], &[1.0], &[1], 0.85);
         // inflow = 1.0, return = 0 → influence = 0.15.
         assert!((infl[0].1 - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_matches_sequential_bitwise() {
+        // 300 members feeding a 150-page frontier through a pseudo-random
+        // edge pattern; wide enough that both chunk grids actually split.
+        let n = 600u32;
+        let mut edges = Vec::new();
+        for u in 0..300u32 {
+            for j in 0..(1 + u % 4) {
+                edges.push((u, 300 + ((u * 37 + j * 101) % 150)));
+            }
+            edges.push((u, (u + 1) % 300));
+        }
+        for f in 300..450u32 {
+            if f % 3 == 0 {
+                edges.push((f, f % 300)); // bounces back into the supergraph
+            }
+            edges.push((f, 450 + (f % 150)));
+        }
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let in_super = BitSet::from_indices(n as usize, (0..300).map(|i| i as usize));
+        let members: Vec<NodeId> = (0..300).collect();
+        let scores: Vec<f64> = members
+            .iter()
+            .map(|&u| 1.0 / (1.0 + (u as f64) * 0.37))
+            .collect();
+        let frontier: Vec<NodeId> = (300..450).collect();
+        let reference = frontier_influence(&g, &in_super, &members, &scores, &frontier, 0.85);
+        for threads in [2usize, 7] {
+            let exec = Executor::new(threads);
+            let pooled =
+                frontier_influence_on(&g, &in_super, &members, &scores, &frontier, 0.85, &exec);
+            assert_eq!(reference.len(), pooled.len());
+            assert!(
+                reference
+                    .iter()
+                    .zip(&pooled)
+                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -24,14 +24,14 @@
 
 pub mod influence;
 
+use approxrank_exec::Executor;
 use approxrank_graph::{BitSet, DiGraph, NodeId, NodeSet, Subgraph};
-use approxrank_pagerank::power::pagerank_with_start_observed;
-use approxrank_pagerank::PageRankOptions;
+use approxrank_pagerank::{emit_exec_stats, pagerank_with_start_observed_on, PageRankOptions};
 use approxrank_trace::Observer;
 
 use crate::ranker::{RankScores, SubgraphRanker};
 
-pub use influence::frontier_influence;
+pub use influence::{frontier_influence, frontier_influence_on};
 
 /// Configuration and entry point for the SC algorithm.
 #[derive(Clone, Debug)]
@@ -93,6 +93,10 @@ impl StochasticComplementation {
         let rounds = self.expansion_rounds.max(1);
         let k = (((n as f64 * self.growth_factor) / rounds as f64).ceil() as usize).max(1);
 
+        // One pool for the whole run: the ~2T supergraph solves and the T
+        // influence sweeps all reuse the same parked workers.
+        let exec = Executor::new(self.options.threads);
+
         // Supergraph membership: original local pages first (so the final
         // restriction is a prefix), then selected external pages.
         let mut members: Vec<NodeId> = subgraph.nodes().members().to_vec();
@@ -128,12 +132,13 @@ impl StochasticComplementation {
                     *v /= s;
                 }
             }
-            let result = pagerank_with_start_observed(
+            let result = pagerank_with_start_observed_on(
                 super_sub.local_graph(),
                 &self.options,
                 &personalization,
                 &start,
                 obs,
+                &exec,
             );
             prev_scores = result.scores.clone();
             last_result = Some(result);
@@ -157,13 +162,14 @@ impl StochasticComplementation {
 
             // (c) Influence of every candidate.
             let _influence_span = obs.span("influence");
-            let mut scored = frontier_influence(
+            let mut scored = frontier_influence_on(
                 global,
                 &in_super,
                 &members,
                 &prev_scores,
                 &frontier,
                 self.options.damping,
+                &exec,
             );
 
             // (d) Keep the top-k (deterministic tie-break by node id).
@@ -194,14 +200,16 @@ impl StochasticComplementation {
                 *v /= s;
             }
         }
-        let result = pagerank_with_start_observed(
+        let result = pagerank_with_start_observed_on(
             super_sub.local_graph(),
             &self.options,
             &personalization,
             &start,
             obs,
+            &exec,
         );
         report.supergraph_size = m;
+        emit_exec_stats(&exec, obs);
         let iterations = result.iterations + last_result.as_ref().map_or(0, |r| r.iterations);
         let converged = result.converged;
         let local_scores = result.scores[..n].to_vec();
@@ -324,6 +332,40 @@ mod tests {
             sc_err <= lp_err + 1e-12,
             "SC ({sc_err}) should not lose to local PageRank ({lp_err})"
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_sc_scores() {
+        // Multiple expansion rounds over a 300-node pseudo-random graph;
+        // the full pipeline (solves, influence, selection) must be
+        // bit-identical across threads ∈ {1, 2, 7}.
+        let n = 300u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            if i % 19 == 7 {
+                continue; // dangling
+            }
+            edges.push((i, (i * 23 + 11) % n));
+            edges.push((i, (i + 1) % n));
+            if i % 4 == 1 {
+                edges.push((i, (i * 5) % n));
+            }
+        }
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(n as usize, 0..80u32));
+        let mk = |threads: usize| StochasticComplementation {
+            options: PageRankOptions::paper()
+                .with_tolerance(1e-10)
+                .with_threads(threads),
+            expansion_rounds: 5,
+            ..StochasticComplementation::default()
+        };
+        let (reference, ref_report) = mk(1).rank_with_report(&g, &sub);
+        for threads in [2usize, 7] {
+            let (r, report) = mk(threads).rank_with_report(&g, &sub);
+            assert_eq!(ref_report, report, "threads={threads}");
+            assert_eq!(reference, r, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Persistent work-pool executor for the approxrank solvers.
+//!
+//! One [`Executor`] is created per run (per solve, per experiment batch)
+//! and reused for every parallel step inside it: worker threads are
+//! spawned once and parked on a condvar between jobs, so a solver that
+//! dispatches three parallel passes per iteration for hundreds of
+//! iterations pays thread-startup cost exactly once.
+//!
+//! # Determinism
+//!
+//! Every primitive here produces *bit-identical* results at any thread
+//! count, by construction rather than by luck:
+//!
+//! * the chunk grid (a [`Partition`]) is a function of the data only —
+//!   never of `threads`;
+//! * each chunk's work is computed by exactly one task, in index order
+//!   within the chunk;
+//! * reductions fold per-chunk partial results on the calling thread in
+//!   ascending chunk order.
+//!
+//! `Executor::new(1)` returns a sequential executor that walks the same
+//! chunk grid in the same order with no threads, no locks, and no
+//! allocation — so `threads == 1` is the same computation, merely inline.
+//!
+//! # Example
+//!
+//! ```
+//! use approxrank_exec::{Executor, Partition};
+//!
+//! let data: Vec<f64> = (0..1000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+//! let part = Partition::uniform(data.len(), Partition::auto_chunks(data.len()));
+//!
+//! let sum_at = |threads: usize| {
+//!     let exec = Executor::new(threads);
+//!     exec.map_reduce(&part, |_, range| data[range].iter().sum::<f64>(), |a, b| a + b)
+//!         .unwrap_or(0.0)
+//! };
+//!
+//! // Not merely close: the same bits at every width.
+//! assert_eq!(sum_at(1).to_bits(), sum_at(2).to_bits());
+//! assert_eq!(sum_at(1).to_bits(), sum_at(7).to_bits());
+//! ```
+//!
+//! # Limits
+//!
+//! Executor methods must not be called from *inside* a job closure
+//! running on the same executor — the nested dispatch would wait on the
+//! job that contains it. Distinct threads may share one executor; their
+//! jobs serialize in arrival order.
+
+#![deny(missing_docs)]
+
+mod partition;
+mod pool;
+
+use std::ops::Range;
+
+pub use partition::Partition;
+use pool::WorkPool;
+
+/// Marks a raw pointer as safe to share across the pool's tasks.
+///
+/// Soundness: the executor hands each task a *disjoint* region (distinct
+/// chunk of a `Partition`, or a distinct result slot), so no two tasks
+/// alias, and the dispatching call blocks until all tasks finish.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than a public field) so closures capture the
+    /// `Sync` wrapper, not the bare pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+enum Imp {
+    Sequential,
+    Pool(WorkPool),
+}
+
+/// A reusable executor: either an inline sequential loop or a persistent
+/// `WorkPool` of parked threads. See the crate docs for the determinism
+/// guarantee and an example.
+pub struct Executor {
+    imp: Imp,
+}
+
+impl Executor {
+    /// Creates an executor of the given total width (including the
+    /// calling thread). `threads <= 1` yields the sequential executor;
+    /// wider values spawn `threads - 1` pool workers that park between
+    /// jobs and are joined when the executor drops.
+    pub fn new(threads: usize) -> Executor {
+        if threads <= 1 {
+            Executor::sequential()
+        } else {
+            Executor {
+                imp: Imp::Pool(WorkPool::new(threads)),
+            }
+        }
+    }
+
+    /// The sequential executor: same chunk walk, no threads, no locks.
+    pub fn sequential() -> Executor {
+        Executor {
+            imp: Imp::Sequential,
+        }
+    }
+
+    /// Total width, counting the calling thread. Sequential executors
+    /// report 1.
+    pub fn threads(&self) -> usize {
+        match &self.imp {
+            Imp::Sequential => 1,
+            Imp::Pool(p) => p.width(),
+        }
+    }
+
+    /// True when jobs actually fan out over a pool.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self.imp, Imp::Pool(_))
+    }
+
+    /// Runs `f(0), …, f(chunks - 1)`, in index order when sequential, in
+    /// arbitrary interleaving (each index exactly once) on the pool.
+    /// Returns when every call has finished.
+    ///
+    /// # Panics
+    /// Propagates a panic from any `f(i)` (after the job drains).
+    pub fn run_chunks(&self, chunks: usize, f: impl Fn(usize) + Sync) {
+        match &self.imp {
+            Imp::Sequential => {
+                for i in 0..chunks {
+                    f(i);
+                }
+            }
+            Imp::Pool(p) => p.run(chunks, &f),
+        }
+    }
+
+    /// Splits `data` along `part` and calls `f(chunk, range, slice)` for
+    /// each chunk, where `slice = &mut data[range]`. Chunks are disjoint,
+    /// so tasks never alias.
+    ///
+    /// # Panics
+    /// Panics if `part` does not cover `data` exactly; propagates task
+    /// panics.
+    pub fn for_each_chunk<T: Send>(
+        &self,
+        data: &mut [T],
+        part: &Partition,
+        f: impl Fn(usize, Range<usize>, &mut [T]) + Sync,
+    ) {
+        assert_eq!(part.total(), data.len(), "partition does not cover data");
+        match &self.imp {
+            Imp::Sequential => {
+                for i in 0..part.len() {
+                    let r = part.range(i);
+                    f(i, r.clone(), &mut data[r]);
+                }
+            }
+            Imp::Pool(p) => {
+                let ptr = SendPtr(data.as_mut_ptr());
+                p.run(part.len(), &|i| {
+                    let r = part.range(i);
+                    // SAFETY: chunks of a Partition are disjoint and
+                    // in-bounds (covered == data.len() checked above).
+                    let slice =
+                        unsafe { std::slice::from_raw_parts_mut(ptr.get().add(r.start), r.len()) };
+                    f(i, r, slice);
+                });
+            }
+        }
+    }
+
+    /// Computes `map(chunk, range)` for every chunk and folds the results
+    /// in ascending chunk order on the calling thread. Returns `None`
+    /// only for a zero-chunk partition (which cannot be constructed —
+    /// every partition has at least one chunk — so in practice always
+    /// `Some`).
+    ///
+    /// The fold order is what makes floating-point reductions identical
+    /// at any thread count.
+    pub fn map_reduce<R: Send>(
+        &self,
+        part: &Partition,
+        map: impl Fn(usize, Range<usize>) -> R + Sync,
+        mut fold: impl FnMut(R, R) -> R,
+    ) -> Option<R> {
+        match &self.imp {
+            Imp::Sequential => {
+                let mut acc = None;
+                for i in 0..part.len() {
+                    let v = map(i, part.range(i));
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => fold(a, v),
+                    });
+                }
+                acc
+            }
+            Imp::Pool(p) => {
+                let k = part.len();
+                let mut slots: Vec<Option<R>> = Vec::with_capacity(k);
+                slots.resize_with(k, || None);
+                let ptr = SendPtr(slots.as_mut_ptr());
+                p.run(k, &|i| {
+                    let v = map(i, part.range(i));
+                    // SAFETY: each task writes only its own slot `i`.
+                    unsafe { *ptr.get().add(i) = Some(v) };
+                });
+                let mut acc = None;
+                for v in slots.into_iter().flatten() {
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => fold(a, v),
+                    });
+                }
+                acc
+            }
+        }
+    }
+
+    /// [`Executor::for_each_chunk`] and [`Executor::map_reduce`] in one
+    /// pass: each task mutates its disjoint slice of `data` *and* returns
+    /// a partial result; partials fold in ascending chunk order on the
+    /// calling thread.
+    ///
+    /// # Panics
+    /// Panics if `part` does not cover `data` exactly; propagates task
+    /// panics.
+    pub fn map_chunks<T: Send, R: Send>(
+        &self,
+        data: &mut [T],
+        part: &Partition,
+        map: impl Fn(usize, Range<usize>, &mut [T]) -> R + Sync,
+        mut fold: impl FnMut(R, R) -> R,
+    ) -> Option<R> {
+        assert_eq!(part.total(), data.len(), "partition does not cover data");
+        match &self.imp {
+            Imp::Sequential => {
+                let mut acc = None;
+                for i in 0..part.len() {
+                    let r = part.range(i);
+                    let v = map(i, r.clone(), &mut data[r]);
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => fold(a, v),
+                    });
+                }
+                acc
+            }
+            Imp::Pool(p) => {
+                let k = part.len();
+                let mut slots: Vec<Option<R>> = Vec::with_capacity(k);
+                slots.resize_with(k, || None);
+                let data_ptr = SendPtr(data.as_mut_ptr());
+                let slot_ptr = SendPtr(slots.as_mut_ptr());
+                p.run(k, &|i| {
+                    let r = part.range(i);
+                    // SAFETY: disjoint data chunks; private result slot.
+                    let slice = unsafe {
+                        std::slice::from_raw_parts_mut(data_ptr.get().add(r.start), r.len())
+                    };
+                    let v = map(i, r, slice);
+                    unsafe { *slot_ptr.get().add(i) = Some(v) };
+                });
+                let mut acc = None;
+                for v in slots.into_iter().flatten() {
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => fold(a, v),
+                    });
+                }
+                acc
+            }
+        }
+    }
+
+    /// A snapshot of the pool's lifetime telemetry. Sequential executors
+    /// report a width of 1 and all-zero activity.
+    pub fn stats(&self) -> ExecStats {
+        match &self.imp {
+            Imp::Sequential => ExecStats {
+                threads: 1,
+                jobs: 0,
+                tasks: 0,
+                busy_ns: vec![0],
+            },
+            Imp::Pool(p) => ExecStats {
+                threads: p.width(),
+                jobs: p.jobs(),
+                tasks: p.tasks_run(),
+                busy_ns: p.busy_ns(),
+            },
+        }
+    }
+}
+
+/// Lifetime telemetry of an [`Executor`], for wiring into an observability
+/// layer (this crate deliberately has no dependencies, so the wiring
+/// lives with the callers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecStats {
+    /// Total width, counting the dispatching thread.
+    pub threads: usize,
+    /// Jobs dispatched over the executor's lifetime.
+    pub jobs: u64,
+    /// Tasks (chunks) executed across all jobs.
+    pub tasks: u64,
+    /// Busy wall-time per lane in nanoseconds; spawned workers first, the
+    /// dispatching thread last.
+    pub busy_ns: Vec<u64>,
+}
+
+impl ExecStats {
+    /// Chunk-imbalance gauge: the busiest lane's time divided by the mean
+    /// lane time. 1.0 is a perfectly balanced pool; large values mean one
+    /// lane did most of the work (bad partitioning or tiny jobs). Returns
+    /// 1.0 for an idle pool.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.busy_ns.iter().sum();
+        if total == 0 || self.busy_ns.is_empty() {
+            return 1.0;
+        }
+        let max = *self.busy_ns.iter().max().unwrap() as f64;
+        let mean = total as f64 / self.busy_ns.len() as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_runs_in_order() {
+        let exec = Executor::sequential();
+        let order = std::sync::Mutex::new(Vec::new());
+        exec.run_chunks(5, |i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn map_reduce_none_only_when_empty_grid_is_impossible() {
+        let exec = Executor::sequential();
+        let p = Partition::uniform(0, 4);
+        // Even n == 0 yields one (empty) chunk.
+        let r = exec.map_reduce(&p, |_, range| range.len(), |a, b| a + b);
+        assert_eq!(r, Some(0));
+    }
+
+    #[test]
+    fn stats_idle() {
+        let exec = Executor::sequential();
+        let s = exec.stats();
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Chunk grids over index ranges.
+//!
+//! A [`Partition`] divides `0..n` into contiguous chunks. The grid is a
+//! function of the *data* only — never of the thread count — which is what
+//! lets the executor promise identical floating-point results at any
+//! parallelism level: reductions fold per-chunk partial results in
+//! ascending chunk order, and the chunks themselves never move.
+
+use std::ops::Range;
+
+/// Smallest amount of per-chunk work worth dispatching to a thread.
+/// Below this, scheduling overhead dominates.
+const MIN_CHUNK: usize = 64;
+
+/// Upper bound on the number of chunks [`Partition::auto_chunks`] produces.
+/// Enough for load balancing on any realistic core count without making
+/// the per-iteration fold loop noticeable.
+const MAX_CHUNKS: usize = 64;
+
+/// A division of the index range `0..n` into contiguous, disjoint chunks.
+///
+/// Construct one with [`Partition::uniform`] (equal element counts),
+/// [`Partition::by_offsets`] (equal *work* under a CSR degree
+/// distribution), or [`Partition::from_bounds`] (caller-supplied
+/// boundaries). Chunks may be empty; they always cover `0..n` exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `bounds[i]..bounds[i+1]` is chunk `i`; `bounds[0] == 0` and
+    /// `bounds.last() == n`.
+    bounds: Vec<usize>,
+}
+
+impl Partition {
+    /// The recommended chunk count for `n` items: roughly one chunk per
+    /// `MIN_CHUNK` (64) items, capped at `MAX_CHUNKS` (64). Depends on `n` only,
+    /// so two runs over the same data always agree on the grid.
+    pub fn auto_chunks(n: usize) -> usize {
+        (n / MIN_CHUNK).clamp(1, MAX_CHUNKS)
+    }
+
+    /// Splits `0..n` into `chunks` pieces whose sizes differ by at most one.
+    pub fn uniform(n: usize, chunks: usize) -> Partition {
+        let chunks = chunks.clamp(1, n.max(1));
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        for i in 0..=chunks {
+            bounds.push(n * i / chunks);
+        }
+        Partition { bounds }
+    }
+
+    /// Splits the nodes of a CSR adjacency into chunks of roughly equal
+    /// *work*, where the work of node `v` is `degree(v) + 1`. `offsets` is
+    /// the CSR offset array (`offsets.len() == n + 1`,
+    /// `offsets[v]..offsets[v+1]` spans node `v`'s edges). Skewed graphs —
+    /// a few very high-degree nodes — get cut around the hubs instead of
+    /// serializing one hot chunk.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is empty or not non-decreasing from zero.
+    pub fn by_offsets(offsets: &[usize], chunks: usize) -> Partition {
+        assert!(
+            !offsets.is_empty(),
+            "CSR offsets must have at least one entry"
+        );
+        assert_eq!(offsets[0], 0, "CSR offsets must start at zero");
+        let n = offsets.len() - 1;
+        let chunks = chunks.clamp(1, n.max(1));
+        // Cumulative work before node v is offsets[v] + v (edges + the
+        // per-node constant), a non-decreasing sequence we can bisect.
+        let total = offsets[n] + n;
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        bounds.push(0);
+        for c in 1..chunks {
+            let target = total * c / chunks;
+            let (mut lo, mut hi) = (*bounds.last().unwrap(), n);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if offsets[mid] + mid < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            bounds.push(lo);
+        }
+        bounds.push(n);
+        Partition { bounds }
+    }
+
+    /// Wraps caller-computed chunk boundaries. `bounds` must start at 0,
+    /// be non-decreasing, and contain at least two entries; the last entry
+    /// is the total length.
+    ///
+    /// # Panics
+    /// Panics if the boundary list is malformed.
+    pub fn from_bounds(bounds: Vec<usize>) -> Partition {
+        assert!(bounds.len() >= 2, "need at least one chunk");
+        assert_eq!(bounds[0], 0, "bounds must start at zero");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be non-decreasing"
+        );
+        Partition { bounds }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// True when the partition covers an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The index range of chunk `i`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        self.bounds[i]..self.bounds[i + 1]
+    }
+
+    /// Total number of items covered (`n`).
+    pub fn total(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+
+    /// The raw boundary array (`len() + 1` entries).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_exactly() {
+        for n in [0usize, 1, 7, 64, 197, 1000] {
+            for chunks in [1usize, 2, 3, 7, 64] {
+                let p = Partition::uniform(n, chunks);
+                assert_eq!(p.total(), n);
+                let mut expect = 0;
+                for i in 0..p.len() {
+                    let r = p.range(i);
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                assert_eq!(expect, n);
+                // Balanced within one element.
+                let sizes: Vec<usize> = (0..p.len()).map(|i| p.range(i).len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "n={n} chunks={chunks}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_clamps_chunks_to_n() {
+        let p = Partition::uniform(3, 100);
+        assert_eq!(p.len(), 3);
+        let p = Partition::uniform(0, 8);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.range(0), 0..0);
+    }
+
+    #[test]
+    fn by_offsets_balances_skewed_degrees() {
+        // A heavy head: nodes 0..10 carry 1000 edges each, the remaining
+        // 90 nodes carry one. A uniform grid would lump the whole head
+        // into chunk 0; the degree-aware grid must cut inside it.
+        let n = 100usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for v in 0..n {
+            acc += if v < 10 { 1_000 } else { 1 };
+            offsets.push(acc);
+        }
+        let chunks = 4;
+        let p = Partition::by_offsets(&offsets, chunks);
+        assert_eq!(p.total(), n);
+        let weight =
+            |r: std::ops::Range<usize>| (offsets[r.end] + r.end) - (offsets[r.start] + r.start);
+        let total = offsets[n] + n;
+        let max_node = 1_001; // heaviest single node (its work is indivisible)
+        let max_chunk = (0..p.len()).map(|i| weight(p.range(i))).max().unwrap();
+        assert!(
+            max_chunk <= total / chunks + max_node,
+            "max chunk weight {max_chunk} vs ideal {} (+{max_node} slack)",
+            total / chunks
+        );
+        // For contrast, the uniform grid serializes the head in chunk 0.
+        let u = Partition::uniform(n, chunks);
+        assert!(weight(u.range(0)) > total / 2);
+    }
+
+    #[test]
+    fn by_offsets_uniform_degrees_look_uniform() {
+        let n = 120usize;
+        let offsets: Vec<usize> = (0..=n).map(|v| 3 * v).collect();
+        let p = Partition::by_offsets(&offsets, 6);
+        for i in 0..p.len() {
+            let len = p.range(i).len();
+            assert!((19..=21).contains(&len), "chunk {i} has {len} nodes");
+        }
+    }
+
+    #[test]
+    fn auto_chunks_is_monotone_and_bounded() {
+        assert_eq!(Partition::auto_chunks(0), 1);
+        assert_eq!(Partition::auto_chunks(63), 1);
+        assert_eq!(Partition::auto_chunks(128), 2);
+        assert_eq!(Partition::auto_chunks(usize::MAX / 2), 64);
+        let mut last = 0;
+        for n in (0..10_000).step_by(97) {
+            let c = Partition::auto_chunks(n);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_bounds_rejects_disorder() {
+        Partition::from_bounds(vec![0, 5, 3]);
+    }
+
+    #[test]
+    fn from_bounds_accepts_empty_chunks() {
+        let p = Partition::from_bounds(vec![0, 0, 4, 4, 9]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.range(0), 0..0);
+        assert_eq!(p.range(3), 4..9);
+        assert_eq!(p.total(), 9);
+    }
+}

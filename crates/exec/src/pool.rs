@@ -1,0 +1,254 @@
+//! The persistent worker pool behind [`crate::Executor`].
+//!
+//! Workers are spawned once and parked on a condvar between jobs. A job is
+//! a borrowed `Fn(usize)` closure plus a task count; workers (and the
+//! dispatching thread, which participates) claim task indices from a
+//! shared atomic counter until the job is drained. Panics inside tasks are
+//! caught on the worker, recorded, and re-raised on the dispatcher after
+//! the job completes — the pool itself never wedges.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Job state is always internally consistent (user code never runs while
+/// the lock is held), so poisoning carries no information here.
+fn lock(m: &Mutex<JobState>) -> MutexGuard<'_, JobState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The borrowed job closure with its lifetime erased.
+///
+/// Soundness: [`WorkPool::run`] does not return until every task of the
+/// job has completed and stragglers can no longer claim one (each job has
+/// its own claim counter), so no worker dereferences this pointer after
+/// the borrow it came from ends.
+#[derive(Clone, Copy)]
+struct JobFn(&'static (dyn Fn(usize) + Sync));
+
+struct Job {
+    f: JobFn,
+    tasks: usize,
+    epoch: u64,
+    /// Per-job claim counter. Owned by the job (not the pool) so a slow
+    /// worker that wakes up after the job finished can only exhaust this
+    /// counter, never steal a task from a later job.
+    next: Arc<AtomicUsize>,
+}
+
+#[derive(Default)]
+struct JobState {
+    job: Option<Job>,
+    completed: usize,
+    epoch: u64,
+    /// True when some task of the current job panicked; read out by its
+    /// dispatcher before the slot is cleared, then re-raised.
+    failed: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    /// Signals workers: a new job was posted, or shutdown.
+    work_ready: Condvar,
+    /// Signals the dispatcher: a task completed, or the job slot freed.
+    work_done: Condvar,
+    jobs: AtomicU64,
+    tasks_run: AtomicU64,
+    /// Busy wall-time per claim slot: workers first, dispatcher last.
+    busy_ns: Vec<AtomicU64>,
+}
+
+/// A fixed-width pool of parked worker threads.
+///
+/// Width `w` means `w - 1` spawned workers; the thread calling
+/// [`WorkPool::run`] participates as the `w`-th lane, so a width-1 pool
+/// would degenerate to inline execution (use the executor's sequential
+/// mode for that instead — it skips the synchronization entirely).
+pub(crate) struct WorkPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    width: usize,
+}
+
+impl WorkPool {
+    /// Spawns `width - 1` workers (`width >= 2`).
+    pub(crate) fn new(width: usize) -> WorkPool {
+        assert!(width >= 2, "a pool narrower than 2 is the sequential path");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState::default()),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            jobs: AtomicU64::new(0),
+            tasks_run: AtomicU64::new(0),
+            busy_ns: (0..width).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let workers = (0..width - 1)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("approxrank-exec-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkPool {
+            shared,
+            workers,
+            width,
+        }
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `f(0), f(1), …, f(tasks - 1)` across the pool and returns when
+    /// all calls have finished. The dispatching thread claims tasks too.
+    ///
+    /// Must not be called from inside a job closure running on this same
+    /// pool (the nested dispatch would wait on itself). Distinct threads
+    /// may call `run` concurrently; jobs are serialized in arrival order.
+    ///
+    /// # Panics
+    /// Re-raises (as a new panic) if any task panicked; the pool stays
+    /// usable afterwards.
+    pub(crate) fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        // SAFETY: see `JobFn` — the pointer is never dereferenced after
+        // this function returns, and the borrow lives until then.
+        let f = JobFn(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        });
+        let next = Arc::new(AtomicUsize::new(0));
+        {
+            let mut st = lock(&self.shared.state);
+            while st.job.is_some() {
+                // Another dispatcher is mid-job; queue behind it.
+                st = self
+                    .shared
+                    .work_done
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            st.epoch += 1;
+            st.completed = 0;
+            st.failed = false;
+            st.job = Some(Job {
+                f,
+                tasks,
+                epoch: st.epoch,
+                next: Arc::clone(&next),
+            });
+            self.shared.work_ready.notify_all();
+        }
+        // Participate in the job from the dispatching thread (last slot).
+        run_tasks(&self.shared, self.width - 1, f, tasks, &next);
+        let failed = {
+            let mut st = lock(&self.shared.state);
+            while st.completed < tasks {
+                st = self
+                    .shared
+                    .work_done
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            // Wake any dispatcher queued on the job slot.
+            self.shared.work_done.notify_all();
+            st.failed
+        };
+        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            panic!("approxrank-exec: a task panicked during a pool job");
+        }
+    }
+
+    pub(crate) fn jobs(&self) -> u64 {
+        self.shared.jobs.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn tasks_run(&self) -> u64 {
+        self.shared.tasks_run.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (f, tasks, epoch, next) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match &st.job {
+                    Some(job) if job.epoch != seen_epoch => {
+                        break (job.f, job.tasks, job.epoch, Arc::clone(&job.next));
+                    }
+                    _ => {
+                        st = shared
+                            .work_ready
+                            .wait(st)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        };
+        seen_epoch = epoch;
+        run_tasks(shared, slot, f, tasks, &next);
+    }
+}
+
+/// Claims and runs tasks until the job's counter is exhausted. Shared by
+/// workers and the dispatching thread.
+fn run_tasks(shared: &Shared, slot: usize, f: JobFn, tasks: usize, next: &AtomicUsize) {
+    let t0 = Instant::now();
+    let mut ran = 0u64;
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= tasks {
+            break;
+        }
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| (f.0)(i))).is_err();
+        ran += 1;
+        let mut st = lock(&shared.state);
+        if panicked {
+            st.failed = true;
+        }
+        st.completed += 1;
+        if st.completed == tasks {
+            shared.work_done.notify_all();
+        }
+    }
+    if ran > 0 {
+        shared.busy_ns[slot].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.tasks_run.fetch_add(ran, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,232 @@
+//! Concurrency contract of the work pool: panic propagation without
+//! wedging, exhaustive task coverage, deterministic fold ordering, and
+//! the small-input edge cases (empty data, fewer items than threads).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use approxrank_exec::{Executor, Partition};
+
+#[test]
+fn every_task_runs_exactly_once() {
+    let exec = Executor::new(4);
+    for tasks in [1usize, 2, 3, 4, 7, 64, 300] {
+        let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+        exec.run_chunks(tasks, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} of {tasks}");
+        }
+    }
+}
+
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    let exec = Executor::new(4);
+    // Warm the pool so workers are parked, not starting up.
+    exec.run_chunks(8, |_| {});
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        exec.run_chunks(16, |i| {
+            if i == 5 {
+                panic!("deliberate task failure");
+            }
+        });
+    }));
+    assert!(caught.is_err(), "the task panic must reach the dispatcher");
+    // The pool must still be fully usable: no wedged workers, no stale
+    // failure flag poisoning the next job.
+    let p = Partition::uniform(1000, 16);
+    let sum = exec.map_reduce(&p, |_, r| r.len(), |a, b| a + b);
+    assert_eq!(sum, Some(1000));
+    // Dropping `exec` at scope end must not hang (the test would time out).
+}
+
+#[test]
+fn multiple_panics_in_one_job_still_drain() {
+    let exec = Executor::new(3);
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        exec.run_chunks(32, |i| {
+            if i % 3 == 0 {
+                panic!("boom {i}");
+            }
+        });
+    }));
+    assert!(caught.is_err());
+    exec.run_chunks(4, |_| {});
+}
+
+#[test]
+fn fold_order_is_ascending_chunk_index() {
+    // Concatenation is non-commutative: any out-of-order fold scrambles
+    // the result. Repeat to give interleavings a chance to vary.
+    let p = Partition::uniform(64, 64);
+    let expect: Vec<usize> = (0..64).collect();
+    let exec = Executor::new(8);
+    for _ in 0..50 {
+        let got = exec
+            .map_reduce(
+                &p,
+                |i, _| vec![i],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .unwrap();
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn float_reduction_identical_across_widths() {
+    // Mixed-magnitude values make float addition visibly non-associative,
+    // so an order-violating fold would differ in the low bits.
+    let data: Vec<f64> = (0..10_000)
+        .map(|i| (1.0 + i as f64).powf(1.5) * if i % 3 == 0 { 1e-9 } else { 1e6 })
+        .collect();
+    let p = Partition::uniform(data.len(), Partition::auto_chunks(data.len()));
+    let sum = |threads: usize| {
+        Executor::new(threads)
+            .map_reduce(&p, |_, r| data[r].iter().sum::<f64>(), |a, b| a + b)
+            .unwrap()
+    };
+    let reference = sum(1);
+    for threads in [2usize, 3, 7, 16] {
+        assert_eq!(
+            reference.to_bits(),
+            sum(threads).to_bits(),
+            "width {threads} changed the reduction"
+        );
+    }
+}
+
+#[test]
+fn for_each_chunk_writes_disjoint_slices() {
+    let mut data = vec![0usize; 997];
+    let p = Partition::uniform(data.len(), 13);
+    let exec = Executor::new(5);
+    exec.for_each_chunk(&mut data, &p, |chunk, range, slice| {
+        assert_eq!(range.len(), slice.len());
+        for (off, v) in slice.iter_mut().enumerate() {
+            *v = chunk * 10_000 + range.start + off;
+        }
+    });
+    for i in 0..p.len() {
+        for j in p.range(i) {
+            assert_eq!(data[j], i * 10_000 + j);
+        }
+    }
+}
+
+#[test]
+fn map_chunks_combines_mutation_and_reduction() {
+    let mut data: Vec<f64> = (0..500).map(|i| i as f64).collect();
+    let p = Partition::uniform(data.len(), 9);
+    let serial_sum: f64 = data.iter().sum();
+    let exec = Executor::new(4);
+    let sum = exec
+        .map_chunks(
+            &mut data,
+            &p,
+            |_, _, slice| {
+                let s: f64 = slice.iter().sum();
+                for v in slice.iter_mut() {
+                    *v *= 2.0;
+                }
+                s
+            },
+            |a, b| a + b,
+        )
+        .unwrap();
+    assert_eq!(sum, serial_sum);
+    assert_eq!(data[250], 500.0);
+}
+
+#[test]
+fn empty_and_tiny_inputs() {
+    let exec = Executor::new(8);
+    // Zero chunks: nothing runs, nothing hangs.
+    exec.run_chunks(0, |_| panic!("must not run"));
+    // Empty data with the degenerate one-empty-chunk partition.
+    let mut empty: Vec<f64> = Vec::new();
+    exec.for_each_chunk(&mut empty, &Partition::uniform(0, 4), |_, r, s| {
+        assert!(r.is_empty() && s.is_empty());
+    });
+    // Far fewer items than threads.
+    let p = Partition::uniform(3, 8);
+    let total = exec.map_reduce(&p, |_, r| r.len(), |a, b| a + b);
+    assert_eq!(total, Some(3));
+}
+
+#[test]
+fn shared_executor_from_multiple_dispatchers() {
+    // Jobs from different threads serialize on the single job slot; every
+    // dispatcher gets its own correct result.
+    let exec = Executor::new(4);
+    let data: Vec<u64> = (0..5_000).collect();
+    let p = Partition::uniform(data.len(), 32);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(scope.spawn(|| {
+                let mut totals = Vec::new();
+                for _ in 0..20 {
+                    let t = exec
+                        .map_reduce(&p, |_, r| data[r].iter().sum::<u64>(), |a, b| a + b)
+                        .unwrap();
+                    totals.push(t);
+                }
+                totals
+            }));
+        }
+        let expect: u64 = data.iter().sum();
+        for h in handles {
+            for t in h.join().unwrap() {
+                assert_eq!(t, expect);
+            }
+        }
+    });
+}
+
+#[test]
+fn telemetry_counts_jobs_and_tasks() {
+    let exec = Executor::new(3);
+    let p = Partition::uniform(10_000, 24);
+    for _ in 0..5 {
+        exec.for_each_chunk(&mut vec![0u8; 10_000], &p, |_, _, s| {
+            for v in s.iter_mut() {
+                *v = v.wrapping_add(1);
+            }
+        });
+    }
+    let s = exec.stats();
+    assert_eq!(s.threads, 3);
+    assert_eq!(s.jobs, 5);
+    assert_eq!(s.tasks, 5 * 24);
+    assert_eq!(s.busy_ns.len(), 3);
+    assert!(s.imbalance() >= 1.0);
+}
+
+#[test]
+fn degree_aware_partition_on_pool() {
+    // A star graph: node 0 carries nearly all edges. The by_offsets grid
+    // must still cover every node exactly once under the pool.
+    let n = 2_000usize;
+    let mut offsets = vec![0usize];
+    let mut acc = 0;
+    for v in 0..n {
+        acc += if v == 0 { 50_000 } else { 2 };
+        offsets.push(acc);
+    }
+    let p = Partition::by_offsets(&offsets, 16);
+    assert_eq!(p.total(), n);
+    let exec = Executor::new(4);
+    let mut seen = vec![0u32; n];
+    exec.for_each_chunk(&mut seen, &p, |_, _, s| {
+        for v in s.iter_mut() {
+            *v += 1;
+        }
+    });
+    assert!(seen.iter().all(|&c| c == 1));
+}

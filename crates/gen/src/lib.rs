@@ -16,7 +16,7 @@
 //!   (TS subgraphs = dmoz-listed category pages + 3-link crawl).
 //! * [`crawler`] — BFS, best-first (focused), and score-guided crawlers
 //!   producing BFS subgraphs and the Figure-1 scenario.
-//! * [`evolve`] — localized graph churn for the update scenario (§I).
+//! * [`mod@evolve`] — localized graph churn for the update scenario (§I).
 //! * [`zipf`] — power-law size and value samplers shared by the above.
 
 pub mod au;

@@ -34,7 +34,7 @@ pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use scc::{strongly_connected_components, SccResult};
 pub use stats::GraphStats;
-pub use subgraph::{BoundaryEdges, NodeSet, Subgraph};
+pub use subgraph::{BoundaryEdges, BoundaryInEdge, NodeSet, Subgraph};
 
 /// Identifier of a node within a graph: a dense index in `0..num_nodes`.
 pub type NodeId = u32;

@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use approxrank_exec::{Executor, Partition};
 use approxrank_graph::DiGraph;
 use approxrank_trace::{IterationEvent, Observer, Stopwatch};
 
@@ -117,6 +118,159 @@ pub fn pagerank_gauss_seidel_observed(
     }
 }
 
+/// Red/black (two-color) Gauss–Seidel: the parallelizable variant.
+///
+/// Nodes are colored by id parity. Each sweep updates all even nodes,
+/// then all odd nodes; within a color the updates read a snapshot taken
+/// at the start of the half-sweep (Jacobi within color, Gauss–Seidel
+/// across colors), which makes every update independent of its
+/// same-color peers — so the half-sweep fans out over the pool and the
+/// result is bit-identical at any thread count. Converges between Jacobi
+/// and true sequential Gauss–Seidel; same lumped formulation and final
+/// normalization as [`pagerank_gauss_seidel`].
+pub fn pagerank_gauss_seidel_red_black(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+) -> PageRankResult {
+    pagerank_gauss_seidel_red_black_observed(graph, options, approxrank_trace::null())
+}
+
+/// [`pagerank_gauss_seidel_red_black`] with telemetry. Builds an executor
+/// per call from `options.threads`; use
+/// [`pagerank_gauss_seidel_red_black_on`] to reuse one.
+pub fn pagerank_gauss_seidel_red_black_observed(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    obs: &dyn Observer,
+) -> PageRankResult {
+    let exec = crate::parallel::executor_for(graph, options);
+    let r = pagerank_gauss_seidel_red_black_on(graph, options, obs, &exec);
+    crate::parallel::emit_exec_stats(&exec, obs);
+    r
+}
+
+/// [`pagerank_gauss_seidel_red_black`] on a caller-supplied executor.
+pub fn pagerank_gauss_seidel_red_black_on(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    obs: &dyn Observer,
+    exec: &Executor,
+) -> PageRankResult {
+    let t0 = Instant::now();
+    let n = graph.num_nodes();
+    if n == 0 {
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+            elapsed: t0.elapsed(),
+        };
+    }
+    let _span = obs.span("gauss_seidel_rb");
+    let mut sweep = Stopwatch::start(obs);
+    let inv_n = 1.0 / n as f64;
+    let eps = options.damping;
+    let chunks = Partition::auto_chunks(n);
+    let node_part = Partition::uniform(n, chunks);
+    let edge_part = Partition::by_offsets(graph.reverse().offsets(), chunks);
+    let mut x = vec![inv_n; n];
+    let mut snap = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut residuals = Vec::new();
+
+    let inv_deg: Vec<f64> = (0..n as u32)
+        .map(|u| {
+            let d = graph.out_degree(u);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+
+    while iterations < options.max_iterations {
+        iterations += 1;
+        let mut delta = 0.0;
+        for color in 0..2usize {
+            // The half-sweep reads this frozen copy (which already holds
+            // the other color's fresh values) and writes only its own
+            // color's entries of `x` — disjoint chunks, no aliasing.
+            snap.copy_from_slice(&x);
+            let frozen = &snap;
+            let ideg = &inv_deg;
+            delta += exec
+                .map_chunks(
+                    &mut x,
+                    &edge_part,
+                    |_, range, slot| {
+                        let mut d = 0.0;
+                        for (v, xv) in range.zip(slot.iter_mut()) {
+                            if v % 2 != color {
+                                continue;
+                            }
+                            let mut acc = 0.0;
+                            for &u in graph.in_neighbors(v as u32) {
+                                acc += frozen[u as usize] * ideg[u as usize];
+                            }
+                            let new = eps * acc + (1.0 - eps) * inv_n;
+                            d += (new - *xv).abs();
+                            *xv = new;
+                        }
+                        d
+                    },
+                    |a, b| a + b,
+                )
+                .unwrap_or(0.0);
+        }
+        let mass = exec
+            .map_reduce(
+                &node_part,
+                |_, range| {
+                    let mut s = 0.0;
+                    for v in range {
+                        s += x[v];
+                    }
+                    s
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0);
+        let scaled = if mass > 0.0 { delta / mass } else { delta };
+        obs.iteration(IterationEvent {
+            solver: "gauss_seidel_rb",
+            iteration: iterations - 1,
+            residual: scaled,
+            dangling_mass: (1.0 - mass).max(0.0),
+            elapsed_ns: sweep.lap_ns(),
+        });
+        if options.record_residuals {
+            residuals.push(scaled);
+        }
+        if scaled < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    let mass: f64 = x.iter().sum();
+    if mass > 0.0 {
+        for v in x.iter_mut() {
+            *v /= mass;
+        }
+    }
+
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+        elapsed: t0.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +320,54 @@ mod tests {
         let o = PageRankOptions::paper().with_tolerance(1e-12);
         let a = pagerank(&g, &o);
         let b = pagerank_gauss_seidel(&g, &o);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x - y).abs() < 1e-8);
+        }
+        assert!((b.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn red_black_agrees_with_power_iteration() {
+        let g = graph();
+        let o = PageRankOptions::paper().with_tolerance(1e-12);
+        let a = pagerank(&g, &o);
+        let b = pagerank_gauss_seidel_red_black(&g, &o);
+        assert!(b.converged);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn red_black_bit_identical_across_thread_counts() {
+        let g = graph();
+        let reference =
+            pagerank_gauss_seidel_red_black(&g, &PageRankOptions::paper().with_tolerance(1e-12));
+        for threads in [2usize, 7] {
+            let r = pagerank_gauss_seidel_red_black(
+                &g,
+                &PageRankOptions::paper()
+                    .with_tolerance(1e-12)
+                    .with_threads(threads),
+            );
+            assert_eq!(reference.iterations, r.iterations);
+            assert!(
+                reference
+                    .scores
+                    .iter()
+                    .zip(&r.scores)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn red_black_handles_dangling_and_conserves_mass() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let o = PageRankOptions::paper().with_tolerance(1e-12);
+        let a = pagerank(&g, &o);
+        let b = pagerank_gauss_seidel_red_black(&g, &o);
         for (x, y) in a.scores.iter().zip(&b.scores) {
             assert!((x - y).abs() < 1e-8);
         }

@@ -30,6 +30,7 @@ pub mod result;
 pub mod weighted;
 
 pub use options::{DanglingMode, PageRankOptions};
+pub use parallel::{emit_exec_stats, executor_for, pagerank_with_start_observed_on};
 pub use power::{pagerank, pagerank_observed, pagerank_with_start, pagerank_with_start_observed};
 pub use result::PageRankResult;
 pub use weighted::WeightedDiGraph;
@@ -37,5 +38,8 @@ pub use weighted::WeightedDiGraph;
 pub use adaptive::{pagerank_adaptive, pagerank_adaptive_observed};
 pub use blockrank::{blockrank, BlockRankResult};
 pub use extrapolation::{pagerank_extrapolated, pagerank_extrapolated_observed};
-pub use gauss_seidel::{pagerank_gauss_seidel, pagerank_gauss_seidel_observed};
+pub use gauss_seidel::{
+    pagerank_gauss_seidel, pagerank_gauss_seidel_observed, pagerank_gauss_seidel_red_black,
+    pagerank_gauss_seidel_red_black_observed, pagerank_gauss_seidel_red_black_on,
+};
 pub use hits::{hits, HitsOptions, HitsResult};

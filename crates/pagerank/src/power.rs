@@ -6,15 +6,14 @@
 //! x'[v] = ε · ( Σ_{u→v} x[u]/D_u  +  dangling_mass · jump(v) ) + (1−ε) · P[v]
 //! ```
 //!
-//! where `jump(v)` is `1/N` under [`DanglingMode::UniformJump`] (the
-//! paper's model) or `P[v]` under [`DanglingMode::Personalization`].
-
-use std::time::Instant;
+//! where `jump(v)` is `1/N` under [`crate::DanglingMode::UniformJump`]
+//! (the paper's model) or `P[v]` under
+//! [`crate::DanglingMode::Personalization`].
 
 use approxrank_graph::DiGraph;
-use approxrank_trace::{IterationEvent, Observer, Stopwatch};
+use approxrank_trace::Observer;
 
-use crate::{DanglingMode, PageRankOptions, PageRankResult};
+use crate::{PageRankOptions, PageRankResult};
 
 /// L1 norm of the difference of two equal-length vectors.
 pub(crate) fn l1_delta(a: &[f64], b: &[f64]) -> f64 {
@@ -100,6 +99,14 @@ pub fn pagerank_with_start(
 
 /// [`pagerank_with_start`] with telemetry.
 ///
+/// The implementation lives in [`crate::parallel`]: one chunked sweep
+/// shared by the serial and parallel paths, so `threads == 1` and
+/// `threads == k` produce bit-identical scores. This entry builds an
+/// executor per call ([`crate::executor_for`]) and forwards its pool
+/// telemetry; hold your own [`approxrank_exec::Executor`] and call
+/// [`crate::pagerank_with_start_observed_on`] to amortize thread startup
+/// across repeated solves.
+///
 /// # Panics
 /// Panics if vector lengths disagree with the node count.
 pub fn pagerank_with_start_observed(
@@ -109,87 +116,23 @@ pub fn pagerank_with_start_observed(
     start: &[f64],
     obs: &dyn Observer,
 ) -> PageRankResult {
-    let n = graph.num_nodes();
-    assert_eq!(personalization.len(), n, "personalization length mismatch");
-    assert_eq!(start.len(), n, "start vector length mismatch");
-    let t0 = Instant::now();
-    if n == 0 {
-        return PageRankResult {
-            scores: Vec::new(),
-            iterations: 0,
-            converged: true,
-            residuals: Vec::new(),
-            elapsed: t0.elapsed(),
-        };
-    }
-    if options.threads > 1 {
-        return crate::parallel::pagerank_parallel(graph, options, personalization, start, obs);
-    }
-    let _span = obs.span("power");
-    let mut sweep = Stopwatch::start(obs);
-
-    let eps = options.damping;
-    let mut x = start.to_vec();
-    let mut next = vec![0.0f64; n];
-    let mut contrib = vec![0.0f64; n];
-    let inv_n = 1.0 / n as f64;
-    let mut residuals = Vec::new();
-    let mut iterations = 0;
-    let mut converged = false;
-
-    while iterations < options.max_iterations {
-        iterations += 1;
-        let mut dangling_mass = 0.0;
-        for u in 0..n {
-            let d = graph.out_degree(u as u32);
-            if d == 0 {
-                dangling_mass += x[u];
-                contrib[u] = 0.0;
-            } else {
-                contrib[u] = x[u] / d as f64;
-            }
-        }
-        for v in 0..n {
-            let mut acc = 0.0;
-            for &u in graph.in_neighbors(v as u32) {
-                acc += contrib[u as usize];
-            }
-            let jump = match options.dangling {
-                DanglingMode::UniformJump => dangling_mass * inv_n,
-                DanglingMode::Personalization => dangling_mass * personalization[v],
-            };
-            next[v] = eps * (acc + jump) + (1.0 - eps) * personalization[v];
-        }
-        let delta = l1_delta(&next, &x);
-        std::mem::swap(&mut x, &mut next);
-        obs.iteration(IterationEvent {
-            solver: "power",
-            iteration: iterations - 1,
-            residual: delta,
-            dangling_mass,
-            elapsed_ns: sweep.lap_ns(),
-        });
-        if options.record_residuals {
-            residuals.push(delta);
-        }
-        if delta < options.tolerance {
-            converged = true;
-            break;
-        }
-    }
-
-    PageRankResult {
-        scores: x,
-        iterations,
-        converged,
-        residuals,
-        elapsed: t0.elapsed(),
-    }
+    let exec = crate::parallel::executor_for(graph, options);
+    let result = crate::parallel::pagerank_with_start_observed_on(
+        graph,
+        options,
+        personalization,
+        start,
+        obs,
+        &exec,
+    );
+    crate::parallel::emit_exec_stats(&exec, obs);
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DanglingMode;
     use approxrank_graph::DiGraph;
 
     fn opts() -> PageRankOptions {

@@ -20,6 +20,29 @@
 //! with exporters in [`jsonl`] (line-delimited JSON, hand-rolled — this
 //! crate has zero dependencies) and [`report`] (aggregated human-readable
 //! tables).
+//!
+//! # Example
+//!
+//! Record a span, a counter, and a gauge, then aggregate them into a
+//! run report:
+//!
+//! ```
+//! use approxrank_trace::{Observer, Recorder, RunReport};
+//!
+//! let rec = Recorder::new();
+//! let obs: &dyn Observer = &rec;
+//! {
+//!     let _span = obs.span("solve");
+//!     obs.counter("pages", 4);
+//!     obs.gauge("dangling_mass", 0.25);
+//! }
+//! let report = RunReport::from_events(&rec.events());
+//! assert_eq!(report.spans[0].name, "solve");
+//! assert_eq!(report.counters[0].last, 4);
+//! assert_eq!(report.gauges[0].last, 0.25);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod jsonl;

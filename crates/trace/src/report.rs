@@ -176,6 +176,24 @@ impl RunReport {
             && self.solvers.is_empty()
     }
 
+    /// One-line parallel-efficiency summary, present when the run
+    /// emitted work-pool telemetry (the `pool_*` counters and gauges the
+    /// solvers publish through `emit_exec_stats`).
+    pub fn parallel_summary(&self) -> Option<String> {
+        let counter = |name: &str| self.counters.iter().find(|c| c.name == name);
+        let threads = counter("pool_threads")?.last;
+        let jobs = counter("pool_jobs").map_or(0, |c| c.last);
+        let tasks = counter("pool_tasks").map_or(0, |c| c.last);
+        let mut line = format!("parallel: {threads} worker(s), {jobs} job(s), {tasks} task(s)");
+        if let Some(g) = self.gauges.iter().find(|g| g.name == "pool_imbalance") {
+            line.push_str(&format!(
+                ", chunk imbalance {:.2} (busiest lane / mean; 1.00 is perfect)",
+                g.last
+            ));
+        }
+        Some(line)
+    }
+
     /// Renders aligned plain-text tables, one section per event kind
     /// with data.
     pub fn render(&self) -> String {
@@ -247,6 +265,13 @@ impl RunReport {
                     g.name, g.count, g.last, g.min, g.max
                 ));
             }
+        }
+        if let Some(line) = self.parallel_summary() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&line);
+            out.push('\n');
         }
         out
     }
@@ -358,6 +383,35 @@ mod tests {
         for needle in ["power", "solve", "edges", "mass"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn pool_telemetry_renders_parallel_summary() {
+        let events = vec![
+            Event::Counter {
+                name: "pool_threads".into(),
+                value: 4,
+            },
+            Event::Counter {
+                name: "pool_jobs".into(),
+                value: 12,
+            },
+            Event::Counter {
+                name: "pool_tasks".into(),
+                value: 96,
+            },
+            Event::Gauge {
+                name: "pool_imbalance".into(),
+                value: 1.25,
+            },
+        ];
+        let report = RunReport::from_events(&events);
+        let line = report.parallel_summary().expect("pool telemetry present");
+        assert!(line.contains("4 worker(s)"), "{line}");
+        assert!(line.contains("1.25"), "{line}");
+        assert!(report.render().contains("parallel:"));
+        // Without pool counters there is no summary line.
+        assert!(RunReport::from_events(&[]).parallel_summary().is_none());
     }
 
     #[test]

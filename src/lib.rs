@@ -9,6 +9,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`exec`] | `approxrank-exec` | persistent work-pool executor: chunk partitions, `for_each_chunk` / `map_reduce`, pool stats |
 //! | [`graph`] | `approxrank-graph` | CSR graphs, subgraphs, boundaries, traversals, I/O |
 //! | [`gen`] | `approxrank-gen` | synthetic web-graph datasets and crawlers |
 //! | [`pagerank`] | `approxrank-pagerank` | global PageRank and authority flow |
@@ -37,6 +38,7 @@
 
 pub use approxrank_bench as bench;
 pub use approxrank_core as core;
+pub use approxrank_exec as exec;
 pub use approxrank_gen as gen;
 pub use approxrank_graph as graph;
 pub use approxrank_metrics as metrics;
