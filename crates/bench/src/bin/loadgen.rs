@@ -1,0 +1,436 @@
+//! `loadgen` — concurrent Zipf-distributed load against `subrank serve`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT | --graph FILE] [--clients N] [--requests N]
+//!         [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N]
+//! ```
+//!
+//! Fires `--clients` concurrent keep-alive query streams at a ranking
+//! service. Each stream draws its membership from `--keys` distinct
+//! subgraphs with Zipf-distributed popularity (exponent `--zipf`), so a
+//! correctly functioning result cache must show a nonzero hit rate. With
+//! `--addr` the target is an already-running server (the CI smoke job
+//! uses this); otherwise an in-process server is booted on an ephemeral
+//! port over `--graph` (or a generated graph when that is absent too).
+//!
+//! The report covers throughput, latency percentiles across all streams,
+//! and the cache hit rate measured as the delta of the server's
+//! `/stats` counters over the run.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use approxrank_gen::zipf::sample_weighted;
+use approxrank_graph::{io, DiGraph};
+use approxrank_serve::{Client, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --graph FILE] [--clients N] \
+[--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N]";
+
+struct Args {
+    addr: Option<String>,
+    graph: Option<String>,
+    clients: usize,
+    requests: usize,
+    keys: usize,
+    zipf: f64,
+    members: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            addr: None,
+            graph: None,
+            clients: 4,
+            requests: 200,
+            keys: 64,
+            zipf: 1.1,
+            members: 16,
+            seed: 42,
+            threads: 2,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--graph" => args.graph = Some(value("--graph")?),
+            "--clients" => args.clients = parse_positive(&value("--clients")?, "--clients")?,
+            "--requests" => args.requests = parse_positive(&value("--requests")?, "--requests")?,
+            "--keys" => args.keys = parse_positive(&value("--keys")?, "--keys")?,
+            "--members" => args.members = parse_positive(&value("--members")?, "--members")?,
+            "--threads" => args.threads = parse_positive(&value("--threads")?, "--threads")?,
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+            }
+            "--zipf" => {
+                let v = value("--zipf")?;
+                let exp: f64 = v.parse().map_err(|e| format!("bad --zipf {v:?}: {e}"))?;
+                if !(exp >= 0.0 && exp.is_finite()) {
+                    return Err(format!("--zipf must be finite and >= 0, got {exp}"));
+                }
+                args.zipf = exp;
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if args.addr.is_some() && args.graph.is_some() {
+        return Err("--addr and --graph are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn parse_positive(v: &str, name: &str) -> Result<usize, String> {
+    let n: usize = v.parse().map_err(|e| format!("bad {name} {v:?}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{name} must be at least 1"));
+    }
+    Ok(n)
+}
+
+/// The synthetic target when neither `--addr` nor `--graph` is given: a
+/// ring with two chord families, enough structure that solves are not
+/// instantaneous but small enough to boot in milliseconds.
+fn default_graph() -> DiGraph {
+    let n = 2_000u32;
+    let mut edges = Vec::with_capacity(3 * n as usize);
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        edges.push((i, (i * 7 + 3) % n));
+        edges.push((i, (i + n / 2) % n));
+    }
+    DiGraph::from_edges(n as usize, &edges)
+}
+
+fn load_graph(path: &str) -> Result<DiGraph, String> {
+    io::read_binary_file(path)
+        .or_else(|_| io::read_edge_list_file(path))
+        .map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Key `k` maps to a fixed window of `members` consecutive node ids; the
+/// stride de-correlates neighbouring keys so cache hits can only come
+/// from genuine key re-use, not overlapping memberships.
+fn key_members(key: usize, members: usize, num_nodes: usize) -> Vec<u32> {
+    let span = num_nodes.saturating_sub(members).max(1);
+    let start = (key * 37) % span;
+    (start..start + members.min(num_nodes - 1))
+        .map(|i| i as u32)
+        .collect()
+}
+
+fn request_bodies(keys: usize, members: usize, num_nodes: usize) -> Vec<String> {
+    (0..keys)
+        .map(|k| {
+            let ids: Vec<String> = key_members(k, members, num_nodes)
+                .iter()
+                .map(|id| id.to_string())
+                .collect();
+            format!("{{\"members\":[{}]}}", ids.join(","))
+        })
+        .collect()
+}
+
+fn zipf_weights(keys: usize, exponent: f64) -> Vec<f64> {
+    (1..=keys).map(|i| (i as f64).powf(-exponent)).collect()
+}
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn cache_counters(addr: &str) -> Result<(u64, u64), String> {
+    let mut client = Client::new(addr);
+    let response = client
+        .get("/stats")
+        .map_err(|e| format!("GET /stats: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("GET /stats answered {}", response.status));
+    }
+    let json = response.json()?;
+    let cache = json.get("cache").ok_or("no cache block in /stats")?;
+    let read = |key: &str| {
+        cache
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("no cache.{key} in /stats"))
+    };
+    Ok((read("hits")?, read("misses")?))
+}
+
+struct StreamOutcome {
+    latencies_us: Vec<u64>,
+    errors: usize,
+}
+
+fn run_stream(
+    addr: &str,
+    bodies: &[String],
+    weights: &[f64],
+    requests: usize,
+    seed: u64,
+) -> StreamOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
+    let mut latencies_us = Vec::with_capacity(requests);
+    let mut errors = 0usize;
+    for _ in 0..requests {
+        let key = sample_weighted(&mut rng, weights);
+        let started = Instant::now();
+        match client.post("/rank", &bodies[key]) {
+            Ok(response) if response.status == 200 => {
+                latencies_us.push(started.elapsed().as_micros() as u64);
+            }
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    StreamOutcome {
+        latencies_us,
+        errors,
+    }
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    // Boot an in-process server unless we are pointed at a running one.
+    let (addr, local) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let graph = match &args.graph {
+                Some(path) => load_graph(path)?,
+                None => default_graph(),
+            };
+            let server = Server::bind(
+                graph,
+                ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: args.threads,
+                    ..ServeConfig::default()
+                },
+            )
+            .map_err(|e| format!("cannot bind: {e}"))?;
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.serve());
+            (addr, Some((handle, thread)))
+        }
+    };
+
+    let num_nodes = {
+        let mut client = Client::new(&addr);
+        let response = client
+            .get("/stats")
+            .map_err(|e| format!("GET /stats: {e}"))?;
+        response
+            .json()?
+            .get("graph")
+            .and_then(|g| g.get("nodes"))
+            .and_then(|n| n.as_u64())
+            .ok_or("no graph.nodes in /stats")? as usize
+    };
+    if args.members >= num_nodes {
+        return Err(format!(
+            "--members {} must be smaller than the graph ({num_nodes} nodes)",
+            args.members
+        ));
+    }
+
+    let bodies = Arc::new(request_bodies(args.keys, args.members, num_nodes));
+    let weights = Arc::new(zipf_weights(args.keys, args.zipf));
+    let (hits_before, misses_before) = cache_counters(&addr)?;
+
+    let started = Instant::now();
+    let outcomes: Vec<StreamOutcome> = {
+        let streams: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let (addr, bodies, weights) = (addr.clone(), bodies.clone(), weights.clone());
+                let (requests, seed) = (args.requests, args.seed.wrapping_add(c as u64));
+                std::thread::spawn(move || run_stream(&addr, &bodies, &weights, requests, seed))
+            })
+            .collect();
+        streams
+            .into_iter()
+            .map(|t| t.join().expect("client stream panicked"))
+            .collect()
+    };
+    let wall = started.elapsed();
+
+    let (hits_after, misses_after) = cache_counters(&addr)?;
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.clone())
+        .collect();
+    latencies.sort_unstable();
+    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let ok = latencies.len();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "loadgen: {} clients x {} requests, {} keys (zipf {}), {} members each -> {}\n",
+        args.clients, args.requests, args.keys, args.zipf, args.members, addr
+    ));
+    let secs = wall.as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "requests  {ok} ok, {errors} errors in {:.3} s  ({:.1} req/s)\n",
+        secs,
+        ok as f64 / secs
+    ));
+    out.push_str(&format!(
+        "latency   p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms\n",
+        percentile(&latencies, 50.0) as f64 / 1e3,
+        percentile(&latencies, 90.0) as f64 / 1e3,
+        percentile(&latencies, 99.0) as f64 / 1e3,
+        latencies.last().copied().unwrap_or(0) as f64 / 1e3,
+    ));
+    let (hits, misses) = (hits_after - hits_before, misses_after - misses_before);
+    let lookups = (hits + misses).max(1);
+    out.push_str(&format!(
+        "cache     {hits} hits / {misses} misses  ({:.1} % hit rate)\n",
+        100.0 * hits as f64 / lookups as f64
+    ));
+
+    if let Some((handle, thread)) = local {
+        handle.shutdown();
+        let summary = thread.join().expect("server thread panicked");
+        out.push_str(&format!(
+            "server    drained after {} requests over {} connections\n",
+            summary.requests, summary.connections
+        ));
+    }
+    if errors > 0 {
+        return Err(format!("{out}loadgen: {errors} requests failed"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_rejects_nonsense() {
+        let args = parse_args(&argv(&[
+            "--clients",
+            "8",
+            "--requests",
+            "50",
+            "--keys",
+            "10",
+            "--zipf",
+            "1.5",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(args.clients, 8);
+        assert_eq!(args.requests, 50);
+        assert_eq!(args.keys, 10);
+        assert_eq!(args.zipf, 1.5);
+        assert_eq!(args.seed, 7);
+        assert!(parse_args(&argv(&["--clients", "0"])).is_err());
+        assert!(parse_args(&argv(&["--zipf", "inf"])).is_err());
+        assert!(parse_args(&argv(&["--bogus"])).is_err());
+        assert!(parse_args(&argv(&["--addr", "x:1", "--graph", "g"])).is_err());
+    }
+
+    #[test]
+    fn keys_map_to_distinct_in_range_windows() {
+        let a = key_members(0, 16, 2_000);
+        let b = key_members(1, 16, 2_000);
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, b);
+        for k in 0..64 {
+            for &id in &key_members(k, 16, 2_000) {
+                assert!((id as usize) < 2_000);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_tail() {
+        let w = zipf_weights(64, 1.1);
+        assert_eq!(w.len(), 64);
+        assert!(w[0] > 10.0 * w[63]);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    /// End-to-end: an in-process run over the default graph must see
+    /// cache hits under the Zipf workload (acceptance criterion).
+    #[test]
+    fn tiny_run_reports_cache_hits() {
+        let report = run(&Args {
+            clients: 2,
+            requests: 12,
+            keys: 4,
+            members: 8,
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(report.contains("24 ok, 0 errors"), "{report}");
+        let hits_line = report
+            .lines()
+            .find(|l| l.starts_with("cache"))
+            .expect("cache line");
+        let hits: u64 = hits_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        // 24 draws over 4 keys cannot all be cold misses.
+        assert!(hits >= 20, "{report}");
+    }
+}

@@ -156,6 +156,23 @@ pub struct ReportArgs {
     pub input: String,
 }
 
+/// `subrank serve` arguments.
+#[derive(Clone, Debug)]
+pub struct ServeArgs {
+    /// Edge-list (or binary) graph file to serve.
+    pub graph: String,
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker lanes handling connections.
+    pub threads: usize,
+    /// Total result-cache entries.
+    pub cache_entries: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+    /// Per-connection read/write timeout in milliseconds.
+    pub request_timeout_ms: u64,
+}
+
 /// `subrank gen` arguments.
 #[derive(Clone, Debug)]
 pub struct GenArgs {
@@ -191,6 +208,8 @@ pub enum Command {
     Gen(GenArgs),
     /// Summarize a `--trace-json` event file.
     Report(ReportArgs),
+    /// Run the HTTP ranking service.
+    Serve(ServeArgs),
 }
 
 /// Usage text shown on parse errors.
@@ -204,7 +223,9 @@ pub const USAGE: &str = "usage:
   subrank compare --graph FILE --subgraph FILE [--truth yes] [--damping 0.85] [--tolerance 1e-5]
   subrank stats  --graph FILE
   subrank gen    --dataset au|politics --pages N [--seed S] --out FILE
-  subrank report --input TRACE.jsonl";
+  subrank report --input TRACE.jsonl
+  subrank serve  --graph FILE [--addr 127.0.0.1:7878] [--threads 2] [--cache-entries 4096]
+                 [--max-body 1048576] [--request-timeout-ms 5000]";
 
 /// Flags that take no value; their presence alone means "on".
 const BOOLEAN_FLAGS: &[&str] = &["trace", "quiet"];
@@ -276,6 +297,26 @@ fn take_threads(opts: &mut Options) -> Result<usize, String> {
     Ok(threads)
 }
 
+/// Parses `--damping`, rejecting values the solvers cannot accept (the
+/// option builders panic outside `(0,1)` — user input must never reach
+/// them unchecked).
+fn take_damping(opts: &mut Options) -> Result<f64, String> {
+    let damping = opts.numeric("damping", 0.85)?;
+    if !(damping > 0.0 && damping < 1.0) {
+        return Err(format!("--damping must be in (0,1), got {damping}"));
+    }
+    Ok(damping)
+}
+
+/// Parses `--tolerance`, rejecting non-positive or non-finite values.
+fn take_tolerance(opts: &mut Options) -> Result<f64, String> {
+    let tolerance: f64 = opts.numeric("tolerance", 1e-5)?;
+    if !(tolerance > 0.0 && tolerance.is_finite()) {
+        return Err(format!("--tolerance must be positive, got {tolerance}"));
+    }
+    Ok(tolerance)
+}
+
 impl Cli {
     /// Parses `argv` (without the program name).
     pub fn parse(argv: &[String]) -> Result<Cli, String> {
@@ -291,8 +332,8 @@ impl Cli {
                         Some(v) => Algorithm::parse(&v)?,
                     },
                     scores: opts.take("scores"),
-                    damping: opts.numeric("damping", 0.85)?,
-                    tolerance: opts.numeric("tolerance", 1e-5)?,
+                    damping: take_damping(&mut opts)?,
+                    tolerance: take_tolerance(&mut opts)?,
                     top: opts.numeric("top", 0usize)?,
                     threads: take_threads(&mut opts)?,
                     trace: TraceOpts::take(&mut opts),
@@ -308,8 +349,8 @@ impl Cli {
                     None => Solver::default(),
                     Some(v) => Solver::parse(&v)?,
                 },
-                damping: opts.numeric("damping", 0.85)?,
-                tolerance: opts.numeric("tolerance", 1e-5)?,
+                damping: take_damping(&mut opts)?,
+                tolerance: take_tolerance(&mut opts)?,
                 top: opts.numeric("top", 0usize)?,
                 threads: take_threads(&mut opts)?,
                 trace: TraceOpts::take(&mut opts),
@@ -320,8 +361,8 @@ impl Cli {
             "compare" => Command::Compare(CompareArgs {
                 graph: opts.require("graph")?,
                 subgraph: opts.require("subgraph")?,
-                damping: opts.numeric("damping", 0.85)?,
-                tolerance: opts.numeric("tolerance", 1e-5)?,
+                damping: take_damping(&mut opts)?,
+                tolerance: take_tolerance(&mut opts)?,
                 with_truth: matches!(
                     opts.take("truth").as_deref(),
                     Some("yes") | Some("true") | Some("1")
@@ -336,6 +377,25 @@ impl Cli {
             "report" => Command::Report(ReportArgs {
                 input: opts.require("input")?,
             }),
+            "serve" => {
+                let args = ServeArgs {
+                    graph: opts.require("graph")?,
+                    addr: opts
+                        .take("addr")
+                        .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+                    threads: opts.numeric("threads", 2usize)?,
+                    cache_entries: opts.numeric("cache-entries", 4096usize)?,
+                    max_body: opts.numeric("max-body", 1usize << 20)?,
+                    request_timeout_ms: opts.numeric("request-timeout-ms", 5_000u64)?,
+                };
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                if args.request_timeout_ms == 0 {
+                    return Err("--request-timeout-ms must be at least 1".into());
+                }
+                Command::Serve(args)
+            }
             "--help" | "-h" | "help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
         };
@@ -498,5 +558,62 @@ mod tests {
     fn bad_numeric_reported() {
         let err = Cli::parse(&argv("global --graph g --damping abc")).unwrap_err();
         assert!(err.contains("--damping"));
+    }
+
+    #[test]
+    fn out_of_range_damping_and_tolerance_rejected() {
+        // These used to reach the option builders' asserts and panic;
+        // they must be parse errors instead.
+        for bad in [
+            "rank --graph g --subgraph s --damping 1.5",
+            "rank --graph g --subgraph s --damping 0",
+            "rank --graph g --subgraph s --damping -0.2",
+            "global --graph g --damping 1",
+            "compare --graph g --subgraph s --damping 2",
+        ] {
+            let err = Cli::parse(&argv(bad)).unwrap_err();
+            assert!(err.contains("--damping"), "{bad} → {err}");
+        }
+        for bad in [
+            "rank --graph g --subgraph s --tolerance 0",
+            "rank --graph g --subgraph s --tolerance -1e-5",
+            "global --graph g --tolerance inf",
+            "compare --graph g --subgraph s --tolerance nan",
+        ] {
+            let err = Cli::parse(&argv(bad)).unwrap_err();
+            assert!(err.contains("--tolerance"), "{bad} → {err}");
+        }
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cli = Cli::parse(&argv("serve --graph g.edges")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!("expected serve")
+        };
+        assert_eq!(a.graph, "g.edges");
+        assert_eq!(a.addr, "127.0.0.1:7878");
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.cache_entries, 4096);
+        assert_eq!(a.max_body, 1 << 20);
+        assert_eq!(a.request_timeout_ms, 5_000);
+
+        let cli = Cli::parse(&argv(
+            "serve --graph g --addr 0.0.0.0:0 --threads 8 --cache-entries 64 \
+             --max-body 4096 --request-timeout-ms 250",
+        ))
+        .unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.addr, "0.0.0.0:0");
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.cache_entries, 64);
+        assert_eq!(a.max_body, 4096);
+        assert_eq!(a.request_timeout_ms, 250);
+
+        assert!(Cli::parse(&argv("serve --graph g --threads 0")).is_err());
+        assert!(Cli::parse(&argv("serve --graph g --request-timeout-ms 0")).is_err());
+        assert!(Cli::parse(&argv("serve")).unwrap_err().contains("--graph"));
     }
 }

@@ -5,6 +5,7 @@ pub mod generate;
 pub mod global;
 pub mod rank;
 pub mod report;
+pub mod serve;
 pub mod stats;
 
 use approxrank_graph::{io, DiGraph, GraphError};
@@ -85,13 +86,10 @@ pub fn render_trace(events: &[Event], trace: &TraceOpts) -> Result<String, Strin
 }
 
 /// Renders a `page<TAB>score` listing, optionally truncated to the top-k
-/// by score.
+/// by score. Total order (`total_cmp`) so NaN scores in user-supplied
+/// files sort deterministically instead of panicking.
 pub fn render_scores(pairs: &mut [(u32, f64)], top: usize) -> String {
-    pairs.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("no NaN scores")
-            .then(a.0.cmp(&b.0))
-    });
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let take = if top == 0 {
         pairs.len()
     } else {

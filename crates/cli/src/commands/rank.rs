@@ -37,7 +37,9 @@ pub fn run(args: &RankArgs) -> Result<String, String> {
             ..StochasticComplementation::default()
         }),
         Algorithm::IdealRank => {
-            let path = args.scores.as_ref().expect("checked at parse time");
+            let Some(path) = args.scores.as_ref() else {
+                return Err("idealrank requires --scores FILE".into());
+            };
             let scores = load_scores(path)?;
             if scores.len() != graph.num_nodes() {
                 return Err(format!(

@@ -1,0 +1,78 @@
+//! `subrank serve` — run the HTTP ranking service.
+
+use std::time::Duration;
+
+use approxrank_serve::{ServeConfig, Server};
+
+use crate::args::ServeArgs;
+use crate::commands::load_graph;
+
+/// Translates the CLI flags into a [`ServeConfig`].
+pub fn config_from(args: &ServeArgs) -> ServeConfig {
+    ServeConfig {
+        addr: args.addr.clone(),
+        threads: args.threads.max(1),
+        cache_entries: args.cache_entries,
+        max_body: args.max_body,
+        request_timeout: Duration::from_millis(args.request_timeout_ms),
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs the service until `SIGINT`/`SIGTERM`; returns a drain summary.
+pub fn run(args: &ServeArgs) -> Result<String, String> {
+    let graph = load_graph(&args.graph)?;
+    let nodes = graph.num_nodes();
+    let edges = graph.num_edges();
+    let server = Server::bind(graph, config_from(args))
+        .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    let addr = server.local_addr();
+    approxrank_serve::shutdown_on_signal(server.handle());
+    // The ready line goes to stderr so stdout stays reserved for the
+    // final summary (and scripts can wait on the port instead).
+    eprintln!(
+        "subrank serve: listening on {addr} ({nodes} nodes, {edges} edges, {} worker lanes)",
+        args.threads.max(1)
+    );
+    let summary = server.serve();
+    Ok(format!(
+        "served {} requests over {} connections\n",
+        summary.requests, summary.connections
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args() -> ServeArgs {
+        ServeArgs {
+            graph: "g.edges".into(),
+            addr: "127.0.0.1:0".into(),
+            threads: 3,
+            cache_entries: 128,
+            max_body: 2048,
+            request_timeout_ms: 750,
+        }
+    }
+
+    #[test]
+    fn flags_map_onto_config() {
+        let c = config_from(&args());
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.cache_entries, 128);
+        assert_eq!(c.max_body, 2048);
+        assert_eq!(c.request_timeout, Duration::from_millis(750));
+    }
+
+    #[test]
+    fn missing_graph_is_an_error_not_a_panic() {
+        let err = run(&ServeArgs {
+            graph: "/nonexistent/graph.edges".into(),
+            ..args()
+        })
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/graph.edges"), "{err}");
+    }
+}

@@ -10,6 +10,7 @@
 //! subrank stats  --graph web.edges
 //! subrank gen    --dataset au --pages 50000 --out web.edges
 //! subrank report --input trace.jsonl
+//! subrank serve  --graph web.edges --addr 127.0.0.1:7878
 //! ```
 //!
 //! The solving subcommands accept `--trace` (append a run report),
@@ -33,5 +34,6 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Compare(a) => commands::compare::run(&a),
         Command::Gen(a) => commands::generate::run(&a),
         Command::Report(a) => commands::report::run(&a),
+        Command::Serve(a) => commands::serve::run(&a),
     }
 }

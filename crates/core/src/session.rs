@@ -34,12 +34,35 @@ impl SubgraphSession {
     /// # Panics
     /// Panics if `initial` is empty.
     pub fn new(global: &DiGraph, initial: NodeSet, options: PageRankOptions) -> Self {
+        let precomputation = GlobalPrecomputation::compute(global);
+        Self::with_precomputation(global, initial, options, precomputation)
+    }
+
+    /// Opens a session reusing an already-computed [`GlobalPrecomputation`]
+    /// of the same global graph — the serving layer opens many sessions
+    /// against one graph and must not pay the `O(N)` degree scan per
+    /// session.
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty or if `precomputation` belongs to a
+    /// graph of a different size.
+    pub fn with_precomputation(
+        global: &DiGraph,
+        initial: NodeSet,
+        options: PageRankOptions,
+        precomputation: GlobalPrecomputation,
+    ) -> Self {
         assert!(!initial.is_empty(), "session needs a non-empty subgraph");
+        assert_eq!(
+            precomputation.num_nodes(),
+            global.num_nodes(),
+            "precomputation belongs to a different graph"
+        );
         let members = initial.members().to_vec();
         let subgraph = Subgraph::extract(global, initial);
         SubgraphSession {
             options,
-            precomputation: GlobalPrecomputation::compute(global),
+            precomputation,
             members,
             subgraph,
             last_scores: None,
@@ -215,6 +238,32 @@ mod tests {
         session.remove_pages(&g, &[6, 999]); // 999 is not a member
         assert_eq!(session.members(), &[5, 7, 8]);
         assert_eq!(session.subgraph().len(), 3);
+    }
+
+    #[test]
+    fn shared_precomputation_matches_owned() {
+        let g = global();
+        let pre = GlobalPrecomputation::compute(&g);
+        let set = || NodeSet::from_sorted(g.num_nodes(), 10..60u32);
+        let mut owned = SubgraphSession::new(&g, set(), opts());
+        let mut shared = SubgraphSession::with_precomputation(&g, set(), opts(), pre);
+        let a = owned.solve();
+        let b = shared.solve();
+        assert_eq!(a.local_scores, b.local_scores);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn rejects_foreign_precomputation() {
+        let g = global();
+        let other = DiGraph::from_edges(3, &[(0, 1)]);
+        let pre = GlobalPrecomputation::compute(&other);
+        SubgraphSession::with_precomputation(
+            &g,
+            NodeSet::from_sorted(g.num_nodes(), [1, 2]),
+            opts(),
+            pre,
+        );
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property test: warm-start session re-solves agree with cold solves.
+//!
+//! A [`SubgraphSession`] re-solve starts iterating from the previous
+//! membership's converged scores instead of uniform. The iteration *path*
+//! therefore differs from a cold [`ApproxRank`] solve, so bit-identity is
+//! unattainable — but both paths contract to the same fixed point, so at
+//! a solve tolerance of 1e-12 the converged scores must agree to well
+//! within 1e-9 on every page (the serving layer's cache-consistency
+//! story relies on this: warm results are never cached, but they must be
+//! indistinguishable from cold ones to callers).
+
+use approxrank_core::{ApproxRank, SubgraphRanker, SubgraphSession};
+use approxrank_graph::{DiGraph, NodeSet, Subgraph};
+use approxrank_pagerank::PageRankOptions;
+use proptest::prelude::*;
+
+/// Random graphs over 6..40 nodes with a nonempty proper initial
+/// membership and a batch of random edits (page index, add-or-remove).
+fn graph_membership_edits() -> impl Strategy<Value = (DiGraph, Vec<u32>, Vec<(u32, bool)>)> {
+    (6usize..40).prop_flat_map(|n| {
+        let edge = (0u32..n as u32, 0u32..n as u32);
+        let edges = proptest::collection::vec(edge, 1..150);
+        let picks = proptest::collection::vec(any::<bool>(), n);
+        let edits = proptest::collection::vec((0u32..n as u32, any::<bool>()), 1..12);
+        (edges, picks, edits).prop_map(move |(es, picks, edits)| {
+            let g = DiGraph::from_edges(n, &es);
+            let mut members: Vec<u32> = (0..n as u32).filter(|&u| picks[u as usize]).collect();
+            if members.is_empty() {
+                members.push(0);
+            }
+            if members.len() == n {
+                members.pop();
+            }
+            (g, members, edits)
+        })
+    })
+}
+
+fn tight() -> PageRankOptions {
+    PageRankOptions::paper().with_tolerance(1e-12)
+}
+
+/// Applies one edit to the session and mirrors it in `members`, skipping
+/// edits the session's preconditions reject (already-member adds,
+/// non-member removes, emptying or completing the membership).
+fn apply_edit(
+    session: &mut SubgraphSession,
+    members: &mut Vec<u32>,
+    global: &DiGraph,
+    page: u32,
+    add: bool,
+) {
+    let present = members.binary_search(&page);
+    match (add, present) {
+        (true, Err(pos)) if members.len() + 1 < global.num_nodes() => {
+            session.add_pages(global, &[page]);
+            members.insert(pos, page);
+        }
+        (false, Ok(pos)) if members.len() > 1 => {
+            session.remove_pages(global, &[page]);
+            members.remove(pos);
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn warm_resolves_match_cold_solves((g, initial, edits) in graph_membership_edits()) {
+        let mut members = initial.clone();
+        let mut session = SubgraphSession::new(
+            &g,
+            NodeSet::from_sorted(g.num_nodes(), initial),
+            tight(),
+        );
+        // Converge the initial membership so every later solve is warm.
+        session.solve();
+
+        for (page, add) in edits {
+            apply_edit(&mut session, &mut members, &g, page, add);
+            // The session keeps members in insertion order; compare as sets
+            // and match scores up by global page id, not position.
+            let mut session_sorted = session.members().to_vec();
+            session_sorted.sort_unstable();
+            prop_assert_eq!(&session_sorted, &members);
+            let warm = session.solve();
+
+            let set = NodeSet::from_sorted(g.num_nodes(), members.clone());
+            let sub = Subgraph::extract(&g, set);
+            let cold = ApproxRank::new(tight()).rank(&g, &sub);
+
+            prop_assert_eq!(warm.local_scores.len(), cold.local_scores.len());
+            let warm_by_id: std::collections::HashMap<u32, f64> = session
+                .members()
+                .iter()
+                .copied()
+                .zip(warm.local_scores.iter().copied())
+                .collect();
+            for (&page, c) in members.iter().zip(&cold.local_scores) {
+                let w = warm_by_id[&page];
+                prop_assert!(
+                    (w - c).abs() < 1e-9,
+                    "page {}: warm {} vs cold {}",
+                    page, w, c
+                );
+            }
+            let (wl, cl) = (warm.lambda_score.unwrap(), cold.lambda_score.unwrap());
+            prop_assert!((wl - cl).abs() < 1e-9, "lambda: warm {wl} vs cold {cl}");
+            prop_assert!(warm.converged && cold.converged);
+        }
+    }
+}

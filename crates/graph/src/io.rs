@@ -177,6 +177,14 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<DiGraph, GraphError> {
     if stored != checksum {
         return Err(GraphError::InvalidFormat("checksum mismatch".into()));
     }
+    // A well-formed file ends exactly at the checksum; leftover bytes mean
+    // the header undercounted (e.g. a truncated rewrite over a longer
+    // file) and the part we read is not trustworthy.
+    if reader.read(&mut [0u8; 1])? != 0 {
+        return Err(GraphError::InvalidFormat(
+            "trailing bytes after checksum".into(),
+        ));
+    }
     let csr = Csr::from_parts(offsets, targets).map_err(GraphError::InvalidFormat)?;
     Ok(DiGraph::from_csr(csr))
 }

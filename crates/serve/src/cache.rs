@@ -1,0 +1,231 @@
+//! The sharded result cache.
+//!
+//! `/rank` answers are memoized keyed by (algorithm, solver options,
+//! membership). The map is split into shards, each behind its own mutex,
+//! so concurrent workers rarely contend; each shard is an O(1)
+//! [`Lru`]. Hit/miss/eviction/invalidation counters are
+//! lock-free and feed `/metrics`.
+//!
+//! Entries store the *full* key, not just its hash — a 64-bit collision
+//! must never serve one subgraph's scores for another.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::lru::Lru;
+
+/// Identifies one cacheable ranking computation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Algorithm discriminant (see `handlers::Algorithm`).
+    pub algorithm: u8,
+    /// `f64::to_bits` of the damping factor.
+    pub damping_bits: u64,
+    /// `f64::to_bits` of the tolerance.
+    pub tolerance_bits: u64,
+    /// Sorted, deduplicated member ids. `Arc` keeps key clones cheap —
+    /// the key is cloned into the shard on insert.
+    pub members: Arc<[u32]>,
+}
+
+/// A memoized ranking answer.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// `(global page id, score)` in member order.
+    pub scores: Arc<Vec<(u32, f64)>>,
+    /// The external node Λ's score, when the algorithm has one.
+    pub lambda: Option<f64>,
+    /// Iterations the solve took.
+    pub iterations: usize,
+    /// Whether the solve converged.
+    pub converged: bool,
+}
+
+/// Point-in-time counters for `/stats` and `/metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by LRU pressure.
+    pub evictions: u64,
+    /// Entries removed by explicit invalidation.
+    pub invalidations: u64,
+    /// Current live entries across all shards.
+    pub entries: usize,
+    /// Total capacity across all shards.
+    pub capacity: usize,
+}
+
+/// A fixed-shard LRU cache of ranking results.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Lru<CacheKey, CachedResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Shard count: a power of two comfortably above any worker count this
+/// service runs with.
+const SHARDS: usize = 16;
+
+impl ShardedCache {
+    /// A cache bounded at roughly `total_entries` across 16 shards
+    /// (each shard holds at least one entry).
+    pub fn new(total_entries: usize) -> Self {
+        let per_shard = total_entries.div_ceil(SHARDS).max(1);
+        ShardedCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Lru<CacheKey, CachedResult>> {
+        self.shards[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a key, updating recency and the hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        let got = self.lock_shard(self.shard_of(key)).get(key).cloned();
+        match got {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a result, possibly evicting the shard's LRU entry.
+    pub fn insert(&self, key: CacheKey, value: CachedResult) {
+        let evicted = self.lock_shard(self.shard_of(&key)).insert(key, value);
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops the entry for `key`, if present. Sessions call this when a
+    /// membership they previously published mutates.
+    pub fn invalidate(&self, key: &CacheKey) -> bool {
+        let removed = self.lock_shard(self.shard_of(key)).remove(key).is_some();
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut capacity = 0;
+        for idx in 0..self.shards.len() {
+            let shard = self.lock_shard(idx);
+            entries += shard.len();
+            capacity += shard.capacity();
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries,
+            capacity,
+        }
+    }
+}
+
+/// Builds the canonical key for a computation: members must already be
+/// sorted and deduplicated (the handler's `NodeSet` pass guarantees it).
+pub fn cache_key(algorithm: u8, damping: f64, tolerance: f64, members: &[u32]) -> CacheKey {
+    debug_assert!(
+        members.windows(2).all(|w| w[0] < w[1]),
+        "members not sorted"
+    );
+    CacheKey {
+        algorithm,
+        damping_bits: damping.to_bits(),
+        tolerance_bits: tolerance.to_bits(),
+        members: members.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: usize) -> CachedResult {
+        CachedResult {
+            scores: Arc::new(vec![(tag as u32, 0.5)]),
+            lambda: Some(0.5),
+            iterations: tag,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = ShardedCache::new(64);
+        let key = cache_key(0, 0.85, 1e-5, &[1, 2, 3]);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), result(7));
+        let got = cache.get(&key).unwrap();
+        assert_eq!(got.iterations, 7);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_keys() {
+        let cache = ShardedCache::new(64);
+        let a = cache_key(0, 0.85, 1e-5, &[1, 2]);
+        let b = cache_key(0, 0.9, 1e-5, &[1, 2]);
+        let c = cache_key(1, 0.85, 1e-5, &[1, 2]);
+        let d = cache_key(0, 0.85, 1e-5, &[1, 2, 3]);
+        cache.insert(a.clone(), result(1));
+        for other in [&b, &c, &d] {
+            assert!(cache.get(other).is_none());
+        }
+        assert_eq!(cache.get(&a).unwrap().iterations, 1);
+    }
+
+    #[test]
+    fn invalidation_removes_and_counts() {
+        let cache = ShardedCache::new(64);
+        let key = cache_key(0, 0.85, 1e-5, &[4, 5]);
+        cache.insert(key.clone(), result(1));
+        assert!(cache.invalidate(&key));
+        assert!(!cache.invalidate(&key));
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        // Tiny cache: one entry per shard.
+        let cache = ShardedCache::new(1);
+        for i in 0..200u32 {
+            cache.insert(cache_key(0, 0.85, 1e-5, &[i]), result(i as usize));
+        }
+        let s = cache.stats();
+        assert!(s.evictions > 0, "{s:?}");
+        assert!(s.entries <= s.capacity);
+    }
+}

@@ -1,0 +1,955 @@
+//! Request routing and the endpoint implementations.
+//!
+//! Every handler is a pure function of (`AppState`, [`Request`]) →
+//! [`Response`]; the transport loop in [`crate::server`] owns timeouts,
+//! keep-alive, and panic containment. `/rank` answers are *bit-identical*
+//! to the offline `subrank rank` CLI for the same members and options:
+//! both sides call the same `SubgraphRanker::rank` entry points, and the
+//! cache only ever stores those cold-solve results (warm session solves
+//! never enter it).
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use approxrank_core::baselines::{LocalPageRank, Lpr2};
+use approxrank_core::{
+    ApproxRank, IdealRank, StochasticComplementation, SubgraphRanker, SubgraphSession,
+};
+use approxrank_graph::{NodeSet, Subgraph};
+use approxrank_pagerank::{pagerank, PageRankOptions};
+use approxrank_trace::Observer;
+
+use crate::cache::{cache_key, CacheKey, CachedResult};
+use crate::http::{Request, Response};
+use crate::json::{obj, parse, Json};
+use crate::metrics::Endpoint;
+use crate::state::{AppState, ServerSession};
+
+/// Which ranking algorithm a `/rank` request selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// ApproxRank (the default).
+    ApproxRank,
+    /// IdealRank over lazily computed global PageRank scores.
+    IdealRank,
+    /// Local PageRank baseline.
+    Local,
+    /// LPR2 baseline.
+    Lpr2,
+    /// Stochastic complementation baseline.
+    Sc,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "approxrank" => Ok(Algorithm::ApproxRank),
+            "idealrank" => Ok(Algorithm::IdealRank),
+            "local" => Ok(Algorithm::Local),
+            "lpr2" => Ok(Algorithm::Lpr2),
+            "sc" => Ok(Algorithm::Sc),
+            other => Err(format!(
+                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc)"
+            )),
+        }
+    }
+
+    /// Stable discriminant for cache keys.
+    pub fn code(self) -> u8 {
+        match self {
+            Algorithm::ApproxRank => 0,
+            Algorithm::IdealRank => 1,
+            Algorithm::Local => 2,
+            Algorithm::Lpr2 => 3,
+            Algorithm::Sc => 4,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Algorithm::ApproxRank => "approxrank",
+            Algorithm::IdealRank => "idealrank",
+            Algorithm::Local => "local",
+            Algorithm::Lpr2 => "lpr2",
+            Algorithm::Sc => "sc",
+        }
+    }
+}
+
+/// Routes a request to its handler and returns the response together
+/// with the endpoint label for metrics.
+pub fn route(state: &AppState, request: &Request) -> (Endpoint, Response) {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz()),
+        ("GET", "/stats") => (Endpoint::Stats, stats(state)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
+        ("POST", "/rank") => (Endpoint::Rank, rank(state, request)),
+        ("POST", "/session") => (Endpoint::SessionCreate, session_create(state, request)),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/session/") {
+                return route_session(state, request, method, rest);
+            }
+            let status = if matches!(
+                path,
+                "/healthz" | "/stats" | "/metrics" | "/rank" | "/session"
+            ) {
+                405
+            } else {
+                404
+            };
+            (
+                Endpoint::Other,
+                Response::error(status, &format!("no route for {method} {path}")),
+            )
+        }
+    }
+}
+
+fn route_session(
+    state: &AppState,
+    request: &Request,
+    method: &str,
+    rest: &str,
+) -> (Endpoint, Response) {
+    let (id_text, action) = match rest.split_once('/') {
+        None => (rest, ""),
+        Some((id, action)) => (id, action),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (
+            Endpoint::Other,
+            Response::error(400, &format!("bad session id {id_text:?}")),
+        );
+    };
+    match (method, action) {
+        ("POST", "update") => (Endpoint::SessionUpdate, session_update(state, id, request)),
+        ("GET", "") => (Endpoint::SessionGet, session_get(state, id)),
+        ("DELETE", "") => (Endpoint::SessionDelete, session_delete(state, id)),
+        _ => (
+            Endpoint::Other,
+            Response::error(404, &format!("no route for {method} /session/{rest}")),
+        ),
+    }
+}
+
+fn healthz() -> Response {
+    Response::json(200, obj(vec![("status", Json::Str("ok".into()))]).emit())
+}
+
+fn stats(state: &AppState) -> Response {
+    let cache = state.cache.stats();
+    let body = obj(vec![
+        (
+            "graph",
+            obj(vec![
+                ("nodes", Json::Num(state.graph.num_nodes() as f64)),
+                ("edges", Json::Num(state.graph.num_edges() as f64)),
+                (
+                    "dangling",
+                    Json::Num(state.precomputation.num_dangling() as f64),
+                ),
+            ]),
+        ),
+        (
+            "cache",
+            obj(vec![
+                ("entries", Json::Num(cache.entries as f64)),
+                ("capacity", Json::Num(cache.capacity as f64)),
+                ("hits", Json::Num(cache.hits as f64)),
+                ("misses", Json::Num(cache.misses as f64)),
+                ("evictions", Json::Num(cache.evictions as f64)),
+                ("invalidations", Json::Num(cache.invalidations as f64)),
+            ]),
+        ),
+        ("sessions_open", Json::Num(state.session_count() as f64)),
+        (
+            "requests_total",
+            Json::Num(state.metrics.total_requests() as f64),
+        ),
+        ("uptime_seconds", Json::Num(state.metrics.uptime_seconds())),
+        ("threads", Json::Num(state.config.threads as f64)),
+    ]);
+    Response::json(200, body.emit())
+}
+
+fn metrics(state: &AppState) -> Response {
+    let cache = state.cache.stats();
+    let mut extra = String::new();
+    extra.push_str(&format!(
+        "approxrank_graph_nodes {}\napproxrank_graph_edges {}\n",
+        state.graph.num_nodes(),
+        state.graph.num_edges()
+    ));
+    extra.push_str(&format!(
+        "approxrank_cache_hits_total {}\napproxrank_cache_misses_total {}\n\
+         approxrank_cache_evictions_total {}\napproxrank_cache_invalidations_total {}\n\
+         approxrank_cache_entries {}\napproxrank_cache_capacity {}\n",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.invalidations,
+        cache.entries,
+        cache.capacity
+    ));
+    extra.push_str(&format!(
+        "approxrank_sessions_open {}\n",
+        state.session_count()
+    ));
+    if let Some(pool) = state.pool_stats() {
+        extra.push_str(&format!(
+            "pool_threads {}\npool_jobs {}\npool_tasks {}\npool_imbalance {:?}\n",
+            pool.threads,
+            pool.jobs,
+            pool.tasks,
+            pool.imbalance()
+        ));
+        for (lane, busy) in pool.busy_ns.iter().enumerate() {
+            extra.push_str(&format!(
+                "pool_worker_busy_ms{{lane=\"{lane}\"}} {:?}\n",
+                *busy as f64 / 1e6
+            ));
+        }
+    }
+    Response::text(200, state.metrics.render(&extra))
+}
+
+/// Shared request-body schema of `/rank` and `/session`.
+struct RankParams {
+    members: Vec<u32>,
+    algorithm: Algorithm,
+    damping: f64,
+    tolerance: f64,
+    top: usize,
+}
+
+fn parse_members(state: &AppState, body: &Json) -> Result<Vec<u32>, String> {
+    let items = body
+        .get("members")
+        .ok_or("missing \"members\"")?
+        .as_array()
+        .ok_or("\"members\" must be an array")?;
+    if items.is_empty() {
+        return Err("\"members\" must be non-empty".into());
+    }
+    let n = state.graph.num_nodes();
+    let mut members = Vec::with_capacity(items.len());
+    for item in items {
+        let id = item
+            .as_u64()
+            .ok_or_else(|| format!("bad member {}", item.emit()))?;
+        if id as usize >= n {
+            return Err(format!("member {id} out of range (graph has {n} nodes)"));
+        }
+        members.push(id as u32);
+    }
+    members.sort_unstable();
+    members.dedup();
+    if members.len() == n {
+        return Err("subgraph must be a proper subset of the graph".into());
+    }
+    Ok(members)
+}
+
+fn parse_rank_params(state: &AppState, raw: &[u8]) -> Result<RankParams, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "body is not utf-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("empty body; expected a JSON object".into());
+    }
+    let body = parse(text)?;
+    let members = parse_members(state, &body)?;
+    let algorithm = match body.get("algorithm") {
+        None => Algorithm::ApproxRank,
+        Some(v) => Algorithm::parse(v.as_str().ok_or("\"algorithm\" must be a string")?)?,
+    };
+    let damping = match body.get("damping") {
+        None => 0.85,
+        Some(v) => v.as_f64().ok_or("\"damping\" must be a number")?,
+    };
+    if !(damping > 0.0 && damping < 1.0) {
+        return Err(format!("damping must be in (0,1), got {damping}"));
+    }
+    let tolerance = match body.get("tolerance") {
+        None => 1e-5,
+        Some(v) => v.as_f64().ok_or("\"tolerance\" must be a number")?,
+    };
+    if !(tolerance > 0.0 && tolerance.is_finite()) {
+        return Err(format!("tolerance must be positive, got {tolerance}"));
+    }
+    let top = match body.get("top") {
+        None => 0,
+        Some(v) => v.as_u64().ok_or("\"top\" must be a non-negative integer")? as usize,
+    };
+    Ok(RankParams {
+        members,
+        algorithm,
+        damping,
+        tolerance,
+        top,
+    })
+}
+
+fn options_for(damping: f64, tolerance: f64) -> PageRankOptions {
+    PageRankOptions::paper()
+        .with_damping(damping)
+        .with_tolerance(tolerance)
+}
+
+/// Global PageRank scores for IdealRank, computed once per process.
+fn global_scores(state: &AppState) -> &Vec<f64> {
+    state.global_scores.get_or_init(|| {
+        let obs: &dyn Observer = &state.metrics;
+        let _span = obs.span("serve.global_pagerank");
+        pagerank(
+            &state.graph,
+            &PageRankOptions::paper().with_tolerance(1e-10),
+        )
+        .scores
+    })
+}
+
+/// Runs the cold solve exactly the way the CLI does — same constructors,
+/// same entry point — so served scores match offline scores bitwise.
+fn solve_cold(state: &AppState, params: &RankParams) -> CachedResult {
+    let options = options_for(params.damping, params.tolerance);
+    let ranker: Box<dyn SubgraphRanker> = match params.algorithm {
+        Algorithm::ApproxRank => Box::new(ApproxRank::new(options)),
+        Algorithm::Local => Box::new(LocalPageRank::new(options)),
+        Algorithm::Lpr2 => Box::new(Lpr2::new(options)),
+        Algorithm::Sc => Box::new(StochasticComplementation {
+            options,
+            ..StochasticComplementation::default()
+        }),
+        Algorithm::IdealRank => Box::new(IdealRank {
+            options,
+            global_scores: global_scores(state).clone(),
+        }),
+    };
+    let nodes = NodeSet::from_sorted(state.graph.num_nodes(), params.members.iter().copied());
+    let subgraph = Subgraph::extract(&state.graph, nodes);
+    let obs: &dyn Observer = &state.metrics;
+    let result = ranker.rank_observed(&state.graph, &subgraph, obs);
+    CachedResult {
+        scores: Arc::new(
+            params
+                .members
+                .iter()
+                .copied()
+                .zip(result.local_scores.iter().copied())
+                .collect(),
+        ),
+        lambda: result.lambda_score,
+        iterations: result.iterations,
+        converged: result.converged,
+    }
+}
+
+fn scores_json(scores: &[(u32, f64)], top: usize) -> Json {
+    let mut pairs: Vec<(u32, f64)> = scores.to_vec();
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let take = if top == 0 {
+        pairs.len()
+    } else {
+        top.min(pairs.len())
+    };
+    Json::Arr(
+        pairs
+            .into_iter()
+            .take(take)
+            .map(|(page, score)| {
+                obj(vec![
+                    ("page", Json::Num(page as f64)),
+                    ("score", Json::Num(score)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn result_body(
+    algorithm: &str,
+    result: &CachedResult,
+    top: usize,
+    cached: bool,
+    extra: Vec<(&str, Json)>,
+) -> Json {
+    let mut pairs = vec![
+        ("algorithm", Json::Str(algorithm.into())),
+        ("converged", Json::Bool(result.converged)),
+        ("iterations", Json::Num(result.iterations as f64)),
+        ("lambda", result.lambda.map(Json::Num).unwrap_or(Json::Null)),
+        ("cached", Json::Bool(cached)),
+        ("scores", scores_json(&result.scores, top)),
+    ];
+    pairs.extend(extra);
+    obj(pairs)
+}
+
+fn rank(state: &AppState, request: &Request) -> Response {
+    let params = match parse_rank_params(state, &request.body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e),
+    };
+    let obs: &dyn Observer = &state.metrics;
+    let _span = obs.span("http.rank");
+    let key = cache_key(
+        params.algorithm.code(),
+        params.damping,
+        params.tolerance,
+        &params.members,
+    );
+    if let Some(hit) = state.cache.get(&key) {
+        return Response::json(
+            200,
+            result_body(params.algorithm.name(), &hit, params.top, true, vec![]).emit(),
+        );
+    }
+    let result = solve_cold(state, &params);
+    state.cache.insert(key, result.clone());
+    Response::json(
+        200,
+        result_body(params.algorithm.name(), &result, params.top, false, vec![]).emit(),
+    )
+}
+
+/// The cache key a session's current membership would occupy. Sessions
+/// always solve with ApproxRank.
+fn session_cache_key(session: &ServerSession) -> CacheKey {
+    cache_key(
+        Algorithm::ApproxRank.code(),
+        session.damping,
+        session.tolerance,
+        session.session.members(),
+    )
+}
+
+fn session_create(state: &AppState, request: &Request) -> Response {
+    let params = match parse_rank_params(state, &request.body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e),
+    };
+    if params.algorithm != Algorithm::ApproxRank {
+        return Response::error(400, "sessions support only algorithm \"approxrank\"");
+    }
+    let obs: &dyn Observer = &state.metrics;
+    let _span = obs.span("http.session_create");
+    let nodes = NodeSet::from_sorted(state.graph.num_nodes(), params.members.iter().copied());
+    let mut session = ServerSession {
+        session: SubgraphSession::with_precomputation(
+            &state.graph,
+            nodes,
+            options_for(params.damping, params.tolerance),
+            state.precomputation.clone(),
+        ),
+        published_key: None,
+        damping: params.damping,
+        tolerance: params.tolerance,
+    };
+    let scores = session.session.solve();
+    session.published_key = Some(session_cache_key(&session));
+    let result = CachedResult {
+        scores: Arc::new(
+            params
+                .members
+                .iter()
+                .copied()
+                .zip(scores.local_scores.iter().copied())
+                .collect(),
+        ),
+        lambda: scores.lambda_score,
+        iterations: scores.iterations,
+        converged: scores.converged,
+    };
+    let id = state.next_session_id.fetch_add(1, Ordering::Relaxed);
+    state
+        .lock_sessions()
+        .insert(id, Arc::new(Mutex::new(session)));
+    Response::json(
+        200,
+        result_body(
+            "approxrank",
+            &result,
+            params.top,
+            false,
+            vec![
+                ("id", Json::Num(id as f64)),
+                ("members", Json::Num(params.members.len() as f64)),
+            ],
+        )
+        .emit(),
+    )
+}
+
+fn find_session(state: &AppState, id: u64) -> Option<Arc<Mutex<ServerSession>>> {
+    state.lock_sessions().get(&id).cloned()
+}
+
+fn parse_id_list(state: &AppState, body: &Json, field: &str) -> Result<Vec<u32>, String> {
+    let Some(value) = body.get(field) else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("{field:?} must be an array"))?;
+    let n = state.graph.num_nodes();
+    let mut ids = Vec::with_capacity(items.len());
+    for item in items {
+        let id = item
+            .as_u64()
+            .ok_or_else(|| format!("bad id {} in {field:?}", item.emit()))?;
+        if id as usize >= n {
+            return Err(format!("id {id} out of range (graph has {n} nodes)"));
+        }
+        ids.push(id as u32);
+    }
+    Ok(ids)
+}
+
+fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
+    let Some(entry) = find_session(state, id) else {
+        return Response::error(404, &format!("no session {id}"));
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) if !t.trim().is_empty() => t,
+        _ => return Response::error(400, "empty body; expected {\"add\":[…],\"remove\":[…]}"),
+    };
+    let body = match parse(text) {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e),
+    };
+    let add = match parse_id_list(state, &body, "add") {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e),
+    };
+    let remove = match parse_id_list(state, &body, "remove") {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e),
+    };
+    let top = match body.get("top").map(|v| v.as_u64()) {
+        None => 0,
+        Some(Some(v)) => v as usize,
+        Some(None) => return Response::error(400, "\"top\" must be a non-negative integer"),
+    };
+
+    let obs: &dyn Observer = &state.metrics;
+    let _span = obs.span("http.session_update");
+    let mut session = entry.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Refuse an update that would empty the membership (`remove_pages`
+    // would panic; the transport must answer 400 instead).
+    {
+        let drop: std::collections::HashSet<u32> = remove.iter().copied().collect();
+        let survivors = session
+            .session
+            .members()
+            .iter()
+            .filter(|m| !drop.contains(m))
+            .count()
+            + add
+                .iter()
+                .filter(|a| !session.session.members().contains(a) && !drop.contains(a))
+                .count();
+        if survivors == 0 {
+            return Response::error(400, "update would empty the subgraph");
+        }
+    }
+
+    // The membership is about to change: whatever this session published
+    // under its previous membership no longer describes a live view.
+    if let Some(key) = session.published_key.take() {
+        state.cache.invalidate(&key);
+    }
+    if !add.is_empty() {
+        session.session.add_pages(&state.graph, &add);
+    }
+    if !remove.is_empty() {
+        session.session.remove_pages(&state.graph, &remove);
+    }
+    let scores = session.session.solve();
+    // Also clear any cold `/rank` entry for the *new* membership: the
+    // session now owns this view, and its next mutation must not leave a
+    // stale mixture behind.
+    let new_key = session_cache_key(&session);
+    state.cache.invalidate(&new_key);
+    session.published_key = Some(new_key);
+
+    let members = session.session.members().to_vec();
+    let result = CachedResult {
+        scores: Arc::new(
+            members
+                .iter()
+                .copied()
+                .zip(scores.local_scores.iter().copied())
+                .collect(),
+        ),
+        lambda: scores.lambda_score,
+        iterations: scores.iterations,
+        converged: scores.converged,
+    };
+    Response::json(
+        200,
+        result_body(
+            "approxrank",
+            &result,
+            top,
+            false,
+            vec![
+                ("id", Json::Num(id as f64)),
+                ("members", Json::Num(members.len() as f64)),
+                ("warm_start", Json::Bool(true)),
+            ],
+        )
+        .emit(),
+    )
+}
+
+fn session_get(state: &AppState, id: u64) -> Response {
+    let Some(entry) = find_session(state, id) else {
+        return Response::error(404, &format!("no session {id}"));
+    };
+    let session = entry.lock().unwrap_or_else(|e| e.into_inner());
+    let body = obj(vec![
+        ("id", Json::Num(id as f64)),
+        (
+            "members",
+            Json::Arr(
+                session
+                    .session
+                    .members()
+                    .iter()
+                    .map(|&m| Json::Num(m as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "last_iterations",
+            Json::Num(session.session.last_iterations() as f64),
+        ),
+        ("damping", Json::Num(session.damping)),
+        ("tolerance", Json::Num(session.tolerance)),
+    ]);
+    Response::json(200, body.emit())
+}
+
+fn session_delete(state: &AppState, id: u64) -> Response {
+    let Some(entry) = state.lock_sessions().remove(&id) else {
+        return Response::error(404, &format!("no session {id}"));
+    };
+    let session = entry.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(key) = &session.published_key {
+        state.cache.invalidate(key);
+    }
+    Response::json(
+        200,
+        obj(vec![
+            ("id", Json::Num(id as f64)),
+            ("deleted", Json::Bool(true)),
+        ])
+        .emit(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServeConfig;
+    use approxrank_graph::DiGraph;
+
+    fn fig4_state() -> AppState {
+        // The paper's Figure 4 graph: locals A–D (0–3), externals X–Z.
+        let graph = DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        );
+        AppState::new(graph, ServeConfig::default())
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    fn body_json(r: &Response) -> Json {
+        parse(std::str::from_utf8(&r.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_stats() {
+        let state = fig4_state();
+        let (_, r) = route(&state, &get("/healthz"));
+        assert_eq!(r.status, 200);
+        let (_, r) = route(&state, &get("/stats"));
+        assert_eq!(r.status, 200);
+        let v = body_json(&r);
+        assert_eq!(
+            v.get("graph").unwrap().get("nodes").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn rank_matches_offline_bitwise_and_caches() {
+        let state = fig4_state();
+        let req = post("/rank", r#"{"members":[0,1,2,3],"tolerance":1e-8}"#);
+        let (_, first) = route(&state, &req);
+        assert_eq!(first.status, 200, "{:?}", first.body);
+        let v1 = body_json(&first);
+        assert_eq!(v1.get("cached").unwrap().as_bool(), Some(false));
+
+        // Offline reference: the same call the CLI makes.
+        let options = PageRankOptions::paper().with_tolerance(1e-8);
+        let nodes = NodeSet::from_sorted(7, [0u32, 1, 2, 3]);
+        let sub = Subgraph::extract(&state.graph, nodes);
+        let offline = ApproxRank::new(options).rank(&state.graph, &sub);
+        let mut by_page: Vec<(u64, f64)> = v1
+            .get("scores")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| {
+                (
+                    s.get("page").unwrap().as_u64().unwrap(),
+                    s.get("score").unwrap().as_f64().unwrap(),
+                )
+            })
+            .collect();
+        by_page.sort_by_key(|&(p, _)| p);
+        for (i, &(page, score)) in by_page.iter().enumerate() {
+            assert_eq!(page, i as u64);
+            assert_eq!(
+                score.to_bits(),
+                offline.local_scores[i].to_bits(),
+                "page {page} differs from offline solve"
+            );
+        }
+
+        // Second identical request: served from cache, same bits.
+        let (_, second) = route(&state, &req);
+        let v2 = body_json(&second);
+        assert_eq!(v2.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v1.get("scores"), v2.get("scores"));
+        assert_eq!(state.cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn rank_validates_input() {
+        let state = fig4_state();
+        for (body, needle) in [
+            ("", "empty body"),
+            ("{not json", "expected"),
+            (r#"{"members":[]}"#, "non-empty"),
+            (r#"{"members":[99]}"#, "out of range"),
+            (r#"{"members":[0,1,2,3,4,5,6]}"#, "proper subset"),
+            (
+                r#"{"members":[0],"algorithm":"bogus"}"#,
+                "unknown algorithm",
+            ),
+            (r#"{"members":[0],"damping":1.5}"#, "damping"),
+            (r#"{"members":[0],"tolerance":-1}"#, "tolerance"),
+            (r#"{"members":"zero"}"#, "array"),
+        ] {
+            let (_, r) = route(&state, &post("/rank", body));
+            assert_eq!(r.status, 400, "{body}");
+            let msg = body_json(&r);
+            assert!(
+                msg.get("error").unwrap().as_str().unwrap().contains(needle),
+                "{body} → {:?}",
+                msg
+            );
+        }
+    }
+
+    #[test]
+    fn every_algorithm_ranks() {
+        let state = fig4_state();
+        for algo in ["approxrank", "idealrank", "local", "lpr2", "sc"] {
+            let (_, r) = route(
+                &state,
+                &post(
+                    "/rank",
+                    &format!(r#"{{"members":[0,1,2,3],"algorithm":"{algo}"}}"#),
+                ),
+            );
+            assert_eq!(
+                r.status,
+                200,
+                "{algo}: {:?}",
+                String::from_utf8_lossy(&r.body)
+            );
+            let v = body_json(&r);
+            assert_eq!(v.get("scores").unwrap().as_array().unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn top_truncates() {
+        let state = fig4_state();
+        let (_, r) = route(&state, &post("/rank", r#"{"members":[0,1,2,3],"top":2}"#));
+        let v = body_json(&r);
+        let scores = v.get("scores").unwrap().as_array().unwrap();
+        assert_eq!(scores.len(), 2);
+        // Descending by score.
+        assert!(
+            scores[0].get("score").unwrap().as_f64().unwrap()
+                >= scores[1].get("score").unwrap().as_f64().unwrap()
+        );
+    }
+
+    #[test]
+    fn session_lifecycle_with_invalidation() {
+        let state = fig4_state();
+        // A cold /rank seeds a cache entry for the membership the session
+        // will mutate — the update must evict it.
+        let (_, seeded) = route(
+            &state,
+            &post("/rank", r#"{"members":[0,1,2],"tolerance":1e-9}"#),
+        );
+        assert_eq!(seeded.status, 200);
+        assert_eq!(state.cache.stats().entries, 1);
+
+        let (_, created) = route(
+            &state,
+            &post("/session", r#"{"members":[0,1,2],"tolerance":1e-9}"#),
+        );
+        assert_eq!(created.status, 200);
+        let id = body_json(&created).get("id").unwrap().as_u64().unwrap();
+        assert_eq!(state.session_count(), 1);
+
+        // Update: add a page, drop a page; warm start re-solve.
+        let (_, updated) = route(
+            &state,
+            &post(
+                &format!("/session/{id}/update"),
+                r#"{"add":[3],"remove":[0]}"#,
+            ),
+        );
+        assert_eq!(
+            updated.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&updated.body)
+        );
+        let v = body_json(&updated);
+        assert_eq!(v.get("members").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("warm_start").unwrap().as_bool(), Some(true));
+        assert!(state.cache.stats().invalidations >= 1);
+
+        // The warm scores match a cold session solve within tolerance.
+        let (_, got) = route(&state, &get(&format!("/session/{id}")));
+        let members: Vec<u64> = body_json(&got)
+            .get("members")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|m| m.as_u64().unwrap())
+            .collect();
+        assert_eq!(members, vec![1, 2, 3]);
+
+        let (_, deleted) = route(&state, &get_delete(&format!("/session/{id}")));
+        assert_eq!(deleted.status, 200);
+        assert_eq!(state.session_count(), 0);
+        let (_, gone) = route(&state, &get(&format!("/session/{id}")));
+        assert_eq!(gone.status, 404);
+    }
+
+    fn get_delete(path: &str) -> Request {
+        Request {
+            method: "DELETE".into(),
+            path: path.into(),
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn session_update_rejects_emptying_and_bad_ids() {
+        let state = fig4_state();
+        let (_, created) = route(&state, &post("/session", r#"{"members":[1,2]}"#));
+        let id = body_json(&created).get("id").unwrap().as_u64().unwrap();
+        let (_, r) = route(
+            &state,
+            &post(&format!("/session/{id}/update"), r#"{"remove":[1,2]}"#),
+        );
+        assert_eq!(r.status, 400);
+        let (_, r) = route(
+            &state,
+            &post(&format!("/session/{id}/update"), r#"{"add":[999]}"#),
+        );
+        assert_eq!(r.status, 400);
+        // Session still healthy afterwards.
+        let (_, r) = route(
+            &state,
+            &post(&format!("/session/{id}/update"), r#"{"add":[3]}"#),
+        );
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn session_rejects_non_approxrank() {
+        let state = fig4_state();
+        let (_, r) = route(
+            &state,
+            &post("/session", r#"{"members":[0,1],"algorithm":"sc"}"#),
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_404_known_paths_405() {
+        let state = fig4_state();
+        let (_, r) = route(&state, &get("/nope"));
+        assert_eq!(r.status, 404);
+        let (_, r) = route(&state, &post("/healthz", ""));
+        assert_eq!(r.status, 405);
+        let (_, r) = route(&state, &get("/session/abc"));
+        assert_eq!(r.status, 400);
+        let (_, r) = route(&state, &get("/session/12345"));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn metrics_exposes_cache_and_solver_telemetry() {
+        let state = fig4_state();
+        let (_, _) = route(&state, &post("/rank", r#"{"members":[0,1,2,3]}"#));
+        let (endpoint, r) = route(&state, &get("/metrics"));
+        assert_eq!(endpoint.label(), "metrics");
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("approxrank_cache_misses_total 1"), "{text}");
+        assert!(text.contains("approxrank_graph_nodes 7"), "{text}");
+        assert!(text.contains("span_count{name=\"http.rank\"} 1"), "{text}");
+        // The solver streamed its iteration events into the registry.
+        assert!(text.contains("solver_iterations_total"), "{text}");
+    }
+}

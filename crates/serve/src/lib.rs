@@ -1,0 +1,54 @@
+//! `approxrank-serve`: a zero-dependency ranking service.
+//!
+//! Serves the workspace's subgraph-ranking algorithms over HTTP/1.1 on
+//! nothing but `std`: a hand-rolled server ([`Server`]) over
+//! `std::net::TcpListener` with a bounded accept queue, per-connection
+//! timeouts, and worker lanes driven by an [`approxrank_exec::Executor`]
+//! work pool. One global graph is loaded at startup; every request ranks
+//! a subgraph of it.
+//!
+//! # Endpoints
+//!
+//! | Route | What it does |
+//! |---|---|
+//! | `POST /rank` | Rank a member list (`approxrank`, `idealrank`, `local`, `lpr2`, `sc`); answers are cached and bit-identical to the offline CLI |
+//! | `POST /session` | Open a long-lived [`approxrank_core::SubgraphSession`] (warm-start re-solves) |
+//! | `POST /session/{id}/update` | Add/remove pages and warm-start re-solve; invalidates cache entries for the touched memberships |
+//! | `GET /session/{id}` / `DELETE /session/{id}` | Inspect / close a session |
+//! | `GET /stats` | JSON snapshot: graph shape, cache counters, open sessions |
+//! | `GET /metrics` | Text exposition: request counts/latency histograms, cache counters, `pool_*` work-pool telemetry, solver spans |
+//! | `GET /healthz` | Liveness |
+//!
+//! # Consistency
+//!
+//! `/rank` responses are *bit-identical* to `subrank rank` for the same
+//! members and options: both run the same cold-solve entry points, and
+//! the result cache only ever stores cold solves. Warm session re-solves
+//! (which converge to the same fixed point but along a different
+//! iteration path) are returned to the session's caller and **never**
+//! inserted into the shared cache; mutating a session invalidates the
+//! cache keys of both its previous and new membership.
+//!
+//! # Shutdown
+//!
+//! `SIGINT`/`SIGTERM` (via [`shutdown_on_signal`]) or
+//! [`ServerHandle::shutdown`] start a graceful drain: the listener stops
+//! accepting, in-flight requests complete and are answered with
+//! `Connection: close`, queued-but-unstarted connections are shed with
+//! 503, and [`Server::serve`] returns a [`ServeSummary`].
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod lru;
+pub mod metrics;
+pub mod server;
+pub mod state;
+
+pub use client::{Client, ClientResponse};
+pub use server::{shutdown_on_signal, ServeSummary, Server, ServerHandle};
+pub use state::{AppState, ServeConfig};

@@ -1,0 +1,397 @@
+//! Request metrics and trace aggregation for `/metrics`.
+//!
+//! [`Metrics`] is both the service's counter registry *and* an
+//! [`approxrank_trace::Observer`]: handlers open request spans through
+//! the trace API, and solvers invoked with this observer stream their
+//! `pool_*` counters/gauges and per-solver iteration events straight
+//! into the same registry. Events are folded into fixed-size aggregates
+//! on arrival, so memory stays bounded no matter how long the server
+//! runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use approxrank_trace::{Event, Observer};
+
+/// Endpoint labels for per-endpoint counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /stats`
+    Stats,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /rank`
+    Rank,
+    /// `POST /session`
+    SessionCreate,
+    /// `POST /session/{id}/update`
+    SessionUpdate,
+    /// `GET /session/{id}`
+    SessionGet,
+    /// `DELETE /session/{id}`
+    SessionDelete,
+    /// Anything unrouted.
+    Other,
+}
+
+const ENDPOINTS: [Endpoint; 9] = [
+    Endpoint::Healthz,
+    Endpoint::Stats,
+    Endpoint::Metrics,
+    Endpoint::Rank,
+    Endpoint::SessionCreate,
+    Endpoint::SessionUpdate,
+    Endpoint::SessionGet,
+    Endpoint::SessionDelete,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    fn index(self) -> usize {
+        ENDPOINTS.iter().position(|&e| e == self).expect("listed")
+    }
+
+    /// The label rendered in `/metrics`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Stats => "stats",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Rank => "rank",
+            Endpoint::SessionCreate => "session_create",
+            Endpoint::SessionUpdate => "session_update",
+            Endpoint::SessionGet => "session_get",
+            Endpoint::SessionDelete => "session_delete",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Upper bounds (microseconds) of the request latency histogram buckets;
+/// an implicit `+Inf` bucket follows.
+const LATENCY_BOUNDS_US: [u64; 8] = [100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000];
+
+#[derive(Default)]
+struct PerEndpoint {
+    requests: AtomicU64,
+    latency_sum_us: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+/// Aggregates folded out of trace events.
+#[derive(Default)]
+struct TraceAggregates {
+    /// span name → (count, total ns).
+    spans: BTreeMap<String, (u64, u64)>,
+    /// counter name → (last value, running sum).
+    counters: BTreeMap<String, (u64, u64)>,
+    /// gauge name → last value.
+    gauges: BTreeMap<String, f64>,
+    /// solver name → iteration events seen.
+    iterations: BTreeMap<String, u64>,
+}
+
+/// The registry behind `GET /metrics`.
+pub struct Metrics {
+    started: Instant,
+    per_endpoint: Vec<PerEndpoint>,
+    /// Response counts by status class index (2xx → 0, 3xx → 1, …).
+    status_classes: [AtomicU64; 4],
+    connections: AtomicU64,
+    panics: AtomicU64,
+    rejected_accepts: AtomicU64,
+    trace: Mutex<TraceAggregates>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh registry; `uptime` is measured from this call.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            per_endpoint: ENDPOINTS.iter().map(|_| PerEndpoint::default()).collect(),
+            status_classes: Default::default(),
+            connections: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            rejected_accepts: AtomicU64::new(0),
+            trace: Mutex::new(TraceAggregates::default()),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn observe_request(&self, endpoint: Endpoint, status: u16, latency_us: u64) {
+        let e = &self.per_endpoint[endpoint.index()];
+        e.requests.fetch_add(1, Ordering::Relaxed);
+        e.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| latency_us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        e.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        let class = (status / 100) as usize;
+        if (2..=5).contains(&class) {
+            self.status_classes[class - 2].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one accepted connection.
+    pub fn observe_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a handler panic (turned into a 500 by the worker).
+    pub fn observe_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed because the accept queue was full.
+    pub fn observe_rejected_accept(&self) {
+        self.rejected_accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.per_endpoint
+            .iter()
+            .map(|e| e.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total connections accepted.
+    pub fn total_connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn lock_trace(&self) -> std::sync::MutexGuard<'_, TraceAggregates> {
+        self.trace.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Renders the whole registry in the text exposition format.
+    /// `extra` lines (graph/cache/session/pool gauges computed by the
+    /// caller) are appended verbatim.
+    pub fn render(&self, extra: &str) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+        push(
+            &mut out,
+            format!("approxrank_uptime_seconds {:.3}", self.uptime_seconds()),
+        );
+        push(
+            &mut out,
+            format!("approxrank_connections_total {}", self.total_connections()),
+        );
+        push(
+            &mut out,
+            format!(
+                "approxrank_accept_rejected_total {}",
+                self.rejected_accepts.load(Ordering::Relaxed)
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "approxrank_handler_panics_total {}",
+                self.panics.load(Ordering::Relaxed)
+            ),
+        );
+        for (i, endpoint) in ENDPOINTS.iter().enumerate() {
+            let e = &self.per_endpoint[i];
+            let requests = e.requests.load(Ordering::Relaxed);
+            if requests == 0 {
+                continue;
+            }
+            let label = endpoint.label();
+            push(
+                &mut out,
+                format!("approxrank_requests_total{{endpoint=\"{label}\"}} {requests}"),
+            );
+            push(
+                &mut out,
+                format!(
+                    "approxrank_request_latency_us_sum{{endpoint=\"{label}\"}} {}",
+                    e.latency_sum_us.load(Ordering::Relaxed)
+                ),
+            );
+            let mut cumulative = 0u64;
+            for (b, bound) in LATENCY_BOUNDS_US.iter().enumerate() {
+                cumulative += e.buckets[b].load(Ordering::Relaxed);
+                push(
+                    &mut out,
+                    format!(
+                        "approxrank_request_latency_us_bucket{{endpoint=\"{label}\",le=\"{bound}\"}} {cumulative}"
+                    ),
+                );
+            }
+            cumulative += e.buckets[LATENCY_BOUNDS_US.len()].load(Ordering::Relaxed);
+            push(
+                &mut out,
+                format!(
+                    "approxrank_request_latency_us_bucket{{endpoint=\"{label}\",le=\"+Inf\"}} {cumulative}"
+                ),
+            );
+        }
+        for (class, count) in self.status_classes.iter().enumerate() {
+            let count = count.load(Ordering::Relaxed);
+            if count > 0 {
+                push(
+                    &mut out,
+                    format!(
+                        "approxrank_responses_total{{class=\"{}xx\"}} {count}",
+                        class + 2
+                    ),
+                );
+            }
+        }
+        {
+            let trace = self.lock_trace();
+            for (name, (count, total_ns)) in &trace.spans {
+                push(&mut out, format!("span_count{{name=\"{name}\"}} {count}"));
+                push(
+                    &mut out,
+                    format!("span_total_ns{{name=\"{name}\"}} {total_ns}"),
+                );
+            }
+            for (name, (last, sum)) in &trace.counters {
+                push(&mut out, format!("{name} {last}"));
+                push(&mut out, format!("{name}_sum {sum}"));
+            }
+            for (name, last) in &trace.gauges {
+                push(&mut out, format!("{name} {last:?}"));
+            }
+            for (solver, count) in &trace.iterations {
+                push(
+                    &mut out,
+                    format!("solver_iterations_total{{solver=\"{solver}\"}} {count}"),
+                );
+            }
+        }
+        out.push_str(extra);
+        out
+    }
+}
+
+impl Observer for Metrics {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        let mut trace = self.lock_trace();
+        match event {
+            Event::SpanStart { .. } => {}
+            Event::SpanEnd { name, elapsed_ns } => {
+                let entry = trace.spans.entry(name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += elapsed_ns;
+            }
+            Event::Counter { name, value } => {
+                let entry = trace.counters.entry(name).or_insert((0, 0));
+                entry.0 = value;
+                entry.1 += value;
+            }
+            Event::Gauge { name, value } => {
+                trace.gauges.insert(name, value);
+            }
+            Event::Iteration { solver, .. } => {
+                *trace.iterations.entry(solver).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_counters_render() {
+        let m = Metrics::new();
+        m.observe_request(Endpoint::Rank, 200, 1_500);
+        m.observe_request(Endpoint::Rank, 400, 50);
+        m.observe_request(Endpoint::Healthz, 200, 20);
+        let text = m.render("");
+        assert!(
+            text.contains("approxrank_requests_total{endpoint=\"rank\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("approxrank_responses_total{class=\"2xx\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("approxrank_responses_total{class=\"4xx\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("approxrank_request_latency_us_bucket{endpoint=\"rank\",le=\"100\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("approxrank_request_latency_us_bucket{endpoint=\"rank\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn trace_events_fold_into_aggregates() {
+        let m = Metrics::new();
+        let obs: &dyn Observer = &m;
+        {
+            let _span = obs.span("http.rank");
+        }
+        {
+            let _span = obs.span("http.rank");
+        }
+        obs.counter("pool_threads", 4);
+        obs.gauge("pool_imbalance", 1.25);
+        obs.iteration(approxrank_trace::IterationEvent {
+            solver: "extended",
+            iteration: 0,
+            residual: 0.1,
+            dangling_mass: 0.0,
+            elapsed_ns: 5,
+        });
+        let text = m.render("");
+        assert!(text.contains("span_count{name=\"http.rank\"} 2"), "{text}");
+        assert!(text.contains("pool_threads 4"), "{text}");
+        assert!(text.contains("pool_imbalance 1.25"), "{text}");
+        assert!(
+            text.contains("solver_iterations_total{solver=\"extended\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn extra_lines_appended() {
+        let m = Metrics::new();
+        let text = m.render("pool_threads 8\n");
+        assert!(text.ends_with("pool_threads 8\n"));
+    }
+
+    #[test]
+    fn memory_is_bounded_by_name_cardinality() {
+        let m = Metrics::new();
+        let obs: &dyn Observer = &m;
+        for _ in 0..10_000 {
+            obs.counter("pool_jobs", 1);
+        }
+        assert_eq!(m.lock_trace().counters.len(), 1);
+    }
+}

@@ -1,0 +1,411 @@
+//! The TCP transport: accept loop, worker lanes, graceful shutdown.
+//!
+//! One acceptor thread feeds a bounded connection queue; `threads` worker
+//! lanes — one long-lived task per lane on an
+//! [`approxrank_exec::Executor`] — pop connections and run keep-alive
+//! request loops. [`Server::serve`] dispatches the lanes and therefore
+//! blocks until shutdown, participating as the last lane itself.
+//!
+//! Shutdown is cooperative: a [`ServerHandle`] (or a Unix signal wired
+//! through [`shutdown_on_signal`]) flips an atomic flag; the acceptor
+//! closes the listener, workers finish their in-flight request, answer it
+//! with `Connection: close`, and drain. Queued-but-unstarted connections
+//! are shed with a best-effort 503.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use approxrank_exec::Executor;
+use approxrank_graph::DiGraph;
+
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::metrics::Endpoint;
+use crate::state::{AppState, ServeConfig};
+
+/// How often blocked waits (accept, queue pop, idle keep-alive reads)
+/// re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The bounded handoff between the acceptor and the worker lanes.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues unless full; a full queue hands the stream back so the
+    /// caller can shed it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.lock();
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops a connection, waiting up to [`POLL`]; `None` on timeout.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.lock();
+        if let Some(stream) = q.pop_front() {
+            return Some(stream);
+        }
+        let (mut q, _) = self
+            .ready
+            .wait_timeout(q, POLL)
+            .unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+}
+
+/// A remote control for a running [`Server`]: signals shutdown from
+/// another thread (tests) or a signal handler bridge (the CLI).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: in-flight requests complete, the
+    /// listener closes, [`Server::serve`] returns.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// What a completed [`Server::serve`] run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered across all endpoints.
+    pub requests: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// The ranking service: a bound listener plus the shared [`AppState`].
+pub struct Server {
+    state: Arc<AppState>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and builds the state (including the `O(N)`
+    /// degree precomputation) for `graph`.
+    pub fn bind(graph: DiGraph, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            state: Arc::new(AppState::new(graph, config)),
+            listener,
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for in-process clients (e.g. the load generator's
+    /// self-hosted mode reads cache stats directly).
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the service until shutdown; returns what it served.
+    ///
+    /// Blocks the calling thread, which participates as one of the worker
+    /// lanes.
+    pub fn serve(self) -> ServeSummary {
+        let Server {
+            state,
+            listener,
+            addr: _,
+            shutdown,
+        } = self;
+        let width = state.config.threads.max(1);
+        let exec = Arc::new(Executor::new(width));
+        let _ = state.pool.set(Arc::clone(&exec));
+        let queue = Arc::new(ConnQueue::new(state.config.accept_queue));
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("approxrank-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &queue, &state, &shutdown))
+                .expect("failed to spawn acceptor")
+        };
+
+        // One long-lived task per lane; `run_chunks` returns when every
+        // lane has drained, so this call *is* the server's lifetime.
+        exec.run_chunks(width, |_lane| worker_loop(&state, &queue, &shutdown));
+        let _ = acceptor.join();
+
+        // Shed anything still queued: tell the client we are going away.
+        while let Some(stream) = queue.lock().pop_front() {
+            shed(&state, stream);
+        }
+
+        ServeSummary {
+            requests: state.metrics.total_requests(),
+            connections: state.metrics.total_connections(),
+        }
+    }
+}
+
+/// Accepts connections until shutdown, feeding the queue and shedding
+/// (503) when it is full.
+fn accept_loop(listener: &TcpListener, queue: &ConnQueue, state: &AppState, shutdown: &AtomicBool) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                state.metrics.observe_connection();
+                if let Err(stream) = queue.push(stream) {
+                    state.metrics.observe_rejected_accept();
+                    shed(state, stream);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Best-effort 503 + close for a connection the server will not serve.
+fn shed(state: &AppState, stream: TcpStream) {
+    let mut response = Response::error(503, "server is shutting down or overloaded");
+    response.close = true;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut stream = stream;
+    let _ = write_response(&mut stream, &response);
+    state.metrics.observe_request(Endpoint::Other, 503, 0);
+}
+
+/// One worker lane: pops connections and serves their keep-alive loops
+/// until shutdown with an empty queue.
+fn worker_loop(state: &AppState, queue: &ConnQueue, shutdown: &AtomicBool) {
+    loop {
+        match queue.pop() {
+            Some(stream) => handle_connection(state, stream, shutdown),
+            None => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// What [`await_request`] saw while waiting for the next request head.
+enum Waited {
+    /// Bytes are available — read the request.
+    Ready,
+    /// The peer closed, the idle timer expired, or shutdown began.
+    Done,
+}
+
+/// Waits for the first byte of the next request, polling the shutdown
+/// flag so an *idle* keep-alive connection never delays a drain. Bytes
+/// already buffered (pipelining) count as ready.
+fn await_request(
+    reader: &BufReader<TcpStream>,
+    idle_timeout: Duration,
+    shutdown: &AtomicBool,
+) -> Waited {
+    if !reader.buffer().is_empty() {
+        return Waited::Ready;
+    }
+    let stream = reader.get_ref();
+    let started = Instant::now();
+    let mut probe = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Waited::Done;
+        }
+        if stream.set_read_timeout(Some(POLL)).is_err() {
+            return Waited::Done;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Waited::Done,
+            Ok(_) => return Waited::Ready,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if started.elapsed() >= idle_timeout {
+                    return Waited::Done;
+                }
+            }
+            Err(_) => return Waited::Done,
+        }
+    }
+}
+
+/// Serves one connection's keep-alive request loop.
+fn handle_connection(state: &AppState, stream: TcpStream, shutdown: &AtomicBool) {
+    let timeout = state.config.request_timeout;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream.try_clone().unwrap_or(stream);
+
+    loop {
+        match await_request(&reader, timeout, shutdown) {
+            Waited::Ready => {}
+            Waited::Done => return,
+        }
+        // A request head has started arriving: give the whole exchange
+        // the configured budget.
+        if reader.get_ref().set_read_timeout(Some(timeout)).is_err() {
+            return;
+        }
+        let request = match read_request(&mut reader, state.config.max_body) {
+            Ok(request) => request,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Malformed(msg)) => {
+                let mut response = Response::error(400, &msg);
+                response.close = true;
+                let _ = write_response(&mut writer, &response);
+                state.metrics.observe_request(Endpoint::Other, 400, 0);
+                return;
+            }
+            Err(ReadError::BodyTooLarge) => {
+                let mut response = Response::error(413, "request body exceeds the configured cap");
+                response.close = true;
+                let _ = write_response(&mut writer, &response);
+                state.metrics.observe_request(Endpoint::Other, 413, 0);
+                return;
+            }
+            Err(ReadError::Io(_)) => {
+                let mut response = Response::error(408, "timed out reading the request");
+                response.close = true;
+                let _ = write_response(&mut writer, &response);
+                state.metrics.observe_request(Endpoint::Other, 408, 0);
+                return;
+            }
+        };
+
+        let (_endpoint, mut response) = dispatch(state, &request);
+        let closing = request.wants_close() || shutdown.load(Ordering::SeqCst);
+        response.close = response.close || closing;
+        if write_response(&mut writer, &response).is_err() || response.close {
+            return;
+        }
+    }
+}
+
+/// Runs the router with panic containment: a handler panic becomes a 500
+/// (and a counter) instead of killing the lane.
+fn dispatch(state: &AppState, request: &Request) -> (Endpoint, Response) {
+    let started = Instant::now();
+    let (endpoint, response) =
+        match std::panic::catch_unwind(AssertUnwindSafe(|| crate::handlers::route(state, request)))
+        {
+            Ok(routed) => routed,
+            Err(_) => {
+                state.metrics.observe_panic();
+                let mut response = Response::error(500, "internal error handling the request");
+                response.close = true;
+                (Endpoint::Other, response)
+            }
+        };
+    state.metrics.observe_request(
+        endpoint,
+        response.status,
+        started.elapsed().as_micros() as u64,
+    );
+    (endpoint, response)
+}
+
+/// Process-wide flag set by the Unix signal handler.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Wires `SIGINT`/`SIGTERM` to a graceful drain of `handle`: the handler
+/// flips a process-wide flag (the only async-signal-safe thing to do) and
+/// a watcher thread forwards it to the handle. The handler also restores
+/// the default disposition for the signal it caught, so a *second*
+/// Ctrl-C terminates immediately instead of waiting on a wedged drain.
+/// Call at most once per process, from the CLI entry point. Non-Unix
+/// builds fall back to no signal wiring (the handle still works).
+pub fn shutdown_on_signal(handle: ServerHandle) {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(signum: i32) {
+            SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+            // SIG_DFL (0): `signal` is async-signal-safe, and the default
+            // disposition for INT/TERM is immediate termination.
+            unsafe {
+                extern "C" {
+                    fn signal(signum: i32, handler: usize) -> usize;
+                }
+                signal(signum, 0);
+            }
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+    std::thread::Builder::new()
+        .name("approxrank-serve-signals".into())
+        .spawn(move || loop {
+            if SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+                handle.shutdown();
+                return;
+            }
+            std::thread::sleep(POLL);
+        })
+        .expect("failed to spawn signal watcher");
+}

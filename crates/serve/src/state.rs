@@ -1,0 +1,124 @@
+//! Shared service state: the global graph, its precomputation, open
+//! sessions, the result cache, and the metrics registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use approxrank_core::{GlobalPrecomputation, SubgraphSession};
+use approxrank_exec::{ExecStats, Executor};
+use approxrank_graph::DiGraph;
+
+use crate::cache::{CacheKey, ShardedCache};
+use crate::metrics::Metrics;
+
+/// Tunables for [`crate::Server`], mirrored by the `subrank serve` flags.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Total worker lanes handling connections (including the thread
+    /// that calls `serve`); 1 means a single serving lane.
+    pub threads: usize,
+    /// Total result-cache entries across all shards.
+    pub cache_entries: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+    /// Per-connection read/write timeout.
+    pub request_timeout: Duration,
+    /// Connections queued between the acceptor and the workers before
+    /// new arrivals are shed with 503.
+    pub accept_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 2,
+            cache_entries: 4096,
+            max_body: 1 << 20,
+            request_timeout: Duration::from_millis(5_000),
+            accept_queue: 128,
+        }
+    }
+}
+
+/// One live `/session`: the warm solver plus the cache key of the last
+/// membership it published (invalidated on mutation).
+pub struct ServerSession {
+    /// The warm-start solver.
+    pub session: SubgraphSession,
+    /// Cache key for the membership at the last solve, if any.
+    pub published_key: Option<CacheKey>,
+    /// Damping the session was opened with (sessions pin their options).
+    pub damping: f64,
+    /// Tolerance the session was opened with.
+    pub tolerance: f64,
+}
+
+/// Everything the request handlers share. One instance per server,
+/// behind an `Arc`.
+pub struct AppState {
+    /// The global graph, loaded once at startup.
+    pub graph: DiGraph,
+    /// Degree/dangling aggregates shared by every ApproxRank build.
+    pub precomputation: GlobalPrecomputation,
+    /// Global PageRank scores, computed lazily on the first `idealrank`
+    /// request and reused forever after.
+    pub global_scores: OnceLock<Vec<f64>>,
+    /// Open sessions by id. Each session has its own lock so long
+    /// re-solves don't block the table.
+    pub sessions: Mutex<HashMap<u64, Arc<Mutex<ServerSession>>>>,
+    /// Monotonic session id source.
+    pub next_session_id: AtomicU64,
+    /// The sharded LRU result cache.
+    pub cache: ShardedCache,
+    /// Counters and trace aggregates behind `/metrics`.
+    pub metrics: Metrics,
+    /// The configuration the server was started with.
+    pub config: ServeConfig,
+    /// The worker-lane executor, installed by the server at startup so
+    /// `/metrics` can expose `pool_*` telemetry.
+    pub pool: OnceLock<Arc<Executor>>,
+}
+
+impl AppState {
+    /// Builds the state for a graph: runs the `O(N)` precomputation and
+    /// sizes the cache per `config`.
+    pub fn new(graph: DiGraph, config: ServeConfig) -> Self {
+        let precomputation = GlobalPrecomputation::compute(&graph);
+        AppState {
+            graph,
+            precomputation,
+            global_scores: OnceLock::new(),
+            sessions: Mutex::new(HashMap::new()),
+            next_session_id: AtomicU64::new(1),
+            cache: ShardedCache::new(config.cache_entries),
+            metrics: Metrics::new(),
+            config,
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// Snapshot of the serving pool's lifetime telemetry, if a server has
+    /// installed its executor.
+    pub fn pool_stats(&self) -> Option<ExecStats> {
+        self.pool.get().map(|exec| exec.stats())
+    }
+
+    /// Locks the session table, recovering from a poisoned lock (session
+    /// state is only mutated under the per-session lock).
+    pub fn lock_sessions(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Mutex<ServerSession>>>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Open session count.
+    pub fn session_count(&self) -> usize {
+        self.lock_sessions().len()
+    }
+}

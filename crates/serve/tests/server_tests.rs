@@ -1,0 +1,338 @@
+//! End-to-end tests: a real server on an ephemeral port, driven over TCP
+//! by the crate's own [`Client`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use approxrank_core::{ApproxRank, SubgraphRanker};
+use approxrank_graph::{DiGraph, NodeSet, Subgraph};
+use approxrank_pagerank::PageRankOptions;
+use approxrank_serve::{AppState, Client, ServeConfig, ServeSummary, Server, ServerHandle};
+
+/// A graph with enough structure for multi-page subgraphs.
+fn test_graph() -> DiGraph {
+    let n = 200u32;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        edges.push((i, (i * 7 + 3) % n));
+        if i % 5 == 0 {
+            edges.push((i, (i + n / 2) % n));
+        }
+    }
+    DiGraph::from_edges(n as usize, &edges)
+}
+
+struct Running {
+    handle: ServerHandle,
+    state: Arc<AppState>,
+    thread: Option<std::thread::JoinHandle<ServeSummary>>,
+}
+
+impl Running {
+    fn start(config: ServeConfig) -> Running {
+        let server = Server::bind(test_graph(), config).expect("bind ephemeral port");
+        let handle = server.handle();
+        let state = server.state();
+        let thread = std::thread::spawn(move || server.serve());
+        Running {
+            handle,
+            state,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(&self.handle.addr().to_string()).with_timeout(Duration::from_secs(5))
+    }
+
+    fn stop(&mut self) -> ServeSummary {
+        self.handle.shutdown();
+        self.thread
+            .take()
+            .expect("still running")
+            .join()
+            .expect("serve thread panicked")
+    }
+}
+
+impl Drop for Running {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        request_timeout: Duration::from_millis(2_000),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn healthz_stats_metrics() {
+    let mut server = Running::start(config());
+    let mut client = server.client();
+
+    let r = client.get("/healthz").unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.json().unwrap().get("status").unwrap().as_str(),
+        Some("ok")
+    );
+
+    let r = client.get("/stats").unwrap();
+    assert_eq!(r.status, 200);
+    let stats = r.json().unwrap();
+    assert_eq!(
+        stats.get("graph").unwrap().get("nodes").unwrap().as_u64(),
+        Some(200)
+    );
+
+    let r = client.get("/metrics").unwrap();
+    assert_eq!(r.status, 200);
+    let text = r.text();
+    assert!(text.contains("approxrank_uptime_seconds"), "{text}");
+    assert!(
+        text.contains("approxrank_requests_total{endpoint=\"healthz\"} 1"),
+        "{text}"
+    );
+    // The serving work pool's telemetry is exposed.
+    assert!(text.contains("pool_threads 2"), "{text}");
+
+    let summary = server.stop();
+    assert!(summary.requests >= 3);
+    assert!(summary.connections >= 1);
+}
+
+#[test]
+fn rank_is_bit_identical_to_offline_and_cache_hits() {
+    let mut server = Running::start(config());
+    let mut client = server.client();
+
+    let body = r#"{"members":[10,11,12,13,14,15],"tolerance":1e-8}"#;
+    let first = client.post("/rank", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    let v1 = first.json().unwrap();
+    assert_eq!(v1.get("cached").unwrap().as_bool(), Some(false));
+
+    // The offline reference: the same entry point the CLI runs.
+    let graph = test_graph();
+    let nodes = NodeSet::from_sorted(graph.num_nodes(), 10..16u32);
+    let sub = Subgraph::extract(&graph, nodes);
+    let offline = ApproxRank::new(PageRankOptions::paper().with_tolerance(1e-8)).rank(&graph, &sub);
+
+    let mut served: Vec<(u64, f64)> = v1
+        .get("scores")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| {
+            (
+                s.get("page").unwrap().as_u64().unwrap(),
+                s.get("score").unwrap().as_f64().unwrap(),
+            )
+        })
+        .collect();
+    served.sort_by_key(|&(p, _)| p);
+    assert_eq!(served.len(), offline.local_scores.len());
+    for (i, &(page, score)) in served.iter().enumerate() {
+        assert_eq!(page, (10 + i) as u64);
+        assert_eq!(
+            score.to_bits(),
+            offline.local_scores[i].to_bits(),
+            "page {page}: served {score} != offline {}",
+            offline.local_scores[i]
+        );
+    }
+
+    // Same request again: cache hit, identical payload.
+    let second = client.post("/rank", body).unwrap();
+    let v2 = second.json().unwrap();
+    assert_eq!(v2.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(v1.get("scores"), v2.get("scores"));
+    assert_eq!(server.state.cache.stats().hits, 1);
+    server.stop();
+}
+
+#[test]
+fn session_warm_start_over_http() {
+    let mut server = Running::start(config());
+    let mut client = server.client();
+
+    let created = client
+        .post(
+            "/session",
+            r#"{"members":[0,1,2,3,4,5,6,7],"tolerance":1e-10}"#,
+        )
+        .unwrap();
+    assert_eq!(created.status, 200, "{}", created.text());
+    let id = created.json().unwrap().get("id").unwrap().as_u64().unwrap();
+
+    let updated = client
+        .post(
+            &format!("/session/{id}/update"),
+            r#"{"add":[8,9],"remove":[0]}"#,
+        )
+        .unwrap();
+    assert_eq!(updated.status, 200, "{}", updated.text());
+    let v = updated.json().unwrap();
+    assert_eq!(v.get("warm_start").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("members").unwrap().as_u64(), Some(9));
+
+    // The warm scores agree with a cold solve of the final membership to
+    // solver tolerance.
+    let graph = test_graph();
+    let nodes = NodeSet::from_sorted(graph.num_nodes(), 1..10u32);
+    let sub = Subgraph::extract(&graph, nodes);
+    let cold = ApproxRank::new(PageRankOptions::paper().with_tolerance(1e-10)).rank(&graph, &sub);
+    let mut warm: Vec<(u64, f64)> = v
+        .get("scores")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| {
+            (
+                s.get("page").unwrap().as_u64().unwrap(),
+                s.get("score").unwrap().as_f64().unwrap(),
+            )
+        })
+        .collect();
+    warm.sort_by_key(|&(p, _)| p);
+    for (i, &(page, score)) in warm.iter().enumerate() {
+        assert_eq!(page, (1 + i) as u64);
+        assert!(
+            (score - cold.local_scores[i]).abs() < 1e-7,
+            "page {page}: warm {score} vs cold {}",
+            cold.local_scores[i]
+        );
+    }
+
+    let got = client.get(&format!("/session/{id}")).unwrap();
+    assert_eq!(got.status, 200);
+    let deleted = client.delete(&format!("/session/{id}")).unwrap();
+    assert_eq!(deleted.status, 200);
+    let gone = client.get(&format!("/session/{id}")).unwrap();
+    assert_eq!(gone.status, 404);
+    server.stop();
+}
+
+#[test]
+fn error_paths_over_http() {
+    let mut server = Running::start(ServeConfig {
+        max_body: 512,
+        ..config()
+    });
+    let mut client = server.client();
+
+    // Malformed JSON → 400 with an error envelope.
+    let r = client.post("/rank", "{oops").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.json().unwrap().get("error").is_some());
+
+    // Out-of-range member → 400.
+    let r = client.post("/rank", r#"{"members":[12345]}"#).unwrap();
+    assert_eq!(r.status, 400);
+
+    // Unknown route → 404.
+    let r = client.get("/nope").unwrap();
+    assert_eq!(r.status, 404);
+
+    // Oversized body → 413 and the server closes the connection.
+    let huge = format!(
+        r#"{{"members":[{}]}}"#,
+        (0..200)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    assert!(huge.len() > 512);
+    let r = client.post("/rank", &huge).unwrap();
+    assert_eq!(r.status, 413);
+    assert!(r.closed);
+
+    // The client transparently reconnects afterwards.
+    let r = client.get("/healthz").unwrap();
+    assert_eq!(r.status, 200);
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients() {
+    let mut server = Running::start(ServeConfig {
+        threads: 4,
+        ..config()
+    });
+    let addr = server.handle.addr().to_string();
+
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(&addr).with_timeout(Duration::from_secs(10));
+                for i in 0..10 {
+                    // Each worker walks its 5 keys twice: the second lap
+                    // is guaranteed cache hits.
+                    let lo = (w * 10 + i % 5) % 150;
+                    let body = format!(
+                        r#"{{"members":[{},{},{}],"tolerance":1e-7}}"#,
+                        lo,
+                        lo + 1,
+                        lo + 2
+                    );
+                    let r = client.post("/rank", &body).expect("request");
+                    assert_eq!(r.status, 200, "{}", r.text());
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    let stats = server.state.cache.stats();
+    // 80 requests over 40 keys, each worker revisiting its own keys: the
+    // second lap is all hits.
+    assert_eq!(stats.hits + stats.misses, 80);
+    assert!(stats.hits >= 40, "{stats:?}");
+    let summary = server.stop();
+    assert_eq!(summary.requests, 80);
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_requests() {
+    let mut server = Running::start(config());
+    let mut client = server.client();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    // Shut down while a keep-alive connection is idle: serve() must
+    // return promptly (the idle connection cannot hold the drain).
+    let started = std::time::Instant::now();
+    let summary = server.stop();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drain took {:?}",
+        started.elapsed()
+    );
+    assert!(summary.requests >= 1);
+
+    // And the port no longer answers.
+    assert!(client.get("/healthz").is_err());
+}
+
+#[test]
+fn keep_alive_reuses_one_connection() {
+    let mut server = Running::start(config());
+    let mut client = server.client();
+    for _ in 0..5 {
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+    }
+    assert_eq!(server.state.metrics.total_connections(), 1);
+    server.stop();
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving layer: build release, boot
+# `subrank serve` on a generated graph, exercise the endpoints, put it
+# under a brief Zipf load, and assert a graceful SIGINT drain.
+#
+# Exits nonzero on any non-200 answer, on a bit-mismatch between a
+# served /rank and the offline CLI, or if the server fails to drain.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-7878}"
+ADDR="127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "${WORKDIR}"' EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+say "building release binaries"
+cargo build --release -p approxrank-cli -p approxrank-bench
+
+SUBRANK=target/release/subrank
+LOADGEN=target/release/loadgen
+
+say "generating a graph"
+"${SUBRANK}" gen --dataset au --pages 20000 --out "${WORKDIR}/web.edges" >/dev/null
+
+say "booting subrank serve on ${ADDR}"
+"${SUBRANK}" serve --graph "${WORKDIR}/web.edges" --addr "${ADDR}" --threads 4 \
+  >"${WORKDIR}/serve.out" 2>"${WORKDIR}/serve.err" &
+SERVER_PID=$!
+
+say "waiting for /healthz"
+for _ in $(seq 1 100); do
+  if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server died during startup" >&2
+    cat "${WORKDIR}/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://${ADDR}/healthz" >/dev/null
+
+say "POST /rank answers 200 and matches the offline CLI"
+BODY='{"members":[0,1,2,3,4,5,6,7,8,9]}'
+curl -sf -X POST "http://${ADDR}/rank" -d "${BODY}" >"${WORKDIR}/served.json"
+grep -q '"scores"' "${WORKDIR}/served.json"
+# The same query twice must be a cache hit.
+curl -sf -X POST "http://${ADDR}/rank" -d "${BODY}" | grep -q '"cached":true'
+# Served scores must agree with the offline CLI at the CLI's full
+# printed precision (10 significant digits). The stronger bitwise
+# assertion runs in-process in crates/serve's unit and integration
+# tests, where both f64s are available unformatted.
+printf '0 1 2 3 4 5 6 7 8 9\n' >"${WORKDIR}/mine.txt"
+"${SUBRANK}" rank --graph "${WORKDIR}/web.edges" --subgraph "${WORKDIR}/mine.txt" --quiet \
+  >"${WORKDIR}/offline.tsv"
+python3 - "$WORKDIR" <<'PY'
+import json, sys
+workdir = sys.argv[1]
+served = json.load(open(f"{workdir}/served.json"))
+offline = {}
+for line in open(f"{workdir}/offline.tsv"):
+    if line.startswith("page"):
+        continue
+    page, score = line.split()
+    offline[int(page)] = float(score)
+assert len(served["scores"]) == len(offline)
+for entry in served["scores"]:
+    page, score = entry["page"], entry["score"]
+    assert f"{score:.9e}" == f"{offline[page]:.9e}", \
+        f"page {page}: served {score!r} != offline {offline[page]!r}"
+print(f"   {len(served['scores'])} scores identical at CLI precision")
+PY
+
+say "GET /metrics exposes request and pool telemetry"
+curl -sf "http://${ADDR}/metrics" >"${WORKDIR}/metrics.txt"
+grep -q '^approxrank_requests_total' "${WORKDIR}/metrics.txt"
+grep -q '^pool_threads' "${WORKDIR}/metrics.txt"
+grep -q '^approxrank_cache_hits_total' "${WORKDIR}/metrics.txt"
+
+say "error paths answer with 4xx, not a crash"
+test "$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR}/rank" -d '{bad json')" = 400
+test "$(curl -s -o /dev/null -w '%{http_code}' "http://${ADDR}/nonexistent")" = 404
+
+say "brief Zipf load via loadgen (cache hit rate must be nonzero)"
+"${LOADGEN}" --addr "${ADDR}" --clients 4 --requests 100 --keys 16 | tee "${WORKDIR}/loadgen.out"
+grep -Eq 'cache +[1-9][0-9]* hits' "${WORKDIR}/loadgen.out"
+
+say "SIGINT drains gracefully"
+kill -INT "${SERVER_PID}"
+for _ in $(seq 1 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${SERVER_PID}" 2>/dev/null; then
+  echo "server did not exit within 10s of SIGINT" >&2
+  exit 1
+fi
+wait "${SERVER_PID}" && STATUS=0 || STATUS=$?
+test "${STATUS}" = 0 || { echo "server exited with ${STATUS}" >&2; exit 1; }
+grep -q 'served .* requests' "${WORKDIR}/serve.out"
+if grep -qi 'panicked' "${WORKDIR}/serve.err"; then
+  echo "server logged a panic:" >&2
+  cat "${WORKDIR}/serve.err" >&2
+  exit 1
+fi
+
+say "smoke OK: $(cat "${WORKDIR}/serve.out")"
