@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT | --graph FILE] [--clients N] [--requests N]
 //!         [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N]
+//!         [--sessions N]
 //! ```
 //!
 //! Fires `--clients` concurrent keep-alive query streams at a ranking
@@ -13,9 +14,17 @@
 //! uses this); otherwise an in-process server is booted on an ephemeral
 //! port over `--graph` (or a generated graph when that is absent too).
 //!
-//! The report covers throughput, latency percentiles across all streams,
-//! and the cache hit rate measured as the delta of the server's
-//! `/stats` counters over the run.
+//! `--sessions N` adds N concurrent *session* streams on top of the
+//! query streams: each opens one long-lived `/session` and then drives
+//! `--requests` add/remove mutations through `/session/{id}/update`,
+//! exercising the warm re-solve path (and, on a durable server, the
+//! WAL). Sessions are deliberately left open so a crash-recovery harness
+//! can kill the server afterwards and check they survive.
+//!
+//! The report covers throughput, latency percentiles across all query
+//! streams — warm session updates are a different computation, so their
+//! percentiles are reported on a separate line — and the cache hit rate
+//! measured as the delta of the server's `/stats` counters over the run.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -28,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --graph FILE] [--clients N] \
-[--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N]";
+[--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N] [--sessions N]";
 
 struct Args {
     addr: Option<String>,
@@ -40,6 +49,7 @@ struct Args {
     members: usize,
     seed: u64,
     threads: usize,
+    sessions: usize,
 }
 
 impl Default for Args {
@@ -54,6 +64,7 @@ impl Default for Args {
             members: 16,
             seed: 42,
             threads: 2,
+            sessions: 0,
         }
     }
 }
@@ -75,6 +86,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--keys" => args.keys = parse_positive(&value("--keys")?, "--keys")?,
             "--members" => args.members = parse_positive(&value("--members")?, "--members")?,
             "--threads" => args.threads = parse_positive(&value("--threads")?, "--threads")?,
+            "--sessions" => {
+                let v = value("--sessions")?;
+                args.sessions = v
+                    .parse()
+                    .map_err(|e| format!("bad --sessions {v:?}: {e}"))?;
+            }
             "--seed" => {
                 let v = value("--seed")?;
                 args.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
@@ -212,6 +229,72 @@ fn run_stream(
     }
 }
 
+/// One session stream: opens a `/session` over a membership window
+/// disjoint from none in particular, then alternates single-page adds
+/// and removes, timing each `/session/{id}/update` (a warm re-solve).
+/// The session is left open on purpose — see the module docs.
+fn run_session_stream(
+    addr: &str,
+    num_nodes: usize,
+    members: usize,
+    requests: usize,
+    stream: usize,
+    seed: u64,
+) -> StreamOutcome {
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
+    let mut latencies_us = Vec::with_capacity(requests);
+    let mut errors = 0usize;
+
+    let base = key_members(stream, members, num_nodes);
+    let ids: Vec<String> = base.iter().map(|id| id.to_string()).collect();
+    let body = format!("{{\"members\":[{}]}}", ids.join(","));
+    let id = match client.post("/session", &body) {
+        Ok(response) if response.status == 200 => {
+            match response.json().ok().and_then(|v| v.get("id")?.as_u64()) {
+                Some(id) => id,
+                None => {
+                    return StreamOutcome {
+                        latencies_us,
+                        errors: requests + 1,
+                    }
+                }
+            }
+        }
+        Ok(_) | Err(_) => {
+            return StreamOutcome {
+                latencies_us,
+                errors: requests + 1,
+            }
+        }
+    };
+
+    // Pages this stream toggles in and out: outside the base membership,
+    // rotated by the seed so streams do not mutate in lockstep.
+    let pool: Vec<u32> = (0..num_nodes as u32)
+        .filter(|p| !base.contains(p))
+        .collect();
+    let path = format!("/session/{id}/update");
+    for i in 0..requests {
+        let page = pool[(seed as usize + i / 2) % pool.len()];
+        let body = if i % 2 == 0 {
+            format!("{{\"add\":[{page}]}}")
+        } else {
+            format!("{{\"remove\":[{page}]}}")
+        };
+        let started = Instant::now();
+        match client.post(&path, &body) {
+            Ok(response) if response.status == 200 => {
+                latencies_us.push(started.elapsed().as_micros() as u64);
+            }
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    StreamOutcome {
+        latencies_us,
+        errors,
+    }
+}
+
 fn run(args: &Args) -> Result<String, String> {
     // Boot an in-process server unless we are pointed at a running one.
     let (addr, local) = match &args.addr {
@@ -261,7 +344,7 @@ fn run(args: &Args) -> Result<String, String> {
     let (hits_before, misses_before) = cache_counters(&addr)?;
 
     let started = Instant::now();
-    let outcomes: Vec<StreamOutcome> = {
+    let (outcomes, session_outcomes): (Vec<StreamOutcome>, Vec<StreamOutcome>) = {
         let streams: Vec<_> = (0..args.clients)
             .map(|c| {
                 let (addr, bodies, weights) = (addr.clone(), bodies.clone(), weights.clone());
@@ -269,10 +352,26 @@ fn run(args: &Args) -> Result<String, String> {
                 std::thread::spawn(move || run_stream(&addr, &bodies, &weights, requests, seed))
             })
             .collect();
-        streams
-            .into_iter()
-            .map(|t| t.join().expect("client stream panicked"))
-            .collect()
+        let session_streams: Vec<_> = (0..args.sessions)
+            .map(|s| {
+                let addr = addr.clone();
+                let (members, requests) = (args.members, args.requests);
+                let seed = args.seed.wrapping_add(1_000 + s as u64);
+                std::thread::spawn(move || {
+                    run_session_stream(&addr, num_nodes, members, requests, s, seed)
+                })
+            })
+            .collect();
+        (
+            streams
+                .into_iter()
+                .map(|t| t.join().expect("client stream panicked"))
+                .collect(),
+            session_streams
+                .into_iter()
+                .map(|t| t.join().expect("session stream panicked"))
+                .collect(),
+        )
     };
     let wall = started.elapsed();
 
@@ -282,7 +381,16 @@ fn run(args: &Args) -> Result<String, String> {
         .flat_map(|o| o.latencies_us.clone())
         .collect();
     latencies.sort_unstable();
-    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let mut warm_latencies: Vec<u64> = session_outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.clone())
+        .collect();
+    warm_latencies.sort_unstable();
+    let errors: usize = outcomes
+        .iter()
+        .chain(&session_outcomes)
+        .map(|o| o.errors)
+        .sum();
     let ok = latencies.len();
 
     let mut out = String::new();
@@ -303,6 +411,19 @@ fn run(args: &Args) -> Result<String, String> {
         percentile(&latencies, 99.0) as f64 / 1e3,
         latencies.last().copied().unwrap_or(0) as f64 / 1e3,
     ));
+    if args.sessions > 0 {
+        out.push_str(&format!(
+            "sessions  {} streams x {} warm updates ({} ok)  \
+             p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms\n",
+            args.sessions,
+            args.requests,
+            warm_latencies.len(),
+            percentile(&warm_latencies, 50.0) as f64 / 1e3,
+            percentile(&warm_latencies, 90.0) as f64 / 1e3,
+            percentile(&warm_latencies, 99.0) as f64 / 1e3,
+            warm_latencies.last().copied().unwrap_or(0) as f64 / 1e3,
+        ));
+    }
     let (hits, misses) = (hits_after - hits_before, misses_after - misses_before);
     let lookups = (hits + misses).max(1);
     out.push_str(&format!(
@@ -380,6 +501,13 @@ mod tests {
     }
 
     #[test]
+    fn parses_sessions_flag() {
+        assert_eq!(parse_args(&argv(&[])).unwrap().sessions, 0);
+        assert_eq!(parse_args(&argv(&["--sessions", "3"])).unwrap().sessions, 3);
+        assert!(parse_args(&argv(&["--sessions", "many"])).is_err());
+    }
+
+    #[test]
     fn keys_map_to_distinct_in_range_windows() {
         let a = key_members(0, 16, 2_000);
         let b = key_members(1, 16, 2_000);
@@ -432,5 +560,30 @@ mod tests {
             .unwrap();
         // 24 draws over 4 keys cannot all be cold misses.
         assert!(hits >= 20, "{report}");
+    }
+
+    /// Session streams drive warm updates end-to-end and report their
+    /// latencies on a separate line from the `/rank` percentiles.
+    #[test]
+    fn session_streams_report_warm_percentiles() {
+        let report = run(&Args {
+            clients: 1,
+            requests: 6,
+            keys: 2,
+            members: 8,
+            sessions: 2,
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(report.contains("6 ok, 0 errors"), "{report}");
+        let line = report
+            .lines()
+            .find(|l| l.starts_with("sessions"))
+            .expect("sessions line");
+        assert!(
+            line.contains("2 streams x 6 warm updates (12 ok)"),
+            "{line}"
+        );
+        assert!(line.contains("p50"), "{line}");
     }
 }

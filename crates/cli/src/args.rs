@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
+use approxrank_serve::FsyncPolicy;
+
 /// Which subgraph-ranking algorithm `subrank rank` runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Algorithm {
@@ -171,6 +173,12 @@ pub struct ServeArgs {
     pub max_body: usize,
     /// Per-connection read/write timeout in milliseconds.
     pub request_timeout_ms: u64,
+    /// Durable session directory; `None` serves purely in-memory.
+    pub data_dir: Option<String>,
+    /// WAL fsync policy (`always`, `never`, `interval`, `interval:<ms>`).
+    pub fsync: FsyncPolicy,
+    /// Background snapshot cadence in milliseconds.
+    pub snapshot_interval_ms: u64,
 }
 
 /// `subrank gen` arguments.
@@ -225,7 +233,9 @@ pub const USAGE: &str = "usage:
   subrank gen    --dataset au|politics --pages N [--seed S] --out FILE
   subrank report --input TRACE.jsonl
   subrank serve  --graph FILE [--addr 127.0.0.1:7878] [--threads 2] [--cache-entries 4096]
-                 [--max-body 1048576] [--request-timeout-ms 5000]";
+                 [--max-body 1048576] [--request-timeout-ms 5000]
+                 [--data-dir DIR] [--fsync always|never|interval|interval:MS]
+                 [--snapshot-interval-ms 30000]";
 
 /// Flags that take no value; their presence alone means "on".
 const BOOLEAN_FLAGS: &[&str] = &["trace", "quiet"];
@@ -387,12 +397,23 @@ impl Cli {
                     cache_entries: opts.numeric("cache-entries", 4096usize)?,
                     max_body: opts.numeric("max-body", 1usize << 20)?,
                     request_timeout_ms: opts.numeric("request-timeout-ms", 5_000u64)?,
+                    data_dir: opts.take("data-dir"),
+                    fsync: match opts.take("fsync") {
+                        None => FsyncPolicy::Interval(std::time::Duration::from_millis(100)),
+                        Some(v) => {
+                            FsyncPolicy::parse(&v).map_err(|e| format!("bad --fsync: {e}"))?
+                        }
+                    },
+                    snapshot_interval_ms: opts.numeric("snapshot-interval-ms", 30_000u64)?,
                 };
                 if args.threads == 0 {
                     return Err("--threads must be at least 1".into());
                 }
                 if args.request_timeout_ms == 0 {
                     return Err("--request-timeout-ms must be at least 1".into());
+                }
+                if args.snapshot_interval_ms == 0 {
+                    return Err("--snapshot-interval-ms must be at least 1".into());
                 }
                 Command::Serve(args)
             }
@@ -597,6 +618,12 @@ mod tests {
         assert_eq!(a.cache_entries, 4096);
         assert_eq!(a.max_body, 1 << 20);
         assert_eq!(a.request_timeout_ms, 5_000);
+        assert_eq!(a.data_dir, None);
+        assert_eq!(
+            a.fsync,
+            FsyncPolicy::Interval(std::time::Duration::from_millis(100))
+        );
+        assert_eq!(a.snapshot_interval_ms, 30_000);
 
         let cli = Cli::parse(&argv(
             "serve --graph g --addr 0.0.0.0:0 --threads 8 --cache-entries 64 \
@@ -615,5 +642,33 @@ mod tests {
         assert!(Cli::parse(&argv("serve --graph g --threads 0")).is_err());
         assert!(Cli::parse(&argv("serve --graph g --request-timeout-ms 0")).is_err());
         assert!(Cli::parse(&argv("serve")).unwrap_err().contains("--graph"));
+    }
+
+    #[test]
+    fn parses_serve_durability_flags() {
+        let cli = Cli::parse(&argv(
+            "serve --graph g --data-dir /var/lib/subrank --fsync always \
+             --snapshot-interval-ms 5000",
+        ))
+        .unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.data_dir.as_deref(), Some("/var/lib/subrank"));
+        assert_eq!(a.fsync, FsyncPolicy::Always);
+        assert_eq!(a.snapshot_interval_ms, 5_000);
+
+        let cli = Cli::parse(&argv("serve --graph g --fsync interval:250")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(
+            a.fsync,
+            FsyncPolicy::Interval(std::time::Duration::from_millis(250))
+        );
+
+        let err = Cli::parse(&argv("serve --graph g --fsync sometimes")).unwrap_err();
+        assert!(err.contains("--fsync"), "{err}");
+        assert!(Cli::parse(&argv("serve --graph g --snapshot-interval-ms 0")).is_err());
     }
 }

@@ -15,6 +15,9 @@ pub fn config_from(args: &ServeArgs) -> ServeConfig {
         cache_entries: args.cache_entries,
         max_body: args.max_body,
         request_timeout: Duration::from_millis(args.request_timeout_ms),
+        data_dir: args.data_dir.as_ref().map(std::path::PathBuf::from),
+        fsync: args.fsync,
+        snapshot_interval: Duration::from_millis(args.snapshot_interval_ms),
         ..ServeConfig::default()
     }
 }
@@ -30,6 +33,13 @@ pub fn run(args: &ServeArgs) -> Result<String, String> {
     approxrank_serve::shutdown_on_signal(server.handle());
     // The ready line goes to stderr so stdout stays reserved for the
     // final summary (and scripts can wait on the port instead).
+    if let Some(dir) = &args.data_dir {
+        // Recovery already ran inside `Server::bind`.
+        eprintln!(
+            "subrank serve: durable sessions in {dir} ({} recovered)",
+            server.state().session_count()
+        );
+    }
     eprintln!(
         "subrank serve: listening on {addr} ({nodes} nodes, {edges} edges, {} worker lanes)",
         args.threads.max(1)
@@ -53,6 +63,9 @@ mod tests {
             cache_entries: 128,
             max_body: 2048,
             request_timeout_ms: 750,
+            data_dir: Some("/tmp/subrank-data".into()),
+            fsync: approxrank_serve::FsyncPolicy::Always,
+            snapshot_interval_ms: 12_000,
         }
     }
 
@@ -64,6 +77,12 @@ mod tests {
         assert_eq!(c.cache_entries, 128);
         assert_eq!(c.max_body, 2048);
         assert_eq!(c.request_timeout, Duration::from_millis(750));
+        assert_eq!(
+            c.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/subrank-data"))
+        );
+        assert_eq!(c.fsync, approxrank_serve::FsyncPolicy::Always);
+        assert_eq!(c.snapshot_interval, Duration::from_millis(12_000));
     }
 
     #[test]

@@ -85,6 +85,32 @@ impl SubgraphSession {
         self.last_iterations
     }
 
+    /// The options this session was opened with.
+    pub fn options(&self) -> &PageRankOptions {
+        &self.options
+    }
+
+    /// The last converged solution in global-id terms — per-member
+    /// `(global id, score)` pairs plus Λ's score — or `None` before the
+    /// first solve. This is the stable serialization surface a durability
+    /// layer persists and later feeds back through [`Self::restore`].
+    pub fn last_solution(&self) -> Option<(&[(NodeId, f64)], f64)> {
+        self.last_scores
+            .as_ref()
+            .map(|(scores, lambda)| (scores.as_slice(), *lambda))
+    }
+
+    /// Reinstates a previously persisted solution so the next
+    /// [`Self::solve`] warm-starts from it exactly as if this process had
+    /// computed it. Scores are taken verbatim; pairs whose page is no
+    /// longer a member are simply ignored at solve time by the warm-start
+    /// remapping, so a solution saved before a membership edit is still a
+    /// valid (if weaker) starting point.
+    pub fn restore(&mut self, scores: Vec<(NodeId, f64)>, lambda: f64, iterations: usize) {
+        self.last_scores = Some((scores, lambda));
+        self.last_iterations = iterations;
+    }
+
     /// Adds pages (ignoring duplicates) and re-extracts the subgraph.
     ///
     /// # Panics

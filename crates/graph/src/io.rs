@@ -10,9 +10,17 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use approxrank_store::Crc32;
+
 use crate::{Csr, DiGraph, GraphError, NodeId};
 
-const BINARY_MAGIC: &[u8; 8] = b"APXRANK1";
+/// Legacy v1 magic: payload guarded by a rotate-xor folding checksum.
+const BINARY_MAGIC_V1: &[u8; 8] = b"APXRANK1";
+/// Current v2 magic: payload guarded by CRC32 (shared with the WAL and
+/// snapshot formats in `approxrank-store`), which detects every single-bit
+/// and single-byte error — the rotate-xor fold provably misses some
+/// two-flip patterns.
+const BINARY_MAGIC_V2: &[u8; 8] = b"APXRANK2";
 
 /// Parses an edge-list graph from a reader.
 ///
@@ -90,14 +98,40 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
     Ok(u64::from_le_bytes(buf))
 }
 
-/// Serializes the forward CSR to the compact binary format.
+/// Serializes the forward CSR to the compact binary format (v2).
 ///
-/// Layout: magic, node count, edge count, degree-per-node (u64 deltas of
-/// offsets), targets (u32), and a trailing xor checksum of the payload
-/// words so corrupt files fail loudly instead of producing bad rankings.
+/// Layout: magic `APXRANK2`, node count, edge count, degree-per-node (u64
+/// deltas of offsets), targets (u32), and a trailing CRC32 (little-endian
+/// u32) over every payload byte after the magic, so corrupt files fail
+/// loudly instead of producing bad rankings.
 pub fn write_binary<W: Write>(graph: &DiGraph, mut writer: W) -> Result<(), GraphError> {
     let csr = graph.forward();
-    writer.write_all(BINARY_MAGIC)?;
+    writer.write_all(BINARY_MAGIC_V2)?;
+    let mut crc = Crc32::new();
+    let mut put = |writer: &mut W, bytes: &[u8]| -> std::io::Result<()> {
+        crc.update(bytes);
+        writer.write_all(bytes)
+    };
+    put(&mut writer, &(csr.num_nodes() as u64).to_le_bytes())?;
+    put(&mut writer, &(csr.num_edges() as u64).to_le_bytes())?;
+    for u in 0..csr.num_nodes() {
+        put(&mut writer, &(csr.degree(u as NodeId) as u64).to_le_bytes())?;
+    }
+    for &t in csr.targets() {
+        put(&mut writer, &t.to_le_bytes())?;
+    }
+    let digest = crc.finish();
+    writer.write_all(&digest.to_le_bytes())?;
+    Ok(())
+}
+
+/// Serializes to the **legacy v1** binary format (`APXRANK1`, rotate-xor
+/// checksum). Kept so tests and migration tooling can produce files that
+/// exercise [`read_binary`]'s v1 path; new files should use
+/// [`write_binary`].
+pub fn write_binary_v1<W: Write>(graph: &DiGraph, mut writer: W) -> Result<(), GraphError> {
+    let csr = graph.forward();
+    writer.write_all(BINARY_MAGIC_V1)?;
     write_u64(&mut writer, csr.num_nodes() as u64)?;
     write_u64(&mut writer, csr.num_edges() as u64)?;
     let mut checksum = 0u64;
@@ -122,15 +156,27 @@ pub fn write_binary_file<P: AsRef<Path>>(graph: &DiGraph, path: P) -> Result<(),
     Ok(())
 }
 
-/// Reads a graph previously written with [`write_binary`].
+/// Reads a graph previously written with [`write_binary`] (v2) or
+/// [`write_binary_v1`] — the version is dispatched on the magic, so old
+/// datasets stay loadable.
 pub fn read_binary<R: Read>(mut reader: R) -> Result<DiGraph, GraphError> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(GraphError::InvalidFormat("bad magic".into()));
+    let v2 = match &magic {
+        BINARY_MAGIC_V2 => true,
+        BINARY_MAGIC_V1 => false,
+        _ => return Err(GraphError::InvalidFormat("bad magic".into())),
+    };
+    // v2 CRC covers every payload byte after the magic, headers included;
+    // the v1 fold only ever covered degrees and targets.
+    let mut crc = Crc32::new();
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    if v2 {
+        crc.update(&header);
     }
-    let n_raw = read_u64(&mut reader)?;
-    let m_raw = read_u64(&mut reader)?;
+    let n_raw = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+    let m_raw = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
     // Do NOT trust the header counts with allocations: a corrupted (or
     // malicious) header could claim petabytes. Node ids are u32 and edge
     // targets cost 4 bytes each, so anything beyond these caps cannot be
@@ -147,9 +193,15 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<DiGraph, GraphError> {
     let mut offsets = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
     offsets.push(0usize);
     let mut checksum = 0u64;
+    let mut word = [0u8; 8];
     for u in 0..n {
-        let d = read_u64(&mut reader)?;
-        checksum ^= d.rotate_left((u % 63) as u32);
+        reader.read_exact(&mut word)?;
+        let d = u64::from_le_bytes(word);
+        if v2 {
+            crc.update(&word);
+        } else {
+            checksum ^= d.rotate_left((u % 63) as u32);
+        }
         let last = *offsets.last().expect("non-empty");
         let next = last
             .checked_add(d as usize)
@@ -170,12 +222,24 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<DiGraph, GraphError> {
     for _ in 0..m {
         reader.read_exact(&mut buf)?;
         let t = NodeId::from_le_bytes(buf);
-        checksum ^= u64::from(t).rotate_left(17);
+        if v2 {
+            crc.update(&buf);
+        } else {
+            checksum ^= u64::from(t).rotate_left(17);
+        }
         targets.push(t);
     }
-    let stored = read_u64(&mut reader)?;
-    if stored != checksum {
-        return Err(GraphError::InvalidFormat("checksum mismatch".into()));
+    if v2 {
+        let mut stored = [0u8; 4];
+        reader.read_exact(&mut stored)?;
+        if u32::from_le_bytes(stored) != crc.finish() {
+            return Err(GraphError::InvalidFormat("checksum mismatch".into()));
+        }
+    } else {
+        let stored = read_u64(&mut reader)?;
+        if stored != checksum {
+            return Err(GraphError::InvalidFormat("checksum mismatch".into()));
+        }
     }
     // A well-formed file ends exactly at the checksum; leftover bytes mean
     // the header undercounted (e.g. a truncated rewrite over a longer

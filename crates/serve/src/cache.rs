@@ -132,6 +132,37 @@ impl ShardedCache {
         removed
     }
 
+    /// The hottest entries across all shards, up to `limit`: each shard
+    /// contributes in its own recency order, and shards are merged
+    /// round-robin by recency rank so no shard monopolizes the budget.
+    /// Snapshotting uses this to persist the cache's working set.
+    pub fn hot_entries(&self, limit: usize) -> Vec<(CacheKey, CachedResult)> {
+        let mut per_shard: Vec<Vec<(CacheKey, CachedResult)>> = Vec::new();
+        for idx in 0..self.shards.len() {
+            let shard = self.lock_shard(idx);
+            per_shard.push(shard.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        }
+        let mut out = Vec::new();
+        let mut rank = 0;
+        while out.len() < limit {
+            let mut any = false;
+            for shard in &per_shard {
+                if let Some(entry) = shard.get(rank) {
+                    any = true;
+                    out.push(entry.clone());
+                    if out.len() == limit {
+                        return out;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            rank += 1;
+        }
+        out
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let mut entries = 0;

@@ -17,6 +17,7 @@ use approxrank_core::{
 };
 use approxrank_graph::{NodeSet, Subgraph};
 use approxrank_pagerank::{pagerank, PageRankOptions};
+use approxrank_store::WalEvent;
 use approxrank_trace::Observer;
 
 use crate::cache::{cache_key, CacheKey, CachedResult};
@@ -197,6 +198,23 @@ fn metrics(state: &AppState) -> Response {
         "approxrank_sessions_open {}\n",
         state.session_count()
     ));
+    if let Some(store) = state.store.get() {
+        let s = store.stats();
+        use std::sync::atomic::Ordering::Relaxed;
+        extra.push_str(&format!(
+            "store_wal_appends {}\nstore_wal_bytes {}\nstore_fsyncs {}\n\
+             store_snapshot_ms {}\nstore_snapshots {}\nstore_recovered_sessions {}\n\
+             store_truncated_records {}\nstore_wal_errors {}\n",
+            s.wal_appends.load(Relaxed),
+            s.wal_bytes.load(Relaxed),
+            s.fsyncs.load(Relaxed),
+            s.snapshot_ms.load(Relaxed),
+            s.snapshots.load(Relaxed),
+            s.recovered_sessions.load(Relaxed),
+            s.truncated_records.load(Relaxed),
+            crate::persist::wal_errors(),
+        ));
+    }
     if let Some(pool) = state.pool_stats() {
         extra.push_str(&format!(
             "pool_threads {}\npool_jobs {}\npool_tasks {}\npool_imbalance {:?}\n",
@@ -462,6 +480,24 @@ fn session_create(state: &AppState, request: &Request) -> Response {
         converged: scores.converged,
     };
     let id = state.next_session_id.fetch_add(1, Ordering::Relaxed);
+    crate::persist::log_event(
+        state,
+        WalEvent::Create {
+            id,
+            damping: params.damping,
+            tolerance: params.tolerance,
+            members: params.members.clone(),
+        },
+    );
+    crate::persist::log_event(
+        state,
+        WalEvent::Solved {
+            id,
+            scores: result.scores.as_ref().clone(),
+            lambda: result.lambda.unwrap_or(0.0),
+            iterations: result.iterations as u64,
+        },
+    );
     state
         .lock_sessions()
         .insert(id, Arc::new(Mutex::new(session)));
@@ -562,9 +598,11 @@ fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
     }
     if !add.is_empty() {
         session.session.add_pages(&state.graph, &add);
+        crate::persist::log_event(state, WalEvent::AddPages { id, pages: add });
     }
     if !remove.is_empty() {
         session.session.remove_pages(&state.graph, &remove);
+        crate::persist::log_event(state, WalEvent::RemovePages { id, pages: remove });
     }
     let scores = session.session.solve();
     // Also clear any cold `/rank` entry for the *new* membership: the
@@ -587,6 +625,15 @@ fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
         iterations: scores.iterations,
         converged: scores.converged,
     };
+    crate::persist::log_event(
+        state,
+        WalEvent::Solved {
+            id,
+            scores: result.scores.as_ref().clone(),
+            lambda: result.lambda.unwrap_or(0.0),
+            iterations: result.iterations as u64,
+        },
+    );
     Response::json(
         200,
         result_body(
@@ -609,6 +656,7 @@ fn session_get(state: &AppState, id: u64) -> Response {
         return Response::error(404, &format!("no session {id}"));
     };
     let session = entry.lock().unwrap_or_else(|e| e.into_inner());
+    let solution = session.session.last_solution();
     let body = obj(vec![
         ("id", Json::Num(id as f64)),
         (
@@ -628,6 +676,20 @@ fn session_get(state: &AppState, id: u64) -> Response {
         ),
         ("damping", Json::Num(session.damping)),
         ("tolerance", Json::Num(session.tolerance)),
+        // The last solution, served without re-solving — also what the
+        // crash-recovery smoke test diffs across a restart.
+        (
+            "lambda",
+            solution
+                .map(|(_, lambda)| Json::Num(lambda))
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "scores",
+            solution
+                .map(|(scores, _)| scores_json(scores, 0))
+                .unwrap_or(Json::Arr(vec![])),
+        ),
     ]);
     Response::json(200, body.emit())
 }
@@ -640,6 +702,7 @@ fn session_delete(state: &AppState, id: u64) -> Response {
     if let Some(key) = &session.published_key {
         state.cache.invalidate(key);
     }
+    crate::persist::log_event(state, WalEvent::Close { id });
     Response::json(
         200,
         obj(vec![

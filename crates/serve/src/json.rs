@@ -356,6 +356,7 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn parses_scalars() {
@@ -442,5 +443,115 @@ mod tests {
         assert_eq!(v.as_str(), Some("héllo → Λ"));
         let v = parse(r#""Aλ""#).unwrap();
         assert_eq!(v.as_str(), Some("Aλ"));
+    }
+
+    /// Builds arbitrary [`Json`] trees deterministically from a word
+    /// stream (the compat proptest shim has no recursive strategies, so
+    /// the recursion lives here, depth-capped well under the parser's
+    /// [`MAX_DEPTH`]).
+    struct TreeBuilder<'a> {
+        words: &'a [u64],
+        pos: usize,
+    }
+
+    impl TreeBuilder<'_> {
+        fn next(&mut self) -> u64 {
+            let word = self.words[self.pos % self.words.len()];
+            self.pos += 1;
+            // Decorrelate wraparound passes so cycling the stream does
+            // not repeat the same subtree forever.
+            word ^ (self.pos as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        }
+
+        fn number(&mut self) -> f64 {
+            // Awkward values the emitter must not mangle: accumulated
+            // rounding error, the smallest subnormal, the largest finite,
+            // huge magnitudes, and plain integers.
+            const POOL: [f64; 10] = [
+                0.1 + 0.2,
+                5e-324,
+                f64::MAX,
+                6.02e23,
+                -1.0 / 3.0,
+                0.85,
+                1e-12,
+                -42.0,
+                0.0,
+                9_007_199_254_740_992.0, // 2^53
+            ];
+            let w = self.next();
+            if w.is_multiple_of(3) {
+                // Arbitrary bit patterns, skipping the values the emitter
+                // documents as lossy: non-finite maps to null, and -0.0's
+                // integer formatting drops the sign.
+                let f = f64::from_bits(self.next());
+                if f.is_finite() && f.to_bits() != (-0.0f64).to_bits() {
+                    return f;
+                }
+            }
+            POOL[(w % POOL.len() as u64) as usize]
+        }
+
+        fn string(&mut self) -> String {
+            const POOL: [char; 12] = [
+                'a', 'Z', '"', '\\', '\n', '\t', '\r', '\u{1}', 'λ', '→', '🙂', ' ',
+            ];
+            let len = (self.next() % 8) as usize;
+            (0..len)
+                .map(|_| POOL[(self.next() % POOL.len() as u64) as usize])
+                .collect()
+        }
+
+        fn value(&mut self, depth: usize) -> Json {
+            let leaf_only = depth >= 5;
+            match self.next() % if leaf_only { 4 } else { 6 } {
+                0 => Json::Null,
+                1 => Json::Bool(self.next().is_multiple_of(2)),
+                2 => Json::Num(self.number()),
+                3 => Json::Str(self.string()),
+                4 => {
+                    let n = (self.next() % 4) as usize;
+                    Json::Arr((0..n).map(|_| self.value(depth + 1)).collect())
+                }
+                _ => {
+                    let n = (self.next() % 4) as usize;
+                    Json::Obj(
+                        (0..n)
+                            .map(|_| (self.string(), self.value(depth + 1)))
+                            .collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Collects every number in the tree, in traversal order.
+    fn numbers(v: &Json, out: &mut Vec<f64>) {
+        match v {
+            Json::Num(x) => out.push(*x),
+            Json::Arr(items) => items.iter().for_each(|item| numbers(item, out)),
+            Json::Obj(pairs) => pairs.iter().for_each(|(_, item)| numbers(item, out)),
+            _ => {}
+        }
+    }
+
+    proptest! {
+        /// `parse ∘ emit` is the identity on arbitrary trees — structure,
+        /// duplicate object keys, pathological strings, and every f64
+        /// down to the bit.
+        #[test]
+        fn emit_parse_round_trips(words in proptest::collection::vec(any::<u64>(), 1..64)) {
+            let tree = TreeBuilder { words: &words, pos: 0 }.value(0);
+            let text = tree.emit();
+            let back = parse(&text).unwrap_or_else(|e| panic!("emit produced unparseable {text:?}: {e}"));
+            prop_assert_eq!(&back, &tree);
+            let (mut sent, mut got) = (Vec::new(), Vec::new());
+            numbers(&tree, &mut sent);
+            numbers(&back, &mut got);
+            prop_assert_eq!(sent.len(), got.len());
+            for (a, b) in sent.iter().zip(&got) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} reparsed as {}", a, b);
+            }
+        }
     }
 }

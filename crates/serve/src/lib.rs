@@ -29,6 +29,17 @@
 //! inserted into the shared cache; mutating a session invalidates the
 //! cache keys of both its previous and new membership.
 //!
+//! # Durability
+//!
+//! With [`ServeConfig::data_dir`] set, sessions survive restarts: every
+//! session lifecycle event is appended to a write-ahead log (fsynced per
+//! [`FsyncPolicy`]), a background thread periodically folds the log into
+//! checksummed snapshots, and [`Server::bind`] recovers whatever a
+//! previous process left behind — re-registering sessions with their
+//! converged scores (so the first re-solve is warm) and rewarming hot
+//! result-cache entries. See [`persist`] and the `approxrank-store`
+//! crate. Without a data dir the server is purely in-memory, as before.
+//!
 //! # Shutdown
 //!
 //! `SIGINT`/`SIGTERM` (via [`shutdown_on_signal`]) or
@@ -46,9 +57,11 @@ pub mod http;
 pub mod json;
 pub mod lru;
 pub mod metrics;
+pub mod persist;
 pub mod server;
 pub mod state;
 
+pub use approxrank_store::FsyncPolicy;
 pub use client::{Client, ClientResponse};
 pub use server::{shutdown_on_signal, ServeSummary, Server, ServerHandle};
 pub use state::{AppState, ServeConfig};

@@ -120,6 +120,16 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         Some(slot.value)
     }
 
+    /// Iterates entries from most to least recently used (does not touch
+    /// recency). The snapshotter uses this to persist the hottest
+    /// entries first.
+    pub fn iter(&self) -> LruIter<'_, K, V> {
+        LruIter {
+            lru: self,
+            next: self.head,
+        }
+    }
+
     fn detach(&mut self, idx: usize) {
         let (prev, next) = {
             let s = self.slots[idx].as_ref().expect("live slot");
@@ -157,9 +167,40 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     }
 }
 
+/// Recency-ordered iterator over an [`Lru`] (most recent first).
+pub struct LruIter<'a, K, V> {
+    lru: &'a Lru<K, V>,
+    next: usize,
+}
+
+impl<'a, K, V> Iterator for LruIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == NIL {
+            return None;
+        }
+        let slot = self.lru.slots[self.next].as_ref().expect("linked slot");
+        self.next = slot.next;
+        Some((&slot.key, &slot.value))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn iter_walks_most_recent_first() {
+        let mut lru = Lru::new(3);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("c", 3);
+        lru.get(&"a"); // a becomes MRU
+        let order: Vec<&str> = lru.iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec!["a", "c", "b"]);
+        assert!(Lru::<u32, u32>::new(2).iter().next().is_none());
+    }
 
     #[test]
     fn evicts_least_recently_used() {

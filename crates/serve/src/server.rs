@@ -117,12 +117,20 @@ pub struct Server {
 
 impl Server {
     /// Binds the listener and builds the state (including the `O(N)`
-    /// degree precomputation) for `graph`.
+    /// degree precomputation) for `graph`. When the config names a data
+    /// directory, crash recovery runs here — before the first request can
+    /// arrive — re-registering persisted sessions and rewarming the
+    /// result cache.
     pub fn bind(graph: DiGraph, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let data_dir = config.data_dir.clone();
+        let state = Arc::new(AppState::new(graph, config));
+        if let Some(dir) = data_dir {
+            crate::persist::open_store(&state, &dir)?;
+        }
         Ok(Server {
-            state: Arc::new(AppState::new(graph, config)),
+            state,
             listener,
             addr,
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -174,10 +182,32 @@ impl Server {
                 .expect("failed to spawn acceptor")
         };
 
+        // With a durable store: periodically fold the WAL into a fresh
+        // snapshot so boot-time replay stays short.
+        let snapshotter = state.store.get().map(|_| {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("approxrank-serve-snapshot".into())
+                .spawn(move || snapshot_loop(&state, &shutdown))
+                .expect("failed to spawn snapshotter")
+        });
+
         // One long-lived task per lane; `run_chunks` returns when every
         // lane has drained, so this call *is* the server's lifetime.
         exec.run_chunks(width, |_lane| worker_loop(&state, &queue, &shutdown));
         let _ = acceptor.join();
+        if let Some(snapshotter) = snapshotter {
+            let _ = snapshotter.join();
+            // Clean shutdown: one final snapshot (so the next boot replays
+            // nothing) and a WAL flush regardless of fsync policy.
+            if let Err(e) = crate::persist::snapshot_now(&state) {
+                eprintln!("approxrank-serve: final snapshot failed: {e}");
+            }
+            if let Err(e) = crate::persist::flush(&state) {
+                eprintln!("approxrank-serve: final WAL flush failed: {e}");
+            }
+        }
 
         // Shed anything still queued: tell the client we are going away.
         while let Some(stream) = queue.lock().pop_front() {
@@ -187,6 +217,22 @@ impl Server {
         ServeSummary {
             requests: state.metrics.total_requests(),
             connections: state.metrics.total_connections(),
+        }
+    }
+}
+
+/// Periodically snapshots session + hot-cache state until shutdown,
+/// polling the flag at [`POLL`] so drains are never delayed by a sleep.
+fn snapshot_loop(state: &AppState, shutdown: &AtomicBool) {
+    let interval = state.config.snapshot_interval;
+    let mut last = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL);
+        if last.elapsed() >= interval {
+            if let Err(e) = crate::persist::snapshot_now(state) {
+                eprintln!("approxrank-serve: snapshot failed: {e}");
+            }
+            last = Instant::now();
         }
     }
 }

@@ -2,6 +2,7 @@
 //! sessions, the result cache, and the metrics registry.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -9,6 +10,7 @@ use std::time::Duration;
 use approxrank_core::{GlobalPrecomputation, SubgraphSession};
 use approxrank_exec::{ExecStats, Executor};
 use approxrank_graph::DiGraph;
+use approxrank_store::{FsyncPolicy, SessionStore};
 
 use crate::cache::{CacheKey, ShardedCache};
 use crate::metrics::Metrics;
@@ -31,6 +33,15 @@ pub struct ServeConfig {
     /// Connections queued between the acceptor and the workers before
     /// new arrivals are shed with 503.
     pub accept_queue: usize,
+    /// When set, sessions are made durable: lifecycle events go to a WAL
+    /// in this directory, a background thread snapshots periodically, and
+    /// boot recovers whatever a previous process left behind.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy (only meaningful with `data_dir`).
+    pub fsync: FsyncPolicy,
+    /// How often the background snapshotter folds the WAL into a fresh
+    /// snapshot (only meaningful with `data_dir`).
+    pub snapshot_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +53,9 @@ impl Default for ServeConfig {
             max_body: 1 << 20,
             request_timeout: Duration::from_millis(5_000),
             accept_queue: 128,
+            data_dir: None,
+            fsync: FsyncPolicy::Interval(Duration::from_millis(100)),
+            snapshot_interval: Duration::from_secs(30),
         }
     }
 }
@@ -83,6 +97,10 @@ pub struct AppState {
     /// The worker-lane executor, installed by the server at startup so
     /// `/metrics` can expose `pool_*` telemetry.
     pub pool: OnceLock<Arc<Executor>>,
+    /// The durable session store, installed by
+    /// [`crate::persist::open_store`] when the server runs with a data
+    /// directory. Absent in the default in-memory mode.
+    pub store: OnceLock<Arc<SessionStore>>,
 }
 
 impl AppState {
@@ -100,6 +118,7 @@ impl AppState {
             metrics: Metrics::new(),
             config,
             pool: OnceLock::new(),
+            store: OnceLock::new(),
         }
     }
 

@@ -1,0 +1,267 @@
+//! Durability integration tests: sessions created through the HTTP
+//! routing layer must survive a process boundary — via a snapshot, via
+//! WAL replay alone, and via a real server's graceful-shutdown snapshot —
+//! with `GET /session/{id}` responses byte-identical across the restart.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use approxrank_graph::DiGraph;
+use approxrank_serve::handlers::route;
+use approxrank_serve::http::{Request, Response};
+use approxrank_serve::persist;
+use approxrank_serve::{AppState, Client, FsyncPolicy, ServeConfig, Server};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "approxrank-serve-persist-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A graph with enough structure for multi-page subgraphs.
+fn test_graph() -> DiGraph {
+    let n = 60u32;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        edges.push((i, (i * 7 + 3) % n));
+        if i % 5 == 0 {
+            edges.push((i, (i + n / 2) % n));
+        }
+    }
+    DiGraph::from_edges(n as usize, &edges)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        fsync: FsyncPolicy::Always,
+        ..ServeConfig::default()
+    }
+}
+
+fn state() -> AppState {
+    AppState::new(test_graph(), config())
+}
+
+fn post(path: &str, body: &str) -> Request {
+    Request {
+        method: "POST".into(),
+        path: path.into(),
+        headers: vec![],
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn get(path: &str) -> Request {
+    Request {
+        method: "GET".into(),
+        path: path.into(),
+        headers: vec![],
+        body: vec![],
+    }
+}
+
+fn ok(state: &AppState, request: &Request) -> Response {
+    let (_, response) = route(state, request);
+    assert_eq!(
+        response.status,
+        200,
+        "{} {}: {}",
+        request.method,
+        request.path,
+        String::from_utf8_lossy(&response.body)
+    );
+    response
+}
+
+/// Creates two sessions and mutates the first, mirroring a small live
+/// workload. Returns the ids.
+fn seed_sessions(state: &AppState) -> Vec<u64> {
+    ok(state, &post("/session", r#"{"members": [1, 2, 3, 4]}"#));
+    ok(
+        state,
+        &post("/session", r#"{"members": [10, 11, 12], "damping": 0.9}"#),
+    );
+    ok(
+        state,
+        &post("/session/1/update", r#"{"add": [5, 6], "remove": [2]}"#),
+    );
+    vec![1, 2]
+}
+
+#[test]
+fn snapshot_restart_roundtrip_is_byte_identical() {
+    let dir = tempdir("snapshot");
+    let old = state();
+    persist::open_store(&old, &dir).expect("open fresh store");
+    let ids = seed_sessions(&old);
+    let before: Vec<Vec<u8>> = ids
+        .iter()
+        .map(|id| ok(&old, &get(&format!("/session/{id}"))).body)
+        .collect();
+    persist::snapshot_now(&old).expect("snapshot");
+    drop(old);
+
+    let new = state();
+    let summary = persist::open_store(&new, &dir).expect("recover");
+    assert_eq!(summary.sessions, ids.len());
+    assert_eq!(summary.skipped, 0);
+    for (id, body) in ids.iter().zip(&before) {
+        let after = ok(&new, &get(&format!("/session/{id}")));
+        assert_eq!(
+            &after.body, body,
+            "GET /session/{id} changed across restart"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_replay_alone_recovers_sessions() {
+    let dir = tempdir("wal-only");
+    let old = state();
+    persist::open_store(&old, &dir).expect("open fresh store");
+    let ids = seed_sessions(&old);
+    // Close the second session; replay must forget it.
+    let (_, response) = route(
+        &old,
+        &Request {
+            method: "DELETE".into(),
+            path: "/session/2".into(),
+            headers: vec![],
+            body: vec![],
+        },
+    );
+    assert_eq!(response.status, 200);
+    let before = ok(&old, &get("/session/1")).body;
+    // No snapshot: recovery must come entirely from the WAL.
+    drop(old);
+
+    let new = state();
+    let summary = persist::open_store(&new, &dir).expect("recover");
+    assert_eq!(summary.sessions, 1);
+    let after = ok(&new, &get("/session/1"));
+    assert_eq!(after.body, before);
+    let (_, gone) = route(&new, &get("/session/2"));
+    assert_eq!(gone.status, 404, "closed session must stay closed");
+    let _ = ids;
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_sessions_keep_serving_updates_identically() {
+    // The same mutation applied to a recovered session and to one that
+    // never left memory must produce byte-identical responses: restore
+    // hands the warm solver exactly the scores it had before the crash.
+    let dir = tempdir("warm");
+    let control = state();
+    let old = state();
+    persist::open_store(&old, &dir).expect("open fresh store");
+    seed_sessions(&control);
+    seed_sessions(&old);
+    persist::snapshot_now(&old).expect("snapshot");
+    drop(old);
+
+    let recovered = state();
+    persist::open_store(&recovered, &dir).expect("recover");
+    let update = post("/session/1/update", r#"{"add": [20, 21], "remove": [3]}"#);
+    let from_control = ok(&control, &update);
+    let from_recovered = ok(&recovered, &update);
+    assert_eq!(from_recovered.body, from_control.body);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_ids_continue_past_recovered_ones() {
+    let dir = tempdir("ids");
+    let old = state();
+    persist::open_store(&old, &dir).expect("open fresh store");
+    seed_sessions(&old);
+    persist::snapshot_now(&old).expect("snapshot");
+    drop(old);
+
+    let new = state();
+    persist::open_store(&new, &dir).expect("recover");
+    let created = ok(&new, &post("/session", r#"{"members": [30, 31]}"#));
+    let body = String::from_utf8(created.body).unwrap();
+    assert!(
+        body.contains("\"id\":3") || body.contains("\"id\": 3"),
+        "expected the next id after the recovered ones, got {body}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_expose_store_counters() {
+    let dir = tempdir("metrics");
+    let state = state();
+    persist::open_store(&state, &dir).expect("open fresh store");
+    seed_sessions(&state);
+    persist::snapshot_now(&state).expect("snapshot");
+    let body = String::from_utf8(ok(&state, &get("/metrics")).body).unwrap();
+    for line in [
+        "store_wal_appends ",
+        "store_wal_bytes ",
+        "store_fsyncs ",
+        "store_snapshots 1",
+        "store_snapshot_ms ",
+        "store_recovered_sessions 0",
+        "store_truncated_records 0",
+        "store_wal_errors ",
+    ] {
+        assert!(body.contains(line), "missing `{line}` in:\n{body}");
+    }
+    // 2 creates + 3 solves + 1 add + 1 remove.
+    assert!(body.contains("store_wal_appends 7"), "{body}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn real_server_restart_preserves_sessions() {
+    let dir = tempdir("server");
+    let serve_config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        request_timeout: Duration::from_millis(2_000),
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        ..ServeConfig::default()
+    };
+
+    let before;
+    {
+        let server = Server::bind(test_graph(), serve_config.clone()).expect("bind");
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.serve());
+        let mut client =
+            Client::new(&handle.addr().to_string()).with_timeout(Duration::from_secs(5));
+        let created = client
+            .post("/session", r#"{"members": [7, 8, 9, 10]}"#)
+            .expect("create session");
+        assert_eq!(created.status, 200);
+        let updated = client
+            .post("/session/1/update", r#"{"add": [11]}"#)
+            .expect("update session");
+        assert_eq!(updated.status, 200);
+        before = client.get("/session/1").expect("inspect").body;
+        handle.shutdown();
+        thread.join().expect("serve thread");
+    }
+
+    let server = Server::bind(test_graph(), serve_config).expect("re-bind");
+    let state: Arc<AppState> = server.state();
+    assert_eq!(state.session_count(), 1, "session must survive the restart");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.serve());
+    let mut client = Client::new(&handle.addr().to_string()).with_timeout(Duration::from_secs(5));
+    let after = client.get("/session/1").expect("inspect").body;
+    assert_eq!(after, before, "GET /session/1 changed across restart");
+    handle.shutdown();
+    thread.join().expect("serve thread");
+    let _ = fs::remove_dir_all(&dir);
+}

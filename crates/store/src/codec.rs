@@ -1,0 +1,192 @@
+//! Little-endian binary codec helpers shared by the WAL and snapshot
+//! formats.
+//!
+//! Encoding appends to a `Vec<u8>`; decoding reads from a bounds-checked
+//! cursor that returns [`CodecError`] instead of panicking, because every
+//! decoded byte may come from a torn write or bit rot — the caller turns
+//! decode failures into truncation, never into a crash.
+
+use std::fmt;
+
+/// A structurally invalid record (truncated field, implausible count,
+/// unknown tag). Framing-level corruption is caught by CRC before the
+/// codec ever runs; this error covers what a *valid-CRC* but
+/// wrong-version or hand-crafted record could still get wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+pub(crate) fn put_scores(out: &mut Vec<u8>, scores: &[(u32, f64)]) {
+    put_u32(out, scores.len() as u32);
+    for &(page, score) in scores {
+        put_u32(out, page);
+        put_f64(out, score);
+    }
+}
+
+/// A bounds-checked read cursor over one decoded payload.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                CodecError(format!(
+                    "truncated {what}: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len() - self.pos
+                ))
+            })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A `u32` count followed by that many `u32`s. The count is validated
+    /// against the remaining length before allocating, so a corrupt count
+    /// cannot demand gigabytes.
+    pub(crate) fn u32s(&mut self, what: &str) -> Result<Vec<u32>, CodecError> {
+        let n = self.u32(what)? as usize;
+        if n > self.remaining() / 4 {
+            return Err(CodecError(format!(
+                "implausible {what} count {n} with {} bytes left",
+                self.remaining()
+            )));
+        }
+        (0..n).map(|_| self.u32(what)).collect()
+    }
+
+    /// A `u32` count followed by that many `(u32, f64)` pairs.
+    pub(crate) fn scores(&mut self, what: &str) -> Result<Vec<(u32, f64)>, CodecError> {
+        let n = self.u32(what)? as usize;
+        if n > self.remaining() / 12 {
+            return Err(CodecError(format!(
+                "implausible {what} count {n} with {} bytes left",
+                self.remaining()
+            )));
+        }
+        (0..n)
+            .map(|_| Ok((self.u32(what)?, self.f64(what)?)))
+            .collect()
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the payload is fully consumed; leftover bytes mean the
+    /// record was encoded by something this decoder does not understand.
+    pub(crate) fn finish(&self, what: &str) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError(format!(
+                "{} trailing bytes after {what}",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.1);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(c.f64("d").unwrap().to_bits(), (-0.1f64).to_bits());
+        c.finish("record").unwrap();
+    }
+
+    #[test]
+    fn list_roundtrip_and_bounds() {
+        let mut buf = Vec::new();
+        put_u32s(&mut buf, &[1, 2, 3]);
+        put_scores(&mut buf, &[(9, 0.5), (10, 0.25)]);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u32s("ids").unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.scores("scores").unwrap(), vec![(9, 0.5), (10, 0.25)]);
+        c.finish("record").unwrap();
+
+        // A count that lies about the payload size fails without allocating.
+        let mut lying = Vec::new();
+        put_u32(&mut lying, u32::MAX);
+        let mut c = Cursor::new(&lying);
+        let err = c.u32s("ids").unwrap_err();
+        assert!(err.0.contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        for len in 0..buf.len() {
+            let mut c = Cursor::new(&buf[..len]);
+            assert!(c.u64("field").is_err(), "prefix {len} decoded");
+        }
+    }
+}

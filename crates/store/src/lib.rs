@@ -1,0 +1,43 @@
+//! Durable session store for the ApproxRank serving layer.
+//!
+//! Warm `SubgraphSession`s are the product of real solver work — losing
+//! them on restart forfeits exactly the recomputation savings ApproxRank
+//! exists to provide (Wu & Raschid, ICDE 2009). This crate persists them
+//! with the classic checkpoint + write-ahead-log design:
+//!
+//! * **WAL** ([`SessionStore::append`]): every session lifecycle event
+//!   ([`WalEvent`]) is framed as `[len][crc32][payload]` and appended to a
+//!   segment file, fsynced per [`FsyncPolicy`]. Segments rotate at a size
+//!   threshold.
+//! * **Snapshots** ([`SessionStore::snapshot`]): periodically the full
+//!   session map (and the result cache's hot entries) is written to a
+//!   checksummed, versioned snapshot file, after which the covered WAL
+//!   segments are retired. Snapshot writes are atomic (tmp → fsync →
+//!   rename).
+//! * **Recovery** ([`SessionStore::open`]): load the newest snapshot that
+//!   validates (falling back past corrupt ones), replay the WAL tail, and
+//!   *truncate* at the first torn or corrupt record instead of failing —
+//!   a crash mid-append must never brick the store.
+//!
+//! The crate is deliberately zero-dependency and speaks only primitive
+//! types (`u32` page ids, `f64` scalars), so it sits at the bottom of the
+//! workspace dependency graph; `approxrank-graph` borrows its [`Crc32`]
+//! for the binary graph format, and `approxrank-serve` converts its live
+//! session and cache types to and from [`SessionRecord`] /
+//! [`CacheRecord`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod codec;
+mod crc;
+mod record;
+mod snapshot;
+mod store;
+mod wal;
+
+pub use codec::CodecError;
+pub use crc::{crc32, Crc32};
+pub use record::{apply_event, CacheRecord, SessionRecord, WalEvent};
+pub use store::{RecoveredState, SessionStore, StoreConfig, StoreStats};
+pub use wal::FsyncPolicy;

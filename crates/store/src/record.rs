@@ -1,0 +1,487 @@
+//! The durable record types: session state, hot cache entries, and WAL
+//! lifecycle events, with their binary encodings.
+//!
+//! These are plain data — the store crate sits *below* the graph and
+//! ranking crates in the dependency graph, so session state is described
+//! here in primitive terms (page ids, solver scalars, score pairs) and
+//! the serving layer converts to and from its live types.
+
+use crate::codec::{put_f64, put_scores, put_u32s, put_u64, put_u8, CodecError, Cursor};
+
+/// The persistent image of one warm ranking session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionRecord {
+    /// The session id the service handed out.
+    pub id: u64,
+    /// Damping factor the session was opened with.
+    pub damping: f64,
+    /// Convergence tolerance the session was opened with.
+    pub tolerance: f64,
+    /// Iterations of the most recent solve (0 before the first).
+    pub iterations: u64,
+    /// Membership in insertion order (the session's warm-start remapping
+    /// is keyed by this order, so it must survive verbatim).
+    pub members: Vec<u32>,
+    /// The last converged solution: per-page `(global id, score)` pairs
+    /// plus the external node Λ's score. `None` before the first solve.
+    pub solution: Option<(Vec<(u32, f64)>, f64)>,
+}
+
+impl SessionRecord {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.id);
+        put_f64(out, self.damping);
+        put_f64(out, self.tolerance);
+        put_u64(out, self.iterations);
+        put_u32s(out, &self.members);
+        match &self.solution {
+            None => put_u8(out, 0),
+            Some((scores, lambda)) => {
+                put_u8(out, 1);
+                put_scores(out, scores);
+                put_f64(out, *lambda);
+            }
+        }
+    }
+
+    pub(crate) fn decode(cursor: &mut Cursor<'_>) -> Result<Self, CodecError> {
+        let id = cursor.u64("session id")?;
+        let damping = cursor.f64("damping")?;
+        let tolerance = cursor.f64("tolerance")?;
+        let iterations = cursor.u64("iterations")?;
+        let members = cursor.u32s("members")?;
+        let solution = match cursor.u8("solution flag")? {
+            0 => None,
+            1 => {
+                let scores = cursor.scores("solution scores")?;
+                let lambda = cursor.f64("lambda")?;
+                Some((scores, lambda))
+            }
+            other => return Err(CodecError(format!("bad solution flag {other}"))),
+        };
+        Ok(SessionRecord {
+            id,
+            damping,
+            tolerance,
+            iterations,
+            members,
+            solution,
+        })
+    }
+}
+
+/// The persistent image of one hot result-cache entry, so a restarted
+/// server answers its popular queries from cache instead of re-solving.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheRecord {
+    /// Algorithm discriminant (the serving layer's stable code).
+    pub algorithm: u8,
+    /// `f64::to_bits` of the damping factor (bit-exact key part).
+    pub damping_bits: u64,
+    /// `f64::to_bits` of the tolerance.
+    pub tolerance_bits: u64,
+    /// Sorted, deduplicated member ids.
+    pub members: Vec<u32>,
+    /// `(global id, score)` pairs in member order.
+    pub scores: Vec<(u32, f64)>,
+    /// The external node Λ's score, when the algorithm has one.
+    pub lambda: Option<f64>,
+    /// Iterations the solve took.
+    pub iterations: u64,
+    /// Whether the solve converged.
+    pub converged: bool,
+}
+
+impl CacheRecord {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u8(out, self.algorithm);
+        put_u64(out, self.damping_bits);
+        put_u64(out, self.tolerance_bits);
+        put_u32s(out, &self.members);
+        put_scores(out, &self.scores);
+        match self.lambda {
+            None => put_u8(out, 0),
+            Some(l) => {
+                put_u8(out, 1);
+                put_f64(out, l);
+            }
+        }
+        put_u64(out, self.iterations);
+        put_u8(out, self.converged as u8);
+    }
+
+    pub(crate) fn decode(cursor: &mut Cursor<'_>) -> Result<Self, CodecError> {
+        let algorithm = cursor.u8("algorithm")?;
+        let damping_bits = cursor.u64("damping bits")?;
+        let tolerance_bits = cursor.u64("tolerance bits")?;
+        let members = cursor.u32s("members")?;
+        let scores = cursor.scores("scores")?;
+        let lambda = match cursor.u8("lambda flag")? {
+            0 => None,
+            1 => Some(cursor.f64("lambda")?),
+            other => return Err(CodecError(format!("bad lambda flag {other}"))),
+        };
+        let iterations = cursor.u64("iterations")?;
+        let converged = match cursor.u8("converged")? {
+            0 => false,
+            1 => true,
+            other => return Err(CodecError(format!("bad converged flag {other}"))),
+        };
+        Ok(CacheRecord {
+            algorithm,
+            damping_bits,
+            tolerance_bits,
+            members,
+            scores,
+            lambda,
+            iterations,
+            converged,
+        })
+    }
+}
+
+/// One session-lifecycle event in the write-ahead log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalEvent {
+    /// A session was opened.
+    Create {
+        /// Session id.
+        id: u64,
+        /// Damping factor.
+        damping: f64,
+        /// Convergence tolerance.
+        tolerance: f64,
+        /// Initial membership in insertion order.
+        members: Vec<u32>,
+    },
+    /// Pages were added to a session (insertion order preserved).
+    AddPages {
+        /// Session id.
+        id: u64,
+        /// Pages added.
+        pages: Vec<u32>,
+    },
+    /// Pages were removed from a session.
+    RemovePages {
+        /// Session id.
+        id: u64,
+        /// Pages removed.
+        pages: Vec<u32>,
+    },
+    /// A solve converged; the scores are recorded so recovery restores
+    /// them without re-solving.
+    Solved {
+        /// Session id.
+        id: u64,
+        /// `(global id, score)` pairs in membership order.
+        scores: Vec<(u32, f64)>,
+        /// The external node Λ's score.
+        lambda: f64,
+        /// Iterations the solve took.
+        iterations: u64,
+    },
+    /// The session was closed; recovery forgets it.
+    Close {
+        /// Session id.
+        id: u64,
+    },
+}
+
+const TAG_CREATE: u8 = 1;
+const TAG_ADD: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+const TAG_SOLVED: u8 = 4;
+const TAG_CLOSE: u8 = 5;
+
+impl WalEvent {
+    /// The session this event belongs to.
+    pub fn session_id(&self) -> u64 {
+        match *self {
+            WalEvent::Create { id, .. }
+            | WalEvent::AddPages { id, .. }
+            | WalEvent::RemovePages { id, .. }
+            | WalEvent::Solved { id, .. }
+            | WalEvent::Close { id } => id,
+        }
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalEvent::Create {
+                id,
+                damping,
+                tolerance,
+                members,
+            } => {
+                put_u8(out, TAG_CREATE);
+                put_u64(out, *id);
+                put_f64(out, *damping);
+                put_f64(out, *tolerance);
+                put_u32s(out, members);
+            }
+            WalEvent::AddPages { id, pages } => {
+                put_u8(out, TAG_ADD);
+                put_u64(out, *id);
+                put_u32s(out, pages);
+            }
+            WalEvent::RemovePages { id, pages } => {
+                put_u8(out, TAG_REMOVE);
+                put_u64(out, *id);
+                put_u32s(out, pages);
+            }
+            WalEvent::Solved {
+                id,
+                scores,
+                lambda,
+                iterations,
+            } => {
+                put_u8(out, TAG_SOLVED);
+                put_u64(out, *id);
+                put_scores(out, scores);
+                put_f64(out, *lambda);
+                put_u64(out, *iterations);
+            }
+            WalEvent::Close { id } => {
+                put_u8(out, TAG_CLOSE);
+                put_u64(out, *id);
+            }
+        }
+    }
+
+    pub(crate) fn decode(cursor: &mut Cursor<'_>) -> Result<Self, CodecError> {
+        let tag = cursor.u8("event tag")?;
+        let event = match tag {
+            TAG_CREATE => WalEvent::Create {
+                id: cursor.u64("id")?,
+                damping: cursor.f64("damping")?,
+                tolerance: cursor.f64("tolerance")?,
+                members: cursor.u32s("members")?,
+            },
+            TAG_ADD => WalEvent::AddPages {
+                id: cursor.u64("id")?,
+                pages: cursor.u32s("pages")?,
+            },
+            TAG_REMOVE => WalEvent::RemovePages {
+                id: cursor.u64("id")?,
+                pages: cursor.u32s("pages")?,
+            },
+            TAG_SOLVED => WalEvent::Solved {
+                id: cursor.u64("id")?,
+                scores: cursor.scores("scores")?,
+                lambda: cursor.f64("lambda")?,
+                iterations: cursor.u64("iterations")?,
+            },
+            TAG_CLOSE => WalEvent::Close {
+                id: cursor.u64("id")?,
+            },
+            other => return Err(CodecError(format!("unknown event tag {other}"))),
+        };
+        Ok(event)
+    }
+}
+
+/// Applies one event to a session map, the shared replay rule for
+/// recovery. Events are state-overwriting, so replaying an event whose
+/// effect is already reflected in a newer snapshot is harmless (adds
+/// deduplicate, removes of non-members no-op, solves overwrite with the
+/// same scores).
+pub fn apply_event(sessions: &mut Vec<SessionRecord>, event: &WalEvent) {
+    let find =
+        |sessions: &mut Vec<SessionRecord>, id: u64| sessions.iter_mut().position(|s| s.id == id);
+    match event {
+        WalEvent::Create {
+            id,
+            damping,
+            tolerance,
+            members,
+        } => {
+            let record = SessionRecord {
+                id: *id,
+                damping: *damping,
+                tolerance: *tolerance,
+                iterations: 0,
+                members: members.clone(),
+                solution: None,
+            };
+            match find(sessions, *id) {
+                Some(pos) => sessions[pos] = record,
+                None => sessions.push(record),
+            }
+        }
+        WalEvent::AddPages { id, pages } => {
+            if let Some(pos) = find(sessions, *id) {
+                let s = &mut sessions[pos];
+                for &p in pages {
+                    if !s.members.contains(&p) {
+                        s.members.push(p);
+                    }
+                }
+            }
+        }
+        WalEvent::RemovePages { id, pages } => {
+            if let Some(pos) = find(sessions, *id) {
+                sessions[pos].members.retain(|m| !pages.contains(m));
+            }
+        }
+        WalEvent::Solved {
+            id,
+            scores,
+            lambda,
+            iterations,
+        } => {
+            if let Some(pos) = find(sessions, *id) {
+                let s = &mut sessions[pos];
+                s.solution = Some((scores.clone(), *lambda));
+                s.iterations = *iterations;
+            }
+        }
+        WalEvent::Close { id } => {
+            sessions.retain(|s| s.id != *id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_event(e: &WalEvent) -> WalEvent {
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let mut c = Cursor::new(&buf);
+        let back = WalEvent::decode(&mut c).unwrap();
+        c.finish("event").unwrap();
+        back
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let events = [
+            WalEvent::Create {
+                id: 3,
+                damping: 0.85,
+                tolerance: 1e-9,
+                members: vec![5, 1, 9],
+            },
+            WalEvent::AddPages {
+                id: 3,
+                pages: vec![2, 8],
+            },
+            WalEvent::RemovePages {
+                id: 3,
+                pages: vec![1],
+            },
+            WalEvent::Solved {
+                id: 3,
+                scores: vec![(5, 0.4), (9, 0.3), (2, 0.2), (8, 0.1)],
+                lambda: 0.05,
+                iterations: 17,
+            },
+            WalEvent::Close { id: 3 },
+        ];
+        for e in &events {
+            assert_eq!(&roundtrip_event(e), e);
+            assert_eq!(e.session_id(), 3);
+        }
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let session = SessionRecord {
+            id: 42,
+            damping: 0.9,
+            tolerance: 1e-8,
+            iterations: 33,
+            members: vec![7, 3, 11],
+            solution: Some((vec![(7, 0.5), (3, 0.3), (11, 0.15)], 0.05)),
+        };
+        let mut buf = Vec::new();
+        session.encode(&mut buf);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(SessionRecord::decode(&mut c).unwrap(), session);
+        c.finish("session").unwrap();
+
+        let cache = CacheRecord {
+            algorithm: 0,
+            damping_bits: 0.85f64.to_bits(),
+            tolerance_bits: 1e-5f64.to_bits(),
+            members: vec![1, 2, 3],
+            scores: vec![(1, 0.6), (2, 0.25), (3, 0.15)],
+            lambda: Some(0.0),
+            iterations: 12,
+            converged: true,
+        };
+        let mut buf = Vec::new();
+        cache.encode(&mut buf);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(CacheRecord::decode(&mut c).unwrap(), cache);
+        c.finish("cache").unwrap();
+    }
+
+    #[test]
+    fn truncated_records_fail_cleanly() {
+        let e = WalEvent::Solved {
+            id: 1,
+            scores: vec![(1, 0.5), (2, 0.5)],
+            lambda: 0.0,
+            iterations: 5,
+        };
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        for len in 0..buf.len() {
+            let mut c = Cursor::new(&buf[..len]);
+            assert!(
+                WalEvent::decode(&mut c)
+                    .and_then(|_| c.finish("event"))
+                    .is_err(),
+                "prefix {len} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_rules() {
+        let mut sessions = Vec::new();
+        apply_event(
+            &mut sessions,
+            &WalEvent::Create {
+                id: 1,
+                damping: 0.85,
+                tolerance: 1e-6,
+                members: vec![9, 4],
+            },
+        );
+        apply_event(
+            &mut sessions,
+            &WalEvent::AddPages {
+                id: 1,
+                pages: vec![4, 6], // 4 is a duplicate
+            },
+        );
+        assert_eq!(sessions[0].members, vec![9, 4, 6]);
+        apply_event(
+            &mut sessions,
+            &WalEvent::RemovePages {
+                id: 1,
+                pages: vec![4, 99], // 99 is not a member
+            },
+        );
+        assert_eq!(sessions[0].members, vec![9, 6]);
+        apply_event(
+            &mut sessions,
+            &WalEvent::Solved {
+                id: 1,
+                scores: vec![(9, 0.7), (6, 0.2)],
+                lambda: 0.1,
+                iterations: 8,
+            },
+        );
+        assert_eq!(sessions[0].iterations, 8);
+        assert!(sessions[0].solution.is_some());
+        // Events for unknown sessions are ignored, not a crash.
+        apply_event(&mut sessions, &WalEvent::Close { id: 77 });
+        assert_eq!(sessions.len(), 1);
+        apply_event(&mut sessions, &WalEvent::Close { id: 1 });
+        assert!(sessions.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! The session store: recovery on open, WAL appends during operation,
+//! periodic snapshots that bound replay work.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::record::{apply_event, CacheRecord, SessionRecord, WalEvent};
+use crate::snapshot::{self, Snapshot};
+use crate::wal::{self, FsyncPolicy, Wal};
+
+/// Tunables for opening a store.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// When appended WAL records are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Rotate the WAL segment once it crosses this many bytes.
+    pub segment_bytes: u64,
+    /// How many snapshots to retain (newest first); at least 1.
+    pub keep_snapshots: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: FsyncPolicy::Interval(std::time::Duration::from_millis(100)),
+            segment_bytes: 8 << 20,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// What recovery reconstructed from disk.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredState {
+    /// Live sessions, snapshot state plus replayed WAL tail.
+    pub sessions: Vec<SessionRecord>,
+    /// Hot cache entries from the newest snapshot (the WAL does not log
+    /// cache activity; cache state is best-effort).
+    pub cache: Vec<CacheRecord>,
+    /// How many torn/corrupt WAL tails were truncated during replay.
+    pub truncated_records: u64,
+    /// How many WAL events were replayed on top of the snapshot.
+    pub replayed_events: u64,
+}
+
+/// Monotonic operation counters, readable at any time for `/metrics`.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// WAL records appended since open.
+    pub wal_appends: AtomicU64,
+    /// WAL bytes written since open (framing included).
+    pub wal_bytes: AtomicU64,
+    /// Explicit fsync calls issued.
+    pub fsyncs: AtomicU64,
+    /// Snapshots written since open.
+    pub snapshots: AtomicU64,
+    /// Total milliseconds spent writing snapshots.
+    pub snapshot_ms: AtomicU64,
+    /// Sessions reconstructed by recovery at open.
+    pub recovered_sessions: AtomicU64,
+    /// Torn/corrupt WAL tails truncated by recovery at open.
+    pub truncated_records: AtomicU64,
+}
+
+/// A durable session store bound to one data directory.
+///
+/// All methods take `&self`; the WAL is guarded by an internal mutex so
+/// the store can live behind an `Arc` shared across server workers.
+pub struct SessionStore {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    keep_snapshots: usize,
+    stats: StoreStats,
+}
+
+impl SessionStore {
+    /// Opens the store in `dir` (created if absent), running recovery:
+    /// load the newest valid snapshot, replay the WAL tail, truncate at
+    /// the first torn record. A fresh WAL segment is started at the next
+    /// unused LSN — the writer never appends to a segment that may end in
+    /// a torn tail.
+    pub fn open(dir: &Path, config: StoreConfig) -> io::Result<(SessionStore, RecoveredState)> {
+        std::fs::create_dir_all(dir)?;
+
+        let snapshot = snapshot::load_newest(dir)?.unwrap_or_default();
+        let replayed = wal::replay(dir)?;
+
+        let mut sessions = snapshot.sessions;
+        let mut replayed_events = 0u64;
+        for (lsn, event) in &replayed.events {
+            if *lsn > snapshot.covered_lsn {
+                apply_event(&mut sessions, event);
+                replayed_events += 1;
+            }
+        }
+
+        let next_lsn = replayed.max_lsn.max(snapshot.covered_lsn) + 1;
+        let wal = Wal::create(dir, next_lsn, config.segment_bytes, config.fsync)?;
+
+        let recovered = RecoveredState {
+            sessions,
+            cache: snapshot.cache,
+            truncated_records: replayed.truncated,
+            replayed_events,
+        };
+
+        let store = SessionStore {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(wal),
+            keep_snapshots: config.keep_snapshots.max(1),
+            stats: StoreStats::default(),
+        };
+        store
+            .stats
+            .recovered_sessions
+            .store(recovered.sessions.len() as u64, Ordering::Relaxed);
+        store
+            .stats
+            .truncated_records
+            .store(recovered.truncated_records, Ordering::Relaxed);
+        Ok((store, recovered))
+    }
+
+    /// Appends one lifecycle event to the WAL, returning its LSN.
+    pub fn append(&self, event: &WalEvent) -> io::Result<u64> {
+        let mut wal = self.wal.lock().unwrap();
+        let before = (wal.appends, wal.bytes, wal.fsyncs);
+        let lsn = wal.append(event)?;
+        self.stats
+            .wal_appends
+            .fetch_add(wal.appends - before.0, Ordering::Relaxed);
+        self.stats
+            .wal_bytes
+            .fetch_add(wal.bytes - before.1, Ordering::Relaxed);
+        self.stats
+            .fsyncs
+            .fetch_add(wal.fsyncs - before.2, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// Forces all appended records to stable storage regardless of the
+    /// fsync policy (used at clean shutdown).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut wal = self.wal.lock().unwrap();
+        wal.fsync()?;
+        self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes a snapshot of `sessions` (+ hot `cache` entries), then
+    /// retires WAL segments the snapshot makes redundant.
+    ///
+    /// Ordering: the covered-LSN mark is taken and the WAL rotated
+    /// *before* the caller-collected state is written. Events appended
+    /// concurrently land after the mark and are replayed on top at
+    /// recovery; replay is overwrite-idempotent (adds deduplicate, solves
+    /// overwrite, closes are terminal), so re-applying an event whose
+    /// effect the collected state already reflects is harmless.
+    pub fn snapshot(
+        &self,
+        sessions: Vec<SessionRecord>,
+        cache: Vec<CacheRecord>,
+    ) -> io::Result<()> {
+        let started = Instant::now();
+        let (covered_lsn, keep_segment) = {
+            let mut wal = self.wal.lock().unwrap();
+            let covered = wal.next_lsn() - 1;
+            wal.rotate()?;
+            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            (covered, wal.current_segment().to_path_buf())
+        };
+        let snap = Snapshot {
+            covered_lsn,
+            sessions,
+            cache,
+        };
+        snapshot::write(&self.dir, &snap)?;
+
+        // Sealed segments are fully covered by the snapshot; drop them.
+        for (_, path) in wal::list_segments(&self.dir)? {
+            if path != keep_segment {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        snapshot::prune(&self.dir, self.keep_snapshots)?;
+
+        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .snapshot_ms
+            .fetch_add(started.elapsed().as_millis() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The store's operation counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// The data directory this store was opened in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "approxrank-store-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg() -> StoreConfig {
+        StoreConfig {
+            fsync: FsyncPolicy::Never,
+            ..StoreConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_solve_close_cycle_survives_reopen() {
+        let dir = tempdir("cycle");
+        {
+            let (store, recovered) = SessionStore::open(&dir, cfg()).unwrap();
+            assert!(recovered.sessions.is_empty());
+            store
+                .append(&WalEvent::Create {
+                    id: 1,
+                    damping: 0.85,
+                    tolerance: 1e-9,
+                    members: vec![3, 1, 4],
+                })
+                .unwrap();
+            store
+                .append(&WalEvent::Solved {
+                    id: 1,
+                    scores: vec![(3, 0.5), (1, 0.3), (4, 0.2)],
+                    lambda: 0.0,
+                    iterations: 11,
+                })
+                .unwrap();
+            store
+                .append(&WalEvent::Create {
+                    id: 2,
+                    damping: 0.85,
+                    tolerance: 1e-9,
+                    members: vec![9],
+                })
+                .unwrap();
+            store.append(&WalEvent::Close { id: 2 }).unwrap();
+            store.flush().unwrap();
+        }
+        let (_store, recovered) = SessionStore::open(&dir, cfg()).unwrap();
+        assert_eq!(recovered.sessions.len(), 1);
+        let s = &recovered.sessions[0];
+        assert_eq!(s.id, 1);
+        assert_eq!(s.members, vec![3, 1, 4]);
+        assert_eq!(s.iterations, 11);
+        assert_eq!(s.solution, Some((vec![(3, 0.5), (1, 0.3), (4, 0.2)], 0.0)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_retires_segments() {
+        let dir = tempdir("snap");
+        {
+            let (store, _) = SessionStore::open(&dir, cfg()).unwrap();
+            for id in 1..=10 {
+                store
+                    .append(&WalEvent::Create {
+                        id,
+                        damping: 0.85,
+                        tolerance: 1e-9,
+                        members: vec![id as u32],
+                    })
+                    .unwrap();
+            }
+            // Snapshot the state as an application would collect it.
+            let sessions: Vec<SessionRecord> = (1..=10)
+                .map(|id| SessionRecord {
+                    id,
+                    damping: 0.85,
+                    tolerance: 1e-9,
+                    iterations: 0,
+                    members: vec![id as u32],
+                    solution: None,
+                })
+                .collect();
+            store.snapshot(sessions, Vec::new()).unwrap();
+            // Post-snapshot activity lands in the fresh segment.
+            store.append(&WalEvent::Close { id: 10 }).unwrap();
+            store.flush().unwrap();
+            assert_eq!(wal::list_segments(&dir).unwrap().len(), 1);
+        }
+        let (store, recovered) = SessionStore::open(&dir, cfg()).unwrap();
+        assert_eq!(recovered.sessions.len(), 9);
+        assert_eq!(recovered.replayed_events, 1);
+        assert!(recovered.sessions.iter().all(|s| s.id != 10));
+        assert_eq!(store.stats().recovered_sessions.load(Ordering::Relaxed), 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lsns_stay_monotonic_across_reopens() {
+        let dir = tempdir("lsn");
+        let first = {
+            let (store, _) = SessionStore::open(&dir, cfg()).unwrap();
+            let lsn = store.append(&WalEvent::Close { id: 1 }).unwrap();
+            store.flush().unwrap();
+            lsn
+        };
+        let second = {
+            let (store, _) = SessionStore::open(&dir, cfg()).unwrap();
+            store.append(&WalEvent::Close { id: 2 }).unwrap()
+        };
+        assert!(second > first);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,412 @@
+//! Append-only write-ahead log with per-record CRC framing, configurable
+//! fsync policy, and size-based segment rotation.
+//!
+//! On-disk layout: a data directory holds segment files named
+//! `wal-{first_lsn:016x}.log`. Each record is framed as
+//!
+//! ```text
+//! [u32 len][u32 crc][payload]       crc = crc32(payload)
+//! payload = [u64 lsn][encoded WalEvent]
+//! ```
+//!
+//! all little-endian. LSNs are assigned monotonically across segments.
+//! Replay scans segments in LSN order and stops at the first record that
+//! fails its length, CRC, or decode check — that is where a torn write
+//! happened, and everything after it is garbage by definition of
+//! append-only logging.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::codec::Cursor;
+use crate::crc::crc32;
+use crate::record::WalEvent;
+
+/// How eagerly the WAL forces appended records to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append. Slowest, loses nothing on power cut.
+    Always,
+    /// `fsync` at most once per interval; a crash can lose the last
+    /// interval's worth of appends.
+    Interval(Duration),
+    /// Never `fsync` explicitly; the OS flushes when it pleases. A crash
+    /// can lose anything still in the page cache. Segments are still
+    /// written through `write(2)`, so a plain process kill loses nothing.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, `interval` (default 100ms), or
+    /// `interval:<ms>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::Interval(Duration::from_millis(100))),
+            _ => match s.strip_prefix("interval:") {
+                Some(ms) => {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("bad fsync interval {ms:?}"))?;
+                    Ok(FsyncPolicy::Interval(Duration::from_millis(ms)))
+                }
+                None => Err(format!(
+                    "bad fsync policy {s:?} (expected always, never, interval, or interval:<ms>)"
+                )),
+            },
+        }
+    }
+}
+
+const FRAME_HEADER: usize = 8; // u32 len + u32 crc
+
+/// Largest payload `replay` will believe; a corrupt length field cannot
+/// demand an absurd allocation. Generous: session records are bounded by
+/// membership size, which is bounded by graph size (u32 node ids).
+const MAX_PAYLOAD: usize = 256 << 20;
+
+pub(crate) fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
+    dir.join(format!("wal-{first_lsn:016x}.log"))
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    path: PathBuf,
+    segment_bytes: u64,
+    segment_limit: u64,
+    next_lsn: u64,
+    policy: FsyncPolicy,
+    last_fsync: Instant,
+    pub(crate) appends: u64,
+    pub(crate) bytes: u64,
+    pub(crate) fsyncs: u64,
+}
+
+impl Wal {
+    /// Opens a fresh segment starting at `next_lsn` in `dir`. Existing
+    /// segments are left alone — recovery reads them, the writer never
+    /// appends to a segment it did not create (a previous crash may have
+    /// left a torn tail there).
+    pub(crate) fn create(
+        dir: &Path,
+        next_lsn: u64,
+        segment_limit: u64,
+        policy: FsyncPolicy,
+    ) -> io::Result<Self> {
+        let path = segment_path(dir, next_lsn);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            path,
+            segment_bytes: 0,
+            segment_limit,
+            next_lsn,
+            policy,
+            last_fsync: Instant::now(),
+            appends: 0,
+            bytes: 0,
+            fsyncs: 0,
+        })
+    }
+
+    /// Appends one event, returning its LSN. Honors the fsync policy and
+    /// rotates to a new segment once the current one crosses the size
+    /// threshold.
+    pub(crate) fn append(&mut self, event: &WalEvent) -> io::Result<u64> {
+        let lsn = self.next_lsn;
+        let mut payload = Vec::with_capacity(64);
+        payload.extend_from_slice(&lsn.to_le_bytes());
+        event.encode(&mut payload);
+
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        self.file.write_all(&frame)?;
+        self.next_lsn = lsn + 1;
+        self.segment_bytes += frame.len() as u64;
+        self.appends += 1;
+        self.bytes += frame.len() as u64;
+
+        match self.policy {
+            FsyncPolicy::Always => self.fsync()?,
+            FsyncPolicy::Interval(every) => {
+                if self.last_fsync.elapsed() >= every {
+                    self.fsync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+
+        if self.segment_bytes >= self.segment_limit {
+            self.rotate()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub(crate) fn fsync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.fsyncs += 1;
+        self.last_fsync = Instant::now();
+        Ok(())
+    }
+
+    /// Closes the current segment (fsyncing it) and starts a new one. The
+    /// returned path is the segment just sealed.
+    pub(crate) fn rotate(&mut self) -> io::Result<PathBuf> {
+        self.fsync()?;
+        let sealed = std::mem::replace(&mut self.path, segment_path(&self.dir, self.next_lsn));
+        self.file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&self.path)?;
+        self.segment_bytes = 0;
+        Ok(sealed)
+    }
+
+    /// The next LSN this WAL will assign.
+    pub(crate) fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The segment currently being appended to.
+    pub(crate) fn current_segment(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The outcome of scanning all WAL segments in a directory.
+pub(crate) struct Replay {
+    /// Valid events with their LSNs, in LSN order.
+    pub events: Vec<(u64, WalEvent)>,
+    /// Highest LSN seen (0 when the log is empty).
+    pub max_lsn: u64,
+    /// How many torn/corrupt tails were truncated away.
+    pub truncated: u64,
+}
+
+/// Lists segment files in `dir` sorted by their starting LSN.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(hex) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+        {
+            if let Ok(first_lsn) = u64::from_str_radix(hex, 16) {
+                segments.push((first_lsn, entry.path()));
+            }
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Scans every segment in `dir`, returning all records up to the first
+/// corruption. A segment with a torn tail is physically truncated back to
+/// its valid prefix; any segments *after* a corrupt one are deleted —
+/// their records were appended after the torn write and an append-only
+/// log has no way to have written them correctly past a hole.
+pub(crate) fn replay(dir: &Path) -> io::Result<Replay> {
+    let mut out = Replay {
+        events: Vec::new(),
+        max_lsn: 0,
+        truncated: 0,
+    };
+    let segments = list_segments(dir)?;
+    let mut corrupted = false;
+    for (_, path) in &segments {
+        if corrupted {
+            // Everything after the torn segment is logically unreachable.
+            fs::remove_file(path)?;
+            out.truncated += 1;
+            continue;
+        }
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let valid = scan_segment(&bytes, &mut out);
+        if valid < bytes.len() {
+            corrupted = true;
+            out.truncated += 1;
+            // Drop the torn tail so the file on disk is clean again.
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid as u64)?;
+            file.sync_data()?;
+        }
+        if valid == 0 {
+            // No surviving records: remove the file so a fresh segment can
+            // be created at the same starting LSN without colliding.
+            fs::remove_file(path)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one segment's bytes, pushing valid records into `out`. Returns
+/// the byte offset of the valid prefix (== `bytes.len()` when clean).
+fn scan_segment(bytes: &[u8], out: &mut Replay) -> usize {
+    let mut pos = 0;
+    while bytes.len() - pos >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_PAYLOAD || bytes.len() - pos - FRAME_HEADER < len {
+            return pos; // torn or corrupt length
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return pos;
+        }
+        let mut cursor = Cursor::new(payload);
+        let record = cursor
+            .u64("lsn")
+            .and_then(|lsn| WalEvent::decode(&mut cursor).map(|e| (lsn, e)))
+            .and_then(|r| cursor.finish("wal record").map(|()| r));
+        match record {
+            Ok((lsn, event)) => {
+                if lsn > out.max_lsn {
+                    out.max_lsn = lsn;
+                }
+                out.events.push((lsn, event));
+            }
+            Err(_) => return pos, // CRC collided with structural garbage
+        }
+        pos += FRAME_HEADER + len;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("approxrank-store-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ev(id: u64) -> WalEvent {
+        WalEvent::Create {
+            id,
+            damping: 0.85,
+            tolerance: 1e-9,
+            members: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("interval").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(100))
+        );
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("interval:abc").is_err());
+    }
+
+    #[test]
+    fn append_then_replay_roundtrips() {
+        let dir = tempdir("roundtrip");
+        let mut wal = Wal::create(&dir, 1, 1 << 20, FsyncPolicy::Never).unwrap();
+        for id in 1..=5 {
+            wal.append(&ev(id)).unwrap();
+        }
+        wal.fsync().unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.events.len(), 5);
+        assert_eq!(replayed.max_lsn, 5);
+        assert_eq!(replayed.truncated, 0);
+        for (i, (lsn, event)) in replayed.events.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert_eq!(event, &ev(i as u64 + 1));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_stitches_them() {
+        let dir = tempdir("rotate");
+        // Tiny limit: every append rotates.
+        let mut wal = Wal::create(&dir, 1, 1, FsyncPolicy::Never).unwrap();
+        for id in 1..=4 {
+            wal.append(&ev(id)).unwrap();
+        }
+        drop(wal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 4, "expected rotation, got {segments:?}");
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.events.len(), 4);
+        assert_eq!(replayed.max_lsn, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tempdir("torn");
+        let mut wal = Wal::create(&dir, 1, 1 << 20, FsyncPolicy::Always).unwrap();
+        for id in 1..=3 {
+            wal.append(&ev(id)).unwrap();
+        }
+        let path = wal.current_segment().to_path_buf();
+        drop(wal);
+        // Tear the last record: chop 5 bytes off the file.
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.events.len(), 2);
+        assert_eq!(replayed.truncated, 1);
+        // The file was physically truncated, so a second replay is clean.
+        let again = replay(&dir).unwrap();
+        assert_eq!(again.events.len(), 2);
+        assert_eq!(again.truncated, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_after_a_corrupt_one_are_dropped() {
+        let dir = tempdir("drop-later");
+        let mut wal = Wal::create(&dir, 1, 1, FsyncPolicy::Never).unwrap();
+        for id in 1..=3 {
+            wal.append(&ev(id)).unwrap();
+        }
+        drop(wal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Corrupt the FIRST segment's payload.
+        let first = &segments[0].1;
+        let mut bytes = fs::read(first).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(first, &bytes).unwrap();
+
+        let replayed = replay(&dir).unwrap();
+        assert!(replayed.events.is_empty());
+        assert!(replayed.truncated >= 2, "later segments should be dropped");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for the durable session store: build
+# release, boot `subrank serve --data-dir` on a generated graph, open
+# sessions and put them under loadgen's session workload, capture their
+# GET /session/{id} answers, kill the server with SIGKILL (no graceful
+# drain, no final snapshot), restart on the same data dir, and assert
+# the recovered answers match the pre-kill ones at printed precision.
+#
+# Exits nonzero if any session is lost, any score drifts, or either
+# boot logs a panic.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-7879}"
+ADDR="127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "${WORKDIR}"' EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+boot() {
+  "${SUBRANK}" serve --graph "${WORKDIR}/web.edges" --addr "${ADDR}" --threads 4 \
+    --data-dir "${WORKDIR}/data" --fsync always \
+    >"${WORKDIR}/serve.$1.out" 2>"${WORKDIR}/serve.$1.err" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+      echo "server died during startup" >&2
+      cat "${WORKDIR}/serve.$1.err" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  curl -sf "http://${ADDR}/healthz" >/dev/null
+}
+
+say "building release binaries"
+cargo build --release -p approxrank-cli -p approxrank-bench
+
+SUBRANK=target/release/subrank
+LOADGEN=target/release/loadgen
+
+say "generating a graph"
+"${SUBRANK}" gen --dataset au --pages 20000 --out "${WORKDIR}/web.edges" >/dev/null
+
+say "booting subrank serve with --data-dir --fsync always"
+boot first
+
+say "opening sessions and driving warm updates under loadgen"
+curl -sf -X POST "http://${ADDR}/session" -d '{"members":[0,1,2,3,4,5,6,7]}' >/dev/null
+curl -sf -X POST "http://${ADDR}/session" -d '{"members":[100,101,102],"damping":0.9}' >/dev/null
+curl -sf -X POST "http://${ADDR}/session/1/update" -d '{"add":[8,9],"remove":[2]}' >/dev/null
+"${LOADGEN}" --addr "${ADDR}" --clients 2 --requests 20 --keys 8 --sessions 2 \
+  | tee "${WORKDIR}/loadgen.out"
+grep -q '^sessions ' "${WORKDIR}/loadgen.out"
+
+say "capturing pre-kill session answers"
+SESSION_IDS="1 2 3 4"
+for id in ${SESSION_IDS}; do
+  curl -sf "http://${ADDR}/session/${id}" >"${WORKDIR}/before.${id}.json"
+  grep -q '"scores"' "${WORKDIR}/before.${id}.json"
+done
+
+say "SIGKILL (no drain, no final snapshot)"
+kill -9 "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+
+say "restarting on the same data dir"
+boot second
+grep -q 'durable sessions in .* (4 recovered)' "${WORKDIR}/serve.second.err"
+
+say "recovered answers must match pre-kill at printed precision"
+for id in ${SESSION_IDS}; do
+  curl -sf "http://${ADDR}/session/${id}" >"${WORKDIR}/after.${id}.json"
+done
+python3 - "$WORKDIR" "$SESSION_IDS" <<'PY'
+import json, sys
+workdir, ids = sys.argv[1], sys.argv[2].split()
+for sid in ids:
+    before = json.load(open(f"{workdir}/before.{sid}.json"))
+    after = json.load(open(f"{workdir}/after.{sid}.json"))
+    assert before["members"] == after["members"], f"session {sid}: membership changed"
+    assert before["damping"] == after["damping"], f"session {sid}: damping changed"
+    b, a = before["scores"], after["scores"]
+    assert len(b) == len(a) > 0, f"session {sid}: score count {len(b)} -> {len(a)}"
+    for x, y in zip(b, a):
+        assert x["page"] == y["page"], f"session {sid}: page order changed"
+        assert f'{x["score"]:.12e}' == f'{y["score"]:.12e}', \
+            f"session {sid} page {x['page']}: {x['score']!r} != {y['score']!r}"
+    assert f'{before["lambda"]:.12e}' == f'{after["lambda"]:.12e}', f"session {sid}: lambda"
+print(f"   {len(ids)} sessions recovered with identical scores")
+PY
+
+say "recovered sessions keep serving warm updates"
+curl -sf -X POST "http://${ADDR}/session/1/update" -d '{"add":[20]}' | grep -q '"scores"'
+
+say "store metrics are exposed"
+curl -sf "http://${ADDR}/metrics" >"${WORKDIR}/metrics.txt"
+grep -q '^store_wal_appends' "${WORKDIR}/metrics.txt"
+grep -Eq '^store_recovered_sessions 4' "${WORKDIR}/metrics.txt"
+grep -q '^store_truncated_records' "${WORKDIR}/metrics.txt"
+
+say "clean shutdown of the second instance"
+kill -INT "${SERVER_PID}"
+for _ in $(seq 1 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+for boot_tag in first second; do
+  if grep -qi 'panicked' "${WORKDIR}/serve.${boot_tag}.err"; then
+    echo "server (${boot_tag} boot) logged a panic:" >&2
+    cat "${WORKDIR}/serve.${boot_tag}.err" >&2
+    exit 1
+  fi
+done
+
+say "store smoke OK"
