@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT | --graph FILE] [--clients N] [--requests N]
 //!         [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N]
-//!         [--sessions N]
+//!         [--sessions N] [--shards S]
 //! ```
 //!
 //! Fires `--clients` concurrent keep-alive query streams at a ranking
@@ -25,6 +25,14 @@
 //! streams — warm session updates are a different computation, so their
 //! percentiles are reported on a separate line — and the cache hit rate
 //! measured as the delta of the server's `/stats` counters over the run.
+//!
+//! `--shards S` makes the key mix shard-aware: the in-process server is
+//! booted with that many shards (range partitioning), and odd keys are
+//! centred on shard boundaries so they fan out across engines. Every
+//! response is classified by its `"shards"` field, and shard-resident
+//! vs cross-shard latency percentiles are reported on separate lines —
+//! the merge path has a different cost profile, so mixing the two into
+//! one histogram would hide both.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -37,7 +45,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --graph FILE] [--clients N] \
-[--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N] [--sessions N]";
+[--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N] [--sessions N] \
+[--shards S]";
 
 struct Args {
     addr: Option<String>,
@@ -50,6 +59,7 @@ struct Args {
     seed: u64,
     threads: usize,
     sessions: usize,
+    shards: usize,
 }
 
 impl Default for Args {
@@ -65,6 +75,7 @@ impl Default for Args {
             seed: 42,
             threads: 2,
             sessions: 0,
+            shards: 1,
         }
     }
 }
@@ -86,6 +97,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--keys" => args.keys = parse_positive(&value("--keys")?, "--keys")?,
             "--members" => args.members = parse_positive(&value("--members")?, "--members")?,
             "--threads" => args.threads = parse_positive(&value("--threads")?, "--threads")?,
+            "--shards" => args.shards = parse_positive(&value("--shards")?, "--shards")?,
             "--sessions" => {
                 let v = value("--sessions")?;
                 args.sessions = v
@@ -153,10 +165,25 @@ fn key_members(key: usize, members: usize, num_nodes: usize) -> Vec<u32> {
         .collect()
 }
 
-fn request_bodies(keys: usize, members: usize, num_nodes: usize) -> Vec<String> {
+/// Shard-aware key windows: odd keys straddle a range-partition boundary
+/// (`num_nodes·k/S`) so they exercise the cross-shard merge path; even
+/// keys keep the plain windows and stay shard-resident. With `shards`
+/// <= 1 every key is a plain window.
+fn key_members_sharded(key: usize, members: usize, num_nodes: usize, shards: usize) -> Vec<u32> {
+    if shards <= 1 || key.is_multiple_of(2) {
+        return key_members(key, members, num_nodes);
+    }
+    let boundary_id = 1 + (key / 2) % (shards - 1);
+    let boundary = num_nodes * boundary_id / shards;
+    let start = boundary.saturating_sub(members / 2).max(1);
+    let end = (start + members).min(num_nodes - 1);
+    (start..end).map(|i| i as u32).collect()
+}
+
+fn request_bodies(keys: usize, members: usize, num_nodes: usize, shards: usize) -> Vec<String> {
     (0..keys)
         .map(|k| {
-            let ids: Vec<String> = key_members(k, members, num_nodes)
+            let ids: Vec<String> = key_members_sharded(k, members, num_nodes, shards)
                 .iter()
                 .map(|id| id.to_string())
                 .collect();
@@ -198,8 +225,23 @@ fn cache_counters(addr: &str) -> Result<(u64, u64), String> {
 }
 
 struct StreamOutcome {
-    latencies_us: Vec<u64>,
+    /// Latencies of responses that stayed on one shard (everything, in
+    /// single-shard mode).
+    resident_us: Vec<u64>,
+    /// Latencies of responses that reported `"shards" > 1` (the
+    /// fan-out/merge path).
+    cross_us: Vec<u64>,
     errors: usize,
+}
+
+impl StreamOutcome {
+    fn failed(requests: usize) -> StreamOutcome {
+        StreamOutcome {
+            resident_us: Vec::new(),
+            cross_us: Vec::new(),
+            errors: requests + 1,
+        }
+    }
 }
 
 fn run_stream(
@@ -211,20 +253,32 @@ fn run_stream(
 ) -> StreamOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
-    let mut latencies_us = Vec::with_capacity(requests);
+    let mut resident_us = Vec::with_capacity(requests);
+    let mut cross_us = Vec::new();
     let mut errors = 0usize;
     for _ in 0..requests {
         let key = sample_weighted(&mut rng, weights);
         let started = Instant::now();
         match client.post("/rank", &bodies[key]) {
             Ok(response) if response.status == 200 => {
-                latencies_us.push(started.elapsed().as_micros() as u64);
+                let us = started.elapsed().as_micros() as u64;
+                let shards = response
+                    .json()
+                    .ok()
+                    .and_then(|v| v.get("shards")?.as_u64())
+                    .unwrap_or(1);
+                if shards > 1 {
+                    cross_us.push(us);
+                } else {
+                    resident_us.push(us);
+                }
             }
             Ok(_) | Err(_) => errors += 1,
         }
     }
     StreamOutcome {
-        latencies_us,
+        resident_us,
+        cross_us,
         errors,
     }
 }
@@ -240,37 +294,44 @@ fn run_session_stream(
     requests: usize,
     stream: usize,
     seed: u64,
+    shards: usize,
 ) -> StreamOutcome {
     let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
     let mut latencies_us = Vec::with_capacity(requests);
     let mut errors = 0usize;
 
-    let base = key_members(stream, members, num_nodes);
+    // Sessions must fit one shard, so in sharded mode this stream's base
+    // window and mutation pool both stay inside the range-partition slice
+    // of shard `stream % shards`.
+    let (lo, hi) = if shards > 1 {
+        let k = stream % shards;
+        (num_nodes * k / shards, num_nodes * (k + 1) / shards)
+    } else {
+        (0, num_nodes)
+    };
+    let base: Vec<u32> = {
+        let span = (hi - lo).saturating_sub(members).max(1);
+        let start = lo + (stream * 37) % span;
+        (start..(start + members).min(hi))
+            .map(|i| i as u32)
+            .collect()
+    };
     let ids: Vec<String> = base.iter().map(|id| id.to_string()).collect();
     let body = format!("{{\"members\":[{}]}}", ids.join(","));
     let id = match client.post("/session", &body) {
         Ok(response) if response.status == 200 => {
             match response.json().ok().and_then(|v| v.get("id")?.as_u64()) {
                 Some(id) => id,
-                None => {
-                    return StreamOutcome {
-                        latencies_us,
-                        errors: requests + 1,
-                    }
-                }
+                None => return StreamOutcome::failed(requests),
             }
         }
-        Ok(_) | Err(_) => {
-            return StreamOutcome {
-                latencies_us,
-                errors: requests + 1,
-            }
-        }
+        Ok(_) | Err(_) => return StreamOutcome::failed(requests),
     };
 
-    // Pages this stream toggles in and out: outside the base membership,
-    // rotated by the seed so streams do not mutate in lockstep.
-    let pool: Vec<u32> = (0..num_nodes as u32)
+    // Pages this stream toggles in and out: outside the base membership
+    // (but on the same shard), rotated by the seed so streams do not
+    // mutate in lockstep.
+    let pool: Vec<u32> = (lo as u32..hi as u32)
         .filter(|p| !base.contains(p))
         .collect();
     let path = format!("/session/{id}/update");
@@ -290,7 +351,8 @@ fn run_session_stream(
         }
     }
     StreamOutcome {
-        latencies_us,
+        resident_us: latencies_us,
+        cross_us: Vec::new(),
         errors,
     }
 }
@@ -309,6 +371,7 @@ fn run(args: &Args) -> Result<String, String> {
                 ServeConfig {
                     addr: "127.0.0.1:0".into(),
                     threads: args.threads,
+                    shards: args.shards,
                     ..ServeConfig::default()
                 },
             )
@@ -339,7 +402,12 @@ fn run(args: &Args) -> Result<String, String> {
         ));
     }
 
-    let bodies = Arc::new(request_bodies(args.keys, args.members, num_nodes));
+    let bodies = Arc::new(request_bodies(
+        args.keys,
+        args.members,
+        num_nodes,
+        args.shards,
+    ));
     let weights = Arc::new(zipf_weights(args.keys, args.zipf));
     let (hits_before, misses_before) = cache_counters(&addr)?;
 
@@ -357,8 +425,9 @@ fn run(args: &Args) -> Result<String, String> {
                 let addr = addr.clone();
                 let (members, requests) = (args.members, args.requests);
                 let seed = args.seed.wrapping_add(1_000 + s as u64);
+                let shards = args.shards;
                 std::thread::spawn(move || {
-                    run_session_stream(&addr, num_nodes, members, requests, s, seed)
+                    run_session_stream(&addr, num_nodes, members, requests, s, seed, shards)
                 })
             })
             .collect();
@@ -376,14 +445,18 @@ fn run(args: &Args) -> Result<String, String> {
     let wall = started.elapsed();
 
     let (hits_after, misses_after) = cache_counters(&addr)?;
-    let mut latencies: Vec<u64> = outcomes
+    let mut resident: Vec<u64> = outcomes
         .iter()
-        .flat_map(|o| o.latencies_us.clone())
+        .flat_map(|o| o.resident_us.clone())
         .collect();
+    resident.sort_unstable();
+    let mut cross: Vec<u64> = outcomes.iter().flat_map(|o| o.cross_us.clone()).collect();
+    cross.sort_unstable();
+    let mut latencies: Vec<u64> = resident.iter().chain(&cross).copied().collect();
     latencies.sort_unstable();
     let mut warm_latencies: Vec<u64> = session_outcomes
         .iter()
-        .flat_map(|o| o.latencies_us.clone())
+        .flat_map(|o| o.resident_us.clone())
         .collect();
     warm_latencies.sort_unstable();
     let errors: usize = outcomes
@@ -398,6 +471,12 @@ fn run(args: &Args) -> Result<String, String> {
         "loadgen: {} clients x {} requests, {} keys (zipf {}), {} members each -> {}\n",
         args.clients, args.requests, args.keys, args.zipf, args.members, addr
     ));
+    if args.shards > 1 {
+        out.push_str(&format!(
+            "sharding  {} shards; odd keys straddle range boundaries\n",
+            args.shards
+        ));
+    }
     let secs = wall.as_secs_f64().max(1e-9);
     out.push_str(&format!(
         "requests  {ok} ok, {errors} errors in {:.3} s  ({:.1} req/s)\n",
@@ -411,6 +490,17 @@ fn run(args: &Args) -> Result<String, String> {
         percentile(&latencies, 99.0) as f64 / 1e3,
         latencies.last().copied().unwrap_or(0) as f64 / 1e3,
     ));
+    if args.shards > 1 {
+        for (label, sample) in [("resident", &resident), ("cross", &cross)] {
+            out.push_str(&format!(
+                "{label:<9} {} ok  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
+                sample.len(),
+                percentile(sample, 50.0) as f64 / 1e3,
+                percentile(sample, 90.0) as f64 / 1e3,
+                percentile(sample, 99.0) as f64 / 1e3,
+            ));
+        }
+    }
     if args.sessions > 0 {
         out.push_str(&format!(
             "sessions  {} streams x {} warm updates ({} ok)  \
@@ -518,6 +608,64 @@ mod tests {
                 assert!((id as usize) < 2_000);
             }
         }
+    }
+
+    #[test]
+    fn sharded_keys_mix_resident_and_straddling_windows() {
+        let (n, shards, members) = (2_000usize, 4usize, 16usize);
+        let boundaries: Vec<usize> = (1..shards).map(|k| n * k / shards).collect();
+        let straddles = |w: &[u32]| {
+            boundaries
+                .iter()
+                .any(|&b| (w[0] as usize) < b && b <= *w.last().unwrap() as usize)
+        };
+        for k in 0..16 {
+            let w = key_members_sharded(k, members, n, shards);
+            assert!(!w.is_empty());
+            assert_eq!(k % 2 == 1, straddles(&w), "key {k}: {w:?}");
+        }
+        // shards <= 1 degenerates to the plain windows.
+        assert_eq!(
+            key_members_sharded(3, members, n, 1),
+            key_members(3, members, n)
+        );
+    }
+
+    /// End-to-end over a 2-shard in-process server: the run must stay
+    /// error-free and the report must split resident vs cross latencies.
+    #[test]
+    fn sharded_run_reports_split_percentiles() {
+        let report = run(&Args {
+            clients: 2,
+            requests: 8,
+            keys: 4,
+            members: 8,
+            shards: 2,
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(report.contains("16 ok, 0 errors"), "{report}");
+        assert!(report.contains("sharding  2 shards"), "{report}");
+        let resident = report
+            .lines()
+            .find(|l| l.starts_with("resident"))
+            .expect("resident line");
+        let cross = report
+            .lines()
+            .find(|l| l.starts_with("cross"))
+            .expect("cross line");
+        // Both populations were actually exercised (keys 0,2 resident;
+        // keys 1,3 straddle the boundary at node 1000).
+        let count = |line: &str| {
+            line.split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert!(count(resident) > 0, "{report}");
+        assert!(count(cross) > 0, "{report}");
+        assert_eq!(count(resident) + count(cross), 16, "{report}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
+use approxrank_graph::PartitionStrategy;
 use approxrank_serve::FsyncPolicy;
 
 /// Which subgraph-ranking algorithm `subrank rank` runs.
@@ -149,6 +150,10 @@ pub struct CompareArgs {
 pub struct StatsArgs {
     /// Edge-list (or binary) graph file.
     pub graph: String,
+    /// Also report partition balance for this many shards (0 = off).
+    pub shards: usize,
+    /// Partitioner to evaluate (only meaningful with `--shards`).
+    pub partition: PartitionStrategy,
 }
 
 /// `subrank report` arguments.
@@ -179,6 +184,23 @@ pub struct ServeArgs {
     pub fsync: FsyncPolicy,
     /// Background snapshot cadence in milliseconds.
     pub snapshot_interval_ms: u64,
+    /// Engines the graph is partitioned across (1 = unsharded).
+    pub shards: usize,
+    /// Partitioner (only meaningful with `--shards` > 1).
+    pub partition: PartitionStrategy,
+}
+
+/// `subrank partition` arguments.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionArgs {
+    /// Edge-list (or binary) graph file to partition.
+    pub graph: String,
+    /// Number of shards to produce.
+    pub shards: usize,
+    /// Partitioner.
+    pub partition: PartitionStrategy,
+    /// Output directory for the sharded binary layout.
+    pub out: String,
 }
 
 /// `subrank gen` arguments.
@@ -218,6 +240,8 @@ pub enum Command {
     Report(ReportArgs),
     /// Run the HTTP ranking service.
     Serve(ServeArgs),
+    /// Partition a graph into a sharded on-disk layout.
+    Partition(PartitionArgs),
 }
 
 /// Usage text shown on parse errors.
@@ -229,13 +253,15 @@ pub const USAGE: &str = "usage:
                  [--damping 0.85] [--tolerance 1e-5] [--top K]
                  [--threads N] [--trace] [--trace-json FILE] [--quiet]
   subrank compare --graph FILE --subgraph FILE [--truth yes] [--damping 0.85] [--tolerance 1e-5]
-  subrank stats  --graph FILE
+  subrank stats  --graph FILE [--shards N [--partition range|scc|hash]]
   subrank gen    --dataset au|politics --pages N [--seed S] --out FILE
   subrank report --input TRACE.jsonl
   subrank serve  --graph FILE [--addr 127.0.0.1:7878] [--threads 2] [--cache-entries 4096]
                  [--max-body 1048576] [--request-timeout-ms 5000]
                  [--data-dir DIR] [--fsync always|never|interval|interval:MS]
-                 [--snapshot-interval-ms 30000]";
+                 [--snapshot-interval-ms 30000]
+                 [--shards N] [--partition range|scc|hash]
+  subrank partition --graph FILE --shards N [--partition range|scc|hash] --out DIR";
 
 /// Flags that take no value; their presence alone means "on".
 const BOOLEAN_FLAGS: &[&str] = &["trace", "quiet"];
@@ -318,6 +344,15 @@ fn take_damping(opts: &mut Options) -> Result<f64, String> {
     Ok(damping)
 }
 
+/// Parses `--partition` (default `range`).
+fn take_partition(opts: &mut Options) -> Result<PartitionStrategy, String> {
+    match opts.take("partition") {
+        None => Ok(PartitionStrategy::default()),
+        Some(v) => PartitionStrategy::parse(&v)
+            .ok_or_else(|| format!("bad --partition {v:?} (range|scc|hash)")),
+    }
+}
+
 /// Parses `--tolerance`, rejecting non-positive or non-finite values.
 fn take_tolerance(opts: &mut Options) -> Result<f64, String> {
     let tolerance: f64 = opts.numeric("tolerance", 1e-5)?;
@@ -367,6 +402,8 @@ impl Cli {
             }),
             "stats" => Command::Stats(StatsArgs {
                 graph: opts.require("graph")?,
+                shards: opts.numeric("shards", 0usize)?,
+                partition: take_partition(&mut opts)?,
             }),
             "compare" => Command::Compare(CompareArgs {
                 graph: opts.require("graph")?,
@@ -405,9 +442,14 @@ impl Cli {
                         }
                     },
                     snapshot_interval_ms: opts.numeric("snapshot-interval-ms", 30_000u64)?,
+                    shards: opts.numeric("shards", 1usize)?,
+                    partition: take_partition(&mut opts)?,
                 };
                 if args.threads == 0 {
                     return Err("--threads must be at least 1".into());
+                }
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
                 }
                 if args.request_timeout_ms == 0 {
                     return Err("--request-timeout-ms must be at least 1".into());
@@ -416,6 +458,18 @@ impl Cli {
                     return Err("--snapshot-interval-ms must be at least 1".into());
                 }
                 Command::Serve(args)
+            }
+            "partition" => {
+                let args = PartitionArgs {
+                    graph: opts.require("graph")?,
+                    shards: opts.numeric("shards", 0usize)?,
+                    partition: take_partition(&mut opts)?,
+                    out: opts.require("out")?,
+                };
+                if args.shards < 2 {
+                    return Err("--shards must be at least 2".into());
+                }
+                Command::Partition(args)
             }
             "--help" | "-h" | "help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -624,6 +678,8 @@ mod tests {
             FsyncPolicy::Interval(std::time::Duration::from_millis(100))
         );
         assert_eq!(a.snapshot_interval_ms, 30_000);
+        assert_eq!(a.shards, 1);
+        assert_eq!(a.partition, PartitionStrategy::Range);
 
         let cli = Cli::parse(&argv(
             "serve --graph g --addr 0.0.0.0:0 --threads 8 --cache-entries 64 \
@@ -670,5 +726,51 @@ mod tests {
         let err = Cli::parse(&argv("serve --graph g --fsync sometimes")).unwrap_err();
         assert!(err.contains("--fsync"), "{err}");
         assert!(Cli::parse(&argv("serve --graph g --snapshot-interval-ms 0")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_sharding_flags() {
+        let cli = Cli::parse(&argv("serve --graph g --shards 4 --partition scc")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.partition, PartitionStrategy::Scc);
+        assert!(Cli::parse(&argv("serve --graph g --shards 0")).is_err());
+        let err = Cli::parse(&argv("serve --graph g --shards 2 --partition zig")).unwrap_err();
+        assert!(err.contains("--partition"), "{err}");
+    }
+
+    #[test]
+    fn parses_stats_sharding_flags() {
+        let cli = Cli::parse(&argv("stats --graph g")).unwrap();
+        let Command::Stats(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.shards, 0);
+        let cli = Cli::parse(&argv("stats --graph g --shards 3 --partition hash")).unwrap();
+        let Command::Stats(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.shards, 3);
+        assert_eq!(a.partition, PartitionStrategy::Hash);
+    }
+
+    #[test]
+    fn parses_partition() {
+        let cli = Cli::parse(&argv("partition --graph g --shards 4 --out shards/")).unwrap();
+        let Command::Partition(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.graph, "g");
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.partition, PartitionStrategy::Range);
+        assert_eq!(a.out, "shards/");
+        assert!(Cli::parse(&argv("partition --graph g --shards 1 --out d"))
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(Cli::parse(&argv("partition --graph g --shards 2"))
+            .unwrap_err()
+            .contains("--out"));
     }
 }

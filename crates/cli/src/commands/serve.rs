@@ -15,10 +15,12 @@ pub fn config_from(args: &ServeArgs) -> ServeConfig {
         cache_entries: args.cache_entries,
         max_body: args.max_body,
         request_timeout: Duration::from_millis(args.request_timeout_ms),
+        accept_queue: ServeConfig::default().accept_queue,
         data_dir: args.data_dir.as_ref().map(std::path::PathBuf::from),
         fsync: args.fsync,
         snapshot_interval: Duration::from_millis(args.snapshot_interval_ms),
-        ..ServeConfig::default()
+        shards: args.shards.max(1),
+        partition: args.partition,
     }
 }
 
@@ -44,6 +46,13 @@ pub fn run(args: &ServeArgs) -> Result<String, String> {
         "subrank serve: listening on {addr} ({nodes} nodes, {edges} edges, {} worker lanes)",
         args.threads.max(1)
     );
+    if args.shards > 1 {
+        eprintln!(
+            "subrank serve: {} shards ({} partitioning)",
+            args.shards,
+            args.partition.name()
+        );
+    }
     let summary = server.serve();
     Ok(format!(
         "served {} requests over {} connections\n",
@@ -66,6 +75,8 @@ mod tests {
             data_dir: Some("/tmp/subrank-data".into()),
             fsync: approxrank_serve::FsyncPolicy::Always,
             snapshot_interval_ms: 12_000,
+            shards: 2,
+            partition: approxrank_graph::PartitionStrategy::Hash,
         }
     }
 
@@ -83,6 +94,8 @@ mod tests {
         );
         assert_eq!(c.fsync, approxrank_serve::FsyncPolicy::Always);
         assert_eq!(c.snapshot_interval, Duration::from_millis(12_000));
+        assert_eq!(c.shards, 2);
+        assert_eq!(c.partition, approxrank_graph::PartitionStrategy::Hash);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! subrank stats  --graph web.edges
 //! subrank gen    --dataset au --pages 50000 --out web.edges
 //! subrank report --input trace.jsonl
-//! subrank serve  --graph web.edges --addr 127.0.0.1:7878
+//! subrank serve  --graph web.edges --addr 127.0.0.1:7878 [--shards 2]
+//! subrank partition --graph web.edges --shards 4 --out shards/
 //! ```
 //!
 //! The solving subcommands accept `--trace` (append a run report),
@@ -35,5 +36,6 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Gen(a) => commands::generate::run(&a),
         Command::Report(a) => commands::report::run(&a),
         Command::Serve(a) => commands::serve::run(&a),
+        Command::Partition(a) => commands::partition::run(&a),
     }
 }

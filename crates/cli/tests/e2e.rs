@@ -90,6 +90,70 @@ fn gen_stats_rank_pipeline() {
 }
 
 #[test]
+fn partition_and_sharded_stats_pipeline() {
+    let dir = workdir();
+    let graph = dir.join("part.edges");
+    // A 100-node ring with some chords, so every shard has internal and
+    // cross-shard links.
+    let mut edges = String::new();
+    for i in 0..100u32 {
+        edges.push_str(&format!(
+            "{i} {}\n{i} {}\n",
+            (i + 1) % 100,
+            (i * 7 + 3) % 100
+        ));
+    }
+    std::fs::write(&graph, edges).unwrap();
+
+    // 1. Partition balance through `stats --shards`.
+    let out = subrank()
+        .args([
+            "stats",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--partition",
+            "range",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("partition (range into 4 shards):"), "{text}");
+    assert!(text.contains("shard 3: 25 pages (25.0%)"), "{text}");
+    assert!(text.contains("cross-shard links:"), "{text}");
+
+    // 2. Write the sharded layout with `partition`.
+    let shard_dir = dir.join("shards");
+    let out = subrank()
+        .args([
+            "partition",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--out",
+            shard_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("into 4 shards (range)"), "{text}");
+    assert!(shard_dir.join("manifest.json").exists());
+    assert!(shard_dir.join("shard-000.bin").exists());
+}
+
+#[test]
 fn global_solvers_agree_through_the_binary() {
     let dir = workdir();
     let graph = dir.join("tiny.edges");

@@ -14,7 +14,7 @@ use approxrank_trace::Observer;
 
 use crate::extended::ExtendedLocalGraph;
 use crate::par::boundary_partition;
-use crate::precompute::GlobalPrecomputation;
+use crate::precompute::{GlobalAggregates, GlobalPrecomputation};
 use crate::ranker::{RankScores, SubgraphRanker};
 
 /// The ApproxRank algorithm.
@@ -68,13 +68,36 @@ impl ApproxRank {
         subgraph: &Subgraph,
         exec: &Executor,
     ) -> ExtendedLocalGraph {
-        let n = subgraph.len();
-        let big_n = subgraph.global_nodes();
         assert_eq!(
             pre.num_nodes(),
-            big_n,
+            subgraph.global_nodes(),
             "precomputation is for a different graph"
         );
+        self.extended_graph_aggregated_on(GlobalAggregates::from(pre), subgraph, exec)
+    }
+
+    /// Builds `A_approx` from just the two global scalars a shard carries
+    /// ([`GlobalAggregates`]): the Λ-collapse reads nothing else of the
+    /// global graph, so a per-shard subgraph view plus these scalars yields
+    /// the same matrix — bit-for-bit — as the full-graph path.
+    pub fn extended_graph_aggregated(
+        &self,
+        agg: GlobalAggregates,
+        subgraph: &Subgraph,
+    ) -> ExtendedLocalGraph {
+        self.extended_graph_aggregated_on(agg, subgraph, &self.executor(subgraph))
+    }
+
+    /// [`Self::extended_graph_aggregated`] on a caller-supplied executor.
+    pub fn extended_graph_aggregated_on(
+        &self,
+        agg: GlobalAggregates,
+        subgraph: &Subgraph,
+        exec: &Executor,
+    ) -> ExtendedLocalGraph {
+        let n = subgraph.len();
+        let big_n = subgraph.global_nodes();
+        assert_eq!(agg.num_nodes, big_n, "aggregates are for a different graph");
         if big_n == n {
             return ExtendedLocalGraph::new_on(subgraph, vec![0.0; n], 0.0, exec);
         }
@@ -91,7 +114,7 @@ impl ApproxRank {
                 |a, b| a + b,
             )
             .unwrap_or(0);
-        let ext_dangling = (pre.num_dangling() - local_dangling) as f64;
+        let ext_dangling = (agg.num_dangling - local_dangling) as f64;
 
         // Λ → k: uniform-weighted boundary in-flow plus dangling share.
         // Each chunk owns a disjoint target range (see `boundary_partition`),
@@ -177,6 +200,32 @@ impl ApproxRank {
         let ext = {
             let _span = obs.span("collapse_lambda");
             self.extended_graph_precomputed_on(pre, subgraph, &exec)
+        };
+        let scores = Self::solve_scores(&ext, &self.options, subgraph.len(), obs);
+        emit_exec_stats(&exec, obs);
+        scores
+    }
+
+    /// Runs ApproxRank from shard-carried global scalars alone.
+    pub fn rank_subgraph_aggregated(
+        &self,
+        agg: GlobalAggregates,
+        subgraph: &Subgraph,
+    ) -> RankScores {
+        self.rank_subgraph_aggregated_observed(agg, subgraph, approxrank_trace::null())
+    }
+
+    /// [`Self::rank_subgraph_aggregated`] with telemetry.
+    pub fn rank_subgraph_aggregated_observed(
+        &self,
+        agg: GlobalAggregates,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let exec = self.executor(subgraph);
+        let ext = {
+            let _span = obs.span("collapse_lambda");
+            self.extended_graph_aggregated_on(agg, subgraph, &exec)
         };
         let scores = Self::solve_scores(&ext, &self.options, subgraph.len(), obs);
         emit_exec_stats(&exec, obs);
@@ -306,6 +355,30 @@ mod tests {
         let a = approx.rank_subgraph(&g, &sub);
         let b = approx.rank_subgraph_precomputed(&pre, &sub);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregated_path_identical() {
+        // The shard-serving contract: two global scalars reproduce the
+        // full-graph solve bit-for-bit.
+        let g = figure4();
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1, 2, 3]));
+        let approx = ApproxRank::new(tight());
+        let a = approx.rank_subgraph(&g, &sub);
+        let b = approx.rank_subgraph_aggregated(GlobalAggregates::compute(&g), &sub);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregates are for a different graph")]
+    fn aggregated_rejects_wrong_graph_size() {
+        let g = figure4();
+        let sub = Subgraph::extract(&g, NodeSet::from_sorted(7, [0, 1]));
+        let agg = GlobalAggregates {
+            num_nodes: 9,
+            num_dangling: 0,
+        };
+        ApproxRank::default().extended_graph_aggregated(agg, &sub);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use approx::ApproxRank;
 pub use extended::ExtendedLocalGraph;
 pub use ideal::IdealRank;
 pub use p2p::JxpNetwork;
-pub use precompute::GlobalPrecomputation;
+pub use precompute::{GlobalAggregates, GlobalPrecomputation};
 pub use ranker::{RankScores, SubgraphRanker};
 pub use sc::StochasticComplementation;
 pub use session::SubgraphSession;

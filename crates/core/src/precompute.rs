@@ -52,9 +52,52 @@ impl GlobalPrecomputation {
     }
 }
 
+/// The two global scalars the Λ-collapse actually consumes: everything
+/// else `A_approx` needs comes from the [`approxrank_graph::Subgraph`]
+/// itself (local edges, boundary in-edges with source out-degrees, and
+/// external out-link counts). A shard can therefore carry these two
+/// numbers instead of the whole graph — the foundation of bit-identical
+/// sharded serving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalAggregates {
+    /// `N`, the global node count.
+    pub num_nodes: usize,
+    /// Number of dangling pages in the whole global graph.
+    pub num_dangling: usize,
+}
+
+impl GlobalAggregates {
+    /// One `O(N)` pass over the degree array.
+    pub fn compute(global: &DiGraph) -> Self {
+        GlobalAggregates {
+            num_nodes: global.num_nodes(),
+            num_dangling: global.nodes().filter(|&u| global.is_dangling(u)).count(),
+        }
+    }
+}
+
+impl From<&GlobalPrecomputation> for GlobalAggregates {
+    fn from(pre: &GlobalPrecomputation) -> Self {
+        GlobalAggregates {
+            num_nodes: pre.num_nodes(),
+            num_dangling: pre.num_dangling(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn aggregates_match_precomputation() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (0, 3)]);
+        let pre = GlobalPrecomputation::compute(&g);
+        let agg = GlobalAggregates::compute(&g);
+        assert_eq!(agg, GlobalAggregates::from(&pre));
+        assert_eq!(agg.num_nodes, 5);
+        assert_eq!(agg.num_dangling, 3);
+    }
 
     #[test]
     fn counts_match_graph() {

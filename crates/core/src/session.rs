@@ -9,17 +9,25 @@
 //! and re-solves warm — the same trick SC's 25-round loop depends on,
 //! offered as a first-class API.
 
-use approxrank_graph::{DiGraph, NodeId, NodeSet, Subgraph};
+use approxrank_graph::{DiGraph, NodeId, NodeSet, Subgraph, SubgraphSource};
 use approxrank_pagerank::PageRankOptions;
 
 use crate::approx::ApproxRank;
-use crate::precompute::GlobalPrecomputation;
+use crate::precompute::{GlobalAggregates, GlobalPrecomputation};
 use crate::ranker::RankScores;
 
 /// A long-lived ApproxRank session over one global graph.
+///
+/// The session never needs the global graph itself between solves: the
+/// Λ-collapse consumes only the extracted subgraph plus two global
+/// scalars ([`GlobalAggregates`]). Membership edits re-extract either
+/// from the global graph directly ([`Self::add_pages`]) or through any
+/// [`SubgraphSource`] ([`Self::add_pages_via`]) — e.g. a
+/// [`approxrank_graph::Shard`], which yields bit-identical solves for
+/// shard-resident subgraphs.
 pub struct SubgraphSession {
     options: PageRankOptions,
-    precomputation: GlobalPrecomputation,
+    aggregates: GlobalAggregates,
     members: Vec<NodeId>,
     subgraph: Subgraph,
     /// Last solution in extended-state order (`n` locals + Λ), kept in
@@ -62,7 +70,42 @@ impl SubgraphSession {
         let subgraph = Subgraph::extract(global, initial);
         SubgraphSession {
             options,
-            precomputation,
+            aggregates: GlobalAggregates::from(&precomputation),
+            members,
+            subgraph,
+            last_scores: None,
+            last_iterations: 0,
+        }
+    }
+
+    /// Opens a session whose extractions go through a [`SubgraphSource`]
+    /// instead of the global graph — the sharded serving path. With a
+    /// [`approxrank_graph::GlobalView`] source this is equivalent to
+    /// [`Self::new`]; with a [`approxrank_graph::Shard`] every member must
+    /// be owned by that shard.
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty, if its universe size differs from the
+    /// source's global node count, or if the source does not own a member.
+    pub fn with_source(
+        source: &dyn SubgraphSource,
+        initial: NodeSet,
+        options: PageRankOptions,
+    ) -> Self {
+        assert!(!initial.is_empty(), "session needs a non-empty subgraph");
+        assert_eq!(
+            initial.global_nodes(),
+            source.global_nodes(),
+            "member set belongs to a different graph"
+        );
+        let members = initial.members().to_vec();
+        let subgraph = source.extract_nodes(initial);
+        SubgraphSession {
+            options,
+            aggregates: GlobalAggregates {
+                num_nodes: source.global_nodes(),
+                num_dangling: source.num_dangling(),
+            },
             members,
             subgraph,
             last_scores: None,
@@ -145,12 +188,48 @@ impl SubgraphSession {
         self.subgraph = Subgraph::extract(global, current);
     }
 
+    /// [`Self::add_pages`] through a [`SubgraphSource`].
+    ///
+    /// # Panics
+    /// Panics if a page id is out of range, or (inside the source) if the
+    /// source does not own a page.
+    pub fn add_pages_via(&mut self, source: &dyn SubgraphSource, pages: &[NodeId]) {
+        let big_n = source.global_nodes();
+        for &p in pages {
+            assert!((p as usize) < big_n, "page {p} out of range");
+        }
+        let current = NodeSet::from_iter_order(
+            big_n,
+            self.members.iter().copied().chain(pages.iter().copied()),
+        );
+        self.members = current.members().to_vec();
+        self.subgraph = source.extract_nodes(current);
+    }
+
+    /// [`Self::remove_pages`] through a [`SubgraphSource`].
+    ///
+    /// # Panics
+    /// Panics if the removal would empty the subgraph.
+    pub fn remove_pages_via(&mut self, source: &dyn SubgraphSource, pages: &[NodeId]) {
+        let drop: std::collections::HashSet<NodeId> = pages.iter().copied().collect();
+        let remaining: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|p| !drop.contains(p))
+            .collect();
+        assert!(!remaining.is_empty(), "cannot empty the subgraph");
+        let current = NodeSet::from_iter_order(source.global_nodes(), remaining);
+        self.members = current.members().to_vec();
+        self.subgraph = source.extract_nodes(current);
+    }
+
     /// Solves ApproxRank for the current membership, warm-starting from
     /// the previous solution when one exists: retained pages keep their
     /// scores, new pages enter at the teleport floor, Λ absorbs the rest.
     pub fn solve(&mut self) -> RankScores {
         let approx = ApproxRank::new(self.options.clone());
-        let ext = approx.extended_graph_precomputed(&self.precomputation, &self.subgraph);
+        let ext = approx.extended_graph_aggregated(self.aggregates, &self.subgraph);
         let n = self.subgraph.len();
         let result = match &self.last_scores {
             None => ext.solve(&self.options),
@@ -290,6 +369,39 @@ mod tests {
             opts(),
             pre,
         );
+    }
+
+    #[test]
+    fn source_backed_session_matches_global_bitwise() {
+        use approxrank_graph::{GlobalView, PartitionStrategy, PartitionedGraph};
+        use std::sync::Arc;
+
+        let g = global();
+        let n = g.num_nodes();
+
+        // GlobalView source ≡ direct construction.
+        let view = GlobalView::new(Arc::new(g.clone()));
+        let mut direct = SubgraphSession::new(&g, NodeSet::from_sorted(n, 40..90u32), opts());
+        let mut via =
+            SubgraphSession::with_source(&view, NodeSet::from_sorted(n, 40..90u32), opts());
+        direct.add_pages(&g, &[90, 91]);
+        via.add_pages_via(&view, &[90, 91]);
+        direct.remove_pages(&g, &[41]);
+        via.remove_pages_via(&view, &[41]);
+        assert_eq!(direct.members(), via.members());
+        assert_eq!(direct.solve(), via.solve());
+
+        // Shard source: a member set resident on shard 0 of a 2-way range
+        // partitioning solves bit-identically to the unsharded session.
+        let pg = PartitionedGraph::build(&g, 2, PartitionStrategy::Range);
+        let shard = pg.shard(0);
+        let members = NodeSet::from_sorted(n, 40..90u32);
+        let mut global_side = SubgraphSession::new(&g, members.clone(), opts());
+        let mut shard_side = SubgraphSession::with_source(shard, members, opts());
+        assert_eq!(global_side.solve(), shard_side.solve());
+        global_side.add_pages(&g, &[90, 91]);
+        shard_side.add_pages_via(shard, &[90, 91]);
+        assert_eq!(global_side.solve(), shard_side.solve());
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The ranking-algorithm selector shared by the service and the engine.
+
+/// Which ranking algorithm a request selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// ApproxRank (the default).
+    ApproxRank,
+    /// IdealRank over lazily computed global PageRank scores.
+    IdealRank,
+    /// Local PageRank baseline.
+    Local,
+    /// LPR2 baseline.
+    Lpr2,
+    /// Stochastic complementation baseline.
+    Sc,
+}
+
+impl Algorithm {
+    /// Parses the wire name (`approxrank`, `idealrank`, `local`, `lpr2`,
+    /// `sc`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "approxrank" => Ok(Algorithm::ApproxRank),
+            "idealrank" => Ok(Algorithm::IdealRank),
+            "local" => Ok(Algorithm::Local),
+            "lpr2" => Ok(Algorithm::Lpr2),
+            "sc" => Ok(Algorithm::Sc),
+            other => Err(format!(
+                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc)"
+            )),
+        }
+    }
+
+    /// Stable discriminant for cache keys.
+    pub fn code(self) -> u8 {
+        match self {
+            Algorithm::ApproxRank => 0,
+            Algorithm::IdealRank => 1,
+            Algorithm::Local => 2,
+            Algorithm::Lpr2 => 3,
+            Algorithm::Sc => 4,
+        }
+    }
+
+    /// The wire name, as rendered in responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::ApproxRank => "approxrank",
+            Algorithm::IdealRank => "idealrank",
+            Algorithm::Local => "local",
+            Algorithm::Lpr2 => "lpr2",
+            Algorithm::Sc => "sc",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for algo in [
+            Algorithm::ApproxRank,
+            Algorithm::IdealRank,
+            Algorithm::Local,
+            Algorithm::Lpr2,
+            Algorithm::Sc,
+        ] {
+            assert_eq!(Algorithm::parse(algo.name()), Ok(algo));
+        }
+        assert!(Algorithm::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let codes: std::collections::HashSet<u8> = [
+            Algorithm::ApproxRank,
+            Algorithm::IdealRank,
+            Algorithm::Local,
+            Algorithm::Lpr2,
+            Algorithm::Sc,
+        ]
+        .iter()
+        .map(|a| a.code())
+        .collect();
+        assert_eq!(codes.len(), 5);
+    }
+}

@@ -19,7 +19,7 @@ use crate::lru::Lru;
 /// Identifies one cacheable ranking computation.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// Algorithm discriminant (see `handlers::Algorithm`).
+    /// Algorithm discriminant (see [`crate::Algorithm::code`]).
     pub algorithm: u8,
     /// `f64::to_bits` of the damping factor.
     pub damping_bits: u64,

@@ -1,0 +1,664 @@
+//! The [`Engine`]: per-graph ranking state behind a narrow surface.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use approxrank_core::baselines::{LocalPageRank, Lpr2};
+use approxrank_core::{
+    ApproxRank, GlobalAggregates, IdealRank, StochasticComplementation, SubgraphRanker,
+    SubgraphSession,
+};
+use approxrank_graph::{DiGraph, GlobalView, NodeId, NodeSet, Shard, SubgraphSource};
+use approxrank_pagerank::{pagerank, PageRankOptions};
+use approxrank_store::{FsyncPolicy, SessionStore, WalEvent};
+use approxrank_trace::Observer;
+
+use crate::algorithm::Algorithm;
+use crate::cache::{cache_key, CacheKey, CacheStats, CachedResult, ShardedCache};
+
+/// Tunables an [`Engine`] is built with.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Total result-cache entries across the cache's shards.
+    pub cache_entries: usize,
+    /// WAL fsync policy, used when a store is opened.
+    pub fsync: FsyncPolicy,
+    /// First session id this engine hands out (must be ≥ 1).
+    pub first_session_id: u64,
+    /// Distance between consecutive session ids. A router running `S`
+    /// engines gives engine `k` `first = k+1, stride = S`, so ids are
+    /// disjoint and `(id-1) % S` recovers the owner.
+    pub session_id_stride: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_entries: 4096,
+            fsync: FsyncPolicy::Interval(std::time::Duration::from_millis(100)),
+            first_session_id: 1,
+            session_id_stride: 1,
+        }
+    }
+}
+
+/// What the engine ranks over.
+pub(crate) enum Backend {
+    /// The whole global graph: every algorithm is available.
+    Global {
+        /// The graph plus its dangling census, shared with sessions.
+        view: GlobalView,
+        /// Global PageRank scores for IdealRank, computed on first use.
+        global_scores: OnceLock<Vec<f64>>,
+    },
+    /// One shard of a partitioned graph: ApproxRank only.
+    Shard(Arc<Shard>),
+}
+
+/// One open session: the warm solver plus the cache key of the last
+/// membership it published (invalidated on mutation).
+pub struct EngineSession {
+    /// The warm-start solver.
+    pub session: SubgraphSession,
+    /// Cache key for the membership at the last solve, if any.
+    pub published_key: Option<CacheKey>,
+    /// Damping the session was opened with (sessions pin their options).
+    pub damping: f64,
+    /// Tolerance the session was opened with.
+    pub tolerance: f64,
+}
+
+/// A validated ranking request: members sorted, deduplicated, and all
+/// `< N` (the transport layer owns wire-format validation).
+#[derive(Clone, Debug)]
+pub struct RankRequest {
+    /// Sorted, deduplicated member ids, a proper subset of the graph.
+    pub members: Vec<u32>,
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Damping factor in `(0, 1)`.
+    pub damping: f64,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+}
+
+/// A ranking answer plus whether it came from the cache.
+#[derive(Clone, Debug)]
+pub struct RankOutcome {
+    /// The scores (identical whether cached or freshly solved).
+    pub result: CachedResult,
+    /// `true` when served from the result cache.
+    pub cached: bool,
+}
+
+/// Why an engine refused an operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request is invalid for this engine (HTTP 400).
+    BadRequest(String),
+    /// No session with that id (HTTP 404).
+    NoSuchSession(u64),
+}
+
+/// A read-only snapshot of one session, for `GET /session/{id}`.
+#[derive(Clone, Debug)]
+pub struct SessionView {
+    /// Current members in ascending order.
+    pub members: Vec<u32>,
+    /// Iterations the most recent solve took.
+    pub last_iterations: usize,
+    /// Damping the session was opened with.
+    pub damping: f64,
+    /// Tolerance the session was opened with.
+    pub tolerance: f64,
+    /// The last solution (`(page, score)` pairs plus Λ), if any.
+    pub solution: Option<(Vec<(u32, f64)>, f64)>,
+}
+
+/// Per-graph ranking state: precomputation, result cache, warm session
+/// table, and (optionally) a durable store.
+pub struct Engine {
+    pub(crate) backend: Backend,
+    pub(crate) config: EngineConfig,
+    /// The sharded LRU result cache. Stores only cold solves.
+    pub(crate) cache: ShardedCache,
+    pub(crate) sessions: Mutex<HashMap<u64, Arc<Mutex<EngineSession>>>>,
+    pub(crate) next_session_id: AtomicU64,
+    pub(crate) store: OnceLock<Arc<SessionStore>>,
+    /// WAL appends that failed (disk trouble); surfaced on `/metrics`.
+    pub(crate) wal_errors: AtomicU64,
+}
+
+pub(crate) fn options_for(damping: f64, tolerance: f64) -> PageRankOptions {
+    PageRankOptions::paper()
+        .with_damping(damping)
+        .with_tolerance(tolerance)
+}
+
+fn to_cached(members: &[u32], result: approxrank_core::RankScores) -> CachedResult {
+    CachedResult {
+        scores: Arc::new(
+            members
+                .iter()
+                .copied()
+                .zip(result.local_scores.iter().copied())
+                .collect(),
+        ),
+        lambda: result.lambda_score,
+        iterations: result.iterations,
+        converged: result.converged,
+    }
+}
+
+impl Engine {
+    /// An engine over the whole graph: every algorithm available.
+    pub fn new_global(graph: Arc<DiGraph>, config: EngineConfig) -> Self {
+        Engine::with_backend(
+            Backend::Global {
+                view: GlobalView::new(graph),
+                global_scores: OnceLock::new(),
+            },
+            config,
+        )
+    }
+
+    /// An engine over one shard of a partitioned graph: ApproxRank only,
+    /// bit-identical to a global engine for shard-resident subgraphs.
+    pub fn new_shard(shard: Arc<Shard>, config: EngineConfig) -> Self {
+        Engine::with_backend(Backend::Shard(shard), config)
+    }
+
+    fn with_backend(backend: Backend, config: EngineConfig) -> Self {
+        assert!(config.first_session_id >= 1, "session ids start at 1");
+        assert!(config.session_id_stride >= 1, "stride must be positive");
+        Engine {
+            cache: ShardedCache::new(config.cache_entries),
+            sessions: Mutex::new(HashMap::new()),
+            next_session_id: AtomicU64::new(config.first_session_id),
+            store: OnceLock::new(),
+            wal_errors: AtomicU64::new(0),
+            backend,
+            config,
+        }
+    }
+
+    /// The extraction source this engine ranks through.
+    pub(crate) fn source(&self) -> &dyn SubgraphSource {
+        match &self.backend {
+            Backend::Global { view, .. } => view,
+            Backend::Shard(shard) => shard.as_ref(),
+        }
+    }
+
+    /// `N`, the global node count (even for a shard engine).
+    pub fn global_nodes(&self) -> usize {
+        self.source().global_nodes()
+    }
+
+    /// Dangling pages in the whole global graph.
+    pub fn num_dangling(&self) -> usize {
+        self.source().num_dangling()
+    }
+
+    /// Whether this engine can rank subgraphs containing `node`.
+    pub fn owns(&self, node: NodeId) -> bool {
+        self.source().owns(node)
+    }
+
+    /// The global graph, when this is a global engine.
+    pub fn graph(&self) -> Option<&Arc<DiGraph>> {
+        match &self.backend {
+            Backend::Global { view, .. } => Some(view.graph()),
+            Backend::Shard(_) => None,
+        }
+    }
+
+    /// The shard id, when this is a shard engine.
+    pub fn shard_id(&self) -> Option<u32> {
+        match &self.backend {
+            Backend::Global { .. } => None,
+            Backend::Shard(shard) => Some(shard.id()),
+        }
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops a cache entry (the router uses this to keep merged
+    /// cross-shard answers coherent with per-shard invalidations).
+    pub fn invalidate(&self, key: &CacheKey) -> bool {
+        self.cache.invalidate(key)
+    }
+
+    /// Global PageRank scores for IdealRank, computed once per engine.
+    fn global_scores(&self, obs: &dyn Observer) -> Result<&Vec<f64>, EngineError> {
+        match &self.backend {
+            Backend::Global {
+                view,
+                global_scores,
+            } => Ok(global_scores.get_or_init(|| {
+                let _span = obs.span("serve.global_pagerank");
+                pagerank(
+                    view.graph(),
+                    &PageRankOptions::paper().with_tolerance(1e-10),
+                )
+                .scores
+            })),
+            Backend::Shard(_) => Err(EngineError::BadRequest(
+                "idealrank is unavailable on a shard engine".into(),
+            )),
+        }
+    }
+
+    fn check_owned(&self, members: &[u32]) -> Result<(), EngineError> {
+        if let Backend::Shard(shard) = &self.backend {
+            for &m in members {
+                if !shard.owns(m) {
+                    return Err(EngineError::BadRequest(format!(
+                        "page {m} is not on shard {}",
+                        shard.id()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the cold solve exactly the way the CLI does — same
+    /// constructors, same entry points — so served scores match offline
+    /// scores bitwise. On a shard backend only ApproxRank is legal, and
+    /// the solve consumes the shard's view plus [`GlobalAggregates`]:
+    /// bit-identical to the global path for shard-resident members.
+    fn solve_cold(
+        &self,
+        params: &RankRequest,
+        obs: &dyn Observer,
+    ) -> Result<CachedResult, EngineError> {
+        let options = options_for(params.damping, params.tolerance);
+        match &self.backend {
+            Backend::Global { view, .. } => {
+                let graph = view.graph();
+                let ranker: Box<dyn SubgraphRanker> = match params.algorithm {
+                    Algorithm::ApproxRank => Box::new(ApproxRank::new(options)),
+                    Algorithm::Local => Box::new(LocalPageRank::new(options)),
+                    Algorithm::Lpr2 => Box::new(Lpr2::new(options)),
+                    Algorithm::Sc => Box::new(StochasticComplementation {
+                        options,
+                        ..StochasticComplementation::default()
+                    }),
+                    Algorithm::IdealRank => Box::new(IdealRank {
+                        options,
+                        global_scores: self.global_scores(obs)?.clone(),
+                    }),
+                };
+                let nodes = NodeSet::from_sorted(graph.num_nodes(), params.members.iter().copied());
+                let subgraph = approxrank_graph::Subgraph::extract(graph, nodes);
+                Ok(to_cached(
+                    &params.members,
+                    ranker.rank_observed(graph, &subgraph, obs),
+                ))
+            }
+            Backend::Shard(shard) => {
+                if params.algorithm != Algorithm::ApproxRank {
+                    return Err(EngineError::BadRequest(format!(
+                        "algorithm {:?} is unavailable on a shard engine (approxrank only)",
+                        params.algorithm.name()
+                    )));
+                }
+                self.check_owned(&params.members)?;
+                let source: &dyn SubgraphSource = shard.as_ref();
+                let nodes =
+                    NodeSet::from_sorted(source.global_nodes(), params.members.iter().copied());
+                let subgraph = source.extract_nodes(nodes);
+                let agg = GlobalAggregates {
+                    num_nodes: source.global_nodes(),
+                    num_dangling: source.num_dangling(),
+                };
+                Ok(to_cached(
+                    &params.members,
+                    ApproxRank::new(options).rank_subgraph_aggregated_observed(agg, &subgraph, obs),
+                ))
+            }
+        }
+    }
+
+    /// Ranks a member list, serving from the cache when possible. Only
+    /// cold solves ever enter the cache.
+    pub fn rank(
+        &self,
+        params: &RankRequest,
+        obs: &dyn Observer,
+    ) -> Result<RankOutcome, EngineError> {
+        let key = cache_key(
+            params.algorithm.code(),
+            params.damping,
+            params.tolerance,
+            &params.members,
+        );
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(RankOutcome {
+                result: hit,
+                cached: true,
+            });
+        }
+        let result = self.solve_cold(params, obs)?;
+        self.cache.insert(key, result.clone());
+        Ok(RankOutcome {
+            result,
+            cached: false,
+        })
+    }
+
+    /// The cache key a session's current membership occupies (ApproxRank —
+    /// the only algorithm sessions run).
+    pub(crate) fn session_key(session: &EngineSession) -> CacheKey {
+        cache_key(
+            Algorithm::ApproxRank.code(),
+            session.damping,
+            session.tolerance,
+            session.session.members(),
+        )
+    }
+
+    /// Locks the session table, recovering from a poisoned lock (session
+    /// state is only mutated under the per-session lock).
+    pub(crate) fn lock_sessions(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Mutex<EngineSession>>>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Open session count.
+    pub fn session_count(&self) -> usize {
+        self.lock_sessions().len()
+    }
+
+    /// Whether this engine owns session `id` under the configured id
+    /// striding (regardless of whether the session currently exists).
+    pub fn routes_session(&self, id: u64) -> bool {
+        let stride = self.config.session_id_stride;
+        id >= 1 && (id - 1) % stride == self.config.first_session_id - 1
+    }
+
+    fn find_session(&self, id: u64) -> Option<Arc<Mutex<EngineSession>>> {
+        self.lock_sessions().get(&id).cloned()
+    }
+
+    /// Opens a session (always ApproxRank), solves it cold, and returns
+    /// the assigned id plus the first solution.
+    pub fn session_create(
+        &self,
+        members: &[u32],
+        damping: f64,
+        tolerance: f64,
+    ) -> Result<(u64, CachedResult), EngineError> {
+        self.check_owned(members)?;
+        let nodes = NodeSet::from_sorted(self.global_nodes(), members.iter().copied());
+        let mut session = EngineSession {
+            session: SubgraphSession::with_source(
+                self.source(),
+                nodes,
+                options_for(damping, tolerance),
+            ),
+            published_key: None,
+            damping,
+            tolerance,
+        };
+        let scores = session.session.solve();
+        session.published_key = Some(Self::session_key(&session));
+        let result = to_cached(members, scores);
+        let id = self
+            .next_session_id
+            .fetch_add(self.config.session_id_stride, Ordering::Relaxed);
+        self.log_event(WalEvent::Create {
+            id,
+            damping,
+            tolerance,
+            members: members.to_vec(),
+        });
+        self.log_event(WalEvent::Solved {
+            id,
+            scores: result.scores.as_ref().clone(),
+            lambda: result.lambda.unwrap_or(0.0),
+            iterations: result.iterations as u64,
+        });
+        self.lock_sessions()
+            .insert(id, Arc::new(Mutex::new(session)));
+        Ok((id, result))
+    }
+
+    /// Applies a membership edit and warm-start re-solves. Invalidates
+    /// the cache keys of both the previous and the new membership, so a
+    /// stale cold answer never outlives a mutation.
+    pub fn session_update(
+        &self,
+        id: u64,
+        add: &[u32],
+        remove: &[u32],
+    ) -> Result<(Vec<u32>, CachedResult), EngineError> {
+        let Some(entry) = self.find_session(id) else {
+            return Err(EngineError::NoSuchSession(id));
+        };
+        self.check_owned(add)?;
+        let mut session = entry.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Refuse an update that would empty the membership (`remove_pages`
+        // would panic; the transport must answer 400 instead).
+        {
+            let drop: std::collections::HashSet<u32> = remove.iter().copied().collect();
+            let survivors = session
+                .session
+                .members()
+                .iter()
+                .filter(|m| !drop.contains(m))
+                .count()
+                + add
+                    .iter()
+                    .filter(|a| !session.session.members().contains(a) && !drop.contains(a))
+                    .count();
+            if survivors == 0 {
+                return Err(EngineError::BadRequest(
+                    "update would empty the subgraph".into(),
+                ));
+            }
+        }
+
+        // The membership is about to change: whatever this session
+        // published under its previous membership no longer describes a
+        // live view.
+        if let Some(key) = session.published_key.take() {
+            self.cache.invalidate(&key);
+        }
+        if !add.is_empty() {
+            session.session.add_pages_via(self.source(), add);
+            self.log_event(WalEvent::AddPages {
+                id,
+                pages: add.to_vec(),
+            });
+        }
+        if !remove.is_empty() {
+            session.session.remove_pages_via(self.source(), remove);
+            self.log_event(WalEvent::RemovePages {
+                id,
+                pages: remove.to_vec(),
+            });
+        }
+        let scores = session.session.solve();
+        // Also clear any cold `/rank` entry for the *new* membership: the
+        // session now owns this view, and its next mutation must not
+        // leave a stale mixture behind.
+        let new_key = Self::session_key(&session);
+        self.cache.invalidate(&new_key);
+        session.published_key = Some(new_key);
+
+        let members = session.session.members().to_vec();
+        let result = to_cached(&members, scores);
+        self.log_event(WalEvent::Solved {
+            id,
+            scores: result.scores.as_ref().clone(),
+            lambda: result.lambda.unwrap_or(0.0),
+            iterations: result.iterations as u64,
+        });
+        Ok((members, result))
+    }
+
+    /// A read-only snapshot of session `id`, served without re-solving.
+    pub fn session_view(&self, id: u64) -> Option<SessionView> {
+        let entry = self.find_session(id)?;
+        let session = entry.lock().unwrap_or_else(|e| e.into_inner());
+        Some(SessionView {
+            members: session.session.members().to_vec(),
+            last_iterations: session.session.last_iterations(),
+            damping: session.damping,
+            tolerance: session.tolerance,
+            solution: session
+                .session
+                .last_solution()
+                .map(|(scores, lambda)| (scores.to_vec(), lambda)),
+        })
+    }
+
+    /// Closes session `id`; returns whether it existed.
+    pub fn session_delete(&self, id: u64) -> bool {
+        let Some(entry) = self.lock_sessions().remove(&id) else {
+            return false;
+        };
+        let session = entry.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(key) = &session.published_key {
+            self.cache.invalidate(key);
+        }
+        self.log_event(WalEvent::Close { id });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::{PartitionStrategy, PartitionedGraph};
+    use approxrank_trace::null;
+
+    fn ring(n: u32) -> DiGraph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            edges.push((i, (i * 13 + 7) % n));
+            if i % 17 == 3 {
+                continue;
+            }
+        }
+        DiGraph::from_edges(n as usize, &edges)
+    }
+
+    fn request(members: Vec<u32>) -> RankRequest {
+        RankRequest {
+            members,
+            algorithm: Algorithm::ApproxRank,
+            damping: 0.85,
+            tolerance: 1e-8,
+        }
+    }
+
+    fn shard0_engine(g: &DiGraph) -> (Engine, Engine) {
+        let global = Engine::new_global(Arc::new(g.clone()), EngineConfig::default());
+        let pg = PartitionedGraph::build(g, 2, PartitionStrategy::Range);
+        let shard = Arc::new(pg.into_shards().remove(0));
+        let sharded = Engine::new_shard(shard, EngineConfig::default());
+        (global, sharded)
+    }
+
+    #[test]
+    fn shard_rank_is_bit_identical_to_global() {
+        let g = ring(200);
+        let (global, sharded) = shard0_engine(&g);
+        let req = request((10..60).collect());
+        let a = global.rank(&req, null()).unwrap();
+        let b = sharded.rank(&req, null()).unwrap();
+        assert!(!a.cached && !b.cached);
+        for ((pa, sa), (pb, sb)) in a.result.scores.iter().zip(b.result.scores.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+        }
+        assert_eq!(
+            a.result.lambda.unwrap().to_bits(),
+            b.result.lambda.unwrap().to_bits()
+        );
+        assert_eq!(a.result.iterations, b.result.iterations);
+        // Second call hits the cache with identical bits.
+        let c = sharded.rank(&req, null()).unwrap();
+        assert!(c.cached);
+        assert_eq!(c.result.scores, b.result.scores);
+    }
+
+    #[test]
+    fn shard_rejects_foreign_pages_and_other_algorithms() {
+        let g = ring(200);
+        let (_, sharded) = shard0_engine(&g);
+        // Range partitioning over 200 nodes puts 100..200 on shard 1.
+        let err = sharded.rank(&request(vec![150, 151]), null()).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("not on shard")));
+        let mut req = request(vec![10, 11]);
+        req.algorithm = Algorithm::Sc;
+        let err = sharded.rank(&req, null()).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("unavailable")));
+    }
+
+    #[test]
+    fn session_lifecycle_matches_across_backends() {
+        let g = ring(200);
+        let (global, sharded) = shard0_engine(&g);
+        let members: Vec<u32> = (20..50).collect();
+        let (gid, ga) = global.session_create(&members, 0.85, 1e-8).unwrap();
+        let (sid, sa) = sharded.session_create(&members, 0.85, 1e-8).unwrap();
+        assert_eq!(ga.scores, sa.scores);
+        let (gm, gb) = global.session_update(gid, &[50, 51], &[20]).unwrap();
+        let (sm, sb) = sharded.session_update(sid, &[50, 51], &[20]).unwrap();
+        assert_eq!(gm, sm);
+        assert_eq!(gb.scores, sb.scores);
+        assert_eq!(
+            global.session_view(gid).unwrap().members,
+            sharded.session_view(sid).unwrap().members
+        );
+        assert!(global.session_delete(gid));
+        assert!(sharded.session_delete(sid));
+        assert_eq!(global.session_count() + sharded.session_count(), 0);
+    }
+
+    #[test]
+    fn session_ids_stride() {
+        let g = ring(40);
+        let engine = Engine::new_global(
+            Arc::new(g),
+            EngineConfig {
+                first_session_id: 2,
+                session_id_stride: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let (a, _) = engine.session_create(&[1, 2], 0.85, 1e-6).unwrap();
+        let (b, _) = engine.session_create(&[3, 4], 0.85, 1e-6).unwrap();
+        assert_eq!((a, b), (2, 5));
+        assert!(engine.routes_session(2) && engine.routes_session(8));
+        assert!(!engine.routes_session(3) && !engine.routes_session(0));
+    }
+
+    #[test]
+    fn update_errors_keep_session_healthy() {
+        let g = ring(60);
+        let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
+        let (id, _) = engine.session_create(&[1, 2], 0.85, 1e-6).unwrap();
+        assert_eq!(
+            engine.session_update(id, &[], &[1, 2]).unwrap_err(),
+            EngineError::BadRequest("update would empty the subgraph".into())
+        );
+        assert_eq!(
+            engine.session_update(999, &[3], &[]).unwrap_err(),
+            EngineError::NoSuchSession(999)
+        );
+        let (members, _) = engine.session_update(id, &[3], &[]).unwrap();
+        assert_eq!(members, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,310 @@
+//! The bridge between live engine state and the durable
+//! [`approxrank_store`] layer: type conversions, boot-time recovery, WAL
+//! appends on the session-mutation path, and snapshot collection.
+//!
+//! The store speaks only primitive types, so this module owns every
+//! conversion: [`crate::EngineSession`] ↔
+//! [`approxrank_store::SessionRecord`] and cache entries ↔
+//! [`approxrank_store::CacheRecord`]. WAL appends are best-effort from
+//! the request path's point of view — a failing disk degrades
+//! durability, never availability — with failures counted per engine and
+//! logged.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use approxrank_core::SubgraphSession;
+use approxrank_graph::NodeSet;
+use approxrank_store::{CacheRecord, SessionRecord, SessionStore, StoreConfig, WalEvent};
+
+use crate::cache::{CacheKey, CachedResult};
+use crate::engine::{options_for, Engine, EngineSession};
+
+/// How many result-cache entries a snapshot persists, hottest first.
+const HOT_CACHE_LIMIT: usize = 256;
+
+/// What [`Engine::open_store`] reconstructed, for the boot banner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Sessions re-registered into the session table.
+    pub sessions: usize,
+    /// Sessions on disk that no longer fit the loaded graph (or shard)
+    /// and were dropped — e.g. the server was restarted with a different
+    /// graph or partitioning.
+    pub skipped: usize,
+    /// Result-cache entries rewarmed.
+    pub cache_entries: usize,
+    /// Torn/corrupt WAL tails truncated during replay.
+    pub truncated_records: u64,
+}
+
+impl RecoverySummary {
+    /// Folds another engine's recovery into this one (the router sums
+    /// per-shard summaries for the boot banner).
+    pub fn merge(&mut self, other: RecoverySummary) {
+        self.sessions += other.sessions;
+        self.skipped += other.skipped;
+        self.cache_entries += other.cache_entries;
+        self.truncated_records += other.truncated_records;
+    }
+}
+
+impl Engine {
+    /// Opens (or creates) the durable store in `dir`, recovers its
+    /// contents — re-registering sessions, restoring their last solutions
+    /// so the next solve is warm, re-publishing their cache invalidation
+    /// keys, and rewarming hot cache entries — and installs the store so
+    /// the mutation path starts appending WAL events.
+    pub fn open_store(&self, dir: &Path) -> io::Result<RecoverySummary> {
+        let config = StoreConfig {
+            fsync: self.config.fsync,
+            ..StoreConfig::default()
+        };
+        let (store, recovered) = SessionStore::open(dir, config)?;
+
+        let mut summary = RecoverySummary {
+            truncated_records: recovered.truncated_records,
+            ..RecoverySummary::default()
+        };
+        let mut max_id = 0u64;
+        {
+            let mut sessions = self.lock_sessions();
+            for record in recovered.sessions {
+                max_id = max_id.max(record.id);
+                match self.revive_session(&record) {
+                    Some(session) => {
+                        sessions.insert(record.id, Arc::new(Mutex::new(session)));
+                        summary.sessions += 1;
+                    }
+                    None => summary.skipped += 1,
+                }
+            }
+        }
+        // Ids keep growing from where the previous process stopped — on
+        // this engine's stride, so a recovered id is never handed out
+        // twice and the id → engine routing stays intact.
+        let stride = self.config.session_id_stride;
+        let current = self.next_session_id.load(Ordering::Relaxed);
+        if max_id >= current {
+            let steps = (max_id - current) / stride + 1;
+            self.next_session_id
+                .store(current + steps * stride, Ordering::Relaxed);
+        }
+
+        for record in recovered.cache {
+            if let Some((key, value)) = self.revive_cache_entry(&record) {
+                self.cache.insert(key, value);
+                summary.cache_entries += 1;
+            }
+        }
+
+        let _ = self.store.set(Arc::new(store));
+        Ok(summary)
+    }
+
+    /// Rebuilds a live warm session from its persisted record. Returns
+    /// `None` when the record does not fit the loaded graph (member out
+    /// of range or not on this shard, empty membership, or a full-graph
+    /// membership) — a stale data dir must not poison a fresh boot.
+    fn revive_session(&self, record: &SessionRecord) -> Option<EngineSession> {
+        let n = self.global_nodes();
+        if record.members.is_empty()
+            || record.members.len() >= n
+            || record.members.iter().any(|&m| !self.owns(m))
+            || !(record.damping > 0.0 && record.damping < 1.0)
+            || !(record.tolerance > 0.0 && record.tolerance.is_finite())
+        {
+            return None;
+        }
+        let nodes = NodeSet::from_iter_order(n, record.members.iter().copied());
+        let mut session = SubgraphSession::with_source(
+            self.source(),
+            nodes,
+            options_for(record.damping, record.tolerance),
+        );
+        if let Some((scores, lambda)) = &record.solution {
+            session.restore(scores.clone(), *lambda, record.iterations as usize);
+        }
+        let mut engine_session = EngineSession {
+            session,
+            published_key: None,
+            damping: record.damping,
+            tolerance: record.tolerance,
+        };
+        if record.solution.is_some() {
+            // The previous process had published this membership;
+            // re-publish the key so the next mutation invalidates any
+            // cold `/rank` entry that may also be rewarmed below.
+            engine_session.published_key = Some(Engine::session_key(&engine_session));
+        }
+        Some(engine_session)
+    }
+
+    fn revive_cache_entry(&self, record: &CacheRecord) -> Option<(CacheKey, CachedResult)> {
+        if record.members.is_empty()
+            || record.members.iter().any(|&m| !self.owns(m))
+            || !record.members.windows(2).all(|w| w[0] < w[1])
+        {
+            return None;
+        }
+        let key = CacheKey {
+            algorithm: record.algorithm,
+            damping_bits: record.damping_bits,
+            tolerance_bits: record.tolerance_bits,
+            members: record.members.as_slice().into(),
+        };
+        let value = CachedResult {
+            scores: Arc::new(record.scores.clone()),
+            lambda: record.lambda,
+            iterations: record.iterations as usize,
+            converged: record.converged,
+        };
+        Some((key, value))
+    }
+
+    /// Appends one lifecycle event if a store is installed. Errors
+    /// degrade to a counter and a log line — the request still succeeds.
+    pub fn log_event(&self, event: WalEvent) {
+        if let Some(store) = self.store.get() {
+            if let Err(e) = store.append(&event) {
+                self.wal_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "approxrank-engine: WAL append failed for session {}: {e}",
+                    event.session_id()
+                );
+            }
+        }
+    }
+
+    /// WAL append failures observed so far on this engine.
+    pub fn wal_errors(&self) -> u64 {
+        self.wal_errors.load(Ordering::Relaxed)
+    }
+
+    /// The durable store, if one has been opened.
+    pub fn store(&self) -> Option<&Arc<SessionStore>> {
+        self.store.get()
+    }
+
+    /// Collects the full session table as records. Per-session locks are
+    /// taken one at a time, so a long re-solve delays only its own entry.
+    fn collect_sessions(&self) -> Vec<SessionRecord> {
+        let entries: Vec<(u64, Arc<Mutex<EngineSession>>)> = self
+            .lock_sessions()
+            .iter()
+            .map(|(&id, entry)| (id, Arc::clone(entry)))
+            .collect();
+        let mut records: Vec<SessionRecord> = entries
+            .into_iter()
+            .map(|(id, entry)| {
+                let session = entry.lock().unwrap_or_else(|e| e.into_inner());
+                session_record(id, &session)
+            })
+            .collect();
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    fn collect_cache(&self) -> Vec<CacheRecord> {
+        self.cache
+            .hot_entries(HOT_CACHE_LIMIT)
+            .into_iter()
+            .map(|(key, value)| CacheRecord {
+                algorithm: key.algorithm,
+                damping_bits: key.damping_bits,
+                tolerance_bits: key.tolerance_bits,
+                members: key.members.to_vec(),
+                scores: value.scores.as_ref().clone(),
+                lambda: value.lambda,
+                iterations: value.iterations as u64,
+                converged: value.converged,
+            })
+            .collect()
+    }
+
+    /// Writes a snapshot of the current sessions and hot cache entries.
+    /// A no-op without a store.
+    pub fn snapshot_now(&self) -> io::Result<()> {
+        let Some(store) = self.store.get() else {
+            return Ok(());
+        };
+        store.snapshot(self.collect_sessions(), self.collect_cache())
+    }
+
+    /// Flushes the WAL to stable storage (clean-shutdown path). A no-op
+    /// without a store.
+    pub fn flush(&self) -> io::Result<()> {
+        match self.store.get() {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Converts a live session to its persistent record.
+pub(crate) fn session_record(id: u64, session: &EngineSession) -> SessionRecord {
+    SessionRecord {
+        id,
+        damping: session.damping,
+        tolerance: session.tolerance,
+        iterations: session.session.last_iterations() as u64,
+        members: session.session.members().to_vec(),
+        solution: session
+            .session
+            .last_solution()
+            .map(|(scores, lambda)| (scores.to_vec(), lambda)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use approxrank_graph::DiGraph;
+
+    fn graph() -> DiGraph {
+        let n = 80u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), (i, (i * 7 + 3) % n)])
+            .collect();
+        DiGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn sessions_survive_reopen_with_stride_preserved() {
+        let dir = std::env::temp_dir().join(format!(
+            "approxrank-engine-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = EngineConfig {
+            first_session_id: 2,
+            session_id_stride: 3,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new_global(Arc::new(graph()), config.clone());
+        engine.open_store(&dir).unwrap();
+        let (id, _) = engine.session_create(&[1, 2, 3], 0.85, 1e-6).unwrap();
+        assert_eq!(id, 2);
+        let view = engine.session_view(id).unwrap();
+        engine.flush().unwrap();
+        drop(engine);
+
+        let revived = Engine::new_global(Arc::new(graph()), config);
+        let summary = revived.open_store(&dir).unwrap();
+        assert_eq!(summary.sessions, 1);
+        let got = revived.session_view(id).unwrap();
+        assert_eq!(got.members, view.members);
+        let (scores, lambda) = got.solution.unwrap();
+        let (want_scores, want_lambda) = view.solution.unwrap();
+        assert_eq!(scores, want_scores);
+        assert_eq!(lambda.to_bits(), want_lambda.to_bits());
+        // The next id continues on the stride past the recovered id.
+        let (next, _) = revived.session_create(&[4, 5], 0.85, 1e-6).unwrap();
+        assert_eq!(next, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`NodeSet`] / [`Subgraph`] — subgraph selection with local↔global id
 //!   maps and boundary (cross-edge) extraction, the raw material for the
 //!   extended local graph of the paper.
+//! * [`partition`] — deterministic shard assignment, self-sufficient
+//!   per-shard views ([`Shard`]), and the sharded on-disk layout.
 //! * [`traversal`] — BFS/DFS iterators and connected components.
 //! * [`io`] — plain edge-list and binary persistence.
 //! * [`stats`] — degree distributions and link-locality summaries.
@@ -22,6 +24,7 @@ pub mod csr;
 pub mod digraph;
 pub mod error;
 pub mod io;
+pub mod partition;
 pub mod scc;
 pub mod stats;
 pub mod subgraph;
@@ -32,8 +35,12 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use error::GraphError;
+pub use partition::{
+    assign_shards, read_partitioned, write_partitioned, GlobalView, PartitionStrategy,
+    PartitionedGraph, Shard, SubgraphSource,
+};
 pub use scc::{strongly_connected_components, SccResult};
-pub use stats::GraphStats;
+pub use stats::{GraphStats, PartitionStats, ShardBalance};
 pub use subgraph::{BoundaryEdges, BoundaryInEdge, NodeSet, Subgraph};
 
 /// Identifier of a node within a graph: a dense index in `0..num_nodes`.

@@ -97,6 +97,77 @@ pub fn intra_part_fraction(graph: &DiGraph, part: &[u32]) -> f64 {
     intra as f64 / graph.num_edges() as f64
 }
 
+/// Node/edge balance of one shard of a partitioning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardBalance {
+    /// Nodes assigned to the shard.
+    pub nodes: usize,
+    /// Edges with both endpoints on the shard.
+    pub internal_edges: usize,
+}
+
+/// Partitioner-quality summary: how many edges cross shards and how evenly
+/// nodes and edges spread. `subrank stats --shards N` prints this.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// Per-shard node/edge balance, indexed by shard id.
+    pub shards: Vec<ShardBalance>,
+    /// Edges whose endpoints live on different shards.
+    pub cross_edges: usize,
+    /// Total edges (cross + internal).
+    pub total_edges: usize,
+}
+
+impl PartitionStats {
+    /// One pass over the edges, classifying each by its endpoints' shards.
+    ///
+    /// # Panics
+    /// Panics if `shard_of` does not cover every node or names a shard
+    /// `>= num_shards`.
+    pub fn compute(graph: &DiGraph, shard_of: &[u32], num_shards: usize) -> Self {
+        assert_eq!(shard_of.len(), graph.num_nodes());
+        let mut shards = vec![ShardBalance::default(); num_shards];
+        for v in graph.nodes() {
+            shards[shard_of[v as usize] as usize].nodes += 1;
+        }
+        let mut cross_edges = 0usize;
+        for (s, t) in graph.edges() {
+            let (ss, ts) = (shard_of[s as usize], shard_of[t as usize]);
+            if ss == ts {
+                shards[ss as usize].internal_edges += 1;
+            } else {
+                cross_edges += 1;
+            }
+        }
+        PartitionStats {
+            shards,
+            cross_edges,
+            total_edges: graph.num_edges(),
+        }
+    }
+
+    /// Fraction of edges crossing shards (0 on an edgeless graph).
+    pub fn cross_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cross_edges as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Largest shard node count over the ideal (`N/S`) — 1.0 is perfect
+    /// balance; an empty partitioning reports 0.
+    pub fn node_imbalance(&self) -> f64 {
+        let total: usize = self.shards.iter().map(|s| s.nodes).sum();
+        if total == 0 || self.shards.is_empty() {
+            return 0.0;
+        }
+        let ideal = total as f64 / self.shards.len() as f64;
+        let max = self.shards.iter().map(|s| s.nodes).max().unwrap_or(0);
+        max as f64 / ideal
+    }
+}
+
 /// Counts the edges crossing into / out of / inside a node set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CutStats {
@@ -175,6 +246,32 @@ mod tests {
                 external: 1, // 2->3
             }
         );
+    }
+
+    #[test]
+    fn partition_stats_classify_edges() {
+        let g = sample();
+        // parts: {0,1,2} and {3,4}; edge 2->3 crosses.
+        let part = vec![0, 0, 0, 1, 1];
+        let p = PartitionStats::compute(&g, &part, 2);
+        assert_eq!(p.cross_edges, 1);
+        assert_eq!(p.total_edges, 4);
+        assert_eq!(
+            p.shards[0],
+            ShardBalance {
+                nodes: 3,
+                internal_edges: 3
+            }
+        );
+        assert_eq!(
+            p.shards[1],
+            ShardBalance {
+                nodes: 2,
+                internal_edges: 0
+            }
+        );
+        assert!((p.cross_fraction() - 0.25).abs() < 1e-12);
+        assert!((p.node_imbalance() - 3.0 / 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -205,6 +205,37 @@ impl Subgraph {
         }
     }
 
+    /// Assembles a subgraph from already-materialized parts. The partition
+    /// layer uses this to rebuild extractions from per-shard data (and the
+    /// sharded on-disk layout) without ever touching the global graph; the
+    /// caller is responsible for the parts agreeing with what
+    /// [`Subgraph::extract`] would have produced.
+    ///
+    /// # Panics
+    /// Panics if the part shapes disagree (local graph, degree array, and
+    /// boundary out-counts must all cover exactly `nodes.len()` pages).
+    pub fn from_parts(
+        nodes: NodeSet,
+        local: DiGraph,
+        global_out_degrees: Vec<usize>,
+        boundary: BoundaryEdges,
+    ) -> Self {
+        let n = nodes.len();
+        assert_eq!(local.num_nodes(), n, "local graph covers the node set");
+        assert_eq!(global_out_degrees.len(), n, "one degree per local page");
+        assert_eq!(boundary.out_external.len(), n, "one out-count per page");
+        debug_assert!(boundary
+            .in_edges
+            .iter()
+            .all(|e| (e.target_local as usize) < n));
+        Subgraph {
+            nodes,
+            local,
+            global_out_degrees,
+            boundary,
+        }
+    }
+
     /// The node set (id maps).
     #[inline]
     pub fn nodes(&self) -> &NodeSet {

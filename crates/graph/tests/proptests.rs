@@ -207,3 +207,81 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Every partitioning strategy covers each node exactly once and
+    /// preserves each edge as either intra-shard or cross-shard.
+    #[test]
+    fn partitioning_covers_nodes_and_edges(
+        (n, edges) in edges_strategy(),
+        shards in 1usize..6,
+        strategy_pick in 0usize..3,
+    ) {
+        use approxrank_graph::{PartitionStrategy, PartitionedGraph};
+        let g = DiGraph::from_edges(n, &edges);
+        let strategy = [
+            PartitionStrategy::Range,
+            PartitionStrategy::Scc,
+            PartitionStrategy::Hash,
+        ][strategy_pick];
+        let pg = PartitionedGraph::build(&g, shards, strategy);
+
+        // Node coverage: exactly once, agreeing with the assignment map.
+        let mut covered = vec![0usize; n];
+        for shard in pg.shards() {
+            for &m in shard.members() {
+                covered[m as usize] += 1;
+                prop_assert_eq!(pg.shard_of(m), shard.id());
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+
+        // Edge preservation: intra-shard and cross-shard cover the graph.
+        let intra: usize = pg
+            .shards()
+            .iter()
+            .map(|s| s.view().local_graph().num_edges())
+            .sum();
+        prop_assert_eq!(intra + pg.cross_edges().len(), g.num_edges());
+        for &(s, t) in pg.cross_edges() {
+            prop_assert_ne!(pg.shard_of(s), pg.shard_of(t));
+        }
+        for shard in pg.shards() {
+            for (ls, lt) in shard.view().local_graph().edges() {
+                let gs = shard.view().nodes().global_id(ls);
+                let gt = shard.view().nodes().global_id(lt);
+                prop_assert!(g.has_edge(gs, gt));
+            }
+        }
+    }
+
+    /// A shard's nested extraction is indistinguishable from extracting
+    /// the same member set directly from the global graph.
+    #[test]
+    fn nested_extraction_matches_direct(
+        (n, edges) in edges_strategy(),
+        shards in 1usize..4,
+        pick in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        use approxrank_graph::{PartitionStrategy, PartitionedGraph, SubgraphSource};
+        let g = DiGraph::from_edges(n, &edges);
+        let pg = PartitionedGraph::build(&g, shards, PartitionStrategy::Range);
+        let shard = pg.shard(0);
+        let members: Vec<u32> = shard
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| pick[m as usize])
+            .collect();
+        prop_assume!(!members.is_empty());
+        let nodes = || NodeSet::from_iter_order(n, members.iter().copied());
+        let direct = Subgraph::extract(&g, nodes());
+        let nested = shard.extract_nodes(nodes());
+        prop_assert_eq!(nested.nodes().members(), direct.nodes().members());
+        prop_assert_eq!(nested.local_graph(), direct.local_graph());
+        prop_assert_eq!(nested.global_out_degrees(), direct.global_out_degrees());
+        prop_assert_eq!(&nested.boundary().out_external, &direct.boundary().out_external);
+        prop_assert_eq!(&nested.boundary().in_edges, &direct.boundary().in_edges);
+        prop_assert_eq!(&nested.boundary().in_sources, &direct.boundary().in_sources);
+    }
+}

@@ -1,81 +1,24 @@
 //! Request routing and the endpoint implementations.
 //!
 //! Every handler is a pure function of (`AppState`, [`Request`]) →
-//! [`Response`]; the transport loop in [`crate::server`] owns timeouts,
-//! keep-alive, and panic containment. `/rank` answers are *bit-identical*
-//! to the offline `subrank rank` CLI for the same members and options:
-//! both sides call the same `SubgraphRanker::rank` entry points, and the
-//! cache only ever stores those cold-solve results (warm session solves
-//! never enter it).
+//! [`Response`]: this layer owns wire-format parsing, validation, and
+//! response shaping, and delegates every solve to the
+//! [`crate::router::Router`] (which in turn drives one
+//! [`approxrank_engine::Engine`] per shard). `/rank` answers are
+//! *bit-identical* to the offline `subrank rank` CLI for the same members
+//! and options — in sharded mode this holds for any membership resident
+//! on a single shard; cross-shard memberships are answered with a merged
+//! mixture and marked by a `"shards"` count greater than 1.
 
-use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering::Relaxed;
 
-use approxrank_core::baselines::{LocalPageRank, Lpr2};
-use approxrank_core::{
-    ApproxRank, IdealRank, StochasticComplementation, SubgraphRanker, SubgraphSession,
-};
-use approxrank_graph::{NodeSet, Subgraph};
-use approxrank_pagerank::{pagerank, PageRankOptions};
-use approxrank_store::WalEvent;
+use approxrank_engine::{Algorithm, CachedResult, EngineError, RankRequest};
 use approxrank_trace::Observer;
 
-use crate::cache::{cache_key, CacheKey, CachedResult};
 use crate::http::{Request, Response};
 use crate::json::{obj, parse, Json};
 use crate::metrics::Endpoint;
-use crate::state::{AppState, ServerSession};
-
-/// Which ranking algorithm a `/rank` request selects.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algorithm {
-    /// ApproxRank (the default).
-    ApproxRank,
-    /// IdealRank over lazily computed global PageRank scores.
-    IdealRank,
-    /// Local PageRank baseline.
-    Local,
-    /// LPR2 baseline.
-    Lpr2,
-    /// Stochastic complementation baseline.
-    Sc,
-}
-
-impl Algorithm {
-    fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "approxrank" => Ok(Algorithm::ApproxRank),
-            "idealrank" => Ok(Algorithm::IdealRank),
-            "local" => Ok(Algorithm::Local),
-            "lpr2" => Ok(Algorithm::Lpr2),
-            "sc" => Ok(Algorithm::Sc),
-            other => Err(format!(
-                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc)"
-            )),
-        }
-    }
-
-    /// Stable discriminant for cache keys.
-    pub fn code(self) -> u8 {
-        match self {
-            Algorithm::ApproxRank => 0,
-            Algorithm::IdealRank => 1,
-            Algorithm::Local => 2,
-            Algorithm::Lpr2 => 3,
-            Algorithm::Sc => 4,
-        }
-    }
-
-    fn name(self) -> &'static str {
-        match self {
-            Algorithm::ApproxRank => "approxrank",
-            Algorithm::IdealRank => "idealrank",
-            Algorithm::Local => "local",
-            Algorithm::Lpr2 => "lpr2",
-            Algorithm::Sc => "sc",
-        }
-    }
-}
+use crate::state::AppState;
 
 /// Routes a request to its handler and returns the response together
 /// with the endpoint label for metrics.
@@ -135,22 +78,28 @@ fn route_session(
     }
 }
 
+/// Maps an engine refusal onto its HTTP status.
+fn engine_error(e: EngineError) -> Response {
+    match e {
+        EngineError::BadRequest(msg) => Response::error(400, &msg),
+        EngineError::NoSuchSession(id) => Response::error(404, &format!("no session {id}")),
+    }
+}
+
 fn healthz() -> Response {
     Response::json(200, obj(vec![("status", Json::Str("ok".into()))]).emit())
 }
 
 fn stats(state: &AppState) -> Response {
-    let cache = state.cache.stats();
+    let cache = state.cache_stats();
+    let graph = state.router.summary();
     let body = obj(vec![
         (
             "graph",
             obj(vec![
-                ("nodes", Json::Num(state.graph.num_nodes() as f64)),
-                ("edges", Json::Num(state.graph.num_edges() as f64)),
-                (
-                    "dangling",
-                    Json::Num(state.precomputation.num_dangling() as f64),
-                ),
+                ("nodes", Json::Num(graph.nodes as f64)),
+                ("edges", Json::Num(graph.edges as f64)),
+                ("dangling", Json::Num(graph.dangling as f64)),
             ]),
         ),
         (
@@ -171,17 +120,18 @@ fn stats(state: &AppState) -> Response {
         ),
         ("uptime_seconds", Json::Num(state.metrics.uptime_seconds())),
         ("threads", Json::Num(state.config.threads as f64)),
+        ("shards", Json::Num(state.router.num_shards() as f64)),
     ]);
     Response::json(200, body.emit())
 }
 
 fn metrics(state: &AppState) -> Response {
-    let cache = state.cache.stats();
+    let cache = state.cache_stats();
+    let graph = state.router.summary();
     let mut extra = String::new();
     extra.push_str(&format!(
         "approxrank_graph_nodes {}\napproxrank_graph_edges {}\n",
-        state.graph.num_nodes(),
-        state.graph.num_edges()
+        graph.nodes, graph.edges
     ));
     extra.push_str(&format!(
         "approxrank_cache_hits_total {}\napproxrank_cache_misses_total {}\n\
@@ -198,21 +148,43 @@ fn metrics(state: &AppState) -> Response {
         "approxrank_sessions_open {}\n",
         state.session_count()
     ));
-    if let Some(store) = state.store.get() {
-        let s = store.stats();
-        use std::sync::atomic::Ordering::Relaxed;
+    if state.router.has_store() {
+        // One store per engine: expose the fleet totals under the same
+        // line names a single-store deployment always had.
+        let (mut appends, mut bytes, mut fsyncs, mut snap_ms) = (0u64, 0u64, 0u64, 0u64);
+        let (mut snaps, mut recovered, mut truncated) = (0u64, 0u64, 0u64);
+        for engine in state.router.engines() {
+            if let Some(store) = engine.store() {
+                let s = store.stats();
+                appends += s.wal_appends.load(Relaxed);
+                bytes += s.wal_bytes.load(Relaxed);
+                fsyncs += s.fsyncs.load(Relaxed);
+                snap_ms += s.snapshot_ms.load(Relaxed);
+                snaps += s.snapshots.load(Relaxed);
+                recovered += s.recovered_sessions.load(Relaxed);
+                truncated += s.truncated_records.load(Relaxed);
+            }
+        }
         extra.push_str(&format!(
-            "store_wal_appends {}\nstore_wal_bytes {}\nstore_fsyncs {}\n\
-             store_snapshot_ms {}\nstore_snapshots {}\nstore_recovered_sessions {}\n\
-             store_truncated_records {}\nstore_wal_errors {}\n",
-            s.wal_appends.load(Relaxed),
-            s.wal_bytes.load(Relaxed),
-            s.fsyncs.load(Relaxed),
-            s.snapshot_ms.load(Relaxed),
-            s.snapshots.load(Relaxed),
-            s.recovered_sessions.load(Relaxed),
-            s.truncated_records.load(Relaxed),
-            crate::persist::wal_errors(),
+            "store_wal_appends {appends}\nstore_wal_bytes {bytes}\nstore_fsyncs {fsyncs}\n\
+             store_snapshot_ms {snap_ms}\nstore_snapshots {snaps}\nstore_recovered_sessions {recovered}\n\
+             store_truncated_records {truncated}\nstore_wal_errors {}\n",
+            state.router.wal_errors(),
+        ));
+    }
+    extra.push_str(&format!(
+        "shard_count {}\nshard_cross_rank_requests {}\n",
+        state.router.num_shards(),
+        state.router.cross_rank_requests()
+    ));
+    for (k, engine) in state.router.engines().iter().enumerate() {
+        extra.push_str(&format!(
+            "shard_rank_requests{{shard=\"{k}\"}} {}\n\
+             shard_sessions_open{{shard=\"{k}\"}} {}\n\
+             shard_cache_entries{{shard=\"{k}\"}} {}\n",
+            state.router.shard_rank_requests(k),
+            engine.session_count(),
+            engine.cache_stats().entries
         ));
     }
     if let Some(pool) = state.pool_stats() {
@@ -242,6 +214,17 @@ struct RankParams {
     top: usize,
 }
 
+impl RankParams {
+    fn to_request(&self) -> RankRequest {
+        RankRequest {
+            members: self.members.clone(),
+            algorithm: self.algorithm,
+            damping: self.damping,
+            tolerance: self.tolerance,
+        }
+    }
+}
+
 fn parse_members(state: &AppState, body: &Json) -> Result<Vec<u32>, String> {
     let items = body
         .get("members")
@@ -251,7 +234,7 @@ fn parse_members(state: &AppState, body: &Json) -> Result<Vec<u32>, String> {
     if items.is_empty() {
         return Err("\"members\" must be non-empty".into());
     }
-    let n = state.graph.num_nodes();
+    let n = state.router.summary().nodes;
     let mut members = Vec::with_capacity(items.len());
     for item in items {
         let id = item
@@ -308,61 +291,6 @@ fn parse_rank_params(state: &AppState, raw: &[u8]) -> Result<RankParams, String>
     })
 }
 
-fn options_for(damping: f64, tolerance: f64) -> PageRankOptions {
-    PageRankOptions::paper()
-        .with_damping(damping)
-        .with_tolerance(tolerance)
-}
-
-/// Global PageRank scores for IdealRank, computed once per process.
-fn global_scores(state: &AppState) -> &Vec<f64> {
-    state.global_scores.get_or_init(|| {
-        let obs: &dyn Observer = &state.metrics;
-        let _span = obs.span("serve.global_pagerank");
-        pagerank(
-            &state.graph,
-            &PageRankOptions::paper().with_tolerance(1e-10),
-        )
-        .scores
-    })
-}
-
-/// Runs the cold solve exactly the way the CLI does — same constructors,
-/// same entry point — so served scores match offline scores bitwise.
-fn solve_cold(state: &AppState, params: &RankParams) -> CachedResult {
-    let options = options_for(params.damping, params.tolerance);
-    let ranker: Box<dyn SubgraphRanker> = match params.algorithm {
-        Algorithm::ApproxRank => Box::new(ApproxRank::new(options)),
-        Algorithm::Local => Box::new(LocalPageRank::new(options)),
-        Algorithm::Lpr2 => Box::new(Lpr2::new(options)),
-        Algorithm::Sc => Box::new(StochasticComplementation {
-            options,
-            ..StochasticComplementation::default()
-        }),
-        Algorithm::IdealRank => Box::new(IdealRank {
-            options,
-            global_scores: global_scores(state).clone(),
-        }),
-    };
-    let nodes = NodeSet::from_sorted(state.graph.num_nodes(), params.members.iter().copied());
-    let subgraph = Subgraph::extract(&state.graph, nodes);
-    let obs: &dyn Observer = &state.metrics;
-    let result = ranker.rank_observed(&state.graph, &subgraph, obs);
-    CachedResult {
-        scores: Arc::new(
-            params
-                .members
-                .iter()
-                .copied()
-                .zip(result.local_scores.iter().copied())
-                .collect(),
-        ),
-        lambda: result.lambda_score,
-        iterations: result.iterations,
-        converged: result.converged,
-    }
-}
-
 fn scores_json(scores: &[(u32, f64)], top: usize) -> Json {
     let mut pairs: Vec<(u32, f64)> = scores.to_vec();
     pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -390,6 +318,7 @@ fn result_body(
     result: &CachedResult,
     top: usize,
     cached: bool,
+    shards: usize,
     extra: Vec<(&str, Json)>,
 ) -> Json {
     let mut pairs = vec![
@@ -398,6 +327,7 @@ fn result_body(
         ("iterations", Json::Num(result.iterations as f64)),
         ("lambda", result.lambda.map(Json::Num).unwrap_or(Json::Null)),
         ("cached", Json::Bool(cached)),
+        ("shards", Json::Num(shards as f64)),
         ("scores", scores_json(&result.scores, top)),
     ];
     pairs.extend(extra);
@@ -411,34 +341,21 @@ fn rank(state: &AppState, request: &Request) -> Response {
     };
     let obs: &dyn Observer = &state.metrics;
     let _span = obs.span("http.rank");
-    let key = cache_key(
-        params.algorithm.code(),
-        params.damping,
-        params.tolerance,
-        &params.members,
-    );
-    if let Some(hit) = state.cache.get(&key) {
-        return Response::json(
-            200,
-            result_body(params.algorithm.name(), &hit, params.top, true, vec![]).emit(),
-        );
-    }
-    let result = solve_cold(state, &params);
-    state.cache.insert(key, result.clone());
+    let routed = match state.router.rank(&params.to_request(), obs) {
+        Ok(r) => r,
+        Err(e) => return engine_error(e),
+    };
     Response::json(
         200,
-        result_body(params.algorithm.name(), &result, params.top, false, vec![]).emit(),
-    )
-}
-
-/// The cache key a session's current membership would occupy. Sessions
-/// always solve with ApproxRank.
-fn session_cache_key(session: &ServerSession) -> CacheKey {
-    cache_key(
-        Algorithm::ApproxRank.code(),
-        session.damping,
-        session.tolerance,
-        session.session.members(),
+        result_body(
+            params.algorithm.name(),
+            &routed.outcome.result,
+            params.top,
+            routed.outcome.cached,
+            routed.shards,
+            vec![],
+        )
+        .emit(),
     )
 }
 
@@ -452,55 +369,14 @@ fn session_create(state: &AppState, request: &Request) -> Response {
     }
     let obs: &dyn Observer = &state.metrics;
     let _span = obs.span("http.session_create");
-    let nodes = NodeSet::from_sorted(state.graph.num_nodes(), params.members.iter().copied());
-    let mut session = ServerSession {
-        session: SubgraphSession::with_precomputation(
-            &state.graph,
-            nodes,
-            options_for(params.damping, params.tolerance),
-            state.precomputation.clone(),
-        ),
-        published_key: None,
-        damping: params.damping,
-        tolerance: params.tolerance,
-    };
-    let scores = session.session.solve();
-    session.published_key = Some(session_cache_key(&session));
-    let result = CachedResult {
-        scores: Arc::new(
-            params
-                .members
-                .iter()
-                .copied()
-                .zip(scores.local_scores.iter().copied())
-                .collect(),
-        ),
-        lambda: scores.lambda_score,
-        iterations: scores.iterations,
-        converged: scores.converged,
-    };
-    let id = state.next_session_id.fetch_add(1, Ordering::Relaxed);
-    crate::persist::log_event(
-        state,
-        WalEvent::Create {
-            id,
-            damping: params.damping,
-            tolerance: params.tolerance,
-            members: params.members.clone(),
-        },
-    );
-    crate::persist::log_event(
-        state,
-        WalEvent::Solved {
-            id,
-            scores: result.scores.as_ref().clone(),
-            lambda: result.lambda.unwrap_or(0.0),
-            iterations: result.iterations as u64,
-        },
-    );
-    state
-        .lock_sessions()
-        .insert(id, Arc::new(Mutex::new(session)));
+    let (id, result) =
+        match state
+            .router
+            .session_create(&params.members, params.damping, params.tolerance)
+        {
+            Ok(created) => created,
+            Err(e) => return engine_error(e),
+        };
     Response::json(
         200,
         result_body(
@@ -508,6 +384,7 @@ fn session_create(state: &AppState, request: &Request) -> Response {
             &result,
             params.top,
             false,
+            1,
             vec![
                 ("id", Json::Num(id as f64)),
                 ("members", Json::Num(params.members.len() as f64)),
@@ -517,10 +394,6 @@ fn session_create(state: &AppState, request: &Request) -> Response {
     )
 }
 
-fn find_session(state: &AppState, id: u64) -> Option<Arc<Mutex<ServerSession>>> {
-    state.lock_sessions().get(&id).cloned()
-}
-
 fn parse_id_list(state: &AppState, body: &Json, field: &str) -> Result<Vec<u32>, String> {
     let Some(value) = body.get(field) else {
         return Ok(Vec::new());
@@ -528,7 +401,7 @@ fn parse_id_list(state: &AppState, body: &Json, field: &str) -> Result<Vec<u32>,
     let items = value
         .as_array()
         .ok_or_else(|| format!("{field:?} must be an array"))?;
-    let n = state.graph.num_nodes();
+    let n = state.router.summary().nodes;
     let mut ids = Vec::with_capacity(items.len());
     for item in items {
         let id = item
@@ -543,9 +416,6 @@ fn parse_id_list(state: &AppState, body: &Json, field: &str) -> Result<Vec<u32>,
 }
 
 fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
-    let Some(entry) = find_session(state, id) else {
-        return Response::error(404, &format!("no session {id}"));
-    };
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) if !t.trim().is_empty() => t,
         _ => return Response::error(400, "empty body; expected {\"add\":[…],\"remove\":[…]}"),
@@ -570,70 +440,10 @@ fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
 
     let obs: &dyn Observer = &state.metrics;
     let _span = obs.span("http.session_update");
-    let mut session = entry.lock().unwrap_or_else(|e| e.into_inner());
-
-    // Refuse an update that would empty the membership (`remove_pages`
-    // would panic; the transport must answer 400 instead).
-    {
-        let drop: std::collections::HashSet<u32> = remove.iter().copied().collect();
-        let survivors = session
-            .session
-            .members()
-            .iter()
-            .filter(|m| !drop.contains(m))
-            .count()
-            + add
-                .iter()
-                .filter(|a| !session.session.members().contains(a) && !drop.contains(a))
-                .count();
-        if survivors == 0 {
-            return Response::error(400, "update would empty the subgraph");
-        }
-    }
-
-    // The membership is about to change: whatever this session published
-    // under its previous membership no longer describes a live view.
-    if let Some(key) = session.published_key.take() {
-        state.cache.invalidate(&key);
-    }
-    if !add.is_empty() {
-        session.session.add_pages(&state.graph, &add);
-        crate::persist::log_event(state, WalEvent::AddPages { id, pages: add });
-    }
-    if !remove.is_empty() {
-        session.session.remove_pages(&state.graph, &remove);
-        crate::persist::log_event(state, WalEvent::RemovePages { id, pages: remove });
-    }
-    let scores = session.session.solve();
-    // Also clear any cold `/rank` entry for the *new* membership: the
-    // session now owns this view, and its next mutation must not leave a
-    // stale mixture behind.
-    let new_key = session_cache_key(&session);
-    state.cache.invalidate(&new_key);
-    session.published_key = Some(new_key);
-
-    let members = session.session.members().to_vec();
-    let result = CachedResult {
-        scores: Arc::new(
-            members
-                .iter()
-                .copied()
-                .zip(scores.local_scores.iter().copied())
-                .collect(),
-        ),
-        lambda: scores.lambda_score,
-        iterations: scores.iterations,
-        converged: scores.converged,
+    let (members, result) = match state.router.session_update(id, &add, &remove) {
+        Ok(updated) => updated,
+        Err(e) => return engine_error(e),
     };
-    crate::persist::log_event(
-        state,
-        WalEvent::Solved {
-            id,
-            scores: result.scores.as_ref().clone(),
-            lambda: result.lambda.unwrap_or(0.0),
-            iterations: result.iterations as u64,
-        },
-    );
     Response::json(
         200,
         result_body(
@@ -641,6 +451,7 @@ fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
             &result,
             top,
             false,
+            1,
             vec![
                 ("id", Json::Num(id as f64)),
                 ("members", Json::Num(members.len() as f64)),
@@ -652,41 +463,31 @@ fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
 }
 
 fn session_get(state: &AppState, id: u64) -> Response {
-    let Some(entry) = find_session(state, id) else {
+    let Some(view) = state.router.session_view(id) else {
         return Response::error(404, &format!("no session {id}"));
     };
-    let session = entry.lock().unwrap_or_else(|e| e.into_inner());
-    let solution = session.session.last_solution();
     let body = obj(vec![
         ("id", Json::Num(id as f64)),
         (
             "members",
-            Json::Arr(
-                session
-                    .session
-                    .members()
-                    .iter()
-                    .map(|&m| Json::Num(m as f64))
-                    .collect(),
-            ),
+            Json::Arr(view.members.iter().map(|&m| Json::Num(m as f64)).collect()),
         ),
-        (
-            "last_iterations",
-            Json::Num(session.session.last_iterations() as f64),
-        ),
-        ("damping", Json::Num(session.damping)),
-        ("tolerance", Json::Num(session.tolerance)),
+        ("last_iterations", Json::Num(view.last_iterations as f64)),
+        ("damping", Json::Num(view.damping)),
+        ("tolerance", Json::Num(view.tolerance)),
         // The last solution, served without re-solving — also what the
         // crash-recovery smoke test diffs across a restart.
         (
             "lambda",
-            solution
-                .map(|(_, lambda)| Json::Num(lambda))
+            view.solution
+                .as_ref()
+                .map(|&(_, lambda)| Json::Num(lambda))
                 .unwrap_or(Json::Null),
         ),
         (
             "scores",
-            solution
+            view.solution
+                .as_ref()
                 .map(|(scores, _)| scores_json(scores, 0))
                 .unwrap_or(Json::Arr(vec![])),
         ),
@@ -695,14 +496,9 @@ fn session_get(state: &AppState, id: u64) -> Response {
 }
 
 fn session_delete(state: &AppState, id: u64) -> Response {
-    let Some(entry) = state.lock_sessions().remove(&id) else {
+    if !state.router.session_delete(id) {
         return Response::error(404, &format!("no session {id}"));
-    };
-    let session = entry.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(key) = &session.published_key {
-        state.cache.invalidate(key);
     }
-    crate::persist::log_event(state, WalEvent::Close { id });
     Response::json(
         200,
         obj(vec![
@@ -717,11 +513,14 @@ fn session_delete(state: &AppState, id: u64) -> Response {
 mod tests {
     use super::*;
     use crate::state::ServeConfig;
-    use approxrank_graph::DiGraph;
+    use approxrank_core::ApproxRank;
+    use approxrank_core::SubgraphRanker;
+    use approxrank_graph::{DiGraph, NodeSet, Subgraph};
+    use approxrank_pagerank::PageRankOptions;
 
-    fn fig4_state() -> AppState {
-        // The paper's Figure 4 graph: locals A–D (0–3), externals X–Z.
-        let graph = DiGraph::from_edges(
+    /// The paper's Figure 4 graph: locals A–D (0–3), externals X–Z.
+    fn fig4_graph() -> DiGraph {
+        DiGraph::from_edges(
             7,
             &[
                 (0, 1),
@@ -740,8 +539,27 @@ mod tests {
                 (6, 2),
                 (6, 3),
             ],
-        );
-        AppState::new(graph, ServeConfig::default())
+        )
+    }
+
+    fn fig4_state() -> AppState {
+        AppState::new(fig4_graph(), ServeConfig::default())
+    }
+
+    /// A 2-shard state over a 200-node ring (range partitioning puts
+    /// 0..100 on shard 0 and 100..200 on shard 1).
+    fn sharded_state() -> AppState {
+        let n = 200u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), (i, (i * 13 + 7) % n)])
+            .collect();
+        AppState::new(
+            DiGraph::from_edges(n as usize, &edges),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
     }
 
     fn post(path: &str, body: &str) -> Request {
@@ -778,6 +596,7 @@ mod tests {
             v.get("graph").unwrap().get("nodes").unwrap().as_u64(),
             Some(7)
         );
+        assert_eq!(v.get("shards").unwrap().as_u64(), Some(1));
     }
 
     #[test]
@@ -788,12 +607,14 @@ mod tests {
         assert_eq!(first.status, 200, "{:?}", first.body);
         let v1 = body_json(&first);
         assert_eq!(v1.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(v1.get("shards").unwrap().as_u64(), Some(1));
 
         // Offline reference: the same call the CLI makes.
+        let graph = fig4_graph();
         let options = PageRankOptions::paper().with_tolerance(1e-8);
         let nodes = NodeSet::from_sorted(7, [0u32, 1, 2, 3]);
-        let sub = Subgraph::extract(&state.graph, nodes);
-        let offline = ApproxRank::new(options).rank(&state.graph, &sub);
+        let sub = Subgraph::extract(&graph, nodes);
+        let offline = ApproxRank::new(options).rank(&graph, &sub);
         let mut by_page: Vec<(u64, f64)> = v1
             .get("scores")
             .unwrap()
@@ -822,7 +643,7 @@ mod tests {
         let v2 = body_json(&second);
         assert_eq!(v2.get("cached").unwrap().as_bool(), Some(true));
         assert_eq!(v1.get("scores"), v2.get("scores"));
-        assert_eq!(state.cache.stats().hits, 1);
+        assert_eq!(state.cache_stats().hits, 1);
     }
 
     #[test]
@@ -899,7 +720,7 @@ mod tests {
             &post("/rank", r#"{"members":[0,1,2],"tolerance":1e-9}"#),
         );
         assert_eq!(seeded.status, 200);
-        assert_eq!(state.cache.stats().entries, 1);
+        assert_eq!(state.cache_stats().entries, 1);
 
         let (_, created) = route(
             &state,
@@ -926,7 +747,7 @@ mod tests {
         let v = body_json(&updated);
         assert_eq!(v.get("members").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("warm_start").unwrap().as_bool(), Some(true));
-        assert!(state.cache.stats().invalidations >= 1);
+        assert!(state.cache_stats().invalidations >= 1);
 
         // The warm scores match a cold session solve within tolerance.
         let (_, got) = route(&state, &get(&format!("/session/{id}")));
@@ -1012,7 +833,87 @@ mod tests {
         assert!(text.contains("approxrank_cache_misses_total 1"), "{text}");
         assert!(text.contains("approxrank_graph_nodes 7"), "{text}");
         assert!(text.contains("span_count{name=\"http.rank\"} 1"), "{text}");
+        assert!(text.contains("shard_count 1"), "{text}");
         // The solver streamed its iteration events into the registry.
         assert!(text.contains("solver_iterations_total"), "{text}");
+    }
+
+    #[test]
+    fn sharded_rank_is_bit_identical_for_resident_members() {
+        let single = AppState::new(
+            {
+                let n = 200u32;
+                let edges: Vec<(u32, u32)> = (0..n)
+                    .flat_map(|i| [(i, (i + 1) % n), (i, (i * 13 + 7) % n)])
+                    .collect();
+                DiGraph::from_edges(n as usize, &edges)
+            },
+            ServeConfig::default(),
+        );
+        let sharded = sharded_state();
+        let req = post("/rank", r#"{"members":[10,11,12,13,14],"tolerance":1e-8}"#);
+        let (_, a) = route(&single, &req);
+        let (_, b) = route(&sharded, &req);
+        assert_eq!(a.status, 200);
+        assert_eq!(b.status, 200);
+        // Shard-resident: the full response bodies are byte-identical,
+        // including the `"shards":1` marker.
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn sharded_cross_shard_rank_merges() {
+        let state = sharded_state();
+        let (_, r) = route(
+            &state,
+            &post("/rank", r#"{"members":[98,99,100,101],"tolerance":1e-8}"#),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        assert_eq!(v.get("shards").unwrap().as_u64(), Some(2));
+        let mass: f64 = v
+            .get("scores")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("score").unwrap().as_f64().unwrap())
+            .sum::<f64>()
+            + v.get("lambda").unwrap().as_f64().unwrap();
+        assert!((mass - 1.0).abs() < 1e-9, "mixture mass {mass}");
+        // Global-state algorithms cannot span shards.
+        let (_, r) = route(
+            &state,
+            &post("/rank", r#"{"members":[98,100],"algorithm":"idealrank"}"#),
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn sharded_sessions_and_metrics() {
+        let state = sharded_state();
+        let (_, created) = route(&state, &post("/session", r#"{"members":[150,151]}"#));
+        assert_eq!(created.status, 200);
+        let id = body_json(&created).get("id").unwrap().as_u64().unwrap();
+        assert_eq!(id, 2, "shard 1 strides ids 2, 4, …");
+        // Spanning memberships are refused at create time.
+        let (_, r) = route(&state, &post("/session", r#"{"members":[99,100]}"#));
+        assert_eq!(r.status, 400);
+        assert!(
+            String::from_utf8_lossy(&r.body).contains("span"),
+            "{:?}",
+            String::from_utf8_lossy(&r.body)
+        );
+        let (_, r) = route(&state, &get("/metrics"));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("shard_count 2"), "{text}");
+        assert!(
+            text.contains("shard_sessions_open{shard=\"1\"} 1"),
+            "{text}"
+        );
+        let (_, got) = route(&state, &get(&format!("/session/{id}")));
+        assert_eq!(got.status, 200);
+        let (_, deleted) = route(&state, &get_delete(&format!("/session/{id}")));
+        assert_eq!(deleted.status, 200);
     }
 }

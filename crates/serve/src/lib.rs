@@ -19,6 +19,17 @@
 //! | `GET /metrics` | Text exposition: request counts/latency histograms, cache counters, `pool_*` work-pool telemetry, solver spans |
 //! | `GET /healthz` | Liveness |
 //!
+//! # Sharding
+//!
+//! With [`ServeConfig::shards`] > 1 the graph is partitioned at startup
+//! ([`approxrank_graph::PartitionStrategy`]) and each shard gets its own
+//! [`approxrank_engine::Engine`] — cache slice, session table, and
+//! (optionally) durable store under `shard-k/`. A [`Router`] fronts the
+//! engines: shard-resident requests are answered bit-identically to a
+//! single-shard deployment, cross-shard ApproxRank requests fan out and
+//! merge as a uniform mixture (marked by `"shards" > 1` in the response),
+//! and sessions are pinned to one shard via strided ids.
+//!
 //! # Consistency
 //!
 //! `/rank` responses are *bit-identical* to `subrank rank` for the same
@@ -50,18 +61,18 @@
 
 #![deny(missing_docs)]
 
-pub mod cache;
 pub mod client;
 pub mod handlers;
 pub mod http;
 pub mod json;
-pub mod lru;
 pub mod metrics;
 pub mod persist;
+pub mod router;
 pub mod server;
 pub mod state;
 
 pub use approxrank_store::FsyncPolicy;
 pub use client::{Client, ClientResponse};
+pub use router::{GraphSummary, RoutedRank, Router};
 pub use server::{shutdown_on_signal, ServeSummary, Server, ServerHandle};
 pub use state::{AppState, ServeConfig};

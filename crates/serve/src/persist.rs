@@ -1,261 +1,49 @@
-//! The bridge between live serving state and the durable
-//! [`approxrank_store`] layer: type conversions, boot-time recovery, WAL
-//! appends on the session-mutation path, and snapshot collection.
+//! Durability glue at the service level: opens one store per engine and
+//! fans snapshot/flush calls out across the router.
 //!
-//! The store speaks only primitive types, so this module owns every
-//! conversion: [`crate::state::ServerSession`] ↔
-//! [`approxrank_store::SessionRecord`] and cache entries ↔
-//! [`approxrank_store::CacheRecord`]. WAL appends are best-effort from
-//! the request path's point of view — a failing disk degrades durability,
-//! never availability — with failures counted and logged.
+//! The conversions between live state and
+//! [`approxrank_store`] records live in `approxrank-engine` — this module
+//! only decides the on-disk layout. A single-shard deployment keeps its
+//! store directly in the data dir (so existing data dirs keep working);
+//! a sharded deployment gives engine `k` its own store under
+//! `shard-k/`, which keeps WALs independent and recovery per-shard.
 
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
-use approxrank_core::SubgraphSession;
-use approxrank_graph::NodeSet;
-use approxrank_pagerank::PageRankOptions;
-use approxrank_store::{CacheRecord, SessionRecord, SessionStore, StoreConfig, WalEvent};
+pub use approxrank_engine::RecoverySummary;
 
-use crate::cache::{CacheKey, CachedResult};
-use crate::state::{AppState, ServerSession};
+use crate::state::AppState;
 
-/// How many result-cache entries a snapshot persists, hottest first.
-const HOT_CACHE_LIMIT: usize = 256;
-
-/// WAL appends that failed (disk trouble). Process-wide because the
-/// request path has nowhere better to put them; surfaced on `/metrics`.
-static WAL_ERRORS: AtomicU64 = AtomicU64::new(0);
-
-/// WAL append failures observed so far in this process.
-pub fn wal_errors() -> u64 {
-    WAL_ERRORS.load(Ordering::Relaxed)
-}
-
-/// What [`open_store`] reconstructed, for the boot banner.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct RecoverySummary {
-    /// Sessions re-registered into the session table.
-    pub sessions: usize,
-    /// Sessions on disk that no longer fit the loaded graph and were
-    /// dropped (e.g. the server was restarted with a different graph).
-    pub skipped: usize,
-    /// Result-cache entries rewarmed.
-    pub cache_entries: usize,
-    /// Torn/corrupt WAL tails truncated during replay.
-    pub truncated_records: u64,
-}
-
-/// Opens (or creates) the durable store in `dir`, recovers its contents
-/// into `state` — re-registering sessions, restoring their last
-/// solutions so the next solve is warm, re-publishing their cache
-/// invalidation keys, and rewarming hot cache entries — and installs the
-/// store so the request path starts appending WAL events.
+/// Opens (or creates) the durable store(s) under `dir` and recovers their
+/// contents into the router's engines. Returns the summed summary for the
+/// boot banner.
 pub fn open_store(state: &AppState, dir: &Path) -> io::Result<RecoverySummary> {
-    let config = StoreConfig {
-        fsync: state.config.fsync,
-        ..StoreConfig::default()
-    };
-    let (store, recovered) = SessionStore::open(dir, config)?;
-
-    let mut summary = RecoverySummary {
-        truncated_records: recovered.truncated_records,
-        ..RecoverySummary::default()
-    };
-    let mut max_id = 0u64;
-    {
-        let mut sessions = state.lock_sessions();
-        for record in recovered.sessions {
-            max_id = max_id.max(record.id);
-            match revive_session(state, &record) {
-                Some(session) => {
-                    sessions.insert(record.id, Arc::new(Mutex::new(session)));
-                    summary.sessions += 1;
-                }
-                None => summary.skipped += 1,
-            }
-        }
+    let engines = state.router.engines();
+    if let [engine] = engines {
+        return engine.open_store(dir);
     }
-    // Ids keep growing from where the previous process stopped, so a
-    // recovered id is never handed out twice.
-    let next = state
-        .next_session_id
-        .load(Ordering::Relaxed)
-        .max(max_id + 1);
-    state.next_session_id.store(next, Ordering::Relaxed);
-
-    for record in recovered.cache {
-        if let Some((key, value)) = revive_cache_entry(state, &record) {
-            state.cache.insert(key, value);
-            summary.cache_entries += 1;
-        }
+    let mut summary = RecoverySummary::default();
+    for (k, engine) in engines.iter().enumerate() {
+        summary.merge(engine.open_store(&dir.join(format!("shard-{k}")))?);
     }
-
-    let _ = state.store.set(Arc::new(store));
     Ok(summary)
 }
 
-/// Rebuilds a live warm session from its persisted record. Returns
-/// `None` when the record does not fit the loaded graph (member out of
-/// range, empty membership, or a full-graph membership) — a stale data
-/// dir must not poison a fresh boot.
-fn revive_session(state: &AppState, record: &SessionRecord) -> Option<ServerSession> {
-    let n = state.graph.num_nodes();
-    if record.members.is_empty()
-        || record.members.len() >= n
-        || record.members.iter().any(|&m| m as usize >= n)
-        || !(record.damping > 0.0 && record.damping < 1.0)
-        || !(record.tolerance > 0.0 && record.tolerance.is_finite())
-    {
-        return None;
-    }
-    let nodes = NodeSet::from_iter_order(n, record.members.iter().copied());
-    let mut session = SubgraphSession::with_precomputation(
-        &state.graph,
-        nodes,
-        options_for(record.damping, record.tolerance),
-        state.precomputation.clone(),
-    );
-    if let Some((scores, lambda)) = &record.solution {
-        session.restore(scores.clone(), *lambda, record.iterations as usize);
-    }
-    let mut server_session = ServerSession {
-        session,
-        published_key: None,
-        damping: record.damping,
-        tolerance: record.tolerance,
-    };
-    if record.solution.is_some() {
-        // The previous process had published this membership; re-publish
-        // the key so the next mutation invalidates any cold `/rank` entry
-        // that may also be rewarmed below.
-        server_session.published_key = Some(session_key(&server_session));
-    }
-    Some(server_session)
-}
-
-fn options_for(damping: f64, tolerance: f64) -> PageRankOptions {
-    PageRankOptions::paper()
-        .with_damping(damping)
-        .with_tolerance(tolerance)
-}
-
-/// The cache key a session's current membership occupies (ApproxRank —
-/// the only algorithm sessions run).
-fn session_key(session: &ServerSession) -> CacheKey {
-    crate::cache::cache_key(
-        crate::handlers::Algorithm::ApproxRank.code(),
-        session.damping,
-        session.tolerance,
-        session.session.members(),
-    )
-}
-
-fn revive_cache_entry(state: &AppState, record: &CacheRecord) -> Option<(CacheKey, CachedResult)> {
-    let n = state.graph.num_nodes();
-    if record.members.is_empty()
-        || record.members.iter().any(|&m| m as usize >= n)
-        || !record.members.windows(2).all(|w| w[0] < w[1])
-    {
-        return None;
-    }
-    let key = CacheKey {
-        algorithm: record.algorithm,
-        damping_bits: record.damping_bits,
-        tolerance_bits: record.tolerance_bits,
-        members: record.members.as_slice().into(),
-    };
-    let value = CachedResult {
-        scores: Arc::new(record.scores.clone()),
-        lambda: record.lambda,
-        iterations: record.iterations as usize,
-        converged: record.converged,
-    };
-    Some((key, value))
-}
-
-/// Appends one lifecycle event if a store is installed. Errors degrade to
-/// a counter and a log line — the request still succeeds.
-pub fn log_event(state: &AppState, event: WalEvent) {
-    if let Some(store) = state.store.get() {
-        if let Err(e) = store.append(&event) {
-            WAL_ERRORS.fetch_add(1, Ordering::Relaxed);
-            eprintln!(
-                "approxrank-serve: WAL append failed for session {}: {e}",
-                event.session_id()
-            );
-        }
-    }
-}
-
-/// Converts a live session to its persistent record.
-pub fn session_record(id: u64, session: &ServerSession) -> SessionRecord {
-    SessionRecord {
-        id,
-        damping: session.damping,
-        tolerance: session.tolerance,
-        iterations: session.session.last_iterations() as u64,
-        members: session.session.members().to_vec(),
-        solution: session
-            .session
-            .last_solution()
-            .map(|(scores, lambda)| (scores.to_vec(), lambda)),
-    }
-}
-
-/// Collects the full session table as records. Per-session locks are
-/// taken one at a time, so a long re-solve delays only its own entry.
-fn collect_sessions(state: &AppState) -> Vec<SessionRecord> {
-    let entries: Vec<(u64, Arc<Mutex<ServerSession>>)> = state
-        .lock_sessions()
-        .iter()
-        .map(|(&id, entry)| (id, Arc::clone(entry)))
-        .collect();
-    let mut records: Vec<SessionRecord> = entries
-        .into_iter()
-        .map(|(id, entry)| {
-            let session = entry.lock().unwrap_or_else(|e| e.into_inner());
-            session_record(id, &session)
-        })
-        .collect();
-    records.sort_by_key(|r| r.id);
-    records
-}
-
-fn collect_cache(state: &AppState) -> Vec<CacheRecord> {
-    state
-        .cache
-        .hot_entries(HOT_CACHE_LIMIT)
-        .into_iter()
-        .map(|(key, value)| CacheRecord {
-            algorithm: key.algorithm,
-            damping_bits: key.damping_bits,
-            tolerance_bits: key.tolerance_bits,
-            members: key.members.to_vec(),
-            scores: value.scores.as_ref().clone(),
-            lambda: value.lambda,
-            iterations: value.iterations as u64,
-            converged: value.converged,
-        })
-        .collect()
-}
-
-/// Writes a snapshot of the current sessions and hot cache entries. A
-/// no-op without a store.
+/// Writes a snapshot of every engine's sessions and hot cache entries.
+/// A no-op for engines without a store.
 pub fn snapshot_now(state: &AppState) -> io::Result<()> {
-    let Some(store) = state.store.get() else {
-        return Ok(());
-    };
-    store.snapshot(collect_sessions(state), collect_cache(state))
+    for engine in state.router.engines() {
+        engine.snapshot_now()?;
+    }
+    Ok(())
 }
 
-/// Flushes the WAL to stable storage (clean-shutdown path). A no-op
-/// without a store.
+/// Flushes every engine's WAL to stable storage (clean-shutdown path).
+/// A no-op for engines without a store.
 pub fn flush(state: &AppState) -> io::Result<()> {
-    match state.store.get() {
-        Some(store) => store.flush(),
-        None => Ok(()),
+    for engine in state.router.engines() {
+        engine.flush()?;
     }
+    Ok(())
 }

@@ -1,0 +1,501 @@
+//! The shard routing tier: one [`Router`] in front of `N`
+//! [`approxrank_engine::Engine`]s.
+//!
+//! In the default single-shard mode the router is a transparent shim over
+//! one global engine — every request goes straight through, and answers
+//! are bit-identical to the pre-router service. With
+//! [`crate::ServeConfig::shards`] `> 1` the graph is partitioned at boot
+//! ([`PartitionedGraph::build`]) and each shard gets its own engine with
+//! its own result cache, session table, and (under a data dir) its own
+//! durable store in `dir/shard-k`.
+//!
+//! Routing rules in sharded mode:
+//!
+//! * A `/rank` whose members all live on one shard goes to that shard's
+//!   engine and is **bit-identical** to the single-shard answer (the
+//!   Λ-collapse consumes only global aggregates; see
+//!   [`approxrank_core::GlobalAggregates`]).
+//! * A `/rank` spanning shards fans out one sub-solve per touched shard
+//!   on the router's own small executor — never the serve worker pool,
+//!   whose lanes are all occupied by connection loops — and merges the
+//!   per-shard distributions as a uniform mixture (each shard solves its
+//!   resident members against the same global Λ). Only ApproxRank
+//!   supports this; other algorithms need global state and answer 400.
+//! * Sessions must fit one shard. Ids are strided (engine `k` of `S`
+//!   hands out `k+1, k+1+S, …`), so the owner of session `id` is
+//!   recovered as `(id-1) % S` without any shared table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use approxrank_engine::{
+    Algorithm, CacheStats, CachedResult, Engine, EngineConfig, EngineError, RankOutcome,
+    RankRequest, SessionView,
+};
+use approxrank_exec::Executor;
+use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
+use approxrank_trace::Observer;
+
+/// Shape of the global graph, captured at boot for `/stats`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Global node count.
+    pub nodes: usize,
+    /// Global edge count.
+    pub edges: usize,
+    /// Global dangling-page count.
+    pub dangling: usize,
+}
+
+/// A routed `/rank` answer: the (possibly merged) result plus how many
+/// shards contributed. Single-shard deployments always report 1, so a
+/// shard-resident request's response body is identical across
+/// deployments.
+#[derive(Clone, Debug)]
+pub struct RoutedRank {
+    /// The merged or pass-through outcome.
+    pub outcome: RankOutcome,
+    /// Shards that contributed to the answer (1 unless the membership
+    /// spans shards).
+    pub shards: usize,
+}
+
+/// Widest fan-out pool a router will spawn; cross-shard merges are
+/// latency-bound on the slowest shard, so a few lanes go a long way.
+const MAX_FANOUT_LANES: usize = 8;
+
+/// `N` engines plus the routing logic between them.
+pub struct Router {
+    engines: Vec<Arc<Engine>>,
+    /// `node → shard`, present only in sharded mode.
+    assignment: Option<Vec<u32>>,
+    strategy: Option<PartitionStrategy>,
+    summary: GraphSummary,
+    /// Dedicated pool for cross-shard fan-out (absent in single mode).
+    fanout: Option<Executor>,
+    /// `/rank` sub-requests answered by each shard's engine.
+    shard_rank_requests: Vec<AtomicU64>,
+    /// `/rank` requests whose membership spanned more than one shard.
+    cross_rank_requests: AtomicU64,
+}
+
+impl Router {
+    /// A single-engine router over the whole graph: the transparent
+    /// pass-through every pre-shard deployment runs.
+    pub fn single(graph: DiGraph, engine_config: EngineConfig) -> Router {
+        let summary = GraphSummary {
+            nodes: graph.num_nodes(),
+            edges: graph.num_edges(),
+            dangling: graph.nodes().filter(|&u| graph.is_dangling(u)).count(),
+        };
+        let config = EngineConfig {
+            first_session_id: 1,
+            session_id_stride: 1,
+            ..engine_config
+        };
+        Router {
+            engines: vec![Arc::new(Engine::new_global(Arc::new(graph), config))],
+            assignment: None,
+            strategy: None,
+            summary,
+            fanout: None,
+            shard_rank_requests: vec![AtomicU64::new(0)],
+            cross_rank_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Partitions `graph` into `shards` engines under `strategy`. Each
+    /// engine gets an equal slice of the cache budget and a disjoint
+    /// session-id stride.
+    ///
+    /// # Panics
+    /// Panics if `shards < 2` (use [`Router::single`]).
+    pub fn sharded(
+        graph: &DiGraph,
+        shards: usize,
+        strategy: PartitionStrategy,
+        engine_config: EngineConfig,
+    ) -> Router {
+        assert!(shards >= 2, "sharded router needs at least two shards");
+        let summary = GraphSummary {
+            nodes: graph.num_nodes(),
+            edges: graph.num_edges(),
+            dangling: graph.nodes().filter(|&u| graph.is_dangling(u)).count(),
+        };
+        let pg = PartitionedGraph::build(graph, shards, strategy);
+        let assignment = pg.assignment().to_vec();
+        let per_engine_cache = engine_config.cache_entries.div_ceil(shards).max(1);
+        let engines: Vec<Arc<Engine>> = pg
+            .into_shards()
+            .into_iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let config = EngineConfig {
+                    cache_entries: per_engine_cache,
+                    first_session_id: k as u64 + 1,
+                    session_id_stride: shards as u64,
+                    ..engine_config.clone()
+                };
+                Arc::new(Engine::new_shard(Arc::new(shard), config))
+            })
+            .collect();
+        Router {
+            shard_rank_requests: (0..engines.len()).map(|_| AtomicU64::new(0)).collect(),
+            engines,
+            assignment: Some(assignment),
+            strategy: Some(strategy),
+            summary,
+            fanout: Some(Executor::new(shards.min(MAX_FANOUT_LANES))),
+            cross_rank_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The engines behind this router, shard order (one entry in single
+    /// mode). Persistence and metrics iterate these.
+    pub fn engines(&self) -> &[Arc<Engine>] {
+        &self.engines
+    }
+
+    /// Number of shards (1 in single mode).
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True when the graph is partitioned across multiple engines.
+    pub fn is_sharded(&self) -> bool {
+        self.assignment.is_some()
+    }
+
+    /// The partitioning strategy, in sharded mode.
+    pub fn strategy(&self) -> Option<PartitionStrategy> {
+        self.strategy
+    }
+
+    /// Boot-time graph shape.
+    pub fn summary(&self) -> GraphSummary {
+        self.summary
+    }
+
+    /// The global graph, in single mode (shard engines hold only views).
+    pub fn graph(&self) -> Option<&Arc<DiGraph>> {
+        self.engines[0].graph()
+    }
+
+    /// Result-cache counters summed across every engine.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for engine in &self.engines {
+            let s = engine.cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.invalidations += s.invalidations;
+            total.entries += s.entries;
+            total.capacity += s.capacity;
+        }
+        total
+    }
+
+    /// Open sessions summed across every engine.
+    pub fn session_count(&self) -> usize {
+        self.engines.iter().map(|e| e.session_count()).sum()
+    }
+
+    /// WAL append failures summed across every engine.
+    pub fn wal_errors(&self) -> u64 {
+        self.engines.iter().map(|e| e.wal_errors()).sum()
+    }
+
+    /// True when at least one engine has a durable store open.
+    pub fn has_store(&self) -> bool {
+        self.engines.iter().any(|e| e.store().is_some())
+    }
+
+    /// `/rank` sub-requests answered by shard `k`.
+    pub fn shard_rank_requests(&self, shard: usize) -> u64 {
+        self.shard_rank_requests[shard].load(Ordering::Relaxed)
+    }
+
+    /// `/rank` requests whose membership spanned more than one shard.
+    pub fn cross_rank_requests(&self) -> u64 {
+        self.cross_rank_requests.load(Ordering::Relaxed)
+    }
+
+    /// Ranks a member list, routing to the owning shard or fanning out
+    /// and merging when the membership spans shards.
+    pub fn rank(
+        &self,
+        params: &RankRequest,
+        obs: &dyn Observer,
+    ) -> Result<RoutedRank, EngineError> {
+        let Some(assignment) = &self.assignment else {
+            self.shard_rank_requests[0].fetch_add(1, Ordering::Relaxed);
+            let outcome = self.engines[0].rank(params, obs)?;
+            return Ok(RoutedRank { outcome, shards: 1 });
+        };
+
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.engines.len()];
+        for &m in &params.members {
+            per_shard[assignment[m as usize] as usize].push(m);
+        }
+        let touched: Vec<usize> = (0..per_shard.len())
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+
+        if let [only] = touched[..] {
+            self.shard_rank_requests[only].fetch_add(1, Ordering::Relaxed);
+            let outcome = self.engines[only].rank(params, obs)?;
+            return Ok(RoutedRank { outcome, shards: 1 });
+        }
+        if params.algorithm != Algorithm::ApproxRank {
+            return Err(EngineError::BadRequest(format!(
+                "algorithm {:?} cannot span shards (approxrank only)",
+                params.algorithm.name()
+            )));
+        }
+        self.cross_rank_requests.fetch_add(1, Ordering::Relaxed);
+        for &s in &touched {
+            self.shard_rank_requests[s].fetch_add(1, Ordering::Relaxed);
+        }
+
+        // One sub-solve per touched shard, in parallel on the router's own
+        // pool. Slots are per-index, so tasks never contend.
+        let slots: Vec<Mutex<Option<Result<RankOutcome, EngineError>>>> =
+            touched.iter().map(|_| Mutex::new(None)).collect();
+        let fanout = self.fanout.as_ref().expect("sharded router has a pool");
+        fanout.run_chunks(touched.len(), |i| {
+            let s = touched[i];
+            let sub = RankRequest {
+                members: per_shard[s].clone(),
+                ..params.clone()
+            };
+            let answer = self.engines[s].rank(&sub, obs);
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(answer);
+        });
+        let mut outcomes = Vec::with_capacity(touched.len());
+        for slot in &slots {
+            let answer = slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("fan-out slot filled");
+            outcomes.push(answer?);
+        }
+        Ok(RoutedRank {
+            outcome: merge(&outcomes),
+            shards: touched.len(),
+        })
+    }
+
+    /// The engine owning session `id` under the stride scheme; `None` for
+    /// id 0 (never issued).
+    fn engine_for_session(&self, id: u64) -> Option<&Arc<Engine>> {
+        if id == 0 {
+            return None;
+        }
+        let idx = ((id - 1) % self.engines.len() as u64) as usize;
+        Some(&self.engines[idx])
+    }
+
+    /// Opens a session on the shard owning every member. Memberships
+    /// spanning shards are refused — a warm session is one solver, and a
+    /// solver lives on one engine.
+    pub fn session_create(
+        &self,
+        members: &[u32],
+        damping: f64,
+        tolerance: f64,
+    ) -> Result<(u64, CachedResult), EngineError> {
+        let engine = match &self.assignment {
+            None => &self.engines[0],
+            Some(assignment) => {
+                let shard = assignment[members[0] as usize];
+                if let Some(&stray) = members.iter().find(|&&m| assignment[m as usize] != shard) {
+                    return Err(EngineError::BadRequest(format!(
+                        "session members span shards ({} is on shard {}, {stray} on shard {}); \
+                         a session must fit one shard",
+                        members[0], shard, assignment[stray as usize]
+                    )));
+                }
+                &self.engines[shard as usize]
+            }
+        };
+        engine.session_create(members, damping, tolerance)
+    }
+
+    /// Routes a session update to the owning engine.
+    pub fn session_update(
+        &self,
+        id: u64,
+        add: &[u32],
+        remove: &[u32],
+    ) -> Result<(Vec<u32>, CachedResult), EngineError> {
+        match self.engine_for_session(id) {
+            Some(engine) => engine.session_update(id, add, remove),
+            None => Err(EngineError::NoSuchSession(id)),
+        }
+    }
+
+    /// A read-only snapshot of session `id`, from its owning engine.
+    pub fn session_view(&self, id: u64) -> Option<SessionView> {
+        self.engine_for_session(id)?.session_view(id)
+    }
+
+    /// Closes session `id`; returns whether it existed.
+    pub fn session_delete(&self, id: u64) -> bool {
+        match self.engine_for_session(id) {
+            Some(engine) => engine.session_delete(id),
+            None => false,
+        }
+    }
+}
+
+/// Merges per-shard ApproxRank distributions as a uniform mixture: each
+/// shard's sub-solve is a probability vector over its resident members
+/// plus the same global Λ, so `score/k` (and `λ = Σλ_s/k`) is again a
+/// distribution over the union. Iterations report the slowest shard;
+/// `converged`/`cached` hold only if every shard's sub-answer did.
+fn merge(outcomes: &[RankOutcome]) -> RankOutcome {
+    let k = outcomes.len() as f64;
+    let mut scores: Vec<(u32, f64)> = outcomes
+        .iter()
+        .flat_map(|o| o.result.scores.iter().map(|&(p, s)| (p, s / k)))
+        .collect();
+    scores.sort_by_key(|&(p, _)| p);
+    let lambda = outcomes
+        .iter()
+        .map(|o| o.result.lambda.unwrap_or(0.0))
+        .sum::<f64>()
+        / k;
+    RankOutcome {
+        result: CachedResult {
+            scores: Arc::new(scores),
+            lambda: Some(lambda),
+            iterations: outcomes
+                .iter()
+                .map(|o| o.result.iterations)
+                .max()
+                .unwrap_or(0),
+            converged: outcomes.iter().all(|o| o.result.converged),
+        },
+        cached: outcomes.iter().all(|o| o.cached),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_trace::null;
+
+    fn ring(n: u32) -> DiGraph {
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), (i, (i * 13 + 7) % n)])
+            .collect();
+        DiGraph::from_edges(n as usize, &edges)
+    }
+
+    fn request(members: Vec<u32>) -> RankRequest {
+        RankRequest {
+            members,
+            algorithm: Algorithm::ApproxRank,
+            damping: 0.85,
+            tolerance: 1e-8,
+        }
+    }
+
+    fn routers(n: u32) -> (Router, Router) {
+        let g = ring(n);
+        let single = Router::single(g.clone(), EngineConfig::default());
+        let sharded = Router::sharded(&g, 2, PartitionStrategy::Range, EngineConfig::default());
+        (single, sharded)
+    }
+
+    #[test]
+    fn shard_resident_rank_is_bit_identical_to_single() {
+        let (single, sharded) = routers(200);
+        // Range over 200 nodes: shard 0 owns 0..100.
+        let req = request((10..40).collect());
+        let a = single.rank(&req, null()).unwrap();
+        let b = sharded.rank(&req, null()).unwrap();
+        assert_eq!((a.shards, b.shards), (1, 1));
+        for ((pa, sa), (pb, sb)) in a
+            .outcome
+            .result
+            .scores
+            .iter()
+            .zip(b.outcome.result.scores.iter())
+        {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+        }
+        assert_eq!(
+            a.outcome.result.lambda.unwrap().to_bits(),
+            b.outcome.result.lambda.unwrap().to_bits()
+        );
+        assert_eq!(sharded.shard_rank_requests(0), 1);
+        assert_eq!(sharded.shard_rank_requests(1), 0);
+        assert_eq!(sharded.cross_rank_requests(), 0);
+    }
+
+    #[test]
+    fn cross_shard_rank_merges_a_distribution() {
+        let (_, sharded) = routers(200);
+        let members: Vec<u32> = (90..110).collect(); // straddles the 100 boundary
+        let routed = sharded.rank(&request(members.clone()), null()).unwrap();
+        assert_eq!(routed.shards, 2);
+        assert!(!routed.outcome.cached);
+        let pages: Vec<u32> = routed
+            .outcome
+            .result
+            .scores
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
+        assert_eq!(pages, members, "merged scores cover the union in order");
+        let mass: f64 = routed
+            .outcome
+            .result
+            .scores
+            .iter()
+            .map(|&(_, s)| s)
+            .sum::<f64>()
+            + routed.outcome.result.lambda.unwrap();
+        assert!((mass - 1.0).abs() < 1e-9, "mixture mass {mass}");
+        assert_eq!(sharded.cross_rank_requests(), 1);
+        assert_eq!(sharded.shard_rank_requests(0), 1);
+        assert_eq!(sharded.shard_rank_requests(1), 1);
+        // Same request again: both sub-solves hit their shard caches.
+        let again = sharded.rank(&request(members), null()).unwrap();
+        assert!(again.outcome.cached);
+        assert_eq!(again.outcome.result.scores, routed.outcome.result.scores);
+    }
+
+    #[test]
+    fn cross_shard_rejects_global_algorithms() {
+        let (_, sharded) = routers(200);
+        let mut req = request(vec![10, 150]);
+        req.algorithm = Algorithm::IdealRank;
+        let err = sharded.rank(&req, null()).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("span")));
+    }
+
+    #[test]
+    fn sessions_route_by_stride_and_stay_on_one_shard() {
+        let (_, sharded) = routers(200);
+        let (id0, _) = sharded.session_create(&[5, 6, 7], 0.85, 1e-6).unwrap();
+        let (id1, _) = sharded.session_create(&[150, 151], 0.85, 1e-6).unwrap();
+        assert_eq!((id0, id1), (1, 2)); // shard 0 strides 1,3,…; shard 1 strides 2,4,…
+        assert!(sharded.session_view(id0).is_some());
+        assert!(sharded.session_view(id1).is_some());
+        let err = sharded.session_create(&[99, 100], 0.85, 1e-6).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("span")));
+        let (members, _) = sharded.session_update(id1, &[152], &[]).unwrap();
+        assert_eq!(members, vec![150, 151, 152]);
+        // Adding a foreign page routes to shard 1, which refuses it.
+        let err = sharded.session_update(id1, &[5], &[]).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("not on shard")));
+        assert!(sharded.session_delete(id0));
+        assert!(!sharded.session_delete(0));
+        assert_eq!(sharded.session_count(), 1);
+    }
+}

@@ -184,7 +184,7 @@ impl Server {
 
         // With a durable store: periodically fold the WAL into a fresh
         // snapshot so boot-time replay stays short.
-        let snapshotter = state.store.get().map(|_| {
+        let snapshotter = state.router.has_store().then(|| {
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()

@@ -1,19 +1,22 @@
-//! Shared service state: the global graph, its precomputation, open
-//! sessions, the result cache, and the metrics registry.
+//! Shared service state: the engine router, the metrics registry, and
+//! the serving configuration.
+//!
+//! Everything *per graph* — precomputation, the result cache, warm
+//! sessions, durable-store glue — lives in [`approxrank_engine::Engine`];
+//! the state here owns one [`Router`] over those engines plus the
+//! transport-level registries the handlers share.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use approxrank_core::{GlobalPrecomputation, SubgraphSession};
+use approxrank_engine::{CacheStats, EngineConfig};
 use approxrank_exec::{ExecStats, Executor};
-use approxrank_graph::DiGraph;
-use approxrank_store::{FsyncPolicy, SessionStore};
+use approxrank_graph::{DiGraph, PartitionStrategy};
+use approxrank_store::FsyncPolicy;
 
-use crate::cache::{CacheKey, ShardedCache};
 use crate::metrics::Metrics;
+use crate::router::Router;
 
 /// Tunables for [`crate::Server`], mirrored by the `subrank serve` flags.
 #[derive(Clone, Debug)]
@@ -42,6 +45,13 @@ pub struct ServeConfig {
     /// How often the background snapshotter folds the WAL into a fresh
     /// snapshot (only meaningful with `data_dir`).
     pub snapshot_interval: Duration,
+    /// Engines the graph is partitioned across. 1 (the default) serves
+    /// the whole graph from one engine, exactly as before sharding
+    /// existed.
+    pub shards: usize,
+    /// How nodes are assigned to shards (only meaningful with
+    /// `shards > 1`).
+    pub partition: PartitionStrategy,
 }
 
 impl Default for ServeConfig {
@@ -56,40 +66,17 @@ impl Default for ServeConfig {
             data_dir: None,
             fsync: FsyncPolicy::Interval(Duration::from_millis(100)),
             snapshot_interval: Duration::from_secs(30),
+            shards: 1,
+            partition: PartitionStrategy::Range,
         }
     }
-}
-
-/// One live `/session`: the warm solver plus the cache key of the last
-/// membership it published (invalidated on mutation).
-pub struct ServerSession {
-    /// The warm-start solver.
-    pub session: SubgraphSession,
-    /// Cache key for the membership at the last solve, if any.
-    pub published_key: Option<CacheKey>,
-    /// Damping the session was opened with (sessions pin their options).
-    pub damping: f64,
-    /// Tolerance the session was opened with.
-    pub tolerance: f64,
 }
 
 /// Everything the request handlers share. One instance per server,
 /// behind an `Arc`.
 pub struct AppState {
-    /// The global graph, loaded once at startup.
-    pub graph: DiGraph,
-    /// Degree/dangling aggregates shared by every ApproxRank build.
-    pub precomputation: GlobalPrecomputation,
-    /// Global PageRank scores, computed lazily on the first `idealrank`
-    /// request and reused forever after.
-    pub global_scores: OnceLock<Vec<f64>>,
-    /// Open sessions by id. Each session has its own lock so long
-    /// re-solves don't block the table.
-    pub sessions: Mutex<HashMap<u64, Arc<Mutex<ServerSession>>>>,
-    /// Monotonic session id source.
-    pub next_session_id: AtomicU64,
-    /// The sharded LRU result cache.
-    pub cache: ShardedCache,
+    /// The engine router: one global engine, or one engine per shard.
+    pub router: Router,
     /// Counters and trace aggregates behind `/metrics`.
     pub metrics: Metrics,
     /// The configuration the server was started with.
@@ -97,28 +84,28 @@ pub struct AppState {
     /// The worker-lane executor, installed by the server at startup so
     /// `/metrics` can expose `pool_*` telemetry.
     pub pool: OnceLock<Arc<Executor>>,
-    /// The durable session store, installed by
-    /// [`crate::persist::open_store`] when the server runs with a data
-    /// directory. Absent in the default in-memory mode.
-    pub store: OnceLock<Arc<SessionStore>>,
 }
 
 impl AppState {
-    /// Builds the state for a graph: runs the `O(N)` precomputation and
-    /// sizes the cache per `config`.
+    /// Builds the state for a graph: partitions it per `config` (a shard
+    /// count of 1 keeps the whole graph on one engine) and sizes each
+    /// engine's cache slice.
     pub fn new(graph: DiGraph, config: ServeConfig) -> Self {
-        let precomputation = GlobalPrecomputation::compute(&graph);
+        let engine_config = EngineConfig {
+            cache_entries: config.cache_entries,
+            fsync: config.fsync,
+            ..EngineConfig::default()
+        };
+        let router = if config.shards <= 1 {
+            Router::single(graph, engine_config)
+        } else {
+            Router::sharded(&graph, config.shards, config.partition, engine_config)
+        };
         AppState {
-            graph,
-            precomputation,
-            global_scores: OnceLock::new(),
-            sessions: Mutex::new(HashMap::new()),
-            next_session_id: AtomicU64::new(1),
-            cache: ShardedCache::new(config.cache_entries),
+            router,
             metrics: Metrics::new(),
             config,
             pool: OnceLock::new(),
-            store: OnceLock::new(),
         }
     }
 
@@ -128,16 +115,13 @@ impl AppState {
         self.pool.get().map(|exec| exec.stats())
     }
 
-    /// Locks the session table, recovering from a poisoned lock (session
-    /// state is only mutated under the per-session lock).
-    pub fn lock_sessions(
-        &self,
-    ) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Mutex<ServerSession>>>> {
-        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    /// Result-cache counters summed across every engine.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.router.cache_stats()
     }
 
-    /// Open session count.
+    /// Open session count across every engine.
     pub fn session_count(&self) -> usize {
-        self.lock_sessions().len()
+        self.router.session_count()
     }
 }

@@ -156,7 +156,7 @@ fn rank_is_bit_identical_to_offline_and_cache_hits() {
     let v2 = second.json().unwrap();
     assert_eq!(v2.get("cached").unwrap().as_bool(), Some(true));
     assert_eq!(v1.get("scores"), v2.get("scores"));
-    assert_eq!(server.state.cache.stats().hits, 1);
+    assert_eq!(server.state.cache_stats().hits, 1);
     server.stop();
 }
 
@@ -296,7 +296,7 @@ fn concurrent_clients() {
         w.join().expect("client thread");
     }
 
-    let stats = server.state.cache.stats();
+    let stats = server.state.cache_stats();
     // 80 requests over 40 keys, each worker revisiting its own keys: the
     // second lap is all hits.
     assert_eq!(stats.hits + stats.misses, 80);

@@ -31,6 +31,7 @@
 
 mod codec;
 mod crc;
+pub mod json;
 mod record;
 mod snapshot;
 mod store;

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Sharded-serving smoke test: build release, generate a graph, boot the
+# same graph twice — once unsharded, once with `--shards 2` — and assert
+# that shard-resident /rank answers are byte-identical across the two
+# deployments (the routing tier must be invisible for memberships that
+# fit one shard). Cross-shard requests must answer 200 with a
+# probability-mass-sane merged mixture and `"shards":2`, global-state
+# algorithms spanning shards must be refused with 400, and /metrics must
+# expose the shard_* telemetry.
+#
+# Exits nonzero on any body mismatch, bad status, or missing metric.
+set -euo pipefail
+
+PORT_A="${SHARD_SMOKE_PORT_A:-7891}"
+PORT_B="${SHARD_SMOKE_PORT_B:-7892}"
+ADDR_A="127.0.0.1:${PORT_A}"
+ADDR_B="127.0.0.1:${PORT_B}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 "${PID_A:-}" "${PID_B:-}" 2>/dev/null || true; rm -rf "${WORKDIR}"' EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+boot() { # boot <name> <addr> <extra flags...>
+  local name="$1" addr="$2"
+  shift 2
+  "${SUBRANK}" serve --graph "${WORKDIR}/web.edges" --addr "${addr}" --threads 4 "$@" \
+    >"${WORKDIR}/serve.${name}.out" 2>"${WORKDIR}/serve.${name}.err" &
+  local pid=$!
+  for _ in $(seq 1 100); do
+    if curl -sf "http://${addr}/healthz" >/dev/null 2>&1; then
+      echo "${pid}"
+      return 0
+    fi
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "server ${name} died during startup" >&2
+      cat "${WORKDIR}/serve.${name}.err" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  curl -sf "http://${addr}/healthz" >/dev/null
+  echo "${pid}"
+}
+
+say "building release binaries"
+cargo build --release -p approxrank-cli
+
+SUBRANK=target/release/subrank
+
+say "generating a graph"
+"${SUBRANK}" gen --dataset au --pages 20000 --out "${WORKDIR}/web.edges" >/dev/null
+
+say "booting single-shard and 2-shard servers on the same graph"
+PID_A="$(boot single "${ADDR_A}")"
+PID_B="$(boot sharded "${ADDR_B}" --shards 2)"
+grep -q '2 shards (range partitioning)' "${WORKDIR}/serve.sharded.err"
+
+say "shard-resident /rank answers must be byte-identical"
+# Range partitioning of 20000 nodes: shard 0 owns 0..10000, shard 1 the
+# rest. One membership per shard, plus one with non-default options.
+BODIES=(
+  '{"members":[5,6,7,8,9,10,11,12],"tolerance":1e-8}'
+  '{"members":[15000,15001,15002,15003],"tolerance":1e-8}'
+  '{"members":[400,401,402],"damping":0.9,"top":2}'
+)
+for i in "${!BODIES[@]}"; do
+  body="${BODIES[$i]}"
+  curl -sf -X POST "http://${ADDR_A}/rank" -d "${body}" >"${WORKDIR}/single.${i}.json"
+  curl -sf -X POST "http://${ADDR_B}/rank" -d "${body}" >"${WORKDIR}/sharded.${i}.json"
+  cmp "${WORKDIR}/single.${i}.json" "${WORKDIR}/sharded.${i}.json" \
+    || { echo "resident body ${i} differs across deployments" >&2; exit 1; }
+  grep -q '"shards":1' "${WORKDIR}/sharded.${i}.json"
+done
+
+say "cross-shard /rank must merge (200, shards=2, mass ~ 1)"
+curl -sf -X POST "http://${ADDR_B}/rank" \
+  -d '{"members":[9998,9999,10000,10001],"tolerance":1e-8}' >"${WORKDIR}/cross.json"
+grep -q '"shards":2' "${WORKDIR}/cross.json"
+python3 - "${WORKDIR}/cross.json" <<'PY'
+import json, sys
+v = json.load(open(sys.argv[1]))
+assert v["shards"] == 2, v["shards"]
+mass = sum(s["score"] for s in v["scores"]) + v["lambda"]
+assert abs(mass - 1.0) < 1e-9, f"mixture mass {mass}"
+assert len(v["scores"]) == 4, v["scores"]
+PY
+
+say "global-state algorithms spanning shards must be refused"
+STATUS="$(curl -s -o "${WORKDIR}/span.json" -w '%{http_code}' -X POST "http://${ADDR_B}/rank" \
+  -d '{"members":[9999,10001],"algorithm":"sc"}')"
+test "${STATUS}" = "400" || { echo "expected 400, got ${STATUS}" >&2; exit 1; }
+grep -q 'span' "${WORKDIR}/span.json"
+
+say "sessions pin to one shard"
+curl -sf -X POST "http://${ADDR_B}/session" -d '{"members":[15000,15001]}' >"${WORKDIR}/sess.json"
+grep -q '"id":2' "${WORKDIR}/sess.json"  # shard 1 strides ids 2, 4, …
+STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR_B}/session" \
+  -d '{"members":[9999,10001]}')"
+test "${STATUS}" = "400" || { echo "spanning session accepted (${STATUS})" >&2; exit 1; }
+
+say "shard_* metrics are exposed"
+curl -sf "http://${ADDR_B}/metrics" >"${WORKDIR}/metrics.txt"
+grep -q '^shard_count 2$' "${WORKDIR}/metrics.txt"
+grep -q '^shard_rank_requests{shard="0"} ' "${WORKDIR}/metrics.txt"
+grep -q '^shard_rank_requests{shard="1"} ' "${WORKDIR}/metrics.txt"
+grep -q '^shard_sessions_open{shard="1"} 1$' "${WORKDIR}/metrics.txt"
+grep -q '^shard_cross_rank_requests ' "${WORKDIR}/metrics.txt"
+
+say "no panics in either server log"
+! grep -i 'panic' "${WORKDIR}/serve.single.err" "${WORKDIR}/serve.sharded.err"
+
+say "shard smoke OK"
