@@ -3,7 +3,8 @@
 //! ```text
 //! loadgen [--addr HOST:PORT | --graph FILE] [--clients N] [--requests N]
 //!         [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N]
-//!         [--sessions N] [--shards S]
+//!         [--sessions N] [--shards S] [--capture] [--capture-out FILE]
+//!         [--baseline FILE]
 //! ```
 //!
 //! Fires `--clients` concurrent keep-alive query streams at a ranking
@@ -33,6 +34,14 @@
 //! vs cross-shard latency percentiles are reported on separate lines —
 //! the merge path has a different cost profile, so mixing the two into
 //! one histogram would hide both.
+//!
+//! `--capture` pulls the server's `/debug/requests` trace ring after the
+//! run and prints a server-side per-layer time breakdown next to the
+//! client-side percentiles, so "where did the p99 go" is answered by
+//! layer, not guesswork. `--capture-out FILE` additionally dumps the
+//! captured traces as JSONL (readable by `subrank report --requests`),
+//! and `--baseline FILE` compares this run's layer breakdown against a
+//! previous dump, printing per-layer deltas. Both imply `--capture`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,12 +50,13 @@ use std::time::{Duration, Instant};
 use approxrank_gen::zipf::sample_weighted;
 use approxrank_graph::{io, DiGraph};
 use approxrank_serve::{Client, ServeConfig, Server};
+use approxrank_trace::request::{layer_breakdown, parse_line, parse_lines_bytes, RequestTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --graph FILE] [--clients N] \
 [--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N] [--sessions N] \
-[--shards S]";
+[--shards S] [--capture] [--capture-out FILE] [--baseline FILE]";
 
 struct Args {
     addr: Option<String>,
@@ -60,6 +70,9 @@ struct Args {
     threads: usize,
     sessions: usize,
     shards: usize,
+    capture: bool,
+    capture_out: Option<String>,
+    baseline: Option<String>,
 }
 
 impl Default for Args {
@@ -76,6 +89,9 @@ impl Default for Args {
             threads: 2,
             sessions: 0,
             shards: 1,
+            capture: false,
+            capture_out: None,
+            baseline: None,
         }
     }
 }
@@ -98,6 +114,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--members" => args.members = parse_positive(&value("--members")?, "--members")?,
             "--threads" => args.threads = parse_positive(&value("--threads")?, "--threads")?,
             "--shards" => args.shards = parse_positive(&value("--shards")?, "--shards")?,
+            "--capture" => args.capture = true,
+            "--capture-out" => args.capture_out = Some(value("--capture-out")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
             "--sessions" => {
                 let v = value("--sessions")?;
                 args.sessions = v
@@ -122,6 +141,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.addr.is_some() && args.graph.is_some() {
         return Err("--addr and --graph are mutually exclusive".into());
+    }
+    // Dumping or diffing traces requires capturing them first.
+    if args.capture_out.is_some() || args.baseline.is_some() {
+        args.capture = true;
     }
     Ok(args)
 }
@@ -203,6 +226,116 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Pulls the server's completed-request trace ring. `/debug/requests`
+/// answers a JSON array of trace objects; each element is re-emitted and
+/// fed through the strict trace parser, so a malformed element is
+/// dropped rather than failing the whole capture.
+fn capture_traces(addr: &str) -> Result<Vec<RequestTrace>, String> {
+    let mut client = Client::new(addr);
+    let response = client
+        .get("/debug/requests")
+        .map_err(|e| format!("GET /debug/requests: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("GET /debug/requests answered {}", response.status));
+    }
+    let json = response.json()?;
+    let items = json
+        .as_array()
+        .ok_or("/debug/requests did not return an array")?;
+    Ok(items
+        .iter()
+        .filter_map(|v| parse_line(&v.emit()).ok())
+        .collect())
+}
+
+/// Mean self-time per trace for each layer, in microseconds.
+fn layer_means_us(traces: &[RequestTrace]) -> Vec<(String, f64)> {
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    layer_breakdown(traces)
+        .into_iter()
+        .map(|stat| (stat.layer, stat.total_ns as f64 / 1e3 / traces.len() as f64))
+        .collect()
+}
+
+/// Renders the server-side layer breakdown (and, with a baseline, the
+/// per-layer deltas) into the report.
+fn render_capture(
+    out: &mut String,
+    traces: &[RequestTrace],
+    baseline: Option<(&str, &[RequestTrace])>,
+) {
+    out.push_str(&format!(
+        "capture   {} server-side traces via /debug/requests
+",
+        traces.len()
+    ));
+    if traces.is_empty() {
+        return;
+    }
+    let total_ns: u64 = traces.iter().map(|t| t.total_ns).sum();
+    out.push_str(&format!(
+        "          {:<10} {:>12} {:>8} {:>8}
+",
+        "layer", "mean_us", "share", "spans"
+    ));
+    let means = layer_means_us(traces);
+    for stat in layer_breakdown(traces) {
+        let mean = means
+            .iter()
+            .find(|(l, _)| *l == stat.layer)
+            .map(|(_, m)| *m)
+            .unwrap_or(0.0);
+        let share = if total_ns > 0 {
+            100.0 * stat.total_ns as f64 / total_ns as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "          {:<10} {:>12.1} {:>7.1}% {:>8}
+",
+            stat.layer, mean, share, stat.spans
+        ));
+    }
+    if let Some((path, base)) = baseline {
+        out.push_str(&format!(
+            "baseline  vs {path} ({} traces): mean self-time per request by layer
+",
+            base.len()
+        ));
+        let base_means = layer_means_us(base);
+        for (layer, mean) in &means {
+            let before = base_means.iter().find(|(l, _)| l == layer).map(|(_, m)| *m);
+            match before {
+                Some(before) if before > 0.0 => {
+                    let pct = 100.0 * (mean - before) / before;
+                    out.push_str(&format!(
+                        "          {layer:<10} {before:>10.1} -> {mean:>10.1} us  ({pct:+.1}%)
+"
+                    ));
+                }
+                _ => {
+                    out.push_str(&format!(
+                        "          {layer:<10} {:>10} -> {mean:>10.1} us  (new)
+",
+                        "-"
+                    ));
+                }
+            }
+        }
+        for (layer, before) in &base_means {
+            if !means.iter().any(|(l, _)| l == layer) {
+                out.push_str(&format!(
+                    "          {layer:<10} {before:>10.1} -> {:>10} us  (gone)
+",
+                    "-"
+                ));
+            }
+        }
+    }
 }
 
 fn cache_counters(addr: &str) -> Result<(u64, u64), String> {
@@ -445,6 +578,13 @@ fn run(args: &Args) -> Result<String, String> {
     let wall = started.elapsed();
 
     let (hits_after, misses_after) = cache_counters(&addr)?;
+    // Pull the trace ring while the server is still up (the in-process
+    // server is shut down at the end of the run).
+    let captured = if args.capture {
+        Some(capture_traces(&addr)?)
+    } else {
+        None
+    };
     let mut resident: Vec<u64> = outcomes
         .iter()
         .flat_map(|o| o.resident_us.clone())
@@ -520,6 +660,32 @@ fn run(args: &Args) -> Result<String, String> {
         "cache     {hits} hits / {misses} misses  ({:.1} % hit rate)\n",
         100.0 * hits as f64 / lookups as f64
     ));
+    if let Some(traces) = &captured {
+        if let Some(path) = &args.capture_out {
+            let mut dump = String::new();
+            for trace in traces {
+                dump.push_str(&approxrank_trace::request::emit(trace));
+                dump.push('\n');
+            }
+            std::fs::write(path, dump).map_err(|e| format!("cannot write {path}: {e}"))?;
+            out.push_str(&format!(
+                "capture   wrote {} traces to {path}\n",
+                traces.len()
+            ));
+        }
+        let baseline = match &args.baseline {
+            None => None,
+            Some(path) => {
+                let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                Some((path.as_str(), parse_lines_bytes(&bytes).traces))
+            }
+        };
+        render_capture(
+            &mut out,
+            traces,
+            baseline.as_ref().map(|(p, t)| (*p, t.as_slice())),
+        );
+    }
 
     if let Some((handle, thread)) = local {
         handle.shutdown();
@@ -595,6 +761,18 @@ mod tests {
         assert_eq!(parse_args(&argv(&[])).unwrap().sessions, 0);
         assert_eq!(parse_args(&argv(&["--sessions", "3"])).unwrap().sessions, 3);
         assert!(parse_args(&argv(&["--sessions", "many"])).is_err());
+    }
+
+    #[test]
+    fn capture_out_and_baseline_imply_capture() {
+        assert!(!parse_args(&argv(&[])).unwrap().capture);
+        assert!(parse_args(&argv(&["--capture"])).unwrap().capture);
+        let args = parse_args(&argv(&["--capture-out", "t.jsonl"])).unwrap();
+        assert!(args.capture);
+        assert_eq!(args.capture_out.as_deref(), Some("t.jsonl"));
+        let args = parse_args(&argv(&["--baseline", "old.jsonl"])).unwrap();
+        assert!(args.capture);
+        assert_eq!(args.baseline.as_deref(), Some("old.jsonl"));
     }
 
     #[test]
@@ -708,6 +886,52 @@ mod tests {
             .unwrap();
         // 24 draws over 4 keys cannot all be cold misses.
         assert!(hits >= 20, "{report}");
+    }
+
+    /// `--capture` pulls the server's trace ring after the run: the
+    /// report must show a per-layer breakdown, the `--capture-out` dump
+    /// must be valid JSONL, and a second run with `--baseline` against
+    /// that dump must print per-layer deltas.
+    #[test]
+    fn capture_reports_server_side_layers_and_baseline_deltas() {
+        let dir = std::env::temp_dir().join("subrank-loadgen-capture");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("run1.jsonl").to_string_lossy().into_owned();
+
+        let report = run(&Args {
+            clients: 1,
+            requests: 6,
+            keys: 2,
+            members: 8,
+            capture: true,
+            capture_out: Some(dump.clone()),
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(
+            report.contains("server-side traces via /debug/requests"),
+            "{report}"
+        );
+        assert!(report.contains("engine"), "{report}");
+        assert!(report.contains("http"), "{report}");
+
+        let bytes = std::fs::read(&dump).unwrap();
+        let parsed = parse_lines_bytes(&bytes);
+        assert!(parsed.traces.len() >= 6, "{} traces", parsed.traces.len());
+        assert_eq!(parsed.skipped, 0);
+
+        let report = run(&Args {
+            clients: 1,
+            requests: 6,
+            keys: 2,
+            members: 8,
+            capture: true,
+            baseline: Some(dump),
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(report.contains("baseline  vs"), "{report}");
+        assert!(report.contains("%)"), "{report}");
     }
 
     /// Session streams drive warm updates end-to-end and report their

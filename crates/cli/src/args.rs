@@ -160,7 +160,13 @@ pub struct StatsArgs {
 #[derive(Clone, Debug, Default)]
 pub struct ReportArgs {
     /// JSON-lines trace file written by `--trace-json`.
-    pub input: String,
+    pub input: Option<String>,
+    /// JSON-lines request-trace file: a server's slow-query log or a
+    /// `loadgen --capture-out` dump.
+    pub requests: Option<String>,
+    /// How many slowest requests to print with full span trees
+    /// (`--requests` mode only).
+    pub top: usize,
 }
 
 /// `subrank serve` arguments.
@@ -188,6 +194,9 @@ pub struct ServeArgs {
     pub shards: usize,
     /// Partitioner (only meaningful with `--shards` > 1).
     pub partition: PartitionStrategy,
+    /// Slow-query threshold in milliseconds (`0` captures every
+    /// request); `None` disables the slow-query log.
+    pub slow_ms: Option<u64>,
 }
 
 /// `subrank partition` arguments.
@@ -255,12 +264,12 @@ pub const USAGE: &str = "usage:
   subrank compare --graph FILE --subgraph FILE [--truth yes] [--damping 0.85] [--tolerance 1e-5]
   subrank stats  --graph FILE [--shards N [--partition range|scc|hash]]
   subrank gen    --dataset au|politics --pages N [--seed S] --out FILE
-  subrank report --input TRACE.jsonl
+  subrank report --input TRACE.jsonl | --requests REQUESTS.jsonl [--top K]
   subrank serve  --graph FILE [--addr 127.0.0.1:7878] [--threads 2] [--cache-entries 4096]
                  [--max-body 1048576] [--request-timeout-ms 5000]
                  [--data-dir DIR] [--fsync always|never|interval|interval:MS]
                  [--snapshot-interval-ms 30000]
-                 [--shards N] [--partition range|scc|hash]
+                 [--shards N] [--partition range|scc|hash] [--slow-ms MS]
   subrank partition --graph FILE --shards N [--partition range|scc|hash] --out DIR";
 
 /// Flags that take no value; their presence alone means "on".
@@ -421,9 +430,17 @@ impl Cli {
                 seed: opts.numeric("seed", 0u64)?,
                 out: opts.require("out")?,
             }),
-            "report" => Command::Report(ReportArgs {
-                input: opts.require("input")?,
-            }),
+            "report" => {
+                let args = ReportArgs {
+                    input: opts.take("input"),
+                    requests: opts.take("requests"),
+                    top: opts.numeric("top", 5usize)?,
+                };
+                if args.input.is_none() && args.requests.is_none() {
+                    return Err(format!("report needs --input or --requests\n{USAGE}"));
+                }
+                Command::Report(args)
+            }
             "serve" => {
                 let args = ServeArgs {
                     graph: opts.require("graph")?,
@@ -444,6 +461,13 @@ impl Cli {
                     snapshot_interval_ms: opts.numeric("snapshot-interval-ms", 30_000u64)?,
                     shards: opts.numeric("shards", 1usize)?,
                     partition: take_partition(&mut opts)?,
+                    slow_ms: match opts.take("slow-ms") {
+                        None => None,
+                        Some(v) => Some(
+                            v.parse()
+                                .map_err(|e| format!("bad --slow-ms value {v:?}: {e}"))?,
+                        ),
+                    },
                 };
                 if args.threads == 0 {
                     return Err("--threads must be at least 1".into());
@@ -586,8 +610,18 @@ mod tests {
         let Command::Report(a) = cli.command else {
             panic!()
         };
-        assert_eq!(a.input, "t.jsonl");
+        assert_eq!(a.input.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.requests, None);
+        assert_eq!(a.top, 5);
         assert!(Cli::parse(&argv("report")).is_err());
+
+        let cli = Cli::parse(&argv("report --requests slow.jsonl --top 3")).unwrap();
+        let Command::Report(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.input, None);
+        assert_eq!(a.requests.as_deref(), Some("slow.jsonl"));
+        assert_eq!(a.top, 3);
     }
 
     #[test]
@@ -680,6 +714,7 @@ mod tests {
         assert_eq!(a.snapshot_interval_ms, 30_000);
         assert_eq!(a.shards, 1);
         assert_eq!(a.partition, PartitionStrategy::Range);
+        assert_eq!(a.slow_ms, None);
 
         let cli = Cli::parse(&argv(
             "serve --graph g --addr 0.0.0.0:0 --threads 8 --cache-entries 64 \
@@ -739,6 +774,23 @@ mod tests {
         assert!(Cli::parse(&argv("serve --graph g --shards 0")).is_err());
         let err = Cli::parse(&argv("serve --graph g --shards 2 --partition zig")).unwrap_err();
         assert!(err.contains("--partition"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_slow_ms() {
+        let cli = Cli::parse(&argv("serve --graph g --slow-ms 50")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.slow_ms, Some(50));
+        // Zero is meaningful: capture every request.
+        let cli = Cli::parse(&argv("serve --graph g --slow-ms 0")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.slow_ms, Some(0));
+        let err = Cli::parse(&argv("serve --graph g --slow-ms soon")).unwrap_err();
+        assert!(err.contains("--slow-ms"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use approxrank_serve::{ServeConfig, Server};
+use approxrank_trace::logging;
 
 use crate::args::ServeArgs;
 use crate::commands::load_graph;
@@ -21,7 +22,15 @@ pub fn config_from(args: &ServeArgs) -> ServeConfig {
         snapshot_interval: Duration::from_millis(args.snapshot_interval_ms),
         shards: args.shards.max(1),
         partition: args.partition,
+        slow_ms: args.slow_ms,
+        trace_ring: ServeConfig::default().trace_ring,
     }
+}
+
+/// Emits a startup banner line: structured (JSONL to stderr, like every
+/// other log line) so smoke scripts and log shippers see one format.
+fn banner(msg: &str) {
+    logging::log(logging::Level::Info, "cli", msg);
 }
 
 /// Runs the service until `SIGINT`/`SIGTERM`; returns a drain summary.
@@ -37,21 +46,26 @@ pub fn run(args: &ServeArgs) -> Result<String, String> {
     // final summary (and scripts can wait on the port instead).
     if let Some(dir) = &args.data_dir {
         // Recovery already ran inside `Server::bind`.
-        eprintln!(
+        banner(&format!(
             "subrank serve: durable sessions in {dir} ({} recovered)",
             server.state().session_count()
-        );
+        ));
     }
-    eprintln!(
+    banner(&format!(
         "subrank serve: listening on {addr} ({nodes} nodes, {edges} edges, {} worker lanes)",
         args.threads.max(1)
-    );
+    ));
     if args.shards > 1 {
-        eprintln!(
+        banner(&format!(
             "subrank serve: {} shards ({} partitioning)",
             args.shards,
             args.partition.name()
-        );
+        ));
+    }
+    if let Some(slow_ms) = args.slow_ms {
+        banner(&format!(
+            "subrank serve: slow-query capture at >= {slow_ms} ms"
+        ));
     }
     let summary = server.serve();
     Ok(format!(
@@ -77,6 +91,7 @@ mod tests {
             snapshot_interval_ms: 12_000,
             shards: 2,
             partition: approxrank_graph::PartitionStrategy::Hash,
+            slow_ms: Some(25),
         }
     }
 
@@ -96,6 +111,8 @@ mod tests {
         assert_eq!(c.snapshot_interval, Duration::from_millis(12_000));
         assert_eq!(c.shards, 2);
         assert_eq!(c.partition, approxrank_graph::PartitionStrategy::Hash);
+        assert_eq!(c.slow_ms, Some(25));
+        assert_eq!(c.trace_ring, ServeConfig::default().trace_ring);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use approxrank_core::{
 use approxrank_graph::{DiGraph, GlobalView, NodeId, NodeSet, Shard, SubgraphSource};
 use approxrank_pagerank::{pagerank, PageRankOptions};
 use approxrank_store::{FsyncPolicy, SessionStore, WalEvent};
-use approxrank_trace::Observer;
+use approxrank_trace::{Observer, Stopwatch};
 
 use crate::algorithm::Algorithm;
 use crate::cache::{cache_key, CacheKey, CacheStats, CachedResult, ShardedCache};
@@ -338,13 +338,23 @@ impl Engine {
             params.tolerance,
             &params.members,
         );
-        if let Some(hit) = self.cache.get(&key) {
+        let probe = Stopwatch::start(obs);
+        let hit = {
+            let _probe_span = obs.span("engine.cache_probe");
+            self.cache.get(&key)
+        };
+        obs.counter("engine_cache_probe_us", probe.elapsed_ns() / 1_000);
+        if let Some(hit) = hit {
             return Ok(RankOutcome {
                 result: hit,
                 cached: true,
             });
         }
-        let result = self.solve_cold(params, obs)?;
+        let result = {
+            let _solve_span = obs.span("engine.solve");
+            self.solve_cold(params, obs)?
+        };
+        obs.counter("solve_iterations", result.iterations as u64);
         self.cache.insert(key, result.clone());
         Ok(RankOutcome {
             result,
@@ -394,7 +404,9 @@ impl Engine {
         members: &[u32],
         damping: f64,
         tolerance: f64,
+        obs: &dyn Observer,
     ) -> Result<(u64, CachedResult), EngineError> {
+        let _span = obs.span("engine.session_create");
         self.check_owned(members)?;
         let nodes = NodeSet::from_sorted(self.global_nodes(), members.iter().copied());
         let mut session = EngineSession {
@@ -407,24 +419,34 @@ impl Engine {
             damping,
             tolerance,
         };
-        let scores = session.session.solve();
+        let scores = {
+            let _solve_span = obs.span("engine.solve");
+            session.session.solve()
+        };
         session.published_key = Some(Self::session_key(&session));
         let result = to_cached(members, scores);
+        obs.counter("solve_iterations", result.iterations as u64);
         let id = self
             .next_session_id
             .fetch_add(self.config.session_id_stride, Ordering::Relaxed);
-        self.log_event(WalEvent::Create {
-            id,
-            damping,
-            tolerance,
-            members: members.to_vec(),
-        });
-        self.log_event(WalEvent::Solved {
-            id,
-            scores: result.scores.as_ref().clone(),
-            lambda: result.lambda.unwrap_or(0.0),
-            iterations: result.iterations as u64,
-        });
+        self.log_event(
+            WalEvent::Create {
+                id,
+                damping,
+                tolerance,
+                members: members.to_vec(),
+            },
+            obs,
+        );
+        self.log_event(
+            WalEvent::Solved {
+                id,
+                scores: result.scores.as_ref().clone(),
+                lambda: result.lambda.unwrap_or(0.0),
+                iterations: result.iterations as u64,
+            },
+            obs,
+        );
         self.lock_sessions()
             .insert(id, Arc::new(Mutex::new(session)));
         Ok((id, result))
@@ -438,7 +460,9 @@ impl Engine {
         id: u64,
         add: &[u32],
         remove: &[u32],
+        obs: &dyn Observer,
     ) -> Result<(Vec<u32>, CachedResult), EngineError> {
+        let _span = obs.span("engine.session_update");
         let Some(entry) = self.find_session(id) else {
             return Err(EngineError::NoSuchSession(id));
         };
@@ -474,19 +498,28 @@ impl Engine {
         }
         if !add.is_empty() {
             session.session.add_pages_via(self.source(), add);
-            self.log_event(WalEvent::AddPages {
-                id,
-                pages: add.to_vec(),
-            });
+            self.log_event(
+                WalEvent::AddPages {
+                    id,
+                    pages: add.to_vec(),
+                },
+                obs,
+            );
         }
         if !remove.is_empty() {
             session.session.remove_pages_via(self.source(), remove);
-            self.log_event(WalEvent::RemovePages {
-                id,
-                pages: remove.to_vec(),
-            });
+            self.log_event(
+                WalEvent::RemovePages {
+                    id,
+                    pages: remove.to_vec(),
+                },
+                obs,
+            );
         }
-        let scores = session.session.solve();
+        let scores = {
+            let _solve_span = obs.span("engine.solve");
+            session.session.solve()
+        };
         // Also clear any cold `/rank` entry for the *new* membership: the
         // session now owns this view, and its next mutation must not
         // leave a stale mixture behind.
@@ -496,12 +529,16 @@ impl Engine {
 
         let members = session.session.members().to_vec();
         let result = to_cached(&members, scores);
-        self.log_event(WalEvent::Solved {
-            id,
-            scores: result.scores.as_ref().clone(),
-            lambda: result.lambda.unwrap_or(0.0),
-            iterations: result.iterations as u64,
-        });
+        obs.counter("solve_iterations", result.iterations as u64);
+        self.log_event(
+            WalEvent::Solved {
+                id,
+                scores: result.scores.as_ref().clone(),
+                lambda: result.lambda.unwrap_or(0.0),
+                iterations: result.iterations as u64,
+            },
+            obs,
+        );
         Ok((members, result))
     }
 
@@ -522,7 +559,8 @@ impl Engine {
     }
 
     /// Closes session `id`; returns whether it existed.
-    pub fn session_delete(&self, id: u64) -> bool {
+    pub fn session_delete(&self, id: u64, obs: &dyn Observer) -> bool {
+        let _span = obs.span("engine.session_delete");
         let Some(entry) = self.lock_sessions().remove(&id) else {
             return false;
         };
@@ -530,7 +568,7 @@ impl Engine {
         if let Some(key) = &session.published_key {
             self.cache.invalidate(key);
         }
-        self.log_event(WalEvent::Close { id });
+        self.log_event(WalEvent::Close { id }, obs);
         true
     }
 }
@@ -611,19 +649,25 @@ mod tests {
         let g = ring(200);
         let (global, sharded) = shard0_engine(&g);
         let members: Vec<u32> = (20..50).collect();
-        let (gid, ga) = global.session_create(&members, 0.85, 1e-8).unwrap();
-        let (sid, sa) = sharded.session_create(&members, 0.85, 1e-8).unwrap();
+        let (gid, ga) = global.session_create(&members, 0.85, 1e-8, null()).unwrap();
+        let (sid, sa) = sharded
+            .session_create(&members, 0.85, 1e-8, null())
+            .unwrap();
         assert_eq!(ga.scores, sa.scores);
-        let (gm, gb) = global.session_update(gid, &[50, 51], &[20]).unwrap();
-        let (sm, sb) = sharded.session_update(sid, &[50, 51], &[20]).unwrap();
+        let (gm, gb) = global
+            .session_update(gid, &[50, 51], &[20], null())
+            .unwrap();
+        let (sm, sb) = sharded
+            .session_update(sid, &[50, 51], &[20], null())
+            .unwrap();
         assert_eq!(gm, sm);
         assert_eq!(gb.scores, sb.scores);
         assert_eq!(
             global.session_view(gid).unwrap().members,
             sharded.session_view(sid).unwrap().members
         );
-        assert!(global.session_delete(gid));
-        assert!(sharded.session_delete(sid));
+        assert!(global.session_delete(gid, null()));
+        assert!(sharded.session_delete(sid, null()));
         assert_eq!(global.session_count() + sharded.session_count(), 0);
     }
 
@@ -638,8 +682,8 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let (a, _) = engine.session_create(&[1, 2], 0.85, 1e-6).unwrap();
-        let (b, _) = engine.session_create(&[3, 4], 0.85, 1e-6).unwrap();
+        let (a, _) = engine.session_create(&[1, 2], 0.85, 1e-6, null()).unwrap();
+        let (b, _) = engine.session_create(&[3, 4], 0.85, 1e-6, null()).unwrap();
         assert_eq!((a, b), (2, 5));
         assert!(engine.routes_session(2) && engine.routes_session(8));
         assert!(!engine.routes_session(3) && !engine.routes_session(0));
@@ -649,16 +693,16 @@ mod tests {
     fn update_errors_keep_session_healthy() {
         let g = ring(60);
         let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
-        let (id, _) = engine.session_create(&[1, 2], 0.85, 1e-6).unwrap();
+        let (id, _) = engine.session_create(&[1, 2], 0.85, 1e-6, null()).unwrap();
         assert_eq!(
-            engine.session_update(id, &[], &[1, 2]).unwrap_err(),
+            engine.session_update(id, &[], &[1, 2], null()).unwrap_err(),
             EngineError::BadRequest("update would empty the subgraph".into())
         );
         assert_eq!(
-            engine.session_update(999, &[3], &[]).unwrap_err(),
+            engine.session_update(999, &[3], &[], null()).unwrap_err(),
             EngineError::NoSuchSession(999)
         );
-        let (members, _) = engine.session_update(id, &[3], &[]).unwrap();
+        let (members, _) = engine.session_update(id, &[3], &[], null()).unwrap();
         assert_eq!(members, vec![1, 2, 3]);
     }
 }

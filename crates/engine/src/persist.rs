@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 use approxrank_core::SubgraphSession;
 use approxrank_graph::NodeSet;
 use approxrank_store::{CacheRecord, SessionRecord, SessionStore, StoreConfig, WalEvent};
+use approxrank_trace::{logging, Observer};
 
 use crate::cache::{CacheKey, CachedResult};
 use crate::engine::{options_for, Engine, EngineSession};
@@ -164,16 +165,28 @@ impl Engine {
         Some((key, value))
     }
 
-    /// Appends one lifecycle event if a store is installed. Errors
-    /// degrade to a counter and a log line — the request still succeeds.
-    pub fn log_event(&self, event: WalEvent) {
+    /// Appends one lifecycle event if a store is installed, attributing
+    /// the append (and any fsync the policy issued for it) into the
+    /// active request trace. Errors degrade to a counter and a
+    /// structured log line — the request still succeeds.
+    pub fn log_event(&self, event: WalEvent, obs: &dyn Observer) {
         if let Some(store) = self.store.get() {
-            if let Err(e) = store.append(&event) {
-                self.wal_errors.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "approxrank-engine: WAL append failed for session {}: {e}",
-                    event.session_id()
-                );
+            let _span = obs.span("store.wal_append");
+            match store.append_timed(&event) {
+                Ok(receipt) => {
+                    if receipt.fsyncs > 0 {
+                        obs.counter("store_fsync_us", receipt.fsync_us);
+                    }
+                }
+                Err(e) => {
+                    self.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    logging::log_with(
+                        logging::Level::Error,
+                        "engine",
+                        &format!("WAL append failed for session {}: {e}", event.session_id()),
+                        &[("session", &event.session_id().to_string())],
+                    );
+                }
             }
         }
     }
@@ -263,6 +276,7 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use approxrank_graph::DiGraph;
+    use approxrank_trace::null;
 
     fn graph() -> DiGraph {
         let n = 80u32;
@@ -287,7 +301,9 @@ mod tests {
         };
         let engine = Engine::new_global(Arc::new(graph()), config.clone());
         engine.open_store(&dir).unwrap();
-        let (id, _) = engine.session_create(&[1, 2, 3], 0.85, 1e-6).unwrap();
+        let (id, _) = engine
+            .session_create(&[1, 2, 3], 0.85, 1e-6, null())
+            .unwrap();
         assert_eq!(id, 2);
         let view = engine.session_view(id).unwrap();
         engine.flush().unwrap();
@@ -303,7 +319,7 @@ mod tests {
         assert_eq!(scores, want_scores);
         assert_eq!(lambda.to_bits(), want_lambda.to_bits());
         // The next id continues on the stride past the recovered id.
-        let (next, _) = revived.session_create(&[4, 5], 0.85, 1e-6).unwrap();
+        let (next, _) = revived.session_create(&[4, 5], 0.85, 1e-6, null()).unwrap();
         assert_eq!(next, 5);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -130,11 +130,21 @@ impl Executor {
     /// # Panics
     /// Propagates a panic from any `f(i)` (after the job drains).
     pub fn run_chunks(&self, chunks: usize, f: impl Fn(usize) + Sync) {
+        self.run_chunks_timed(chunks, f);
+    }
+
+    /// [`Executor::run_chunks`], returning how long this dispatch waited
+    /// for the pool's job slot before starting (another thread's job was
+    /// mid-flight). Always 0 for sequential executors and uncontended
+    /// pools; the serving layer attributes nonzero waits into the active
+    /// request's span tree.
+    pub fn run_chunks_timed(&self, chunks: usize, f: impl Fn(usize) + Sync) -> u64 {
         match &self.imp {
             Imp::Sequential => {
                 for i in 0..chunks {
                     f(i);
                 }
+                0
             }
             Imp::Pool(p) => p.run(chunks, &f),
         }
@@ -287,12 +297,14 @@ impl Executor {
                 threads: 1,
                 jobs: 0,
                 tasks: 0,
+                wait_ns: 0,
                 busy_ns: vec![0],
             },
             Imp::Pool(p) => ExecStats {
                 threads: p.width(),
                 jobs: p.jobs(),
                 tasks: p.tasks_run(),
+                wait_ns: p.wait_ns(),
                 busy_ns: p.busy_ns(),
             },
         }
@@ -310,6 +322,9 @@ pub struct ExecStats {
     pub jobs: u64,
     /// Tasks (chunks) executed across all jobs.
     pub tasks: u64,
+    /// Total time dispatchers spent queued behind another thread's job
+    /// before theirs could start.
+    pub wait_ns: u64,
     /// Busy wall-time per lane in nanoseconds; spawned workers first, the
     /// dispatching thread last.
     pub busy_ns: Vec<u64>,

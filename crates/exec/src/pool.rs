@@ -58,6 +58,8 @@ struct Shared {
     work_done: Condvar,
     jobs: AtomicU64,
     tasks_run: AtomicU64,
+    /// Total time dispatchers spent queued on an occupied job slot.
+    wait_ns: AtomicU64,
     /// Busy wall-time per claim slot: workers first, dispatcher last.
     busy_ns: Vec<AtomicU64>,
 }
@@ -84,6 +86,7 @@ impl WorkPool {
             work_done: Condvar::new(),
             jobs: AtomicU64::new(0),
             tasks_run: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
             busy_ns: (0..width).map(|_| AtomicU64::new(0)).collect(),
         });
         let workers = (0..width - 1)
@@ -116,9 +119,12 @@ impl WorkPool {
     /// # Panics
     /// Re-raises (as a new panic) if any task panicked; the pool stays
     /// usable afterwards.
-    pub(crate) fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    /// Returns the time this dispatch spent waiting for the job slot
+    /// (nonzero only when another dispatcher's job was mid-flight) so
+    /// callers can attribute queue wait into their tracing spans.
+    pub(crate) fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) -> u64 {
         if tasks == 0 {
-            return;
+            return 0;
         }
         // SAFETY: see `JobFn` — the pointer is never dereferenced after
         // this function returns, and the borrow lives until then.
@@ -126,15 +132,23 @@ impl WorkPool {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
         });
         let next = Arc::new(AtomicUsize::new(0));
+        let mut queue_wait_ns = 0u64;
         {
             let mut st = lock(&self.shared.state);
-            while st.job.is_some() {
+            if st.job.is_some() {
                 // Another dispatcher is mid-job; queue behind it.
-                st = self
-                    .shared
-                    .work_done
-                    .wait(st)
-                    .unwrap_or_else(|e| e.into_inner());
+                let waited = std::time::Instant::now();
+                while st.job.is_some() {
+                    st = self
+                        .shared
+                        .work_done
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                queue_wait_ns = waited.elapsed().as_nanos() as u64;
+                self.shared
+                    .wait_ns
+                    .fetch_add(queue_wait_ns, Ordering::Relaxed);
             }
             st.epoch += 1;
             st.completed = 0;
@@ -167,6 +181,11 @@ impl WorkPool {
         if failed {
             panic!("approxrank-exec: a task panicked during a pool job");
         }
+        queue_wait_ns
+    }
+
+    pub(crate) fn wait_ns(&self) -> u64 {
+        self.shared.wait_ns.load(Ordering::Relaxed)
     }
 
     pub(crate) fn jobs(&self) -> u64 {

@@ -19,6 +19,9 @@ pub struct ClientResponse {
     pub body: Vec<u8>,
     /// Whether the server announced `Connection: close`.
     pub closed: bool,
+    /// The `X-Request-Id` the server echoed, if any — the trace id to
+    /// quote when digging into this exchange server-side.
+    pub request_id: Option<String>,
 }
 
 impl ClientResponse {
@@ -79,6 +82,17 @@ impl Client {
         self.request("POST", path, Some(body))
     }
 
+    /// `POST path` with a JSON body and a caller-chosen `X-Request-Id`,
+    /// for propagating a trace id into the server.
+    pub fn post_with_id(
+        &mut self,
+        path: &str,
+        body: &str,
+        request_id: &str,
+    ) -> std::io::Result<ClientResponse> {
+        self.request_with_id("POST", path, Some(body), Some(request_id))
+    }
+
     /// `DELETE path`.
     pub fn delete(&mut self, path: &str) -> std::io::Result<ClientResponse> {
         self.request("DELETE", path, None)
@@ -92,15 +106,27 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
+        self.request_with_id(method, path, body, None)
+    }
+
+    /// Like [`Client::request`], optionally sending an `X-Request-Id`
+    /// header so the server adopts the caller's trace id.
+    pub fn request_with_id(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        request_id: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
         let had_connection = self.stream.is_some();
-        match self.try_request(method, path, body) {
+        match self.try_request(method, path, body, request_id) {
             Ok(response) => Ok(response),
             Err(e) if had_connection => {
                 // A stale keep-alive connection (server restarted or timed
                 // us out); retry exactly once on a fresh one.
                 let _ = e;
                 self.stream = None;
-                self.try_request(method, path, body)
+                self.try_request(method, path, body, request_id)
             }
             Err(e) => Err(e),
         }
@@ -111,11 +137,16 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
+        request_id: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
         let reader = self.connection()?;
         let payload = body.unwrap_or("");
+        let id_header = match request_id {
+            Some(id) => format!("X-Request-Id: {id}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: approxrank\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: approxrank\r\n{id_header}Content-Length: {}\r\n\r\n",
             payload.len()
         );
         {
@@ -164,6 +195,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<ClientResponse> 
 
     let mut content_length = 0usize;
     let mut closed = false;
+    let mut request_id = None;
     loop {
         let line = read_line(reader)?;
         if line.is_empty() {
@@ -180,6 +212,8 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<ClientResponse> 
                 .map_err(|_| bad_data(format!("bad content-length {value:?}")))?;
         } else if name == "connection" && value.eq_ignore_ascii_case("close") {
             closed = true;
+        } else if name == "x-request-id" {
+            request_id = Some(value.to_string());
         }
     }
     let mut body = vec![0u8; content_length];
@@ -188,6 +222,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<ClientResponse> 
         status,
         body,
         closed,
+        request_id,
     })
 }
 
@@ -203,6 +238,14 @@ mod tests {
         assert_eq!(r.status, 200);
         assert_eq!(r.text(), "{}");
         assert!(!r.closed);
+        assert_eq!(r.request_id, None);
+    }
+
+    #[test]
+    fn captures_request_id_header() {
+        let raw = "HTTP/1.1 200 OK\r\nX-Request-Id: cafef00d\r\nContent-Length: 2\r\n\r\n{}";
+        let r = read_response(&mut BufReader::new(Cursor::new(raw))).unwrap();
+        assert_eq!(r.request_id.as_deref(), Some("cafef00d"));
     }
 
     #[test]

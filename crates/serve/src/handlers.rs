@@ -21,23 +21,27 @@ use crate::metrics::Endpoint;
 use crate::state::AppState;
 
 /// Routes a request to its handler and returns the response together
-/// with the endpoint label for metrics.
-pub fn route(state: &AppState, request: &Request) -> (Endpoint, Response) {
+/// with the endpoint label for metrics. `obs` is the request-scoped
+/// observer the dispatcher built (a tee of the request's trace recorder
+/// and the metrics registry); handlers thread it through every engine
+/// and store call so the whole request becomes one span tree.
+pub fn route(state: &AppState, request: &Request, obs: &dyn Observer) -> (Endpoint, Response) {
     let path = request.path.as_str();
     let method = request.method.as_str();
     match (method, path) {
         ("GET", "/healthz") => (Endpoint::Healthz, healthz()),
         ("GET", "/stats") => (Endpoint::Stats, stats(state)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
-        ("POST", "/rank") => (Endpoint::Rank, rank(state, request)),
-        ("POST", "/session") => (Endpoint::SessionCreate, session_create(state, request)),
+        ("GET", "/debug/requests") => (Endpoint::DebugRequests, debug_requests(state)),
+        ("POST", "/rank") => (Endpoint::Rank, rank(state, request, obs)),
+        ("POST", "/session") => (Endpoint::SessionCreate, session_create(state, request, obs)),
         _ => {
             if let Some(rest) = path.strip_prefix("/session/") {
-                return route_session(state, request, method, rest);
+                return route_session(state, request, method, rest, obs);
             }
             let status = if matches!(
                 path,
-                "/healthz" | "/stats" | "/metrics" | "/rank" | "/session"
+                "/healthz" | "/stats" | "/metrics" | "/rank" | "/session" | "/debug/requests"
             ) {
                 405
             } else {
@@ -56,6 +60,7 @@ fn route_session(
     request: &Request,
     method: &str,
     rest: &str,
+    obs: &dyn Observer,
 ) -> (Endpoint, Response) {
     let (id_text, action) = match rest.split_once('/') {
         None => (rest, ""),
@@ -68,14 +73,30 @@ fn route_session(
         );
     };
     match (method, action) {
-        ("POST", "update") => (Endpoint::SessionUpdate, session_update(state, id, request)),
+        ("POST", "update") => (
+            Endpoint::SessionUpdate,
+            session_update(state, id, request, obs),
+        ),
         ("GET", "") => (Endpoint::SessionGet, session_get(state, id)),
-        ("DELETE", "") => (Endpoint::SessionDelete, session_delete(state, id)),
+        ("DELETE", "") => (Endpoint::SessionDelete, session_delete(state, id, obs)),
         _ => (
             Endpoint::Other,
             Response::error(404, &format!("no route for {method} /session/{rest}")),
         ),
     }
+}
+
+/// `GET /debug/requests`: the ring of recently completed request traces
+/// as a JSON array, newest last — the same wire format as the slow-query
+/// log, one object per trace.
+fn debug_requests(state: &AppState) -> Response {
+    let traces = state.traces.snapshot();
+    let body = traces
+        .iter()
+        .map(approxrank_trace::request::emit)
+        .collect::<Vec<_>>()
+        .join(",");
+    Response::json(200, format!("[{body}]"))
 }
 
 /// Maps an engine refusal onto its HTTP status.
@@ -334,12 +355,11 @@ fn result_body(
     obj(pairs)
 }
 
-fn rank(state: &AppState, request: &Request) -> Response {
+fn rank(state: &AppState, request: &Request, obs: &dyn Observer) -> Response {
     let params = match parse_rank_params(state, &request.body) {
         Ok(p) => p,
         Err(e) => return Response::error(400, &e),
     };
-    let obs: &dyn Observer = &state.metrics;
     let _span = obs.span("http.rank");
     let routed = match state.router.rank(&params.to_request(), obs) {
         Ok(r) => r,
@@ -359,7 +379,7 @@ fn rank(state: &AppState, request: &Request) -> Response {
     )
 }
 
-fn session_create(state: &AppState, request: &Request) -> Response {
+fn session_create(state: &AppState, request: &Request, obs: &dyn Observer) -> Response {
     let params = match parse_rank_params(state, &request.body) {
         Ok(p) => p,
         Err(e) => return Response::error(400, &e),
@@ -367,12 +387,11 @@ fn session_create(state: &AppState, request: &Request) -> Response {
     if params.algorithm != Algorithm::ApproxRank {
         return Response::error(400, "sessions support only algorithm \"approxrank\"");
     }
-    let obs: &dyn Observer = &state.metrics;
     let _span = obs.span("http.session_create");
     let (id, result) =
         match state
             .router
-            .session_create(&params.members, params.damping, params.tolerance)
+            .session_create(&params.members, params.damping, params.tolerance, obs)
         {
             Ok(created) => created,
             Err(e) => return engine_error(e),
@@ -415,7 +434,7 @@ fn parse_id_list(state: &AppState, body: &Json, field: &str) -> Result<Vec<u32>,
     Ok(ids)
 }
 
-fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
+fn session_update(state: &AppState, id: u64, request: &Request, obs: &dyn Observer) -> Response {
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) if !t.trim().is_empty() => t,
         _ => return Response::error(400, "empty body; expected {\"add\":[…],\"remove\":[…]}"),
@@ -438,9 +457,8 @@ fn session_update(state: &AppState, id: u64, request: &Request) -> Response {
         Some(None) => return Response::error(400, "\"top\" must be a non-negative integer"),
     };
 
-    let obs: &dyn Observer = &state.metrics;
     let _span = obs.span("http.session_update");
-    let (members, result) = match state.router.session_update(id, &add, &remove) {
+    let (members, result) = match state.router.session_update(id, &add, &remove, obs) {
         Ok(updated) => updated,
         Err(e) => return engine_error(e),
     };
@@ -495,8 +513,8 @@ fn session_get(state: &AppState, id: u64) -> Response {
     Response::json(200, body.emit())
 }
 
-fn session_delete(state: &AppState, id: u64) -> Response {
-    if !state.router.session_delete(id) {
+fn session_delete(state: &AppState, id: u64, obs: &dyn Observer) -> Response {
+    if !state.router.session_delete(id, obs) {
         return Response::error(404, &format!("no session {id}"));
     }
     Response::json(
@@ -544,6 +562,14 @@ mod tests {
 
     fn fig4_state() -> AppState {
         AppState::new(fig4_graph(), ServeConfig::default())
+    }
+
+    /// Shadows the real `route` for the tests below: they exercise the
+    /// handlers, not the per-request tee the dispatcher builds, so the
+    /// metrics registry alone is the observer (exactly what dispatch
+    /// contributes beyond the recorder).
+    fn route(state: &AppState, request: &Request) -> (Endpoint, Response) {
+        super::route(state, request, &state.metrics)
     }
 
     /// A 2-shard state over a 200-node ring (range partitioning puts
@@ -836,6 +862,37 @@ mod tests {
         assert!(text.contains("shard_count 1"), "{text}");
         // The solver streamed its iteration events into the registry.
         assert!(text.contains("solver_iterations_total"), "{text}");
+    }
+
+    #[test]
+    fn debug_requests_serves_the_trace_ring() {
+        let state = fig4_state();
+        // Empty ring: a well-formed empty array.
+        let (endpoint, r) = route(&state, &get("/debug/requests"));
+        assert_eq!(endpoint.label(), "debug_requests");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"[]");
+        // POST is a known path, so it answers 405 not 404.
+        let (_, r) = route(&state, &post("/debug/requests", ""));
+        assert_eq!(r.status, 405);
+
+        // Push a trace the way the dispatcher does and read it back.
+        let recorder = approxrank_trace::RequestRecorder::new("tid1".into());
+        {
+            let obs: &dyn Observer = &recorder;
+            let _span = obs.span("http.rank");
+        }
+        state.traces.push(recorder.finish("POST", "/rank", 200));
+        let (_, r) = route(&state, &get("/debug/requests"));
+        let parsed = approxrank_trace::request::parse_lines(
+            std::str::from_utf8(&r.body)
+                .unwrap()
+                .trim_matches(['[', ']']),
+        );
+        assert_eq!(parsed.skipped, 0);
+        assert_eq!(parsed.traces.len(), 1);
+        assert_eq!(parsed.traces[0].trace_id, "tid1");
+        assert_eq!(parsed.traces[0].root.children[0].name, "http.rank");
     }
 
     #[test]

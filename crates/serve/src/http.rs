@@ -175,6 +175,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// When true, advertise and perform `Connection: close`.
     pub close: bool,
+    /// The request's trace id, echoed as an `X-Request-Id` response
+    /// header when set (the dispatcher fills this in; handlers leave it
+    /// `None` so success bodies stay byte-identical).
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -185,6 +189,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             close: false,
+            request_id: None,
         }
     }
 
@@ -195,13 +200,19 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
             close: false,
+            request_id: None,
         }
     }
 
-    /// A JSON error envelope `{"error": message}`.
+    /// A JSON error envelope `{"error": message}`, stamped with the
+    /// active trace id (when one is in scope) so a client can quote the
+    /// exact failing request back to an operator.
     pub fn error(status: u16, message: &str) -> Response {
-        let body = crate::json::obj(vec![("error", crate::json::Json::Str(message.into()))]);
-        Response::json(status, body.emit())
+        let mut pairs = vec![("error", crate::json::Json::Str(message.into()))];
+        if let Some(id) = approxrank_trace::logging::current_trace_id() {
+            pairs.push(("trace_id", crate::json::Json::Str(id)));
+        }
+        Response::json(status, crate::json::obj(pairs).emit())
     }
 }
 
@@ -222,12 +233,17 @@ pub fn status_text(status: u16) -> &'static str {
 
 /// Writes the response (status line, headers, body) and flushes.
 pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+    let request_id = match &response.request_id {
+        Some(id) => format!("X-Request-Id: {id}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len(),
+        request_id,
         if response.close {
             "close"
         } else {
@@ -318,5 +334,31 @@ mod tests {
         let r = Response::error(400, "bad \"thing\"");
         let v = crate::json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("bad \"thing\""));
+    }
+
+    #[test]
+    fn request_id_header_written_when_set() {
+        let mut r = Response::json(200, "{}".into());
+        r.request_id = Some("deadbeef01234567".into());
+        let mut out = Vec::new();
+        write_response(&mut out, &r).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("X-Request-Id: deadbeef01234567\r\n"),
+            "{text}"
+        );
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("X-Request-Id"), "{text}");
+    }
+
+    #[test]
+    fn error_envelope_carries_scoped_trace_id() {
+        let _scope = approxrank_trace::logging::trace_scope("tid42");
+        let r = Response::error(404, "nope");
+        let v = crate::json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("trace_id").unwrap().as_str(), Some("tid42"));
     }
 }

@@ -18,6 +18,24 @@
 //! | `GET /stats` | JSON snapshot: graph shape, cache counters, open sessions |
 //! | `GET /metrics` | Text exposition: request counts/latency histograms, cache counters, `pool_*` work-pool telemetry, solver spans |
 //! | `GET /healthz` | Liveness |
+//! | `GET /debug/requests` | JSON array of the last N completed request traces (span trees with per-layer timings) |
+//!
+//! # Tracing
+//!
+//! Every request gets a trace id — adopted from an inbound
+//! `X-Request-Id` header when present and valid, generated otherwise —
+//! and the same id is echoed back as an `X-Request-Id` response header
+//! and stamped into JSON error envelopes. While the request runs, a
+//! [`approxrank_trace::RequestRecorder`] assembles a span tree across
+//! router dispatch, per-shard engine work (cache probe, solve, session
+//! ops), and store WAL appends; finished traces land in a bounded ring
+//! behind `GET /debug/requests`, and those slower than
+//! [`ServeConfig::slow_ms`] are additionally appended to a
+//! `slow_requests.jsonl` under the data dir. Per-layer counters
+//! (`engine_cache_probe_us`, `store_fsync_us`, `solve_iterations`,
+//! `shard_solve_us_{k}`, `exec_queue_wait_us`) feed `/metrics`
+//! histograms whose slowest bucket carries the offending trace id as an
+//! exemplar.
 //!
 //! # Sharding
 //!

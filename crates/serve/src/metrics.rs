@@ -34,11 +34,13 @@ pub enum Endpoint {
     SessionGet,
     /// `DELETE /session/{id}`
     SessionDelete,
+    /// `GET /debug/requests`
+    DebugRequests,
     /// Anything unrouted.
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 9] = [
+const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::Healthz,
     Endpoint::Stats,
     Endpoint::Metrics,
@@ -47,6 +49,7 @@ const ENDPOINTS: [Endpoint; 9] = [
     Endpoint::SessionUpdate,
     Endpoint::SessionGet,
     Endpoint::SessionDelete,
+    Endpoint::DebugRequests,
     Endpoint::Other,
 ];
 
@@ -66,6 +69,7 @@ impl Endpoint {
             Endpoint::SessionUpdate => "session_update",
             Endpoint::SessionGet => "session_get",
             Endpoint::SessionDelete => "session_delete",
+            Endpoint::DebugRequests => "debug_requests",
             Endpoint::Other => "other",
         }
     }
@@ -75,11 +79,78 @@ impl Endpoint {
 /// an implicit `+Inf` bucket follows.
 const LATENCY_BOUNDS_US: [u64; 8] = [100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000];
 
+/// Upper bounds for the per-layer *microsecond* histograms (cache
+/// probes, fsyncs, per-shard solves); finer at the bottom than the
+/// request buckets because these layers are sub-millisecond on the
+/// happy path.
+const LAYER_US_BOUNDS: [u64; 10] = [
+    10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
+];
+
+/// Upper bounds for the `solve_iterations` histogram (a count, not a
+/// duration).
+const ITER_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Picks the bucket index for `value` among `bounds` (the last index is
+/// the implicit `+Inf` bucket). A value exactly on a bound lands in
+/// that bound's bucket (`le` semantics).
+fn bucket_index(bounds: &[u64], value: u64) -> usize {
+    bounds.partition_point(|&b| b < value)
+}
+
 #[derive(Default)]
 struct PerEndpoint {
     requests: AtomicU64,
     latency_sum_us: AtomicU64,
     buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+/// One bounded per-layer histogram, with the slowest observation's
+/// trace id kept as an exemplar so an operator can jump from a bad
+/// bucket straight to the request that filled it.
+struct LayerHistogram {
+    bounds: &'static [u64],
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    /// `(value, trace_id)` of the largest observation so far.
+    slowest: Option<(u64, String)>,
+}
+
+impl LayerHistogram {
+    fn new(bounds: &'static [u64]) -> LayerHistogram {
+        LayerHistogram {
+            bounds,
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            slowest: None,
+        }
+    }
+
+    fn observe(&mut self, value: u64, trace_id: Option<&str>) {
+        self.buckets[bucket_index(self.bounds, value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        let beats = self.slowest.as_ref().is_none_or(|(v, _)| value > *v);
+        if beats {
+            if let Some(id) = trace_id {
+                self.slowest = Some((value, id.to_string()));
+            }
+        }
+    }
+}
+
+/// The per-layer histogram names [`Metrics`] accepts from trace
+/// counters; anything else stays a plain last/sum counter. Prefix names
+/// cover the per-shard families (`shard_solve_us_0`, …).
+fn layer_bounds(name: &str) -> Option<&'static [u64]> {
+    match name {
+        "engine_cache_probe_us" | "store_fsync_us" | "exec_queue_wait_us" => Some(&LAYER_US_BOUNDS),
+        "solve_iterations" => Some(&ITER_BOUNDS),
+        _ if name.starts_with("shard_solve_us_") => Some(&LAYER_US_BOUNDS),
+        _ => None,
+    }
 }
 
 /// Aggregates folded out of trace events.
@@ -104,7 +175,11 @@ pub struct Metrics {
     connections: AtomicU64,
     panics: AtomicU64,
     rejected_accepts: AtomicU64,
+    slow_requests: AtomicU64,
     trace: Mutex<TraceAggregates>,
+    /// Per-layer histograms keyed by counter name; bounded because only
+    /// the names [`layer_bounds`] accepts are ever inserted.
+    layers: Mutex<BTreeMap<String, LayerHistogram>>,
 }
 
 impl Default for Metrics {
@@ -123,7 +198,9 @@ impl Metrics {
             connections: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             rejected_accepts: AtomicU64::new(0),
+            slow_requests: AtomicU64::new(0),
             trace: Mutex::new(TraceAggregates::default()),
+            layers: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -132,10 +209,7 @@ impl Metrics {
         let e = &self.per_endpoint[endpoint.index()];
         e.requests.fetch_add(1, Ordering::Relaxed);
         e.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
-        let bucket = LATENCY_BOUNDS_US
-            .iter()
-            .position(|&b| latency_us <= b)
-            .unwrap_or(LATENCY_BOUNDS_US.len());
+        let bucket = bucket_index(&LATENCY_BOUNDS_US, latency_us);
         e.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         let class = (status / 100) as usize;
         if (2..=5).contains(&class) {
@@ -156,6 +230,27 @@ impl Metrics {
     /// Records a connection shed because the accept queue was full.
     pub fn observe_rejected_accept(&self) {
         self.rejected_accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request whose wall-clock time crossed the `--slow-ms`
+    /// threshold (and was therefore written to the slow-query log when
+    /// one is configured).
+    pub fn observe_slow_request(&self) {
+        self.slow_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one per-layer observation into its histogram, attaching
+    /// `trace_id` as the exemplar when this is the slowest observation
+    /// so far. Only names accepted by `layer_bounds` are recorded.
+    pub fn observe_layer(&self, name: &str, value: u64, trace_id: Option<&str>) {
+        let Some(bounds) = layer_bounds(name) else {
+            return;
+        };
+        let mut layers = self.layers.lock().unwrap_or_else(|e| e.into_inner());
+        layers
+            .entry(name.to_string())
+            .or_insert_with(|| LayerHistogram::new(bounds))
+            .observe(value, trace_id);
     }
 
     /// Total requests across endpoints.
@@ -209,6 +304,13 @@ impl Metrics {
             format!(
                 "approxrank_handler_panics_total {}",
                 self.panics.load(Ordering::Relaxed)
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "approxrank_slow_requests_total {}",
+                self.slow_requests.load(Ordering::Relaxed)
             ),
         );
         for (i, endpoint) in ENDPOINTS.iter().enumerate() {
@@ -282,6 +384,32 @@ impl Metrics {
                 );
             }
         }
+        {
+            let layers = self.layers.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, hist) in layers.iter() {
+                push(&mut out, format!("{name}_count {}", hist.count));
+                push(&mut out, format!("{name}_sum {}", hist.sum));
+                let mut cumulative = 0u64;
+                for (b, bound) in hist.bounds.iter().enumerate() {
+                    cumulative += hist.buckets[b];
+                    push(
+                        &mut out,
+                        format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}"),
+                    );
+                }
+                cumulative += hist.buckets[hist.bounds.len()];
+                push(
+                    &mut out,
+                    format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}"),
+                );
+                if let Some((value, trace_id)) = &hist.slowest {
+                    push(
+                        &mut out,
+                        format!("{name}_slowest{{trace_id=\"{trace_id}\"}} {value}"),
+                    );
+                }
+            }
+        }
         out.push_str(extra);
         out
     }
@@ -293,6 +421,14 @@ impl Observer for Metrics {
     }
 
     fn record(&self, event: Event) {
+        // Counters with a per-layer histogram go to it (under their own
+        // lock) instead of the last/sum fold — one name, one exposition.
+        if let Event::Counter { name, value } = &event {
+            if layer_bounds(name).is_some() {
+                self.observe_layer(name, *value, None);
+                return;
+            }
+        }
         let mut trace = self.lock_trace();
         match event {
             Event::SpanStart { .. } => {}
@@ -313,6 +449,40 @@ impl Observer for Metrics {
                 *trace.iterations.entry(solver).or_insert(0) += 1;
             }
         }
+    }
+}
+
+/// A per-request view of [`Metrics`] that knows the active trace id:
+/// counter events with a per-layer histogram carry the id as a
+/// candidate exemplar, everything else passes straight through. One is
+/// built per dispatched request and teed with the request's
+/// [`approxrank_trace::RequestRecorder`].
+pub struct MetricsWithTrace<'a> {
+    metrics: &'a Metrics,
+    trace_id: &'a str,
+}
+
+impl<'a> MetricsWithTrace<'a> {
+    /// Binds `metrics` to one request's trace id.
+    pub fn new(metrics: &'a Metrics, trace_id: &'a str) -> MetricsWithTrace<'a> {
+        MetricsWithTrace { metrics, trace_id }
+    }
+}
+
+impl Observer for MetricsWithTrace<'_> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        if let Event::Counter { name, value } = &event {
+            if layer_bounds(name).is_some() {
+                self.metrics
+                    .observe_layer(name, *value, Some(self.trace_id));
+                return;
+            }
+        }
+        self.metrics.record(event);
     }
 }
 
@@ -383,6 +553,83 @@ mod tests {
         let m = Metrics::new();
         let text = m.render("pool_threads 8\n");
         assert!(text.ends_with("pool_threads 8\n"));
+    }
+
+    #[test]
+    fn latency_exactly_on_a_bound_lands_in_that_bucket() {
+        // `le` semantics: an observation equal to a bound counts toward
+        // that bound's bucket, not the next one up.
+        for (i, &bound) in LATENCY_BOUNDS_US.iter().enumerate() {
+            assert_eq!(bucket_index(&LATENCY_BOUNDS_US, bound), i, "bound {bound}");
+            assert_eq!(
+                bucket_index(&LATENCY_BOUNDS_US, bound + 1),
+                i + 1,
+                "just past bound {bound}"
+            );
+        }
+        assert_eq!(bucket_index(&LATENCY_BOUNDS_US, 0), 0);
+        assert_eq!(
+            bucket_index(&LATENCY_BOUNDS_US, u64::MAX),
+            LATENCY_BOUNDS_US.len(),
+            "overflow goes to +Inf"
+        );
+
+        let m = Metrics::new();
+        m.observe_request(Endpoint::Rank, 200, 300); // == the 2nd bound
+        let text = m.render("");
+        assert!(
+            text.contains("approxrank_request_latency_us_bucket{endpoint=\"rank\",le=\"300\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("approxrank_request_latency_us_bucket{endpoint=\"rank\",le=\"100\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn layer_histograms_render_with_exemplar() {
+        let m = Metrics::new();
+        let traced = MetricsWithTrace::new(&m, "abc123");
+        let obs: &dyn Observer = &traced;
+        obs.counter("engine_cache_probe_us", 25);
+        obs.counter("engine_cache_probe_us", 120);
+        obs.counter("solve_iterations", 17);
+        obs.counter("shard_solve_us_1", 2_500);
+        // A plain counter stays a plain counter.
+        obs.counter("pool_jobs", 3);
+        let text = m.render("");
+        assert!(text.contains("engine_cache_probe_us_count 2"), "{text}");
+        assert!(text.contains("engine_cache_probe_us_sum 145"), "{text}");
+        assert!(
+            text.contains("engine_cache_probe_us_bucket{le=\"30\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("engine_cache_probe_us_slowest{trace_id=\"abc123\"} 120"),
+            "{text}"
+        );
+        assert!(
+            text.contains("solve_iterations_bucket{le=\"32\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard_solve_us_1_slowest{trace_id=\"abc123\"} 2500"),
+            "{text}"
+        );
+        assert!(text.contains("pool_jobs 3"), "{text}");
+        // The histogram names never show up as bare last/sum counters.
+        assert!(!text.contains("\nengine_cache_probe_us 120"), "{text}");
+    }
+
+    #[test]
+    fn untraced_layer_counters_fold_without_exemplar() {
+        let m = Metrics::new();
+        let obs: &dyn Observer = &m;
+        obs.counter("store_fsync_us", 90);
+        let text = m.render("");
+        assert!(text.contains("store_fsync_us_count 1"), "{text}");
+        assert!(!text.contains("store_fsync_us_slowest"), "{text}");
     }
 
     #[test]

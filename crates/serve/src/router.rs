@@ -34,7 +34,7 @@ use approxrank_engine::{
 };
 use approxrank_exec::Executor;
 use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
-use approxrank_trace::Observer;
+use approxrank_trace::{Observer, Stopwatch};
 
 /// Shape of the global graph, captured at boot for `/stats`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -234,6 +234,7 @@ impl Router {
             return Ok(RoutedRank { outcome, shards: 1 });
         };
 
+        let _dispatch = obs.span("router.dispatch");
         let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.engines.len()];
         for &m in &params.members {
             per_shard[assignment[m as usize] as usize].push(m);
@@ -259,19 +260,29 @@ impl Router {
         }
 
         // One sub-solve per touched shard, in parallel on the router's own
-        // pool. Slots are per-index, so tasks never contend.
+        // pool. Slots are per-index, so tasks never contend. Each task
+        // opens a `router.shard{k}` span on its fan-out thread — the
+        // request recorder parents the first span of a foreign thread to
+        // the trace root, so the engine's spans nest under it.
         let slots: Vec<Mutex<Option<Result<RankOutcome, EngineError>>>> =
             touched.iter().map(|_| Mutex::new(None)).collect();
         let fanout = self.fanout.as_ref().expect("sharded router has a pool");
-        fanout.run_chunks(touched.len(), |i| {
+        let queue_wait_ns = fanout.run_chunks_timed(touched.len(), |i| {
             let s = touched[i];
+            let _shard_span = obs.span(&format!("router.shard{s}"));
+            let solve = Stopwatch::start(obs);
             let sub = RankRequest {
                 members: per_shard[s].clone(),
                 ..params.clone()
             };
             let answer = self.engines[s].rank(&sub, obs);
+            obs.counter(&format!("shard_solve_us_{s}"), solve.elapsed_ns() / 1_000);
             *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(answer);
         });
+        if queue_wait_ns > 0 {
+            obs.counter("exec_queue_wait_us", queue_wait_ns / 1_000);
+        }
+        let _merge = obs.span("router.merge");
         let mut outcomes = Vec::with_capacity(touched.len());
         for slot in &slots {
             let answer = slot
@@ -305,6 +316,7 @@ impl Router {
         members: &[u32],
         damping: f64,
         tolerance: f64,
+        obs: &dyn Observer,
     ) -> Result<(u64, CachedResult), EngineError> {
         let engine = match &self.assignment {
             None => &self.engines[0],
@@ -320,7 +332,7 @@ impl Router {
                 &self.engines[shard as usize]
             }
         };
-        engine.session_create(members, damping, tolerance)
+        engine.session_create(members, damping, tolerance, obs)
     }
 
     /// Routes a session update to the owning engine.
@@ -329,9 +341,10 @@ impl Router {
         id: u64,
         add: &[u32],
         remove: &[u32],
+        obs: &dyn Observer,
     ) -> Result<(Vec<u32>, CachedResult), EngineError> {
         match self.engine_for_session(id) {
-            Some(engine) => engine.session_update(id, add, remove),
+            Some(engine) => engine.session_update(id, add, remove, obs),
             None => Err(EngineError::NoSuchSession(id)),
         }
     }
@@ -342,9 +355,9 @@ impl Router {
     }
 
     /// Closes session `id`; returns whether it existed.
-    pub fn session_delete(&self, id: u64) -> bool {
+    pub fn session_delete(&self, id: u64, obs: &dyn Observer) -> bool {
         match self.engine_for_session(id) {
-            Some(engine) => engine.session_delete(id),
+            Some(engine) => engine.session_delete(id, obs),
             None => false,
         }
     }
@@ -482,20 +495,26 @@ mod tests {
     #[test]
     fn sessions_route_by_stride_and_stay_on_one_shard() {
         let (_, sharded) = routers(200);
-        let (id0, _) = sharded.session_create(&[5, 6, 7], 0.85, 1e-6).unwrap();
-        let (id1, _) = sharded.session_create(&[150, 151], 0.85, 1e-6).unwrap();
+        let (id0, _) = sharded
+            .session_create(&[5, 6, 7], 0.85, 1e-6, null())
+            .unwrap();
+        let (id1, _) = sharded
+            .session_create(&[150, 151], 0.85, 1e-6, null())
+            .unwrap();
         assert_eq!((id0, id1), (1, 2)); // shard 0 strides 1,3,…; shard 1 strides 2,4,…
         assert!(sharded.session_view(id0).is_some());
         assert!(sharded.session_view(id1).is_some());
-        let err = sharded.session_create(&[99, 100], 0.85, 1e-6).unwrap_err();
+        let err = sharded
+            .session_create(&[99, 100], 0.85, 1e-6, null())
+            .unwrap_err();
         assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("span")));
-        let (members, _) = sharded.session_update(id1, &[152], &[]).unwrap();
+        let (members, _) = sharded.session_update(id1, &[152], &[], null()).unwrap();
         assert_eq!(members, vec![150, 151, 152]);
         // Adding a foreign page routes to shard 1, which refuses it.
-        let err = sharded.session_update(id1, &[5], &[]).unwrap_err();
+        let err = sharded.session_update(id1, &[5], &[], null()).unwrap_err();
         assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("not on shard")));
-        assert!(sharded.session_delete(id0));
-        assert!(!sharded.session_delete(0));
+        assert!(sharded.session_delete(id0, null()));
+        assert!(!sharded.session_delete(0, null()));
         assert_eq!(sharded.session_count(), 1);
     }
 }

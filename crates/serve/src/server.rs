@@ -22,9 +22,10 @@ use std::time::{Duration, Instant};
 
 use approxrank_exec::Executor;
 use approxrank_graph::DiGraph;
+use approxrank_trace::{logging, request, RequestRecorder, Tee, TraceId};
 
 use crate::http::{read_request, write_response, ReadError, Request, Response};
-use crate::metrics::Endpoint;
+use crate::metrics::{Endpoint, MetricsWithTrace};
 use crate::state::{AppState, ServeConfig};
 
 /// How often blocked waits (accept, queue pop, idle keep-alive reads)
@@ -202,10 +203,18 @@ impl Server {
             // Clean shutdown: one final snapshot (so the next boot replays
             // nothing) and a WAL flush regardless of fsync policy.
             if let Err(e) = crate::persist::snapshot_now(&state) {
-                eprintln!("approxrank-serve: final snapshot failed: {e}");
+                logging::log(
+                    logging::Level::Error,
+                    "serve",
+                    &format!("final snapshot failed: {e}"),
+                );
             }
             if let Err(e) = crate::persist::flush(&state) {
-                eprintln!("approxrank-serve: final WAL flush failed: {e}");
+                logging::log(
+                    logging::Level::Error,
+                    "serve",
+                    &format!("final WAL flush failed: {e}"),
+                );
             }
         }
 
@@ -230,7 +239,11 @@ fn snapshot_loop(state: &AppState, shutdown: &AtomicBool) {
         std::thread::sleep(POLL);
         if last.elapsed() >= interval {
             if let Err(e) = crate::persist::snapshot_now(state) {
-                eprintln!("approxrank-serve: snapshot failed: {e}");
+                logging::log(
+                    logging::Level::Error,
+                    "serve",
+                    &format!("snapshot failed: {e}"),
+                );
             }
             last = Instant::now();
         }
@@ -358,22 +371,19 @@ fn handle_connection(state: &AppState, stream: TcpStream, shutdown: &AtomicBool)
             Ok(request) => request,
             Err(ReadError::Closed) => return,
             Err(ReadError::Malformed(msg)) => {
-                let mut response = Response::error(400, &msg);
-                response.close = true;
+                let response = read_error_response(400, &msg);
                 let _ = write_response(&mut writer, &response);
                 state.metrics.observe_request(Endpoint::Other, 400, 0);
                 return;
             }
             Err(ReadError::BodyTooLarge) => {
-                let mut response = Response::error(413, "request body exceeds the configured cap");
-                response.close = true;
+                let response = read_error_response(413, "request body exceeds the configured cap");
                 let _ = write_response(&mut writer, &response);
                 state.metrics.observe_request(Endpoint::Other, 413, 0);
                 return;
             }
             Err(ReadError::Io(_)) => {
-                let mut response = Response::error(408, "timed out reading the request");
-                response.close = true;
+                let response = read_error_response(408, "timed out reading the request");
                 let _ = write_response(&mut writer, &response);
                 state.metrics.observe_request(Endpoint::Other, 408, 0);
                 return;
@@ -389,26 +399,73 @@ fn handle_connection(state: &AppState, stream: TcpStream, shutdown: &AtomicBool)
     }
 }
 
-/// Runs the router with panic containment: a handler panic becomes a 500
-/// (and a counter) instead of killing the lane.
+/// Builds the error response for a request that never reached dispatch
+/// (unparseable head, oversized body, read timeout). It gets a fresh
+/// trace id — in the envelope and the `X-Request-Id` header — so even
+/// these failures are attributable from client logs.
+fn read_error_response(status: u16, message: &str) -> Response {
+    let trace_id = TraceId::generate();
+    let mut response = {
+        let _scope = logging::trace_scope(&trace_id);
+        Response::error(status, message)
+    };
+    response.request_id = Some(trace_id);
+    response.close = true;
+    response
+}
+
+/// Runs the router with panic containment — a handler panic becomes a
+/// 500 (and a counter) instead of killing the lane — and owns the
+/// request's trace lifecycle: an inbound `X-Request-Id` (when valid) or
+/// a fresh id becomes the trace id, the handler runs under a
+/// request-scoped recorder teed with the metrics registry, and the
+/// finished trace lands in the debug ring (and the slow-query log when
+/// it crossed `--slow-ms`). The id is echoed back as `X-Request-Id`.
 fn dispatch(state: &AppState, request: &Request) -> (Endpoint, Response) {
     let started = Instant::now();
-    let (endpoint, response) =
-        match std::panic::catch_unwind(AssertUnwindSafe(|| crate::handlers::route(state, request)))
-        {
-            Ok(routed) => routed,
-            Err(_) => {
-                state.metrics.observe_panic();
-                let mut response = Response::error(500, "internal error handling the request");
-                response.close = true;
-                (Endpoint::Other, response)
-            }
-        };
+    let trace_id = request
+        .header("x-request-id")
+        .filter(|v| TraceId::is_valid(v))
+        .map(str::to_string)
+        .unwrap_or_else(TraceId::generate);
+    let recorder = RequestRecorder::new(trace_id.clone());
+    let traced_metrics = MetricsWithTrace::new(&state.metrics, &trace_id);
+    let obs = Tee(&recorder, &traced_metrics);
+    let _scope = logging::trace_scope(&trace_id);
+    let (endpoint, mut response) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        crate::handlers::route(state, request, &obs)
+    })) {
+        Ok(routed) => routed,
+        Err(_) => {
+            state.metrics.observe_panic();
+            logging::log(
+                logging::Level::Error,
+                "serve",
+                &format!("handler panicked on {} {}", request.method, request.path),
+            );
+            let mut response = Response::error(500, "internal error handling the request");
+            response.close = true;
+            (Endpoint::Other, response)
+        }
+    };
     state.metrics.observe_request(
         endpoint,
         response.status,
         started.elapsed().as_micros() as u64,
     );
+    let trace = recorder.finish(&request.method, &request.path, response.status);
+    if let Some(slow_ms) = state.config.slow_ms {
+        if trace.total_ns >= slow_ms.saturating_mul(1_000_000) {
+            state.metrics.observe_slow_request();
+            if let Some(file) = &state.slow_log {
+                use std::io::Write;
+                let mut file = file.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = writeln!(file, "{}", request::emit(&trace));
+            }
+        }
+    }
+    state.traces.push(trace);
+    response.request_id = Some(trace_id);
     (endpoint, response)
 }
 

@@ -6,17 +6,22 @@
 //! the state here owns one [`Router`] over those engines plus the
 //! transport-level registries the handlers share.
 
+use std::fs::{File, OpenOptions};
 use std::path::PathBuf;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use approxrank_engine::{CacheStats, EngineConfig};
 use approxrank_exec::{ExecStats, Executor};
 use approxrank_graph::{DiGraph, PartitionStrategy};
 use approxrank_store::FsyncPolicy;
+use approxrank_trace::{logging, TraceRing};
 
 use crate::metrics::Metrics;
 use crate::router::Router;
+
+/// File name of the slow-query log under the data dir.
+pub const SLOW_LOG_FILE: &str = "slow_requests.jsonl";
 
 /// Tunables for [`crate::Server`], mirrored by the `subrank serve` flags.
 #[derive(Clone, Debug)]
@@ -52,6 +57,13 @@ pub struct ServeConfig {
     /// How nodes are assigned to shards (only meaningful with
     /// `shards > 1`).
     pub partition: PartitionStrategy,
+    /// Slow-query threshold in milliseconds: a finished request whose
+    /// wall-clock time is `>=` this is counted in `/metrics` and (with
+    /// `data_dir`) appended to [`SLOW_LOG_FILE`]. `None` disables the
+    /// slow log; `Some(0)` captures every request.
+    pub slow_ms: Option<u64>,
+    /// How many completed request traces `GET /debug/requests` keeps.
+    pub trace_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +80,8 @@ impl Default for ServeConfig {
             snapshot_interval: Duration::from_secs(30),
             shards: 1,
             partition: PartitionStrategy::Range,
+            slow_ms: None,
+            trace_ring: 128,
         }
     }
 }
@@ -84,6 +98,12 @@ pub struct AppState {
     /// The worker-lane executor, installed by the server at startup so
     /// `/metrics` can expose `pool_*` telemetry.
     pub pool: OnceLock<Arc<Executor>>,
+    /// The last N completed request traces, served by
+    /// `GET /debug/requests`.
+    pub traces: TraceRing,
+    /// Append handle for the slow-query JSONL log (open only when both
+    /// `slow_ms` and `data_dir` are configured).
+    pub slow_log: Option<Mutex<File>>,
 }
 
 impl AppState {
@@ -101,9 +121,12 @@ impl AppState {
         } else {
             Router::sharded(&graph, config.shards, config.partition, engine_config)
         };
+        let slow_log = open_slow_log(&config);
         AppState {
             router,
             metrics: Metrics::new(),
+            traces: TraceRing::new(config.trace_ring),
+            slow_log,
             config,
             pool: OnceLock::new(),
         }
@@ -123,5 +146,39 @@ impl AppState {
     /// Open session count across every engine.
     pub fn session_count(&self) -> usize {
         self.router.session_count()
+    }
+}
+
+/// Opens the slow-query log in append mode when the config asks for one.
+/// Failures degrade to "no slow log" with a warning — observability
+/// must never stop the service from booting.
+fn open_slow_log(config: &ServeConfig) -> Option<Mutex<File>> {
+    let dir = config.data_dir.as_ref()?;
+    config.slow_ms?;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        logging::log(
+            logging::Level::Warn,
+            "serve",
+            &format!(
+                "cannot create data dir {} for the slow log: {e}",
+                dir.display()
+            ),
+        );
+        return None;
+    }
+    match OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(SLOW_LOG_FILE))
+    {
+        Ok(file) => Some(Mutex::new(file)),
+        Err(e) => {
+            logging::log(
+                logging::Level::Warn,
+                "serve",
+                &format!("cannot open slow-query log under {}: {e}", dir.display()),
+            );
+            None
+        }
     }
 }

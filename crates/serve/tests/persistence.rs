@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use approxrank_graph::DiGraph;
-use approxrank_serve::handlers::route;
+use approxrank_serve::handlers::route as route_with_obs;
 use approxrank_serve::http::{Request, Response};
 use approxrank_serve::persist;
 use approxrank_serve::{AppState, Client, FsyncPolicy, ServeConfig, Server};
@@ -64,6 +64,10 @@ fn get(path: &str) -> Request {
         headers: vec![],
         body: vec![],
     }
+}
+
+fn route(state: &AppState, request: &Request) -> (approxrank_serve::metrics::Endpoint, Response) {
+    route_with_obs(state, request, approxrank_trace::null())
 }
 
 fn ok(state: &AppState, request: &Request) -> Response {

@@ -46,6 +46,18 @@ pub struct RecoveredState {
     pub replayed_events: u64,
 }
 
+/// What one [`SessionStore::append_timed`] call did: the record's LSN
+/// plus the durability work the fsync policy triggered for it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AppendReceipt {
+    /// The appended record's log sequence number.
+    pub lsn: u64,
+    /// fsync calls this append issued (0 or 1 under every policy).
+    pub fsyncs: u64,
+    /// Microseconds spent inside those fsync calls.
+    pub fsync_us: u64,
+}
+
 /// Monotonic operation counters, readable at any time for `/metrics`.
 #[derive(Debug, Default)]
 pub struct StoreStats {
@@ -55,6 +67,8 @@ pub struct StoreStats {
     pub wal_bytes: AtomicU64,
     /// Explicit fsync calls issued.
     pub fsyncs: AtomicU64,
+    /// Total microseconds spent inside those fsync calls.
+    pub fsync_us: AtomicU64,
     /// Snapshots written since open.
     pub snapshots: AtomicU64,
     /// Total milliseconds spent writing snapshots.
@@ -126,8 +140,15 @@ impl SessionStore {
 
     /// Appends one lifecycle event to the WAL, returning its LSN.
     pub fn append(&self, event: &WalEvent) -> io::Result<u64> {
+        self.append_timed(event).map(|receipt| receipt.lsn)
+    }
+
+    /// [`SessionStore::append`], also reporting how long the append's
+    /// fsync (if the policy issued one) took — the per-request tracing
+    /// layer attributes this into the active span.
+    pub fn append_timed(&self, event: &WalEvent) -> io::Result<AppendReceipt> {
         let mut wal = self.wal.lock().unwrap();
-        let before = (wal.appends, wal.bytes, wal.fsyncs);
+        let before = (wal.appends, wal.bytes, wal.fsyncs, wal.fsync_us);
         let lsn = wal.append(event)?;
         self.stats
             .wal_appends
@@ -135,18 +156,27 @@ impl SessionStore {
         self.stats
             .wal_bytes
             .fetch_add(wal.bytes - before.1, Ordering::Relaxed);
-        self.stats
-            .fsyncs
-            .fetch_add(wal.fsyncs - before.2, Ordering::Relaxed);
-        Ok(lsn)
+        let fsyncs = wal.fsyncs - before.2;
+        let fsync_us = wal.fsync_us - before.3;
+        self.stats.fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        self.stats.fsync_us.fetch_add(fsync_us, Ordering::Relaxed);
+        Ok(AppendReceipt {
+            lsn,
+            fsyncs,
+            fsync_us,
+        })
     }
 
     /// Forces all appended records to stable storage regardless of the
     /// fsync policy (used at clean shutdown).
     pub fn flush(&self) -> io::Result<()> {
         let mut wal = self.wal.lock().unwrap();
+        let before = wal.fsync_us;
         wal.fsync()?;
         self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .fsync_us
+            .fetch_add(wal.fsync_us - before, Ordering::Relaxed);
         Ok(())
     }
 

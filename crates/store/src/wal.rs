@@ -85,6 +85,7 @@ pub struct Wal {
     pub(crate) appends: u64,
     pub(crate) bytes: u64,
     pub(crate) fsyncs: u64,
+    pub(crate) fsync_us: u64,
 }
 
 impl Wal {
@@ -115,6 +116,7 @@ impl Wal {
             appends: 0,
             bytes: 0,
             fsyncs: 0,
+            fsync_us: 0,
         })
     }
 
@@ -156,7 +158,9 @@ impl Wal {
 
     /// Forces everything appended so far to stable storage.
     pub(crate) fn fsync(&mut self) -> io::Result<()> {
+        let started = Instant::now();
         self.file.sync_data()?;
+        self.fsync_us += started.elapsed().as_micros() as u64;
         self.fsyncs += 1;
         self.last_fsync = Instant::now();
         Ok(())

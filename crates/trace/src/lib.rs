@@ -19,7 +19,12 @@
 //! Collectors live in [`recorder`] (thread-safe in-memory [`Recorder`]),
 //! with exporters in [`jsonl`] (line-delimited JSON, hand-rolled — this
 //! crate has zero dependencies) and [`report`] (aggregated human-readable
-//! tables).
+//! tables). The serving stack's request-scoped layer lives in
+//! [`request`] (trace ids, per-request span trees, the `/debug/requests`
+//! ring) and [`logging`] (structured leveled JSONL logging that stamps
+//! every line with the active trace id); [`Tee`] fans one event stream
+//! out to two observers so a request recorder and the process metrics
+//! both see every span.
 //!
 //! # Example
 //!
@@ -46,12 +51,15 @@
 
 pub mod event;
 pub mod jsonl;
+pub mod logging;
 pub mod recorder;
 pub mod report;
+pub mod request;
 
 pub use event::{Event, IterationEvent};
 pub use recorder::Recorder;
 pub use report::RunReport;
+pub use request::{RequestRecorder, RequestTrace, TraceId, TraceRing};
 
 use std::time::Instant;
 
@@ -177,6 +185,33 @@ impl Stopwatch {
                 ns
             }
             None => 0,
+        }
+    }
+}
+
+/// Fans one event stream out to two observers — the serving layer tees
+/// each request's [`RequestRecorder`] with the process-wide metrics
+/// aggregator so both see every span.
+pub struct Tee<'a>(
+    /// First sink (receives each event first).
+    pub &'a dyn Observer,
+    /// Second sink.
+    pub &'a dyn Observer,
+);
+
+impl Observer for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn record(&self, event: Event) {
+        if self.0.enabled() {
+            if self.1.enabled() {
+                self.1.record(event.clone());
+            }
+            self.0.record(event);
+        } else if self.1.enabled() {
+            self.1.record(event);
         }
     }
 }

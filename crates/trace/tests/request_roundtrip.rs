@@ -1,0 +1,129 @@
+//! Property tests for the request-trace wire format: `emit ∘ parse_line`
+//! must reproduce arbitrary span trees bit-for-bit (gauge floats
+//! included), and the lenient multi-line parser must never lose a good
+//! line to a bad neighbor.
+
+use approxrank_trace::request::{emit, parse_line, parse_lines, RequestTrace, SpanNode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Printable-ish names with JSON-hostile characters mixed in: the
+/// selector appends a quote, backslash, newline, or control byte to an
+/// arbitrary non-control base string.
+fn name_strategy() -> impl Strategy<Value = String> {
+    ("\\PC{1,8}", 0u32..6).prop_map(|(mut base, hostile)| {
+        match hostile {
+            0 => base.push('"'),
+            1 => base.push('\\'),
+            2 => base.push('\n'),
+            3 => base.push('\u{1}'),
+            4 => base.push('é'),
+            _ => {}
+        }
+        base
+    })
+}
+
+/// Arbitrary floats, with non-finite and signed-zero edge cases forced
+/// in regularly.
+fn gauge_strategy() -> impl Strategy<Value = f64> {
+    (any::<f64>(), 0u32..8).prop_map(|(x, pick)| match pick {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => -0.0,
+        3 => 0.1,
+        _ => x,
+    })
+}
+
+fn leaf_strategy() -> impl Strategy<Value = SpanNode> {
+    (
+        name_strategy(),
+        any::<u64>(),
+        any::<u64>(),
+        0u64..1000,
+        vec((name_strategy(), any::<u64>()), 0..4),
+        vec((name_strategy(), gauge_strategy()), 0..4),
+    )
+        .prop_map(
+            |(name, start_ns, elapsed_ns, iterations, counters, gauges)| SpanNode {
+                name,
+                start_ns,
+                elapsed_ns,
+                iterations,
+                counters,
+                gauges,
+                children: Vec::new(),
+            },
+        )
+}
+
+fn tree_strategy() -> impl Strategy<Value = SpanNode> {
+    (
+        leaf_strategy(),
+        vec(leaf_strategy(), 0..4),
+        vec(leaf_strategy(), 0..3),
+    )
+        .prop_map(|(mut root, children, grandchildren)| {
+            root.children = children;
+            if let Some(first) = root.children.first_mut() {
+                first.children = grandchildren;
+            }
+            root
+        })
+}
+
+fn trace_strategy() -> impl Strategy<Value = RequestTrace> {
+    (
+        name_strategy(),
+        name_strategy(),
+        name_strategy(),
+        any::<u64>(),
+        tree_strategy(),
+    )
+        .prop_map(|(trace_id, method, path, total_ns, root)| RequestTrace {
+            trace_id,
+            method,
+            path,
+            status: (total_ns % 600) as u16,
+            total_ns,
+            root,
+        })
+}
+
+/// NaN gauges break `PartialEq`; compare through a second emit instead,
+/// which is the actual bitwise guarantee (shortest round-trip floats).
+fn assert_bitwise_equal(a: &RequestTrace, b: &RequestTrace) {
+    assert_eq!(emit(a), emit(b));
+}
+
+proptest! {
+    #[test]
+    fn emit_parse_round_trips_bitwise(trace in trace_strategy()) {
+        let line = emit(&trace);
+        prop_assert!(!line.contains('\n'), "emit must stay single-line");
+        let parsed = parse_line(&line).expect("emitted line must parse");
+        assert_bitwise_equal(&parsed, &trace);
+    }
+
+    #[test]
+    fn torn_neighbors_never_lose_good_lines(trace in trace_strategy(), cut in 1usize..200) {
+        let good = emit(&trace);
+        // Truncate at a char boundary strictly inside the line.
+        let limit = cut.min(good.len() - 1);
+        let end = (0..=limit).rev().find(|&i| good.is_char_boundary(i)).unwrap();
+        let torn = &good[..end];
+        let input = format!("{good}\n{torn}\n{good}\n");
+        let parsed = parse_lines(&input);
+        // Both intact lines always survive; the torn line either parses
+        // (a cut inside trailing digits can still be valid JSON — it
+        // just isn't the same trace) or is counted as skipped.
+        prop_assert_eq!(
+            parsed.traces.len() + parsed.skipped,
+            if torn.is_empty() { 2 } else { 3 }
+        );
+        prop_assert!(parsed.traces.len() >= 2);
+        assert_bitwise_equal(&parsed.traces[0], &trace);
+        assert_bitwise_equal(parsed.traces.last().unwrap(), &trace);
+    }
+}

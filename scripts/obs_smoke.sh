@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Observability smoke test: build release, boot a 2-shard durable server
+# with `--slow-ms 0` (capture every request), and assert the tracing
+# pipeline end to end:
+#
+#   - an inbound `X-Request-Id` is adopted and echoed back on the response;
+#   - a boundary-straddling /rank produces ONE trace whose span tree
+#     covers router dispatch, both shard engines (cache probe + solve),
+#     and the cross-shard merge;
+#   - a session create reaches the WAL (a `store.wal_append` span);
+#   - `GET /debug/requests` serves a non-empty ring of well-formed traces;
+#   - the slow-query JSONL parses (via `subrank report --requests`);
+#   - `/metrics` exposes the per-layer histograms;
+#   - error envelopes carry a `trace_id`;
+#   - `loadgen --capture` prints a server-side layer breakdown.
+#
+# Exits nonzero on any missing span, header, metric, or parse failure.
+set -euo pipefail
+
+PORT="${OBS_SMOKE_PORT:-7893}"
+ADDR="127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 "${PID:-}" 2>/dev/null || true; rm -rf "${WORKDIR}"' EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+say "building release binaries"
+cargo build --release -p approxrank-cli -p approxrank-bench
+
+SUBRANK=target/release/subrank
+LOADGEN=target/release/loadgen
+
+say "generating a graph"
+"${SUBRANK}" gen --dataset au --pages 2000 --out "${WORKDIR}/web.edges" >/dev/null
+
+say "booting a 2-shard durable server with --slow-ms 0"
+"${SUBRANK}" serve --graph "${WORKDIR}/web.edges" --addr "${ADDR}" --threads 4 \
+  --shards 2 --data-dir "${WORKDIR}/data" --fsync always --slow-ms 0 \
+  >"${WORKDIR}/serve.out" 2>"${WORKDIR}/serve.err" &
+PID=$!
+for _ in $(seq 1 100); do
+  if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "${PID}" 2>/dev/null; then
+    echo "server died during startup" >&2
+    cat "${WORKDIR}/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://${ADDR}/healthz" >/dev/null
+
+say "inbound X-Request-Id must be adopted and echoed back"
+# Range partitioning of 2000 nodes puts the shard boundary at 1000; this
+# membership straddles it, so the request fans out to both engines.
+TRACE_ID="obsmoke-cross-rank"
+curl -sfD "${WORKDIR}/rank.headers" -o "${WORKDIR}/rank.json" \
+  -H "X-Request-Id: ${TRACE_ID}" \
+  -X POST "http://${ADDR}/rank" -d '{"members":[998,999,1000,1001]}'
+grep -qi "^x-request-id: ${TRACE_ID}" "${WORKDIR}/rank.headers"
+grep -q '"shards":2' "${WORKDIR}/rank.json"
+
+say "a session create must reach the WAL"
+curl -sf -X POST "http://${ADDR}/session" -d '{"members":[1500,1501,1502]}' >/dev/null
+
+say "/debug/requests serves well-formed traces covering every layer"
+curl -sf "http://${ADDR}/debug/requests" >"${WORKDIR}/requests.json"
+python3 - "${WORKDIR}/requests.json" "${TRACE_ID}" <<'PY'
+import json, sys
+
+traces = json.load(open(sys.argv[1]))
+assert traces, "trace ring is empty"
+
+def walk(node, depth=0):
+    assert isinstance(node["name"], str) and node["name"], node
+    assert node["elapsed_ns"] >= 1, node
+    for child in node["children"]:
+        yield from walk(child, depth + 1)
+    yield node["name"]
+
+for t in traces:
+    assert t["trace_id"] and t["method"] and t["path"], t
+    assert t["status"] >= 200, t
+    list(walk(t["root"]))  # well-formed span tree, no crash
+
+cross = [t for t in traces if t["trace_id"] == sys.argv[2]]
+assert len(cross) == 1, f"expected one adopted-id trace, got {len(cross)}"
+spans = list(walk(cross[0]["root"]))
+for needed in ["router.dispatch", "router.shard0", "router.shard1", "router.merge"]:
+    assert needed in spans, f"missing {needed} in {spans}"
+assert spans.count("engine.cache_probe") >= 2, spans  # both shard engines
+assert spans.count("engine.solve") >= 2, spans
+
+wal = [t for t in traces if "store.wal_append" in list(walk(t["root"]))]
+assert wal, "no trace reached the WAL"
+print(f"   {len(traces)} traces; cross-shard trace has {len(spans)} spans")
+PY
+
+say "slow-query log captures every request and parses"
+test -s "${WORKDIR}/data/slow_requests.jsonl"
+"${SUBRANK}" report --requests "${WORKDIR}/data/slow_requests.jsonl" >"${WORKDIR}/report.txt"
+grep -q 'time by layer' "${WORKDIR}/report.txt"
+grep -q 'engine' "${WORKDIR}/report.txt"
+grep -q "${TRACE_ID}" "${WORKDIR}/data/slow_requests.jsonl"
+
+say "per-layer histograms are exposed in /metrics"
+curl -sf "http://${ADDR}/metrics" >"${WORKDIR}/metrics.txt"
+grep -q '^engine_cache_probe_us_count ' "${WORKDIR}/metrics.txt"
+grep -q '^engine_cache_probe_us_bucket{le="+Inf"} ' "${WORKDIR}/metrics.txt"
+grep -q '^store_fsync_us_count ' "${WORKDIR}/metrics.txt"
+grep -q '^solve_iterations_count ' "${WORKDIR}/metrics.txt"
+grep -Eq '^engine_cache_probe_us_slowest\{trace_id="[^"]+"\} ' "${WORKDIR}/metrics.txt"
+grep -Eq '^approxrank_slow_requests_total [1-9]' "${WORKDIR}/metrics.txt"
+
+say "error envelopes carry a trace_id"
+STATUS="$(curl -s -o "${WORKDIR}/err.json" -w '%{http_code}' "http://${ADDR}/session/999999")"
+test "${STATUS}" = "404" || { echo "expected 404, got ${STATUS}" >&2; exit 1; }
+grep -q '"trace_id":' "${WORKDIR}/err.json"
+
+say "loadgen --capture prints a server-side layer breakdown"
+"${LOADGEN}" --addr "${ADDR}" --clients 2 --requests 10 --keys 4 --members 8 \
+  --capture --capture-out "${WORKDIR}/capture.jsonl" >"${WORKDIR}/loadgen.txt"
+grep -q 'server-side traces via /debug/requests' "${WORKDIR}/loadgen.txt"
+grep -q 'engine' "${WORKDIR}/loadgen.txt"
+test -s "${WORKDIR}/capture.jsonl"
+"${SUBRANK}" report --requests "${WORKDIR}/capture.jsonl" --top 2 >"${WORKDIR}/report2.txt"
+grep -q 'slowest 2 requests' "${WORKDIR}/report2.txt"
+
+say "structured log lines carry trace ids"
+grep -q '"level":"info"' "${WORKDIR}/serve.err"
+
+say "no panics in the server log"
+! grep -i 'panic' "${WORKDIR}/serve.err"
+
+say "observability smoke OK"
