@@ -2,6 +2,7 @@
 
 use approxrank_graph::PartitionStrategy;
 use approxrank_serve::FsyncPolicy;
+use approxrank_trace::logging::Level;
 
 /// Which subgraph-ranking algorithm `subrank rank` runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -197,6 +198,26 @@ pub struct ServeArgs {
     /// Slow-query threshold in milliseconds (`0` captures every
     /// request); `None` disables the slow-query log.
     pub slow_ms: Option<u64>,
+    /// Shard-server mode: serve shard `K` of the `--shards` partitioning
+    /// over the binary RPC protocol instead of HTTP. `None` runs the
+    /// HTTP tier.
+    pub shard_server: Option<u32>,
+    /// Remote router mode: one replica address list per shard, in shard
+    /// order (`--remote-shard host:port[,host:port…]`, repeated). Empty
+    /// keeps every shard in-process.
+    pub remote_shards: Vec<Vec<String>>,
+    /// Minimum stderr log level (`debug|info|warn|error`).
+    pub log_level: Option<Level>,
+    /// RPC connect timeout per replica dial, in milliseconds.
+    pub rpc_connect_timeout_ms: u64,
+    /// RPC read/write timeout per call, in milliseconds.
+    pub rpc_io_timeout_ms: u64,
+    /// Attempts per RPC call before answering 503 (1 = no retry).
+    pub rpc_attempts: u32,
+    /// Base retry backoff in milliseconds (doubles per attempt).
+    pub rpc_backoff_ms: u64,
+    /// Replica health-probe cadence in milliseconds (0 disables).
+    pub rpc_health_interval_ms: u64,
 }
 
 /// `subrank partition` arguments.
@@ -270,6 +291,11 @@ pub const USAGE: &str = "usage:
                  [--data-dir DIR] [--fsync always|never|interval|interval:MS]
                  [--snapshot-interval-ms 30000]
                  [--shards N] [--partition range|scc|hash] [--slow-ms MS]
+                 [--log-level debug|info|warn|error]
+                 [--shard-server K]                    (serve shard K over RPC, not HTTP)
+                 [--remote-shard ADDR[,ADDR...]]...    (route to remote shards, one flag per shard)
+                 [--rpc-timeout-ms 10000] [--rpc-connect-timeout-ms 1000]
+                 [--rpc-attempts 3] [--rpc-backoff-ms 50] [--rpc-health-interval-ms 1000]
   subrank partition --graph FILE --shards N [--partition range|scc|hash] --out DIR";
 
 /// Flags that take no value; their presence alone means "on".
@@ -302,6 +328,15 @@ impl Options {
     fn take(&mut self, name: &str) -> Option<String> {
         let idx = self.pairs.iter().position(|(n, _)| n == name)?;
         Some(self.pairs.remove(idx).1)
+    }
+
+    /// Takes every occurrence of a repeatable flag, in command-line order.
+    fn take_all(&mut self, name: &str) -> Vec<String> {
+        let mut values = Vec::new();
+        while let Some(v) = self.take(name) {
+            values.push(v);
+        }
+        values
     }
 
     fn flag(&mut self, name: &str) -> bool {
@@ -468,6 +503,41 @@ impl Cli {
                                 .map_err(|e| format!("bad --slow-ms value {v:?}: {e}"))?,
                         ),
                     },
+                    shard_server: match opts.take("shard-server") {
+                        None => None,
+                        Some(v) => Some(
+                            v.parse()
+                                .map_err(|e| format!("bad --shard-server value {v:?}: {e}"))?,
+                        ),
+                    },
+                    remote_shards: opts
+                        .take_all("remote-shard")
+                        .iter()
+                        .map(|list| {
+                            let addrs: Vec<String> = list
+                                .split(',')
+                                .map(str::trim)
+                                .filter(|a| !a.is_empty())
+                                .map(str::to_string)
+                                .collect();
+                            if addrs.is_empty() {
+                                Err(format!("--remote-shard {list:?} lists no addresses"))
+                            } else {
+                                Ok(addrs)
+                            }
+                        })
+                        .collect::<Result<_, _>>()?,
+                    log_level: match opts.take("log-level") {
+                        None => None,
+                        Some(v) => {
+                            Some(Level::parse(&v).map_err(|e| format!("bad --log-level: {e}"))?)
+                        }
+                    },
+                    rpc_connect_timeout_ms: opts.numeric("rpc-connect-timeout-ms", 1_000u64)?,
+                    rpc_io_timeout_ms: opts.numeric("rpc-timeout-ms", 10_000u64)?,
+                    rpc_attempts: opts.numeric("rpc-attempts", 3u32)?,
+                    rpc_backoff_ms: opts.numeric("rpc-backoff-ms", 50u64)?,
+                    rpc_health_interval_ms: opts.numeric("rpc-health-interval-ms", 1_000u64)?,
                 };
                 if args.threads == 0 {
                     return Err("--threads must be at least 1".into());
@@ -480,6 +550,48 @@ impl Cli {
                 }
                 if args.snapshot_interval_ms == 0 {
                     return Err("--snapshot-interval-ms must be at least 1".into());
+                }
+                if args.rpc_attempts == 0 {
+                    return Err("--rpc-attempts must be at least 1".into());
+                }
+                if let Some(k) = args.shard_server {
+                    if args.shards < 2 {
+                        return Err("--shard-server needs --shards of at least 2".into());
+                    }
+                    if k as usize >= args.shards {
+                        return Err(format!(
+                            "--shard-server {k} is out of range for --shards {}",
+                            args.shards
+                        ));
+                    }
+                    if !args.remote_shards.is_empty() {
+                        return Err(
+                            "--shard-server and --remote-shard are different roles; pick one"
+                                .into(),
+                        );
+                    }
+                }
+                if !args.remote_shards.is_empty() {
+                    if args.remote_shards.len() < 2 {
+                        return Err(
+                            "remote mode needs at least two --remote-shard lists (one per shard)"
+                                .into(),
+                        );
+                    }
+                    if args.shards != 1 {
+                        return Err(
+                            "--shards conflicts with --remote-shard: the shard count is the \
+                             number of --remote-shard lists"
+                                .into(),
+                        );
+                    }
+                    if args.data_dir.is_some() {
+                        return Err(
+                            "--data-dir conflicts with --remote-shard: shard servers own \
+                             persistence"
+                                .into(),
+                        );
+                    }
                 }
                 Command::Serve(args)
             }
@@ -791,6 +903,110 @@ mod tests {
         assert_eq!(a.slow_ms, Some(0));
         let err = Cli::parse(&argv("serve --graph g --slow-ms soon")).unwrap_err();
         assert!(err.contains("--slow-ms"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_shard_server() {
+        let cli = Cli::parse(&argv("serve --graph g --shards 2 --shard-server 1")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.shard_server, Some(1));
+        assert_eq!(a.shards, 2);
+        // Default is the HTTP tier.
+        let cli = Cli::parse(&argv("serve --graph g")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.shard_server, None);
+        // A shard server must know the full partitioning, and its index
+        // must be inside it.
+        assert!(Cli::parse(&argv("serve --graph g --shard-server 0"))
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(
+            Cli::parse(&argv("serve --graph g --shards 2 --shard-server 2"))
+                .unwrap_err()
+                .contains("out of range")
+        );
+        // One process is either a shard server or a router, never both.
+        assert!(Cli::parse(&argv(
+            "serve --graph g --shards 2 --shard-server 0 --remote-shard h:1 --remote-shard h:2"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_serve_remote_shards() {
+        let cli = Cli::parse(&argv(
+            "serve --graph g --remote-shard 10.0.0.1:7900,10.0.0.2:7900 --remote-shard 10.0.0.3:7900",
+        ))
+        .unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(
+            a.remote_shards,
+            vec![
+                vec!["10.0.0.1:7900".to_string(), "10.0.0.2:7900".to_string()],
+                vec!["10.0.0.3:7900".to_string()],
+            ]
+        );
+        // Remote mode needs at least two shards, owns the shard count,
+        // and leaves persistence to the shard servers.
+        assert!(Cli::parse(&argv("serve --graph g --remote-shard h:1"))
+            .unwrap_err()
+            .contains("at least two"));
+        assert!(Cli::parse(&argv(
+            "serve --graph g --shards 2 --remote-shard h:1 --remote-shard h:2"
+        ))
+        .unwrap_err()
+        .contains("--shards"));
+        assert!(Cli::parse(&argv(
+            "serve --graph g --data-dir d --remote-shard h:1 --remote-shard h:2"
+        ))
+        .unwrap_err()
+        .contains("--data-dir"));
+        assert!(Cli::parse(&argv("serve --graph g --remote-shard ,"))
+            .unwrap_err()
+            .contains("no addresses"));
+    }
+
+    #[test]
+    fn parses_serve_rpc_tunables_and_log_level() {
+        let cli = Cli::parse(&argv(
+            "serve --graph g --remote-shard h:1 --remote-shard h:2 \
+             --rpc-timeout-ms 2500 --rpc-connect-timeout-ms 400 --rpc-attempts 5 \
+             --rpc-backoff-ms 20 --rpc-health-interval-ms 250 --log-level debug",
+        ))
+        .unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.rpc_io_timeout_ms, 2_500);
+        assert_eq!(a.rpc_connect_timeout_ms, 400);
+        assert_eq!(a.rpc_attempts, 5);
+        assert_eq!(a.rpc_backoff_ms, 20);
+        assert_eq!(a.rpc_health_interval_ms, 250);
+        assert_eq!(a.log_level, Some(Level::Debug));
+
+        let cli = Cli::parse(&argv("serve --graph g")).unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.rpc_io_timeout_ms, 10_000);
+        assert_eq!(a.rpc_connect_timeout_ms, 1_000);
+        assert_eq!(a.rpc_attempts, 3);
+        assert_eq!(a.rpc_backoff_ms, 50);
+        assert_eq!(a.rpc_health_interval_ms, 1_000);
+        assert_eq!(a.log_level, None);
+
+        assert!(Cli::parse(&argv("serve --graph g --rpc-attempts 0"))
+            .unwrap_err()
+            .contains("--rpc-attempts"));
+        assert!(Cli::parse(&argv("serve --graph g --log-level loud"))
+            .unwrap_err()
+            .contains("--log-level"));
     }
 
     #[test]

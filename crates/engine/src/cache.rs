@@ -31,7 +31,7 @@ pub struct CacheKey {
 }
 
 /// A memoized ranking answer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CachedResult {
     /// `(global page id, score)` in member order.
     pub scores: Arc<Vec<(u32, f64)>>,

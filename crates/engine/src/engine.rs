@@ -71,7 +71,7 @@ pub struct EngineSession {
 
 /// A validated ranking request: members sorted, deduplicated, and all
 /// `< N` (the transport layer owns wire-format validation).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RankRequest {
     /// Sorted, deduplicated member ids, a proper subset of the graph.
     pub members: Vec<u32>,
@@ -99,10 +99,14 @@ pub enum EngineError {
     BadRequest(String),
     /// No session with that id (HTTP 404).
     NoSuchSession(u64),
+    /// The engine cannot currently answer — a remote engine's replicas
+    /// are all unreachable, or the retry budget ran out (HTTP 503).
+    /// Retryable by the caller; the request itself is well-formed.
+    Unavailable(String),
 }
 
 /// A read-only snapshot of one session, for `GET /session/{id}`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SessionView {
     /// Current members in ascending order.
     pub members: Vec<u32>,

@@ -30,6 +30,7 @@
 pub mod algorithm;
 pub mod cache;
 mod engine;
+mod handle;
 pub mod lru;
 mod persist;
 
@@ -38,4 +39,5 @@ pub use cache::{cache_key, CacheKey, CacheStats, CachedResult, ShardedCache};
 pub use engine::{
     Engine, EngineConfig, EngineError, EngineSession, RankOutcome, RankRequest, SessionView,
 };
+pub use handle::EngineHandle;
 pub use persist::RecoverySummary;

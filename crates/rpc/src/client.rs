@@ -1,0 +1,47 @@
+//! A blocking RPC client: one TCP connection, one in-flight call.
+//!
+//! [`RpcClient`] is deliberately dumb — connect, send a frame, read a
+//! frame. Timeouts, retries, replica selection, and health tracking all
+//! live a layer up in [`crate::RemoteEngine`]; any [`io::Error`] from
+//! here (including a poisoned frame) means "this connection is dead,
+//! reconnect or fail over".
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{self, RpcRequest, RpcResponse};
+
+/// One connection to a shard server.
+pub struct RpcClient {
+    stream: TcpStream,
+}
+
+impl RpcClient {
+    /// Connects to `addr` (host:port), bounding the TCP handshake by
+    /// `connect_timeout` and every subsequent read/write by `io_timeout`.
+    pub fn connect(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> io::Result<RpcClient> {
+        let sock_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: no address"))
+        })?;
+        let stream = TcpStream::connect_timeout(&sock_addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        Ok(RpcClient { stream })
+    }
+
+    /// Sends one request and reads its response. Any error poisons the
+    /// connection: the caller must drop this client and reconnect.
+    pub fn call(&mut self, trace_id: &str, request: &RpcRequest) -> io::Result<RpcResponse> {
+        let payload = wire::encode_request(trace_id, request);
+        wire::write_frame(&mut self.stream, &payload)?;
+        self.stream.flush()?;
+        let response = wire::read_frame(&mut self.stream)?;
+        Ok(wire::decode_response(&response)?)
+    }
+}

@@ -1,0 +1,377 @@
+//! End-to-end RPC tests: real shard servers on ephemeral ports, driven
+//! by the raw [`RpcClient`] and the failover-aware [`RemoteEngine`].
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use approxrank_engine::{Algorithm, Engine, EngineConfig, EngineError, EngineHandle, RankRequest};
+use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
+use approxrank_rpc::wire::{RpcRequest, RpcResponse};
+use approxrank_rpc::{RemoteConfig, RpcClient, ShardServer};
+use approxrank_trace::null;
+
+/// A graph with enough structure for multi-page subgraphs.
+fn test_graph() -> DiGraph {
+    let n = 120u32;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        edges.push((i, (i * 7 + 3) % n));
+    }
+    DiGraph::from_edges(n as usize, &edges)
+}
+
+/// One engine over the whole graph (the 1-shard deployment).
+fn global_engine() -> Arc<Engine> {
+    Arc::new(Engine::new_global(
+        Arc::new(test_graph()),
+        EngineConfig::default(),
+    ))
+}
+
+/// Engine `k` of a 2-shard partitioning, configured exactly as the
+/// local sharded router (and the CLI's shard-server mode) configures it.
+fn shard_engine(k: usize) -> Arc<Engine> {
+    let pg = PartitionedGraph::build(&test_graph(), 2, PartitionStrategy::Range);
+    let shard = pg.into_shards().into_iter().nth(k).unwrap();
+    Arc::new(Engine::new_shard(
+        Arc::new(shard),
+        EngineConfig {
+            first_session_id: k as u64 + 1,
+            session_id_stride: 2,
+            ..EngineConfig::default()
+        },
+    ))
+}
+
+/// Boots a server on an ephemeral port; returns (address, server).
+/// The serving thread exits when the returned server's handle shuts it
+/// down (each test's teardown).
+struct Running {
+    addr: String,
+    server: Arc<ShardServer>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Running {
+    fn start(engine: Arc<Engine>) -> Running {
+        Self::bind_at("127.0.0.1:0", engine)
+    }
+
+    fn bind_at(addr: &str, engine: Arc<Engine>) -> Running {
+        let server =
+            Arc::new(ShardServer::bind(addr, engine, Duration::from_secs(3600)).expect("bind"));
+        let addr = server.local_addr().expect("local addr").to_string();
+        let thread = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                server.serve().expect("serve");
+            })
+        };
+        Running {
+            addr,
+            server,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.server.handle().shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("serve thread panicked");
+        }
+    }
+}
+
+impl Drop for Running {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn rank_request(members: &[u32]) -> RankRequest {
+    RankRequest {
+        members: members.to_vec(),
+        algorithm: Algorithm::ApproxRank,
+        damping: 0.85,
+        tolerance: 1e-8,
+    }
+}
+
+/// A fast-failing config for tests that exercise the retry machinery.
+fn quick_config() -> RemoteConfig {
+    RemoteConfig {
+        connect_timeout: Duration::from_millis(250),
+        io_timeout: Duration::from_millis(2_000),
+        attempts: 2,
+        backoff_base: Duration::from_millis(5),
+        health_interval: Duration::ZERO, // no background checker
+    }
+}
+
+#[test]
+fn raw_client_round_trips_every_op() {
+    let server = Running::start(global_engine());
+    let mut client =
+        RpcClient::connect(&server.addr, Duration::from_secs(1), Duration::from_secs(5))
+            .expect("connect");
+
+    // Ping reports the engine's identity.
+    let RpcResponse::Pong(info) = client.call("", &RpcRequest::Ping).unwrap() else {
+        panic!("expected Pong");
+    };
+    assert_eq!(info.shard_id, None);
+    assert_eq!(info.global_nodes, 120);
+
+    // Rank matches the engine called directly, bit for bit.
+    let request = rank_request(&[3, 4, 5, 6]);
+    let direct = server.server.engine().rank(&request, null()).unwrap();
+    let RpcResponse::Ranked { result, .. } =
+        client.call("t-1", &RpcRequest::Rank(request)).unwrap()
+    else {
+        panic!("expected Ranked");
+    };
+    assert_eq!(result, direct.result);
+
+    // Session lifecycle over the wire.
+    let RpcResponse::SessionCreated { id, .. } = client
+        .call(
+            "t-2",
+            &RpcRequest::SessionCreate {
+                members: vec![10, 11, 12],
+                damping: 0.85,
+                tolerance: 1e-8,
+            },
+        )
+        .unwrap()
+    else {
+        panic!("expected SessionCreated");
+    };
+    let RpcResponse::SessionUpdated { members, .. } = client
+        .call(
+            "t-3",
+            &RpcRequest::SessionUpdate {
+                id,
+                add: vec![13],
+                remove: vec![10],
+            },
+        )
+        .unwrap()
+    else {
+        panic!("expected SessionUpdated");
+    };
+    assert_eq!(members, vec![11, 12, 13]);
+    let RpcResponse::Session(Some(view)) =
+        client.call("t-4", &RpcRequest::SessionGet { id }).unwrap()
+    else {
+        panic!("expected a session view");
+    };
+    assert_eq!(view.members, vec![11, 12, 13]);
+    let RpcResponse::SessionDeleted(true) = client
+        .call("t-5", &RpcRequest::SessionDelete { id })
+        .unwrap()
+    else {
+        panic!("expected deletion");
+    };
+
+    // Stats reflect the traffic above.
+    let RpcResponse::Stats(stats) = client.call("", &RpcRequest::Stats).unwrap() else {
+        panic!("expected Stats");
+    };
+    assert_eq!(stats.session_count, 0);
+    assert!(stats.cache.misses >= 1);
+}
+
+#[test]
+fn remote_engine_matches_local_engine_bitwise() {
+    let mut server = Running::start(global_engine());
+    let remote = Arc::new(approxrank_rpc::RemoteEngine::new(
+        0,
+        vec![server.addr.clone()],
+        quick_config(),
+    ));
+    let local = global_engine();
+    let request = rank_request(&[1, 2, 3, 4, 5]);
+    let via_rpc = remote.rank(&request, null()).unwrap();
+    let direct = local.rank(&request, null()).unwrap();
+    assert_eq!(via_rpc.result, direct.result);
+    let metrics = remote.metrics();
+    assert!(metrics.requests >= 1);
+    assert_eq!(metrics.unavailable, 0);
+    server.stop();
+}
+
+#[test]
+fn retry_budget_exhaustion_is_unavailable_with_context() {
+    // A freshly bound-then-dropped listener gives a port with nothing
+    // behind it.
+    let port = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().port()
+    };
+    let remote = Arc::new(approxrank_rpc::RemoteEngine::new(
+        7,
+        vec![format!("127.0.0.1:{port}")],
+        quick_config(),
+    ));
+    let err = remote.rank(&rank_request(&[1, 2]), null()).unwrap_err();
+    let EngineError::Unavailable(msg) = err else {
+        panic!("expected Unavailable, got {err:?}");
+    };
+    assert!(msg.contains("shard 7"), "{msg}");
+    assert!(msg.contains("2 attempts"), "{msg}");
+    let metrics = remote.metrics();
+    assert_eq!(metrics.unavailable, 1);
+    assert!(metrics.retries >= 1);
+    assert_eq!(metrics.replicas_healthy, 0);
+}
+
+#[test]
+fn failover_to_the_surviving_replica() {
+    let mut a = Running::start(global_engine());
+    let mut b = Running::start(global_engine());
+    let remote = Arc::new(approxrank_rpc::RemoteEngine::new(
+        0,
+        vec![a.addr.clone(), b.addr.clone()],
+        quick_config(),
+    ));
+    let request = rank_request(&[20, 21, 22]);
+    let before = remote.rank(&request, null()).unwrap();
+
+    // Kill replica A; every call must still succeed via B.
+    a.stop();
+    for _ in 0..4 {
+        let after = remote.rank(&request, null()).unwrap();
+        assert_eq!(after.result, before.result);
+    }
+    let metrics = remote.metrics();
+    assert_eq!(metrics.unavailable, 0, "{metrics:?}");
+    assert_eq!(metrics.replicas_healthy, 1, "{metrics:?}");
+    b.stop();
+}
+
+#[test]
+fn health_checker_recovers_a_late_replica() {
+    // Reserve a port, leave it dead, and point the remote at it.
+    let reserved = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = reserved.local_addr().unwrap().to_string();
+    drop(reserved);
+    let config = RemoteConfig {
+        health_interval: Duration::from_millis(50),
+        ..quick_config()
+    };
+    let remote = Arc::new(approxrank_rpc::RemoteEngine::new(
+        0,
+        vec![addr.clone()],
+        config,
+    ));
+    assert!(remote.rank(&rank_request(&[1, 2]), null()).is_err());
+    assert_eq!(remote.metrics().replicas_healthy, 0);
+
+    // The replica comes up late on the same port; the background health
+    // checker must mark it healthy without any request traffic.
+    let mut server = Running::bind_at(&addr, global_engine());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while remote.metrics().replicas_healthy == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica never recovered: {:?}",
+            remote.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    remote.rank(&rank_request(&[1, 2]), null()).unwrap();
+    server.stop();
+}
+
+#[test]
+fn shard_engine_sessions_ride_their_stride_over_rpc() {
+    let mut server = Running::start(shard_engine(1));
+    let mut client =
+        RpcClient::connect(&server.addr, Duration::from_secs(1), Duration::from_secs(5))
+            .expect("connect");
+    let RpcResponse::Pong(info) = client.call("", &RpcRequest::Ping).unwrap() else {
+        panic!("expected Pong");
+    };
+    assert_eq!(info.shard_id, Some(1));
+
+    // Shard 1 of 2 owns the upper half of the 120-node range split.
+    let RpcResponse::SessionCreated { id, .. } = client
+        .call(
+            "",
+            &RpcRequest::SessionCreate {
+                members: vec![100, 101, 102],
+                damping: 0.85,
+                tolerance: 1e-8,
+            },
+        )
+        .unwrap()
+    else {
+        panic!("expected SessionCreated");
+    };
+    // Strided ids: engine k=1 of S=2 hands out 2, 4, 6, …
+    assert_eq!(id % 2, 0);
+
+    // A member resident on the *other* shard is a definitive 400.
+    let RpcResponse::Error(fault) = client
+        .call(
+            "",
+            &RpcRequest::SessionCreate {
+                members: vec![1, 2],
+                damping: 0.85,
+                tolerance: 1e-8,
+            },
+        )
+        .unwrap()
+    else {
+        panic!("expected an error");
+    };
+    assert!(matches!(
+        fault,
+        approxrank_rpc::wire::RpcFault::BadRequest(_)
+    ));
+    server.stop();
+}
+
+#[test]
+fn torn_frames_and_garbage_never_desync_the_server() {
+    use std::io::Write;
+    let mut server = Running::start(global_engine());
+
+    // A well-formed frame, truncated at every prefix length: the server
+    // must drop the connection (or keep waiting) without poisoning the
+    // listener for the next client.
+    let frame = {
+        let mut buf = Vec::new();
+        approxrank_rpc::wire::write_frame(
+            &mut buf,
+            &approxrank_rpc::wire::encode_request("trace", &RpcRequest::Ping),
+        )
+        .unwrap();
+        buf
+    };
+    for cut in 0..frame.len() {
+        let mut conn = std::net::TcpStream::connect(&server.addr).unwrap();
+        conn.write_all(&frame[..cut]).unwrap();
+        drop(conn); // torn mid-frame
+    }
+    // Garbage with a valid length prefix but a wrong CRC.
+    {
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let mut conn = std::net::TcpStream::connect(&server.addr).unwrap();
+        conn.write_all(&bad).unwrap();
+        drop(conn);
+    }
+
+    // After all of that, a fresh client still gets clean answers.
+    let mut client =
+        RpcClient::connect(&server.addr, Duration::from_secs(1), Duration::from_secs(5))
+            .expect("connect");
+    let RpcResponse::Pong(_) = client.call("", &RpcRequest::Ping).unwrap() else {
+        panic!("expected Pong");
+    };
+    server.stop();
+}

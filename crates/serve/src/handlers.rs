@@ -104,6 +104,7 @@ fn engine_error(e: EngineError) -> Response {
     match e {
         EngineError::BadRequest(msg) => Response::error(400, &msg),
         EngineError::NoSuchSession(id) => Response::error(404, &format!("no session {id}")),
+        EngineError::Unavailable(msg) => Response::error(503, &msg),
     }
 }
 
@@ -174,7 +175,7 @@ fn metrics(state: &AppState) -> Response {
         // line names a single-store deployment always had.
         let (mut appends, mut bytes, mut fsyncs, mut snap_ms) = (0u64, 0u64, 0u64, 0u64);
         let (mut snaps, mut recovered, mut truncated) = (0u64, 0u64, 0u64);
-        for engine in state.router.engines() {
+        for engine in state.router.local_engines() {
             if let Some(store) = engine.store() {
                 let s = store.stats();
                 appends += s.wal_appends.load(Relaxed);
@@ -198,7 +199,7 @@ fn metrics(state: &AppState) -> Response {
         state.router.num_shards(),
         state.router.cross_rank_requests()
     ));
-    for (k, engine) in state.router.engines().iter().enumerate() {
+    for (k, engine) in state.router.handles().iter().enumerate() {
         extra.push_str(&format!(
             "shard_rank_requests{{shard=\"{k}\"}} {}\n\
              shard_sessions_open{{shard=\"{k}\"}} {}\n\
@@ -206,6 +207,33 @@ fn metrics(state: &AppState) -> Response {
             state.router.shard_rank_requests(k),
             engine.session_count(),
             engine.cache_stats().entries
+        ));
+    }
+    if state.router.is_remote() {
+        // Transport health of the remote fan-out: fleet totals plus
+        // per-shard replica liveness so a dashboard can spot a degraded
+        // replica set before it exhausts its retry budget.
+        let (mut requests, mut io_errors, mut retries, mut failovers) = (0u64, 0u64, 0u64, 0u64);
+        let (mut unavailable, mut probes) = (0u64, 0u64);
+        for remote in state.router.remote_engines() {
+            let m = remote.metrics();
+            requests += m.requests;
+            io_errors += m.io_errors;
+            retries += m.retries;
+            failovers += m.failovers;
+            unavailable += m.unavailable;
+            probes += m.health_probes;
+            extra.push_str(&format!(
+                "rpc_replicas{{shard=\"{k}\"}} {total}\nrpc_replicas_healthy{{shard=\"{k}\"}} {healthy}\n",
+                k = remote.shard(),
+                total = m.replicas_total,
+                healthy = m.replicas_healthy,
+            ));
+        }
+        extra.push_str(&format!(
+            "rpc_requests_total {requests}\nrpc_io_errors_total {io_errors}\n\
+             rpc_retries_total {retries}\nrpc_failovers_total {failovers}\n\
+             rpc_unavailable_total {unavailable}\nrpc_health_probes_total {probes}\n",
         ));
     }
     if let Some(pool) = state.pool_stats() {
@@ -481,8 +509,10 @@ fn session_update(state: &AppState, id: u64, request: &Request, obs: &dyn Observ
 }
 
 fn session_get(state: &AppState, id: u64) -> Response {
-    let Some(view) = state.router.session_view(id) else {
-        return Response::error(404, &format!("no session {id}"));
+    let view = match state.router.session_view(id) {
+        Ok(Some(view)) => view,
+        Ok(None) => return Response::error(404, &format!("no session {id}")),
+        Err(e) => return engine_error(e),
     };
     let body = obj(vec![
         ("id", Json::Num(id as f64)),
@@ -514,8 +544,10 @@ fn session_get(state: &AppState, id: u64) -> Response {
 }
 
 fn session_delete(state: &AppState, id: u64, obs: &dyn Observer) -> Response {
-    if !state.router.session_delete(id, obs) {
-        return Response::error(404, &format!("no session {id}"));
+    match state.router.session_delete(id, obs) {
+        Ok(true) => {}
+        Ok(false) => return Response::error(404, &format!("no session {id}")),
+        Err(e) => return engine_error(e),
     }
     Response::json(
         200,
@@ -561,7 +593,7 @@ mod tests {
     }
 
     fn fig4_state() -> AppState {
-        AppState::new(fig4_graph(), ServeConfig::default())
+        AppState::new(fig4_graph(), ServeConfig::default()).unwrap()
     }
 
     /// Shadows the real `route` for the tests below: they exercise the
@@ -586,6 +618,7 @@ mod tests {
                 ..ServeConfig::default()
             },
         )
+        .unwrap()
     }
 
     fn post(path: &str, body: &str) -> Request {
@@ -906,7 +939,8 @@ mod tests {
                 DiGraph::from_edges(n as usize, &edges)
             },
             ServeConfig::default(),
-        );
+        )
+        .unwrap();
         let sharded = sharded_state();
         let req = post("/rank", r#"{"members":[10,11,12,13,14],"tolerance":1e-8}"#);
         let (_, a) = route(&single, &req);

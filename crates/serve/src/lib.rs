@@ -48,6 +48,15 @@
 //! merge as a uniform mixture (marked by `"shards" > 1` in the response),
 //! and sessions are pinned to one shard via strided ids.
 //!
+//! With [`ServeConfig::remote_shards`] non-empty the same [`Router`]
+//! fronts engines living in *other processes*: each shard slot holds an
+//! [`approxrank_rpc::RemoteEngine`] (a replica set of RPC clients with
+//! health checks, retries, and failover, tuned by
+//! [`ServeConfig::rpc`]) instead of an in-process engine. Routing,
+//! merging, and response bytes are identical either way; an exhausted
+//! retry budget surfaces as a 503 carrying the request's trace id, and
+//! transport telemetry appears as `rpc_*` counters on `/metrics`.
+//!
 //! # Consistency
 //!
 //! `/rank` responses are *bit-identical* to `subrank rank` for the same
@@ -92,5 +101,5 @@ pub mod state;
 pub use approxrank_store::FsyncPolicy;
 pub use client::{Client, ClientResponse};
 pub use router::{GraphSummary, RoutedRank, Router};
-pub use server::{shutdown_on_signal, ServeSummary, Server, ServerHandle};
+pub use server::{on_shutdown_signal, shutdown_on_signal, ServeSummary, Server, ServerHandle};
 pub use state::{AppState, ServeConfig};

@@ -7,6 +7,8 @@
 //! store directly in the data dir (so existing data dirs keep working);
 //! a sharded deployment gives engine `k` its own store under
 //! `shard-k/`, which keeps WALs independent and recovery per-shard.
+//! Remote engines are invisible here: each shard server owns its own
+//! data dir, so router-side persistence only covers in-process engines.
 
 use std::io;
 use std::path::Path;
@@ -19,7 +21,7 @@ use crate::state::AppState;
 /// contents into the router's engines. Returns the summed summary for the
 /// boot banner.
 pub fn open_store(state: &AppState, dir: &Path) -> io::Result<RecoverySummary> {
-    let engines = state.router.engines();
+    let engines = state.router.local_engines();
     if let [engine] = engines {
         return engine.open_store(dir);
     }
@@ -33,7 +35,7 @@ pub fn open_store(state: &AppState, dir: &Path) -> io::Result<RecoverySummary> {
 /// Writes a snapshot of every engine's sessions and hot cache entries.
 /// A no-op for engines without a store.
 pub fn snapshot_now(state: &AppState) -> io::Result<()> {
-    for engine in state.router.engines() {
+    for engine in state.router.local_engines() {
         engine.snapshot_now()?;
     }
     Ok(())
@@ -42,7 +44,7 @@ pub fn snapshot_now(state: &AppState) -> io::Result<()> {
 /// Flushes every engine's WAL to stable storage (clean-shutdown path).
 /// A no-op for engines without a store.
 pub fn flush(state: &AppState) -> io::Result<()> {
-    for engine in state.router.engines() {
+    for engine in state.router.local_engines() {
         engine.flush()?;
     }
     Ok(())

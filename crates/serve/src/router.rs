@@ -24,17 +24,26 @@
 //! * Sessions must fit one shard. Ids are strided (engine `k` of `S`
 //!   hands out `k+1, k+1+S, …`), so the owner of session `id` is
 //!   recovered as `(id-1) % S` without any shared table.
+//!
+//! The router dispatches through [`EngineHandle`], not [`Engine`]
+//! directly, so a shard's engine can live in this process
+//! ([`Router::single`]/[`Router::sharded`]) or on another host behind the
+//! RPC layer ([`Router::remote`], one
+//! [`approxrank_rpc::RemoteEngine`] replica set per shard). The routing
+//! rules above are identical in remote mode — the router keeps only the
+//! node→shard assignment locally and never materializes shard views.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use approxrank_engine::{
-    Algorithm, CacheStats, CachedResult, Engine, EngineConfig, EngineError, RankOutcome,
-    RankRequest, SessionView,
+    Algorithm, CacheStats, CachedResult, Engine, EngineConfig, EngineError, EngineHandle,
+    RankOutcome, RankRequest, SessionView,
 };
 use approxrank_exec::Executor;
-use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
-use approxrank_trace::{Observer, Stopwatch};
+use approxrank_graph::{assign_shards, DiGraph, PartitionStrategy, PartitionedGraph};
+use approxrank_rpc::{RemoteConfig, RemoteEngine};
+use approxrank_trace::{logging, Observer, Stopwatch};
 
 /// Shape of the global graph, captured at boot for `/stats`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,7 +75,15 @@ const MAX_FANOUT_LANES: usize = 8;
 
 /// `N` engines plus the routing logic between them.
 pub struct Router {
-    engines: Vec<Arc<Engine>>,
+    /// Dispatch surface, shard order: in-process engines, remote replica
+    /// sets, or (in principle) a mix.
+    engines: Vec<Arc<dyn EngineHandle>>,
+    /// The in-process engines, shard order — empty in remote mode.
+    /// Persistence and store metrics iterate these.
+    local: Vec<Arc<Engine>>,
+    /// The remote replica sets, shard order — empty in local mode.
+    /// The `rpc_*` metrics lines iterate these.
+    remote: Vec<Arc<RemoteEngine>>,
     /// `node → shard`, present only in sharded mode.
     assignment: Option<Vec<u32>>,
     strategy: Option<PartitionStrategy>,
@@ -79,22 +96,29 @@ pub struct Router {
     cross_rank_requests: AtomicU64,
 }
 
+fn summarize(graph: &DiGraph) -> GraphSummary {
+    GraphSummary {
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        dangling: graph.nodes().filter(|&u| graph.is_dangling(u)).count(),
+    }
+}
+
 impl Router {
     /// A single-engine router over the whole graph: the transparent
     /// pass-through every pre-shard deployment runs.
     pub fn single(graph: DiGraph, engine_config: EngineConfig) -> Router {
-        let summary = GraphSummary {
-            nodes: graph.num_nodes(),
-            edges: graph.num_edges(),
-            dangling: graph.nodes().filter(|&u| graph.is_dangling(u)).count(),
-        };
+        let summary = summarize(&graph);
         let config = EngineConfig {
             first_session_id: 1,
             session_id_stride: 1,
             ..engine_config
         };
+        let engine = Arc::new(Engine::new_global(Arc::new(graph), config));
         Router {
-            engines: vec![Arc::new(Engine::new_global(Arc::new(graph), config))],
+            engines: vec![engine.clone() as Arc<dyn EngineHandle>],
+            local: vec![engine],
+            remote: Vec::new(),
             assignment: None,
             strategy: None,
             summary,
@@ -117,15 +141,11 @@ impl Router {
         engine_config: EngineConfig,
     ) -> Router {
         assert!(shards >= 2, "sharded router needs at least two shards");
-        let summary = GraphSummary {
-            nodes: graph.num_nodes(),
-            edges: graph.num_edges(),
-            dangling: graph.nodes().filter(|&u| graph.is_dangling(u)).count(),
-        };
+        let summary = summarize(graph);
         let pg = PartitionedGraph::build(graph, shards, strategy);
         let assignment = pg.assignment().to_vec();
         let per_engine_cache = engine_config.cache_entries.div_ceil(shards).max(1);
-        let engines: Vec<Arc<Engine>> = pg
+        let local: Vec<Arc<Engine>> = pg
             .into_shards()
             .into_iter()
             .enumerate()
@@ -140,8 +160,13 @@ impl Router {
             })
             .collect();
         Router {
-            shard_rank_requests: (0..engines.len()).map(|_| AtomicU64::new(0)).collect(),
-            engines,
+            shard_rank_requests: (0..local.len()).map(|_| AtomicU64::new(0)).collect(),
+            engines: local
+                .iter()
+                .map(|e| e.clone() as Arc<dyn EngineHandle>)
+                .collect(),
+            local,
+            remote: Vec::new(),
             assignment: Some(assignment),
             strategy: Some(strategy),
             summary,
@@ -150,10 +175,110 @@ impl Router {
         }
     }
 
-    /// The engines behind this router, shard order (one entry in single
-    /// mode). Persistence and metrics iterate these.
-    pub fn engines(&self) -> &[Arc<Engine>] {
+    /// A router whose shard engines live in other processes: one
+    /// [`RemoteEngine`] replica set per shard, with the same node→shard
+    /// assignment a local sharded router would compute (the assignment is
+    /// a pure function of the graph, so router and shard servers agree by
+    /// construction). No shard views are materialized here — the router
+    /// keeps only the global graph and the assignment vector.
+    ///
+    /// Every replica is probed once at boot: an unreachable replica is a
+    /// warning (it may simply not be up yet — the health checker will
+    /// recover it), but a replica that answers with the wrong graph shape
+    /// is a hard error, because byte-identity with a local deployment
+    /// would silently break.
+    pub fn remote(
+        graph: &DiGraph,
+        strategy: PartitionStrategy,
+        replica_lists: &[Vec<String>],
+        rpc: RemoteConfig,
+    ) -> Result<Router, String> {
+        let shards = replica_lists.len();
+        if shards < 2 {
+            return Err(
+                "remote mode needs at least two shards (one --remote-shard per shard)".into(),
+            );
+        }
+        let summary = summarize(graph);
+        let assignment = assign_shards(graph, shards, strategy);
+        let remote: Vec<Arc<RemoteEngine>> = replica_lists
+            .iter()
+            .enumerate()
+            .map(|(k, addrs)| Arc::new(RemoteEngine::new(k as u32, addrs.clone(), rpc.clone())))
+            .collect();
+        for engine in &remote {
+            let mut reachable = 0;
+            for (addr, result) in engine.probe_all() {
+                match result {
+                    Ok(info) => {
+                        if info.global_nodes != summary.nodes as u64 {
+                            return Err(format!(
+                                "replica {addr} of shard {} serves a {}-node graph, \
+                                 router loaded {} nodes — wrong graph or wrong cluster",
+                                engine.shard(),
+                                info.global_nodes,
+                                summary.nodes
+                            ));
+                        }
+                        reachable += 1;
+                    }
+                    Err(e) => logging::log_with(
+                        logging::Level::Warn,
+                        "router",
+                        "replica unreachable at boot",
+                        &[
+                            ("shard", &engine.shard().to_string()),
+                            ("replica", &addr),
+                            ("error", &e),
+                        ],
+                    ),
+                }
+            }
+            if reachable == 0 {
+                logging::log_with(
+                    logging::Level::Warn,
+                    "router",
+                    "no replica of shard reachable at boot; serving anyway, health checks will recover it",
+                    &[("shard", &engine.shard().to_string())],
+                );
+            }
+        }
+        Ok(Router {
+            shard_rank_requests: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            engines: remote
+                .iter()
+                .map(|e| e.clone() as Arc<dyn EngineHandle>)
+                .collect(),
+            local: Vec::new(),
+            remote,
+            assignment: Some(assignment),
+            strategy: Some(strategy),
+            summary,
+            fanout: Some(Executor::new(shards.min(MAX_FANOUT_LANES))),
+            cross_rank_requests: AtomicU64::new(0),
+        })
+    }
+
+    /// The dispatch handles behind this router, shard order (one entry in
+    /// single mode).
+    pub fn handles(&self) -> &[Arc<dyn EngineHandle>] {
         &self.engines
+    }
+
+    /// The in-process engines, shard order — empty in remote mode.
+    /// Persistence and store metrics iterate these.
+    pub fn local_engines(&self) -> &[Arc<Engine>] {
+        &self.local
+    }
+
+    /// The remote replica sets, shard order — empty in local mode.
+    pub fn remote_engines(&self) -> &[Arc<RemoteEngine>] {
+        &self.remote
+    }
+
+    /// True when the shard engines live in other processes.
+    pub fn is_remote(&self) -> bool {
+        !self.remote.is_empty()
     }
 
     /// Number of shards (1 in single mode).
@@ -178,7 +303,7 @@ impl Router {
 
     /// The global graph, in single mode (shard engines hold only views).
     pub fn graph(&self) -> Option<&Arc<DiGraph>> {
-        self.engines[0].graph()
+        self.local.first().and_then(|e| e.graph())
     }
 
     /// Result-cache counters summed across every engine.
@@ -206,9 +331,10 @@ impl Router {
         self.engines.iter().map(|e| e.wal_errors()).sum()
     }
 
-    /// True when at least one engine has a durable store open.
+    /// True when at least one in-process engine has a durable store open
+    /// (remote engines persist on their own hosts).
     pub fn has_store(&self) -> bool {
-        self.engines.iter().any(|e| e.store().is_some())
+        self.local.iter().any(|e| e.store().is_some())
     }
 
     /// `/rank` sub-requests answered by shard `k`.
@@ -263,11 +389,16 @@ impl Router {
         // pool. Slots are per-index, so tasks never contend. Each task
         // opens a `router.shard{k}` span on its fan-out thread — the
         // request recorder parents the first span of a foreign thread to
-        // the trace root, so the engine's spans nest under it.
+        // the trace root, so the engine's spans nest under it. The
+        // caller's trace id is re-entered on each lane so fan-out log
+        // lines — and remote sub-calls, which stamp it onto the wire —
+        // stay attributable.
+        let trace_id = logging::current_trace_id();
         let slots: Vec<Mutex<Option<Result<RankOutcome, EngineError>>>> =
             touched.iter().map(|_| Mutex::new(None)).collect();
         let fanout = self.fanout.as_ref().expect("sharded router has a pool");
         let queue_wait_ns = fanout.run_chunks_timed(touched.len(), |i| {
+            let _trace = trace_id.as_deref().map(logging::trace_scope);
             let s = touched[i];
             let _shard_span = obs.span(&format!("router.shard{s}"));
             let solve = Stopwatch::start(obs);
@@ -300,7 +431,7 @@ impl Router {
 
     /// The engine owning session `id` under the stride scheme; `None` for
     /// id 0 (never issued).
-    fn engine_for_session(&self, id: u64) -> Option<&Arc<Engine>> {
+    fn engine_for_session(&self, id: u64) -> Option<&Arc<dyn EngineHandle>> {
         if id == 0 {
             return None;
         }
@@ -350,15 +481,20 @@ impl Router {
     }
 
     /// A read-only snapshot of session `id`, from its owning engine.
-    pub fn session_view(&self, id: u64) -> Option<SessionView> {
-        self.engine_for_session(id)?.session_view(id)
+    /// `Ok(None)` means the session does not exist; `Err` means the
+    /// owning engine could not be asked (remote replicas down).
+    pub fn session_view(&self, id: u64) -> Result<Option<SessionView>, EngineError> {
+        match self.engine_for_session(id) {
+            Some(engine) => engine.session_view(id),
+            None => Ok(None),
+        }
     }
 
-    /// Closes session `id`; returns whether it existed.
-    pub fn session_delete(&self, id: u64, obs: &dyn Observer) -> bool {
+    /// Closes session `id`; `Ok(false)` when it did not exist.
+    pub fn session_delete(&self, id: u64, obs: &dyn Observer) -> Result<bool, EngineError> {
         match self.engine_for_session(id) {
             Some(engine) => engine.session_delete(id, obs),
-            None => false,
+            None => Ok(false),
         }
     }
 }
@@ -502,8 +638,8 @@ mod tests {
             .session_create(&[150, 151], 0.85, 1e-6, null())
             .unwrap();
         assert_eq!((id0, id1), (1, 2)); // shard 0 strides 1,3,…; shard 1 strides 2,4,…
-        assert!(sharded.session_view(id0).is_some());
-        assert!(sharded.session_view(id1).is_some());
+        assert!(sharded.session_view(id0).unwrap().is_some());
+        assert!(sharded.session_view(id1).unwrap().is_some());
         let err = sharded
             .session_create(&[99, 100], 0.85, 1e-6, null())
             .unwrap_err();
@@ -513,8 +649,8 @@ mod tests {
         // Adding a foreign page routes to shard 1, which refuses it.
         let err = sharded.session_update(id1, &[5], &[], null()).unwrap_err();
         assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("not on shard")));
-        assert!(sharded.session_delete(id0, null()));
-        assert!(!sharded.session_delete(0, null()));
+        assert!(sharded.session_delete(id0, null()).unwrap());
+        assert!(!sharded.session_delete(0, null()).unwrap());
         assert_eq!(sharded.session_count(), 1);
     }
 }

@@ -126,7 +126,10 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let data_dir = config.data_dir.clone();
-        let state = Arc::new(AppState::new(graph, config));
+        let state = Arc::new(
+            AppState::new(graph, config)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+        );
         if let Some(dir) = data_dir {
             crate::persist::open_store(&state, &dir)?;
         }
@@ -472,14 +475,22 @@ fn dispatch(state: &AppState, request: &Request) -> (Endpoint, Response) {
 /// Process-wide flag set by the Unix signal handler.
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
-/// Wires `SIGINT`/`SIGTERM` to a graceful drain of `handle`: the handler
-/// flips a process-wide flag (the only async-signal-safe thing to do) and
-/// a watcher thread forwards it to the handle. The handler also restores
-/// the default disposition for the signal it caught, so a *second*
-/// Ctrl-C terminates immediately instead of waiting on a wedged drain.
-/// Call at most once per process, from the CLI entry point. Non-Unix
-/// builds fall back to no signal wiring (the handle still works).
+/// Wires `SIGINT`/`SIGTERM` to a graceful drain of `handle`. See
+/// [`on_shutdown_signal`] for the mechanics and the once-per-process
+/// caveat.
 pub fn shutdown_on_signal(handle: ServerHandle) {
+    on_shutdown_signal(move || handle.shutdown());
+}
+
+/// Runs `f` when the process receives `SIGINT`/`SIGTERM`: the handler
+/// flips a process-wide flag (the only async-signal-safe thing to do) and
+/// a watcher thread invokes `f`. The handler also restores the default
+/// disposition for the signal it caught, so a *second* Ctrl-C terminates
+/// immediately instead of waiting on a wedged drain. Call at most once
+/// per process, from the CLI entry point — the shard-server mode uses
+/// this directly to drain an `approxrank_rpc::ShardServer` handle.
+/// Non-Unix builds fall back to no signal wiring.
+pub fn on_shutdown_signal(f: impl FnOnce() + Send + 'static) {
     #[cfg(unix)]
     unsafe {
         extern "C" {
@@ -505,7 +516,7 @@ pub fn shutdown_on_signal(handle: ServerHandle) {
         .name("approxrank-serve-signals".into())
         .spawn(move || loop {
             if SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
-                handle.shutdown();
+                f();
                 return;
             }
             std::thread::sleep(POLL);

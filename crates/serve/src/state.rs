@@ -14,6 +14,7 @@ use std::time::Duration;
 use approxrank_engine::{CacheStats, EngineConfig};
 use approxrank_exec::{ExecStats, Executor};
 use approxrank_graph::{DiGraph, PartitionStrategy};
+use approxrank_rpc::RemoteConfig;
 use approxrank_store::FsyncPolicy;
 use approxrank_trace::{logging, TraceRing};
 
@@ -64,6 +65,14 @@ pub struct ServeConfig {
     pub slow_ms: Option<u64>,
     /// How many completed request traces `GET /debug/requests` keeps.
     pub trace_ring: usize,
+    /// Remote mode: one entry per shard, each a replica address list
+    /// (`host:port`). Empty (the default) keeps every engine in-process.
+    /// When non-empty, `shards`/`data_dir` are ignored — the shard
+    /// servers own partitioning-by-assignment and persistence.
+    pub remote_shards: Vec<Vec<String>>,
+    /// RPC transport tunables (timeouts, retry budget, health-check
+    /// cadence). Only meaningful with `remote_shards`.
+    pub rpc: RemoteConfig,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +91,8 @@ impl Default for ServeConfig {
             partition: PartitionStrategy::Range,
             slow_ms: None,
             trace_ring: 128,
+            remote_shards: Vec::new(),
+            rpc: RemoteConfig::default(),
         }
     }
 }
@@ -108,28 +119,37 @@ pub struct AppState {
 
 impl AppState {
     /// Builds the state for a graph: partitions it per `config` (a shard
-    /// count of 1 keeps the whole graph on one engine) and sizes each
-    /// engine's cache slice.
-    pub fn new(graph: DiGraph, config: ServeConfig) -> Self {
+    /// count of 1 keeps the whole graph on one engine), or — when
+    /// `remote_shards` is set — fronts out-of-process shard servers
+    /// instead. Only the remote wiring can fail (misconfigured replica
+    /// lists, a reachable replica serving the wrong graph).
+    pub fn new(graph: DiGraph, config: ServeConfig) -> Result<Self, String> {
         let engine_config = EngineConfig {
             cache_entries: config.cache_entries,
             fsync: config.fsync,
             ..EngineConfig::default()
         };
-        let router = if config.shards <= 1 {
+        let router = if !config.remote_shards.is_empty() {
+            Router::remote(
+                &graph,
+                config.partition,
+                &config.remote_shards,
+                config.rpc.clone(),
+            )?
+        } else if config.shards <= 1 {
             Router::single(graph, engine_config)
         } else {
             Router::sharded(&graph, config.shards, config.partition, engine_config)
         };
         let slow_log = open_slow_log(&config);
-        AppState {
+        Ok(AppState {
             router,
             metrics: Metrics::new(),
             traces: TraceRing::new(config.trace_ring),
             slow_log,
             config,
             pool: OnceLock::new(),
-        }
+        })
     }
 
     /// Snapshot of the serving pool's lifetime telemetry, if a server has

@@ -45,7 +45,7 @@ fn config() -> ServeConfig {
 }
 
 fn state() -> AppState {
-    AppState::new(test_graph(), config())
+    AppState::new(test_graph(), config()).unwrap()
 }
 
 fn post(path: &str, body: &str) -> Request {

@@ -1,0 +1,270 @@
+//! End-to-end remote-deployment tests: real RPC shard servers behind a
+//! real HTTP router, compared byte-for-byte against local deployments.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use approxrank_engine::{Engine, EngineConfig};
+use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
+use approxrank_rpc::{RemoteConfig, ShardServer};
+use approxrank_serve::{Client, ServeConfig, Server, ServerHandle};
+
+const SHARDS: usize = 2;
+
+/// A graph with enough structure for multi-page subgraphs. Range
+/// partitioning into two shards puts 0..100 on shard 0, 100..200 on 1.
+fn test_graph() -> DiGraph {
+    let n = 200u32;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        edges.push((i, (i * 7 + 3) % n));
+    }
+    DiGraph::from_edges(n as usize, &edges)
+}
+
+/// Engine `k` of the partitioning, configured exactly as the CLI's
+/// `--shard-server K` mode configures it.
+fn shard_engine(k: usize) -> Arc<Engine> {
+    let pg = PartitionedGraph::build(&test_graph(), SHARDS, PartitionStrategy::Range);
+    let shard = pg.into_shards().into_iter().nth(k).unwrap();
+    Arc::new(Engine::new_shard(
+        Arc::new(shard),
+        EngineConfig {
+            first_session_id: k as u64 + 1,
+            session_id_stride: SHARDS as u64,
+            ..EngineConfig::default()
+        },
+    ))
+}
+
+/// One RPC shard server on an ephemeral port.
+struct RunningShard {
+    addr: String,
+    server: Arc<ShardServer>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunningShard {
+    fn start(k: usize) -> RunningShard {
+        let server = Arc::new(
+            ShardServer::bind("127.0.0.1:0", shard_engine(k), Duration::from_secs(3600))
+                .expect("bind shard server"),
+        );
+        let addr = server.local_addr().expect("local addr").to_string();
+        let thread = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve().expect("shard serve"))
+        };
+        RunningShard {
+            addr,
+            server,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.server.handle().shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("shard serve thread panicked");
+        }
+    }
+}
+
+impl Drop for RunningShard {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One HTTP server (local or remote routing) on an ephemeral port.
+struct RunningHttp {
+    handle: ServerHandle,
+    thread: Option<std::thread::JoinHandle<approxrank_serve::ServeSummary>>,
+}
+
+impl RunningHttp {
+    fn start(config: ServeConfig) -> RunningHttp {
+        let server = Server::bind(test_graph(), config).expect("bind http server");
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.serve());
+        RunningHttp {
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(&self.handle.addr().to_string()).with_timeout(Duration::from_secs(5))
+    }
+
+    fn stop(&mut self) {
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("http serve thread panicked");
+        }
+    }
+}
+
+impl Drop for RunningHttp {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// A remote-mode config over the given per-shard replica lists, with a
+/// fast-failing retry budget so 503 paths don't slow the suite.
+fn remote_config(replicas: Vec<Vec<String>>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        request_timeout: Duration::from_millis(5_000),
+        remote_shards: replicas,
+        rpc: RemoteConfig {
+            connect_timeout: Duration::from_millis(250),
+            io_timeout: Duration::from_millis(2_000),
+            attempts: 2,
+            backoff_base: Duration::from_millis(5),
+            health_interval: Duration::from_millis(50),
+        },
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn remote_two_shard_deployment_is_byte_identical_to_local() {
+    let shard0 = RunningShard::start(0);
+    let shard1 = RunningShard::start(1);
+    let mut remote = RunningHttp::start(remote_config(vec![
+        vec![shard0.addr.clone()],
+        vec![shard1.addr.clone()],
+    ]));
+    let mut local_single = RunningHttp::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let mut local_sharded = RunningHttp::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: SHARDS,
+        ..ServeConfig::default()
+    });
+
+    let mut remote_client = remote.client();
+    let mut single_client = local_single.client();
+    let mut sharded_client = local_sharded.client();
+
+    // Each body is sent exactly once per deployment: a repeat would flip
+    // the `"cached"` field wherever a result cache already held it.
+    let resident = r#"{"members":[10,11,12,13,14],"tolerance":1e-8}"#;
+    let cross = r#"{"members":[50,51,150,151],"tolerance":1e-8}"#;
+
+    // Shard-resident: all three deployments answer byte-identically.
+    let via_remote = remote_client.post("/rank", resident).unwrap();
+    let via_single = single_client.post("/rank", resident).unwrap();
+    let via_sharded = sharded_client.post("/rank", resident).unwrap();
+    assert_eq!(via_remote.status, 200);
+    assert_eq!(via_remote.body, via_single.body, "remote vs 1-shard local");
+    assert_eq!(via_remote.body, via_sharded.body, "remote vs 2-shard local");
+
+    // Cross-shard: the mixture merge runs router-side either way, so
+    // remote matches the local sharded deployment byte-for-byte.
+    let via_remote = remote_client.post("/rank", cross).unwrap();
+    let via_sharded = sharded_client.post("/rank", cross).unwrap();
+    assert_eq!(via_remote.status, 200);
+    assert_eq!(
+        via_remote.body, via_sharded.body,
+        "cross-shard remote vs local"
+    );
+
+    // Sessions ride the same strided id space remotely.
+    let created = remote_client
+        .post("/session", r#"{"members":[100,101,102]}"#)
+        .unwrap();
+    assert_eq!(created.status, 200, "{}", created.text());
+    let id = created
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    let fetched = remote_client.get(&format!("/session/{id}")).unwrap();
+    assert_eq!(fetched.status, 200);
+    let deleted = remote_client.delete(&format!("/session/{id}")).unwrap();
+    assert_eq!(deleted.status, 200);
+
+    local_sharded.stop();
+    local_single.stop();
+    remote.stop();
+}
+
+#[test]
+fn replica_kill_fails_over_without_errors() {
+    // Shard 0 runs two replicas; shard 1 runs one.
+    let mut replica_a = RunningShard::start(0);
+    let replica_b = RunningShard::start(0);
+    let shard1 = RunningShard::start(1);
+    let mut remote = RunningHttp::start(remote_config(vec![
+        vec![replica_a.addr.clone(), replica_b.addr.clone()],
+        vec![shard1.addr.clone()],
+    ]));
+    let mut client = remote.client();
+
+    let body = r#"{"members":[20,21,22],"tolerance":1e-8}"#;
+    let before = client.post("/rank", body).unwrap();
+    assert_eq!(before.status, 200);
+
+    // Kill one replica of shard 0 and keep hammering resident keys:
+    // every request must still answer 200 with the same scores. (Only
+    // the scores, not the whole body — the surviving replica's result
+    // cache warms up during the loop and flips the `"cached"` field.)
+    replica_a.stop();
+    let scores_of = |r: &approxrank_serve::ClientResponse| {
+        let v = r.json().unwrap();
+        format!("{:?}", v.get("scores"))
+    };
+    let expected = scores_of(&before);
+    for _ in 0..6 {
+        let after = client.post("/rank", body).unwrap();
+        assert_eq!(after.status, 200, "{}", after.text());
+        assert_eq!(scores_of(&after), expected);
+    }
+
+    // /metrics records the transport's view of the incident.
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(metrics.contains("rpc_requests_total"), "{metrics}");
+    assert!(metrics.contains("rpc_replicas{shard=\"0\"} 2"), "{metrics}");
+    assert!(
+        metrics.contains("rpc_replicas_healthy{shard=\"0\"} 1"),
+        "{metrics}"
+    );
+    remote.stop();
+}
+
+#[test]
+fn exhausted_retries_surface_as_503_with_a_trace_id() {
+    // Both shards point at ports with nothing behind them.
+    let dead = |_: usize| {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let mut remote = RunningHttp::start(remote_config(vec![vec![dead(0)], vec![dead(1)]]));
+    let mut client = remote.client();
+
+    let response = client
+        .post("/rank", r#"{"members":[10,11,12],"tolerance":1e-8}"#)
+        .unwrap();
+    assert_eq!(response.status, 503, "{}", response.text());
+    // The envelope carries the trace id — the operator's handle into
+    // logs and /debug/requests — and names the exhausted budget.
+    let id = response.request_id.clone().expect("X-Request-Id header");
+    assert!(!id.is_empty());
+    let text = response.text();
+    assert!(text.contains("unreachable"), "{text}");
+
+    // Session reads against dead shards are 503 too, never a bogus 404.
+    let response = client.get("/session/1").unwrap();
+    assert_eq!(response.status, 503, "{}", response.text());
+    remote.stop();
+}

@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# Remote-serving smoke test: build release, generate a graph, boot two
+# RPC shard servers (shard 0 with TWO replicas) plus an HTTP router
+# fronting them, and a plain 1-shard local server on the same graph.
+#
+# Asserts that:
+#   - shard-resident /rank answers from the remote deployment are
+#     byte-identical to the 1-shard local server (each body is sent
+#     exactly once per deployment — a repeat would flip `"cached"`);
+#   - cross-shard /rank merges remotely exactly as it does locally;
+#   - a trace id sent to the router propagates over the wire into the
+#     shard server's logs;
+#   - killing one replica of shard 0 in the middle of a loadgen run
+#     causes zero failed requests (loadgen exits nonzero on any);
+#   - /metrics exposes the rpc_* transport telemetry and records the
+#     replica as down.
+#
+# Exits nonzero on any body mismatch, failed request, or missing metric.
+set -euo pipefail
+
+PORT_ROUTER="${REMOTE_SMOKE_PORT_ROUTER:-7893}"
+PORT_SINGLE="${REMOTE_SMOKE_PORT_SINGLE:-7894}"
+PORT_S0A="${REMOTE_SMOKE_PORT_S0A:-7895}"
+PORT_S0B="${REMOTE_SMOKE_PORT_S0B:-7896}"
+PORT_S1="${REMOTE_SMOKE_PORT_S1:-7897}"
+ADDR_ROUTER="127.0.0.1:${PORT_ROUTER}"
+ADDR_SINGLE="127.0.0.1:${PORT_SINGLE}"
+ADDR_S0A="127.0.0.1:${PORT_S0A}"
+ADDR_S0B="127.0.0.1:${PORT_S0B}"
+ADDR_S1="127.0.0.1:${PORT_S1}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 "${PID_ROUTER:-}" "${PID_SINGLE:-}" "${PID_S0A:-}" "${PID_S0B:-}" "${PID_S1:-}" 2>/dev/null || true; rm -rf "${WORKDIR}"' EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+wait_port() { # wait_port <host:port> <name> <pid>
+  local addr="$1" name="$2" pid="$3" host port
+  host="${addr%:*}"
+  port="${addr#*:}"
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/${host}/${port}") 2>/dev/null; then
+      exec 3>&- 3<&- || true
+      return 0
+    fi
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "${name} died during startup" >&2
+      cat "${WORKDIR}/${name}.err" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "${name} never opened ${addr}" >&2
+  exit 1
+}
+
+boot_shard() { # boot_shard <name> <addr> <shard index>
+  local name="$1" addr="$2" k="$3"
+  "${SUBRANK}" serve --graph "${WORKDIR}/web.edges" --addr "${addr}" \
+    --shards 2 --shard-server "${k}" --log-level debug \
+    >"${WORKDIR}/${name}.out" 2>"${WORKDIR}/${name}.err" &
+  local pid=$!
+  wait_port "${addr}" "${name}" "${pid}"
+  echo "${pid}"
+}
+
+boot_http() { # boot_http <name> <addr> <extra flags...>
+  local name="$1" addr="$2"
+  shift 2
+  "${SUBRANK}" serve --graph "${WORKDIR}/web.edges" --addr "${addr}" --threads 4 "$@" \
+    >"${WORKDIR}/${name}.out" 2>"${WORKDIR}/${name}.err" &
+  local pid=$!
+  for _ in $(seq 1 100); do
+    if curl -sf "http://${addr}/healthz" >/dev/null 2>&1; then
+      echo "${pid}"
+      return 0
+    fi
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "server ${name} died during startup" >&2
+      cat "${WORKDIR}/${name}.err" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  curl -sf "http://${addr}/healthz" >/dev/null
+  echo "${pid}"
+}
+
+say "building release binaries"
+cargo build --release -p approxrank-cli -p approxrank-bench
+
+SUBRANK=target/release/subrank
+LOADGEN=target/release/loadgen
+
+say "generating a graph"
+"${SUBRANK}" gen --dataset au --pages 20000 --out "${WORKDIR}/web.edges" >/dev/null
+
+say "booting shard servers (shard 0 twice, shard 1 once)"
+PID_S0A="$(boot_shard s0a "${ADDR_S0A}" 0)"
+PID_S0B="$(boot_shard s0b "${ADDR_S0B}" 0)"
+PID_S1="$(boot_shard s1 "${ADDR_S1}" 1)"
+grep -q 'shard 0/2' "${WORKDIR}/s0a.err"
+grep -q 'shard 1/2' "${WORKDIR}/s1.err"
+
+say "booting the remote router and a 1-shard local server"
+PID_ROUTER="$(boot_http router "${ADDR_ROUTER}" \
+  --remote-shard "${ADDR_S0A},${ADDR_S0B}" --remote-shard "${ADDR_S1}")"
+PID_SINGLE="$(boot_http single "${ADDR_SINGLE}")"
+grep -q 'routing to 2 remote shards' "${WORKDIR}/router.err"
+
+say "shard-resident /rank answers must be byte-identical to 1-shard local"
+# Range partitioning of 20000 nodes: shard 0 owns 0..10000, shard 1 the
+# rest. One membership per shard, plus one with non-default options.
+# Each body is sent exactly once per deployment.
+BODIES=(
+  '{"members":[5,6,7,8,9,10,11,12],"tolerance":1e-8}'
+  '{"members":[15000,15001,15002,15003],"tolerance":1e-8}'
+  '{"members":[400,401,402],"damping":0.9,"top":2}'
+)
+for i in "${!BODIES[@]}"; do
+  body="${BODIES[$i]}"
+  curl -sf -X POST "http://${ADDR_SINGLE}/rank" -d "${body}" >"${WORKDIR}/single.${i}.json"
+  curl -sf -X POST "http://${ADDR_ROUTER}/rank" -d "${body}" >"${WORKDIR}/remote.${i}.json"
+  cmp "${WORKDIR}/single.${i}.json" "${WORKDIR}/remote.${i}.json" \
+    || { echo "resident body ${i} differs between remote and local" >&2; exit 1; }
+done
+
+say "cross-shard /rank must merge remotely (200, shards=2, mass ~ 1)"
+curl -sf -X POST "http://${ADDR_ROUTER}/rank" \
+  -d '{"members":[9998,9999,10000,10001],"tolerance":1e-8}' >"${WORKDIR}/cross.json"
+grep -q '"shards":2' "${WORKDIR}/cross.json"
+python3 - "${WORKDIR}/cross.json" <<'PY'
+import json, sys
+v = json.load(open(sys.argv[1]))
+assert v["shards"] == 2, v["shards"]
+mass = sum(s["score"] for s in v["scores"]) + v["lambda"]
+assert abs(mass - 1.0) < 1e-9, f"mixture mass {mass}"
+PY
+
+say "a trace id sent to the router must reach the shard server's logs"
+TRACE_ID="remotesmoke-$$"
+curl -sf -X POST "http://${ADDR_ROUTER}/rank" -H "X-Request-Id: ${TRACE_ID}" \
+  -d '{"members":[42,43,44]}' >/dev/null
+grep -q "${TRACE_ID}" "${WORKDIR}/s0a.err" "${WORKDIR}/s0b.err" 2>/dev/null \
+  || { echo "trace id ${TRACE_ID} never reached a shard-0 replica log" >&2; exit 1; }
+
+say "sessions work end to end over RPC"
+curl -sf -X POST "http://${ADDR_ROUTER}/session" -d '{"members":[15000,15001]}' >"${WORKDIR}/sess.json"
+grep -q '"id":2' "${WORKDIR}/sess.json"  # shard 1 strides ids 2, 4, …
+curl -sf "http://${ADDR_ROUTER}/session/2" >/dev/null
+curl -sf -X DELETE "http://${ADDR_ROUTER}/session/2" >/dev/null
+
+say "killing replica s0a mid-loadgen must cause zero failed requests"
+"${LOADGEN}" --addr "${ADDR_ROUTER}" --clients 4 --requests 150 --keys 16 --shards 2 \
+  >"${WORKDIR}/loadgen.out" 2>&1 &
+LOADGEN_PID=$!
+sleep 0.5
+kill -9 "${PID_S0A}"
+PID_S0A=""
+wait "${LOADGEN_PID}" || { echo "loadgen saw failed requests after the replica kill" >&2; cat "${WORKDIR}/loadgen.out" >&2; exit 1; }
+grep -q ' 0 errors' "${WORKDIR}/loadgen.out"
+
+say "rpc_* metrics are exposed and record the down replica"
+sleep 2  # give the health checker a probe cycle
+curl -sf "http://${ADDR_ROUTER}/metrics" >"${WORKDIR}/metrics.txt"
+grep -q '^rpc_requests_total ' "${WORKDIR}/metrics.txt"
+grep -q '^rpc_health_probes_total ' "${WORKDIR}/metrics.txt"
+grep -q '^rpc_unavailable_total 0$' "${WORKDIR}/metrics.txt"
+grep -q '^rpc_replicas{shard="0"} 2$' "${WORKDIR}/metrics.txt"
+grep -q '^rpc_replicas_healthy{shard="0"} 1$' "${WORKDIR}/metrics.txt"
+grep -q '^rpc_replicas_healthy{shard="1"} 1$' "${WORKDIR}/metrics.txt"
+
+say "no panics in any server log"
+! grep -i 'panic' "${WORKDIR}/router.err" "${WORKDIR}/single.err" \
+    "${WORKDIR}/s0b.err" "${WORKDIR}/s1.err"
+
+say "remote smoke OK"
