@@ -27,6 +27,15 @@
 //! percentiles are reported on a separate line — and the cache hit rate
 //! measured as the delta of the server's `/stats` counters over the run.
 //!
+//! `--algo mc` (or `push`) interleaves estimator-tier requests with the
+//! exact ones: every stream alternates request-by-request between the
+//! plain body and the same membership with `"algorithm"` set, so the
+//! estimator's throughput and latency are measured next to exact solves
+//! under the identical key mix. The report then splits the percentiles
+//! into an `exact` line and a line named after the algorithm — the two
+//! tiers have deliberately different cost profiles, so one histogram
+//! would hide the trade-off the tier exists to make.
+//!
 //! `--shards S` makes the key mix shard-aware: the in-process server is
 //! booted with that many shards (range partitioning), and odd keys are
 //! centred on shard boundaries so they fan out across engines. Every
@@ -56,7 +65,7 @@ use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --graph FILE] [--clients N] \
 [--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N] [--sessions N] \
-[--shards S] [--capture] [--capture-out FILE] [--baseline FILE]";
+[--shards S] [--algo mc|push] [--capture] [--capture-out FILE] [--baseline FILE]";
 
 struct Args {
     addr: Option<String>,
@@ -70,6 +79,7 @@ struct Args {
     threads: usize,
     sessions: usize,
     shards: usize,
+    algo: Option<String>,
     capture: bool,
     capture_out: Option<String>,
     baseline: Option<String>,
@@ -89,6 +99,7 @@ impl Default for Args {
             threads: 2,
             sessions: 0,
             shards: 1,
+            algo: None,
             capture: false,
             capture_out: None,
             baseline: None,
@@ -114,6 +125,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--members" => args.members = parse_positive(&value("--members")?, "--members")?,
             "--threads" => args.threads = parse_positive(&value("--threads")?, "--threads")?,
             "--shards" => args.shards = parse_positive(&value("--shards")?, "--shards")?,
+            "--algo" => {
+                let v = value("--algo")?;
+                if v != "mc" && v != "push" {
+                    return Err(format!("--algo must be \"mc\" or \"push\", got {v:?}"));
+                }
+                args.algo = Some(v);
+            }
             "--capture" => args.capture = true,
             "--capture-out" => args.capture_out = Some(value("--capture-out")?),
             "--baseline" => args.baseline = Some(value("--baseline")?),
@@ -211,6 +229,31 @@ fn request_bodies(keys: usize, members: usize, num_nodes: usize, shards: usize) 
                 .map(|id| id.to_string())
                 .collect();
             format!("{{\"members\":[{}]}}", ids.join(","))
+        })
+        .collect()
+}
+
+/// The same key windows as [`request_bodies`] but answered by the
+/// estimator tier: each body pins `"algorithm"` to the chosen estimator
+/// (server defaults supply the walk budget / ε / seed, so estimator
+/// requests are as cacheable as exact ones).
+fn estimator_bodies(
+    keys: usize,
+    members: usize,
+    num_nodes: usize,
+    shards: usize,
+    algo: &str,
+) -> Vec<String> {
+    (0..keys)
+        .map(|k| {
+            let ids: Vec<String> = key_members_sharded(k, members, num_nodes, shards)
+                .iter()
+                .map(|id| id.to_string())
+                .collect();
+            format!(
+                "{{\"members\":[{}],\"algorithm\":\"{algo}\"}}",
+                ids.join(",")
+            )
         })
         .collect()
 }
@@ -358,12 +401,14 @@ fn cache_counters(addr: &str) -> Result<(u64, u64), String> {
 }
 
 struct StreamOutcome {
-    /// Latencies of responses that stayed on one shard (everything, in
-    /// single-shard mode).
+    /// Latencies of exact responses that stayed on one shard
+    /// (everything, in single-shard mode without `--algo`).
     resident_us: Vec<u64>,
-    /// Latencies of responses that reported `"shards" > 1` (the
+    /// Latencies of exact responses that reported `"shards" > 1` (the
     /// fan-out/merge path).
     cross_us: Vec<u64>,
+    /// Latencies of estimator-tier responses (`--algo`), any shard span.
+    estimator_us: Vec<u64>,
     errors: usize,
 }
 
@@ -372,6 +417,7 @@ impl StreamOutcome {
         StreamOutcome {
             resident_us: Vec::new(),
             cross_us: Vec::new(),
+            estimator_us: Vec::new(),
             errors: requests + 1,
         }
     }
@@ -380,6 +426,7 @@ impl StreamOutcome {
 fn run_stream(
     addr: &str,
     bodies: &[String],
+    est_bodies: Option<&[String]>,
     weights: &[f64],
     requests: usize,
     seed: u64,
@@ -388,13 +435,25 @@ fn run_stream(
     let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
     let mut resident_us = Vec::with_capacity(requests);
     let mut cross_us = Vec::new();
+    let mut estimator_us = Vec::new();
     let mut errors = 0usize;
-    for _ in 0..requests {
+    for i in 0..requests {
         let key = sample_weighted(&mut rng, weights);
+        // With `--algo` the stream alternates tiers so both see the same
+        // Zipf key mix (and the same share of cache re-use).
+        let est = est_bodies.filter(|_| i % 2 == 1);
+        let body = match est {
+            Some(est) => &est[key],
+            None => &bodies[key],
+        };
         let started = Instant::now();
-        match client.post("/rank", &bodies[key]) {
+        match client.post("/rank", body) {
             Ok(response) if response.status == 200 => {
                 let us = started.elapsed().as_micros() as u64;
+                if est.is_some() {
+                    estimator_us.push(us);
+                    continue;
+                }
                 let shards = response
                     .json()
                     .ok()
@@ -412,6 +471,7 @@ fn run_stream(
     StreamOutcome {
         resident_us,
         cross_us,
+        estimator_us,
         errors,
     }
 }
@@ -486,6 +546,7 @@ fn run_session_stream(
     StreamOutcome {
         resident_us: latencies_us,
         cross_us: Vec::new(),
+        estimator_us: Vec::new(),
         errors,
     }
 }
@@ -541,6 +602,15 @@ fn run(args: &Args) -> Result<String, String> {
         num_nodes,
         args.shards,
     ));
+    let est_bodies = args.algo.as_ref().map(|algo| {
+        Arc::new(estimator_bodies(
+            args.keys,
+            args.members,
+            num_nodes,
+            args.shards,
+            algo,
+        ))
+    });
     let weights = Arc::new(zipf_weights(args.keys, args.zipf));
     let (hits_before, misses_before) = cache_counters(&addr)?;
 
@@ -549,8 +619,18 @@ fn run(args: &Args) -> Result<String, String> {
         let streams: Vec<_> = (0..args.clients)
             .map(|c| {
                 let (addr, bodies, weights) = (addr.clone(), bodies.clone(), weights.clone());
+                let est_bodies = est_bodies.clone();
                 let (requests, seed) = (args.requests, args.seed.wrapping_add(c as u64));
-                std::thread::spawn(move || run_stream(&addr, &bodies, &weights, requests, seed))
+                std::thread::spawn(move || {
+                    run_stream(
+                        &addr,
+                        &bodies,
+                        est_bodies.as_deref().map(Vec::as_slice),
+                        &weights,
+                        requests,
+                        seed,
+                    )
+                })
             })
             .collect();
         let session_streams: Vec<_> = (0..args.sessions)
@@ -592,7 +672,17 @@ fn run(args: &Args) -> Result<String, String> {
     resident.sort_unstable();
     let mut cross: Vec<u64> = outcomes.iter().flat_map(|o| o.cross_us.clone()).collect();
     cross.sort_unstable();
-    let mut latencies: Vec<u64> = resident.iter().chain(&cross).copied().collect();
+    let mut estimator: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.estimator_us.clone())
+        .collect();
+    estimator.sort_unstable();
+    let mut latencies: Vec<u64> = resident
+        .iter()
+        .chain(&cross)
+        .chain(&estimator)
+        .copied()
+        .collect();
     latencies.sort_unstable();
     let mut warm_latencies: Vec<u64> = session_outcomes
         .iter()
@@ -632,6 +722,21 @@ fn run(args: &Args) -> Result<String, String> {
     ));
     if args.shards > 1 {
         for (label, sample) in [("resident", &resident), ("cross", &cross)] {
+            out.push_str(&format!(
+                "{label:<9} {} ok  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
+                sample.len(),
+                percentile(sample, 50.0) as f64 / 1e3,
+                percentile(sample, 90.0) as f64 / 1e3,
+                percentile(sample, 99.0) as f64 / 1e3,
+            ));
+        }
+    }
+    if let Some(algo) = &args.algo {
+        // Exact vs estimator-tier split: the exact sample is every
+        // response the classic path answered (resident and cross).
+        let mut exact: Vec<u64> = resident.iter().chain(&cross).copied().collect();
+        exact.sort_unstable();
+        for (label, sample) in [("exact", &exact), (algo.as_str(), &estimator)] {
             out.push_str(&format!(
                 "{label:<9} {} ok  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
                 sample.len(),
@@ -754,6 +859,64 @@ mod tests {
         assert!(parse_args(&argv(&["--zipf", "inf"])).is_err());
         assert!(parse_args(&argv(&["--bogus"])).is_err());
         assert!(parse_args(&argv(&["--addr", "x:1", "--graph", "g"])).is_err());
+    }
+
+    #[test]
+    fn parses_algo_flag_and_emits_estimator_bodies() {
+        assert_eq!(parse_args(&argv(&[])).unwrap().algo, None);
+        assert_eq!(
+            parse_args(&argv(&["--algo", "mc"]))
+                .unwrap()
+                .algo
+                .as_deref(),
+            Some("mc")
+        );
+        assert_eq!(
+            parse_args(&argv(&["--algo", "push"]))
+                .unwrap()
+                .algo
+                .as_deref(),
+            Some("push")
+        );
+        assert!(parse_args(&argv(&["--algo", "exactly"])).is_err());
+
+        let exact = request_bodies(4, 8, 2_000, 1);
+        let est = estimator_bodies(4, 8, 2_000, 1, "mc");
+        for (e, m) in exact.iter().zip(&est) {
+            // Same membership window, only the algorithm pin differs.
+            assert!(m.contains("\"algorithm\":\"mc\""), "{m}");
+            assert!(m.starts_with(e.trim_end_matches('}')), "{e} vs {m}");
+        }
+    }
+
+    /// End-to-end with `--algo mc`: the run stays error-free and the
+    /// report splits exact vs estimator percentiles, each tier having
+    /// actually answered half the requests.
+    #[test]
+    fn algo_run_reports_split_tier_percentiles() {
+        let report = run(&Args {
+            clients: 2,
+            requests: 8,
+            keys: 4,
+            members: 8,
+            algo: Some("mc".into()),
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(report.contains("16 ok, 0 errors"), "{report}");
+        let count = |prefix: &str| {
+            report
+                .lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("no {prefix} line in {report}"))
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert_eq!(count("exact"), 8, "{report}");
+        assert_eq!(count("mc"), 8, "{report}");
     }
 
     #[test]

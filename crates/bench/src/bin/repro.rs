@@ -21,7 +21,7 @@ use approxrank_bench::datasets::DatasetScale;
 use approxrank_bench::experiments::{
     ablation_cohesion, ablation_damping, ablation_serverrank, ablation_solvers, convergence,
     figure7, perf, scaling, scorecard, table2, table3, table4, table5, table6, theorem1, theorem2,
-    topk, updating, AuContext, ExperimentOutput, PoliticsContext,
+    topk, updating, walk_quality, AuContext, ExperimentOutput, PoliticsContext,
 };
 use approxrank_exec::{Executor, Partition};
 use approxrank_trace::{Event, Observer, Recorder};
@@ -30,7 +30,7 @@ const USAGE: &str =
     "usage: repro <experiment> [--scale F] [--jobs N] [--markdown] [--quiet] [--trace-json FILE]
 experiments: all, table2, table3, table4, table5, table6, figure7, theorem1, theorem2,
              topk, serverrank, updating, cohesion, damping, solvers, scaling,
-             convergence, scorecard, bench (extensions)";
+             convergence, scorecard, walk, bench (extensions)";
 
 struct Args {
     experiment: String,
@@ -275,6 +275,7 @@ fn main() -> ExitCode {
         "scaling" => h.run("scaling", || scaling::run(scale)),
         "convergence" => h.run("convergence", || convergence::run(scale)),
         "scorecard" => h.run("scorecard", || scorecard::run(scale)),
+        "walk" => h.run("walk", || walk_quality::run(scale)),
         "bench" => h.run("bench", || perf::run(scale)),
         other => {
             eprintln!("unknown experiment {other:?}\n{USAGE}");

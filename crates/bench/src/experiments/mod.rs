@@ -22,6 +22,7 @@ pub mod theorem1;
 pub mod theorem2;
 pub mod topk;
 pub mod updating;
+pub mod walk_quality;
 
 use approxrank_gen::{DomainDataset, TopicDataset};
 use approxrank_pagerank::PageRankOptions;

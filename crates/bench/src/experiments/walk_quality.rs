@@ -1,0 +1,301 @@
+//! Error-vs-work study for the estimator tier (`--algo mc|push`).
+//!
+//! Sweeps the Monte-Carlo walk budget on a real TS subgraph and measures
+//! how fast the estimate closes on the exact ApproxRank fixed point: L1
+//! distance, Kendall-τ distance restricted to the exact top-10, and the
+//! work spent (total walks and walk steps) against the exact solver's
+//! `edges × iterations` cost. A second sweep drives the local-push
+//! estimator over its residual budget and checks the measured L1 error
+//! stays inside the invariant bound it reports.
+//!
+//! The exact solver is itself an approximation of IdealRank (Theorem 2),
+//! so the notes put the estimator error next to the limit bound
+//! `ε/(1−ε)·‖E − E_approx‖₁` — sampling error below that line is noise
+//! relative to the modelling error ApproxRank already accepts.
+
+use approxrank_core::theory::{external_assumption_gap, theorem2_bound};
+use approxrank_core::{ApproxRank, SubgraphRanker};
+use approxrank_gen::politics::PAPER_TOPICS;
+use approxrank_graph::Subgraph;
+use approxrank_metrics::kendall::kendall_from_scores;
+use approxrank_metrics::l1_distance;
+use approxrank_walk::{LocalPushRank, McApproxRank, VisitCountStore, WalkConfig};
+
+use crate::datasets::DatasetScale;
+use crate::experiments::{experiment_options, ExperimentOutput, PoliticsContext};
+use crate::report::Table;
+
+/// Walk budgets (walks per source page) swept by the MC table.
+pub const BUDGETS: [u32; 5] = [64, 128, 256, 512, 1024];
+
+/// Residual budgets swept by the push table.
+pub const EPSILONS: [f64; 3] = [1e-2, 1e-3, 1e-4];
+
+/// One MC budget measurement.
+#[derive(Clone, Debug)]
+pub struct McRow {
+    /// Walks per source page.
+    pub walks_per_source: u32,
+    /// Total walks drawn (`sources × walks_per_source`).
+    pub total_walks: u64,
+    /// Total walk steps taken (each step crosses one edge).
+    pub total_steps: u64,
+    /// `‖exact − estimate‖₁` over the local pages plus Λ.
+    pub l1: f64,
+    /// Kendall-τ distance restricted to the exact top-10 pages.
+    pub kendall_top10: f64,
+    /// The estimator's self-reported one-step residual.
+    pub residual: f64,
+}
+
+/// One push budget measurement.
+#[derive(Clone, Debug)]
+pub struct PushRow {
+    /// Requested residual budget.
+    pub epsilon: f64,
+    /// Measured `‖exact − estimate‖₁`.
+    pub l1: f64,
+    /// The invariant bound `Σ residual` the estimator reported.
+    pub bound: f64,
+}
+
+/// Full result of the study.
+#[derive(Clone, Debug)]
+pub struct WalkQualityResult {
+    /// Subgraph used.
+    pub subgraph: &'static str,
+    /// Local pages in it.
+    pub pages: usize,
+    /// Edges of the extracted local graph.
+    pub local_edges: usize,
+    /// Edges of the global graph (what a global solve would touch).
+    pub global_edges: usize,
+    /// Iterations the exact solver needed.
+    pub exact_iterations: usize,
+    /// MC budget sweep.
+    pub mc: Vec<McRow>,
+    /// Push budget sweep.
+    pub push: Vec<PushRow>,
+    /// Theorem 2 limit bound for this subgraph (modelling error floor).
+    pub theorem2_limit: f64,
+}
+
+fn l1_with_lambda(a: &[f64], la: f64, b: &[f64], lb: f64) -> f64 {
+    l1_distance(a, b) + (la - lb).abs()
+}
+
+/// Runs both sweeps on one TS subgraph of the politics-like dataset.
+pub fn run_with(ctx: &PoliticsContext) -> (WalkQualityResult, ExperimentOutput) {
+    let (name, _) = PAPER_TOPICS[2]; // socialism: the smallest subgraph
+    let topic = ctx.data.topic_index(name).expect("paper topic exists");
+    let sub = Subgraph::extract(ctx.data.graph(), ctx.data.ts_subgraph(topic, 3));
+    let opts = experiment_options();
+    let g = ctx.data.graph();
+
+    let exact = ApproxRank::new(opts.clone()).rank(g, &sub);
+    let exact_lambda = exact.lambda_score.unwrap_or(0.0);
+    let top10: Vec<usize> = {
+        let mut order: Vec<usize> = (0..exact.local_scores.len()).collect();
+        order.sort_by(|&a, &b| exact.local_scores[b].total_cmp(&exact.local_scores[a]));
+        order.truncate(10);
+        order
+    };
+    let restrict = |scores: &[f64]| -> Vec<f64> { top10.iter().map(|&i| scores[i]).collect() };
+    let exact_top = restrict(&exact.local_scores);
+
+    // Shared Λ-collapse; each budget only re-draws the walks.
+    let ext = ApproxRank::new(opts.clone()).extended_graph(g, &sub);
+    let mc_rows: Vec<McRow> = BUDGETS
+        .iter()
+        .map(|&budget| {
+            let ranker = McApproxRank {
+                options: opts.clone(),
+                walks: budget,
+                ..McApproxRank::default()
+            };
+            let store = VisitCountStore::build(
+                &sub,
+                WalkConfig {
+                    walks: budget,
+                    damping: opts.damping,
+                    ..WalkConfig::default()
+                },
+            );
+            let scores = ranker.scores_from_store(&store, &sub, &ext, approxrank_trace::null());
+            let est = scores.estimate.expect("mc always reports an estimate");
+            McRow {
+                walks_per_source: budget,
+                total_walks: store.total_walks(),
+                total_steps: store.total_steps(),
+                l1: l1_with_lambda(
+                    &exact.local_scores,
+                    exact_lambda,
+                    &scores.local_scores,
+                    scores.lambda_score.unwrap_or(0.0),
+                ),
+                kendall_top10: kendall_from_scores(&exact_top, &restrict(&scores.local_scores)),
+                residual: est.residual,
+            }
+        })
+        .collect();
+
+    let push_rows: Vec<PushRow> = EPSILONS
+        .iter()
+        .map(|&epsilon| {
+            let scores = LocalPushRank {
+                options: opts.clone(),
+                epsilon,
+            }
+            .rank(g, &sub);
+            let est = scores.estimate.expect("push always reports its bound");
+            PushRow {
+                epsilon,
+                l1: l1_with_lambda(
+                    &exact.local_scores,
+                    exact_lambda,
+                    &scores.local_scores,
+                    scores.lambda_score.unwrap_or(0.0),
+                ),
+                bound: est.residual,
+            }
+        })
+        .collect();
+
+    let gap = external_assumption_gap(&ctx.truth.result.scores, &sub);
+    let result = WalkQualityResult {
+        subgraph: name,
+        pages: sub.len(),
+        local_edges: sub.local_graph().num_edges(),
+        global_edges: g.num_edges(),
+        exact_iterations: exact.iterations,
+        mc: mc_rows,
+        push: push_rows,
+        theorem2_limit: theorem2_bound(opts.damping, None, gap),
+    };
+
+    let mut mc_table = Table::new(
+        format!(
+            "Estimator tier — MC error vs walk budget on '{}' ({} pages, {} local edges; \
+             exact: {} iterations)",
+            result.subgraph, result.pages, result.local_edges, result.exact_iterations
+        ),
+        &[
+            "walks/source",
+            "total walks",
+            "walk steps",
+            "‖exact−mc‖₁",
+            "top-10 τ-dist",
+            "residual",
+        ],
+    );
+    for r in &result.mc {
+        mc_table.push_row(vec![
+            r.walks_per_source.to_string(),
+            r.total_walks.to_string(),
+            r.total_steps.to_string(),
+            format!("{:.3e}", r.l1),
+            format!("{:.3}", r.kendall_top10),
+            format!("{:.3e}", r.residual),
+        ]);
+    }
+    let mut push_table = Table::new(
+        format!(
+            "Estimator tier — local push error vs ε on '{}'",
+            result.subgraph
+        ),
+        &["epsilon", "‖exact−push‖₁", "reported bound"],
+    );
+    for r in &result.push {
+        push_table.push_row(vec![
+            format!("{:.0e}", r.epsilon),
+            format!("{:.3e}", r.l1),
+            format!("{:.3e}", r.bound),
+        ]);
+    }
+    let global_work = result.global_edges as u64 * result.exact_iterations as u64;
+    let default_row = result
+        .mc
+        .iter()
+        .find(|r| r.walks_per_source == approxrank_walk::counts::DEFAULT_WALKS)
+        .expect("the default budget is in the sweep");
+    let out = ExperimentOutput {
+        tables: vec![mc_table, push_table],
+        notes: vec![
+            format!(
+                "a global solve at the exact solver's rate would touch edges × iterations \
+                 = {global_work} edges; the default MC budget ({} walks/source) spends {} \
+                 walks ({} steps)",
+                default_row.walks_per_source, default_row.total_walks, default_row.total_steps
+            ),
+            format!(
+                "Theorem 2 limit bound ε/(1−ε)·‖E − E_approx‖₁ = {:.3e}: sampling error \
+                 below this line is noise relative to the modelling error ApproxRank \
+                 already accepts",
+                result.theorem2_limit
+            ),
+        ],
+    };
+    (result, out)
+}
+
+/// Builds the context and runs the study.
+pub fn run(scale: DatasetScale) -> ExperimentOutput {
+    run_with(&PoliticsContext::build(scale)).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support;
+
+    #[test]
+    fn mc_accuracy_and_work_meet_the_acceptance_bar() {
+        let ctx = test_support::politics();
+        let (result, _) = run_with(&ctx);
+
+        // Error shrinks as the budget grows (compare the sweep's ends —
+        // individual steps may jitter).
+        let first = result.mc.first().unwrap();
+        let last = result.mc.last().unwrap();
+        assert!(
+            last.l1 < first.l1,
+            "L1 must shrink across the sweep: {} → {}",
+            first.l1,
+            last.l1
+        );
+
+        // Acceptance: at the default budget the exact top-10 is
+        // essentially recovered, with sublinear work.
+        let default_row = result
+            .mc
+            .iter()
+            .find(|r| r.walks_per_source == approxrank_walk::counts::DEFAULT_WALKS)
+            .unwrap();
+        assert!(
+            default_row.kendall_top10 <= 0.1,
+            "top-10 Kendall distance {} > 0.1 at the default budget",
+            default_row.kendall_top10
+        );
+        // Acceptance: walk count < graph edge count × exact iterations.
+        let exact_work = result.global_edges as u64 * result.exact_iterations as u64;
+        assert!(
+            default_row.total_walks < exact_work,
+            "MC spent {} walks but exact work is only {exact_work}",
+            default_row.total_walks
+        );
+
+        // Push: the measured error respects the invariant bound (plus the
+        // exact solver's own convergence slack).
+        for r in &result.push {
+            assert!(
+                r.l1 <= r.bound + 1e-4,
+                "push at ε={}: L1 {} exceeds reported bound {}",
+                r.epsilon,
+                r.l1,
+                r.bound
+            );
+        }
+        // Tighter ε must tighten the bound.
+        assert!(result.push.last().unwrap().bound < result.push.first().unwrap().bound);
+    }
+}

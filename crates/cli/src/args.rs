@@ -18,6 +18,11 @@ pub enum Algorithm {
     Lpr2,
     /// Stochastic complementation baseline.
     Sc,
+    /// Monte-Carlo walk estimator (sublinear; see `--walks`/`--seed`).
+    Mc,
+    /// Local-push estimator with an explicit residual bound
+    /// (see `--epsilon`).
+    Push,
 }
 
 impl Algorithm {
@@ -28,8 +33,10 @@ impl Algorithm {
             "local" => Ok(Algorithm::Local),
             "lpr2" => Ok(Algorithm::Lpr2),
             "sc" => Ok(Algorithm::Sc),
+            "mc" => Ok(Algorithm::Mc),
+            "push" => Ok(Algorithm::Push),
             other => Err(format!(
-                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc)"
+                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc|mc|push)"
             )),
         }
     }
@@ -90,7 +97,7 @@ impl TraceOpts {
 }
 
 /// `subrank rank` arguments.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RankArgs {
     /// Edge-list (or binary) graph file.
     pub graph: String,
@@ -104,12 +111,37 @@ pub struct RankArgs {
     pub damping: f64,
     /// Convergence tolerance.
     pub tolerance: f64,
+    /// Walks per source page (`mc` only).
+    pub walks: u32,
+    /// Residual budget (`push`) / MC inversion depth knob.
+    pub epsilon: f64,
+    /// RNG seed (`mc` only; same seed ⇒ bitwise-identical output).
+    pub seed: u64,
     /// Print only the top-k pages (0 = all).
     pub top: usize,
     /// Worker threads for the solvers (1 = sequential, the default).
     pub threads: usize,
     /// Telemetry flags.
     pub trace: TraceOpts,
+}
+
+impl Default for RankArgs {
+    fn default() -> Self {
+        RankArgs {
+            graph: String::new(),
+            subgraph: String::new(),
+            algorithm: Algorithm::default(),
+            scores: None,
+            damping: 0.85,
+            tolerance: 1e-5,
+            walks: approxrank_walk::counts::DEFAULT_WALKS,
+            epsilon: approxrank_walk::DEFAULT_EPSILON,
+            seed: approxrank_walk::counts::DEFAULT_SEED,
+            top: 0,
+            threads: 1,
+            trace: TraceOpts::default(),
+        }
+    }
 }
 
 /// `subrank global` arguments.
@@ -276,8 +308,9 @@ pub enum Command {
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "usage:
-  subrank rank   --graph FILE --subgraph FILE [--algorithm approxrank|idealrank|local|lpr2|sc]
+  subrank rank   --graph FILE --subgraph FILE [--algo approxrank|idealrank|local|lpr2|sc|mc|push]
                  [--scores FILE] [--damping 0.85] [--tolerance 1e-5] [--top K]
+                 [--walks 256] [--epsilon 0.001] [--seed 42]        (mc/push estimator knobs)
                  [--threads N] [--trace] [--trace-json FILE] [--quiet]
   subrank global --graph FILE [--solver power|gauss-seidel|gs-rb|extrapolated]
                  [--damping 0.85] [--tolerance 1e-5] [--top K]
@@ -416,19 +449,30 @@ impl Cli {
                 let args = RankArgs {
                     graph: opts.require("graph")?,
                     subgraph: opts.require("subgraph")?,
-                    algorithm: match opts.take("algorithm") {
+                    // `--algo` is the documented short form; `--algorithm`
+                    // stays for compatibility with existing scripts.
+                    algorithm: match opts.take("algorithm").or_else(|| opts.take("algo")) {
                         None => Algorithm::default(),
                         Some(v) => Algorithm::parse(&v)?,
                     },
                     scores: opts.take("scores"),
                     damping: take_damping(&mut opts)?,
                     tolerance: take_tolerance(&mut opts)?,
+                    walks: opts.numeric("walks", approxrank_walk::counts::DEFAULT_WALKS)?,
+                    epsilon: opts.numeric("epsilon", approxrank_walk::DEFAULT_EPSILON)?,
+                    seed: opts.numeric("seed", approxrank_walk::counts::DEFAULT_SEED)?,
                     top: opts.numeric("top", 0usize)?,
                     threads: take_threads(&mut opts)?,
                     trace: TraceOpts::take(&mut opts),
                 };
                 if args.algorithm == Algorithm::IdealRank && args.scores.is_none() {
                     return Err("idealrank requires --scores FILE".into());
+                }
+                if args.walks == 0 {
+                    return Err("--walks must be at least 1".into());
+                }
+                if !(args.epsilon > 0.0 && args.epsilon.is_finite()) {
+                    return Err(format!("--epsilon must be positive, got {}", args.epsilon));
                 }
                 Command::Rank(args)
             }
@@ -648,6 +692,46 @@ mod tests {
         assert_eq!(a.damping, 0.9);
         assert_eq!(a.tolerance, 1e-8);
         assert_eq!(a.top, 10);
+    }
+
+    #[test]
+    fn parses_rank_estimator_flags() {
+        // `--algo` is an alias for `--algorithm`; defaults match the walk
+        // crate's constants.
+        let cli = Cli::parse(&argv("rank --graph g --subgraph s --algo mc")).unwrap();
+        let Command::Rank(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.algorithm, Algorithm::Mc);
+        assert_eq!(a.walks, approxrank_walk::counts::DEFAULT_WALKS);
+        assert_eq!(a.epsilon, approxrank_walk::DEFAULT_EPSILON);
+        assert_eq!(a.seed, approxrank_walk::counts::DEFAULT_SEED);
+
+        let cli = Cli::parse(&argv(
+            "rank --graph g --subgraph s --algo push --walks 32 --epsilon 0.01 --seed 9",
+        ))
+        .unwrap();
+        let Command::Rank(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.algorithm, Algorithm::Push);
+        assert_eq!(a.walks, 32);
+        assert_eq!(a.epsilon, 0.01);
+        assert_eq!(a.seed, 9);
+
+        assert!(Cli::parse(&argv("rank --graph g --subgraph s --walks 0"))
+            .unwrap_err()
+            .contains("--walks"));
+        assert!(
+            Cli::parse(&argv("rank --graph g --subgraph s --epsilon -1"))
+                .unwrap_err()
+                .contains("--epsilon")
+        );
+        assert!(
+            Cli::parse(&argv("rank --graph g --subgraph s --algo bogus"))
+                .unwrap_err()
+                .contains("unknown algorithm")
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use approxrank_core::{ApproxRank, IdealRank, StochasticComplementation, Subgraph
 use approxrank_graph::{NodeSet, Subgraph};
 use approxrank_pagerank::PageRankOptions;
 use approxrank_trace::{Observer, Recorder};
+use approxrank_walk::{LocalPushRank, McApproxRank};
 
 use crate::args::{Algorithm, RankArgs};
 use crate::commands::{load_graph, load_node_ids, load_scores, render_scores, render_trace};
@@ -35,6 +36,16 @@ pub fn run(args: &RankArgs) -> Result<String, String> {
         Algorithm::Sc => Box::new(StochasticComplementation {
             options,
             ..StochasticComplementation::default()
+        }),
+        Algorithm::Mc => Box::new(McApproxRank {
+            options,
+            walks: args.walks,
+            epsilon: args.epsilon,
+            seed: args.seed,
+        }),
+        Algorithm::Push => Box::new(LocalPushRank {
+            options,
+            epsilon: args.epsilon,
         }),
         Algorithm::IdealRank => {
             let Some(path) = args.scores.as_ref() else {
@@ -82,6 +93,12 @@ pub fn run(args: &RankArgs) -> Result<String, String> {
         if let Some(lambda) = result.lambda_score {
             out.push_str(&format!(
                 "# external node Λ holds {lambda:.6} of the mass\n"
+            ));
+        }
+        if let Some(est) = result.estimate {
+            out.push_str(&format!(
+                "# estimate: {} walks, epsilon {:e}, residual bound {:.3e}\n",
+                est.walks, est.epsilon, est.residual
             ));
         }
     }
@@ -136,21 +153,38 @@ mod tests {
             Algorithm::Local,
             Algorithm::Lpr2,
             Algorithm::Sc,
+            Algorithm::Mc,
+            Algorithm::Push,
         ] {
             let out = run(&RankArgs {
                 graph: g.clone(),
                 subgraph: s.clone(),
                 algorithm: algo,
-                scores: None,
-                damping: 0.85,
                 tolerance: 1e-8,
-                top: 0,
-                threads: 1,
-                trace: Default::default(),
+                ..Default::default()
             })
             .unwrap();
             assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 5);
         }
+    }
+
+    #[test]
+    fn mc_is_seed_deterministic_and_reports_estimate() {
+        let (g, s) = setup();
+        let args = RankArgs {
+            graph: g,
+            subgraph: s,
+            algorithm: Algorithm::Mc,
+            walks: 64,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = run(&args).unwrap();
+        let b = run(&args).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the output bitwise");
+        assert!(a.contains("# estimate: 256 walks"), "{a}");
+        let c = run(&RankArgs { seed: 8, ..args }).unwrap();
+        assert_ne!(a, c, "a different seed draws different walks");
     }
 
     #[test]
@@ -159,13 +193,9 @@ mod tests {
         let out = run(&RankArgs {
             graph: g,
             subgraph: s,
-            algorithm: Algorithm::ApproxRank,
-            scores: None,
-            damping: 0.85,
             tolerance: 1e-8,
             top: 2,
-            threads: 1,
-            trace: Default::default(),
+            ..Default::default()
         })
         .unwrap();
         assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 3);
@@ -180,17 +210,13 @@ mod tests {
         let out = run(&RankArgs {
             graph: g.clone(),
             subgraph: s.clone(),
-            algorithm: Algorithm::ApproxRank,
-            scores: None,
-            damping: 0.85,
             tolerance: 1e-8,
-            top: 0,
-            threads: 1,
             trace: TraceOpts {
                 trace: true,
                 trace_json: Some(jsonl.clone()),
                 quiet: false,
             },
+            ..Default::default()
         })
         .unwrap();
         // The report rides along as comment lines mentioning the solver.
@@ -204,16 +230,12 @@ mod tests {
         let out = run(&RankArgs {
             graph: g,
             subgraph: s,
-            algorithm: Algorithm::ApproxRank,
-            scores: None,
-            damping: 0.85,
             tolerance: 1e-8,
-            top: 0,
-            threads: 1,
             trace: TraceOpts {
                 quiet: true,
                 ..TraceOpts::default()
             },
+            ..Default::default()
         })
         .unwrap();
         assert!(out.lines().all(|l| !l.starts_with('#')), "{out}");
@@ -228,13 +250,7 @@ mod tests {
         let err = run(&RankArgs {
             graph: g,
             subgraph: bad.to_string_lossy().into_owned(),
-            algorithm: Algorithm::ApproxRank,
-            scores: None,
-            damping: 0.85,
-            tolerance: 1e-5,
-            top: 0,
-            threads: 1,
-            trace: Default::default(),
+            ..Default::default()
         })
         .unwrap_err();
         assert!(err.contains("out of range"));

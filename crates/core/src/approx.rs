@@ -248,6 +248,7 @@ impl ApproxRank {
             lambda_score: Some(lambda),
             iterations: result.iterations,
             converged: result.converged,
+            estimate: None,
         }
     }
 }

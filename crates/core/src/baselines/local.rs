@@ -34,6 +34,7 @@ impl SubgraphRanker for LocalPageRank {
             lambda_score: None,
             iterations: result.iterations,
             converged: result.converged,
+            estimate: None,
         }
     }
 
@@ -49,6 +50,7 @@ impl SubgraphRanker for LocalPageRank {
             lambda_score: None,
             iterations: result.iterations,
             converged: result.converged,
+            estimate: None,
         }
     }
 }

@@ -80,6 +80,7 @@ impl SubgraphRanker for Lpr2 {
             lambda_score: Some(xi_score),
             iterations: result.iterations,
             converged: result.converged,
+            estimate: None,
         }
     }
 }

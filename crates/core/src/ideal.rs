@@ -179,6 +179,7 @@ impl IdealRank {
             lambda_score: Some(lambda),
             iterations: result.iterations,
             converged: result.converged,
+            estimate: None,
         }
     }
 
@@ -213,6 +214,7 @@ impl IdealRank {
             lambda_score: Some(lambda),
             iterations: result.iterations,
             converged: result.converged,
+            estimate: None,
         }
     }
 }

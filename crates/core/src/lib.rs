@@ -55,7 +55,7 @@ pub use extended::ExtendedLocalGraph;
 pub use ideal::IdealRank;
 pub use p2p::JxpNetwork;
 pub use precompute::{GlobalAggregates, GlobalPrecomputation};
-pub use ranker::{RankScores, SubgraphRanker};
+pub use ranker::{Estimate, RankScores, SubgraphRanker};
 pub use sc::StochasticComplementation;
 pub use session::SubgraphSession;
 pub use updating::IadUpdate;

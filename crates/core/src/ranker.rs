@@ -3,6 +3,24 @@
 use approxrank_graph::{DiGraph, Subgraph};
 use approxrank_trace::Observer;
 
+/// How an *estimated* (non-exact) result was produced and how far it may
+/// be from the converged answer. Exact solvers leave
+/// [`RankScores::estimate`] as `None`; the Monte-Carlo and local-push
+/// estimators fill it in so callers can distinguish an approximate
+/// answer from a converged one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Total random walks backing the estimate (0 for local push).
+    pub walks: u64,
+    /// The requested accuracy target (the push threshold budget, echoed
+    /// for Monte-Carlo).
+    pub epsilon: f64,
+    /// An explicit error bound or measurement: for local push the
+    /// remaining residual mass (`‖π − p̂‖₁ ≤ residual`); for Monte-Carlo
+    /// the L1 change of one exact power step applied to the estimate.
+    pub residual: f64,
+}
+
 /// The output of a subgraph-ranking algorithm.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankScores {
@@ -11,10 +29,14 @@ pub struct RankScores {
     /// Score of the external node `Λ` (absent for algorithms without one,
     /// e.g. local PageRank).
     pub lambda_score: Option<f64>,
-    /// Power iterations the final solve took.
+    /// Power iterations the final solve took (for estimators: sources
+    /// walked, or pushes performed).
     pub iterations: usize,
     /// Whether the final solve converged within its iteration cap.
     pub converged: bool,
+    /// Present when the scores are an estimate rather than a converged
+    /// solve (see [`Estimate`]).
+    pub estimate: Option<Estimate>,
 }
 
 impl RankScores {
@@ -73,6 +95,7 @@ mod tests {
             lambda_score: Some(0.6),
             iterations: 3,
             converged: true,
+            estimate: None,
         };
         assert!((r.local_mass() - 0.4).abs() < 1e-15);
         let n = r.normalized_local();
@@ -87,6 +110,7 @@ mod tests {
             lambda_score: None,
             iterations: 0,
             converged: true,
+            estimate: None,
         };
         assert_eq!(r.normalized_local(), vec![0.0, 0.0]);
     }

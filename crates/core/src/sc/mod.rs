@@ -219,6 +219,7 @@ impl StochasticComplementation {
                 lambda_score: None,
                 iterations,
                 converged,
+                estimate: None,
             },
             report,
         )

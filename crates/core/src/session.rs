@@ -268,6 +268,7 @@ impl SubgraphSession {
             lambda_score: Some(lambda),
             iterations: result.iterations,
             converged: result.converged,
+            estimate: None,
         }
     }
 }

@@ -224,6 +224,7 @@ fn solve(ext: &ExtendedLocalGraph, options: &PageRankOptions) -> RankScores {
         lambda_score: Some(lambda),
         iterations: result.iterations,
         converged: result.converged,
+        estimate: None,
     }
 }
 

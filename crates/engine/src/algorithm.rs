@@ -13,6 +13,10 @@ pub enum Algorithm {
     Lpr2,
     /// Stochastic complementation baseline.
     Sc,
+    /// Monte-Carlo ApproxRank estimator (seeded walks).
+    Mc,
+    /// Local-push ApproxRank estimator (residual-bounded).
+    Push,
 }
 
 impl Algorithm {
@@ -25,8 +29,10 @@ impl Algorithm {
             "local" => Ok(Algorithm::Local),
             "lpr2" => Ok(Algorithm::Lpr2),
             "sc" => Ok(Algorithm::Sc),
+            "mc" => Ok(Algorithm::Mc),
+            "push" => Ok(Algorithm::Push),
             other => Err(format!(
-                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc)"
+                "unknown algorithm {other:?} (approxrank|idealrank|local|lpr2|sc|mc|push)"
             )),
         }
     }
@@ -39,6 +45,8 @@ impl Algorithm {
             Algorithm::Local => 2,
             Algorithm::Lpr2 => 3,
             Algorithm::Sc => 4,
+            Algorithm::Mc => 5,
+            Algorithm::Push => 6,
         }
     }
 
@@ -50,7 +58,15 @@ impl Algorithm {
             Algorithm::Local => "local",
             Algorithm::Lpr2 => "lpr2",
             Algorithm::Sc => "sc",
+            Algorithm::Mc => "mc",
+            Algorithm::Push => "push",
         }
+    }
+
+    /// Whether results of this algorithm are sampled/bounded *estimates*
+    /// carrying an `estimate` block, rather than converged solves.
+    pub fn is_estimator(self) -> bool {
+        matches!(self, Algorithm::Mc | Algorithm::Push)
     }
 }
 
@@ -66,6 +82,8 @@ mod tests {
             Algorithm::Local,
             Algorithm::Lpr2,
             Algorithm::Sc,
+            Algorithm::Mc,
+            Algorithm::Push,
         ] {
             assert_eq!(Algorithm::parse(algo.name()), Ok(algo));
         }
@@ -80,10 +98,12 @@ mod tests {
             Algorithm::Local,
             Algorithm::Lpr2,
             Algorithm::Sc,
+            Algorithm::Mc,
+            Algorithm::Push,
         ]
         .iter()
         .map(|a| a.code())
         .collect();
-        assert_eq!(codes.len(), 5);
+        assert_eq!(codes.len(), 7);
     }
 }

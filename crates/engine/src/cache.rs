@@ -25,6 +25,11 @@ pub struct CacheKey {
     pub damping_bits: u64,
     /// `f64::to_bits` of the tolerance.
     pub tolerance_bits: u64,
+    /// Estimator-parameter fingerprint: 0 for exact algorithms; for the
+    /// Monte-Carlo and push estimators a mix of their walk budget, seed,
+    /// and epsilon (see [`estimator_bits`]) so results computed under
+    /// different sampling parameters never alias.
+    pub estimator_bits: u64,
     /// Sorted, deduplicated member ids. `Arc` keeps key clones cheap —
     /// the key is cloned into the shard on insert.
     pub members: Arc<[u32]>,
@@ -37,10 +42,14 @@ pub struct CachedResult {
     pub scores: Arc<Vec<(u32, f64)>>,
     /// The external node Λ's score, when the algorithm has one.
     pub lambda: Option<f64>,
-    /// Iterations the solve took.
+    /// Iterations the solve took (for estimators: sources walked or
+    /// pushes performed).
     pub iterations: usize,
     /// Whether the solve converged.
     pub converged: bool,
+    /// Present when the scores are an estimate rather than a converged
+    /// solve: the walk count, accuracy target, and residual behind them.
+    pub estimate: Option<approxrank_core::Estimate>,
 }
 
 /// Point-in-time counters for `/stats` and `/metrics`.
@@ -185,7 +194,14 @@ impl ShardedCache {
 
 /// Builds the canonical key for a computation: members must already be
 /// sorted and deduplicated (the handler's `NodeSet` pass guarantees it).
-pub fn cache_key(algorithm: u8, damping: f64, tolerance: f64, members: &[u32]) -> CacheKey {
+/// `estimator` is 0 for exact algorithms (see [`estimator_bits`]).
+pub fn cache_key(
+    algorithm: u8,
+    damping: f64,
+    tolerance: f64,
+    estimator: u64,
+    members: &[u32],
+) -> CacheKey {
     debug_assert!(
         members.windows(2).all(|w| w[0] < w[1]),
         "members not sorted"
@@ -194,8 +210,24 @@ pub fn cache_key(algorithm: u8, damping: f64, tolerance: f64, members: &[u32]) -
         algorithm,
         damping_bits: damping.to_bits(),
         tolerance_bits: tolerance.to_bits(),
+        estimator_bits: estimator,
         members: members.into(),
     }
+}
+
+/// Fingerprints estimator parameters into one key word. Exact solvers
+/// pass nothing and get 0; changing any of the walk budget, the seed, or
+/// epsilon changes the fingerprint (an avalanche mix keeps distinct
+/// triples from colliding in practice).
+pub fn estimator_bits(walks: u32, epsilon: f64, seed: u64) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for word in [walks as u64, epsilon.to_bits(), seed] {
+        acc ^= word;
+        acc = acc.wrapping_mul(0x100_0000_01b3); // FNV prime
+        acc ^= acc >> 29;
+    }
+    // Never collide with the exact solvers' reserved 0.
+    acc | 1
 }
 
 #[cfg(test)]
@@ -208,13 +240,14 @@ mod tests {
             lambda: Some(0.5),
             iterations: tag,
             converged: true,
+            estimate: None,
         }
     }
 
     #[test]
     fn hit_after_insert() {
         let cache = ShardedCache::new(64);
-        let key = cache_key(0, 0.85, 1e-5, &[1, 2, 3]);
+        let key = cache_key(0, 0.85, 1e-5, 0, &[1, 2, 3]);
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), result(7));
         let got = cache.get(&key).unwrap();
@@ -226,21 +259,36 @@ mod tests {
     #[test]
     fn distinct_options_are_distinct_keys() {
         let cache = ShardedCache::new(64);
-        let a = cache_key(0, 0.85, 1e-5, &[1, 2]);
-        let b = cache_key(0, 0.9, 1e-5, &[1, 2]);
-        let c = cache_key(1, 0.85, 1e-5, &[1, 2]);
-        let d = cache_key(0, 0.85, 1e-5, &[1, 2, 3]);
+        let a = cache_key(0, 0.85, 1e-5, 0, &[1, 2]);
+        let b = cache_key(0, 0.9, 1e-5, 0, &[1, 2]);
+        let c = cache_key(1, 0.85, 1e-5, 0, &[1, 2]);
+        let d = cache_key(0, 0.85, 1e-5, 0, &[1, 2, 3]);
+        let e = cache_key(0, 0.85, 1e-5, estimator_bits(256, 1e-3, 42), &[1, 2]);
         cache.insert(a.clone(), result(1));
-        for other in [&b, &c, &d] {
+        for other in [&b, &c, &d, &e] {
             assert!(cache.get(other).is_none());
         }
         assert_eq!(cache.get(&a).unwrap().iterations, 1);
     }
 
     #[test]
+    fn estimator_fingerprints_are_distinct_and_nonzero() {
+        let base = estimator_bits(256, 1e-3, 42);
+        assert_ne!(base, 0);
+        for other in [
+            estimator_bits(512, 1e-3, 42),
+            estimator_bits(256, 1e-2, 42),
+            estimator_bits(256, 1e-3, 43),
+        ] {
+            assert_ne!(base, other);
+            assert_ne!(other, 0);
+        }
+    }
+
+    #[test]
     fn invalidation_removes_and_counts() {
         let cache = ShardedCache::new(64);
-        let key = cache_key(0, 0.85, 1e-5, &[4, 5]);
+        let key = cache_key(0, 0.85, 1e-5, 0, &[4, 5]);
         cache.insert(key.clone(), result(1));
         assert!(cache.invalidate(&key));
         assert!(!cache.invalidate(&key));
@@ -253,7 +301,7 @@ mod tests {
         // Tiny cache: one entry per shard.
         let cache = ShardedCache::new(1);
         for i in 0..200u32 {
-            cache.insert(cache_key(0, 0.85, 1e-5, &[i]), result(i as usize));
+            cache.insert(cache_key(0, 0.85, 1e-5, 0, &[i]), result(i as usize));
         }
         let s = cache.stats();
         assert!(s.evictions > 0, "{s:?}");

@@ -13,9 +13,10 @@ use approxrank_graph::{DiGraph, GlobalView, NodeId, NodeSet, Shard, SubgraphSour
 use approxrank_pagerank::{pagerank, PageRankOptions};
 use approxrank_store::{FsyncPolicy, SessionStore, WalEvent};
 use approxrank_trace::{Observer, Stopwatch};
+use approxrank_walk::{LocalPushRank, McApproxRank, McSession};
 
 use crate::algorithm::Algorithm;
-use crate::cache::{cache_key, CacheKey, CacheStats, CachedResult, ShardedCache};
+use crate::cache::{cache_key, estimator_bits, CacheKey, CacheStats, CachedResult, ShardedCache};
 
 /// Tunables an [`Engine`] is built with.
 #[derive(Clone, Debug)]
@@ -56,17 +57,104 @@ pub(crate) enum Backend {
     Shard(Arc<Shard>),
 }
 
+/// The warm solver behind one open session: exact power iteration or the
+/// Monte-Carlo estimator tier.
+pub enum SessionSolver {
+    /// Converged warm-start power iteration
+    /// ([`approxrank_core::SubgraphSession`]).
+    Exact(SubgraphSession),
+    /// Seeded Monte-Carlo visit counts with incremental re-walks
+    /// ([`approxrank_walk::McSession`]) — answers carry an `estimate`
+    /// block and membership edits re-walk only sources near the edit.
+    Mc(McSession),
+}
+
+impl SessionSolver {
+    /// Current members in local-id order.
+    pub fn members(&self) -> &[u32] {
+        match self {
+            SessionSolver::Exact(s) => s.members(),
+            SessionSolver::Mc(s) => s.members(),
+        }
+    }
+
+    /// Work the most recent solve took (iterations, or sources walked).
+    pub fn last_iterations(&self) -> usize {
+        match self {
+            SessionSolver::Exact(s) => s.last_iterations(),
+            SessionSolver::Mc(s) => s.sources(),
+        }
+    }
+
+    /// The last persisted-form solution (exact sessions only — estimator
+    /// sessions are ephemeral and rebuild their store on boot).
+    pub fn last_solution(&self) -> Option<(&[(u32, f64)], f64)> {
+        match self {
+            SessionSolver::Exact(s) => s.last_solution(),
+            SessionSolver::Mc(_) => None,
+        }
+    }
+
+    fn add_pages_via(&mut self, source: &dyn SubgraphSource, pages: &[NodeId]) {
+        match self {
+            SessionSolver::Exact(s) => s.add_pages_via(source, pages),
+            SessionSolver::Mc(s) => s.add_pages_via(source, pages),
+        }
+    }
+
+    fn remove_pages_via(&mut self, source: &dyn SubgraphSource, pages: &[NodeId]) {
+        match self {
+            SessionSolver::Exact(s) => s.remove_pages_via(source, pages),
+            SessionSolver::Mc(s) => s.remove_pages_via(source, pages),
+        }
+    }
+
+    fn solve(&mut self, obs: &dyn Observer) -> approxrank_core::RankScores {
+        match self {
+            SessionSolver::Exact(s) => s.solve(),
+            SessionSolver::Mc(s) => s.solve_observed(obs),
+        }
+    }
+}
+
 /// One open session: the warm solver plus the cache key of the last
 /// membership it published (invalidated on mutation).
 pub struct EngineSession {
     /// The warm-start solver.
-    pub session: SubgraphSession,
+    pub solver: SessionSolver,
     /// Cache key for the membership at the last solve, if any.
     pub published_key: Option<CacheKey>,
+    /// The algorithm the session runs (`approxrank` or `mc`).
+    pub algorithm: Algorithm,
+    /// Estimator parameters (ignored by exact sessions).
+    pub estimator: EstimatorOptions,
     /// Damping the session was opened with (sessions pin their options).
     pub damping: f64,
     /// Tolerance the session was opened with.
     pub tolerance: f64,
+}
+
+/// Parameters of the estimator tier, carried on every request (exact
+/// algorithms ignore them).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EstimatorOptions {
+    /// Monte-Carlo walks per source page.
+    pub walks: u32,
+    /// Accuracy target: the push estimator's residual budget, echoed in
+    /// Monte-Carlo results.
+    pub epsilon: f64,
+    /// Monte-Carlo run seed (same seed ⇒ bitwise-identical estimates).
+    pub seed: u64,
+}
+
+impl Default for EstimatorOptions {
+    fn default() -> EstimatorOptions {
+        EstimatorOptions {
+            walks: approxrank_walk::counts::DEFAULT_WALKS,
+            epsilon: approxrank_walk::DEFAULT_EPSILON,
+            seed: approxrank_walk::counts::DEFAULT_SEED,
+        }
+    }
 }
 
 /// A validated ranking request: members sorted, deduplicated, and all
@@ -81,6 +169,24 @@ pub struct RankRequest {
     pub damping: f64,
     /// Convergence tolerance.
     pub tolerance: f64,
+    /// Estimator parameters (used when `algorithm` is `mc` or `push`).
+    pub estimator: EstimatorOptions,
+}
+
+impl RankRequest {
+    /// The cache-key fingerprint of this request's estimator parameters
+    /// (0 for exact algorithms).
+    pub fn estimator_fingerprint(&self) -> u64 {
+        if self.algorithm.is_estimator() {
+            estimator_bits(
+                self.estimator.walks,
+                self.estimator.epsilon,
+                self.estimator.seed,
+            )
+        } else {
+            0
+        }
+    }
 }
 
 /// A ranking answer plus whether it came from the cache.
@@ -152,6 +258,7 @@ fn to_cached(members: &[u32], result: approxrank_core::RankScores) -> CachedResu
         lambda: result.lambda_score,
         iterations: result.iterations,
         converged: result.converged,
+        estimate: result.estimate,
     }
 }
 
@@ -297,6 +404,16 @@ impl Engine {
                         options,
                         global_scores: self.global_scores(obs)?.clone(),
                     }),
+                    Algorithm::Mc => Box::new(McApproxRank {
+                        options,
+                        walks: params.estimator.walks,
+                        epsilon: params.estimator.epsilon,
+                        seed: params.estimator.seed,
+                    }),
+                    Algorithm::Push => Box::new(LocalPushRank {
+                        options,
+                        epsilon: params.estimator.epsilon,
+                    }),
                 };
                 let nodes = NodeSet::from_sorted(graph.num_nodes(), params.members.iter().copied());
                 let subgraph = approxrank_graph::Subgraph::extract(graph, nodes);
@@ -306,9 +423,15 @@ impl Engine {
                 ))
             }
             Backend::Shard(shard) => {
-                if params.algorithm != Algorithm::ApproxRank {
+                // The Λ-collapse algorithms are the ones whose global
+                // inputs reduce to two scalars — ApproxRank exactly, and
+                // both of its estimators.
+                if !matches!(
+                    params.algorithm,
+                    Algorithm::ApproxRank | Algorithm::Mc | Algorithm::Push
+                ) {
                     return Err(EngineError::BadRequest(format!(
-                        "algorithm {:?} is unavailable on a shard engine (approxrank only)",
+                        "algorithm {:?} is unavailable on a shard engine (approxrank, mc, and push only)",
                         params.algorithm.name()
                     )));
                 }
@@ -321,10 +444,23 @@ impl Engine {
                     num_nodes: source.global_nodes(),
                     num_dangling: source.num_dangling(),
                 };
-                Ok(to_cached(
-                    &params.members,
-                    ApproxRank::new(options).rank_subgraph_aggregated_observed(agg, &subgraph, obs),
-                ))
+                let scores = match params.algorithm {
+                    Algorithm::Mc => McApproxRank {
+                        options,
+                        walks: params.estimator.walks,
+                        epsilon: params.estimator.epsilon,
+                        seed: params.estimator.seed,
+                    }
+                    .rank_aggregated_observed(agg, &subgraph, obs),
+                    Algorithm::Push => LocalPushRank {
+                        options,
+                        epsilon: params.estimator.epsilon,
+                    }
+                    .rank_aggregated_observed(agg, &subgraph, obs),
+                    _ => ApproxRank::new(options)
+                        .rank_subgraph_aggregated_observed(agg, &subgraph, obs),
+                };
+                Ok(to_cached(&params.members, scores))
             }
         }
     }
@@ -340,6 +476,7 @@ impl Engine {
             params.algorithm.code(),
             params.damping,
             params.tolerance,
+            params.estimator_fingerprint(),
             &params.members,
         );
         let probe = Stopwatch::start(obs);
@@ -366,14 +503,23 @@ impl Engine {
         })
     }
 
-    /// The cache key a session's current membership occupies (ApproxRank —
-    /// the only algorithm sessions run).
+    /// The cache key a session's current membership occupies.
     pub(crate) fn session_key(session: &EngineSession) -> CacheKey {
+        let est = if session.algorithm.is_estimator() {
+            estimator_bits(
+                session.estimator.walks,
+                session.estimator.epsilon,
+                session.estimator.seed,
+            )
+        } else {
+            0
+        };
         cache_key(
-            Algorithm::ApproxRank.code(),
+            session.algorithm.code(),
             session.damping,
             session.tolerance,
-            session.session.members(),
+            est,
+            session.solver.members(),
         )
     }
 
@@ -401,31 +547,55 @@ impl Engine {
         self.lock_sessions().get(&id).cloned()
     }
 
-    /// Opens a session (always ApproxRank), solves it cold, and returns
-    /// the assigned id plus the first solution.
+    /// Opens a session (`approxrank` exactly, or `mc` for the estimator
+    /// tier), solves it cold, and returns the assigned id plus the first
+    /// solution. Exact sessions are WAL-logged and survive restarts;
+    /// `mc` sessions are ephemeral — their visit-count store is cheap to
+    /// resample, so they simply do not come back after a reboot.
     pub fn session_create(
         &self,
-        members: &[u32],
-        damping: f64,
-        tolerance: f64,
+        params: &RankRequest,
         obs: &dyn Observer,
     ) -> Result<(u64, CachedResult), EngineError> {
         let _span = obs.span("engine.session_create");
+        if !matches!(params.algorithm, Algorithm::ApproxRank | Algorithm::Mc) {
+            return Err(EngineError::BadRequest(format!(
+                "sessions support only algorithms \"approxrank\" and \"mc\", got {:?}",
+                params.algorithm.name()
+            )));
+        }
+        let members = &params.members;
+        let (damping, tolerance) = (params.damping, params.tolerance);
         self.check_owned(members)?;
         let nodes = NodeSet::from_sorted(self.global_nodes(), members.iter().copied());
-        let mut session = EngineSession {
-            session: SubgraphSession::with_source(
+        let solver = match params.algorithm {
+            Algorithm::Mc => SessionSolver::Mc(McSession::with_source(
+                self.source(),
+                nodes,
+                McApproxRank {
+                    options: options_for(damping, tolerance),
+                    walks: params.estimator.walks,
+                    epsilon: params.estimator.epsilon,
+                    seed: params.estimator.seed,
+                },
+            )),
+            _ => SessionSolver::Exact(SubgraphSession::with_source(
                 self.source(),
                 nodes,
                 options_for(damping, tolerance),
-            ),
+            )),
+        };
+        let mut session = EngineSession {
+            solver,
             published_key: None,
+            algorithm: params.algorithm,
+            estimator: params.estimator,
             damping,
             tolerance,
         };
         let scores = {
             let _solve_span = obs.span("engine.solve");
-            session.session.solve()
+            session.solver.solve(obs)
         };
         session.published_key = Some(Self::session_key(&session));
         let result = to_cached(members, scores);
@@ -433,24 +603,26 @@ impl Engine {
         let id = self
             .next_session_id
             .fetch_add(self.config.session_id_stride, Ordering::Relaxed);
-        self.log_event(
-            WalEvent::Create {
-                id,
-                damping,
-                tolerance,
-                members: members.to_vec(),
-            },
-            obs,
-        );
-        self.log_event(
-            WalEvent::Solved {
-                id,
-                scores: result.scores.as_ref().clone(),
-                lambda: result.lambda.unwrap_or(0.0),
-                iterations: result.iterations as u64,
-            },
-            obs,
-        );
+        if !params.algorithm.is_estimator() {
+            self.log_event(
+                WalEvent::Create {
+                    id,
+                    damping,
+                    tolerance,
+                    members: members.to_vec(),
+                },
+                obs,
+            );
+            self.log_event(
+                WalEvent::Solved {
+                    id,
+                    scores: result.scores.as_ref().clone(),
+                    lambda: result.lambda.unwrap_or(0.0),
+                    iterations: result.iterations as u64,
+                },
+                obs,
+            );
+        }
         self.lock_sessions()
             .insert(id, Arc::new(Mutex::new(session)));
         Ok((id, result))
@@ -478,14 +650,14 @@ impl Engine {
         {
             let drop: std::collections::HashSet<u32> = remove.iter().copied().collect();
             let survivors = session
-                .session
+                .solver
                 .members()
                 .iter()
                 .filter(|m| !drop.contains(m))
                 .count()
                 + add
                     .iter()
-                    .filter(|a| !session.session.members().contains(a) && !drop.contains(a))
+                    .filter(|a| !session.solver.members().contains(a) && !drop.contains(a))
                     .count();
             if survivors == 0 {
                 return Err(EngineError::BadRequest(
@@ -500,29 +672,34 @@ impl Engine {
         if let Some(key) = session.published_key.take() {
             self.cache.invalidate(&key);
         }
+        let durable = !session.algorithm.is_estimator();
         if !add.is_empty() {
-            session.session.add_pages_via(self.source(), add);
-            self.log_event(
-                WalEvent::AddPages {
-                    id,
-                    pages: add.to_vec(),
-                },
-                obs,
-            );
+            session.solver.add_pages_via(self.source(), add);
+            if durable {
+                self.log_event(
+                    WalEvent::AddPages {
+                        id,
+                        pages: add.to_vec(),
+                    },
+                    obs,
+                );
+            }
         }
         if !remove.is_empty() {
-            session.session.remove_pages_via(self.source(), remove);
-            self.log_event(
-                WalEvent::RemovePages {
-                    id,
-                    pages: remove.to_vec(),
-                },
-                obs,
-            );
+            session.solver.remove_pages_via(self.source(), remove);
+            if durable {
+                self.log_event(
+                    WalEvent::RemovePages {
+                        id,
+                        pages: remove.to_vec(),
+                    },
+                    obs,
+                );
+            }
         }
         let scores = {
             let _solve_span = obs.span("engine.solve");
-            session.session.solve()
+            session.solver.solve(obs)
         };
         // Also clear any cold `/rank` entry for the *new* membership: the
         // session now owns this view, and its next mutation must not
@@ -531,18 +708,20 @@ impl Engine {
         self.cache.invalidate(&new_key);
         session.published_key = Some(new_key);
 
-        let members = session.session.members().to_vec();
+        let members = session.solver.members().to_vec();
         let result = to_cached(&members, scores);
         obs.counter("solve_iterations", result.iterations as u64);
-        self.log_event(
-            WalEvent::Solved {
-                id,
-                scores: result.scores.as_ref().clone(),
-                lambda: result.lambda.unwrap_or(0.0),
-                iterations: result.iterations as u64,
-            },
-            obs,
-        );
+        if durable {
+            self.log_event(
+                WalEvent::Solved {
+                    id,
+                    scores: result.scores.as_ref().clone(),
+                    lambda: result.lambda.unwrap_or(0.0),
+                    iterations: result.iterations as u64,
+                },
+                obs,
+            );
+        }
         Ok((members, result))
     }
 
@@ -551,12 +730,12 @@ impl Engine {
         let entry = self.find_session(id)?;
         let session = entry.lock().unwrap_or_else(|e| e.into_inner());
         Some(SessionView {
-            members: session.session.members().to_vec(),
-            last_iterations: session.session.last_iterations(),
+            members: session.solver.members().to_vec(),
+            last_iterations: session.solver.last_iterations(),
             damping: session.damping,
             tolerance: session.tolerance,
             solution: session
-                .session
+                .solver
                 .last_solution()
                 .map(|(scores, lambda)| (scores.to_vec(), lambda)),
         })
@@ -572,7 +751,9 @@ impl Engine {
         if let Some(key) = &session.published_key {
             self.cache.invalidate(key);
         }
-        self.log_event(WalEvent::Close { id }, obs);
+        if !session.algorithm.is_estimator() {
+            self.log_event(WalEvent::Close { id }, obs);
+        }
         true
     }
 }
@@ -601,6 +782,7 @@ mod tests {
             algorithm: Algorithm::ApproxRank,
             damping: 0.85,
             tolerance: 1e-8,
+            estimator: EstimatorOptions::default(),
         }
     }
 
@@ -653,9 +835,11 @@ mod tests {
         let g = ring(200);
         let (global, sharded) = shard0_engine(&g);
         let members: Vec<u32> = (20..50).collect();
-        let (gid, ga) = global.session_create(&members, 0.85, 1e-8, null()).unwrap();
+        let (gid, ga) = global
+            .session_create(&request(members.clone()), null())
+            .unwrap();
         let (sid, sa) = sharded
-            .session_create(&members, 0.85, 1e-8, null())
+            .session_create(&request(members.clone()), null())
             .unwrap();
         assert_eq!(ga.scores, sa.scores);
         let (gm, gb) = global
@@ -686,18 +870,94 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let (a, _) = engine.session_create(&[1, 2], 0.85, 1e-6, null()).unwrap();
-        let (b, _) = engine.session_create(&[3, 4], 0.85, 1e-6, null()).unwrap();
+        let (a, _) = engine.session_create(&request(vec![1, 2]), null()).unwrap();
+        let (b, _) = engine.session_create(&request(vec![3, 4]), null()).unwrap();
         assert_eq!((a, b), (2, 5));
         assert!(engine.routes_session(2) && engine.routes_session(8));
         assert!(!engine.routes_session(3) && !engine.routes_session(0));
     }
 
     #[test]
+    fn estimator_rank_carries_estimate_and_caches_by_fingerprint() {
+        let g = ring(200);
+        let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
+        let mut req = request((10..40).collect());
+        req.algorithm = Algorithm::Mc;
+        let a = engine.rank(&req, null()).unwrap();
+        assert!(!a.cached);
+        let est = a.result.estimate.expect("mc result carries estimate");
+        assert_eq!(est.walks, u64::from(req.estimator.walks) * 30);
+        assert!(est.residual.is_finite() && est.residual >= 0.0);
+        let sum: f64 =
+            a.result.scores.iter().map(|(_, s)| s).sum::<f64>() + a.result.lambda.unwrap();
+        assert!((sum - 1.0).abs() < 1e-9, "normalized, got {sum}");
+        // Same parameters hit the cache; a different seed misses it.
+        assert!(engine.rank(&req, null()).unwrap().cached);
+        req.estimator.seed = 7;
+        assert!(!engine.rank(&req, null()).unwrap().cached);
+        // Push produces a bounded residual and its own estimate block.
+        req.algorithm = Algorithm::Push;
+        let p = engine.rank(&req, null()).unwrap();
+        let pest = p.result.estimate.unwrap();
+        assert!(pest.residual <= req.estimator.epsilon);
+        assert_eq!(pest.walks, 0);
+    }
+
+    #[test]
+    fn estimator_rank_runs_on_shards() {
+        let g = ring(200);
+        let (global, sharded) = shard0_engine(&g);
+        let mut req = request((10..40).collect());
+        req.algorithm = Algorithm::Mc;
+        let a = global.rank(&req, null()).unwrap();
+        let b = sharded.rank(&req, null()).unwrap();
+        // GlobalAggregates are the only global inputs, so shard answers
+        // are bit-identical just like exact ApproxRank.
+        for ((pa, sa), (pb, sb)) in a.result.scores.iter().zip(b.result.scores.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+        }
+    }
+
+    #[test]
+    fn mc_session_matches_cold_rank_and_updates() {
+        let g = ring(200);
+        let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
+        let mut req = request((10..40).collect());
+        req.algorithm = Algorithm::Mc;
+        let cold = engine.rank(&req, null()).unwrap();
+        let (id, first) = engine.session_create(&req, null()).unwrap();
+        assert_eq!(first.scores, cold.result.scores);
+        assert_eq!(first.estimate, cold.result.estimate);
+        // A warm update re-solves and matches a cold solve of the edited
+        // membership (walk identity is per-source, so reuse is exact).
+        let (members, warm) = engine.session_update(id, &[40, 41], &[10], null()).unwrap();
+        let mut edited = req.clone();
+        edited.members = members;
+        let cold2 = engine.rank(&edited, null()).unwrap();
+        assert!(
+            !cold2.cached,
+            "estimator session must not publish stale keys"
+        );
+        assert_eq!(warm.scores, cold2.result.scores);
+        assert!(engine.session_delete(id, null()));
+    }
+
+    #[test]
+    fn sessions_reject_non_warmable_algorithms() {
+        let g = ring(60);
+        let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
+        let mut req = request(vec![1, 2]);
+        req.algorithm = Algorithm::IdealRank;
+        let err = engine.session_create(&req, null()).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("sessions support")));
+    }
+
+    #[test]
     fn update_errors_keep_session_healthy() {
         let g = ring(60);
         let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
-        let (id, _) = engine.session_create(&[1, 2], 0.85, 1e-6, null()).unwrap();
+        let (id, _) = engine.session_create(&request(vec![1, 2]), null()).unwrap();
         assert_eq!(
             engine.session_update(id, &[], &[1, 2], null()).unwrap_err(),
             EngineError::BadRequest("update would empty the subgraph".into())

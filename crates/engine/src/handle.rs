@@ -31,11 +31,11 @@ pub trait EngineHandle: Send + Sync {
     fn rank(&self, params: &RankRequest, obs: &dyn Observer) -> Result<RankOutcome, EngineError>;
 
     /// Opens a warm session and returns its id plus the first solution.
+    /// The request's algorithm selects the solver (`approxrank` exact or
+    /// `mc` estimator); other algorithms are rejected.
     fn session_create(
         &self,
-        members: &[u32],
-        damping: f64,
-        tolerance: f64,
+        params: &RankRequest,
         obs: &dyn Observer,
     ) -> Result<(u64, CachedResult), EngineError>;
 
@@ -72,12 +72,10 @@ impl EngineHandle for Engine {
 
     fn session_create(
         &self,
-        members: &[u32],
-        damping: f64,
-        tolerance: f64,
+        params: &RankRequest,
         obs: &dyn Observer,
     ) -> Result<(u64, CachedResult), EngineError> {
-        Engine::session_create(self, members, damping, tolerance, obs)
+        Engine::session_create(self, params, obs)
     }
 
     fn session_update(

@@ -35,9 +35,11 @@ pub mod lru;
 mod persist;
 
 pub use algorithm::Algorithm;
-pub use cache::{cache_key, CacheKey, CacheStats, CachedResult, ShardedCache};
+pub use approxrank_core::Estimate;
+pub use cache::{cache_key, estimator_bits, CacheKey, CacheStats, CachedResult, ShardedCache};
 pub use engine::{
-    Engine, EngineConfig, EngineError, EngineSession, RankOutcome, RankRequest, SessionView,
+    Engine, EngineConfig, EngineError, EngineSession, EstimatorOptions, RankOutcome, RankRequest,
+    SessionSolver, SessionView,
 };
 pub use handle::EngineHandle;
 pub use persist::RecoverySummary;

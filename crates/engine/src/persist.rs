@@ -20,8 +20,9 @@ use approxrank_graph::NodeSet;
 use approxrank_store::{CacheRecord, SessionRecord, SessionStore, StoreConfig, WalEvent};
 use approxrank_trace::{logging, Observer};
 
+use crate::algorithm::Algorithm;
 use crate::cache::{CacheKey, CachedResult};
-use crate::engine::{options_for, Engine, EngineSession};
+use crate::engine::{options_for, Engine, EngineSession, EstimatorOptions, SessionSolver};
 
 /// How many result-cache entries a snapshot persists, hottest first.
 const HOT_CACHE_LIMIT: usize = 256;
@@ -128,9 +129,14 @@ impl Engine {
         if let Some((scores, lambda)) = &record.solution {
             session.restore(scores.clone(), *lambda, record.iterations as usize);
         }
+        // Only exact sessions are persisted (estimator sessions are
+        // ephemeral — their visit counts are cheap to resample), so a
+        // revived record is always an ApproxRank session.
         let mut engine_session = EngineSession {
-            session,
+            solver: SessionSolver::Exact(session),
             published_key: None,
+            algorithm: Algorithm::ApproxRank,
+            estimator: EstimatorOptions::default(),
             damping: record.damping,
             tolerance: record.tolerance,
         };
@@ -154,6 +160,7 @@ impl Engine {
             algorithm: record.algorithm,
             damping_bits: record.damping_bits,
             tolerance_bits: record.tolerance_bits,
+            estimator_bits: 0,
             members: record.members.as_slice().into(),
         };
         let value = CachedResult {
@@ -161,6 +168,7 @@ impl Engine {
             lambda: record.lambda,
             iterations: record.iterations as usize,
             converged: record.converged,
+            estimate: None,
         };
         Some((key, value))
     }
@@ -211,9 +219,11 @@ impl Engine {
             .collect();
         let mut records: Vec<SessionRecord> = entries
             .into_iter()
-            .map(|(id, entry)| {
+            .filter_map(|(id, entry)| {
                 let session = entry.lock().unwrap_or_else(|e| e.into_inner());
-                session_record(id, &session)
+                // Estimator sessions are ephemeral: never snapshotted.
+                matches!(session.solver, SessionSolver::Exact(_))
+                    .then(|| session_record(id, &session))
             })
             .collect();
         records.sort_by_key(|r| r.id);
@@ -224,6 +234,9 @@ impl Engine {
         self.cache
             .hot_entries(HOT_CACHE_LIMIT)
             .into_iter()
+            // Estimator answers are cheap to recompute and their records
+            // carry no estimator fingerprint — persist exact entries only.
+            .filter(|(key, value)| key.estimator_bits == 0 && value.estimate.is_none())
             .map(|(key, value)| CacheRecord {
                 algorithm: key.algorithm,
                 damping_bits: key.damping_bits,
@@ -262,10 +275,10 @@ pub(crate) fn session_record(id: u64, session: &EngineSession) -> SessionRecord 
         id,
         damping: session.damping,
         tolerance: session.tolerance,
-        iterations: session.session.last_iterations() as u64,
-        members: session.session.members().to_vec(),
+        iterations: session.solver.last_iterations() as u64,
+        members: session.solver.members().to_vec(),
         solution: session
-            .session
+            .solver
             .last_solution()
             .map(|(scores, lambda)| (scores.to_vec(), lambda)),
     }
@@ -274,9 +287,19 @@ pub(crate) fn session_record(id: u64, session: &EngineSession) -> SessionRecord 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{EngineConfig, RankRequest};
     use approxrank_graph::DiGraph;
     use approxrank_trace::null;
+
+    fn request(members: Vec<u32>) -> RankRequest {
+        RankRequest {
+            members,
+            algorithm: Algorithm::ApproxRank,
+            damping: 0.85,
+            tolerance: 1e-6,
+            estimator: EstimatorOptions::default(),
+        }
+    }
 
     fn graph() -> DiGraph {
         let n = 80u32;
@@ -302,7 +325,7 @@ mod tests {
         let engine = Engine::new_global(Arc::new(graph()), config.clone());
         engine.open_store(&dir).unwrap();
         let (id, _) = engine
-            .session_create(&[1, 2, 3], 0.85, 1e-6, null())
+            .session_create(&request(vec![1, 2, 3]), null())
             .unwrap();
         assert_eq!(id, 2);
         let view = engine.session_view(id).unwrap();
@@ -319,7 +342,9 @@ mod tests {
         assert_eq!(scores, want_scores);
         assert_eq!(lambda.to_bits(), want_lambda.to_bits());
         // The next id continues on the stride past the recovered id.
-        let (next, _) = revived.session_create(&[4, 5], 0.85, 1e-6, null()).unwrap();
+        let (next, _) = revived
+            .session_create(&request(vec![4, 5]), null())
+            .unwrap();
         assert_eq!(next, 5);
         let _ = std::fs::remove_dir_all(&dir);
     }

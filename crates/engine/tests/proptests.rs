@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use approxrank_engine::{Algorithm, Engine, EngineConfig, RankRequest};
+use approxrank_engine::{Algorithm, Engine, EngineConfig, EstimatorOptions, RankRequest};
 use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
 use approxrank_trace::null;
 use proptest::prelude::*;
@@ -72,6 +72,7 @@ proptest! {
                 algorithm: Algorithm::ApproxRank,
                 damping: 0.85,
                 tolerance: 1e-8,
+                estimator: EstimatorOptions::default(),
             };
             let a = global.rank(&req, null()).unwrap();
             let b = shards[shard_id as usize].rank(&req, null()).unwrap();

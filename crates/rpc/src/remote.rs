@@ -399,17 +399,11 @@ impl EngineHandle for RemoteEngine {
 
     fn session_create(
         &self,
-        members: &[u32],
-        damping: f64,
-        tolerance: f64,
+        params: &RankRequest,
         obs: &dyn Observer,
     ) -> Result<(u64, CachedResult), EngineError> {
         let _span = obs.span("rpc.session_create");
-        let request = RpcRequest::SessionCreate {
-            members: members.to_vec(),
-            damping,
-            tolerance,
-        };
+        let request = RpcRequest::SessionCreate(params.clone());
         match self.call(&request, Pick::Primary)? {
             RpcResponse::SessionCreated { id, result } => Ok((id, result)),
             RpcResponse::Error(fault) => Err(Self::fault_to_error(fault)),

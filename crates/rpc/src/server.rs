@@ -320,11 +320,7 @@ fn handle_request(engine: &Engine, request: &RpcRequest) -> RpcResponse {
             },
             Err(e) => RpcResponse::Error(fault_of(e)),
         },
-        RpcRequest::SessionCreate {
-            members,
-            damping,
-            tolerance,
-        } => match engine.session_create(members, *damping, *tolerance, obs) {
+        RpcRequest::SessionCreate(params) => match engine.session_create(params, obs) {
             Ok((id, result)) => RpcResponse::SessionCreated { id, result },
             Err(e) => RpcResponse::Error(fault_of(e)),
         },

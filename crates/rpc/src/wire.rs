@@ -10,12 +10,18 @@
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-use approxrank_engine::{Algorithm, CacheStats, CachedResult, RankRequest, SessionView};
+use approxrank_engine::{
+    Algorithm, CacheStats, CachedResult, Estimate, EstimatorOptions, RankRequest, SessionView,
+};
 use approxrank_store::crc32;
 
 /// Protocol version; the first byte of every request and response
 /// payload. See the crate docs for the rules a bump must follow.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: `RANK` and `SESSION_CREATE` carry the estimator parameters
+/// (walks, epsilon, seed) and results carry an optional `estimate`
+/// block; `SESSION_CREATE` gained the algorithm byte.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Ceiling on a frame's payload length. Anything larger is corruption
 /// (or a peer speaking a different protocol) — no legitimate message
@@ -84,15 +90,10 @@ pub enum RpcRequest {
     Ping,
     /// Rank a member list.
     Rank(RankRequest),
-    /// Open a warm session.
-    SessionCreate {
-        /// Member ids (global page ids).
-        members: Vec<u32>,
-        /// Damping factor.
-        damping: f64,
-        /// Convergence tolerance.
-        tolerance: f64,
-    },
+    /// Open a warm session. Carries a full [`RankRequest`] because the
+    /// session pins an algorithm (`approxrank` or `mc`) and, for the
+    /// estimator tier, its sampling parameters.
+    SessionCreate(RankRequest),
     /// Edit a session's membership and warm-start re-solve.
     SessionUpdate {
         /// Session id.
@@ -292,6 +293,27 @@ fn put_result(out: &mut Vec<u8>, r: &CachedResult) {
     put_opt_f64(out, r.lambda);
     put_u64(out, r.iterations as u64);
     put_bool(out, r.converged);
+    match &r.estimate {
+        Some(est) => {
+            put_u8(out, 1);
+            put_u64(out, est.walks);
+            put_f64(out, est.epsilon);
+            put_f64(out, est.residual);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+/// The shared tail of `RANK` and `SESSION_CREATE` payloads: everything a
+/// [`RankRequest`] carries.
+fn put_rank_request(out: &mut Vec<u8>, r: &RankRequest) {
+    put_u8(out, r.algorithm.code());
+    put_f64(out, r.damping);
+    put_f64(out, r.tolerance);
+    put_u32(out, r.estimator.walks);
+    put_f64(out, r.estimator.epsilon);
+    put_u64(out, r.estimator.seed);
+    put_ids(out, &r.members);
 }
 
 struct Reader<'a> {
@@ -390,11 +412,40 @@ impl<'a> Reader<'a> {
         let lambda = self.opt_f64(what)?;
         let iterations = self.u64(what)? as usize;
         let converged = self.bool(what)?;
+        let estimate = if self.bool(what)? {
+            Some(Estimate {
+                walks: self.u64(what)?,
+                epsilon: self.f64(what)?,
+                residual: self.f64(what)?,
+            })
+        } else {
+            None
+        };
         Ok(CachedResult {
             scores: Arc::new(scores),
             lambda,
             iterations,
             converged,
+            estimate,
+        })
+    }
+
+    fn rank_request(&mut self, what: &str) -> Result<RankRequest, WireError> {
+        let algorithm = algorithm_from_code(self.u8(what)?)?;
+        let damping = self.f64(what)?;
+        let tolerance = self.f64(what)?;
+        let estimator = EstimatorOptions {
+            walks: self.u32(what)?,
+            epsilon: self.f64(what)?,
+            seed: self.u64(what)?,
+        };
+        let members = self.ids(what)?;
+        Ok(RankRequest {
+            members,
+            algorithm,
+            damping,
+            tolerance,
+            estimator,
         })
     }
 
@@ -430,20 +481,8 @@ pub fn encode_request(trace_id: &str, req: &RpcRequest) -> Vec<u8> {
     put_str(&mut out, trace_id);
     match req {
         RpcRequest::Ping | RpcRequest::Stats => {}
-        RpcRequest::Rank(r) => {
-            put_u8(&mut out, r.algorithm.code());
-            put_f64(&mut out, r.damping);
-            put_f64(&mut out, r.tolerance);
-            put_ids(&mut out, &r.members);
-        }
-        RpcRequest::SessionCreate {
-            members,
-            damping,
-            tolerance,
-        } => {
-            put_f64(&mut out, *damping);
-            put_f64(&mut out, *tolerance);
-            put_ids(&mut out, members);
+        RpcRequest::Rank(r) | RpcRequest::SessionCreate(r) => {
+            put_rank_request(&mut out, r);
         }
         RpcRequest::SessionUpdate { id, add, remove } => {
             put_u64(&mut out, *id);
@@ -464,6 +503,8 @@ fn algorithm_from_code(code: u8) -> Result<Algorithm, WireError> {
         2 => Ok(Algorithm::Local),
         3 => Ok(Algorithm::Lpr2),
         4 => Ok(Algorithm::Sc),
+        5 => Ok(Algorithm::Mc),
+        6 => Ok(Algorithm::Push),
         other => Err(WireError(format!("unknown algorithm code {other}"))),
     }
 }
@@ -482,28 +523,8 @@ pub fn decode_request(payload: &[u8]) -> Result<(String, RpcRequest), WireError>
     let req = match op {
         opcode::PING => RpcRequest::Ping,
         opcode::STATS => RpcRequest::Stats,
-        opcode::RANK => {
-            let algorithm = algorithm_from_code(r.u8("algorithm")?)?;
-            let damping = r.f64("damping")?;
-            let tolerance = r.f64("tolerance")?;
-            let members = r.ids("members")?;
-            RpcRequest::Rank(RankRequest {
-                members,
-                algorithm,
-                damping,
-                tolerance,
-            })
-        }
-        opcode::SESSION_CREATE => {
-            let damping = r.f64("damping")?;
-            let tolerance = r.f64("tolerance")?;
-            let members = r.ids("members")?;
-            RpcRequest::SessionCreate {
-                members,
-                damping,
-                tolerance,
-            }
-        }
+        opcode::RANK => RpcRequest::Rank(r.rank_request("rank")?),
+        opcode::SESSION_CREATE => RpcRequest::SessionCreate(r.rank_request("session create")?),
         opcode::SESSION_UPDATE => {
             let id = r.u64("session id")?;
             let add = r.ids("add")?;
@@ -727,6 +748,18 @@ mod tests {
             lambda: Some(0.4375),
             iterations: 42,
             converged: true,
+            estimate: None,
+        }
+    }
+
+    fn sample_estimated_result() -> CachedResult {
+        CachedResult {
+            estimate: Some(Estimate {
+                walks: 2560,
+                epsilon: 1e-3,
+                residual: 0.0078125,
+            }),
+            ..sample_result()
         }
     }
 
@@ -739,12 +772,26 @@ mod tests {
                 algorithm: Algorithm::ApproxRank,
                 damping: 0.85,
                 tolerance: 1e-10,
+                estimator: EstimatorOptions::default(),
             }),
-            RpcRequest::SessionCreate {
+            RpcRequest::Rank(RankRequest {
+                members: vec![1, 5, 9],
+                algorithm: Algorithm::Mc,
+                damping: 0.85,
+                tolerance: 1e-10,
+                estimator: EstimatorOptions {
+                    walks: 512,
+                    epsilon: 1e-2,
+                    seed: 99,
+                },
+            }),
+            RpcRequest::SessionCreate(RankRequest {
                 members: vec![2, 4],
+                algorithm: Algorithm::Mc,
                 damping: 0.9,
                 tolerance: 1e-8,
-            },
+                estimator: EstimatorOptions::default(),
+            }),
             RpcRequest::SessionUpdate {
                 id: 7,
                 add: vec![11],
@@ -773,9 +820,17 @@ mod tests {
                 cached: true,
                 result: sample_result(),
             },
+            RpcResponse::Ranked {
+                cached: false,
+                result: sample_estimated_result(),
+            },
             RpcResponse::SessionCreated {
                 id: 5,
                 result: sample_result(),
+            },
+            RpcResponse::SessionCreated {
+                id: 6,
+                result: sample_estimated_result(),
             },
             RpcResponse::SessionUpdated {
                 members: vec![1, 2, 3],
@@ -827,6 +882,12 @@ mod tests {
         assert_eq!(a.lambda.map(f64::to_bits), b.lambda.map(f64::to_bits));
         assert_eq!(a.iterations, b.iterations);
         assert_eq!(a.converged, b.converged);
+        assert_eq!(a.estimate.is_some(), b.estimate.is_some());
+        if let (Some(ea), Some(eb)) = (&a.estimate, &b.estimate) {
+            assert_eq!(ea.walks, eb.walks);
+            assert_eq!(ea.epsilon.to_bits(), eb.epsilon.to_bits());
+            assert_eq!(ea.residual.to_bits(), eb.residual.to_bits());
+        }
     }
 
     #[test]

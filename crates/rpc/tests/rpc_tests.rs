@@ -5,7 +5,9 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
-use approxrank_engine::{Algorithm, Engine, EngineConfig, EngineError, EngineHandle, RankRequest};
+use approxrank_engine::{
+    Algorithm, Engine, EngineConfig, EngineError, EngineHandle, EstimatorOptions, RankRequest,
+};
 use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
 use approxrank_rpc::wire::{RpcRequest, RpcResponse};
 use approxrank_rpc::{RemoteConfig, RpcClient, ShardServer};
@@ -96,6 +98,7 @@ fn rank_request(members: &[u32]) -> RankRequest {
         algorithm: Algorithm::ApproxRank,
         damping: 0.85,
         tolerance: 1e-8,
+        estimator: EstimatorOptions::default(),
     }
 }
 
@@ -138,11 +141,7 @@ fn raw_client_round_trips_every_op() {
     let RpcResponse::SessionCreated { id, .. } = client
         .call(
             "t-2",
-            &RpcRequest::SessionCreate {
-                members: vec![10, 11, 12],
-                damping: 0.85,
-                tolerance: 1e-8,
-            },
+            &RpcRequest::SessionCreate(rank_request(&[10, 11, 12])),
         )
         .unwrap()
     else {
@@ -196,6 +195,13 @@ fn remote_engine_matches_local_engine_bitwise() {
     let via_rpc = remote.rank(&request, null()).unwrap();
     let direct = local.rank(&request, null()).unwrap();
     assert_eq!(via_rpc.result, direct.result);
+    // The estimator tier rides the same wire: estimate block intact.
+    let mut mc = rank_request(&[1, 2, 3, 4, 5]);
+    mc.algorithm = Algorithm::Mc;
+    let via_rpc = remote.rank(&mc, null()).unwrap();
+    let direct = local.rank(&mc, null()).unwrap();
+    assert_eq!(via_rpc.result, direct.result);
+    assert!(via_rpc.result.estimate.is_some());
     let metrics = remote.metrics();
     assert!(metrics.requests >= 1);
     assert_eq!(metrics.unavailable, 0);
@@ -300,11 +306,7 @@ fn shard_engine_sessions_ride_their_stride_over_rpc() {
     let RpcResponse::SessionCreated { id, .. } = client
         .call(
             "",
-            &RpcRequest::SessionCreate {
-                members: vec![100, 101, 102],
-                damping: 0.85,
-                tolerance: 1e-8,
-            },
+            &RpcRequest::SessionCreate(rank_request(&[100, 101, 102])),
         )
         .unwrap()
     else {
@@ -315,14 +317,7 @@ fn shard_engine_sessions_ride_their_stride_over_rpc() {
 
     // A member resident on the *other* shard is a definitive 400.
     let RpcResponse::Error(fault) = client
-        .call(
-            "",
-            &RpcRequest::SessionCreate {
-                members: vec![1, 2],
-                damping: 0.85,
-                tolerance: 1e-8,
-            },
-        )
+        .call("", &RpcRequest::SessionCreate(rank_request(&[1, 2])))
         .unwrap()
     else {
         panic!("expected an error");

@@ -12,7 +12,7 @@
 
 use std::sync::atomic::Ordering::Relaxed;
 
-use approxrank_engine::{Algorithm, CachedResult, EngineError, RankRequest};
+use approxrank_engine::{Algorithm, CachedResult, EngineError, EstimatorOptions, RankRequest};
 use approxrank_trace::Observer;
 
 use crate::http::{Request, Response};
@@ -260,6 +260,7 @@ struct RankParams {
     algorithm: Algorithm,
     damping: f64,
     tolerance: f64,
+    estimator: EstimatorOptions,
     top: usize,
 }
 
@@ -270,6 +271,7 @@ impl RankParams {
             algorithm: self.algorithm,
             damping: self.damping,
             tolerance: self.tolerance,
+            estimator: self.estimator,
         }
     }
 }
@@ -331,11 +333,34 @@ fn parse_rank_params(state: &AppState, raw: &[u8]) -> Result<RankParams, String>
         None => 0,
         Some(v) => v.as_u64().ok_or("\"top\" must be a non-negative integer")? as usize,
     };
+    // Estimator knobs (used by "mc" and "push"; harmless — but still
+    // validated — when an exact algorithm ignores them).
+    let mut estimator = EstimatorOptions::default();
+    if let Some(v) = body.get("walks") {
+        let walks = v.as_u64().ok_or("\"walks\" must be a positive integer")?;
+        if walks == 0 || walks > u32::MAX as u64 {
+            return Err(format!("walks must be in 1..=2^32-1, got {walks}"));
+        }
+        estimator.walks = walks as u32;
+    }
+    if let Some(v) = body.get("epsilon") {
+        let epsilon = v.as_f64().ok_or("\"epsilon\" must be a number")?;
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(format!("epsilon must be positive, got {epsilon}"));
+        }
+        estimator.epsilon = epsilon;
+    }
+    if let Some(v) = body.get("seed") {
+        estimator.seed = v
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?;
+    }
     Ok(RankParams {
         members,
         algorithm,
         damping,
         tolerance,
+        estimator,
         top,
     })
 }
@@ -379,6 +404,16 @@ fn result_body(
         ("shards", Json::Num(shards as f64)),
         ("scores", scores_json(&result.scores, top)),
     ];
+    if let Some(est) = result.estimate {
+        pairs.push((
+            "estimate",
+            obj(vec![
+                ("walks", Json::Num(est.walks as f64)),
+                ("epsilon", Json::Num(est.epsilon)),
+                ("residual", Json::Num(est.residual)),
+            ]),
+        ));
+    }
     pairs.extend(extra);
     obj(pairs)
 }
@@ -412,22 +447,21 @@ fn session_create(state: &AppState, request: &Request, obs: &dyn Observer) -> Re
         Ok(p) => p,
         Err(e) => return Response::error(400, &e),
     };
-    if params.algorithm != Algorithm::ApproxRank {
-        return Response::error(400, "sessions support only algorithm \"approxrank\"");
+    if !matches!(params.algorithm, Algorithm::ApproxRank | Algorithm::Mc) {
+        return Response::error(
+            400,
+            "sessions support only algorithms \"approxrank\" and \"mc\"",
+        );
     }
     let _span = obs.span("http.session_create");
-    let (id, result) =
-        match state
-            .router
-            .session_create(&params.members, params.damping, params.tolerance, obs)
-        {
-            Ok(created) => created,
-            Err(e) => return engine_error(e),
-        };
+    let (id, result) = match state.router.session_create(&params.to_request(), obs) {
+        Ok(created) => created,
+        Err(e) => return engine_error(e),
+    };
     Response::json(
         200,
         result_body(
-            "approxrank",
+            params.algorithm.name(),
             &result,
             params.top,
             false,
@@ -490,10 +524,17 @@ fn session_update(state: &AppState, id: u64, request: &Request, obs: &dyn Observ
         Ok(updated) => updated,
         Err(e) => return engine_error(e),
     };
+    // Estimator sessions are recognizable by their estimate block; the
+    // router doesn't surface the session's algorithm separately.
+    let algorithm = if result.estimate.is_some() {
+        "mc"
+    } else {
+        "approxrank"
+    };
     Response::json(
         200,
         result_body(
-            "approxrank",
+            algorithm,
             &result,
             top,
             false,
@@ -721,6 +762,10 @@ mod tests {
             (r#"{"members":[0],"damping":1.5}"#, "damping"),
             (r#"{"members":[0],"tolerance":-1}"#, "tolerance"),
             (r#"{"members":"zero"}"#, "array"),
+            (r#"{"members":[0],"walks":0}"#, "walks"),
+            (r#"{"members":[0],"walks":"many"}"#, "walks"),
+            (r#"{"members":[0],"epsilon":-0.5}"#, "epsilon"),
+            (r#"{"members":[0],"seed":"abc"}"#, "seed"),
         ] {
             let (_, r) = route(&state, &post("/rank", body));
             assert_eq!(r.status, 400, "{body}");
@@ -736,7 +781,15 @@ mod tests {
     #[test]
     fn every_algorithm_ranks() {
         let state = fig4_state();
-        for algo in ["approxrank", "idealrank", "local", "lpr2", "sc"] {
+        for algo in [
+            "approxrank",
+            "idealrank",
+            "local",
+            "lpr2",
+            "sc",
+            "mc",
+            "push",
+        ] {
             let (_, r) = route(
                 &state,
                 &post(
@@ -867,6 +920,126 @@ mod tests {
             &post("/session", r#"{"members":[0,1],"algorithm":"sc"}"#),
         );
         assert_eq!(r.status, 400);
+        // Push has no warm-update story (no visit counts to reuse).
+        let (_, r) = route(
+            &state,
+            &post("/session", r#"{"members":[0,1],"algorithm":"push"}"#),
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn estimator_rank_reports_estimate_block() {
+        let state = fig4_state();
+        let (_, r) = route(
+            &state,
+            &post(
+                "/rank",
+                r#"{"members":[0,1,2,3],"algorithm":"mc","walks":64,"seed":7}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        let est = v.get("estimate").expect("mc answer carries an estimate");
+        assert_eq!(est.get("walks").unwrap().as_u64(), Some(4 * 64));
+        assert!(est.get("residual").unwrap().as_f64().unwrap() > 0.0);
+        // Same request: an estimator answer is cacheable under its
+        // (walks, epsilon, seed) fingerprint.
+        let (_, again) = route(
+            &state,
+            &post(
+                "/rank",
+                r#"{"members":[0,1,2,3],"algorithm":"mc","walks":64,"seed":7}"#,
+            ),
+        );
+        assert_eq!(
+            body_json(&again).get("cached").unwrap().as_bool(),
+            Some(true)
+        );
+        // A different seed is a different answer, not a cache hit.
+        let (_, other) = route(
+            &state,
+            &post(
+                "/rank",
+                r#"{"members":[0,1,2,3],"algorithm":"mc","walks":64,"seed":8}"#,
+            ),
+        );
+        assert_eq!(
+            body_json(&other).get("cached").unwrap().as_bool(),
+            Some(false)
+        );
+        // Exact answers never grow an estimate block.
+        let (_, exact) = route(&state, &post("/rank", r#"{"members":[0,1,2,3]}"#));
+        assert!(body_json(&exact).get("estimate").is_none());
+        // Push reports its residual bound with zero walks.
+        let (_, p) = route(
+            &state,
+            &post(
+                "/rank",
+                r#"{"members":[0,1,2,3],"algorithm":"push","epsilon":0.001}"#,
+            ),
+        );
+        assert_eq!(p.status, 200, "{:?}", String::from_utf8_lossy(&p.body));
+        let est = body_json(&p).get("estimate").unwrap().clone();
+        assert_eq!(est.get("walks").unwrap().as_u64(), Some(0));
+        assert!(est.get("residual").unwrap().as_f64().unwrap() <= 0.001);
+    }
+
+    #[test]
+    fn mc_session_lifecycle() {
+        let state = fig4_state();
+        let (_, created) = route(
+            &state,
+            &post(
+                "/session",
+                r#"{"members":[0,1,2],"algorithm":"mc","walks":64,"seed":3}"#,
+            ),
+        );
+        assert_eq!(
+            created.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&created.body)
+        );
+        let v = body_json(&created);
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("mc"));
+        assert!(v.get("estimate").is_some());
+        let id = v.get("id").unwrap().as_u64().unwrap();
+
+        // Warm update keeps the estimate block and re-solves.
+        let (_, updated) = route(
+            &state,
+            &post(
+                &format!("/session/{id}/update"),
+                r#"{"add":[3],"remove":[0]}"#,
+            ),
+        );
+        assert_eq!(
+            updated.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&updated.body)
+        );
+        let v = body_json(&updated);
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("mc"));
+        assert_eq!(v.get("members").unwrap().as_u64(), Some(3));
+        assert!(v.get("estimate").is_some());
+
+        // The warm answer is bitwise the cold rank of the new membership.
+        let (_, cold) = route(
+            &state,
+            &post(
+                "/rank",
+                r#"{"members":[1,2,3],"algorithm":"mc","walks":64,"seed":3}"#,
+            ),
+        );
+        let cold_v = body_json(&cold);
+        assert_eq!(cold_v.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("scores"), cold_v.get("scores"));
+
+        let (_, deleted) = route(&state, &get_delete(&format!("/session/{id}")));
+        assert_eq!(deleted.status, 200);
+        assert_eq!(state.session_count(), 0);
     }
 
     #[test]

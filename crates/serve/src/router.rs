@@ -19,8 +19,11 @@
 //!   on the router's own small executor — never the serve worker pool,
 //!   whose lanes are all occupied by connection loops — and merges the
 //!   per-shard distributions as a uniform mixture (each shard solves its
-//!   resident members against the same global Λ). Only ApproxRank
-//!   supports this; other algorithms need global state and answer 400.
+//!   resident members against the same global Λ). ApproxRank and its
+//!   estimator variants (`mc`, `push`) support this — all three consume
+//!   only global aggregates; the exact baselines need global state and
+//!   answer 400. Estimator sub-answers also merge their `estimate`
+//!   blocks (walks summed, residual averaged).
 //! * Sessions must fit one shard. Ids are strided (engine `k` of `S`
 //!   hands out `k+1, k+1+S, …`), so the owner of session `id` is
 //!   recovered as `(id-1) % S` without any shared table.
@@ -37,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use approxrank_engine::{
-    Algorithm, CacheStats, CachedResult, Engine, EngineConfig, EngineError, EngineHandle,
+    Algorithm, CacheStats, CachedResult, Engine, EngineConfig, EngineError, EngineHandle, Estimate,
     RankOutcome, RankRequest, SessionView,
 };
 use approxrank_exec::Executor;
@@ -374,9 +377,15 @@ impl Router {
             let outcome = self.engines[only].rank(params, obs)?;
             return Ok(RoutedRank { outcome, shards: 1 });
         }
-        if params.algorithm != Algorithm::ApproxRank {
+        // Cross-shard merging needs only global aggregates per sub-solve,
+        // which ApproxRank and its estimators all satisfy; the exact
+        // baselines need global state and cannot span.
+        if !matches!(
+            params.algorithm,
+            Algorithm::ApproxRank | Algorithm::Mc | Algorithm::Push
+        ) {
             return Err(EngineError::BadRequest(format!(
-                "algorithm {:?} cannot span shards (approxrank only)",
+                "algorithm {:?} cannot span shards (approxrank, mc, and push only)",
                 params.algorithm.name()
             )));
         }
@@ -444,11 +453,10 @@ impl Router {
     /// solver lives on one engine.
     pub fn session_create(
         &self,
-        members: &[u32],
-        damping: f64,
-        tolerance: f64,
+        params: &RankRequest,
         obs: &dyn Observer,
     ) -> Result<(u64, CachedResult), EngineError> {
+        let members = &params.members;
         let engine = match &self.assignment {
             None => &self.engines[0],
             Some(assignment) => {
@@ -463,7 +471,7 @@ impl Router {
                 &self.engines[shard as usize]
             }
         };
-        engine.session_create(members, damping, tolerance, obs)
+        engine.session_create(params, obs)
     }
 
     /// Routes a session update to the owning engine.
@@ -504,6 +512,9 @@ impl Router {
 /// plus the same global Λ, so `score/k` (and `λ = Σλ_s/k`) is again a
 /// distribution over the union. Iterations report the slowest shard;
 /// `converged`/`cached` hold only if every shard's sub-answer did.
+/// Estimator sub-answers merge their `estimate` blocks too: walks sum,
+/// and the mixture's residual is the mean of the per-shard residuals
+/// (`‖(1/k)Σπ_s − (1/k)Σp̂_s‖₁ ≤ (1/k)Σ r_s`).
 fn merge(outcomes: &[RankOutcome]) -> RankOutcome {
     let k = outcomes.len() as f64;
     let mut scores: Vec<(u32, f64)> = outcomes
@@ -516,6 +527,12 @@ fn merge(outcomes: &[RankOutcome]) -> RankOutcome {
         .map(|o| o.result.lambda.unwrap_or(0.0))
         .sum::<f64>()
         / k;
+    let estimates: Vec<Estimate> = outcomes.iter().filter_map(|o| o.result.estimate).collect();
+    let estimate = (estimates.len() == outcomes.len() && !estimates.is_empty()).then(|| Estimate {
+        walks: estimates.iter().map(|e| e.walks).sum(),
+        epsilon: estimates[0].epsilon,
+        residual: estimates.iter().map(|e| e.residual).sum::<f64>() / k,
+    });
     RankOutcome {
         result: CachedResult {
             scores: Arc::new(scores),
@@ -526,6 +543,7 @@ fn merge(outcomes: &[RankOutcome]) -> RankOutcome {
                 .max()
                 .unwrap_or(0),
             converged: outcomes.iter().all(|o| o.result.converged),
+            estimate,
         },
         cached: outcomes.iter().all(|o| o.cached),
     }
@@ -534,6 +552,7 @@ fn merge(outcomes: &[RankOutcome]) -> RankOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use approxrank_engine::EstimatorOptions;
     use approxrank_trace::null;
 
     fn ring(n: u32) -> DiGraph {
@@ -549,6 +568,7 @@ mod tests {
             algorithm: Algorithm::ApproxRank,
             damping: 0.85,
             tolerance: 1e-8,
+            estimator: EstimatorOptions::default(),
         }
     }
 
@@ -629,19 +649,48 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_mc_merges_estimates() {
+        let (_, sharded) = routers(200);
+        let mut req = request((90..110).collect()); // straddles the 100 boundary
+        req.algorithm = Algorithm::Mc;
+        let routed = sharded.rank(&req, null()).unwrap();
+        assert_eq!(routed.shards, 2);
+        let mass: f64 = routed
+            .outcome
+            .result
+            .scores
+            .iter()
+            .map(|&(_, s)| s)
+            .sum::<f64>()
+            + routed.outcome.result.lambda.unwrap();
+        assert!((mass - 1.0).abs() < 1e-9, "mixture mass {mass}");
+        let est = routed
+            .outcome
+            .result
+            .estimate
+            .expect("merged mc answer keeps its estimate block");
+        // Each shard walks its own 10 resident members with the default
+        // per-source budget; the merged block sums the shard totals.
+        let per_source = u64::from(req.estimator.walks);
+        assert_eq!(est.walks, 20 * per_source);
+        assert_eq!(est.epsilon, req.estimator.epsilon);
+        assert!(est.residual > 0.0);
+    }
+
+    #[test]
     fn sessions_route_by_stride_and_stay_on_one_shard() {
         let (_, sharded) = routers(200);
         let (id0, _) = sharded
-            .session_create(&[5, 6, 7], 0.85, 1e-6, null())
+            .session_create(&request(vec![5, 6, 7]), null())
             .unwrap();
         let (id1, _) = sharded
-            .session_create(&[150, 151], 0.85, 1e-6, null())
+            .session_create(&request(vec![150, 151]), null())
             .unwrap();
         assert_eq!((id0, id1), (1, 2)); // shard 0 strides 1,3,…; shard 1 strides 2,4,…
         assert!(sharded.session_view(id0).unwrap().is_some());
         assert!(sharded.session_view(id1).unwrap().is_some());
         let err = sharded
-            .session_create(&[99, 100], 0.85, 1e-6, null())
+            .session_create(&request(vec![99, 100]), null())
             .unwrap_err();
         assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("span")));
         let (members, _) = sharded.session_update(id1, &[152], &[], null()).unwrap();

@@ -1,0 +1,622 @@
+//! Per-source walk visit counts with incremental update.
+//!
+//! A [`VisitCountStore`] holds, for every member page `s`, the integer
+//! visit counts of `R` ε-discounted random walks started at `s` and run
+//! on the extended chain until they leave the subgraph (enter `Λ`) or the
+//! damping coin stops them. Counts are kept as integers keyed by *global*
+//! id, so a row is a pure function of `(seed, s, structure along its
+//! trajectories)` — which is what makes both guarantees hold:
+//!
+//! * **bitwise determinism** — rows are sampled independently (one RNG
+//!   stream per source) and folded in a fixed order, so any thread width
+//!   produces identical bits;
+//! * **incremental update** — after a membership edit, a row whose
+//!   [`SourceRow::touched`] set avoids every changed page is provably
+//!   identical to what a rebuild would sample, and is reused as-is.
+//!   Only sources near the edit re-walk (the positive/negative
+//!   correction idea of walk-based incremental PageRank, done here by
+//!   exact replay instead of signed correction walks so reuse stays
+//!   bitwise).
+
+use std::ops::Range;
+
+use approxrank_exec::{Executor, Partition};
+use approxrank_graph::Subgraph;
+
+use crate::rng::{source_seed, SplitMix64};
+use approxrank_core::ExtendedLocalGraph;
+
+/// Sampling parameters. Two stores are only comparable/updatable when
+/// their configs match — `update` asserts this implicitly by keeping the
+/// config with the store.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WalkConfig {
+    /// Walks per source page.
+    pub walks: u32,
+    /// The damping factor ε: each step continues with probability ε.
+    pub damping: f64,
+    /// The run seed; per-source streams derive from it and the source's
+    /// global id.
+    pub seed: u64,
+    /// Safety cap on a single walk's length (the geometric length
+    /// distribution makes hitting it astronomically unlikely at any sane
+    /// ε; the cap bounds the worst case on self-loop-heavy graphs).
+    pub max_steps: u32,
+}
+
+/// The default budget: 256 walks per source at the paper's ε = 0.85.
+pub const DEFAULT_WALKS: u32 = 256;
+/// The default run seed (any fixed value works; 42 keeps runs citable).
+pub const DEFAULT_SEED: u64 = 42;
+
+impl Default for WalkConfig {
+    fn default() -> WalkConfig {
+        WalkConfig {
+            walks: DEFAULT_WALKS,
+            damping: 0.85,
+            seed: DEFAULT_SEED,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// One source page's sampled evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceRow {
+    /// `(global id, visits)` for every page the walks visited, sorted by
+    /// global id. The source's own entry includes the `R` start visits.
+    pub counts: Vec<(u32, u32)>,
+    /// How many of the `R` walks exited into `Λ` before the damping coin
+    /// stopped them.
+    pub lambda_entries: u32,
+    /// Every global id whose structure or membership the trajectories
+    /// consumed: all visited members plus all dangling-teleport draws.
+    /// Sorted, deduplicated. If none of these pages changed, replaying
+    /// the source's RNG stream reproduces the row bit for bit.
+    pub touched: Vec<u32>,
+    /// Total steps taken across the `R` walks (work accounting).
+    pub steps: u64,
+}
+
+/// What [`VisitCountStore::update`] did: how much sampling it reused.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UpdateStats {
+    /// Sources re-walked (new members, or members near the edit).
+    pub rewalked: usize,
+    /// Rows carried over untouched.
+    pub reused: usize,
+    /// Rows discarded because their source left the membership.
+    pub dropped: usize,
+}
+
+/// Scores estimated from a store (see [`VisitCountStore::estimate`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatedScores {
+    /// Per-local-page score, in the subgraph's local-id order.
+    pub local: Vec<f64>,
+    /// The external node `Λ`'s score.
+    pub lambda: f64,
+    /// Total walks backing the estimate (`n · R`).
+    pub total_walks: u64,
+    /// Total walk steps taken when the store was sampled.
+    pub total_steps: u64,
+}
+
+/// The compact per-source visit-count matrix (CSR-like: one sorted
+/// sparse row per source, rows sorted by source global id).
+#[derive(Clone, Debug, PartialEq)]
+pub struct VisitCountStore {
+    config: WalkConfig,
+    global_nodes: usize,
+    rows: Vec<(u32, SourceRow)>,
+}
+
+/// Per-chunk scratch so a chunk's sources share allocations.
+struct Scratch {
+    counts: Vec<u32>,
+    visited: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Scratch {
+        Scratch {
+            counts: vec![0; n],
+            visited: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Samples one source's row. Pure in `(config, source global id,
+/// structure reachable from the source)` — the replay guarantee.
+fn walk_source(
+    subgraph: &Subgraph,
+    config: &WalkConfig,
+    source: u32,
+    scratch: &mut Scratch,
+) -> SourceRow {
+    let nodes = subgraph.nodes();
+    let local = subgraph.local_graph();
+    let big_n = subgraph.global_nodes() as u64;
+    let gid = nodes.global_id(source);
+    let mut rng = SplitMix64::new(source_seed(config.seed, gid));
+
+    scratch.visited.clear();
+    scratch.touched.clear();
+    let mut lambda_entries = 0u32;
+    let mut steps = 0u64;
+
+    let visit = |v: u32, scratch: &mut Scratch| {
+        if scratch.counts[v as usize] == 0 {
+            scratch.visited.push(v);
+        }
+        scratch.counts[v as usize] += 1;
+    };
+
+    for _ in 0..config.walks {
+        let mut v = source;
+        visit(v, scratch);
+        let mut len = 0u32;
+        loop {
+            if rng.next_f64() >= config.damping {
+                break;
+            }
+            len += 1;
+            if len > config.max_steps {
+                break;
+            }
+            steps += 1;
+            let d = subgraph.global_out_degree(v);
+            if d == 0 {
+                // Dangling page: the extended chain teleports uniformly
+                // over all N global pages; external draws land in Λ.
+                let g = rng.next_below(big_n) as u32;
+                scratch.touched.push(g);
+                match nodes.local_id(g) {
+                    Some(lv) => {
+                        v = lv;
+                        visit(v, scratch);
+                    }
+                    None => {
+                        lambda_entries += 1;
+                        break;
+                    }
+                }
+            } else {
+                // The first `outs.len()` of the d uniform slots map onto
+                // the local out-neighbors (in list order); the rest are
+                // the collapsed external targets, i.e. Λ.
+                let slot = rng.next_below(d as u64) as usize;
+                let outs = local.out_neighbors(v);
+                if slot < outs.len() {
+                    v = outs[slot];
+                    visit(v, scratch);
+                } else {
+                    lambda_entries += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut counts: Vec<(u32, u32)> = scratch
+        .visited
+        .iter()
+        .map(|&lv| (nodes.global_id(lv), scratch.counts[lv as usize]))
+        .collect();
+    counts.sort_unstable_by_key(|&(g, _)| g);
+    // Reset the dense scratch for the chunk's next source.
+    for &lv in &scratch.visited {
+        scratch.counts[lv as usize] = 0;
+    }
+    let mut touched = scratch.touched.clone();
+    touched.extend(counts.iter().map(|&(g, _)| g));
+    touched.sort_unstable();
+    touched.dedup();
+
+    SourceRow {
+        counts,
+        lambda_entries,
+        touched,
+        steps,
+    }
+}
+
+impl VisitCountStore {
+    /// Samples every member's row sequentially.
+    pub fn build(subgraph: &Subgraph, config: WalkConfig) -> VisitCountStore {
+        Self::build_on(subgraph, config, &Executor::sequential())
+    }
+
+    /// Samples every member's row, fanning sources over `exec`. Rows are
+    /// written into disjoint slots and sorted afterwards, so the result
+    /// is identical at every thread width.
+    pub fn build_on(subgraph: &Subgraph, config: WalkConfig, exec: &Executor) -> VisitCountStore {
+        let n = subgraph.len();
+        let mut store = VisitCountStore {
+            config,
+            global_nodes: subgraph.global_nodes(),
+            rows: Vec::with_capacity(n),
+        };
+        if n == 0 {
+            return store;
+        }
+        let sources: Vec<u32> = (0..n as u32).collect();
+        store.rows = walk_many(subgraph, &config, &sources, exec);
+        store.rows.sort_unstable_by_key(|&(g, _)| g);
+        store
+    }
+
+    /// The sampling parameters the rows were drawn with.
+    pub fn config(&self) -> &WalkConfig {
+        &self.config
+    }
+
+    /// Number of stored source rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total walks backing the store.
+    pub fn total_walks(&self) -> u64 {
+        self.rows.len() as u64 * self.config.walks as u64
+    }
+
+    /// Total steps taken to sample the store's current rows.
+    pub fn total_steps(&self) -> u64 {
+        self.rows.iter().map(|(_, r)| r.steps).sum()
+    }
+
+    /// The stored rows, sorted by source global id.
+    pub fn rows(&self) -> &[(u32, SourceRow)] {
+        &self.rows
+    }
+
+    fn row(&self, gid: u32) -> Option<&SourceRow> {
+        self.rows
+            .binary_search_by_key(&gid, |&(g, _)| g)
+            .ok()
+            .map(|i| &self.rows[i].1)
+    }
+
+    /// Re-walks only the sources whose evidence an edit invalidated.
+    ///
+    /// `old` must be the subgraph the store was last built/updated
+    /// against; `new` is the edited subgraph over the same global graph.
+    /// A surviving row is reused iff none of the pages its walks touched
+    /// changed membership or changed their local out-neighborhood — in
+    /// which case replaying its RNG stream would reproduce it exactly,
+    /// so reuse is bitwise-identical to a from-scratch rebuild.
+    pub fn update(&mut self, old: &Subgraph, new: &Subgraph, exec: &Executor) -> UpdateStats {
+        if old.global_nodes() != new.global_nodes() {
+            // Different global graph: all evidence is stale.
+            let dropped = self.rows.len();
+            *self = VisitCountStore::build_on(new, self.config, exec);
+            return UpdateStats {
+                rewalked: self.rows.len(),
+                reused: 0,
+                dropped,
+            };
+        }
+
+        let changed = changed_pages(old, new);
+        let n = new.len();
+        let mut dirty: Vec<u32> = Vec::new();
+        let mut kept: Vec<(u32, SourceRow)> = Vec::with_capacity(n);
+        for li in 0..n as u32 {
+            let gid = new.nodes().global_id(li);
+            match self.row(gid) {
+                Some(row) if !intersects(&row.touched, &changed) => {
+                    kept.push((gid, row.clone()));
+                }
+                _ => dirty.push(li),
+            }
+        }
+        let dropped = self.rows.len() - kept.len().min(self.rows.len());
+        let stats = UpdateStats {
+            rewalked: dirty.len(),
+            reused: kept.len(),
+            dropped,
+        };
+        if !dirty.is_empty() {
+            kept.extend(walk_many(new, &self.config, &dirty, exec));
+        }
+        kept.sort_unstable_by_key(|&(g, _)| g);
+        self.rows = kept;
+        self.global_nodes = new.global_nodes();
+        stats
+    }
+
+    /// Turns the sampled visit counts into extended-chain scores.
+    ///
+    /// The walks estimate `V = (I − εP_LL)⁻¹` (discounted local visits
+    /// before Λ-entry) and `λ_s = [εV P_LΛ]_s` (discounted Λ-absorption).
+    /// `Λ`'s own row is known in closed form (`from_lambda`,
+    /// `lambda_self`), so the stationary solve couples analytically:
+    ///
+    /// ```text
+    /// T_Λ = (p_Λ + Σ_s p_s λ_s) / (1 − ε(λ_self + Σ_j f_j λ_j))
+    /// T_L[k] = Σ_s p_s V[s,k] + ε T_Λ Σ_j f_j V[j,k]
+    /// π = (1 − ε) T, normalized
+    /// ```
+    ///
+    /// with `p` the paper's Eq-5 personalization and `f = from_lambda`.
+    /// Accumulation is sequential in local-id order over integer counts,
+    /// so the result is bitwise-identical at every thread width and
+    /// after any reuse-preserving [`Self::update`].
+    pub fn estimate(&self, subgraph: &Subgraph, ext: &ExtendedLocalGraph) -> EstimatedScores {
+        let n = subgraph.len();
+        let big_n = subgraph.global_nodes();
+        debug_assert_eq!(ext.num_local(), n);
+        debug_assert_eq!(self.rows.len(), n, "store does not cover the subgraph");
+        let eps = self.config.damping;
+        let inv_r = 1.0 / self.config.walks as f64;
+        let p_local = 1.0 / big_n as f64;
+        let p_lambda = (big_n - n) as f64 / big_n as f64;
+        let from_lambda = ext.from_lambda();
+
+        let mut sum_p_v = vec![0.0f64; n];
+        let mut sum_fl_v = vec![0.0f64; n];
+        let mut sum_p_l = 0.0f64;
+        let mut sum_fl_l = 0.0f64;
+        let nodes = subgraph.nodes();
+        for j in 0..n as u32 {
+            let gid = nodes.global_id(j);
+            let row = self.row(gid).expect("store covers every member");
+            let fl = from_lambda[j as usize];
+            let lam = row.lambda_entries as f64 * inv_r;
+            sum_p_l += p_local * lam;
+            sum_fl_l += fl * lam;
+            for &(g, c) in &row.counts {
+                let k = nodes.local_id(g).expect("visit counts only cover members") as usize;
+                let v = c as f64 * inv_r;
+                sum_p_v[k] += p_local * v;
+                sum_fl_v[k] += fl * v;
+            }
+        }
+
+        let c = eps * (ext.lambda_self() + sum_fl_l);
+        let t_lambda = (p_lambda + sum_p_l) / (1.0 - c);
+        let scale = 1.0 - eps;
+        let mut local: Vec<f64> = (0..n)
+            .map(|k| scale * (sum_p_v[k] + eps * t_lambda * sum_fl_v[k]))
+            .collect();
+        let mut lambda = scale * t_lambda;
+        let total: f64 = local.iter().sum::<f64>() + lambda;
+        if total > 0.0 {
+            let inv = 1.0 / total;
+            for s in &mut local {
+                *s *= inv;
+            }
+            lambda *= inv;
+        }
+        EstimatedScores {
+            local,
+            lambda,
+            total_walks: self.total_walks(),
+            total_steps: self.total_steps(),
+        }
+    }
+}
+
+/// Walks the given local sources in parallel, returning `(global id,
+/// row)` pairs in unspecified order (callers sort).
+fn walk_many(
+    subgraph: &Subgraph,
+    config: &WalkConfig,
+    sources: &[u32],
+    exec: &Executor,
+) -> Vec<(u32, SourceRow)> {
+    let m = sources.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut slots: Vec<Option<(u32, SourceRow)>> = Vec::with_capacity(m);
+    slots.resize_with(m, || None);
+    let part = Partition::uniform(m, Partition::auto_chunks(m));
+    let fill = |_chunk: usize, range: Range<usize>, slice: &mut [Option<(u32, SourceRow)>]| {
+        let mut scratch = Scratch::new(subgraph.len());
+        for (slot, &src) in slice.iter_mut().zip(&sources[range]) {
+            let gid = subgraph.nodes().global_id(src);
+            *slot = Some((gid, walk_source(subgraph, config, src, &mut scratch)));
+        }
+    };
+    exec.for_each_chunk(&mut slots, &part, fill);
+    slots.into_iter().flatten().collect()
+}
+
+/// Global ids whose membership or local out-neighborhood differs between
+/// `old` and `new`: additions, removals, and survivors whose local
+/// out-neighbor list (as global ids, order-sensitive — slot mapping
+/// matters) changed. Sorted.
+fn changed_pages(old: &Subgraph, new: &Subgraph) -> Vec<u32> {
+    let mut changed: Vec<u32> = Vec::new();
+    let mut old_members: Vec<u32> = old.nodes().members().to_vec();
+    let mut new_members: Vec<u32> = new.nodes().members().to_vec();
+    old_members.sort_unstable();
+    new_members.sort_unstable();
+    for &g in &new_members {
+        if old_members.binary_search(&g).is_err() {
+            changed.push(g); // added
+        }
+    }
+    for &g in &old_members {
+        match new_members.binary_search(&g) {
+            Err(_) => changed.push(g), // removed
+            Ok(_) => {
+                let ol = old.nodes().local_id(g).expect("member");
+                let nl = new.nodes().local_id(g).expect("member");
+                if old.global_out_degree(ol) != new.global_out_degree(nl)
+                    || !same_out_globals(old, ol, new, nl)
+                {
+                    changed.push(g);
+                }
+            }
+        }
+    }
+    changed.sort_unstable();
+    changed.dedup();
+    changed
+}
+
+fn same_out_globals(old: &Subgraph, ol: u32, new: &Subgraph, nl: u32) -> bool {
+    let a = old.local_graph().out_neighbors(ol);
+    let b = new.local_graph().out_neighbors(nl);
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&x, &y)| old.nodes().global_id(x) == new.nodes().global_id(y))
+}
+
+/// Whether two sorted id lists share an element (merge walk).
+fn intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::{DiGraph, NodeSet};
+
+    /// The paper's Figure 4: local A,B,C,D (0–3), external X,Y,Z (4–6).
+    fn figure4() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        )
+    }
+
+    fn fig4_subgraph(global: &DiGraph) -> Subgraph {
+        Subgraph::extract(global, NodeSet::from_sorted(7, [0u32, 1, 2, 3]))
+    }
+
+    #[test]
+    fn rows_cover_every_member_and_are_sorted() {
+        let g = figure4();
+        let sg = fig4_subgraph(&g);
+        let store = VisitCountStore::build(&sg, WalkConfig::default());
+        assert_eq!(store.len(), 4);
+        let gids: Vec<u32> = store.rows().iter().map(|&(g, _)| g).collect();
+        assert_eq!(gids, vec![0, 1, 2, 3]);
+        for (gid, row) in store.rows() {
+            // The source itself is visited R times at minimum.
+            let own = row.counts.iter().find(|&&(g, _)| g == *gid).unwrap();
+            assert!(own.1 >= DEFAULT_WALKS);
+            assert!(
+                row.touched.windows(2).all(|w| w[0] < w[1]),
+                "touched sorted+dedup"
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_thread_width_independent() {
+        let g = figure4();
+        let sg = fig4_subgraph(&g);
+        let seq = VisitCountStore::build(&sg, WalkConfig::default());
+        for threads in [2, 3, 8] {
+            let par =
+                VisitCountStore::build_on(&sg, WalkConfig::default(), &Executor::new(threads));
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_sample_different_rows() {
+        let g = figure4();
+        let sg = fig4_subgraph(&g);
+        let a = VisitCountStore::build(&sg, WalkConfig::default());
+        let b = VisitCountStore::build(
+            &sg,
+            WalkConfig {
+                seed: 7,
+                ..WalkConfig::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn update_matches_rebuild_bitwise() {
+        let g = figure4();
+        let old = fig4_subgraph(&g);
+        let mut store = VisitCountStore::build(&old, WalkConfig::default());
+        // Grow the membership by external page 6 (Z).
+        let new = Subgraph::extract(&g, NodeSet::from_sorted(7, [0u32, 1, 2, 3, 6]));
+        let exec = Executor::sequential();
+        let stats = store.update(&old, &new, &exec);
+        assert_eq!(stats.rewalked + stats.reused, 5);
+        assert!(stats.rewalked >= 1, "the added page must be walked");
+        let rebuilt = VisitCountStore::build(&new, WalkConfig::default());
+        assert_eq!(store, rebuilt);
+        // And shrinking back must also match a fresh build.
+        let stats = store.update(&new, &old, &exec);
+        assert!(stats.dropped >= 1);
+        let rebuilt = VisitCountStore::build(&old, WalkConfig::default());
+        assert_eq!(store, rebuilt);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_approxrank_on_figure4() {
+        use approxrank_core::{ApproxRank, SubgraphRanker};
+        let g = figure4();
+        let sg = fig4_subgraph(&g);
+        let exact = ApproxRank::default().rank(&g, &sg);
+        let config = WalkConfig {
+            walks: 4096,
+            ..WalkConfig::default()
+        };
+        let store = VisitCountStore::build(&sg, config);
+        let agg = approxrank_core::GlobalAggregates::compute(&g);
+        let ext =
+            ApproxRank::default().extended_graph_aggregated_on(agg, &sg, &Executor::sequential());
+        let est = store.estimate(&sg, &ext);
+        let l1: f64 = est
+            .local
+            .iter()
+            .zip(&exact.local_scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 < 0.03, "L1 vs exact too large: {l1}");
+        assert!((est.lambda - exact.lambda_score.unwrap()).abs() < 0.03);
+    }
+
+    #[test]
+    fn empty_subgraph_is_fine() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, std::iter::empty::<u32>()));
+        let store = VisitCountStore::build(&sg, WalkConfig::default());
+        assert!(store.is_empty());
+        assert_eq!(store.total_walks(), 0);
+    }
+}

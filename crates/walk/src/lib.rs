@@ -1,0 +1,51 @@
+//! The estimator tier: sublinear ApproxRank by Monte-Carlo walks or
+//! local push.
+//!
+//! The exact solvers in `approxrank-core` pay `O(edges × iterations)`
+//! per answer. Many serving queries only need the *top* of the ranking,
+//! within a declared tolerance — this crate trades a bounded amount of
+//! accuracy for a large amount of work:
+//!
+//! * [`McApproxRank`] — `n · R` seeded ε-discounted walks on the
+//!   Λ-collapsed chain. Integer visit counts make results
+//!   bitwise-reproducible from the seed at any thread width, and the
+//!   backing [`VisitCountStore`] updates incrementally: after a
+//!   membership edit only sources whose walks touched a changed page are
+//!   re-walked ([`McSession`]).
+//! * [`LocalPushRank`] — deterministic forward push with the invariant
+//!   `π = p̂ + Σ_v r_v π(e_v)`, so the reported residual is a proven L1
+//!   bound on the estimation error.
+//!
+//! Both implement [`approxrank_core::SubgraphRanker`] and both run from
+//! shard-carried global scalars alone (`rank_aggregated`), so the
+//! engine, server, and CLI expose them exactly like the exact
+//! algorithms — just faster and annotated with an
+//! [`approxrank_core::Estimate`] block.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use approxrank_graph::{DiGraph, NodeSet, Subgraph};
+//! use approxrank_core::SubgraphRanker;
+//! use approxrank_walk::McApproxRank;
+//!
+//! let global = DiGraph::from_edges(7, &[
+//!     (0, 1), (0, 2), (0, 4), (0, 6), (1, 3), (2, 1), (2, 3), (3, 0),
+//!     (4, 2), (4, 5), (4, 6), (5, 2), (5, 6), (6, 2), (6, 3),
+//! ]);
+//! let subgraph = Subgraph::extract(&global, NodeSet::from_sorted(7, [0, 1, 2, 3]));
+//! let scores = McApproxRank::default().rank(&global, &subgraph);
+//! assert!(scores.estimate.is_some());
+//! ```
+
+pub mod counts;
+pub mod mc;
+pub mod push;
+pub mod rng;
+pub mod session;
+
+pub use counts::{EstimatedScores, SourceRow, UpdateStats, VisitCountStore, WalkConfig};
+pub use mc::{McApproxRank, DEFAULT_EPSILON};
+pub use push::LocalPushRank;
+pub use rng::{source_seed, SplitMix64};
+pub use session::McSession;

@@ -1,0 +1,257 @@
+//! Monte-Carlo ApproxRank: sampled visit counts instead of power
+//! iteration.
+//!
+//! The estimator collapses externals into `Λ` exactly like
+//! [`ApproxRank`] (the `Λ` row is known in closed form), but replaces
+//! the `O(edges × iterations)` power solve with `n · R` short
+//! ε-discounted walks whose integer visit counts live in a
+//! [`VisitCountStore`]. Work is sublinear in the solve for any fixed
+//! budget `R`, answers are reproducible bit for bit from the seed, and
+//! warm sessions re-walk only sources near a membership edit.
+
+use approxrank_core::{
+    ApproxRank, Estimate, ExtendedLocalGraph, GlobalAggregates, RankScores, SubgraphRanker,
+};
+use approxrank_exec::Executor;
+use approxrank_graph::{DiGraph, Subgraph};
+use approxrank_pagerank::parallel::emit_exec_stats;
+use approxrank_pagerank::PageRankOptions;
+use approxrank_trace::Observer;
+
+use crate::counts::{VisitCountStore, WalkConfig, DEFAULT_SEED, DEFAULT_WALKS};
+
+/// The default accuracy target echoed into [`Estimate::epsilon`] (the
+/// push estimator's default residual budget, kept symmetric here).
+pub const DEFAULT_EPSILON: f64 = 1e-3;
+
+/// ApproxRank estimated by seeded Monte-Carlo walks.
+#[derive(Clone, Debug)]
+pub struct McApproxRank {
+    /// Solver options; `damping` and `threads` are honored (`tolerance`
+    /// and the iteration cap do not apply to sampling).
+    pub options: PageRankOptions,
+    /// Walks per source page.
+    pub walks: u32,
+    /// Accuracy target echoed into the result's [`Estimate`] block.
+    pub epsilon: f64,
+    /// Run seed; same seed ⇒ bitwise-identical estimates.
+    pub seed: u64,
+}
+
+impl Default for McApproxRank {
+    fn default() -> McApproxRank {
+        McApproxRank::new(PageRankOptions::paper())
+    }
+}
+
+impl McApproxRank {
+    /// Default walk budget and seed over the given solver options.
+    pub fn new(options: PageRankOptions) -> McApproxRank {
+        McApproxRank {
+            options,
+            walks: DEFAULT_WALKS,
+            epsilon: DEFAULT_EPSILON,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// The sampling parameters this estimator walks with.
+    pub fn walk_config(&self) -> WalkConfig {
+        WalkConfig {
+            walks: self.walks,
+            damping: self.options.damping,
+            seed: self.seed,
+            max_steps: WalkConfig::default().max_steps,
+        }
+    }
+
+    fn executor(&self, subgraph: &Subgraph) -> Executor {
+        Executor::new(self.options.threads.min(subgraph.len().max(1)))
+    }
+
+    /// Runs the estimator from shard-carried global scalars alone — the
+    /// same contract as [`ApproxRank::rank_subgraph_aggregated`], so the
+    /// sharded engine path gets the tier without a global graph in hand.
+    pub fn rank_aggregated(&self, agg: GlobalAggregates, subgraph: &Subgraph) -> RankScores {
+        self.rank_aggregated_observed(agg, subgraph, approxrank_trace::null())
+    }
+
+    /// [`Self::rank_aggregated`] with telemetry: `walk_*` counters and
+    /// phase spans flow to `obs`.
+    pub fn rank_aggregated_observed(
+        &self,
+        agg: GlobalAggregates,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let exec = self.executor(subgraph);
+        let ext = {
+            let _span = obs.span("collapse_lambda");
+            ApproxRank {
+                options: self.options.clone(),
+            }
+            .extended_graph_aggregated_on(agg, subgraph, &exec)
+        };
+        let store = {
+            let _span = obs.span("walk_sample");
+            VisitCountStore::build_on(subgraph, self.walk_config(), &exec)
+        };
+        obs.counter("walk_sources_walked", store.len() as u64);
+        emit_exec_stats(&exec, obs);
+        self.scores_from_store(&store, subgraph, &ext, obs)
+    }
+
+    /// Turns an existing store into a [`RankScores`] — the warm-session
+    /// path: the engine keeps the store across membership edits and only
+    /// re-walks invalidated sources before calling this.
+    pub fn scores_from_store(
+        &self,
+        store: &VisitCountStore,
+        subgraph: &Subgraph,
+        ext: &ExtendedLocalGraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let est = {
+            let _span = obs.span("walk_estimate");
+            store.estimate(subgraph, ext)
+        };
+        obs.counter("walk_walks", est.total_walks);
+        obs.counter("walk_steps", est.total_steps);
+        let residual = one_step_residual(ext, &est.local, est.lambda, self.options.damping);
+        RankScores {
+            local_scores: est.local,
+            lambda_score: Some(est.lambda),
+            iterations: store.len(),
+            converged: true,
+            estimate: Some(Estimate {
+                walks: est.total_walks,
+                epsilon: self.epsilon,
+                residual,
+            }),
+        }
+    }
+}
+
+/// The L1 movement of one exact power step applied to the estimate — a
+/// cheap measured (not proven) distance-to-fixed-point indicator,
+/// reported as [`Estimate::residual`].
+fn one_step_residual(ext: &ExtendedLocalGraph, local: &[f64], lambda: f64, damping: f64) -> f64 {
+    let n = local.len();
+    let mut x = Vec::with_capacity(n + 1);
+    x.extend_from_slice(local);
+    x.push(lambda);
+    let mut y = vec![0.0; n + 1];
+    ext.step(&x, &mut y, damping);
+    x.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum()
+}
+
+impl SubgraphRanker for McApproxRank {
+    fn name(&self) -> &'static str {
+        "McApproxRank"
+    }
+
+    fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
+        self.rank_observed(global, subgraph, approxrank_trace::null())
+    }
+
+    fn rank_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let agg = GlobalAggregates::compute(global);
+        self.rank_aggregated_observed(agg, subgraph, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::NodeSet;
+
+    fn figure4() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn estimate_block_is_filled() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, [0u32, 1, 2, 3]));
+        let scores = McApproxRank::default().rank(&g, &sg);
+        let est = scores.estimate.expect("MC results carry an estimate");
+        assert_eq!(est.walks, 4 * DEFAULT_WALKS as u64);
+        assert!(est.residual >= 0.0 && est.residual < 0.5);
+        assert_eq!(scores.iterations, 4);
+        assert_eq!(scores.local_scores.len(), 4);
+        let mass: f64 = scores.local_scores.iter().sum::<f64>() + scores.lambda_score.unwrap();
+        assert!((mass - 1.0).abs() < 1e-12, "normalized mass {mass}");
+    }
+
+    #[test]
+    fn same_seed_same_bits_any_thread_width() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, [0u32, 1, 2, 3]));
+        let reference = McApproxRank::default().rank(&g, &sg);
+        for threads in [2, 4, 8] {
+            let mc = McApproxRank {
+                options: PageRankOptions::paper().with_threads(threads),
+                ..McApproxRank::default()
+            };
+            let scores = mc.rank(&g, &sg);
+            let same = reference
+                .local_scores
+                .iter()
+                .zip(&scores.local_scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_top_order_on_figure4() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, [0u32, 1, 2, 3]));
+        let exact = ApproxRank::default().rank(&g, &sg);
+        let mc = McApproxRank {
+            walks: 2048,
+            ..McApproxRank::default()
+        };
+        let est = mc.rank(&g, &sg);
+        let order = |s: &[f64]| {
+            let mut idx: Vec<usize> = (0..s.len()).collect();
+            idx.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap());
+            idx
+        };
+        assert_eq!(order(&exact.local_scores), order(&est.local_scores));
+    }
+
+    #[test]
+    fn aggregated_path_matches_full_graph_path() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, [0u32, 1, 2, 3]));
+        let mc = McApproxRank::default();
+        let full = mc.rank(&g, &sg);
+        let agg = mc.rank_aggregated(GlobalAggregates::compute(&g), &sg);
+        assert_eq!(full, agg);
+    }
+}

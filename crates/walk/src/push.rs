@@ -1,0 +1,285 @@
+//! Local-push ApproxRank: forward push on the extended chain with an
+//! explicit residual bound (the ApproxContributions scheme pointed the
+//! other way — personalization-to-everyone instead of
+//! everyone-to-target).
+//!
+//! The algorithm maintains the invariant `π = p̂ + Σ_v r_v · π(e_v)`:
+//! `p̂` is settled mass, `r` is unsettled residual, and pushing a state
+//! `v` moves `(1−ε)·r_v` into `p̂[v]` and spreads `ε·r_v` along `v`'s
+//! transition row. Every `π(e_v)` sums to 1, so the returned scores obey
+//! `‖π − p̂‖₁ ≤ Σ_v r_v` — the residual reported in the result's
+//! [`Estimate`] block is a *proven* bound, not a heuristic.
+
+use std::collections::VecDeque;
+
+use approxrank_core::{
+    ApproxRank, Estimate, ExtendedLocalGraph, GlobalAggregates, RankScores, SubgraphRanker,
+};
+use approxrank_exec::Executor;
+use approxrank_graph::{DiGraph, Subgraph};
+use approxrank_pagerank::PageRankOptions;
+use approxrank_trace::Observer;
+
+use crate::mc::DEFAULT_EPSILON;
+
+/// ApproxRank estimated by deterministic forward push.
+#[derive(Clone, Debug)]
+pub struct LocalPushRank {
+    /// Solver options; only `damping` applies (push is sequential and
+    /// needs no tolerance — `epsilon` below is its accuracy knob).
+    pub options: PageRankOptions,
+    /// Target total residual: push stops once `Σ r ≤ epsilon`, so the
+    /// scores are within `epsilon` of the converged solution in L1.
+    pub epsilon: f64,
+}
+
+impl Default for LocalPushRank {
+    fn default() -> LocalPushRank {
+        LocalPushRank::new(PageRankOptions::paper())
+    }
+}
+
+impl LocalPushRank {
+    /// Default residual budget over the given solver options.
+    pub fn new(options: PageRankOptions) -> LocalPushRank {
+        LocalPushRank {
+            options,
+            epsilon: DEFAULT_EPSILON,
+        }
+    }
+
+    /// Runs the estimator from shard-carried global scalars alone (same
+    /// contract as [`ApproxRank::rank_subgraph_aggregated`]).
+    pub fn rank_aggregated(&self, agg: GlobalAggregates, subgraph: &Subgraph) -> RankScores {
+        self.rank_aggregated_observed(agg, subgraph, approxrank_trace::null())
+    }
+
+    /// [`Self::rank_aggregated`] with telemetry.
+    pub fn rank_aggregated_observed(
+        &self,
+        agg: GlobalAggregates,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let ext = {
+            let _span = obs.span("collapse_lambda");
+            ApproxRank {
+                options: self.options.clone(),
+            }
+            .extended_graph_aggregated_on(agg, subgraph, &Executor::sequential())
+        };
+        self.push_on(subgraph, &ext, obs)
+    }
+
+    /// The push itself: sequential, FIFO, thread-width independent by
+    /// construction.
+    pub fn push_on(
+        &self,
+        subgraph: &Subgraph,
+        ext: &ExtendedLocalGraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let _span = obs.span("local_push");
+        let n = subgraph.len();
+        let big_n = subgraph.global_nodes();
+        let eps = self.options.damping;
+        let lambda = n; // state index of Λ
+        let theta = self.epsilon / (n + 1) as f64;
+
+        let mut p_hat = vec![0.0f64; n + 1];
+        let mut r = ext.personalization();
+        let mut in_queue = vec![false; n + 1];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (v, &rv) in r.iter().enumerate() {
+            if rv >= theta {
+                in_queue[v] = true;
+                queue.push_back(v);
+            }
+        }
+
+        // Each push settles ≥ (1−ε)·θ of the unit starting mass, so the
+        // count below can never be reached with a correct implementation;
+        // it is a backstop against float-edge looping.
+        let push_cap = (1.0 / ((1.0 - eps) * theta)).ceil() as usize + n + 2;
+        let mut pushes = 0usize;
+        let local = subgraph.local_graph();
+        let from_lambda = ext.from_lambda();
+
+        let mut gained: Vec<usize> = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            in_queue[v] = false;
+            let rv = r[v];
+            if rv < theta {
+                continue;
+            }
+            r[v] = 0.0;
+            p_hat[v] += (1.0 - eps) * rv;
+            let spread = eps * rv;
+            gained.clear();
+            if v == lambda {
+                for (k, &f) in from_lambda.iter().enumerate() {
+                    if f > 0.0 {
+                        r[k] += spread * f;
+                        gained.push(k);
+                    }
+                }
+                if ext.lambda_self() > 0.0 {
+                    r[lambda] += spread * ext.lambda_self();
+                    gained.push(lambda);
+                }
+            } else {
+                let d = subgraph.global_out_degree(v as u32);
+                if d == 0 {
+                    // Dangling page: uniform over all N global pages —
+                    // 1/N to each local, the external remainder to Λ.
+                    let share = spread / big_n as f64;
+                    for (k, rk) in r.iter_mut().enumerate().take(n) {
+                        *rk += share;
+                        gained.push(k);
+                    }
+                    r[lambda] += share * (big_n - n) as f64;
+                    gained.push(lambda);
+                } else {
+                    let outs = local.out_neighbors(v as u32);
+                    let share = spread / d as f64;
+                    for &w in outs {
+                        r[w as usize] += share;
+                        gained.push(w as usize);
+                    }
+                    let to_l = spread * ext.to_lambda()[v];
+                    if to_l > 0.0 {
+                        r[lambda] += to_l;
+                        gained.push(lambda);
+                    }
+                }
+            }
+            for &k in &gained {
+                if !in_queue[k] && r[k] >= theta {
+                    in_queue[k] = true;
+                    queue.push_back(k);
+                }
+            }
+            pushes += 1;
+            if pushes >= push_cap {
+                break;
+            }
+        }
+
+        let residual: f64 = r.iter().sum();
+        obs.counter("walk_pushes", pushes as u64);
+        let lambda_score = p_hat[n];
+        p_hat.truncate(n);
+        RankScores {
+            local_scores: p_hat,
+            lambda_score: Some(lambda_score),
+            iterations: pushes,
+            converged: residual <= self.epsilon,
+            estimate: Some(Estimate {
+                walks: 0,
+                epsilon: self.epsilon,
+                residual,
+            }),
+        }
+    }
+}
+
+impl SubgraphRanker for LocalPushRank {
+    fn name(&self) -> &'static str {
+        "LocalPushRank"
+    }
+
+    fn rank(&self, global: &DiGraph, subgraph: &Subgraph) -> RankScores {
+        self.rank_observed(global, subgraph, approxrank_trace::null())
+    }
+
+    fn rank_observed(
+        &self,
+        global: &DiGraph,
+        subgraph: &Subgraph,
+        obs: &dyn Observer,
+    ) -> RankScores {
+        let agg = GlobalAggregates::compute(global);
+        self.rank_aggregated_observed(agg, subgraph, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::NodeSet;
+
+    fn figure4() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn residual_bound_holds_against_exact() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, [0u32, 1, 2, 3]));
+        let tight = PageRankOptions::paper().with_tolerance(1e-12);
+        let exact = ApproxRank { options: tight }.rank(&g, &sg);
+        for epsilon in [1e-2, 1e-3, 1e-5] {
+            let push = LocalPushRank {
+                epsilon,
+                ..LocalPushRank::default()
+            };
+            let est = push.rank(&g, &sg);
+            let info = est.estimate.unwrap();
+            assert!(est.converged, "push should hit its budget at {epsilon}");
+            assert!(info.residual <= epsilon);
+            let l1: f64 = est
+                .local_scores
+                .iter()
+                .zip(&exact.local_scores)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                + (est.lambda_score.unwrap() - exact.lambda_score.unwrap()).abs();
+            // The proven bound is ‖π − p̂‖₁ ≤ residual; allow the exact
+            // solve's own tolerance on top.
+            assert!(
+                l1 <= info.residual + 1e-9,
+                "epsilon={epsilon}: l1={l1} > residual={}",
+                info.residual
+            );
+        }
+    }
+
+    #[test]
+    fn push_is_deterministic() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, [0u32, 1, 2, 3]));
+        let a = LocalPushRank::default().rank(&g, &sg);
+        let b = LocalPushRank::default().rank(&g, &sg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_graph_subgraph_degenerates_cleanly() {
+        let g = figure4();
+        let sg = Subgraph::extract(&g, NodeSet::from_sorted(7, 0u32..7));
+        let est = LocalPushRank::default().rank(&g, &sg);
+        assert_eq!(est.local_scores.len(), 7);
+        assert!(est.converged);
+        // All mass is local when nothing is external.
+        assert!(est.local_scores.iter().sum::<f64>() > 0.99 - est.estimate.unwrap().residual);
+    }
+}

@@ -1,0 +1,223 @@
+//! Warm Monte-Carlo sessions: membership edits re-walk only the sources
+//! the edit could have influenced.
+//!
+//! The exact counterpart ([`approxrank_core::SubgraphSession`]) warm-
+//! starts a power iteration from the previous solution; an [`McSession`]
+//! goes further — its [`VisitCountStore`] rows are *bitwise reusable*,
+//! so an edit pays only for the sources whose walks touched a changed
+//! page, and the refreshed estimate is identical to a cold rebuild.
+
+use approxrank_core::{GlobalAggregates, RankScores};
+use approxrank_exec::Executor;
+use approxrank_graph::{NodeId, NodeSet, Subgraph, SubgraphSource};
+use approxrank_trace::Observer;
+
+use crate::counts::{UpdateStats, VisitCountStore};
+use crate::mc::McApproxRank;
+
+/// A long-lived Monte-Carlo estimator session over one global graph.
+pub struct McSession {
+    estimator: McApproxRank,
+    aggregates: GlobalAggregates,
+    members: Vec<NodeId>,
+    subgraph: Subgraph,
+    store: VisitCountStore,
+    last_stats: UpdateStats,
+}
+
+impl McSession {
+    /// Opens a session through a [`SubgraphSource`] (whole graph or
+    /// shard) and samples the initial store — the "cold build".
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty, belongs to a different graph, or
+    /// holds pages the source does not own.
+    pub fn with_source(
+        source: &dyn SubgraphSource,
+        initial: NodeSet,
+        estimator: McApproxRank,
+    ) -> Self {
+        assert!(!initial.is_empty(), "session needs a non-empty subgraph");
+        assert_eq!(
+            initial.global_nodes(),
+            source.global_nodes(),
+            "member set belongs to a different graph"
+        );
+        let members = initial.members().to_vec();
+        let subgraph = source.extract_nodes(initial);
+        let exec = executor(&estimator, &subgraph);
+        let store = VisitCountStore::build_on(&subgraph, estimator.walk_config(), &exec);
+        let cold = UpdateStats {
+            rewalked: store.len(),
+            reused: 0,
+            dropped: 0,
+        };
+        McSession {
+            aggregates: GlobalAggregates {
+                num_nodes: source.global_nodes(),
+                num_dangling: source.num_dangling(),
+            },
+            estimator,
+            members,
+            subgraph,
+            store,
+            last_stats: cold,
+        }
+    }
+
+    /// Current members in local-id order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The current extracted subgraph.
+    pub fn subgraph(&self) -> &Subgraph {
+        &self.subgraph
+    }
+
+    /// What the most recent build/edit cost: how many sources were
+    /// re-walked vs reused (a cold build counts everything as re-walked).
+    pub fn last_update(&self) -> UpdateStats {
+        self.last_stats
+    }
+
+    /// Number of source rows currently held in the visit-count store.
+    pub fn sources(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The estimator configuration this session walks with.
+    pub fn estimator(&self) -> &McApproxRank {
+        &self.estimator
+    }
+
+    /// Adds pages and incrementally refreshes the store.
+    ///
+    /// # Panics
+    /// Panics if a page id is out of range, or (inside the source) if the
+    /// source does not own a page.
+    pub fn add_pages_via(&mut self, source: &dyn SubgraphSource, pages: &[NodeId]) {
+        let big_n = source.global_nodes();
+        for &p in pages {
+            assert!((p as usize) < big_n, "page {p} out of range");
+        }
+        let current = NodeSet::from_iter_order(
+            big_n,
+            self.members.iter().copied().chain(pages.iter().copied()),
+        );
+        self.apply_membership(source, current);
+    }
+
+    /// Removes pages and incrementally refreshes the store.
+    ///
+    /// # Panics
+    /// Panics if the removal would empty the subgraph.
+    pub fn remove_pages_via(&mut self, source: &dyn SubgraphSource, pages: &[NodeId]) {
+        let drop: std::collections::HashSet<NodeId> = pages.iter().copied().collect();
+        let remaining: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|p| !drop.contains(p))
+            .collect();
+        assert!(!remaining.is_empty(), "cannot empty the subgraph");
+        let current = NodeSet::from_iter_order(source.global_nodes(), remaining);
+        self.apply_membership(source, current);
+    }
+
+    fn apply_membership(&mut self, source: &dyn SubgraphSource, current: NodeSet) {
+        let new_subgraph = source.extract_nodes(current);
+        let exec = executor(&self.estimator, &new_subgraph);
+        self.last_stats = self.store.update(&self.subgraph, &new_subgraph, &exec);
+        self.members = new_subgraph.nodes().members().to_vec();
+        self.subgraph = new_subgraph;
+    }
+
+    /// Estimates scores from the current store. Bitwise-identical to a
+    /// cold build over the same membership and seed, at any thread width.
+    pub fn solve(&mut self) -> RankScores {
+        self.solve_observed(approxrank_trace::null())
+    }
+
+    /// [`Self::solve`] with telemetry: `walk_*` counters (including
+    /// `walk_sources_rewalked` / `walk_sources_reused` from the most
+    /// recent edit) flow to `obs`.
+    pub fn solve_observed(&mut self, obs: &dyn Observer) -> RankScores {
+        obs.counter("walk_sources_walked", self.store.len() as u64);
+        obs.counter("walk_sources_rewalked", self.last_stats.rewalked as u64);
+        obs.counter("walk_sources_reused", self.last_stats.reused as u64);
+        let approx = approxrank_core::ApproxRank {
+            options: self.estimator.options.clone(),
+        };
+        let exec = executor(&self.estimator, &self.subgraph);
+        let ext = approx.extended_graph_aggregated_on(self.aggregates, &self.subgraph, &exec);
+        self.estimator
+            .scores_from_store(&self.store, &self.subgraph, &ext, obs)
+    }
+}
+
+fn executor(estimator: &McApproxRank, subgraph: &Subgraph) -> Executor {
+    Executor::new(estimator.options.threads.min(subgraph.len().max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxrank_graph::{DiGraph, GlobalView};
+    use std::sync::Arc;
+
+    fn figure4() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 6),
+                (1, 3),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (4, 2),
+                (4, 5),
+                (4, 6),
+                (5, 2),
+                (5, 6),
+                (6, 2),
+                (6, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn warm_edit_matches_cold_rebuild() {
+        let view = GlobalView::new(Arc::new(figure4()));
+        let initial = NodeSet::from_sorted(7, [0u32, 1, 2, 3]);
+        let mut session = McSession::with_source(&view, initial, McApproxRank::default());
+        assert_eq!(session.last_update().rewalked, 4);
+
+        session.add_pages_via(&view, &[6]);
+        let warm = session.solve();
+        let stats = session.last_update();
+        assert_eq!(stats.rewalked + stats.reused, 5);
+
+        let cold = NodeSet::from_sorted(7, [0u32, 1, 2, 3, 6]);
+        let mut fresh = McSession::with_source(&view, cold, McApproxRank::default());
+        let rebuilt = fresh.solve();
+        assert_eq!(warm, rebuilt, "warm update must be bitwise-identical");
+    }
+
+    #[test]
+    fn remove_then_solve_matches_cold() {
+        let view = GlobalView::new(Arc::new(figure4()));
+        let initial = NodeSet::from_sorted(7, [0u32, 1, 2, 3]);
+        let mut session = McSession::with_source(&view, initial, McApproxRank::default());
+        session.remove_pages_via(&view, &[1]);
+        let warm = session.solve();
+        assert!(session.last_update().dropped >= 1);
+
+        let cold = NodeSet::from_sorted(7, [0u32, 2, 3]);
+        let mut fresh = McSession::with_source(&view, cold, McApproxRank::default());
+        assert_eq!(warm, fresh.solve());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the walk tier: the incremental visit-count
+//! update must be indistinguishable — bit for bit — from a from-scratch
+//! rebuild, across arbitrary graphs and arbitrary membership edits.
+
+use approxrank_exec::Executor;
+use approxrank_graph::{DiGraph, NodeSet, Subgraph};
+use approxrank_walk::{VisitCountStore, WalkConfig};
+use proptest::prelude::*;
+
+/// Random graphs over 4..30 nodes (dangling pages included), an initial
+/// nonempty membership, and a sequence of 1..4 random membership edits
+/// (each toggles a handful of pages in or out).
+fn graph_and_edits() -> impl Strategy<Value = (DiGraph, Vec<u32>, Vec<Vec<u32>>)> {
+    (4usize..30).prop_flat_map(|n| {
+        let edge = (0u32..n as u32, 0u32..n as u32);
+        let edges = proptest::collection::vec(edge, 1..90);
+        let picks = proptest::collection::vec(any::<bool>(), n);
+        let toggles =
+            proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 1..4), 1..4);
+        (edges, picks, toggles).prop_map(move |(es, picks, toggles)| {
+            let g = DiGraph::from_edges(n, &es);
+            let mut members: Vec<u32> = (0..n as u32).filter(|&u| picks[u as usize]).collect();
+            if members.is_empty() {
+                members.push(0);
+            }
+            (g, members, toggles)
+        })
+    })
+}
+
+fn apply_toggles(n: usize, members: &[u32], toggles: &[u32]) -> Vec<u32> {
+    let mut set: Vec<bool> = vec![false; n];
+    for &m in members {
+        set[m as usize] = true;
+    }
+    for &t in toggles {
+        set[t as usize] = !set[t as usize];
+    }
+    let next: Vec<u32> = (0..n as u32).filter(|&u| set[u as usize]).collect();
+    if next.is_empty() {
+        members.to_vec() // skip edits that would empty the membership
+    } else {
+        next
+    }
+}
+
+fn small_config() -> WalkConfig {
+    WalkConfig {
+        walks: 32,
+        ..WalkConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_update_matches_rebuild((g, members, edits) in graph_and_edits()) {
+        let n = g.num_nodes();
+        let exec = Executor::sequential();
+        let mut current = members;
+        let mut sub = Subgraph::extract(&g, NodeSet::from_sorted(n, current.clone()));
+        let mut store = VisitCountStore::build(&sub, small_config());
+        for toggles in edits {
+            let next = apply_toggles(n, &current, &toggles);
+            let new_sub = Subgraph::extract(&g, NodeSet::from_sorted(n, next.clone()));
+            let stats = store.update(&sub, &new_sub, &exec);
+            prop_assert_eq!(stats.rewalked + stats.reused, new_sub.len());
+            let rebuilt = VisitCountStore::build(&new_sub, small_config());
+            prop_assert_eq!(&store, &rebuilt, "update diverged from rebuild");
+            current = next;
+            sub = new_sub;
+        }
+    }
+
+    #[test]
+    fn parallel_update_matches_sequential((g, members, edits) in graph_and_edits()) {
+        let n = g.num_nodes();
+        let mut current = members;
+        let mut sub = Subgraph::extract(&g, NodeSet::from_sorted(n, current.clone()));
+        let mut seq_store = VisitCountStore::build(&sub, small_config());
+        let mut par_store = seq_store.clone();
+        for toggles in edits {
+            let next = apply_toggles(n, &current, &toggles);
+            let new_sub = Subgraph::extract(&g, NodeSet::from_sorted(n, next.clone()));
+            seq_store.update(&sub, &new_sub, &Executor::sequential());
+            par_store.update(&sub, &new_sub, &Executor::new(4));
+            prop_assert_eq!(&seq_store, &par_store);
+            current = next;
+            sub = new_sub;
+        }
+    }
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the estimator tier: build release, boot
+# `subrank serve` on a generated graph, and assert that
+#   1. `/rank` with `"algorithm":"mc"` answers an `estimate` block and
+#      lands within the declared epsilon of the exact ApproxRank answer
+#      (L1 over the subgraph, top-5 pages recovered);
+#   2. a warm MC session update re-walks fewer sources than the cold
+#      build, observed through the `walk_*` /metrics counters.
+#
+# Exits nonzero on any non-200 answer or any assertion failure.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-7879}"
+ADDR="127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "${WORKDIR}"' EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+say "building release binaries"
+cargo build --release -p approxrank-cli
+
+SUBRANK=target/release/subrank
+
+say "generating a graph"
+"${SUBRANK}" gen --dataset au --pages 20000 --out "${WORKDIR}/web.edges" >/dev/null
+
+say "booting subrank serve on ${ADDR}"
+"${SUBRANK}" serve --graph "${WORKDIR}/web.edges" --addr "${ADDR}" --threads 4 \
+  >"${WORKDIR}/serve.out" 2>"${WORKDIR}/serve.err" &
+SERVER_PID=$!
+
+say "waiting for /healthz"
+for _ in $(seq 1 100); do
+  if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server died during startup" >&2
+    cat "${WORKDIR}/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://${ADDR}/healthz" >/dev/null
+
+MEMBERS='[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]'
+
+say "exact and MC answers for the same membership"
+curl -sf -X POST "http://${ADDR}/rank" -d "{\"members\":${MEMBERS}}" \
+  >"${WORKDIR}/exact.json"
+# A generous walk budget and a declared epsilon with real margin: the
+# assertion below holds the estimate to the epsilon the server echoes.
+MC_BODY="{\"members\":${MEMBERS},\"algorithm\":\"mc\",\"walks\":1024,\"epsilon\":0.05,\"seed\":7}"
+curl -sf -X POST "http://${ADDR}/rank" -d "${MC_BODY}" >"${WORKDIR}/mc.json"
+grep -q '"estimate"' "${WORKDIR}/mc.json"
+# The identical estimator query must be a cache hit (estimator knobs are
+# part of the cache key).
+curl -sf -X POST "http://${ADDR}/rank" -d "${MC_BODY}" | grep -q '"cached":true'
+
+say "MC estimate within declared epsilon, top-5 recovered"
+python3 - "$WORKDIR" <<'PY'
+import json, sys
+workdir = sys.argv[1]
+exact = json.load(open(f"{workdir}/exact.json"))
+mc = json.load(open(f"{workdir}/mc.json"))
+est = mc["estimate"]
+assert est["walks"] > 0 and est["epsilon"] > 0 and est["residual"] > 0, est
+ex = {e["page"]: e["score"] for e in exact["scores"]}
+ap = {e["page"]: e["score"] for e in mc["scores"]}
+assert set(ex) == set(ap), "memberships diverged"
+l1 = sum(abs(ex[p] - ap[p]) for p in ex)
+assert l1 <= est["epsilon"], f"L1 {l1:.4f} exceeds declared epsilon {est['epsilon']}"
+top = lambda scores: [p for p, _ in sorted(scores.items(), key=lambda kv: -kv[1])[:5]]
+assert set(top(ex)) == set(top(ap)), f"top-5 diverged: {top(ex)} vs {top(ap)}"
+print(f"   L1 {l1:.2e} <= epsilon {est['epsilon']}; top-5 identical; "
+      f"{est['walks']} walks, residual {est['residual']:.2e}")
+PY
+
+say "warm MC session update re-walks fewer sources than the cold build"
+curl -sf -X POST "http://${ADDR}/session" \
+  -d "{\"members\":${MEMBERS},\"algorithm\":\"mc\",\"walks\":1024,\"seed\":7}" \
+  >"${WORKDIR}/session.json"
+grep -q '"algorithm":"mc"' "${WORKDIR}/session.json"
+SID=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['id'])" \
+  "${WORKDIR}/session.json")
+curl -sf -X POST "http://${ADDR}/session/${SID}/update" -d '{"add":[16]}' \
+  >"${WORKDIR}/update.json"
+grep -q '"estimate"' "${WORKDIR}/update.json"
+
+curl -sf "http://${ADDR}/metrics" >"${WORKDIR}/metrics.txt"
+grep -q '^walk_sources_walked ' "${WORKDIR}/metrics.txt"
+grep -q '^walk_sources_rewalked ' "${WORKDIR}/metrics.txt"
+python3 - "$WORKDIR" <<'PY'
+import sys
+workdir = sys.argv[1]
+counters = {}
+for line in open(f"{workdir}/metrics.txt"):
+    parts = line.split()
+    if len(parts) == 2 and parts[0].startswith("walk_"):
+        counters[parts[0]] = float(parts[1])
+walked = counters["walk_sources_walked"]
+rewalked = counters["walk_sources_rewalked"]
+assert walked > 0, counters
+assert 0 < rewalked < walked, \
+    f"warm update re-walked {rewalked} of {walked} sources (expected a strict subset)"
+assert counters.get("walk_walks", 0) > 0, counters
+print(f"   warm update re-walked {rewalked:.0f} of {walked:.0f} sources; "
+      f"reused {counters.get('walk_sources_reused', 0):.0f}")
+PY
+
+say "SIGINT drains gracefully"
+kill -INT "${SERVER_PID}"
+for _ in $(seq 1 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${SERVER_PID}" 2>/dev/null; then
+  echo "server did not exit within 10s of SIGINT" >&2
+  exit 1
+fi
+wait "${SERVER_PID}" && STATUS=0 || STATUS=$?
+test "${STATUS}" = 0 || { echo "server exited with ${STATUS}" >&2; exit 1; }
+if grep -qi 'panicked' "${WORKDIR}/serve.err"; then
+  echo "server logged a panic:" >&2
+  cat "${WORKDIR}/serve.err" >&2
+  exit 1
+fi
+
+say "walk smoke OK"

@@ -17,6 +17,7 @@
 //! | [`metrics`] | `approxrank-metrics` | L1, Spearman footrule with ties, Kendall, top-k |
 //! | [`objectrank`] | `approxrank-objectrank` | semantic ranking: schema graphs, authority transfer, keyword base sets |
 //! | [`trace`] | `approxrank-trace` | solver telemetry: observers, recorders, JSONL export, run reports |
+//! | [`walk`] | `approxrank-walk` | sublinear estimator tier: Monte-Carlo walks, local push, warm visit-count sessions |
 //! | [`bench`](mod@bench) | `approxrank-bench` | the experiment harness behind `repro` |
 //!
 //! The most common types are re-exported at the root:
@@ -45,10 +46,12 @@ pub use approxrank_metrics as metrics;
 pub use approxrank_objectrank as objectrank;
 pub use approxrank_pagerank as pagerank;
 pub use approxrank_trace as trace;
+pub use approxrank_walk as walk;
 
 pub use approxrank_core::{
-    ApproxRank, GlobalPrecomputation, IdealRank, RankScores, StochasticComplementation,
+    ApproxRank, Estimate, GlobalPrecomputation, IdealRank, RankScores, StochasticComplementation,
     SubgraphRanker,
 };
 pub use approxrank_graph::{DiGraph, NodeSet, Subgraph};
 pub use approxrank_pagerank::{PageRankOptions, PageRankResult};
+pub use approxrank_walk::{LocalPushRank, McApproxRank};

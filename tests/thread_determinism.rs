@@ -11,7 +11,7 @@ use approxrank::gen::{au_like, AuConfig, BfsCrawler};
 use approxrank::graph::{DiGraph, Subgraph};
 use approxrank::pagerank::{pagerank, pagerank_gauss_seidel_red_black};
 use approxrank::{
-    ApproxRank, IdealRank, PageRankOptions, StochasticComplementation, SubgraphRanker,
+    ApproxRank, IdealRank, McApproxRank, PageRankOptions, StochasticComplementation, SubgraphRanker,
 };
 
 /// Widths compared against the sequential (width-1) reference.
@@ -67,6 +67,51 @@ fn red_black_gauss_seidel_is_bitwise_stable_across_widths() {
     for w in WIDTHS {
         let r = pagerank_gauss_seidel_red_black(&g, &options(w));
         assert_bitwise(&reference, &r.scores, &format!("gs-rb @ {w} threads"));
+    }
+}
+
+#[test]
+#[ignore = "release-sized; CI runs with --ignored"]
+fn mc_estimator_is_bitwise_stable_across_widths_and_seeded() {
+    let (g, subgraphs) = battery();
+    for (si, sub) in subgraphs.iter().enumerate() {
+        let mc = |threads: usize| McApproxRank {
+            options: options(threads),
+            walks: 128,
+            ..McApproxRank::default()
+        };
+        let reference = mc(1).rank(&g, sub);
+        for w in WIDTHS {
+            let got = mc(w).rank(&g, sub);
+            assert_bitwise(
+                &reference.local_scores,
+                &got.local_scores,
+                &format!("mc on subgraph {si} @ {w} threads"),
+            );
+            assert_eq!(
+                reference.lambda_score.map(f64::to_bits),
+                got.lambda_score.map(f64::to_bits),
+                "mc on subgraph {si} @ {w} threads: lambda diverged"
+            );
+            assert_eq!(reference.estimate, got.estimate);
+        }
+        // Same seed re-run reproduces the walks exactly; a different
+        // seed draws different ones.
+        let again = mc(1).rank(&g, sub);
+        assert_bitwise(
+            &reference.local_scores,
+            &again.local_scores,
+            &format!("mc on subgraph {si}: same-seed re-run"),
+        );
+        let other = McApproxRank { seed: 99, ..mc(1) }.rank(&g, sub);
+        assert!(
+            reference
+                .local_scores
+                .iter()
+                .zip(&other.local_scores)
+                .any(|(a, b)| a.to_bits() != b.to_bits()),
+            "mc on subgraph {si}: a different seed must change the walks"
+        );
     }
 }
 
