@@ -44,6 +44,16 @@
 //! the merge path has a different cost profile, so mixing the two into
 //! one histogram would hide both.
 //!
+//! `--mutate-rate R` (0 < R <= 1) turns roughly an `R` fraction of each
+//! query stream into writes: every `round(1/R)`-th request becomes a
+//! `POST /graph/edges` that toggles one stream-private edge between two
+//! existing pages (insert on one visit, delete on the next, so the graph
+//! never drifts and the batch never adds or removes dangling pages —
+//! i.e. never triggers a structural epoch that would flush every cache
+//! entry). Write latencies are reported on their own `writes` line with
+//! the graph-epoch movement over the run, next to the read percentiles —
+//! mixed read/write is exactly the workload where tail latency hides.
+//!
 //! `--capture` pulls the server's `/debug/requests` trace ring after the
 //! run and prints a server-side per-layer time breakdown next to the
 //! client-side percentiles, so "where did the p99 go" is answered by
@@ -65,7 +75,8 @@ use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --graph FILE] [--clients N] \
 [--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N] [--sessions N] \
-[--shards S] [--algo mc|push] [--capture] [--capture-out FILE] [--baseline FILE]";
+[--shards S] [--algo mc|push] [--mutate-rate R] [--capture] [--capture-out FILE] \
+[--baseline FILE]";
 
 struct Args {
     addr: Option<String>,
@@ -80,6 +91,7 @@ struct Args {
     sessions: usize,
     shards: usize,
     algo: Option<String>,
+    mutate_rate: f64,
     capture: bool,
     capture_out: Option<String>,
     baseline: Option<String>,
@@ -100,6 +112,7 @@ impl Default for Args {
             sessions: 0,
             shards: 1,
             algo: None,
+            mutate_rate: 0.0,
             capture: false,
             capture_out: None,
             baseline: None,
@@ -131,6 +144,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err(format!("--algo must be \"mc\" or \"push\", got {v:?}"));
                 }
                 args.algo = Some(v);
+            }
+            "--mutate-rate" => {
+                let v = value("--mutate-rate")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --mutate-rate {v:?}: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--mutate-rate must be in [0, 1], got {rate}"));
+                }
+                args.mutate_rate = rate;
             }
             "--capture" => args.capture = true,
             "--capture-out" => args.capture_out = Some(value("--capture-out")?),
@@ -409,6 +432,8 @@ struct StreamOutcome {
     cross_us: Vec<u64>,
     /// Latencies of estimator-tier responses (`--algo`), any shard span.
     estimator_us: Vec<u64>,
+    /// Latencies of `POST /graph/edges` writes (`--mutate-rate`).
+    write_us: Vec<u64>,
     errors: usize,
 }
 
@@ -418,7 +443,41 @@ impl StreamOutcome {
             resident_us: Vec::new(),
             cross_us: Vec::new(),
             estimator_us: Vec::new(),
+            write_us: Vec::new(),
             errors: requests + 1,
+        }
+    }
+}
+
+/// The pair of write bodies a stream alternates between under
+/// `--mutate-rate`: inserting, then deleting, one stream-private edge.
+struct WriteToggle {
+    insert: String,
+    delete: String,
+    next_is_insert: bool,
+}
+
+impl WriteToggle {
+    /// The edge is private to `stream` and connects two pages that exist
+    /// in every deployment mode, so the write is accepted by sharded and
+    /// remote routers alike (node inserts are single-shard only).
+    fn new(stream: usize, num_nodes: usize) -> WriteToggle {
+        let u = (stream * 17 + 1) % num_nodes;
+        let v = (u + num_nodes / 3 + 1) % num_nodes;
+        WriteToggle {
+            insert: format!("{{\"insert\":[[{u},{v}]]}}"),
+            delete: format!("{{\"delete\":[[{u},{v}]]}}"),
+            next_is_insert: true,
+        }
+    }
+
+    fn next(&mut self) -> &str {
+        let insert = self.next_is_insert;
+        self.next_is_insert = !insert;
+        if insert {
+            &self.insert
+        } else {
+            &self.delete
         }
     }
 }
@@ -430,14 +489,34 @@ fn run_stream(
     weights: &[f64],
     requests: usize,
     seed: u64,
+    mut toggle: Option<(usize, WriteToggle)>,
 ) -> StreamOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
     let mut resident_us = Vec::with_capacity(requests);
     let mut cross_us = Vec::new();
     let mut estimator_us = Vec::new();
+    let mut write_us = Vec::new();
     let mut errors = 0usize;
     for i in 0..requests {
+        // Every `write_every`-th request is a graph write; the Zipf draw
+        // below still happens so the read key sequence is unchanged by
+        // the mutate rate.
+        let write = match &mut toggle {
+            Some((every, toggle)) if (i + 1).is_multiple_of(*every) => Some(toggle.next()),
+            _ => None,
+        };
+        if let Some(body) = write {
+            let started = Instant::now();
+            match client.post("/graph/edges", body) {
+                Ok(response) if response.status == 200 => {
+                    write_us.push(started.elapsed().as_micros() as u64);
+                }
+                Ok(_) | Err(_) => errors += 1,
+            }
+            let _ = sample_weighted(&mut rng, weights);
+            continue;
+        }
         let key = sample_weighted(&mut rng, weights);
         // With `--algo` the stream alternates tiers so both see the same
         // Zipf key mix (and the same share of cache re-use).
@@ -472,6 +551,7 @@ fn run_stream(
         resident_us,
         cross_us,
         estimator_us,
+        write_us,
         errors,
     }
 }
@@ -547,8 +627,22 @@ fn run_session_stream(
         resident_us: latencies_us,
         cross_us: Vec::new(),
         estimator_us: Vec::new(),
+        write_us: Vec::new(),
         errors,
     }
+}
+
+/// Reads the live graph epoch from `/stats` (0 when absent, so pointing
+/// loadgen at an old server does not fail the run).
+fn graph_epoch(addr: &str) -> u64 {
+    let mut client = Client::new(addr);
+    client
+        .get("/stats")
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| r.json().ok())
+        .and_then(|v| v.get("graph")?.get("epoch")?.as_u64())
+        .unwrap_or(0)
 }
 
 fn run(args: &Args) -> Result<String, String> {
@@ -613,6 +707,13 @@ fn run(args: &Args) -> Result<String, String> {
     });
     let weights = Arc::new(zipf_weights(args.keys, args.zipf));
     let (hits_before, misses_before) = cache_counters(&addr)?;
+    let epoch_before = graph_epoch(&addr);
+    // `--mutate-rate R` means one write per round(1/R) requests.
+    let write_every = if args.mutate_rate > 0.0 {
+        Some(((1.0 / args.mutate_rate).round() as usize).max(1))
+    } else {
+        None
+    };
 
     let started = Instant::now();
     let (outcomes, session_outcomes): (Vec<StreamOutcome>, Vec<StreamOutcome>) = {
@@ -621,6 +722,7 @@ fn run(args: &Args) -> Result<String, String> {
                 let (addr, bodies, weights) = (addr.clone(), bodies.clone(), weights.clone());
                 let est_bodies = est_bodies.clone();
                 let (requests, seed) = (args.requests, args.seed.wrapping_add(c as u64));
+                let toggle = write_every.map(|every| (every, WriteToggle::new(c, num_nodes)));
                 std::thread::spawn(move || {
                     run_stream(
                         &addr,
@@ -629,6 +731,7 @@ fn run(args: &Args) -> Result<String, String> {
                         &weights,
                         requests,
                         seed,
+                        toggle,
                     )
                 })
             })
@@ -677,6 +780,8 @@ fn run(args: &Args) -> Result<String, String> {
         .flat_map(|o| o.estimator_us.clone())
         .collect();
     estimator.sort_unstable();
+    let mut writes: Vec<u64> = outcomes.iter().flat_map(|o| o.write_us.clone()).collect();
+    writes.sort_unstable();
     let mut latencies: Vec<u64> = resident
         .iter()
         .chain(&cross)
@@ -694,7 +799,7 @@ fn run(args: &Args) -> Result<String, String> {
         .chain(&session_outcomes)
         .map(|o| o.errors)
         .sum();
-    let ok = latencies.len();
+    let ok = latencies.len() + writes.len();
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -720,6 +825,17 @@ fn run(args: &Args) -> Result<String, String> {
         percentile(&latencies, 99.0) as f64 / 1e3,
         latencies.last().copied().unwrap_or(0) as f64 / 1e3,
     ));
+    if write_every.is_some() {
+        let epoch_after = graph_epoch(&addr);
+        out.push_str(&format!(
+            "writes    {} ok  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  \
+             (graph epoch {epoch_before} -> {epoch_after})\n",
+            writes.len(),
+            percentile(&writes, 50.0) as f64 / 1e3,
+            percentile(&writes, 90.0) as f64 / 1e3,
+            percentile(&writes, 99.0) as f64 / 1e3,
+        ));
+    }
     if args.shards > 1 {
         for (label, sample) in [("resident", &resident), ("cross", &cross)] {
             out.push_str(&format!(
@@ -917,6 +1033,61 @@ mod tests {
         };
         assert_eq!(count("exact"), 8, "{report}");
         assert_eq!(count("mc"), 8, "{report}");
+    }
+
+    #[test]
+    fn parses_mutate_rate_and_bounds_it() {
+        assert_eq!(parse_args(&argv(&[])).unwrap().mutate_rate, 0.0);
+        assert_eq!(
+            parse_args(&argv(&["--mutate-rate", "0.25"]))
+                .unwrap()
+                .mutate_rate,
+            0.25
+        );
+        assert!(parse_args(&argv(&["--mutate-rate", "1.5"])).is_err());
+        assert!(parse_args(&argv(&["--mutate-rate", "-0.1"])).is_err());
+        assert!(parse_args(&argv(&["--mutate-rate", "lots"])).is_err());
+    }
+
+    #[test]
+    fn write_toggle_alternates_one_private_edge() {
+        let mut toggle = WriteToggle::new(3, 2_000);
+        let first = toggle.next().to_string();
+        let second = toggle.next().to_string();
+        let third = toggle.next().to_string();
+        assert!(first.contains("\"insert\""), "{first}");
+        assert!(second.contains("\"delete\""), "{second}");
+        assert_eq!(first, third, "the toggle must cycle");
+        // Streams get distinct edges so their writes do not cancel out.
+        assert_ne!(first, WriteToggle::new(4, 2_000).next());
+    }
+
+    /// End-to-end with `--mutate-rate 0.5`: every second request per
+    /// stream is a write; the run stays error-free, the `writes` line
+    /// reports the split percentiles, and the graph epoch moved.
+    #[test]
+    fn mutate_run_reports_write_percentiles_and_epoch() {
+        let report = run(&Args {
+            clients: 2,
+            requests: 8,
+            keys: 4,
+            members: 8,
+            mutate_rate: 0.5,
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(report.contains("16 ok, 0 errors"), "{report}");
+        let line = report
+            .lines()
+            .find(|l| l.starts_with("writes"))
+            .expect("writes line");
+        let count: usize = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert_eq!(count, 8, "half of 16 requests are writes: {report}");
+        assert!(line.contains("p99"), "{line}");
+        assert!(
+            line.contains("graph epoch 0 -> ") && !line.contains("-> 0)"),
+            "epoch must move: {line}"
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use approxrank_engine::{Engine, EngineConfig};
-use approxrank_graph::PartitionedGraph;
+use approxrank_engine::{DeltaGraph, DeltaShardView, Engine, EngineConfig};
+use approxrank_graph::assign_shards;
 use approxrank_rpc::{RemoteConfig, ShardServer};
 use approxrank_serve::{on_shutdown_signal, ServeConfig, Server};
 use approxrank_trace::logging;
@@ -123,20 +123,20 @@ fn run_shard_server(args: &ServeArgs, k: u32) -> Result<String, String> {
     let graph = load_graph(&args.graph)?;
     let nodes = graph.num_nodes();
     let shards = args.shards;
-    let pg = PartitionedGraph::build(&graph, shards, args.partition);
-    let shard = pg
-        .into_shards()
-        .into_iter()
-        .nth(k as usize)
-        .expect("arg validation bounds k");
-    let resident = shard.members().len();
+    let assignment = Arc::new(assign_shards(&graph, shards, args.partition));
+    let resident = assignment.iter().filter(|&&s| s == k).count();
+    // Each shard server layers its own DeltaGraph over the full base
+    // graph so MUTATE broadcasts from the router land in live overlays
+    // on every process (see `Router::mutate_graph`).
+    let delta = Arc::new(DeltaGraph::new(Arc::new(graph)));
+    let view = Arc::new(DeltaShardView::new(Arc::clone(&delta), assignment, k));
     let config = EngineConfig {
         cache_entries: args.cache_entries,
         fsync: args.fsync,
         first_session_id: k as u64 + 1,
         session_id_stride: shards as u64,
     };
-    let engine = Arc::new(Engine::new_shard(Arc::new(shard), config));
+    let engine = Arc::new(Engine::new_delta_shard(view, config));
     if let Some(dir) = &args.data_dir {
         let summary = engine
             .open_store(std::path::Path::new(dir))

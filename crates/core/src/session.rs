@@ -224,6 +224,20 @@ impl SubgraphSession {
         self.subgraph = source.extract_nodes(current);
     }
 
+    /// Re-extracts the current membership and refreshes the global
+    /// aggregates after the underlying graph mutated — the warm-restart
+    /// path for live mutation. The previous solution is kept, so the
+    /// next [`Self::solve`] warm-starts from it; since the membership is
+    /// unchanged, every page keeps its score as the starting point.
+    pub fn refresh_via(&mut self, source: &dyn SubgraphSource) {
+        let current = NodeSet::from_iter_order(source.global_nodes(), self.members.iter().copied());
+        self.subgraph = source.extract_nodes(current);
+        self.aggregates = GlobalAggregates {
+            num_nodes: source.global_nodes(),
+            num_dangling: source.num_dangling(),
+        };
+    }
+
     /// Solves ApproxRank for the current membership, warm-starting from
     /// the previous solution when one exists: retained pages keep their
     /// scores, new pages enter at the teleport floor, Λ absorbs the rest.
@@ -403,6 +417,35 @@ mod tests {
         global_side.add_pages(&g, &[90, 91]);
         shard_side.add_pages_via(shard, &[90, 91]);
         assert_eq!(global_side.solve(), shard_side.solve());
+    }
+
+    #[test]
+    fn refresh_tracks_graph_mutation() {
+        use approxrank_graph::GlobalView;
+        use std::sync::Arc;
+
+        let g = global();
+        let n = g.num_nodes();
+        let before = GlobalView::new(Arc::new(g.clone()));
+        let mut session =
+            SubgraphSession::with_source(&before, NodeSet::from_sorted(n, 100..160u32), opts());
+        session.solve();
+
+        // The graph changes under the session: one edge into, one out of
+        // the member range.
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        edges.push((120, 140));
+        edges.retain(|&e| e != (100, 101));
+        let mutated = DiGraph::from_edges(n, &edges);
+        let after = GlobalView::new(Arc::new(mutated.clone()));
+        session.refresh_via(&after);
+        let repaired = session.solve();
+
+        let fresh_sub = Subgraph::extract(&mutated, NodeSet::from_sorted(n, 100..160u32));
+        let fresh = ApproxRank::new(opts()).rank_subgraph(&mutated, &fresh_sub);
+        for (a, b) in repaired.local_scores.iter().zip(&fresh.local_scores) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
     }
 
     #[test]

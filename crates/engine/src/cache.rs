@@ -21,6 +21,14 @@ use crate::lru::Lru;
 pub struct CacheKey {
     /// Algorithm discriminant (see [`crate::Algorithm::code`]).
     pub algorithm: u8,
+    /// The graph epoch the answer was computed under (see
+    /// [`approxrank_delta::DeltaGraph::effective_epoch`]): the max of the
+    /// structural epoch and the page epochs of the member set. A mutation
+    /// that touches any member bumps this, so stale entries simply stop
+    /// being addressable and age out of the LRU — lazy invalidation,
+    /// counted by [`CacheStats::stale_evictions`] when they finally fall
+    /// out. Static (non-delta) engines pin it at 0.
+    pub epoch: u64,
     /// `f64::to_bits` of the damping factor.
     pub damping_bits: u64,
     /// `f64::to_bits` of the tolerance.
@@ -61,6 +69,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by LRU pressure.
     pub evictions: u64,
+    /// The subset of `evictions` whose key carried a stale graph epoch —
+    /// answers a mutation had already made unreachable. Together with
+    /// `evictions` this shows how much of the cache churn live mutation
+    /// causes.
+    pub stale_evictions: u64,
     /// Entries removed by explicit invalidation.
     pub invalidations: u64,
     /// Current live entries across all shards.
@@ -75,6 +88,7 @@ pub struct ShardedCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    stale_evictions: AtomicU64,
     invalidations: AtomicU64,
 }
 
@@ -94,6 +108,7 @@ impl ShardedCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
         }
     }
@@ -123,12 +138,22 @@ impl ShardedCache {
         }
     }
 
-    /// Stores a result, possibly evicting the shard's LRU entry.
-    pub fn insert(&self, key: CacheKey, value: CachedResult) {
+    /// Stores a result, possibly evicting the shard's LRU entry. The
+    /// displaced entry (if any) is returned so the engine can classify
+    /// the eviction — an entry keyed under a superseded graph epoch
+    /// counts as stale (see [`Self::record_stale_eviction`]).
+    pub fn insert(&self, key: CacheKey, value: CachedResult) -> Option<(CacheKey, CachedResult)> {
         let evicted = self.lock_shard(self.shard_of(&key)).insert(key, value);
         if evicted.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        evicted
+    }
+
+    /// Marks the most recent eviction as stale-epoch churn. Called by the
+    /// engine after classifying the entry [`Self::insert`] returned.
+    pub fn record_stale_eviction(&self) {
+        self.stale_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drops the entry for `key`, if present. Sessions call this when a
@@ -185,6 +210,7 @@ impl ShardedCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            stale_evictions: self.stale_evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             entries,
             capacity,
@@ -194,12 +220,15 @@ impl ShardedCache {
 
 /// Builds the canonical key for a computation: members must already be
 /// sorted and deduplicated (the handler's `NodeSet` pass guarantees it).
-/// `estimator` is 0 for exact algorithms (see [`estimator_bits`]).
+/// `estimator` is 0 for exact algorithms (see [`estimator_bits`]);
+/// `epoch` is the member set's effective graph epoch (0 on static
+/// engines).
 pub fn cache_key(
     algorithm: u8,
     damping: f64,
     tolerance: f64,
     estimator: u64,
+    epoch: u64,
     members: &[u32],
 ) -> CacheKey {
     debug_assert!(
@@ -211,6 +240,7 @@ pub fn cache_key(
         damping_bits: damping.to_bits(),
         tolerance_bits: tolerance.to_bits(),
         estimator_bits: estimator,
+        epoch,
         members: members.into(),
     }
 }
@@ -247,7 +277,7 @@ mod tests {
     #[test]
     fn hit_after_insert() {
         let cache = ShardedCache::new(64);
-        let key = cache_key(0, 0.85, 1e-5, 0, &[1, 2, 3]);
+        let key = cache_key(0, 0.85, 1e-5, 0, 0, &[1, 2, 3]);
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), result(7));
         let got = cache.get(&key).unwrap();
@@ -259,11 +289,11 @@ mod tests {
     #[test]
     fn distinct_options_are_distinct_keys() {
         let cache = ShardedCache::new(64);
-        let a = cache_key(0, 0.85, 1e-5, 0, &[1, 2]);
-        let b = cache_key(0, 0.9, 1e-5, 0, &[1, 2]);
-        let c = cache_key(1, 0.85, 1e-5, 0, &[1, 2]);
-        let d = cache_key(0, 0.85, 1e-5, 0, &[1, 2, 3]);
-        let e = cache_key(0, 0.85, 1e-5, estimator_bits(256, 1e-3, 42), &[1, 2]);
+        let a = cache_key(0, 0.85, 1e-5, 0, 0, &[1, 2]);
+        let b = cache_key(0, 0.9, 1e-5, 0, 0, &[1, 2]);
+        let c = cache_key(1, 0.85, 1e-5, 0, 0, &[1, 2]);
+        let d = cache_key(0, 0.85, 1e-5, 0, 0, &[1, 2, 3]);
+        let e = cache_key(0, 0.85, 1e-5, estimator_bits(256, 1e-3, 42), 0, &[1, 2]);
         cache.insert(a.clone(), result(1));
         for other in [&b, &c, &d, &e] {
             assert!(cache.get(other).is_none());
@@ -288,7 +318,7 @@ mod tests {
     #[test]
     fn invalidation_removes_and_counts() {
         let cache = ShardedCache::new(64);
-        let key = cache_key(0, 0.85, 1e-5, 0, &[4, 5]);
+        let key = cache_key(0, 0.85, 1e-5, 0, 0, &[4, 5]);
         cache.insert(key.clone(), result(1));
         assert!(cache.invalidate(&key));
         assert!(!cache.invalidate(&key));
@@ -301,7 +331,7 @@ mod tests {
         // Tiny cache: one entry per shard.
         let cache = ShardedCache::new(1);
         for i in 0..200u32 {
-            cache.insert(cache_key(0, 0.85, 1e-5, 0, &[i]), result(i as usize));
+            cache.insert(cache_key(0, 0.85, 1e-5, 0, 0, &[i]), result(i as usize));
         }
         let s = cache.stats();
         assert!(s.evictions > 0, "{s:?}");

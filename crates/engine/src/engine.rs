@@ -9,9 +9,10 @@ use approxrank_core::{
     ApproxRank, GlobalAggregates, IdealRank, StochasticComplementation, SubgraphRanker,
     SubgraphSession,
 };
-use approxrank_graph::{DiGraph, GlobalView, NodeId, NodeSet, Shard, SubgraphSource};
+use approxrank_delta::{DeltaGraph, DeltaShardView, MutationSummary};
+use approxrank_graph::{DiGraph, NodeId, NodeSet, Shard, SubgraphSource};
 use approxrank_pagerank::{pagerank, PageRankOptions};
-use approxrank_store::{FsyncPolicy, SessionStore, WalEvent};
+use approxrank_store::{FsyncPolicy, GraphMutationRecord, SessionStore, WalEvent};
 use approxrank_trace::{Observer, Stopwatch};
 use approxrank_walk::{LocalPushRank, McApproxRank, McSession};
 
@@ -46,15 +47,23 @@ impl Default for EngineConfig {
 
 /// What the engine ranks over.
 pub(crate) enum Backend {
-    /// The whole global graph: every algorithm is available.
+    /// The whole global graph behind a live mutation overlay: every
+    /// algorithm is available, and graph mutation lands here.
     Global {
-        /// The graph plus its dangling census, shared with sessions.
-        view: GlobalView,
-        /// Global PageRank scores for IdealRank, computed on first use.
-        global_scores: OnceLock<Vec<f64>>,
+        /// The live graph: immutable CSR base plus delta overlay.
+        delta: Arc<DeltaGraph>,
+        /// Global PageRank scores for IdealRank, tagged with the graph
+        /// epoch they were computed under — a mutation makes them
+        /// recompute lazily on the next IdealRank request.
+        global_scores: Mutex<Option<(u64, Arc<Vec<f64>>)>>,
     },
-    /// One shard of a partitioned graph: ApproxRank only.
+    /// One static shard of a partitioned graph: ApproxRank and its
+    /// estimators only; mutation is rejected.
     Shard(Arc<Shard>),
+    /// One shard view over a shared live [`DeltaGraph`]: the same
+    /// algorithm restriction as `Shard`, but mutations applied to the
+    /// shared delta propagate to every shard engine built over it.
+    DeltaShard(Arc<DeltaShardView>),
 }
 
 /// The warm solver behind one open session: exact power iteration or the
@@ -106,6 +115,34 @@ impl SessionSolver {
         match self {
             SessionSolver::Exact(s) => s.remove_pages_via(source, pages),
             SessionSolver::Mc(s) => s.remove_pages_via(source, pages),
+        }
+    }
+
+    fn subgraph(&self) -> &approxrank_graph::Subgraph {
+        match self {
+            SessionSolver::Exact(s) => s.subgraph(),
+            SessionSolver::Mc(s) => s.subgraph(),
+        }
+    }
+
+    /// Whether a mutation whose touched-page set is `touched` (sorted)
+    /// could change this solver's answer: true when a touched page is a
+    /// member or a boundary in-edge source. Everything a Λ-collapse
+    /// solve reads reduces to those pages plus the global aggregates —
+    /// aggregate changes are handled separately via the structural flag.
+    pub fn depends_on(&self, touched: &[u32]) -> bool {
+        intersects_sorted(self.members(), touched)
+            || intersects_sorted(&self.subgraph().boundary().in_sources, touched)
+    }
+
+    /// Re-extracts the current membership after a graph mutation and
+    /// warm-restarts the solver state (exact sessions keep their last
+    /// scores as the next warm start; estimator sessions re-walk only
+    /// sources whose rows changed).
+    fn refresh_via(&mut self, source: &dyn SubgraphSource) {
+        match self {
+            SessionSolver::Exact(s) => s.refresh_via(source),
+            SessionSolver::Mc(s) => s.refresh_via(source),
         }
     }
 
@@ -198,6 +235,25 @@ pub struct RankOutcome {
     pub cached: bool,
 }
 
+/// What one applied graph-mutation batch did, for the transport layer's
+/// response and the mutation metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Graph epoch after the batch (unchanged when the batch no-opped).
+    pub epoch: u64,
+    /// Edges actually inserted (idempotent re-inserts excluded).
+    pub inserted: usize,
+    /// Edges actually deleted (absent deletes excluded).
+    pub deleted: usize,
+    /// Pages whose rank inputs the batch could have changed.
+    pub touched_pages: usize,
+    /// Whether the batch changed the global aggregates (`N` or the
+    /// dangling count) — such a batch invalidates every cached answer.
+    pub structural: bool,
+    /// Warm sessions re-solved because the batch intersected them.
+    pub sessions_repaired: usize,
+}
+
 /// Why an engine refused an operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
@@ -240,6 +296,19 @@ pub struct Engine {
     pub(crate) wal_errors: AtomicU64,
 }
 
+/// Whether two sorted id slices share an element (two-pointer merge).
+fn intersects_sorted(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
 pub(crate) fn options_for(damping: f64, tolerance: f64) -> PageRankOptions {
     PageRankOptions::paper()
         .with_damping(damping)
@@ -263,12 +332,20 @@ fn to_cached(members: &[u32], result: approxrank_core::RankScores) -> CachedResu
 }
 
 impl Engine {
-    /// An engine over the whole graph: every algorithm available.
+    /// An engine over the whole graph: every algorithm available, and
+    /// the graph is live — [`Engine::mutate_graph`] applies edge batches
+    /// through a fresh [`DeltaGraph`] wrapped around `graph`.
     pub fn new_global(graph: Arc<DiGraph>, config: EngineConfig) -> Self {
+        Engine::new_delta(Arc::new(DeltaGraph::new(graph)), config)
+    }
+
+    /// An engine over an existing live graph (shared with other owners,
+    /// e.g. a test harness mutating it out-of-band).
+    pub fn new_delta(delta: Arc<DeltaGraph>, config: EngineConfig) -> Self {
         Engine::with_backend(
             Backend::Global {
-                view: GlobalView::new(graph),
-                global_scores: OnceLock::new(),
+                delta,
+                global_scores: Mutex::new(None),
             },
             config,
         )
@@ -278,6 +355,15 @@ impl Engine {
     /// bit-identical to a global engine for shard-resident subgraphs.
     pub fn new_shard(shard: Arc<Shard>, config: EngineConfig) -> Self {
         Engine::with_backend(Backend::Shard(shard), config)
+    }
+
+    /// An engine over one shard view of a shared live [`DeltaGraph`]:
+    /// shard-restricted like [`Engine::new_shard`], but a mutation
+    /// applied to the shared delta is visible to every engine built over
+    /// it (each engine absorbs the summary via
+    /// [`Engine::absorb_mutation`]).
+    pub fn new_delta_shard(view: Arc<DeltaShardView>, config: EngineConfig) -> Self {
+        Engine::with_backend(Backend::DeltaShard(view), config)
     }
 
     fn with_backend(backend: Backend, config: EngineConfig) -> Self {
@@ -297,9 +383,34 @@ impl Engine {
     /// The extraction source this engine ranks through.
     pub(crate) fn source(&self) -> &dyn SubgraphSource {
         match &self.backend {
-            Backend::Global { view, .. } => view,
+            Backend::Global { delta, .. } => delta.as_ref(),
             Backend::Shard(shard) => shard.as_ref(),
+            Backend::DeltaShard(view) => view.as_ref(),
         }
+    }
+
+    /// The live graph behind this engine, when it has one (global and
+    /// delta-shard backends; `None` for a static shard).
+    pub fn delta(&self) -> Option<&Arc<DeltaGraph>> {
+        match &self.backend {
+            Backend::Global { delta, .. } => Some(delta),
+            Backend::Shard(_) => None,
+            Backend::DeltaShard(view) => Some(view.delta()),
+        }
+    }
+
+    /// The current graph epoch (0 on a static shard engine and before
+    /// the first mutation).
+    pub fn graph_epoch(&self) -> u64 {
+        self.delta().map_or(0, |d| d.epoch())
+    }
+
+    /// The effective epoch of a member set: the newest epoch at which a
+    /// mutation touched any of its pages (or changed the global
+    /// aggregates). Cache keys carry this, so a mutation retires exactly
+    /// the entries it could have changed.
+    pub fn effective_epoch(&self, members: &[u32]) -> u64 {
+        self.delta().map_or(0, |d| d.effective_epoch(members))
     }
 
     /// `N`, the global node count (even for a shard engine).
@@ -317,11 +428,14 @@ impl Engine {
         self.source().owns(node)
     }
 
-    /// The global graph, when this is a global engine.
-    pub fn graph(&self) -> Option<&Arc<DiGraph>> {
+    /// The global graph at its current epoch, when this is a global
+    /// engine. Materialized through [`DeltaGraph::compacted`]: the
+    /// original CSR until the first mutation, then a per-epoch cached
+    /// merge.
+    pub fn graph(&self) -> Option<Arc<DiGraph>> {
         match &self.backend {
-            Backend::Global { view, .. } => Some(view.graph()),
-            Backend::Shard(_) => None,
+            Backend::Global { delta, .. } => Some(delta.compacted()),
+            Backend::Shard(_) | Backend::DeltaShard(_) => None,
         }
     }
 
@@ -330,6 +444,7 @@ impl Engine {
         match &self.backend {
             Backend::Global { .. } => None,
             Backend::Shard(shard) => Some(shard.id()),
+            Backend::DeltaShard(view) => Some(view.shard()),
         }
     }
 
@@ -344,35 +459,54 @@ impl Engine {
         self.cache.invalidate(key)
     }
 
-    /// Global PageRank scores for IdealRank, computed once per engine.
-    fn global_scores(&self, obs: &dyn Observer) -> Result<&Vec<f64>, EngineError> {
+    /// Global PageRank scores for IdealRank, computed once per graph
+    /// epoch (a mutation retires the previous vector lazily).
+    fn global_scores(&self, obs: &dyn Observer) -> Result<Arc<Vec<f64>>, EngineError> {
         match &self.backend {
             Backend::Global {
-                view,
+                delta,
                 global_scores,
-            } => Ok(global_scores.get_or_init(|| {
-                let _span = obs.span("serve.global_pagerank");
-                pagerank(
-                    view.graph(),
-                    &PageRankOptions::paper().with_tolerance(1e-10),
-                )
-                .scores
-            })),
-            Backend::Shard(_) => Err(EngineError::BadRequest(
+            } => {
+                let epoch = delta.epoch();
+                {
+                    let cached = global_scores.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some((e, scores)) = &*cached {
+                        if *e == epoch {
+                            return Ok(Arc::clone(scores));
+                        }
+                    }
+                }
+                let scores = {
+                    let _span = obs.span("serve.global_pagerank");
+                    Arc::new(
+                        pagerank(
+                            &delta.compacted(),
+                            &PageRankOptions::paper().with_tolerance(1e-10),
+                        )
+                        .scores,
+                    )
+                };
+                *global_scores.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some((epoch, Arc::clone(&scores)));
+                Ok(scores)
+            }
+            Backend::Shard(_) | Backend::DeltaShard(_) => Err(EngineError::BadRequest(
                 "idealrank is unavailable on a shard engine".into(),
             )),
         }
     }
 
     fn check_owned(&self, members: &[u32]) -> Result<(), EngineError> {
-        if let Backend::Shard(shard) = &self.backend {
-            for &m in members {
-                if !shard.owns(m) {
-                    return Err(EngineError::BadRequest(format!(
-                        "page {m} is not on shard {}",
-                        shard.id()
-                    )));
-                }
+        let shard_id = match &self.backend {
+            Backend::Global { .. } => return Ok(()),
+            Backend::Shard(shard) => shard.id(),
+            Backend::DeltaShard(view) => view.shard(),
+        };
+        for &m in members {
+            if !self.source().owns(m) {
+                return Err(EngineError::BadRequest(format!(
+                    "page {m} is not on shard {shard_id}"
+                )));
             }
         }
         Ok(())
@@ -390,8 +524,8 @@ impl Engine {
     ) -> Result<CachedResult, EngineError> {
         let options = options_for(params.damping, params.tolerance);
         match &self.backend {
-            Backend::Global { view, .. } => {
-                let graph = view.graph();
+            Backend::Global { delta, .. } => {
+                let graph = delta.compacted();
                 let ranker: Box<dyn SubgraphRanker> = match params.algorithm {
                     Algorithm::ApproxRank => Box::new(ApproxRank::new(options)),
                     Algorithm::Local => Box::new(LocalPageRank::new(options)),
@@ -402,7 +536,7 @@ impl Engine {
                     }),
                     Algorithm::IdealRank => Box::new(IdealRank {
                         options,
-                        global_scores: self.global_scores(obs)?.clone(),
+                        global_scores: self.global_scores(obs)?.as_ref().clone(),
                     }),
                     Algorithm::Mc => Box::new(McApproxRank {
                         options,
@@ -416,13 +550,13 @@ impl Engine {
                     }),
                 };
                 let nodes = NodeSet::from_sorted(graph.num_nodes(), params.members.iter().copied());
-                let subgraph = approxrank_graph::Subgraph::extract(graph, nodes);
+                let subgraph = approxrank_graph::Subgraph::extract(graph.as_ref(), nodes);
                 Ok(to_cached(
                     &params.members,
-                    ranker.rank_observed(graph, &subgraph, obs),
+                    ranker.rank_observed(&graph, &subgraph, obs),
                 ))
             }
-            Backend::Shard(shard) => {
+            Backend::Shard(_) | Backend::DeltaShard(_) => {
                 // The Λ-collapse algorithms are the ones whose global
                 // inputs reduce to two scalars — ApproxRank exactly, and
                 // both of its estimators.
@@ -436,7 +570,7 @@ impl Engine {
                     )));
                 }
                 self.check_owned(&params.members)?;
-                let source: &dyn SubgraphSource = shard.as_ref();
+                let source: &dyn SubgraphSource = self.source();
                 let nodes =
                     NodeSet::from_sorted(source.global_nodes(), params.members.iter().copied());
                 let subgraph = source.extract_nodes(nodes);
@@ -477,6 +611,7 @@ impl Engine {
             params.damping,
             params.tolerance,
             params.estimator_fingerprint(),
+            self.effective_epoch(&params.members),
             &params.members,
         );
         let probe = Stopwatch::start(obs);
@@ -496,15 +631,23 @@ impl Engine {
             self.solve_cold(params, obs)?
         };
         obs.counter("solve_iterations", result.iterations as u64);
-        self.cache.insert(key, result.clone());
+        if let Some((evicted, _)) = self.cache.insert(key, result.clone()) {
+            // An entry keyed under a superseded epoch was unreachable
+            // already — a mutation had retired it; account it as stale
+            // churn rather than working-set pressure.
+            if evicted.epoch != self.effective_epoch(&evicted.members) {
+                self.cache.record_stale_eviction();
+            }
+        }
         Ok(RankOutcome {
             result,
             cached: false,
         })
     }
 
-    /// The cache key a session's current membership occupies.
-    pub(crate) fn session_key(session: &EngineSession) -> CacheKey {
+    /// The cache key a session's current membership occupies, at the
+    /// membership's current effective epoch.
+    pub(crate) fn session_key(&self, session: &EngineSession) -> CacheKey {
         let est = if session.algorithm.is_estimator() {
             estimator_bits(
                 session.estimator.walks,
@@ -519,6 +662,7 @@ impl Engine {
             session.damping,
             session.tolerance,
             est,
+            self.effective_epoch(session.solver.members()),
             session.solver.members(),
         )
     }
@@ -597,7 +741,7 @@ impl Engine {
             let _solve_span = obs.span("engine.solve");
             session.solver.solve(obs)
         };
-        session.published_key = Some(Self::session_key(&session));
+        session.published_key = Some(self.session_key(&session));
         let result = to_cached(members, scores);
         obs.counter("solve_iterations", result.iterations as u64);
         let id = self
@@ -704,7 +848,7 @@ impl Engine {
         // Also clear any cold `/rank` entry for the *new* membership: the
         // session now owns this view, and its next mutation must not
         // leave a stale mixture behind.
-        let new_key = Self::session_key(&session);
+        let new_key = self.session_key(&session);
         self.cache.invalidate(&new_key);
         session.published_key = Some(new_key);
 
@@ -723,6 +867,115 @@ impl Engine {
             );
         }
         Ok((members, result))
+    }
+
+    /// Applies one edge-mutation batch to the live graph: inserts first,
+    /// then deletes, atomically behind the delta's epoch counter. The
+    /// batch is WAL-logged, cached answers covering touched pages become
+    /// unreachable (their key epoch is superseded), and warm sessions
+    /// whose members or boundary in-sources intersect the touched set
+    /// are re-extracted and re-solved.
+    ///
+    /// Rejected on a static shard engine and when an edge endpoint is
+    /// implausibly far beyond the current page count.
+    pub fn mutate_graph(
+        &self,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+        obs: &dyn Observer,
+    ) -> Result<MutationOutcome, EngineError> {
+        let _span = obs.span("engine.mutate_graph");
+        let delta = self
+            .delta()
+            .ok_or_else(|| {
+                EngineError::BadRequest(
+                    "graph mutation is unavailable on a static shard engine".into(),
+                )
+            })?
+            .clone();
+        let summary = delta
+            .apply(insert, delete)
+            .map_err(|e| EngineError::BadRequest(e.0))?;
+        Ok(self.absorb_mutation(&summary, insert, delete, obs))
+    }
+
+    /// Absorbs a mutation already applied to this engine's (possibly
+    /// shared) delta: WAL-logs the batch and repairs intersecting
+    /// sessions. A router running several shard engines over one shared
+    /// delta applies the batch once and calls this on every engine.
+    pub fn absorb_mutation(
+        &self,
+        summary: &MutationSummary,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+        obs: &dyn Observer,
+    ) -> MutationOutcome {
+        let mut sessions_repaired = 0;
+        if summary.changed() {
+            self.log_event(
+                WalEvent::MutateGraph(GraphMutationRecord {
+                    epoch: summary.epoch,
+                    insert: insert.to_vec(),
+                    delete: delete.to_vec(),
+                }),
+                obs,
+            );
+            sessions_repaired = self.repair_sessions(summary, obs);
+        }
+        obs.counter("graph_mutation_touched_pages", summary.touched.len() as u64);
+        MutationOutcome {
+            epoch: summary.epoch,
+            inserted: summary.inserted,
+            deleted: summary.deleted,
+            touched_pages: summary.touched.len(),
+            structural: summary.structural,
+            sessions_repaired,
+        }
+    }
+
+    /// Warm-restarts every session the mutation could have changed: a
+    /// structural batch restarts all of them, otherwise only those whose
+    /// members or boundary in-edge sources intersect the touched set.
+    /// Untouched sessions keep their solver state bit-for-bit.
+    fn repair_sessions(&self, summary: &MutationSummary, obs: &dyn Observer) -> usize {
+        let entries: Vec<(u64, Arc<Mutex<EngineSession>>)> = self
+            .lock_sessions()
+            .iter()
+            .map(|(&id, entry)| (id, Arc::clone(entry)))
+            .collect();
+        let mut repaired = 0;
+        for (id, entry) in entries {
+            let mut session = entry.lock().unwrap_or_else(|e| e.into_inner());
+            if !summary.structural && !session.solver.depends_on(&summary.touched) {
+                continue;
+            }
+            if let Some(key) = session.published_key.take() {
+                self.cache.invalidate(&key);
+            }
+            session.solver.refresh_via(self.source());
+            let scores = {
+                let _solve_span = obs.span("engine.solve");
+                session.solver.solve(obs)
+            };
+            let new_key = self.session_key(&session);
+            self.cache.invalidate(&new_key);
+            session.published_key = Some(new_key);
+            let result = to_cached(session.solver.members(), scores);
+            obs.counter("solve_iterations", result.iterations as u64);
+            if !session.algorithm.is_estimator() {
+                self.log_event(
+                    WalEvent::Solved {
+                        id,
+                        scores: result.scores.as_ref().clone(),
+                        lambda: result.lambda.unwrap_or(0.0),
+                        iterations: result.iterations as u64,
+                    },
+                    obs,
+                );
+            }
+            repaired += 1;
+        }
+        repaired
     }
 
     /// A read-only snapshot of session `id`, served without re-solving.
@@ -941,6 +1194,93 @@ mod tests {
         );
         assert_eq!(warm.scores, cold2.result.scores);
         assert!(engine.session_delete(id, null()));
+    }
+
+    #[test]
+    fn mutation_bumps_epoch_and_retires_only_touched_answers() {
+        let g = ring(200);
+        let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
+        let near: Vec<u32> = (10..40).collect();
+        let far: Vec<u32> = (100..130).collect();
+        assert!(!engine.rank(&request(near.clone()), null()).unwrap().cached);
+        assert!(!engine.rank(&request(far.clone()), null()).unwrap().cached);
+
+        // Insert one edge between already-non-dangling members: not
+        // structural, touches only pages around 20.
+        let out = engine.mutate_graph(&[(20, 25)], &[], null()).unwrap();
+        assert_eq!((out.epoch, out.inserted, out.deleted), (1, 1, 0));
+        assert!(!out.structural);
+        assert_eq!(engine.graph_epoch(), 1);
+
+        // The touched membership re-solves; the far one still hits.
+        let near2 = engine.rank(&request(near.clone()), null()).unwrap();
+        assert!(!near2.cached, "mutation must retire the touched answer");
+        assert!(engine.rank(&request(far), null()).unwrap().cached);
+
+        // And the re-solve reflects the new edge: identical to a fresh
+        // engine built over the mutated graph.
+        let mut edges = Vec::new();
+        for i in 0..200u32 {
+            edges.push((i, (i + 1) % 200));
+            edges.push((i, (i * 13 + 7) % 200));
+        }
+        edges.push((20, 25));
+        let fresh = Engine::new_global(
+            Arc::new(DiGraph::from_edges(200, &edges)),
+            EngineConfig::default(),
+        );
+        let want = fresh.rank(&request(near), null()).unwrap();
+        for ((pa, sa), (pb, sb)) in near2.result.scores.iter().zip(want.result.scores.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+        }
+
+        // An idempotent re-insert is a no-op: no epoch bump.
+        let noop = engine.mutate_graph(&[(20, 25)], &[], null()).unwrap();
+        assert_eq!((noop.epoch, noop.inserted), (1, 0));
+    }
+
+    #[test]
+    fn mutation_repairs_only_intersecting_sessions() {
+        let g = ring(200);
+        let engine = Engine::new_global(Arc::new(g), EngineConfig::default());
+        let mut near = request((10..40).collect());
+        near.algorithm = Algorithm::Mc;
+        let (near_id, _) = engine.session_create(&near, null()).unwrap();
+        let (far_id, far_first) = engine
+            .session_create(&request((100..130).collect()), null())
+            .unwrap();
+
+        let out = engine.mutate_graph(&[(20, 25)], &[], null()).unwrap();
+        assert_eq!(out.sessions_repaired, 1, "only the near session repairs");
+
+        // The repaired MC session is bitwise-identical to a cold solve
+        // over the mutated graph.
+        let cold = engine.rank(&near, null()).unwrap();
+        let (warm_members, warm) = engine.session_update(near_id, &[], &[], null()).unwrap();
+        assert_eq!(warm_members, near.members);
+        assert_eq!(warm.scores, cold.result.scores);
+        // The far exact session kept its solution untouched.
+        let far_view = engine.session_view(far_id).unwrap();
+        assert_eq!(
+            far_view.solution.unwrap().0,
+            far_first.scores.as_ref().clone()
+        );
+
+        // A structural mutation (new dangling page) repairs everything.
+        let out = engine.mutate_graph(&[(5, 200)], &[], null()).unwrap();
+        assert!(out.structural);
+        assert_eq!(out.sessions_repaired, 2);
+        assert_eq!(engine.global_nodes(), 201);
+    }
+
+    #[test]
+    fn static_shard_engine_rejects_mutation() {
+        let g = ring(200);
+        let (_, sharded) = shard0_engine(&g);
+        let err = sharded.mutate_graph(&[(1, 2)], &[], null()).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("mutation")));
+        assert_eq!(sharded.graph_epoch(), 0);
     }
 
     #[test]

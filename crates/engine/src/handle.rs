@@ -17,7 +17,7 @@
 use approxrank_trace::Observer;
 
 use crate::cache::{CacheStats, CachedResult};
-use crate::engine::{Engine, EngineError, RankOutcome, RankRequest, SessionView};
+use crate::engine::{Engine, EngineError, MutationOutcome, RankOutcome, RankRequest, SessionView};
 
 /// The engine surface a router dispatches to, location-blind.
 ///
@@ -54,6 +54,20 @@ pub trait EngineHandle: Send + Sync {
 
     /// Closes session `id`; `Ok(false)` when it did not exist.
     fn session_delete(&self, id: u64, obs: &dyn Observer) -> Result<bool, EngineError>;
+
+    /// Applies an edge-mutation batch to the engine's live graph,
+    /// repairing intersecting warm sessions. Static shard engines reject
+    /// with `BadRequest`.
+    fn mutate_graph(
+        &self,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+        obs: &dyn Observer,
+    ) -> Result<MutationOutcome, EngineError>;
+
+    /// The engine's current graph epoch (0 for static engines;
+    /// best-effort for remote implementations).
+    fn graph_epoch(&self) -> u64;
 
     /// Open session count (best-effort for remote implementations).
     fn session_count(&self) -> usize;
@@ -94,6 +108,19 @@ impl EngineHandle for Engine {
 
     fn session_delete(&self, id: u64, obs: &dyn Observer) -> Result<bool, EngineError> {
         Ok(Engine::session_delete(self, id, obs))
+    }
+
+    fn mutate_graph(
+        &self,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+        obs: &dyn Observer,
+    ) -> Result<MutationOutcome, EngineError> {
+        Engine::mutate_graph(self, insert, delete, obs)
+    }
+
+    fn graph_epoch(&self) -> u64 {
+        Engine::graph_epoch(self)
     }
 
     fn session_count(&self) -> usize {

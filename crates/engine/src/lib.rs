@@ -7,17 +7,22 @@
 //! CLI, and the bench harness all drive the same object instead of each
 //! reimplementing the stack.
 //!
-//! An engine runs over one of two backends:
+//! An engine runs over one of three backends:
 //!
-//! * **Global** — the whole graph. Every algorithm of the paper's
-//!   evaluation is available, and answers are bit-identical to the
-//!   offline `subrank rank` CLI.
-//! * **Shard** — one [`approxrank_graph::Shard`] of a partitioned graph.
-//!   Only ApproxRank is available (the Λ-collapse is the one algorithm
-//!   whose global inputs reduce to two scalars, see
-//!   [`approxrank_core::GlobalAggregates`]), and solves for
+//! * **Global** — the whole graph behind a live
+//!   [`approxrank_delta::DeltaGraph`] overlay. Every algorithm of the
+//!   paper's evaluation is available, answers are bit-identical to the
+//!   offline `subrank rank` CLI, and [`Engine::mutate_graph`] applies
+//!   edge batches with incremental rank maintenance.
+//! * **Shard** — one static [`approxrank_graph::Shard`] of a partitioned
+//!   graph. Only ApproxRank (plus its estimators) is available (the
+//!   Λ-collapse is the one algorithm whose global inputs reduce to two
+//!   scalars, see [`approxrank_core::GlobalAggregates`]), and solves for
 //!   shard-resident subgraphs are bit-identical to the global backend —
 //!   the property the serving layer's shard router builds on.
+//! * **DeltaShard** — one shard view over a *shared* live `DeltaGraph`:
+//!   the same restriction as Shard, but a mutation applied to the shared
+//!   delta propagates to every engine built over it.
 //!
 //! Session ids are allocated on a stride so `S` engines behind one router
 //! hand out disjoint ids: engine `k` of `S` allocates `k+1`, `k+1+S`,
@@ -36,10 +41,11 @@ mod persist;
 
 pub use algorithm::Algorithm;
 pub use approxrank_core::Estimate;
+pub use approxrank_delta::{DeltaGraph, DeltaShardView, MutationSummary};
 pub use cache::{cache_key, estimator_bits, CacheKey, CacheStats, CachedResult, ShardedCache};
 pub use engine::{
-    Engine, EngineConfig, EngineError, EngineSession, EstimatorOptions, RankOutcome, RankRequest,
-    SessionSolver, SessionView,
+    Engine, EngineConfig, EngineError, EngineSession, EstimatorOptions, MutationOutcome,
+    RankOutcome, RankRequest, SessionSolver, SessionView,
 };
 pub use handle::EngineHandle;
 pub use persist::RecoverySummary;

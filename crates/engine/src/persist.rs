@@ -17,7 +17,9 @@ use std::sync::{Arc, Mutex};
 
 use approxrank_core::SubgraphSession;
 use approxrank_graph::NodeSet;
-use approxrank_store::{CacheRecord, SessionRecord, SessionStore, StoreConfig, WalEvent};
+use approxrank_store::{
+    CacheRecord, GraphMutationRecord, SessionRecord, SessionStore, StoreConfig, WalEvent,
+};
 use approxrank_trace::{logging, Observer};
 
 use crate::algorithm::Algorithm;
@@ -38,6 +40,10 @@ pub struct RecoverySummary {
     pub skipped: usize,
     /// Result-cache entries rewarmed.
     pub cache_entries: usize,
+    /// Graph-mutation batches replayed into the live graph (batches the
+    /// delta had already seen, e.g. via another store sharing it, are
+    /// skipped by the epoch guard and not counted).
+    pub mutations: usize,
     /// Torn/corrupt WAL tails truncated during replay.
     pub truncated_records: u64,
 }
@@ -49,6 +55,7 @@ impl RecoverySummary {
         self.sessions += other.sessions;
         self.skipped += other.skipped;
         self.cache_entries += other.cache_entries;
+        self.mutations += other.mutations;
         self.truncated_records += other.truncated_records;
     }
 }
@@ -70,6 +77,29 @@ impl Engine {
             truncated_records: recovered.truncated_records,
             ..RecoverySummary::default()
         };
+
+        // Replay graph mutations before anything live is rebuilt — the
+        // sessions and cache entries below must see the graph at the
+        // epoch the previous process reached. Two phases: cache entries
+        // were snapshotted no later than the snapshot's mutation prefix,
+        // so they are revived (and epoch-keyed) with exactly that prefix
+        // applied; WAL-tail mutations replay afterwards and supersede
+        // any entry they touch. The epoch guard makes replay idempotent
+        // when several stores share one delta.
+        let (prefix, tail) = recovered
+            .mutations
+            .split_at(recovered.snapshot_mutations.min(recovered.mutations.len()));
+        summary.mutations += self.replay_mutations(prefix);
+
+        for record in recovered.cache {
+            if let Some((key, value)) = self.revive_cache_entry(&record) {
+                self.cache.insert(key, value);
+                summary.cache_entries += 1;
+            }
+        }
+
+        summary.mutations += self.replay_mutations(tail);
+
         let mut max_id = 0u64;
         {
             let mut sessions = self.lock_sessions();
@@ -95,15 +125,31 @@ impl Engine {
                 .store(current + steps * stride, Ordering::Relaxed);
         }
 
-        for record in recovered.cache {
-            if let Some((key, value)) = self.revive_cache_entry(&record) {
-                self.cache.insert(key, value);
-                summary.cache_entries += 1;
-            }
-        }
-
         let _ = self.store.set(Arc::new(store));
         Ok(summary)
+    }
+
+    /// Replays logged mutation batches into the live graph, returning
+    /// how many actually applied (epoch-guarded; already-seen batches
+    /// no-op). A static shard engine has no delta and replays nothing.
+    fn replay_mutations(&self, records: &[GraphMutationRecord]) -> usize {
+        let Some(delta) = self.delta() else {
+            return 0;
+        };
+        let mut applied = 0;
+        for record in records {
+            match delta.replay(record.epoch, &record.insert, &record.delete) {
+                Ok(Some(_)) => applied += 1,
+                Ok(None) => {}
+                Err(e) => logging::log_with(
+                    logging::Level::Error,
+                    "engine",
+                    &format!("mutation replay failed at epoch {}: {e}", record.epoch),
+                    &[("epoch", &record.epoch.to_string())],
+                ),
+            }
+        }
+        applied
     }
 
     /// Rebuilds a live warm session from its persisted record. Returns
@@ -144,7 +190,7 @@ impl Engine {
             // The previous process had published this membership;
             // re-publish the key so the next mutation invalidates any
             // cold `/rank` entry that may also be rewarmed below.
-            engine_session.published_key = Some(Engine::session_key(&engine_session));
+            engine_session.published_key = Some(self.session_key(&engine_session));
         }
         Some(engine_session)
     }
@@ -161,6 +207,11 @@ impl Engine {
             damping_bits: record.damping_bits,
             tolerance_bits: record.tolerance_bits,
             estimator_bits: 0,
+            // Runs with only the snapshot's mutation prefix replayed (see
+            // `open_store`), so this is the epoch the entry was computed
+            // under; WAL-tail mutations replayed afterwards retire it by
+            // bumping its members past this key.
+            epoch: self.effective_epoch(&record.members),
             members: record.members.as_slice().into(),
         };
         let value = CachedResult {
@@ -235,8 +286,14 @@ impl Engine {
             .hot_entries(HOT_CACHE_LIMIT)
             .into_iter()
             // Estimator answers are cheap to recompute and their records
-            // carry no estimator fingerprint — persist exact entries only.
-            .filter(|(key, value)| key.estimator_bits == 0 && value.estimate.is_none())
+            // carry no estimator fingerprint — persist exact entries
+            // only. Entries a mutation already retired (stale key epoch)
+            // are unreachable and must not be rewarmed.
+            .filter(|(key, value)| {
+                key.estimator_bits == 0
+                    && value.estimate.is_none()
+                    && key.epoch == self.effective_epoch(&key.members)
+            })
             .map(|(key, value)| CacheRecord {
                 algorithm: key.algorithm,
                 damping_bits: key.damping_bits,
@@ -250,13 +307,35 @@ impl Engine {
             .collect()
     }
 
-    /// Writes a snapshot of the current sessions and hot cache entries.
-    /// A no-op without a store.
+    /// The live graph's full accumulated mutation log as records for a
+    /// snapshot. The log must be complete — snapshotting retires WAL
+    /// segments that may hold earlier mutation events.
+    fn collect_mutations(&self) -> Vec<GraphMutationRecord> {
+        match self.delta() {
+            Some(delta) => delta
+                .mutation_log()
+                .into_iter()
+                .map(|m| GraphMutationRecord {
+                    epoch: m.epoch,
+                    insert: m.insert,
+                    delete: m.delete,
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Writes a snapshot of the current sessions, hot cache entries, and
+    /// the graph-mutation log. A no-op without a store.
     pub fn snapshot_now(&self) -> io::Result<()> {
         let Some(store) = self.store.get() else {
             return Ok(());
         };
-        store.snapshot(self.collect_sessions(), self.collect_cache())
+        store.snapshot(
+            self.collect_sessions(),
+            self.collect_cache(),
+            self.collect_mutations(),
+        )
     }
 
     /// Flushes the WAL to stable storage (clean-shutdown path). A no-op
@@ -346,6 +425,46 @@ mod tests {
             .session_create(&request(vec![4, 5]), null())
             .unwrap();
         assert_eq!(next, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graph_mutations_replay_on_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "approxrank-engine-mut-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::new_global(Arc::new(graph()), EngineConfig::default());
+        engine.open_store(&dir).unwrap();
+        let req = request((10..30).collect());
+        engine
+            .mutate_graph(&[(12, 17)], &[(14, 15)], null())
+            .unwrap();
+        let want = engine.rank(&req, null()).unwrap();
+        engine.flush().unwrap();
+        drop(engine);
+
+        // Reopen from the original base graph: the WAL replays the batch.
+        let revived = Engine::new_global(Arc::new(graph()), EngineConfig::default());
+        let summary = revived.open_store(&dir).unwrap();
+        assert_eq!(summary.mutations, 1);
+        assert_eq!(revived.graph_epoch(), 1);
+        let got = revived.rank(&req, null()).unwrap();
+        for ((pa, sa), (pb, sb)) in got.result.scores.iter().zip(want.result.scores.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+        }
+
+        // A snapshot folds the log in; reopening still converges to the
+        // same epoch (snapshot prefix, empty tail).
+        revived.snapshot_now().unwrap();
+        drop(revived);
+        let third = Engine::new_global(Arc::new(graph()), EngineConfig::default());
+        let summary = third.open_store(&dir).unwrap();
+        assert_eq!(summary.mutations, 1);
+        assert_eq!(third.graph_epoch(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

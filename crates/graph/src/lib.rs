@@ -9,6 +9,8 @@
 //! * [`NodeSet`] / [`Subgraph`] — subgraph selection with local↔global id
 //!   maps and boundary (cross-edge) extraction, the raw material for the
 //!   extended local graph of the paper.
+//! * [`GraphView`] — the read trait extraction and partitioning consume,
+//!   so overlay graphs (live mutation) plug in without new call sites.
 //! * [`partition`] — deterministic shard assignment, self-sufficient
 //!   per-shard views ([`Shard`]), and the sharded on-disk layout.
 //! * [`traversal`] — BFS/DFS iterators and connected components.
@@ -29,6 +31,7 @@ pub mod scc;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
+pub mod view;
 
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
@@ -42,6 +45,7 @@ pub use partition::{
 pub use scc::{strongly_connected_components, SccResult};
 pub use stats::{GraphStats, PartitionStats, ShardBalance};
 pub use subgraph::{BoundaryEdges, BoundaryInEdge, NodeSet, Subgraph};
+pub use view::GraphView;
 
 /// Identifier of a node within a graph: a dense index in `0..num_nodes`.
 pub type NodeId = u32;

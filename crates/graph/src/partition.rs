@@ -31,8 +31,8 @@ use approxrank_store::json::{obj, parse, Json};
 use approxrank_store::Crc32;
 
 use crate::{
-    strongly_connected_components, BoundaryEdges, BoundaryInEdge, Csr, DiGraph, GraphError, NodeId,
-    NodeSet, Subgraph,
+    strongly_connected_components, BoundaryEdges, BoundaryInEdge, Csr, DiGraph, GraphError,
+    GraphView, NodeId, NodeSet, Subgraph,
 };
 
 /// How nodes are assigned to shards. All strategies are pure functions of
@@ -75,9 +75,16 @@ impl PartitionStrategy {
 
 /// Assigns every node a shard id in `0..shards` under `strategy`.
 ///
+/// Generic over [`GraphView`] so an overlay graph partitions exactly
+/// like the materialized CSR it would compact into.
+///
 /// # Panics
 /// Panics if `shards` is zero.
-pub fn assign_shards(global: &DiGraph, shards: usize, strategy: PartitionStrategy) -> Vec<u32> {
+pub fn assign_shards<G: GraphView + ?Sized>(
+    global: &G,
+    shards: usize,
+    strategy: PartitionStrategy,
+) -> Vec<u32> {
     assert!(shards >= 1, "need at least one shard");
     assert!(shards <= u32::MAX as usize, "shard count fits in u32");
     let n = global.num_nodes();
@@ -160,7 +167,7 @@ impl SubgraphSource for GlobalView {
     }
 
     fn extract_nodes(&self, nodes: NodeSet) -> Subgraph {
-        Subgraph::extract(&self.graph, nodes)
+        Subgraph::extract(self.graph.as_ref(), nodes)
     }
 }
 
@@ -1016,7 +1023,7 @@ mod tests {
         );
         let nodes = NodeSet::from_iter_order(40, [3u32, 9, 21]);
         let a = view.extract_nodes(nodes.clone());
-        let b = Subgraph::extract(&g, nodes);
+        let b = Subgraph::extract(g.as_ref(), nodes);
         assert_eq!(a.local_graph(), b.local_graph());
         assert_eq!(a.boundary().in_edges, b.boundary().in_edges);
     }

@@ -6,7 +6,7 @@
 //! right — the classic bow-tie analysis — and the dataset generators use
 //! SCC statistics as a realism check.
 
-use crate::{DiGraph, NodeId};
+use crate::{GraphView, NodeId};
 
 /// Assigns each node a strongly-connected-component id in `0..count`.
 ///
@@ -39,7 +39,11 @@ impl SccResult {
 
 /// Iterative Tarjan SCC (explicit stack; safe for deep graphs where the
 /// recursive version would overflow).
-pub fn strongly_connected_components(graph: &DiGraph) -> SccResult {
+///
+/// Generic over [`GraphView`] so overlay graphs condense identically to
+/// the CSR they would compact into; each DFS frame materializes its
+/// node's out-row once, since a view cannot hand out a slice.
+pub fn strongly_connected_components<G: GraphView + ?Sized>(graph: &G) -> SccResult {
     let n = graph.num_nodes();
     const UNSET: u32 = u32::MAX;
     let mut index = vec![UNSET; n]; // discovery index
@@ -50,21 +54,20 @@ pub fn strongly_connected_components(graph: &DiGraph) -> SccResult {
     let mut next_index = 0u32;
     let mut count = 0u32;
 
-    // Explicit DFS frames: (node, next neighbor offset).
-    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    // Explicit DFS frames: (node, materialized out-row, next offset).
+    let mut frames: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
     for root in 0..n as NodeId {
         if index[root as usize] != UNSET {
             continue;
         }
-        frames.push((root, 0));
+        frames.push((root, graph.out_neighbors_vec(root), 0));
         index[root as usize] = next_index;
         lowlink[root as usize] = next_index;
         next_index += 1;
         stack.push(root);
         on_stack[root as usize] = true;
 
-        while let Some(&mut (v, ref mut ni)) = frames.last_mut() {
-            let neighbors = graph.out_neighbors(v);
+        while let Some(&mut (v, ref neighbors, ref mut ni)) = frames.last_mut() {
             if *ni < neighbors.len() {
                 let w = neighbors[*ni];
                 *ni += 1;
@@ -74,13 +77,13 @@ pub fn strongly_connected_components(graph: &DiGraph) -> SccResult {
                     next_index += 1;
                     stack.push(w);
                     on_stack[w as usize] = true;
-                    frames.push((w, 0));
+                    frames.push((w, graph.out_neighbors_vec(w), 0));
                 } else if on_stack[w as usize] {
                     lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
                 }
             } else {
                 frames.pop();
-                if let Some(&mut (parent, _)) = frames.last_mut() {
+                if let Some(&mut (parent, _, _)) = frames.last_mut() {
                     lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
@@ -108,6 +111,7 @@ pub fn strongly_connected_components(graph: &DiGraph) -> SccResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DiGraph;
 
     #[test]
     fn single_cycle_one_component() {

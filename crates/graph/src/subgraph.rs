@@ -6,7 +6,7 @@
 //! with the boundary information ([`BoundaryEdges`]) the extended local
 //! graph (`Λ` collapse) is built from.
 
-use crate::{BitSet, DiGraph, NodeId};
+use crate::{BitSet, DiGraph, GraphView, NodeId};
 
 /// A set of global node ids with a dense local numbering `0..len`.
 ///
@@ -149,6 +149,10 @@ impl Subgraph {
     /// Extracts the induced subgraph of `nodes` from `global`, computing
     /// local edges, per-page global out-degrees, and the full boundary.
     ///
+    /// Generic over [`GraphView`] so an overlay graph extracts through
+    /// the exact same scan order as a materialized CSR — the bit-identity
+    /// guarantees between backends depend on that.
+    ///
     /// ```
     /// use approxrank_graph::{DiGraph, NodeSet, Subgraph};
     ///
@@ -159,26 +163,24 @@ impl Subgraph {
     /// assert_eq!(sub.boundary().out_external, vec![0, 1]); // 1 -> 2 leaves
     /// assert_eq!(sub.boundary().in_edges.len(), 2);      // 2 -> 0, 3 -> 1
     /// ```
-    pub fn extract(global: &DiGraph, nodes: NodeSet) -> Self {
+    pub fn extract<G: GraphView + ?Sized>(global: &G, nodes: NodeSet) -> Self {
         let n = nodes.len();
         let mut local_edges = Vec::new();
         let mut out_external = vec![0usize; n];
         let mut global_out_degrees = vec![0usize; n];
         for (li, &g) in nodes.members().iter().enumerate() {
             global_out_degrees[li] = global.out_degree(g);
-            for &t in global.out_neighbors(g) {
-                match nodes.local_id(t) {
-                    Some(lt) => local_edges.push((li as NodeId, lt)),
-                    None => out_external[li] += 1,
-                }
-            }
+            global.for_each_out(g, &mut |t| match nodes.local_id(t) {
+                Some(lt) => local_edges.push((li as NodeId, lt)),
+                None => out_external[li] += 1,
+            });
         }
         // Boundary in-edges: scan the reverse adjacency of each member.
         let mut in_edges = Vec::new();
         let mut seen_sources = BitSet::new(global.num_nodes());
         let mut in_sources = Vec::new();
         for (li, &g) in nodes.members().iter().enumerate() {
-            for &s in global.in_neighbors(g) {
+            global.for_each_in(g, &mut |s| {
                 if !nodes.contains(s) {
                     in_edges.push(BoundaryInEdge {
                         source: s,
@@ -189,7 +191,7 @@ impl Subgraph {
                         in_sources.push(s);
                     }
                 }
-            }
+            });
         }
         in_sources.sort_unstable();
         let local = DiGraph::from_edges(n, &local_edges);

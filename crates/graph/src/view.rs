@@ -1,0 +1,114 @@
+//! [`GraphView`]: the read surface that extraction and partitioning
+//! consume, so they stay blind to *how* adjacency is stored.
+//!
+//! [`DiGraph`] implements it over CSR slices; the delta
+//! overlay crate implements it by merging base rows with overlay edits.
+//! Neighbor iteration is callback-style because an overlay cannot hand
+//! out a contiguous slice — it merges two sorted sequences on the fly.
+//! Implementations must visit neighbors in strictly ascending global-id
+//! order with no duplicates (the CSR invariant); everything downstream,
+//! from subgraph extraction to bit-identical shard answers, leans on
+//! that ordering.
+
+use crate::{DiGraph, NodeId};
+
+/// A read-only directed graph: page count, degrees, and ordered
+/// adjacency iteration. Object-safe so sources can hold `&dyn GraphView`.
+pub trait GraphView {
+    /// Number of pages `N`. May grow over time for mutable views.
+    fn num_nodes(&self) -> usize;
+
+    /// Total number of edges.
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of `u`.
+    fn out_degree(&self, u: NodeId) -> usize;
+
+    /// In-degree of `v`.
+    fn in_degree(&self, v: NodeId) -> usize;
+
+    /// Visits the out-neighbors of `u` in strictly ascending id order.
+    fn for_each_out(&self, u: NodeId, f: &mut dyn FnMut(NodeId));
+
+    /// Visits the in-neighbors of `v` in strictly ascending id order.
+    fn for_each_in(&self, v: NodeId, f: &mut dyn FnMut(NodeId));
+
+    /// `true` when `u` has no out-links (a dangling page).
+    fn is_dangling(&self, u: NodeId) -> bool {
+        self.out_degree(u) == 0
+    }
+
+    /// The out-neighbors of `u` collected into a vector, ascending.
+    fn out_neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.out_degree(u));
+        self.for_each_out(u, &mut |t| v.push(t));
+        v
+    }
+}
+
+impl GraphView for DiGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        DiGraph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        DiGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, u: NodeId) -> usize {
+        DiGraph::out_degree(self, u)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        DiGraph::in_degree(self, v)
+    }
+
+    #[inline]
+    fn for_each_out(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &t in self.out_neighbors(u) {
+            f(t);
+        }
+    }
+
+    #[inline]
+    fn for_each_in(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &s in self.in_neighbors(v) {
+            f(s);
+        }
+    }
+
+    #[inline]
+    fn is_dangling(&self, u: NodeId) -> bool {
+        DiGraph::is_dangling(self, u)
+    }
+
+    fn out_neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
+        self.out_neighbors(u).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digraph_view_agrees_with_inherent_methods() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (2, 1), (3, 3)]);
+        let v: &dyn GraphView = &g;
+        assert_eq!(v.num_nodes(), 4);
+        assert_eq!(v.num_edges(), 4);
+        for u in 0..4u32 {
+            assert_eq!(v.out_degree(u), g.out_degree(u));
+            assert_eq!(v.in_degree(u), g.in_degree(u));
+            assert_eq!(v.is_dangling(u), g.is_dangling(u));
+            assert_eq!(v.out_neighbors_vec(u), g.out_neighbors(u).to_vec());
+            let mut ins = Vec::new();
+            v.for_each_in(u, &mut |s| ins.push(s));
+            assert_eq!(ins, g.in_neighbors(u).to_vec());
+        }
+    }
+}

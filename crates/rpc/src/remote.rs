@@ -21,7 +21,8 @@ use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
 use approxrank_engine::{
-    CacheStats, CachedResult, EngineError, EngineHandle, RankOutcome, RankRequest, SessionView,
+    CacheStats, CachedResult, EngineError, EngineHandle, MutationOutcome, RankOutcome, RankRequest,
+    SessionView,
 };
 use approxrank_trace::logging::{self, Level};
 use approxrank_trace::Observer;
@@ -363,6 +364,79 @@ impl RemoteEngine {
             _ => None,
         }
     }
+
+    /// Sends one mutation batch to **every** replica, healthy or not.
+    ///
+    /// Replicas of a live-delta shard each hold their own copy of the
+    /// overlay, so a mutation routed to only one would silently fork the
+    /// replica set. Broadcast is the only correct shape here: a replica
+    /// that cannot be reached is marked down (its store missed the batch
+    /// — the operations handbook documents the recovery path), an
+    /// engine-level refusal (e.g. a static shard server) is definitive
+    /// and returned as-is, and the call fails only when *no* replica
+    /// applied the batch.
+    fn broadcast_mutation(
+        &self,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+    ) -> Result<MutationOutcome, EngineError> {
+        let set = &self.set;
+        set.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let trace_id = logging::current_trace_id().unwrap_or_default();
+        let request = RpcRequest::MutateGraph {
+            insert: insert.to_vec(),
+            delete: delete.to_vec(),
+        };
+        let mut applied: Option<MutationOutcome> = None;
+        let mut last_err = String::from("no replica configured");
+        for replica in &set.replicas {
+            match set.call_replica(replica, &trace_id, &request) {
+                Ok(RpcResponse::Mutated {
+                    epoch,
+                    inserted,
+                    deleted,
+                    touched_pages,
+                    structural,
+                    sessions_repaired,
+                }) => {
+                    set.mark(replica, true, "mutation applied");
+                    let merged = applied.get_or_insert(MutationOutcome {
+                        epoch: 0,
+                        inserted: inserted as usize,
+                        deleted: deleted as usize,
+                        touched_pages: touched_pages as usize,
+                        structural,
+                        sessions_repaired: 0,
+                    });
+                    // Sessions live per replica; the cluster-wide repair
+                    // tally is the sum. Epochs advance in lockstep, but a
+                    // replica that missed earlier batches may lag — report
+                    // the max so the caller sees the authoritative epoch.
+                    merged.epoch = merged.epoch.max(epoch);
+                    merged.sessions_repaired += sessions_repaired as usize;
+                }
+                Ok(RpcResponse::Error(fault)) => return Err(Self::fault_to_error(fault)),
+                Ok(other) => {
+                    return Err(EngineError::Unavailable(format!(
+                        "shard {}: mismatched response {other:?}",
+                        set.shard
+                    )))
+                }
+                Err(e) => {
+                    set.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+                    set.mark(replica, false, &e.to_string());
+                    last_err = format!("{}: {e}", replica.addr);
+                }
+            }
+        }
+        applied.ok_or_else(|| {
+            set.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+            EngineError::Unavailable(format!(
+                "shard {}: no replica applied the mutation (last: {last_err})",
+                set.shard
+            ))
+        })
+    }
 }
 
 fn spawn_health_checker(set: Weak<ReplicaSet>, shard: u32) {
@@ -458,6 +532,20 @@ impl EngineHandle for RemoteEngine {
                 self.set.shard
             ))),
         }
+    }
+
+    fn mutate_graph(
+        &self,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+        obs: &dyn Observer,
+    ) -> Result<MutationOutcome, EngineError> {
+        let _span = obs.span("rpc.mutate_graph");
+        self.broadcast_mutation(insert, delete)
+    }
+
+    fn graph_epoch(&self) -> u64 {
+        self.fetch_stats().map(|s| s.graph_epoch).unwrap_or(0)
     }
 
     fn session_count(&self) -> usize {

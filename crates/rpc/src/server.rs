@@ -284,6 +284,7 @@ fn request_name(req: &RpcRequest) -> &'static str {
         RpcRequest::SessionGet { .. } => "session_get",
         RpcRequest::SessionDelete { .. } => "session_delete",
         RpcRequest::Stats => "stats",
+        RpcRequest::MutateGraph { .. } => "mutate_graph",
     }
 }
 
@@ -312,6 +313,7 @@ fn handle_request(engine: &Engine, request: &RpcRequest) -> RpcResponse {
             cache: engine.cache_stats(),
             session_count: engine.session_count() as u64,
             wal_errors: engine.wal_errors(),
+            graph_epoch: engine.graph_epoch(),
         }),
         RpcRequest::Rank(params) => match engine.rank(params, obs) {
             Ok(outcome) => RpcResponse::Ranked {
@@ -333,6 +335,19 @@ fn handle_request(engine: &Engine, request: &RpcRequest) -> RpcResponse {
         RpcRequest::SessionGet { id } => RpcResponse::Session(engine.session_view(*id)),
         RpcRequest::SessionDelete { id } => {
             RpcResponse::SessionDeleted(engine.session_delete(*id, obs))
+        }
+        RpcRequest::MutateGraph { insert, delete } => {
+            match engine.mutate_graph(insert, delete, obs) {
+                Ok(outcome) => RpcResponse::Mutated {
+                    epoch: outcome.epoch,
+                    inserted: outcome.inserted as u64,
+                    deleted: outcome.deleted as u64,
+                    touched_pages: outcome.touched_pages as u64,
+                    structural: outcome.structural,
+                    sessions_repaired: outcome.sessions_repaired as u64,
+                },
+                Err(e) => RpcResponse::Error(fault_of(e)),
+            }
         }
     }
 }

@@ -21,7 +21,11 @@ use approxrank_store::crc32;
 /// v2: `RANK` and `SESSION_CREATE` carry the estimator parameters
 /// (walks, epsilon, seed) and results carry an optional `estimate`
 /// block; `SESSION_CREATE` gained the algorithm byte.
-pub const WIRE_VERSION: u8 = 2;
+///
+/// v3: the `MUTATE` opcode (graph edge-mutation batches) and its
+/// `Mutated` response; `STATS` answers carry the cache's stale-eviction
+/// counter and the engine's graph epoch.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Ceiling on a frame's payload length. Anything larger is corruption
 /// (or a peer speaking a different protocol) — no legitimate message
@@ -47,6 +51,8 @@ pub mod opcode {
     pub const SESSION_DELETE: u8 = 6;
     /// Engine counters (cache, sessions, WAL errors).
     pub const STATS: u8 = 7;
+    /// Apply an edge-mutation batch to the live graph.
+    pub const MUTATE: u8 = 8;
 }
 
 /// Status bytes, the second byte of every response payload.
@@ -115,6 +121,15 @@ pub enum RpcRequest {
     },
     /// Read engine counters.
     Stats,
+    /// Apply an edge-mutation batch to the shard's live graph. A static
+    /// shard server answers `BadRequest`; replicas of a live-delta shard
+    /// apply the batch and repair intersecting warm sessions.
+    MutateGraph {
+        /// Edges to insert, `(source, target)` pairs.
+        insert: Vec<(u32, u32)>,
+        /// Edges to delete, `(source, target)` pairs.
+        delete: Vec<(u32, u32)>,
+    },
 }
 
 /// What a `Ping` answers: enough for a router to verify it dialed the
@@ -140,6 +155,8 @@ pub struct StatsInfo {
     pub session_count: u64,
     /// WAL append failures since boot.
     pub wal_errors: u64,
+    /// The engine's current graph epoch (0 when static).
+    pub graph_epoch: u64,
 }
 
 /// One response. `Error` covers every non-`OK` status.
@@ -175,6 +192,23 @@ pub enum RpcResponse {
     SessionDeleted(bool),
     /// Answer to [`RpcRequest::Stats`].
     Stats(StatsInfo),
+    /// Answer to [`RpcRequest::MutateGraph`].
+    Mutated {
+        /// Graph epoch after the batch.
+        epoch: u64,
+        /// Edges actually inserted (idempotent re-inserts excluded).
+        inserted: u64,
+        /// Edges actually deleted.
+        deleted: u64,
+        /// Pages whose adjacency or degree changed.
+        touched_pages: u64,
+        /// Whether the batch changed global aggregates (node or dangling
+        /// count), invalidating every cached answer.
+        structural: bool,
+        /// Warm sessions whose answers intersected the batch and were
+        /// re-solved.
+        sessions_repaired: u64,
+    },
     /// Any non-`OK` status.
     Error(RpcFault),
 }
@@ -267,6 +301,14 @@ fn put_ids(out: &mut Vec<u8>, ids: &[u32]) {
     put_u32(out, ids.len() as u32);
     for &id in ids {
         put_u32(out, id);
+    }
+}
+
+fn put_edges(out: &mut Vec<u8>, edges: &[(u32, u32)]) {
+    put_u32(out, edges.len() as u32);
+    for &(u, v) in edges {
+        put_u32(out, u);
+        put_u32(out, v);
     }
 }
 
@@ -383,6 +425,22 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    fn edges(&mut self, what: &str) -> Result<Vec<(u32, u32)>, WireError> {
+        let count = self.u32(what)? as usize;
+        if count > (self.buf.len() - self.pos) / 8 {
+            return Err(WireError(format!(
+                "{what}: edge count {count} exceeds payload"
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let u = self.u32(what)?;
+            let v = self.u32(what)?;
+            out.push((u, v));
+        }
+        Ok(out)
+    }
+
     fn scores(&mut self, what: &str) -> Result<Vec<(u32, f64)>, WireError> {
         let count = self.u32(what)? as usize;
         if count > (self.buf.len() - self.pos) / 12 {
@@ -476,6 +534,7 @@ pub fn encode_request(trace_id: &str, req: &RpcRequest) -> Vec<u8> {
         RpcRequest::SessionGet { .. } => opcode::SESSION_GET,
         RpcRequest::SessionDelete { .. } => opcode::SESSION_DELETE,
         RpcRequest::Stats => opcode::STATS,
+        RpcRequest::MutateGraph { .. } => opcode::MUTATE,
     };
     put_u8(&mut out, op);
     put_str(&mut out, trace_id);
@@ -491,6 +550,10 @@ pub fn encode_request(trace_id: &str, req: &RpcRequest) -> Vec<u8> {
         }
         RpcRequest::SessionGet { id } | RpcRequest::SessionDelete { id } => {
             put_u64(&mut out, *id);
+        }
+        RpcRequest::MutateGraph { insert, delete } => {
+            put_edges(&mut out, insert);
+            put_edges(&mut out, delete);
         }
     }
     out
@@ -537,6 +600,11 @@ pub fn decode_request(payload: &[u8]) -> Result<(String, RpcRequest), WireError>
         opcode::SESSION_DELETE => RpcRequest::SessionDelete {
             id: r.u64("session id")?,
         },
+        opcode::MUTATE => {
+            let insert = r.edges("insert")?;
+            let delete = r.edges("delete")?;
+            RpcRequest::MutateGraph { insert, delete }
+        }
         other => return Err(WireError(format!("unknown opcode {other}"))),
     };
     r.finish("request")?;
@@ -632,10 +700,28 @@ pub fn encode_response(resp: &RpcResponse) -> Vec<u8> {
                     put_u64(&mut out, info.cache.misses);
                     put_u64(&mut out, info.cache.evictions);
                     put_u64(&mut out, info.cache.invalidations);
+                    put_u64(&mut out, info.cache.stale_evictions);
                     put_u64(&mut out, info.cache.entries as u64);
                     put_u64(&mut out, info.cache.capacity as u64);
                     put_u64(&mut out, info.session_count);
                     put_u64(&mut out, info.wal_errors);
+                    put_u64(&mut out, info.graph_epoch);
+                }
+                RpcResponse::Mutated {
+                    epoch,
+                    inserted,
+                    deleted,
+                    touched_pages,
+                    structural,
+                    sessions_repaired,
+                } => {
+                    put_u8(&mut out, opcode::MUTATE);
+                    put_u64(&mut out, *epoch);
+                    put_u64(&mut out, *inserted);
+                    put_u64(&mut out, *deleted);
+                    put_u64(&mut out, *touched_pages);
+                    put_bool(&mut out, *structural);
+                    put_u64(&mut out, *sessions_repaired);
                 }
                 RpcResponse::Error(_) => unreachable!("handled above"),
             }
@@ -723,12 +809,22 @@ pub fn decode_response(payload: &[u8]) -> Result<RpcResponse, WireError> {
                         misses: r.u64("misses")?,
                         evictions: r.u64("evictions")?,
                         invalidations: r.u64("invalidations")?,
+                        stale_evictions: r.u64("stale evictions")?,
                         entries: r.u64("entries")? as usize,
                         capacity: r.u64("capacity")? as usize,
                     },
                     session_count: r.u64("sessions")?,
                     wal_errors: r.u64("wal errors")?,
+                    graph_epoch: r.u64("graph epoch")?,
                 }),
+                opcode::MUTATE => RpcResponse::Mutated {
+                    epoch: r.u64("epoch")?,
+                    inserted: r.u64("inserted")?,
+                    deleted: r.u64("deleted")?,
+                    touched_pages: r.u64("touched pages")?,
+                    structural: r.bool("structural")?,
+                    sessions_repaired: r.u64("sessions repaired")?,
+                },
                 other => return Err(WireError(format!("unknown response opcode {other}"))),
             }
         }
@@ -799,6 +895,14 @@ mod tests {
             },
             RpcRequest::SessionGet { id: 3 },
             RpcRequest::SessionDelete { id: 3 },
+            RpcRequest::MutateGraph {
+                insert: vec![(1, 2), (3, 4)],
+                delete: vec![(5, 6)],
+            },
+            RpcRequest::MutateGraph {
+                insert: Vec::new(),
+                delete: Vec::new(),
+            },
         ]
     }
 
@@ -858,12 +962,30 @@ mod tests {
                     misses: 2,
                     evictions: 3,
                     invalidations: 4,
+                    stale_evictions: 9,
                     entries: 5,
                     capacity: 6,
                 },
                 session_count: 7,
                 wal_errors: 8,
+                graph_epoch: 11,
             }),
+            RpcResponse::Mutated {
+                epoch: 3,
+                inserted: 2,
+                deleted: 1,
+                touched_pages: 5,
+                structural: false,
+                sessions_repaired: 1,
+            },
+            RpcResponse::Mutated {
+                epoch: 4,
+                inserted: 1,
+                deleted: 0,
+                touched_pages: 2,
+                structural: true,
+                sessions_repaired: 0,
+            },
             RpcResponse::Error(RpcFault::BadRequest("bad".into())),
             RpcResponse::Error(RpcFault::NoSuchSession(99)),
             RpcResponse::Error(RpcFault::Unavailable("down".into())),

@@ -34,6 +34,7 @@ pub fn route(state: &AppState, request: &Request, obs: &dyn Observer) -> (Endpoi
         ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
         ("GET", "/debug/requests") => (Endpoint::DebugRequests, debug_requests(state)),
         ("POST", "/rank") => (Endpoint::Rank, rank(state, request, obs)),
+        ("POST", "/graph/edges") => (Endpoint::GraphEdges, graph_edges(state, request, obs)),
         ("POST", "/session") => (Endpoint::SessionCreate, session_create(state, request, obs)),
         _ => {
             if let Some(rest) = path.strip_prefix("/session/") {
@@ -41,7 +42,13 @@ pub fn route(state: &AppState, request: &Request, obs: &dyn Observer) -> (Endpoi
             }
             let status = if matches!(
                 path,
-                "/healthz" | "/stats" | "/metrics" | "/rank" | "/session" | "/debug/requests"
+                "/healthz"
+                    | "/stats"
+                    | "/metrics"
+                    | "/rank"
+                    | "/graph/edges"
+                    | "/session"
+                    | "/debug/requests"
             ) {
                 405
             } else {
@@ -122,6 +129,11 @@ fn stats(state: &AppState) -> Response {
                 ("nodes", Json::Num(graph.nodes as f64)),
                 ("edges", Json::Num(graph.edges as f64)),
                 ("dangling", Json::Num(graph.dangling as f64)),
+                ("epoch", Json::Num(state.router.graph_epoch() as f64)),
+                (
+                    "mutations",
+                    Json::Num(state.router.graph_mutations() as f64),
+                ),
             ]),
         ),
         (
@@ -133,6 +145,7 @@ fn stats(state: &AppState) -> Response {
                 ("misses", Json::Num(cache.misses as f64)),
                 ("evictions", Json::Num(cache.evictions as f64)),
                 ("invalidations", Json::Num(cache.invalidations as f64)),
+                ("stale_evictions", Json::Num(cache.stale_evictions as f64)),
             ]),
         ),
         ("sessions_open", Json::Num(state.session_count() as f64)),
@@ -156,13 +169,20 @@ fn metrics(state: &AppState) -> Response {
         graph.nodes, graph.edges
     ));
     extra.push_str(&format!(
+        "approxrank_graph_epoch {}\napproxrank_graph_mutations_total {}\n",
+        state.router.graph_epoch(),
+        state.router.graph_mutations()
+    ));
+    extra.push_str(&format!(
         "approxrank_cache_hits_total {}\napproxrank_cache_misses_total {}\n\
          approxrank_cache_evictions_total {}\napproxrank_cache_invalidations_total {}\n\
+         approxrank_cache_stale_evictions_total {}\n\
          approxrank_cache_entries {}\napproxrank_cache_capacity {}\n",
         cache.hits,
         cache.misses,
         cache.evictions,
         cache.invalidations,
+        cache.stale_evictions,
         cache.entries,
         cache.capacity
     ));
@@ -438,6 +458,88 @@ fn rank(state: &AppState, request: &Request, obs: &dyn Observer) -> Response {
             routed.shards,
             vec![],
         )
+        .emit(),
+    )
+}
+
+/// Parses an optional edge-list field: an array of `[source, target]`
+/// pairs. Endpoint range is checked by the delta layer (inserts may
+/// legitimately extend the graph in single mode), so only the shape is
+/// validated here.
+fn parse_edge_list(body: &Json, field: &str) -> Result<Vec<(u32, u32)>, String> {
+    let Some(value) = body.get(field) else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("{field:?} must be an array of [source, target] pairs"))?;
+    let mut edges = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+            format!(
+                "bad edge {} in {field:?}: want [source, target]",
+                item.emit()
+            )
+        })?;
+        let mut ends = [0u32; 2];
+        for (slot, v) in ends.iter_mut().zip(pair) {
+            let id = v
+                .as_u64()
+                .filter(|&id| id <= u32::MAX as u64)
+                .ok_or_else(|| format!("bad page id {} in {field:?}", v.emit()))?;
+            *slot = id as u32;
+        }
+        edges.push((ends[0], ends[1]));
+    }
+    Ok(edges)
+}
+
+/// `POST /graph/edges`: applies one edge-mutation batch to the live
+/// graph and reports the new epoch. The answer's `nodes`/`edges` reflect
+/// the post-mutation graph, so a client can confirm the shape it now
+/// queries against.
+fn graph_edges(state: &AppState, request: &Request, obs: &dyn Observer) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) if !t.trim().is_empty() => t,
+        _ => return Response::error(400, "empty body; expected {\"insert\":[…],\"delete\":[…]}"),
+    };
+    let body = match parse(text) {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e),
+    };
+    let insert = match parse_edge_list(&body, "insert") {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e),
+    };
+    let delete = match parse_edge_list(&body, "delete") {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e),
+    };
+    if insert.is_empty() && delete.is_empty() {
+        return Response::error(400, "mutation batch is empty (no \"insert\" or \"delete\")");
+    }
+    let _span = obs.span("http.graph_edges");
+    let outcome = match state.router.mutate_graph(&insert, &delete, obs) {
+        Ok(o) => o,
+        Err(e) => return engine_error(e),
+    };
+    let graph = state.router.summary();
+    Response::json(
+        200,
+        obj(vec![
+            ("epoch", Json::Num(outcome.epoch as f64)),
+            ("inserted", Json::Num(outcome.inserted as f64)),
+            ("deleted", Json::Num(outcome.deleted as f64)),
+            ("touched_pages", Json::Num(outcome.touched_pages as f64)),
+            ("structural", Json::Bool(outcome.structural)),
+            (
+                "sessions_restarted",
+                Json::Num(outcome.sessions_repaired as f64),
+            ),
+            ("shards", Json::Num(state.router.num_shards() as f64)),
+            ("nodes", Json::Num(graph.nodes as f64)),
+            ("edges", Json::Num(graph.edges as f64)),
+        ])
         .emit(),
     )
 }
@@ -1179,5 +1281,152 @@ mod tests {
         assert_eq!(got.status, 200);
         let (_, deleted) = route(&state, &get_delete(&format!("/session/{id}")));
         assert_eq!(deleted.status, 200);
+    }
+
+    /// Runs the same `/rank` body against a state and returns the
+    /// (page, score) rows sorted by page.
+    fn rank_rows(state: &AppState, body: &str) -> Vec<(u64, f64)> {
+        let (_, r) = route(state, &post("/rank", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let mut rows: Vec<(u64, f64)> = body_json(&r)
+            .get("scores")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| {
+                (
+                    s.get("page").unwrap().as_u64().unwrap(),
+                    s.get("score").unwrap().as_f64().unwrap(),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|&(p, _)| p);
+        rows
+    }
+
+    #[test]
+    fn graph_edges_mutates_and_matches_rebuilt_graph() {
+        let state = fig4_state();
+        let rank_body = r#"{"members":[0,1,2,3],"tolerance":1e-8}"#;
+        let before = rank_rows(&state, rank_body);
+
+        let (ep, r) = route(
+            &state,
+            &post(
+                "/graph/edges",
+                r#"{"insert":[[1,2],[3,2]],"delete":[[0,6]]}"#,
+            ),
+        );
+        assert_eq!(ep, Endpoint::GraphEdges);
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("inserted").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("deleted").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("structural").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("edges").unwrap().as_u64(), Some(16));
+
+        // /stats reflects the live (post-mutation) shape and epoch.
+        let (_, r) = route(&state, &get("/stats"));
+        let g = body_json(&r);
+        let graph = g.get("graph").unwrap();
+        assert_eq!(graph.get("edges").unwrap().as_u64(), Some(16));
+        assert_eq!(graph.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(graph.get("mutations").unwrap().as_u64(), Some(1));
+
+        // Answers now match a server booted on the mutated graph bitwise.
+        let after = rank_rows(&state, rank_body);
+        assert_ne!(before, after, "mutation must change the solution");
+        let mut edges: Vec<(u32, u32)> = fig4_graph().edges().collect();
+        edges.retain(|&e| e != (0, 6));
+        edges.extend([(1, 2), (3, 2)]);
+        edges.sort_unstable();
+        let fresh = AppState::new(DiGraph::from_edges(7, &edges), ServeConfig::default()).unwrap();
+        assert_eq!(after, rank_rows(&fresh, rank_body));
+    }
+
+    #[test]
+    fn graph_edges_rejects_malformed_batches() {
+        let state = fig4_state();
+        for (body, want) in [
+            ("", "empty body"),
+            ("{}", "batch is empty"),
+            (r#"{"insert":[],"delete":[]}"#, "batch is empty"),
+            (r#"{"insert":[[1]]}"#, "bad edge"),
+            (r#"{"insert":[[1,2,3]]}"#, "bad edge"),
+            (r#"{"insert":[[1,"x"]]}"#, "bad page id"),
+            (r#"{"insert":[[1,4294967296]]}"#, "bad page id"),
+            (r#"{"insert":7}"#, "must be an array"),
+        ] {
+            let (_, r) = route(&state, &post("/graph/edges", body));
+            assert_eq!(r.status, 400, "{body}");
+            let text = String::from_utf8_lossy(&r.body).to_string();
+            assert!(text.contains(want), "{body} -> {text}");
+        }
+        // Nothing above reached the delta.
+        assert_eq!(state.router.graph_epoch(), 0);
+        assert_eq!(state.router.graph_mutations(), 0);
+    }
+
+    #[test]
+    fn sharded_graph_edges_shares_one_delta() {
+        let state = sharded_state();
+        // A cross-shard edge lands in both shards' view of the shared
+        // delta: source 50 is on shard 0, target 150 on shard 1.
+        let (_, r) = route(&state, &post("/graph/edges", r#"{"insert":[[50,150]]}"#));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("shards").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("edges").unwrap().as_u64(), Some(401));
+
+        // Both shards answer against the mutated graph, bitwise equal to
+        // a sharded server booted on it.
+        let n = 200u32;
+        let mut edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), (i, (i * 13 + 7) % n)])
+            .collect();
+        edges.push((50, 150));
+        edges.sort_unstable();
+        let fresh = AppState::new(
+            DiGraph::from_edges(n as usize, &edges),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        for members in ["[49,50,51]", "[149,150,151]"] {
+            let body = format!("{{\"members\":{members},\"tolerance\":1e-9}}");
+            assert_eq!(
+                rank_rows(&state, &body),
+                rank_rows(&fresh, &body),
+                "{members}"
+            );
+        }
+
+        // Node inserts need a single-shard deployment: page 200 does not
+        // exist and no shard would own it.
+        let (_, r) = route(&state, &post("/graph/edges", r#"{"insert":[[0,200]]}"#));
+        assert_eq!(r.status, 400);
+        assert!(
+            String::from_utf8_lossy(&r.body).contains("single-shard"),
+            "{:?}",
+            String::from_utf8_lossy(&r.body)
+        );
+
+        // /metrics carries the epoch and stale-eviction rows.
+        let (_, r) = route(&state, &get("/metrics"));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("approxrank_graph_epoch 1"), "{text}");
+        assert!(
+            text.contains("approxrank_graph_mutations_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("approxrank_cache_stale_evictions_total"),
+            "{text}"
+        );
     }
 }

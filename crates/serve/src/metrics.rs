@@ -26,6 +26,8 @@ pub enum Endpoint {
     Metrics,
     /// `POST /rank`
     Rank,
+    /// `POST /graph/edges`
+    GraphEdges,
     /// `POST /session`
     SessionCreate,
     /// `POST /session/{id}/update`
@@ -40,11 +42,12 @@ pub enum Endpoint {
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 10] = [
+const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::Healthz,
     Endpoint::Stats,
     Endpoint::Metrics,
     Endpoint::Rank,
+    Endpoint::GraphEdges,
     Endpoint::SessionCreate,
     Endpoint::SessionUpdate,
     Endpoint::SessionGet,
@@ -65,6 +68,7 @@ impl Endpoint {
             Endpoint::Stats => "stats",
             Endpoint::Metrics => "metrics",
             Endpoint::Rank => "rank",
+            Endpoint::GraphEdges => "graph_edges",
             Endpoint::SessionCreate => "session_create",
             Endpoint::SessionUpdate => "session_update",
             Endpoint::SessionGet => "session_get",

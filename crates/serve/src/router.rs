@@ -5,9 +5,11 @@
 //! one global engine — every request goes straight through, and answers
 //! are bit-identical to the pre-router service. With
 //! [`crate::ServeConfig::shards`] `> 1` the graph is partitioned at boot
-//! ([`PartitionedGraph::build`]) and each shard gets its own engine with
-//! its own result cache, session table, and (under a data dir) its own
-//! durable store in `dir/shard-k`.
+//! ([`assign_shards`]) and each shard gets its own engine — a
+//! [`DeltaShardView`] over one shared live [`DeltaGraph`] — with its own
+//! result cache, session table, and (under a data dir) its own durable
+//! store in `dir/shard-k`. Mutation batches ([`Router::mutate_graph`])
+//! are applied to the shared delta once and absorbed by every engine.
 //!
 //! Routing rules in sharded mode:
 //!
@@ -40,11 +42,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use approxrank_engine::{
-    Algorithm, CacheStats, CachedResult, Engine, EngineConfig, EngineError, EngineHandle, Estimate,
-    RankOutcome, RankRequest, SessionView,
+    Algorithm, CacheStats, CachedResult, DeltaGraph, DeltaShardView, Engine, EngineConfig,
+    EngineError, EngineHandle, Estimate, MutationOutcome, RankOutcome, RankRequest, SessionView,
 };
 use approxrank_exec::Executor;
-use approxrank_graph::{assign_shards, DiGraph, PartitionStrategy, PartitionedGraph};
+use approxrank_graph::{assign_shards, DiGraph, PartitionStrategy};
 use approxrank_rpc::{RemoteConfig, RemoteEngine};
 use approxrank_trace::{logging, Observer, Stopwatch};
 
@@ -88,8 +90,13 @@ pub struct Router {
     /// The `rpc_*` metrics lines iterate these.
     remote: Vec<Arc<RemoteEngine>>,
     /// `node → shard`, present only in sharded mode.
-    assignment: Option<Vec<u32>>,
+    assignment: Option<Arc<Vec<u32>>>,
+    /// The live graph, shared by every in-process engine — `None` in
+    /// remote mode, where each shard server owns its own delta.
+    delta: Option<Arc<DeltaGraph>>,
     strategy: Option<PartitionStrategy>,
+    /// Graph shape at boot; [`Router::summary`] reads the live delta
+    /// instead when one is present.
     summary: GraphSummary,
     /// Dedicated pool for cross-shard fan-out (absent in single mode).
     fanout: Option<Executor>,
@@ -97,6 +104,8 @@ pub struct Router {
     shard_rank_requests: Vec<AtomicU64>,
     /// `/rank` requests whose membership spanned more than one shard.
     cross_rank_requests: AtomicU64,
+    /// Accepted `POST /graph/edges` mutation batches.
+    graph_mutations: AtomicU64,
 }
 
 fn summarize(graph: &DiGraph) -> GraphSummary {
@@ -120,6 +129,7 @@ impl Router {
         let engine = Arc::new(Engine::new_global(Arc::new(graph), config));
         Router {
             engines: vec![engine.clone() as Arc<dyn EngineHandle>],
+            delta: engine.delta().cloned(),
             local: vec![engine],
             remote: Vec::new(),
             assignment: None,
@@ -128,12 +138,16 @@ impl Router {
             fanout: None,
             shard_rank_requests: vec![AtomicU64::new(0)],
             cross_rank_requests: AtomicU64::new(0),
+            graph_mutations: AtomicU64::new(0),
         }
     }
 
     /// Partitions `graph` into `shards` engines under `strategy`. Each
-    /// engine gets an equal slice of the cache budget and a disjoint
-    /// session-id stride.
+    /// engine gets an equal slice of the cache budget, a disjoint
+    /// session-id stride, and a [`DeltaShardView`] over one *shared*
+    /// live [`DeltaGraph`] — a mutation batch is applied to the delta
+    /// once and every engine absorbs it, so sharded answers track the
+    /// live graph exactly as a single-engine deployment would.
     ///
     /// # Panics
     /// Panics if `shards < 2` (use [`Router::single`]).
@@ -145,21 +159,23 @@ impl Router {
     ) -> Router {
         assert!(shards >= 2, "sharded router needs at least two shards");
         let summary = summarize(graph);
-        let pg = PartitionedGraph::build(graph, shards, strategy);
-        let assignment = pg.assignment().to_vec();
+        let assignment = Arc::new(assign_shards(graph, shards, strategy));
+        let delta = Arc::new(DeltaGraph::new(Arc::new(graph.clone())));
         let per_engine_cache = engine_config.cache_entries.div_ceil(shards).max(1);
-        let local: Vec<Arc<Engine>> = pg
-            .into_shards()
-            .into_iter()
-            .enumerate()
-            .map(|(k, shard)| {
+        let local: Vec<Arc<Engine>> = (0..shards)
+            .map(|k| {
                 let config = EngineConfig {
                     cache_entries: per_engine_cache,
                     first_session_id: k as u64 + 1,
                     session_id_stride: shards as u64,
                     ..engine_config.clone()
                 };
-                Arc::new(Engine::new_shard(Arc::new(shard), config))
+                let view = Arc::new(DeltaShardView::new(
+                    Arc::clone(&delta),
+                    Arc::clone(&assignment),
+                    k as u32,
+                ));
+                Arc::new(Engine::new_delta_shard(view, config))
             })
             .collect();
         Router {
@@ -171,10 +187,12 @@ impl Router {
             local,
             remote: Vec::new(),
             assignment: Some(assignment),
+            delta: Some(delta),
             strategy: Some(strategy),
             summary,
             fanout: Some(Executor::new(shards.min(MAX_FANOUT_LANES))),
             cross_rank_requests: AtomicU64::new(0),
+            graph_mutations: AtomicU64::new(0),
         }
     }
 
@@ -254,11 +272,13 @@ impl Router {
                 .collect(),
             local: Vec::new(),
             remote,
-            assignment: Some(assignment),
+            assignment: Some(Arc::new(assignment)),
+            delta: None,
             strategy: Some(strategy),
             summary,
             fanout: Some(Executor::new(shards.min(MAX_FANOUT_LANES))),
             cross_rank_requests: AtomicU64::new(0),
+            graph_mutations: AtomicU64::new(0),
         })
     }
 
@@ -299,14 +319,37 @@ impl Router {
         self.strategy
     }
 
-    /// Boot-time graph shape.
+    /// Current graph shape: live (from the shared delta) for in-process
+    /// deployments, the boot-time snapshot in remote mode.
     pub fn summary(&self) -> GraphSummary {
-        self.summary
+        match &self.delta {
+            Some(delta) => GraphSummary {
+                nodes: delta.num_nodes(),
+                edges: delta.num_edges(),
+                dangling: delta.num_dangling(),
+            },
+            None => self.summary,
+        }
     }
 
-    /// The global graph, in single mode (shard engines hold only views).
-    pub fn graph(&self) -> Option<&Arc<DiGraph>> {
+    /// The global graph at its current epoch, in single mode (shard
+    /// engines hold only views).
+    pub fn graph(&self) -> Option<Arc<DiGraph>> {
         self.local.first().and_then(|e| e.graph())
+    }
+
+    /// The current graph epoch: read off the shared delta when there is
+    /// one, otherwise (remote mode) asked of shard 0's replica set.
+    pub fn graph_epoch(&self) -> u64 {
+        match &self.delta {
+            Some(delta) => delta.epoch(),
+            None => self.engines.first().map(|e| e.graph_epoch()).unwrap_or(0),
+        }
+    }
+
+    /// Mutation batches accepted since boot.
+    pub fn graph_mutations(&self) -> u64 {
+        self.graph_mutations.load(Ordering::Relaxed)
     }
 
     /// Result-cache counters summed across every engine.
@@ -318,6 +361,7 @@ impl Router {
             total.misses += s.misses;
             total.evictions += s.evictions;
             total.invalidations += s.invalidations;
+            total.stale_evictions += s.stale_evictions;
             total.entries += s.entries;
             total.capacity += s.capacity;
         }
@@ -436,6 +480,94 @@ impl Router {
             outcome: merge(&outcomes),
             shards: touched.len(),
         })
+    }
+
+    /// Applies one edge-mutation batch to the live graph, whatever the
+    /// deployment shape:
+    ///
+    /// * **single** — straight through to the one engine.
+    /// * **local sharded** — the batch is applied to the shared delta
+    ///   once, then every engine absorbs the summary (WAL-logs it and
+    ///   repairs its intersecting sessions). `sessions_repaired` is the
+    ///   fleet total.
+    /// * **remote** — fanned out to *every* shard's replica set (each
+    ///   shard server holds its own copy of the live graph). Any shard
+    ///   failing to apply is an error: a partial broadcast means the
+    ///   cluster diverged, which the operator must reconcile before
+    ///   trusting cross-shard answers (see the operations handbook).
+    ///
+    /// Node inserts (edge endpoints at or beyond the current page count)
+    /// are accepted only in single mode — the shard assignment is fixed
+    /// at boot, so a page appended later would be owned by nobody.
+    pub fn mutate_graph(
+        &self,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+        obs: &dyn Observer,
+    ) -> Result<MutationOutcome, EngineError> {
+        let _span = obs.span("router.mutate");
+        if self.assignment.is_some() {
+            let n = self.summary().nodes as u64;
+            if let Some(&(u, v)) = insert
+                .iter()
+                .find(|&&(u, v)| u as u64 >= n || v as u64 >= n)
+            {
+                return Err(EngineError::BadRequest(format!(
+                    "edge ({u}, {v}) references a page beyond the current {n}-node graph; \
+                     node inserts require a single-shard deployment"
+                )));
+            }
+        }
+        let outcome = if self.assignment.is_none() {
+            self.engines[0].mutate_graph(insert, delete, obs)?
+        } else if let Some(delta) = &self.delta {
+            let summary = delta
+                .apply(insert, delete)
+                .map_err(|e| EngineError::BadRequest(e.0))?;
+            let mut outcome = MutationOutcome {
+                epoch: summary.epoch,
+                inserted: summary.inserted,
+                deleted: summary.deleted,
+                touched_pages: summary.touched.len(),
+                structural: summary.structural,
+                sessions_repaired: 0,
+            };
+            for engine in &self.local {
+                outcome.sessions_repaired += engine
+                    .absorb_mutation(&summary, insert, delete, obs)
+                    .sessions_repaired;
+            }
+            outcome
+        } else {
+            // Remote: every shard must apply. Attempt all of them even
+            // after a failure so healthy shards are not left behind by
+            // iteration order, then surface the first error.
+            let mut merged: Option<MutationOutcome> = None;
+            let mut first_err: Option<EngineError> = None;
+            for engine in &self.engines {
+                match engine.mutate_graph(insert, delete, obs) {
+                    Ok(o) => match &mut merged {
+                        None => merged = Some(o),
+                        Some(m) => {
+                            m.epoch = m.epoch.max(o.epoch);
+                            m.structural |= o.structural;
+                            m.sessions_repaired += o.sessions_repaired;
+                        }
+                    },
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            merged.ok_or_else(|| EngineError::Unavailable("no shard engines configured".into()))?
+        };
+        self.graph_mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(outcome)
     }
 
     /// The engine owning session `id` under the stride scheme; `None` for

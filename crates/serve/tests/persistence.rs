@@ -225,6 +225,115 @@ fn metrics_expose_store_counters() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Ranks the same subgraph on a state and returns the response body.
+fn rank_body(state: &AppState) -> Vec<u8> {
+    ok(
+        state,
+        &post("/rank", r#"{"members":[1,2,3,4,5],"tolerance":1e-9}"#),
+    )
+    .body
+}
+
+#[test]
+fn mutation_wal_replay_converges_to_same_epoch_and_ranks() {
+    // No snapshot and no graceful close: everything the restarted
+    // process knows about the mutations comes from WAL replay, exactly
+    // the kill -9 recovery path (fsync is Always in `config()`).
+    let dir = tempdir("mutate-wal");
+    let old = state();
+    persist::open_store(&old, &dir).expect("open fresh store");
+    ok(
+        &old,
+        &post(
+            "/graph/edges",
+            r#"{"insert":[[2,5],[4,1]],"delete":[[1,2]]}"#,
+        ),
+    );
+    ok(&old, &post("/graph/edges", r#"{"insert":[[5,3]]}"#));
+    assert_eq!(old.router.graph_epoch(), 2);
+    let before = rank_body(&old);
+    drop(old);
+
+    let new = state();
+    persist::open_store(&new, &dir).expect("recover");
+    assert_eq!(new.router.graph_epoch(), 2, "replay must reach the epoch");
+    assert_eq!(
+        rank_body(&new),
+        before,
+        "post-replay /rank must be byte-identical"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mutations_split_across_snapshot_and_wal_tail_replay_once() {
+    // One mutation lands in the snapshot prefix, one in the WAL tail;
+    // the epoch guard must apply each exactly once.
+    let dir = tempdir("mutate-split");
+    let old = state();
+    persist::open_store(&old, &dir).expect("open fresh store");
+    ok(&old, &post("/graph/edges", r#"{"insert":[[2,5]]}"#));
+    seed_sessions(&old);
+    persist::snapshot_now(&old).expect("snapshot");
+    ok(&old, &post("/graph/edges", r#"{"delete":[[1,2]]}"#));
+    let before_rank = rank_body(&old);
+    let before_session = ok(&old, &get("/session/1")).body;
+    drop(old);
+
+    let new = state();
+    persist::open_store(&new, &dir).expect("recover");
+    assert_eq!(new.router.graph_epoch(), 2);
+    let summary = new.router.summary();
+    // 132 base edges + (2,5) - (1,2).
+    assert_eq!(summary.edges, 132);
+    assert_eq!(rank_body(&new), before_rank);
+    assert_eq!(ok(&new, &get("/session/1")).body, before_session);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_mutation_replay_converges_per_shard() {
+    // Two shards share one delta; each engine WAL-logs the batch into
+    // its own shard store, and replay must stay idempotent across them.
+    let dir = tempdir("mutate-sharded");
+    let sharded = || {
+        AppState::new(
+            test_graph(),
+            ServeConfig {
+                shards: 2,
+                fsync: FsyncPolicy::Always,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let old = sharded();
+    persist::open_store(&old, &dir).expect("open fresh store");
+    ok(
+        &old,
+        &post("/graph/edges", r#"{"insert":[[2,40]],"delete":[[40,41]]}"#),
+    );
+    let before_rank = rank_body(&old);
+    let before_far = ok(
+        &old,
+        &post("/rank", r#"{"members":[39,40,41],"tolerance":1e-9}"#),
+    )
+    .body;
+    drop(old);
+
+    let new = sharded();
+    persist::open_store(&new, &dir).expect("recover");
+    assert_eq!(new.router.graph_epoch(), 1, "one shared epoch, not two");
+    assert_eq!(rank_body(&new), before_rank);
+    let after_far = ok(
+        &new,
+        &post("/rank", r#"{"members":[39,40,41],"tolerance":1e-9}"#),
+    )
+    .body;
+    assert_eq!(after_far, before_far);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn real_server_restart_preserves_sessions() {
     let dir = tempdir("server");

@@ -4,8 +4,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use approxrank_engine::{Engine, EngineConfig};
-use approxrank_graph::{DiGraph, PartitionStrategy, PartitionedGraph};
+use approxrank_engine::{DeltaGraph, DeltaShardView, Engine, EngineConfig};
+use approxrank_graph::{assign_shards, DiGraph, PartitionStrategy};
 use approxrank_rpc::{RemoteConfig, ShardServer};
 use approxrank_serve::{Client, ServeConfig, Server, ServerHandle};
 
@@ -26,10 +26,12 @@ fn test_graph() -> DiGraph {
 /// Engine `k` of the partitioning, configured exactly as the CLI's
 /// `--shard-server K` mode configures it.
 fn shard_engine(k: usize) -> Arc<Engine> {
-    let pg = PartitionedGraph::build(&test_graph(), SHARDS, PartitionStrategy::Range);
-    let shard = pg.into_shards().into_iter().nth(k).unwrap();
-    Arc::new(Engine::new_shard(
-        Arc::new(shard),
+    let graph = test_graph();
+    let assignment = Arc::new(assign_shards(&graph, SHARDS, PartitionStrategy::Range));
+    let delta = Arc::new(DeltaGraph::new(Arc::new(graph)));
+    let view = Arc::new(DeltaShardView::new(delta, assignment, k as u32));
+    Arc::new(Engine::new_delta_shard(
+        view,
         EngineConfig {
             first_session_id: k as u64 + 1,
             session_id_stride: SHARDS as u64,
@@ -239,6 +241,75 @@ fn replica_kill_fails_over_without_errors() {
         metrics.contains("rpc_replicas_healthy{shard=\"0\"} 1"),
         "{metrics}"
     );
+    remote.stop();
+}
+
+#[test]
+fn remote_mutation_broadcast_reaches_every_shard_and_replica() {
+    // Shard 0 runs two replicas so the broadcast fan-out is visible.
+    let replica_a = RunningShard::start(0);
+    let replica_b = RunningShard::start(0);
+    let shard1 = RunningShard::start(1);
+    let mut remote = RunningHttp::start(remote_config(vec![
+        vec![replica_a.addr.clone(), replica_b.addr.clone()],
+        vec![shard1.addr.clone()],
+    ]));
+    let mut client = remote.client();
+
+    // Apply one cross-shard mutation through the HTTP tier.
+    let applied = client
+        .post(
+            "/graph/edges",
+            r#"{"insert":[[50,150]],"delete":[[10,11]]}"#,
+        )
+        .unwrap();
+    assert_eq!(applied.status, 200, "{}", applied.text());
+    let v = applied.json().unwrap();
+    assert_eq!(v.get("epoch").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(v.get("inserted").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(v.get("deleted").and_then(|x| x.as_u64()), Some(1));
+
+    // Every shard server's own live graph carries the new epoch.
+    for (name, shard) in [
+        ("shard0/a", &replica_a),
+        ("shard0/b", &replica_b),
+        ("shard1", &shard1),
+    ] {
+        assert_eq!(shard.server.engine().graph_epoch(), 1, "{name}");
+    }
+
+    // Node inserts are refused cluster-wide: page 200 does not exist and
+    // the boot-time assignment gives it no owner.
+    let refused = client
+        .post("/graph/edges", r#"{"insert":[[0,200]]}"#)
+        .unwrap();
+    assert_eq!(refused.status, 400, "{}", refused.text());
+
+    // Post-mutation answers are byte-identical to a local sharded
+    // deployment given the same batch.
+    let mut local = RunningHttp::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: SHARDS,
+        ..ServeConfig::default()
+    });
+    let mut local_client = local.client();
+    let applied = local_client
+        .post(
+            "/graph/edges",
+            r#"{"insert":[[50,150]],"delete":[[10,11]]}"#,
+        )
+        .unwrap();
+    assert_eq!(applied.status, 200, "{}", applied.text());
+    for body in [
+        r#"{"members":[9,10,11,12],"tolerance":1e-8}"#,
+        r#"{"members":[49,50,150,151],"tolerance":1e-8}"#,
+    ] {
+        let via_remote = client.post("/rank", body).unwrap();
+        let via_local = local_client.post("/rank", body).unwrap();
+        assert_eq!(via_remote.status, 200, "{}", via_remote.text());
+        assert_eq!(via_remote.body, via_local.body, "{body}");
+    }
+    local.stop();
     remote.stop();
 }
 

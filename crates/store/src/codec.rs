@@ -54,6 +54,14 @@ pub(crate) fn put_scores(out: &mut Vec<u8>, scores: &[(u32, f64)]) {
     }
 }
 
+pub(crate) fn put_edges(out: &mut Vec<u8>, edges: &[(u32, u32)]) {
+    put_u32(out, edges.len() as u32);
+    for &(s, t) in edges {
+        put_u32(out, s);
+        put_u32(out, t);
+    }
+}
+
 /// A bounds-checked read cursor over one decoded payload.
 pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
@@ -123,6 +131,20 @@ impl<'a> Cursor<'a> {
         }
         (0..n)
             .map(|_| Ok((self.u32(what)?, self.f64(what)?)))
+            .collect()
+    }
+
+    /// A `u32` count followed by that many `(u32, u32)` edge pairs.
+    pub(crate) fn edges(&mut self, what: &str) -> Result<Vec<(u32, u32)>, CodecError> {
+        let n = self.u32(what)? as usize;
+        if n > self.remaining() / 8 {
+            return Err(CodecError(format!(
+                "implausible {what} count {n} with {} bytes left",
+                self.remaining()
+            )));
+        }
+        (0..n)
+            .map(|_| Ok((self.u32(what)?, self.u32(what)?)))
             .collect()
     }
 

@@ -39,6 +39,6 @@ mod wal;
 
 pub use codec::CodecError;
 pub use crc::{crc32, Crc32};
-pub use record::{apply_event, CacheRecord, SessionRecord, WalEvent};
+pub use record::{apply_event, CacheRecord, GraphMutationRecord, SessionRecord, WalEvent};
 pub use store::{AppendReceipt, RecoveredState, SessionStore, StoreConfig, StoreStats};
 pub use wal::FsyncPolicy;

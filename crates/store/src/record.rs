@@ -6,7 +6,7 @@
 //! here in primitive terms (page ids, solver scalars, score pairs) and
 //! the serving layer converts to and from its live types.
 
-use crate::codec::{put_f64, put_scores, put_u32s, put_u64, put_u8, CodecError, Cursor};
+use crate::codec::{put_edges, put_f64, put_scores, put_u32s, put_u64, put_u8, CodecError, Cursor};
 
 /// The persistent image of one warm ranking session.
 #[derive(Clone, Debug, PartialEq)]
@@ -140,6 +140,36 @@ impl CacheRecord {
     }
 }
 
+/// The persistent image of one applied graph-mutation batch. Replaying
+/// the recorded batches in epoch order against the originally-loaded
+/// base graph reproduces the live overlay state exactly; the epoch makes
+/// replay idempotent (a graph already at or past the epoch skips it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphMutationRecord {
+    /// Graph epoch reached after this batch.
+    pub epoch: u64,
+    /// Edge insertions exactly as submitted.
+    pub insert: Vec<(u32, u32)>,
+    /// Edge deletions exactly as submitted.
+    pub delete: Vec<(u32, u32)>,
+}
+
+impl GraphMutationRecord {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.epoch);
+        put_edges(out, &self.insert);
+        put_edges(out, &self.delete);
+    }
+
+    pub(crate) fn decode(cursor: &mut Cursor<'_>) -> Result<Self, CodecError> {
+        Ok(GraphMutationRecord {
+            epoch: cursor.u64("mutation epoch")?,
+            insert: cursor.edges("inserted edges")?,
+            delete: cursor.edges("deleted edges")?,
+        })
+    }
+}
+
 /// One session-lifecycle event in the write-ahead log.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WalEvent {
@@ -185,6 +215,10 @@ pub enum WalEvent {
         /// Session id.
         id: u64,
     },
+    /// A graph-mutation batch was applied. Not tied to any session
+    /// ([`WalEvent::session_id`] returns 0); recovery replays these into
+    /// the delta overlay before reviving sessions.
+    MutateGraph(GraphMutationRecord),
 }
 
 const TAG_CREATE: u8 = 1;
@@ -192,9 +226,10 @@ const TAG_ADD: u8 = 2;
 const TAG_REMOVE: u8 = 3;
 const TAG_SOLVED: u8 = 4;
 const TAG_CLOSE: u8 = 5;
+const TAG_MUTATE: u8 = 6;
 
 impl WalEvent {
-    /// The session this event belongs to.
+    /// The session this event belongs to (0 for graph-level events).
     pub fn session_id(&self) -> u64 {
         match *self {
             WalEvent::Create { id, .. }
@@ -202,6 +237,7 @@ impl WalEvent {
             | WalEvent::RemovePages { id, .. }
             | WalEvent::Solved { id, .. }
             | WalEvent::Close { id } => id,
+            WalEvent::MutateGraph(_) => 0,
         }
     }
 
@@ -245,6 +281,10 @@ impl WalEvent {
                 put_u8(out, TAG_CLOSE);
                 put_u64(out, *id);
             }
+            WalEvent::MutateGraph(record) => {
+                put_u8(out, TAG_MUTATE);
+                record.encode(out);
+            }
         }
     }
 
@@ -274,6 +314,7 @@ impl WalEvent {
             TAG_CLOSE => WalEvent::Close {
                 id: cursor.u64("id")?,
             },
+            TAG_MUTATE => WalEvent::MutateGraph(GraphMutationRecord::decode(cursor)?),
             other => return Err(CodecError(format!("unknown event tag {other}"))),
         };
         Ok(event)
@@ -338,6 +379,9 @@ pub fn apply_event(sessions: &mut Vec<SessionRecord>, event: &WalEvent) {
         WalEvent::Close { id } => {
             sessions.retain(|s| s.id != *id);
         }
+        // Graph mutations are not session state; the recovery path
+        // collects them separately and replays them into the overlay.
+        WalEvent::MutateGraph(_) => {}
     }
 }
 
@@ -382,6 +426,41 @@ mod tests {
         for e in &events {
             assert_eq!(&roundtrip_event(e), e);
             assert_eq!(e.session_id(), 3);
+        }
+    }
+
+    #[test]
+    fn mutate_graph_event_roundtrips_and_is_sessionless() {
+        let e = WalEvent::MutateGraph(GraphMutationRecord {
+            epoch: 9,
+            insert: vec![(1, 2), (7, 0)],
+            delete: vec![(3, 3)],
+        });
+        assert_eq!(roundtrip_event(&e), e);
+        assert_eq!(e.session_id(), 0);
+        // Replay into the session map is a no-op, never a crash.
+        let mut sessions = Vec::new();
+        apply_event(&mut sessions, &e);
+        assert!(sessions.is_empty());
+    }
+
+    #[test]
+    fn mutate_graph_truncations_fail_cleanly() {
+        let e = WalEvent::MutateGraph(GraphMutationRecord {
+            epoch: 2,
+            insert: vec![(5, 6)],
+            delete: vec![(6, 5), (0, 1)],
+        });
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        for len in 0..buf.len() {
+            let mut c = Cursor::new(&buf[..len]);
+            assert!(
+                WalEvent::decode(&mut c)
+                    .and_then(|_| c.finish("event"))
+                    .is_err(),
+                "prefix {len} decoded"
+            );
         }
     }
 

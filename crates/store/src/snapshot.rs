@@ -5,13 +5,19 @@
 //! written after it. Layout, all little-endian:
 //!
 //! ```text
-//! [8B magic "APXSNAP\x01"]
+//! [8B magic "APXSNAP\x02"]
 //! [u64 covered_lsn]                  — WAL records with lsn <= this are folded in
 //! [u32 session_count]
 //!   session_count × [u32 len][u32 crc][SessionRecord payload]
 //! [u32 cache_count]
 //!   cache_count × [u32 len][u32 crc][CacheRecord payload]
+//! [u32 mutation_count]               — v2 only
+//!   mutation_count × [u32 len][u32 crc][GraphMutationRecord payload]
 //! ```
+//!
+//! v1 files (magic `APXSNAP\x01`, no mutation section) are still
+//! readable: a server upgraded in place recovers with an empty mutation
+//! log, exactly the pre-upgrade semantics.
 //!
 //! Every record carries its own CRC frame so a single flipped bit fails
 //! exactly one read instead of poisoning the file silently. Writes are
@@ -24,9 +30,10 @@ use std::path::{Path, PathBuf};
 
 use crate::codec::{CodecError, Cursor};
 use crate::crc::crc32;
-use crate::record::{CacheRecord, SessionRecord};
+use crate::record::{CacheRecord, GraphMutationRecord, SessionRecord};
 
-const MAGIC: &[u8; 8] = b"APXSNAP\x01";
+const MAGIC_V1: &[u8; 8] = b"APXSNAP\x01";
+const MAGIC: &[u8; 8] = b"APXSNAP\x02";
 const MAX_PAYLOAD: usize = 256 << 20;
 
 /// An in-memory snapshot image: the state as of `covered_lsn`.
@@ -38,6 +45,8 @@ pub struct Snapshot {
     pub sessions: Vec<SessionRecord>,
     /// Hot result-cache entries worth rewarming.
     pub cache: Vec<CacheRecord>,
+    /// The accumulated graph-mutation log (empty for v1 snapshots).
+    pub mutations: Vec<GraphMutationRecord>,
 }
 
 pub(crate) fn snapshot_path(dir: &Path, covered_lsn: u64) -> PathBuf {
@@ -87,6 +96,12 @@ fn encode(snapshot: &Snapshot) -> Vec<u8> {
         entry.encode(&mut payload);
         put_framed(&mut out, &payload);
     }
+    out.extend_from_slice(&(snapshot.mutations.len() as u32).to_le_bytes());
+    for mutation in &snapshot.mutations {
+        payload.clear();
+        mutation.encode(&mut payload);
+        put_framed(&mut out, &payload);
+    }
     out
 }
 
@@ -129,9 +144,12 @@ impl<'a> FileCursor<'a> {
 
 fn decode(bytes: &[u8]) -> Result<Snapshot, CodecError> {
     let mut c = FileCursor { bytes, pos: 0 };
-    if c.take(8, "magic")? != MAGIC {
-        return Err(CodecError("bad snapshot magic".into()));
-    }
+    let magic = c.take(8, "magic")?;
+    let has_mutations = match magic {
+        m if m == MAGIC => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err(CodecError("bad snapshot magic".into())),
+    };
     let covered_lsn = c.u64("covered lsn")?;
     let session_count = c.u32("session count")?;
     let mut sessions = Vec::new();
@@ -151,6 +169,17 @@ fn decode(bytes: &[u8]) -> Result<Snapshot, CodecError> {
         rc.finish("cache record")?;
         cache.push(record);
     }
+    let mut mutations = Vec::new();
+    if has_mutations {
+        let mutation_count = c.u32("mutation count")?;
+        for _ in 0..mutation_count {
+            let payload = c.framed("mutation record")?;
+            let mut rc = Cursor::new(payload);
+            let record = GraphMutationRecord::decode(&mut rc)?;
+            rc.finish("mutation record")?;
+            mutations.push(record);
+        }
+    }
     if c.pos != bytes.len() {
         return Err(CodecError(format!(
             "{} trailing bytes after snapshot",
@@ -161,6 +190,7 @@ fn decode(bytes: &[u8]) -> Result<Snapshot, CodecError> {
         covered_lsn,
         sessions,
         cache,
+        mutations,
     })
 }
 
@@ -258,7 +288,42 @@ mod tests {
                 iterations: 20,
                 converged: true,
             }],
+            mutations: vec![
+                GraphMutationRecord {
+                    epoch: 1,
+                    insert: vec![(3, 5)],
+                    delete: vec![],
+                },
+                GraphMutationRecord {
+                    epoch: 2,
+                    insert: vec![],
+                    delete: vec![(0, 4), (6, 2)],
+                },
+            ],
         }
+    }
+
+    #[test]
+    fn v1_snapshot_without_mutation_section_still_decodes() {
+        // Hand-build a v1 image: same layout minus magic byte and the
+        // trailing mutation section.
+        let snap = sample();
+        let mut bytes = encode(&snap);
+        // Count the mutation section's length so we can strip it.
+        let mut v2_tail = Vec::new();
+        v2_tail.extend_from_slice(&(snap.mutations.len() as u32).to_le_bytes());
+        let mut payload = Vec::new();
+        for m in &snap.mutations {
+            payload.clear();
+            m.encode(&mut payload);
+            put_framed(&mut v2_tail, &payload);
+        }
+        bytes.truncate(bytes.len() - v2_tail.len());
+        bytes[7] = 0x01; // MAGIC_V1
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.sessions, snap.sessions);
+        assert_eq!(decoded.cache, snap.cache);
+        assert!(decoded.mutations.is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::record::{apply_event, CacheRecord, SessionRecord, WalEvent};
+use crate::record::{apply_event, CacheRecord, GraphMutationRecord, SessionRecord, WalEvent};
 use crate::snapshot::{self, Snapshot};
 use crate::wal::{self, FsyncPolicy, Wal};
 
@@ -44,6 +44,18 @@ pub struct RecoveredState {
     pub truncated_records: u64,
     /// How many WAL events were replayed on top of the snapshot.
     pub replayed_events: u64,
+    /// The graph-mutation log, in application order: the snapshot's
+    /// accumulated log followed by mutation events from the WAL tail.
+    /// The engine replays these into the delta overlay (epoch-guarded,
+    /// so re-applying an already-reached epoch is a no-op) before
+    /// reviving sessions.
+    pub mutations: Vec<GraphMutationRecord>,
+    /// How many leading entries of `mutations` came from the snapshot
+    /// (the rest are the WAL tail). Snapshotted cache entries were
+    /// computed no later than the snapshot, so the engine revives them
+    /// with the graph at exactly this prefix replayed — tail mutations
+    /// then supersede any entry they touch.
+    pub snapshot_mutations: usize,
 }
 
 /// What one [`SessionStore::append_timed`] call did: the record's LSN
@@ -103,10 +115,15 @@ impl SessionStore {
         let replayed = wal::replay(dir)?;
 
         let mut sessions = snapshot.sessions;
+        let mut mutations = snapshot.mutations;
+        let snapshot_mutations = mutations.len();
         let mut replayed_events = 0u64;
         for (lsn, event) in &replayed.events {
             if *lsn > snapshot.covered_lsn {
                 apply_event(&mut sessions, event);
+                if let WalEvent::MutateGraph(record) = event {
+                    mutations.push(record.clone());
+                }
                 replayed_events += 1;
             }
         }
@@ -119,6 +136,8 @@ impl SessionStore {
             cache: snapshot.cache,
             truncated_records: replayed.truncated,
             replayed_events,
+            mutations,
+            snapshot_mutations,
         };
 
         let store = SessionStore {
@@ -180,8 +199,11 @@ impl SessionStore {
         Ok(())
     }
 
-    /// Writes a snapshot of `sessions` (+ hot `cache` entries), then
-    /// retires WAL segments the snapshot makes redundant.
+    /// Writes a snapshot of `sessions` (+ hot `cache` entries + the
+    /// accumulated graph-mutation log), then retires WAL segments the
+    /// snapshot makes redundant. The mutation log must be complete —
+    /// retired segments may hold mutation events, and replaying the
+    /// snapshot's log is the only way those survive.
     ///
     /// Ordering: the covered-LSN mark is taken and the WAL rotated
     /// *before* the caller-collected state is written. Events appended
@@ -193,6 +215,7 @@ impl SessionStore {
         &self,
         sessions: Vec<SessionRecord>,
         cache: Vec<CacheRecord>,
+        mutations: Vec<GraphMutationRecord>,
     ) -> io::Result<()> {
         let started = Instant::now();
         let (covered_lsn, keep_segment) = {
@@ -206,6 +229,7 @@ impl SessionStore {
             covered_lsn,
             sessions,
             cache,
+            mutations,
         };
         snapshot::write(&self.dir, &snap)?;
 
@@ -325,7 +349,7 @@ mod tests {
                     solution: None,
                 })
                 .collect();
-            store.snapshot(sessions, Vec::new()).unwrap();
+            store.snapshot(sessions, Vec::new(), Vec::new()).unwrap();
             // Post-snapshot activity lands in the fresh segment.
             store.append(&WalEvent::Close { id: 10 }).unwrap();
             store.flush().unwrap();
@@ -336,6 +360,32 @@ mod tests {
         assert_eq!(recovered.replayed_events, 1);
         assert!(recovered.sessions.iter().all(|s| s.id != 10));
         assert_eq!(store.stats().recovered_sessions.load(Ordering::Relaxed), 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mutations_survive_snapshot_and_wal_tail() {
+        let dir = tempdir("mutations");
+        let batch = |epoch: u64| GraphMutationRecord {
+            epoch,
+            insert: vec![(epoch as u32, 0)],
+            delete: vec![],
+        };
+        {
+            let (store, recovered) = SessionStore::open(&dir, cfg()).unwrap();
+            assert!(recovered.mutations.is_empty());
+            store.append(&WalEvent::MutateGraph(batch(1))).unwrap();
+            // The snapshot folds the full accumulated log and retires the
+            // segment holding the event...
+            store
+                .snapshot(Vec::new(), Vec::new(), vec![batch(1)])
+                .unwrap();
+            // ...while later batches live only in the WAL tail.
+            store.append(&WalEvent::MutateGraph(batch(2))).unwrap();
+            store.flush().unwrap();
+        }
+        let (_store, recovered) = SessionStore::open(&dir, cfg()).unwrap();
+        assert_eq!(recovered.mutations, vec![batch(1), batch(2)]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -170,7 +170,13 @@ impl Wal {
     /// returned path is the segment just sealed.
     pub(crate) fn rotate(&mut self) -> io::Result<PathBuf> {
         self.fsync()?;
-        let sealed = std::mem::replace(&mut self.path, segment_path(&self.dir, self.next_lsn));
+        let next = segment_path(&self.dir, self.next_lsn);
+        if next == self.path {
+            // Nothing was appended since this segment opened; it is both
+            // the sealed and the live segment — recreating it would fail.
+            return Ok(self.path.clone());
+        }
+        let sealed = std::mem::replace(&mut self.path, next);
         self.file = OpenOptions::new()
             .create_new(true)
             .append(true)

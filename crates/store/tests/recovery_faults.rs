@@ -165,7 +165,7 @@ fn every_snapshot_corruption_falls_back_cleanly() {
             store.append(&event).unwrap();
         }
         store
-            .snapshot(expected_after(events().len()), Vec::new())
+            .snapshot(expected_after(events().len()), Vec::new(), Vec::new())
             .unwrap();
     }
     let snap: PathBuf = fs::read_dir(&dir)

@@ -125,6 +125,21 @@ impl McSession {
         self.apply_membership(source, current);
     }
 
+    /// Re-extracts the current membership after the underlying graph
+    /// mutated and incrementally re-walks only the sources whose local
+    /// row (out-degree or out-neighbor list) actually changed — the
+    /// warm-restart path for live mutation. Global aggregates are
+    /// refreshed too, so the next [`Self::solve`] prices random-jump
+    /// mass against the mutated graph.
+    pub fn refresh_via(&mut self, source: &dyn SubgraphSource) {
+        let current = NodeSet::from_iter_order(source.global_nodes(), self.members.iter().copied());
+        self.apply_membership(source, current);
+        self.aggregates = GlobalAggregates {
+            num_nodes: source.global_nodes(),
+            num_dangling: source.num_dangling(),
+        };
+    }
+
     fn apply_membership(&mut self, source: &dyn SubgraphSource, current: NodeSet) {
         let new_subgraph = source.extract_nodes(current);
         let exec = executor(&self.estimator, &new_subgraph);
@@ -205,6 +220,35 @@ mod tests {
         let mut fresh = McSession::with_source(&view, cold, McApproxRank::default());
         let rebuilt = fresh.solve();
         assert_eq!(warm, rebuilt, "warm update must be bitwise-identical");
+    }
+
+    #[test]
+    fn refresh_after_mutation_matches_cold_and_rewalks_fewer() {
+        // Directed 50-ring, session over pages 0..12. Forward-only walks
+        // from sources past the mutated page never visit it, so their
+        // rows must survive the repair untouched.
+        let ring: Vec<(u32, u32)> = (0..50u32).map(|i| (i, (i + 1) % 50)).collect();
+        let view = GlobalView::new(Arc::new(DiGraph::from_edges(50, &ring)));
+        let initial = NodeSet::from_sorted(50, 0..12u32);
+        let mut session = McSession::with_source(&view, initial, McApproxRank::default());
+        session.solve();
+
+        // Mutate: add edge (2, 5). Only source 2's local row changes.
+        let mut edges = ring.clone();
+        edges.push((2, 5));
+        let mutated = Arc::new(DiGraph::from_edges(50, &edges));
+        let after = GlobalView::new(Arc::clone(&mutated));
+        session.refresh_via(&after);
+        let warm = session.solve();
+        let stats = session.last_update();
+        assert!(
+            stats.reused > 0 && stats.rewalked < 12,
+            "repair must reuse untouched rows: {stats:?}"
+        );
+
+        let cold = NodeSet::from_sorted(50, 0..12u32);
+        let mut fresh = McSession::with_source(&after, cold, McApproxRank::default());
+        assert_eq!(warm, fresh.solve(), "repair must be bitwise-identical");
     }
 
     #[test]
