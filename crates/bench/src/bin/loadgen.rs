@@ -54,6 +54,23 @@
 //! the graph-epoch movement over the run, next to the read percentiles —
 //! mixed read/write is exactly the workload where tail latency hides.
 //!
+//! `--keyword-rate R` (0 < R <= 1) turns roughly an `R` fraction of each
+//! query stream into `POST /keyword` ObjectRank queries over the same
+//! membership windows (base set = the window's first page), so keyword
+//! and uniform ranking are measured under the identical key mix. The
+//! report then splits per-endpoint percentiles onto `rank` and `keyword`
+//! lines.
+//!
+//! `--tenants N` spreads the query streams across `N` tenants
+//! (`tenant-0` … `tenant-(N-1)`, round-robin by stream, so with
+//! `--clients N+1` exactly one tenant carries double traffic): every
+//! request sends `X-Tenant`, 429 load-shed answers are counted as *shed*
+//! rather than errors (a shed is the admission control working, not a
+//! failure), and the report adds one line per tenant with its ok/shed
+//! split and latency percentiles. `--tenant-quota` / `--tenant-queue`
+//! configure the in-process server's admission control (ignored with
+//! `--addr`; point those runs at a server started with the flags).
+//!
 //! `--capture` pulls the server's `/debug/requests` trace ring after the
 //! run and prints a server-side per-layer time breakdown next to the
 //! client-side percentiles, so "where did the p99 go" is answered by
@@ -75,8 +92,8 @@ use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --graph FILE] [--clients N] \
 [--requests N] [--keys K] [--zipf EXP] [--members M] [--seed S] [--threads N] [--sessions N] \
-[--shards S] [--algo mc|push] [--mutate-rate R] [--capture] [--capture-out FILE] \
-[--baseline FILE]";
+[--shards S] [--algo mc|push] [--mutate-rate R] [--keyword-rate R] [--tenants N] \
+[--tenant-quota Q] [--tenant-queue N] [--capture] [--capture-out FILE] [--baseline FILE]";
 
 struct Args {
     addr: Option<String>,
@@ -92,6 +109,10 @@ struct Args {
     shards: usize,
     algo: Option<String>,
     mutate_rate: f64,
+    keyword_rate: f64,
+    tenants: usize,
+    tenant_quota: usize,
+    tenant_queue: usize,
     capture: bool,
     capture_out: Option<String>,
     baseline: Option<String>,
@@ -113,6 +134,10 @@ impl Default for Args {
             shards: 1,
             algo: None,
             mutate_rate: 0.0,
+            keyword_rate: 0.0,
+            tenants: 0,
+            tenant_quota: 0,
+            tenant_queue: 16,
             capture: false,
             capture_out: None,
             baseline: None,
@@ -154,6 +179,32 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err(format!("--mutate-rate must be in [0, 1], got {rate}"));
                 }
                 args.mutate_rate = rate;
+            }
+            "--keyword-rate" => {
+                let v = value("--keyword-rate")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --keyword-rate {v:?}: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--keyword-rate must be in [0, 1], got {rate}"));
+                }
+                args.keyword_rate = rate;
+            }
+            "--tenants" => {
+                let v = value("--tenants")?;
+                args.tenants = v.parse().map_err(|e| format!("bad --tenants {v:?}: {e}"))?;
+            }
+            "--tenant-quota" => {
+                let v = value("--tenant-quota")?;
+                args.tenant_quota = v
+                    .parse()
+                    .map_err(|e| format!("bad --tenant-quota {v:?}: {e}"))?;
+            }
+            "--tenant-queue" => {
+                let v = value("--tenant-queue")?;
+                args.tenant_queue = v
+                    .parse()
+                    .map_err(|e| format!("bad --tenant-queue {v:?}: {e}"))?;
             }
             "--capture" => args.capture = true,
             "--capture-out" => args.capture_out = Some(value("--capture-out")?),
@@ -276,6 +327,24 @@ fn estimator_bodies(
             format!(
                 "{{\"members\":[{}],\"algorithm\":\"{algo}\"}}",
                 ids.join(",")
+            )
+        })
+        .collect()
+}
+
+/// The same key windows as [`request_bodies`] but sent to
+/// `POST /keyword`: the base set is the window's first page, so every
+/// key has a stable, in-membership base and the keyword answers are as
+/// cacheable as the uniform ones.
+fn keyword_bodies(keys: usize, members: usize, num_nodes: usize, shards: usize) -> Vec<String> {
+    (0..keys)
+        .map(|k| {
+            let window = key_members_sharded(k, members, num_nodes, shards);
+            let ids: Vec<String> = window.iter().map(|id| id.to_string()).collect();
+            format!(
+                "{{\"members\":[{}],\"base\":[{}]}}",
+                ids.join(","),
+                window[0]
             )
         })
         .collect()
@@ -434,6 +503,11 @@ struct StreamOutcome {
     estimator_us: Vec<u64>,
     /// Latencies of `POST /graph/edges` writes (`--mutate-rate`).
     write_us: Vec<u64>,
+    /// Latencies of `POST /keyword` queries (`--keyword-rate`).
+    keyword_us: Vec<u64>,
+    /// 429 load-shed answers (`--tenants` against an admission-controlled
+    /// server): the quota working as designed, counted apart from errors.
+    shed: usize,
     errors: usize,
 }
 
@@ -444,8 +518,20 @@ impl StreamOutcome {
             cross_us: Vec::new(),
             estimator_us: Vec::new(),
             write_us: Vec::new(),
+            keyword_us: Vec::new(),
+            shed: 0,
             errors: requests + 1,
         }
+    }
+
+    /// Every latency this stream recorded, any endpoint.
+    fn all_us(&self) -> impl Iterator<Item = u64> + '_ {
+        self.resident_us
+            .iter()
+            .chain(&self.cross_us)
+            .chain(&self.estimator_us)
+            .chain(&self.keyword_us)
+            .copied()
     }
 }
 
@@ -482,21 +568,29 @@ impl WriteToggle {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_stream(
     addr: &str,
     bodies: &[String],
     est_bodies: Option<&[String]>,
+    kw_bodies: Option<(usize, &[String])>,
     weights: &[f64],
     requests: usize,
     seed: u64,
+    tenant: Option<&str>,
     mut toggle: Option<(usize, WriteToggle)>,
 ) -> StreamOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
+    if let Some(tenant) = tenant {
+        client = client.with_tenant(tenant);
+    }
     let mut resident_us = Vec::with_capacity(requests);
     let mut cross_us = Vec::new();
     let mut estimator_us = Vec::new();
     let mut write_us = Vec::new();
+    let mut keyword_us = Vec::new();
+    let mut shed = 0usize;
     let mut errors = 0usize;
     for i in 0..requests {
         // Every `write_every`-th request is a graph write; the Zipf draw
@@ -512,12 +606,29 @@ fn run_stream(
                 Ok(response) if response.status == 200 => {
                     write_us.push(started.elapsed().as_micros() as u64);
                 }
+                Ok(response) if response.status == 429 => shed += 1,
                 Ok(_) | Err(_) => errors += 1,
             }
             let _ = sample_weighted(&mut rng, weights);
             continue;
         }
         let key = sample_weighted(&mut rng, weights);
+        // Every `keyword_every`-th read is an ObjectRank keyword query
+        // over the same Zipf-drawn key, so both endpoints see the same
+        // popularity mix.
+        if let Some((every, kw)) = kw_bodies {
+            if (i + 1).is_multiple_of(every) {
+                let started = Instant::now();
+                match client.post("/keyword", &kw[key]) {
+                    Ok(response) if response.status == 200 => {
+                        keyword_us.push(started.elapsed().as_micros() as u64);
+                    }
+                    Ok(response) if response.status == 429 => shed += 1,
+                    Ok(_) | Err(_) => errors += 1,
+                }
+                continue;
+            }
+        }
         // With `--algo` the stream alternates tiers so both see the same
         // Zipf key mix (and the same share of cache re-use).
         let est = est_bodies.filter(|_| i % 2 == 1);
@@ -544,6 +655,7 @@ fn run_stream(
                     resident_us.push(us);
                 }
             }
+            Ok(response) if response.status == 429 => shed += 1,
             Ok(_) | Err(_) => errors += 1,
         }
     }
@@ -552,6 +664,8 @@ fn run_stream(
         cross_us,
         estimator_us,
         write_us,
+        keyword_us,
+        shed,
         errors,
     }
 }
@@ -628,6 +742,8 @@ fn run_session_stream(
         cross_us: Vec::new(),
         estimator_us: Vec::new(),
         write_us: Vec::new(),
+        keyword_us: Vec::new(),
+        shed: 0,
         errors,
     }
 }
@@ -660,6 +776,8 @@ fn run(args: &Args) -> Result<String, String> {
                     addr: "127.0.0.1:0".into(),
                     threads: args.threads,
                     shards: args.shards,
+                    tenant_quota: args.tenant_quota,
+                    tenant_queue: args.tenant_queue,
                     ..ServeConfig::default()
                 },
             )
@@ -705,6 +823,16 @@ fn run(args: &Args) -> Result<String, String> {
             algo,
         ))
     });
+    let kw_bodies = if args.keyword_rate > 0.0 {
+        Some(Arc::new(keyword_bodies(
+            args.keys,
+            args.members,
+            num_nodes,
+            args.shards,
+        )))
+    } else {
+        None
+    };
     let weights = Arc::new(zipf_weights(args.keys, args.zipf));
     let (hits_before, misses_before) = cache_counters(&addr)?;
     let epoch_before = graph_epoch(&addr);
@@ -714,6 +842,18 @@ fn run(args: &Args) -> Result<String, String> {
     } else {
         None
     };
+    // Likewise for `--keyword-rate`.
+    let keyword_every = if args.keyword_rate > 0.0 {
+        Some(((1.0 / args.keyword_rate).round() as usize).max(1))
+    } else {
+        None
+    };
+    // Stream `c` belongs to tenant `c % N`; with `--clients N+1` exactly
+    // one tenant (tenant-0) carries two streams, which is how the smoke
+    // test provokes a shed on one tenant while the rest stay clean.
+    let tenant_of = |c: usize| -> Option<String> {
+        (args.tenants > 0).then(|| format!("tenant-{}", c % args.tenants))
+    };
 
     let started = Instant::now();
     let (outcomes, session_outcomes): (Vec<StreamOutcome>, Vec<StreamOutcome>) = {
@@ -721,16 +861,21 @@ fn run(args: &Args) -> Result<String, String> {
             .map(|c| {
                 let (addr, bodies, weights) = (addr.clone(), bodies.clone(), weights.clone());
                 let est_bodies = est_bodies.clone();
+                let kw_bodies = kw_bodies.clone();
                 let (requests, seed) = (args.requests, args.seed.wrapping_add(c as u64));
+                let tenant = tenant_of(c);
                 let toggle = write_every.map(|every| (every, WriteToggle::new(c, num_nodes)));
                 std::thread::spawn(move || {
                     run_stream(
                         &addr,
                         &bodies,
                         est_bodies.as_deref().map(Vec::as_slice),
+                        keyword_every
+                            .and_then(|every| kw_bodies.as_deref().map(|kw| (every, &kw[..]))),
                         &weights,
                         requests,
                         seed,
+                        tenant.as_deref(),
                         toggle,
                     )
                 })
@@ -782,10 +927,13 @@ fn run(args: &Args) -> Result<String, String> {
     estimator.sort_unstable();
     let mut writes: Vec<u64> = outcomes.iter().flat_map(|o| o.write_us.clone()).collect();
     writes.sort_unstable();
+    let mut keyword: Vec<u64> = outcomes.iter().flat_map(|o| o.keyword_us.clone()).collect();
+    keyword.sort_unstable();
     let mut latencies: Vec<u64> = resident
         .iter()
         .chain(&cross)
         .chain(&estimator)
+        .chain(&keyword)
         .copied()
         .collect();
     latencies.sort_unstable();
@@ -799,6 +947,7 @@ fn run(args: &Args) -> Result<String, String> {
         .chain(&session_outcomes)
         .map(|o| o.errors)
         .sum();
+    let shed: usize = outcomes.iter().map(|o| o.shed).sum();
     let ok = latencies.len() + writes.len();
 
     let mut out = String::new();
@@ -813,8 +962,13 @@ fn run(args: &Args) -> Result<String, String> {
         ));
     }
     let secs = wall.as_secs_f64().max(1e-9);
+    let shed_note = if args.tenants > 0 || shed > 0 {
+        format!(", {shed} shed")
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "requests  {ok} ok, {errors} errors in {:.3} s  ({:.1} req/s)\n",
+        "requests  {ok} ok{shed_note}, {errors} errors in {:.3} s  ({:.1} req/s)\n",
         secs,
         ok as f64 / secs
     ));
@@ -844,6 +998,53 @@ fn run(args: &Args) -> Result<String, String> {
                 percentile(sample, 50.0) as f64 / 1e3,
                 percentile(sample, 90.0) as f64 / 1e3,
                 percentile(sample, 99.0) as f64 / 1e3,
+            ));
+        }
+    }
+    if keyword_every.is_some() {
+        // Per-endpoint split: uniform `/rank` (any tier, any shard span)
+        // vs ObjectRank `/keyword` — different personalization, so one
+        // histogram would blur both.
+        let mut rank: Vec<u64> = resident
+            .iter()
+            .chain(&cross)
+            .chain(&estimator)
+            .copied()
+            .collect();
+        rank.sort_unstable();
+        for (label, sample) in [("rank", &rank), ("keyword", &keyword)] {
+            out.push_str(&format!(
+                "{label:<9} {} ok  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
+                sample.len(),
+                percentile(sample, 50.0) as f64 / 1e3,
+                percentile(sample, 90.0) as f64 / 1e3,
+                percentile(sample, 99.0) as f64 / 1e3,
+            ));
+        }
+    }
+    if args.tenants > 0 {
+        // Per-tenant split: ok/shed accounting plus latency percentiles,
+        // one line per tenant, so quota fairness is visible at a glance.
+        for t in 0..args.tenants {
+            let streams = || {
+                outcomes
+                    .iter()
+                    .enumerate()
+                    .filter(move |(c, _)| c % args.tenants == t)
+                    .map(|(_, o)| o)
+            };
+            let mut sample: Vec<u64> = streams()
+                .flat_map(|o| o.all_us().chain(o.write_us.iter().copied()))
+                .collect();
+            sample.sort_unstable();
+            let shed: usize = streams().map(|o| o.shed).sum();
+            let errors: usize = streams().map(|o| o.errors).sum();
+            out.push_str(&format!(
+                "tenant    tenant-{t}  {} ok  {shed} shed  {errors} errors  \
+                 p50 {:.2} ms  p99 {:.2} ms\n",
+                sample.len(),
+                percentile(&sample, 50.0) as f64 / 1e3,
+                percentile(&sample, 99.0) as f64 / 1e3,
             ));
         }
     }
@@ -1088,6 +1289,119 @@ mod tests {
             line.contains("graph epoch 0 -> ") && !line.contains("-> 0)"),
             "epoch must move: {line}"
         );
+    }
+
+    #[test]
+    fn parses_keyword_rate_and_tenants() {
+        let args = parse_args(&argv(&[])).unwrap();
+        assert_eq!(args.keyword_rate, 0.0);
+        assert_eq!(args.tenants, 0);
+        assert_eq!(args.tenant_quota, 0);
+        assert_eq!(args.tenant_queue, 16);
+        let args = parse_args(&argv(&[
+            "--keyword-rate",
+            "0.25",
+            "--tenants",
+            "3",
+            "--tenant-quota",
+            "2",
+            "--tenant-queue",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(args.keyword_rate, 0.25);
+        assert_eq!(args.tenants, 3);
+        assert_eq!(args.tenant_quota, 2);
+        assert_eq!(args.tenant_queue, 0);
+        assert!(parse_args(&argv(&["--keyword-rate", "1.5"])).is_err());
+        assert!(parse_args(&argv(&["--keyword-rate", "-0.1"])).is_err());
+        assert!(parse_args(&argv(&["--tenants", "some"])).is_err());
+    }
+
+    #[test]
+    fn keyword_bodies_share_windows_with_rank_bodies() {
+        let exact = request_bodies(4, 8, 2_000, 1);
+        let kw = keyword_bodies(4, 8, 2_000, 1);
+        for (e, k) in exact.iter().zip(&kw) {
+            assert!(k.contains("\"base\":["), "{k}");
+            assert!(k.starts_with(e.trim_end_matches('}')), "{e} vs {k}");
+        }
+    }
+
+    /// End-to-end with `--keyword-rate 0.5`: every second read per
+    /// stream is a `POST /keyword`; the run stays error-free and the
+    /// report splits per-endpoint percentiles onto `rank` and `keyword`
+    /// lines, each having answered half the requests.
+    #[test]
+    fn keyword_run_reports_split_endpoint_percentiles() {
+        let report = run(&Args {
+            clients: 2,
+            requests: 8,
+            keys: 4,
+            members: 8,
+            keyword_rate: 0.5,
+            ..Args::default()
+        })
+        .unwrap();
+        assert!(report.contains("16 ok, 0 errors"), "{report}");
+        let count = |prefix: &str| {
+            report
+                .lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("no {prefix} line in {report}"))
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert_eq!(count("rank"), 8, "{report}");
+        assert_eq!(count("keyword"), 8, "{report}");
+    }
+
+    /// End-to-end with `--tenants` against an admission-controlled
+    /// in-process server: sheds are accounted separately from errors
+    /// (conservation: every request is either ok or shed), and the
+    /// report carries one line per tenant.
+    #[test]
+    fn tenant_run_accounts_sheds_apart_from_errors() {
+        let report = run(&Args {
+            clients: 4,
+            requests: 10,
+            keys: 4,
+            members: 8,
+            tenants: 2,
+            tenant_quota: 1,
+            tenant_queue: 0,
+            ..Args::default()
+        })
+        .unwrap();
+        // 429s are sheds, never errors, and nothing is lost.
+        assert!(report.contains(" 0 errors"), "{report}");
+        let requests_line = report
+            .lines()
+            .find(|l| l.starts_with("requests"))
+            .expect("requests line");
+        assert!(requests_line.contains("shed"), "{requests_line}");
+        let ok: usize = requests_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let shed: usize = requests_line
+            .split_whitespace()
+            .nth(3)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(ok + shed, 40, "{report}");
+        for t in 0..2 {
+            assert!(
+                report.contains(&format!("tenant    tenant-{t}")),
+                "{report}"
+            );
+        }
     }
 
     #[test]

@@ -250,6 +250,41 @@ pub struct ServeArgs {
     pub rpc_backoff_ms: u64,
     /// Replica health-probe cadence in milliseconds (0 disables).
     pub rpc_health_interval_ms: u64,
+    /// Batch-scheduler gather window in milliseconds (0 disables
+    /// keyword coalescing; requests solve immediately).
+    pub batch_window_ms: u64,
+    /// Most personalization columns one multi-vector solve carries.
+    pub batch_columns: usize,
+    /// Per-tenant concurrent `POST` admission quota (0 = no admission
+    /// control, the default).
+    pub tenant_quota: usize,
+    /// Bounded per-tenant wait queue for over-quota requests.
+    pub tenant_queue: usize,
+    /// Page-labels file (one label per line, line `i` names page `i`)
+    /// that `POST /keyword` resolves `"keyword"` queries against.
+    pub labels: Option<String>,
+}
+
+/// `subrank keyword` arguments.
+#[derive(Clone, Debug)]
+pub struct KeywordArgs {
+    /// Edge-list (or binary) graph file.
+    pub graph: String,
+    /// File of subgraph member ids, one per line.
+    pub subgraph: String,
+    /// Keyword resolved against page labels (exclusive with `--base`).
+    pub keyword: Option<String>,
+    /// Explicit comma-separated base-set page ids (exclusive with
+    /// `--keyword`).
+    pub base: Vec<u32>,
+    /// Page-labels file; without one, pages are named `page-<id>`.
+    pub labels: Option<String>,
+    /// Damping factor.
+    pub damping: f64,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Print only the top-k pages (0 = all).
+    pub top: usize,
 }
 
 /// `subrank partition` arguments.
@@ -302,6 +337,8 @@ pub enum Command {
     Report(ReportArgs),
     /// Run the HTTP ranking service.
     Serve(ServeArgs),
+    /// ObjectRank keyword ranking (offline mirror of `POST /keyword`).
+    Keyword(KeywordArgs),
     /// Partition a graph into a sharded on-disk layout.
     Partition(PartitionArgs),
 }
@@ -319,6 +356,8 @@ pub const USAGE: &str = "usage:
   subrank stats  --graph FILE [--shards N [--partition range|scc|hash]]
   subrank gen    --dataset au|politics --pages N [--seed S] --out FILE
   subrank report --input TRACE.jsonl | --requests REQUESTS.jsonl [--top K]
+  subrank keyword --graph FILE --subgraph FILE (--keyword WORD | --base ID[,ID...])
+                 [--labels FILE] [--damping 0.85] [--tolerance 1e-5] [--top K]
   subrank serve  --graph FILE [--addr 127.0.0.1:7878] [--threads 2] [--cache-entries 4096]
                  [--max-body 1048576] [--request-timeout-ms 5000]
                  [--data-dir DIR] [--fsync always|never|interval|interval:MS]
@@ -329,6 +368,9 @@ pub const USAGE: &str = "usage:
                  [--remote-shard ADDR[,ADDR...]]...    (route to remote shards, one flag per shard)
                  [--rpc-timeout-ms 10000] [--rpc-connect-timeout-ms 1000]
                  [--rpc-attempts 3] [--rpc-backoff-ms 50] [--rpc-health-interval-ms 1000]
+                 [--batch-window-ms 2] [--batch-columns 32]  (keyword coalescing)
+                 [--tenant-quota N] [--tenant-queue 16]      (per-tenant admission)
+                 [--labels FILE]                             (page labels for /keyword)
   subrank partition --graph FILE --shards N [--partition range|scc|hash] --out DIR";
 
 /// Flags that take no value; their presence alone means "on".
@@ -582,6 +624,11 @@ impl Cli {
                     rpc_attempts: opts.numeric("rpc-attempts", 3u32)?,
                     rpc_backoff_ms: opts.numeric("rpc-backoff-ms", 50u64)?,
                     rpc_health_interval_ms: opts.numeric("rpc-health-interval-ms", 1_000u64)?,
+                    batch_window_ms: opts.numeric("batch-window-ms", 2u64)?,
+                    batch_columns: opts.numeric("batch-columns", 32usize)?,
+                    tenant_quota: opts.numeric("tenant-quota", 0usize)?,
+                    tenant_queue: opts.numeric("tenant-queue", 16usize)?,
+                    labels: opts.take("labels"),
                 };
                 if args.threads == 0 {
                     return Err("--threads must be at least 1".into());
@@ -597,6 +644,9 @@ impl Cli {
                 }
                 if args.rpc_attempts == 0 {
                     return Err("--rpc-attempts must be at least 1".into());
+                }
+                if args.batch_columns == 0 {
+                    return Err("--batch-columns must be at least 1".into());
                 }
                 if let Some(k) = args.shard_server {
                     if args.shards < 2 {
@@ -638,6 +688,39 @@ impl Cli {
                     }
                 }
                 Command::Serve(args)
+            }
+            "keyword" => {
+                let args = KeywordArgs {
+                    graph: opts.require("graph")?,
+                    subgraph: opts.require("subgraph")?,
+                    keyword: opts.take("keyword"),
+                    base: match opts.take("base") {
+                        None => Vec::new(),
+                        Some(list) => list
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|t| !t.is_empty())
+                            .map(|t| {
+                                t.parse::<u32>()
+                                    .map_err(|e| format!("bad --base id {t:?}: {e}"))
+                            })
+                            .collect::<Result<_, _>>()?,
+                    },
+                    labels: opts.take("labels"),
+                    damping: take_damping(&mut opts)?,
+                    tolerance: take_tolerance(&mut opts)?,
+                    top: opts.numeric("top", 0usize)?,
+                };
+                match (&args.keyword, args.base.is_empty()) {
+                    (Some(_), false) => {
+                        return Err("--keyword and --base are exclusive; pick one".into())
+                    }
+                    (None, true) => {
+                        return Err(format!("keyword needs --keyword or --base\n{USAGE}"))
+                    }
+                    _ => {}
+                }
+                Command::Keyword(args)
             }
             "partition" => {
                 let args = PartitionArgs {
@@ -911,6 +994,11 @@ mod tests {
         assert_eq!(a.shards, 1);
         assert_eq!(a.partition, PartitionStrategy::Range);
         assert_eq!(a.slow_ms, None);
+        assert_eq!(a.batch_window_ms, 2);
+        assert_eq!(a.batch_columns, 32);
+        assert_eq!(a.tenant_quota, 0);
+        assert_eq!(a.tenant_queue, 16);
+        assert_eq!(a.labels, None);
 
         let cli = Cli::parse(&argv(
             "serve --graph g --addr 0.0.0.0:0 --threads 8 --cache-entries 64 \
@@ -1091,6 +1179,69 @@ mod tests {
         assert!(Cli::parse(&argv("serve --graph g --log-level loud"))
             .unwrap_err()
             .contains("--log-level"));
+    }
+
+    #[test]
+    fn parses_serve_batch_and_tenant_flags() {
+        let cli = Cli::parse(&argv(
+            "serve --graph g --batch-window-ms 5 --batch-columns 8 \
+             --tenant-quota 4 --tenant-queue 32 --labels pages.txt",
+        ))
+        .unwrap();
+        let Command::Serve(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.batch_window_ms, 5);
+        assert_eq!(a.batch_columns, 8);
+        assert_eq!(a.tenant_quota, 4);
+        assert_eq!(a.tenant_queue, 32);
+        assert_eq!(a.labels.as_deref(), Some("pages.txt"));
+        // A zero window is meaningful (coalescing off); zero columns is not.
+        assert!(Cli::parse(&argv("serve --graph g --batch-window-ms 0")).is_ok());
+        assert!(Cli::parse(&argv("serve --graph g --batch-columns 0"))
+            .unwrap_err()
+            .contains("--batch-columns"));
+    }
+
+    #[test]
+    fn parses_keyword() {
+        let cli = Cli::parse(&argv(
+            "keyword --graph g --subgraph s --keyword jaguar --labels pages.txt --top 5",
+        ))
+        .unwrap();
+        let Command::Keyword(a) = cli.command else {
+            panic!("expected keyword")
+        };
+        assert_eq!(a.graph, "g");
+        assert_eq!(a.subgraph, "s");
+        assert_eq!(a.keyword.as_deref(), Some("jaguar"));
+        assert!(a.base.is_empty());
+        assert_eq!(a.labels.as_deref(), Some("pages.txt"));
+        assert_eq!(a.damping, 0.85);
+        assert_eq!(a.tolerance, 1e-5);
+        assert_eq!(a.top, 5);
+
+        let cli = Cli::parse(&argv("keyword --graph g --subgraph s --base 3,1,4")).unwrap();
+        let Command::Keyword(a) = cli.command else {
+            panic!()
+        };
+        assert_eq!(a.keyword, None);
+        assert_eq!(a.base, vec![3, 1, 4]);
+
+        // Exactly one of --keyword / --base.
+        assert!(Cli::parse(&argv("keyword --graph g --subgraph s"))
+            .unwrap_err()
+            .contains("--keyword or --base"));
+        assert!(
+            Cli::parse(&argv("keyword --graph g --subgraph s --keyword x --base 1"))
+                .unwrap_err()
+                .contains("exclusive")
+        );
+        assert!(
+            Cli::parse(&argv("keyword --graph g --subgraph s --base 1,x"))
+                .unwrap_err()
+                .contains("--base")
+        );
     }
 
     #[test]

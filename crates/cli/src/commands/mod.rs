@@ -3,6 +3,7 @@
 pub mod compare;
 pub mod generate;
 pub mod global;
+pub mod keyword;
 pub mod partition;
 pub mod rank;
 pub mod report;

@@ -10,6 +10,7 @@
 //! subrank stats  --graph web.edges
 //! subrank gen    --dataset au --pages 50000 --out web.edges
 //! subrank report --input trace.jsonl
+//! subrank keyword --graph web.edges --subgraph ids.txt --keyword jaguar [--labels pages.txt]
 //! subrank serve  --graph web.edges --addr 127.0.0.1:7878 [--shards 2]
 //! subrank partition --graph web.edges --shards 4 --out shards/
 //! ```
@@ -36,6 +37,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Gen(a) => commands::generate::run(&a),
         Command::Report(a) => commands::report::run(&a),
         Command::Serve(a) => commands::serve::run(&a),
+        Command::Keyword(a) => commands::keyword::run(&a),
         Command::Partition(a) => commands::partition::run(&a),
     }
 }

@@ -102,4 +102,59 @@ proptest! {
         let a2 = ApproxRank::default().rank(&g, &sub);
         prop_assert_eq!(a1, a2);
     }
+
+    /// The batched keyword contract one layer up from the raw power
+    /// iteration: a k-base-set multi-column keyword solve over one
+    /// Λ-collapse answers every column bitwise identically to k
+    /// one-column solves — on random graphs, random memberships, and
+    /// random base sets. This is the identity the engine's batch
+    /// scheduler relies on when it coalesces concurrent `/keyword`
+    /// requests.
+    #[test]
+    fn keyword_batch_is_bitwise_singleton(
+        (g, set) in graph_and_subgraph(),
+        k in 1usize..4,
+        seed in 1u64..1_000_000,
+    ) {
+        use approxrank_core::GlobalAggregates;
+        let n = g.num_nodes() as u64;
+        let sub = Subgraph::extract(&g, set);
+        // k deterministic base sets over the *global* graph (base pages
+        // outside the membership teleport into Λ).
+        let bases: Vec<Vec<u32>> = (0..k as u64)
+            .map(|j| {
+                let mut base: Vec<u32> = (0..=(seed.wrapping_mul(j + 1) % 4))
+                    .map(|i| ((seed.wrapping_add(i * 13 + j * 31)) % n) as u32)
+                    .collect();
+                base.sort_unstable();
+                base.dedup();
+                base
+            })
+            .collect();
+        let agg = GlobalAggregates::compute(&g);
+        let ranker = ApproxRank::new(tight());
+        let batch = ranker.rank_keyword_multi_aggregated_observed(
+            agg, &sub, &bases, approxrank_trace::null(),
+        );
+        prop_assert_eq!(batch.len(), k);
+        for (j, base) in bases.iter().enumerate() {
+            let single = ranker.rank_keyword_multi_aggregated_observed(
+                agg, &sub, std::slice::from_ref(base), approxrank_trace::null(),
+            );
+            prop_assert_eq!(single.len(), 1);
+            prop_assert_eq!(batch[j].iterations, single[0].iterations, "column {}", j);
+            prop_assert_eq!(
+                batch[j].lambda_score.unwrap().to_bits(),
+                single[0].lambda_score.unwrap().to_bits()
+            );
+            for (v, (a, b)) in batch[j]
+                .local_scores
+                .iter()
+                .zip(&single[0].local_scores)
+                .enumerate()
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "column {} node {}: {} vs {}", j, v, a, b);
+            }
+        }
+    }
 }

@@ -17,6 +17,7 @@ use approxrank_trace::{Observer, Stopwatch};
 use approxrank_walk::{LocalPushRank, McApproxRank, McSession};
 
 use crate::algorithm::Algorithm;
+use crate::batch::{BatchConfig, BatchScheduler, BatchStats, GatherKey, KeywordSlot, RankSlot};
 use crate::cache::{cache_key, estimator_bits, CacheKey, CacheStats, CachedResult, ShardedCache};
 
 /// Tunables an [`Engine`] is built with.
@@ -32,6 +33,8 @@ pub struct EngineConfig {
     /// engines gives engine `k` `first = k+1, stride = S`, so ids are
     /// disjoint and `(id-1) % S` recovers the owner.
     pub session_id_stride: u64,
+    /// Coalescing knobs for the engine-internal `BatchScheduler`.
+    pub batch: BatchConfig,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +44,7 @@ impl Default for EngineConfig {
             fsync: FsyncPolicy::Interval(std::time::Duration::from_millis(100)),
             first_session_id: 1,
             session_id_stride: 1,
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -226,6 +230,25 @@ impl RankRequest {
     }
 }
 
+/// A validated keyword-ranking request: ObjectRank-style personalized
+/// ApproxRank whose teleport lands uniformly on a *base set* of pages
+/// (the pages matching a keyword). `members` names the subgraph to rank
+/// within; base pages outside it contribute their teleport share to
+/// `Λ`. Members follow the same contract as [`RankRequest::members`];
+/// the base set must be sorted, deduplicated, non-empty, and within the
+/// global graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KeywordRequest {
+    /// Sorted, deduplicated member ids, a proper subset of the graph.
+    pub members: Vec<u32>,
+    /// Sorted, deduplicated, non-empty base-set page ids (global).
+    pub base: Vec<u32>,
+    /// Damping factor in `(0, 1)`.
+    pub damping: f64,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+}
+
 /// A ranking answer plus whether it came from the cache.
 #[derive(Clone, Debug)]
 pub struct RankOutcome {
@@ -294,6 +317,9 @@ pub struct Engine {
     pub(crate) store: OnceLock<Arc<SessionStore>>,
     /// WAL appends that failed (disk trouble); surfaced on `/metrics`.
     pub(crate) wal_errors: AtomicU64,
+    /// Coalesces concurrent identical cold solves and batches keyword
+    /// queries into multi-vector solves.
+    pub(crate) batch: BatchScheduler,
 }
 
 /// Whether two sorted id slices share an element (two-pointer merge).
@@ -375,6 +401,7 @@ impl Engine {
             next_session_id: AtomicU64::new(config.first_session_id),
             store: OnceLock::new(),
             wal_errors: AtomicU64::new(0),
+            batch: BatchScheduler::new(config.batch.clone()),
             backend,
             config,
         }
@@ -626,10 +653,24 @@ impl Engine {
                 cached: true,
             });
         }
-        let result = {
-            let _solve_span = obs.span("engine.solve");
-            self.solve_cold(params, obs)?
+        // Coalesce concurrent identical cold requests: the first arrival
+        // leads and solves; the rest wait for its bits.
+        let lease = match self.batch.join_rank(key.clone()) {
+            RankSlot::Follower(flight) => {
+                let result = flight.wait()?;
+                return Ok(RankOutcome {
+                    result,
+                    cached: true,
+                });
+            }
+            RankSlot::Leader(lease) => lease,
         };
+        let outcome = {
+            let _solve_span = obs.span("engine.solve");
+            self.solve_cold(params, obs)
+        };
+        lease.finish(outcome.clone());
+        let result = outcome?;
         obs.counter("solve_iterations", result.iterations as u64);
         if let Some((evicted, _)) = self.cache.insert(key, result.clone()) {
             // An entry keyed under a superseded epoch was unreachable
@@ -643,6 +684,134 @@ impl Engine {
             result,
             cached: false,
         })
+    }
+
+    /// Batch-scheduler counters (`batch_*` on `/metrics`).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.stats()
+    }
+
+    /// Ranks a subgraph under a *keyword* personalization: ApproxRank's
+    /// Λ-collapse solved with the ObjectRank teleport (uniform over the
+    /// base set; base pages outside the membership feed `Λ`). Concurrent
+    /// keyword queries over the same (epoch, options, membership) gather
+    /// into one multi-vector solve — each column bit-identical to a
+    /// singleton solve of its base set — behind a bounded window
+    /// ([`BatchConfig::gather_window`]).
+    ///
+    /// The engine does **not** memoize keyword answers (the result cache
+    /// is keyed by membership, which cannot carry a base set); callers
+    /// that want a keyword cache key it on the full (base, members,
+    /// epoch, options) tuple themselves.
+    pub fn keyword_rank(
+        &self,
+        params: &KeywordRequest,
+        obs: &dyn Observer,
+    ) -> Result<CachedResult, EngineError> {
+        self.keyword_rank_with(params, true, obs)
+    }
+
+    /// [`keyword_rank`](Engine::keyword_rank) with an explicit batch
+    /// hint. `coalesce: false` skips the gather window and solves the
+    /// one base set immediately — what the RPC server uses when a caller
+    /// sent `coalesce: false` on the wire, and what latency-critical
+    /// singleton callers want. The answer is bit-identical either way.
+    pub fn keyword_rank_with(
+        &self,
+        params: &KeywordRequest,
+        coalesce: bool,
+        obs: &dyn Observer,
+    ) -> Result<CachedResult, EngineError> {
+        if params.base.is_empty() {
+            return Err(EngineError::BadRequest("keyword base set is empty".into()));
+        }
+        if !params.base.windows(2).all(|w| w[0] < w[1]) {
+            return Err(EngineError::BadRequest(
+                "keyword base set must be sorted and deduplicated".into(),
+            ));
+        }
+        let n = self.global_nodes();
+        let last = *params.base.last().expect("non-empty");
+        if last as usize >= n {
+            return Err(EngineError::BadRequest(format!(
+                "base page {last} out of range (graph has {n} nodes)"
+            )));
+        }
+        self.check_owned(&params.members)?;
+        if !coalesce {
+            let _solve_span = obs.span("engine.keyword_solve");
+            let results = self.solve_keyword_columns(
+                &params.members,
+                std::slice::from_ref(&params.base),
+                params.damping,
+                params.tolerance,
+                obs,
+            )?;
+            let result = results.into_iter().next().expect("one column in, one out");
+            obs.counter("solve_iterations", result.iterations as u64);
+            return Ok(result);
+        }
+        let key = GatherKey {
+            epoch: self.effective_epoch(&params.members),
+            damping_bits: params.damping.to_bits(),
+            tolerance_bits: params.tolerance.to_bits(),
+            members: params.members[..].into(),
+        };
+        match self.batch.join_keyword(key, params.base.clone()) {
+            follower @ KeywordSlot::Follower { .. } => follower.wait(),
+            KeywordSlot::Leader(lease) => {
+                let columns = lease.gather_columns();
+                let outcome = {
+                    let _solve_span = obs.span("engine.keyword_solve");
+                    self.solve_keyword_columns(
+                        &params.members,
+                        &columns,
+                        params.damping,
+                        params.tolerance,
+                        obs,
+                    )
+                };
+                // The leader's own base set is column 0 by construction.
+                let own = outcome
+                    .as_ref()
+                    .map(|results| results[0].clone())
+                    .map_err(Clone::clone);
+                lease.finish(outcome);
+                if let Ok(result) = &own {
+                    obs.counter("solve_iterations", result.iterations as u64);
+                }
+                own
+            }
+        }
+    }
+
+    /// One multi-vector keyword solve: extract the membership once,
+    /// collapse once, iterate every base-set column together. Runs on
+    /// any backend — the Λ-collapse consumes only the subgraph view and
+    /// [`GlobalAggregates`], so shard answers match global answers
+    /// bit-for-bit, exactly as for `/rank`.
+    fn solve_keyword_columns(
+        &self,
+        members: &[u32],
+        columns: &[Vec<u32>],
+        damping: f64,
+        tolerance: f64,
+        obs: &dyn Observer,
+    ) -> Result<Vec<CachedResult>, EngineError> {
+        let options = options_for(damping, tolerance);
+        let source: &dyn SubgraphSource = self.source();
+        let nodes = NodeSet::from_sorted(source.global_nodes(), members.iter().copied());
+        let subgraph = source.extract_nodes(nodes);
+        let agg = GlobalAggregates {
+            num_nodes: source.global_nodes(),
+            num_dangling: source.num_dangling(),
+        };
+        let batch = ApproxRank::new(options)
+            .rank_keyword_multi_aggregated_observed(agg, &subgraph, columns, obs);
+        Ok(batch
+            .into_iter()
+            .map(|scores| to_cached(members, scores))
+            .collect())
     }
 
     /// The cache key a session's current membership occupies, at the
@@ -1081,6 +1250,153 @@ mod tests {
         req.algorithm = Algorithm::Sc;
         let err = sharded.rank(&req, null()).unwrap_err();
         assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("unavailable")));
+    }
+
+    #[test]
+    fn keyword_rank_matches_across_backends_and_validates() {
+        let g = ring(200);
+        let (global, sharded) = shard0_engine(&g);
+        let req = KeywordRequest {
+            members: (10..60).collect(),
+            // Base straddles the membership boundary: 150 is outside the
+            // subgraph (its teleport share lands on Λ).
+            base: vec![12, 30, 150],
+            damping: 0.85,
+            tolerance: 1e-8,
+        };
+        let a = global.keyword_rank(&req, null()).unwrap();
+        let b = sharded.keyword_rank(&req, null()).unwrap();
+        for ((pa, sa), (pb, sb)) in a.scores.iter().zip(b.scores.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+        }
+        assert_eq!(a.lambda.unwrap().to_bits(), b.lambda.unwrap().to_bits());
+        assert_eq!(a.iterations, b.iterations);
+        // Mass is conserved: local scores plus Λ sum to 1.
+        let total: f64 = a.scores.iter().map(|(_, s)| s).sum::<f64>() + a.lambda.unwrap();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        // The keyword teleport shifts mass toward the base pages
+        // relative to the uniform /rank answer.
+        let rank = global
+            .rank(&request((10..60).collect()), null())
+            .unwrap()
+            .result;
+        let score_of =
+            |r: &CachedResult, page: u32| r.scores.iter().find(|(p, _)| *p == page).unwrap().1;
+        assert!(score_of(&a, 12) > score_of(&rank, 12));
+
+        // Validation: empty, unsorted, and out-of-range bases reject.
+        for bad in [vec![], vec![30, 12], vec![12, 999]] {
+            let err = global
+                .keyword_rank(
+                    &KeywordRequest {
+                        base: bad,
+                        ..req.clone()
+                    },
+                    null(),
+                )
+                .unwrap_err();
+            assert!(matches!(err, EngineError::BadRequest(_)));
+        }
+        // Foreign members reject on a shard engine.
+        let err = sharded
+            .keyword_rank(
+                &KeywordRequest {
+                    members: vec![150, 151],
+                    base: vec![150],
+                    damping: 0.85,
+                    tolerance: 1e-8,
+                },
+                null(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(ref m) if m.contains("not on shard")));
+    }
+
+    #[test]
+    fn concurrent_keyword_queries_gather_into_one_solve() {
+        let g = ring(200);
+        let engine = Arc::new(Engine::new_global(
+            Arc::new(g.clone()),
+            EngineConfig {
+                batch: crate::batch::BatchConfig {
+                    gather_window: std::time::Duration::from_millis(200),
+                    max_columns: 2,
+                },
+                ..EngineConfig::default()
+            },
+        ));
+        let members: Vec<u32> = (10..60).collect();
+        let req_of = |base: Vec<u32>| KeywordRequest {
+            members: members.clone(),
+            base,
+            damping: 0.85,
+            tolerance: 1e-8,
+        };
+        // Two concurrent queries with different bases: the gather fills
+        // to max_columns and solves once with two columns.
+        let worker = {
+            let engine = Arc::clone(&engine);
+            let req = req_of(vec![20, 21]);
+            std::thread::spawn(move || engine.keyword_rank(&req, null()))
+        };
+        let a = engine.keyword_rank(&req_of(vec![15]), null()).unwrap();
+        let b = worker.join().unwrap().unwrap();
+        let stats = engine.batch_stats();
+        assert_eq!(stats.keyword_solves, 1, "{stats:?}");
+        assert_eq!(stats.keyword_columns, 2, "{stats:?}");
+        assert_eq!(stats.keyword_coalesced, 1, "{stats:?}");
+        // Each gathered answer is bit-identical to an unbatched solve on
+        // a fresh engine with gathering disabled.
+        let solo = Engine::new_global(
+            Arc::new(g),
+            EngineConfig {
+                batch: crate::batch::BatchConfig {
+                    gather_window: std::time::Duration::ZERO,
+                    max_columns: 1,
+                },
+                ..EngineConfig::default()
+            },
+        );
+        for (batched, base) in [(&a, vec![15]), (&b, vec![20, 21])] {
+            let single = solo.keyword_rank(&req_of(base), null()).unwrap();
+            assert_eq!(single.iterations, batched.iterations);
+            for ((pa, sa), (pb, sb)) in batched.scores.iter().zip(single.scores.iter()) {
+                assert_eq!(pa, pb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_ranks_coalesce_onto_one_solve() {
+        let g = ring(200);
+        let engine = Arc::new(Engine::new_global(Arc::new(g), EngineConfig::default()));
+        let req = request((10..80).collect());
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let req = req.clone();
+                std::thread::spawn(move || engine.rank(&req, null()).unwrap())
+            })
+            .collect();
+        let first = engine.rank(&req, null()).unwrap();
+        let mut outcomes = vec![first];
+        for w in workers {
+            outcomes.push(w.join().unwrap());
+        }
+        // Every response carries identical bits regardless of which
+        // request led, followed, or hit the cache.
+        for o in &outcomes[1..] {
+            assert_eq!(o.result.scores, outcomes[0].result.scores);
+        }
+        let stats = engine.batch_stats();
+        assert_eq!(
+            stats.rank_leaders + stats.rank_coalesced + engine.cache_stats().hits,
+            5,
+            "{stats:?}"
+        );
+        assert!(stats.rank_leaders >= 1);
     }
 
     #[test]

@@ -16,8 +16,11 @@
 
 use approxrank_trace::Observer;
 
+use crate::batch::BatchStats;
 use crate::cache::{CacheStats, CachedResult};
-use crate::engine::{Engine, EngineError, MutationOutcome, RankOutcome, RankRequest, SessionView};
+use crate::engine::{
+    Engine, EngineError, KeywordRequest, MutationOutcome, RankOutcome, RankRequest, SessionView,
+};
 
 /// The engine surface a router dispatches to, location-blind.
 ///
@@ -29,6 +32,23 @@ use crate::engine::{Engine, EngineError, MutationOutcome, RankOutcome, RankReque
 pub trait EngineHandle: Send + Sync {
     /// Ranks a member list (cache-aside on the engine's side).
     fn rank(&self, params: &RankRequest, obs: &dyn Observer) -> Result<RankOutcome, EngineError>;
+
+    /// Ranks a member list under a keyword (base-set) personalization —
+    /// ObjectRank's teleport over ApproxRank's Λ-collapse. Engines batch
+    /// concurrent keyword queries into one multi-vector solve; see
+    /// [`Engine::keyword_rank`].
+    fn keyword_rank(
+        &self,
+        params: &KeywordRequest,
+        obs: &dyn Observer,
+    ) -> Result<CachedResult, EngineError>;
+
+    /// Batch-scheduler counters (best-effort: remote implementations
+    /// report zeros rather than fail a metrics scrape — the remote
+    /// process exports its own `batch_*` counters).
+    fn batch_stats(&self) -> BatchStats {
+        BatchStats::default()
+    }
 
     /// Opens a warm session and returns its id plus the first solution.
     /// The request's algorithm selects the solver (`approxrank` exact or
@@ -82,6 +102,18 @@ pub trait EngineHandle: Send + Sync {
 impl EngineHandle for Engine {
     fn rank(&self, params: &RankRequest, obs: &dyn Observer) -> Result<RankOutcome, EngineError> {
         Engine::rank(self, params, obs)
+    }
+
+    fn keyword_rank(
+        &self,
+        params: &KeywordRequest,
+        obs: &dyn Observer,
+    ) -> Result<CachedResult, EngineError> {
+        Engine::keyword_rank(self, params, obs)
+    }
+
+    fn batch_stats(&self) -> BatchStats {
+        Engine::batch_stats(self)
     }
 
     fn session_create(

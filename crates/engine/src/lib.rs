@@ -33,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub mod algorithm;
+pub mod batch;
 pub mod cache;
 mod engine;
 mod handle;
@@ -42,10 +43,11 @@ mod persist;
 pub use algorithm::Algorithm;
 pub use approxrank_core::Estimate;
 pub use approxrank_delta::{DeltaGraph, DeltaShardView, MutationSummary};
+pub use batch::{BatchConfig, BatchStats};
 pub use cache::{cache_key, estimator_bits, CacheKey, CacheStats, CachedResult, ShardedCache};
 pub use engine::{
-    Engine, EngineConfig, EngineError, EngineSession, EstimatorOptions, MutationOutcome,
-    RankOutcome, RankRequest, SessionSolver, SessionView,
+    Engine, EngineConfig, EngineError, EngineSession, EstimatorOptions, KeywordRequest,
+    MutationOutcome, RankOutcome, RankRequest, SessionSolver, SessionView,
 };
 pub use handle::EngineHandle;
 pub use persist::RecoverySummary;

@@ -13,6 +13,25 @@ use crate::schema::{SchemaEdgeId, SchemaGraph, TypeId};
 /// Identifier of an object in an instance graph.
 pub type ObjectId = u32;
 
+/// The ObjectRank base-set rule over any label sequence: ids (in label
+/// order) whose label contains `keyword`, case-insensitively. This is
+/// the one matching function every keyword surface shares — the typed
+/// [`InstanceGraph::base_set`], the served `POST /keyword` endpoint, and
+/// the `subrank keyword` CLI — so a keyword resolves to the same base
+/// set everywhere by construction.
+pub fn base_set_from_labels<'a>(
+    labels: impl IntoIterator<Item = &'a str>,
+    keyword: &str,
+) -> Vec<ObjectId> {
+    let kw = keyword.to_lowercase();
+    labels
+        .into_iter()
+        .enumerate()
+        .filter(|(_, l)| l.to_lowercase().contains(&kw))
+        .map(|(i, _)| i as ObjectId)
+        .collect()
+}
+
 #[derive(Clone, Debug)]
 struct InstanceEdge {
     from: ObjectId,
@@ -110,13 +129,7 @@ impl InstanceGraph {
     /// Objects whose label contains `keyword` (case-insensitive) — the
     /// ObjectRank *base set*.
     pub fn base_set(&self, keyword: &str) -> Vec<ObjectId> {
-        let kw = keyword.to_lowercase();
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.to_lowercase().contains(&kw))
-            .map(|(i, _)| i as ObjectId)
-            .collect()
+        base_set_from_labels(self.labels.iter().map(String::as_str), keyword)
     }
 
     /// All objects of one type (e.g. every Paper).
@@ -207,6 +220,21 @@ mod tests {
         assert_eq!(inst.base_set("subgraph"), vec![p1]);
         assert_eq!(inst.base_set("PAPER"), vec![p1, p2]);
         assert!(inst.base_set("zebra").is_empty());
+    }
+
+    #[test]
+    fn base_set_from_bare_labels_matches_instance_rule() {
+        let (inst, _, _, _) = tiny();
+        let labels: Vec<&str> = (0..inst.num_objects() as ObjectId)
+            .map(|o| inst.label(o))
+            .collect();
+        for kw in ["subgraph", "PAPER", "alice", "zebra", ""] {
+            assert_eq!(
+                base_set_from_labels(labels.iter().copied(), kw),
+                inst.base_set(kw),
+                "{kw:?}"
+            );
+        }
     }
 
     #[test]

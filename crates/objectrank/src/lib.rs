@@ -45,7 +45,7 @@ pub mod schema;
 pub mod subrank;
 pub mod synth;
 
-pub use instance::InstanceGraph;
+pub use instance::{base_set_from_labels, InstanceGraph};
 pub use rank::ObjectRank;
 pub use schema::{SchemaEdgeId, SchemaGraph, TypeId};
 pub use subrank::rank_type_subgraph;

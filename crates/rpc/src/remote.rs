@@ -21,8 +21,8 @@ use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
 use approxrank_engine::{
-    CacheStats, CachedResult, EngineError, EngineHandle, MutationOutcome, RankOutcome, RankRequest,
-    SessionView,
+    CacheStats, CachedResult, EngineError, EngineHandle, KeywordRequest, MutationOutcome,
+    RankOutcome, RankRequest, SessionView,
 };
 use approxrank_trace::logging::{self, Level};
 use approxrank_trace::Observer;
@@ -147,6 +147,7 @@ impl ReplicaSet {
         &self,
         replica: &Replica,
         trace_id: &str,
+        tenant: &str,
         request: &RpcRequest,
     ) -> std::io::Result<RpcResponse> {
         let mut slot = replica.conn.lock().unwrap_or_else(|e| e.into_inner());
@@ -158,7 +159,7 @@ impl ReplicaSet {
             )?);
         }
         let client = slot.as_mut().expect("connection populated above");
-        match client.call(trace_id, request) {
+        match client.call(trace_id, tenant, request) {
             Ok(resp) => Ok(resp),
             Err(e) => {
                 *slot = None;
@@ -201,7 +202,7 @@ impl ReplicaSet {
         )
         .map_err(|e| format!("connect: {e}"))?;
         match client
-            .call("", &RpcRequest::Ping)
+            .call("", "", &RpcRequest::Ping)
             .map_err(|e| format!("ping: {e}"))?
         {
             RpcResponse::Pong(info) => {
@@ -312,6 +313,7 @@ impl RemoteEngine {
         let set = &self.set;
         set.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let trace_id = logging::current_trace_id().unwrap_or_default();
+        let tenant = logging::current_tenant().unwrap_or_default();
         let budget = set.config.attempts.max(1);
         let mut last_err = String::from("no attempt made");
         for attempt in 0..budget {
@@ -321,7 +323,7 @@ impl RemoteEngine {
                 std::thread::sleep(set.config.backoff_base * factor);
             }
             let replica = &set.replicas[set.pick(pick, attempt)];
-            match set.call_replica(replica, &trace_id, request) {
+            match set.call_replica(replica, &trace_id, &tenant, request) {
                 Ok(response) => {
                     set.mark(replica, true, "call ok");
                     if attempt > 0 {
@@ -383,6 +385,7 @@ impl RemoteEngine {
         let set = &self.set;
         set.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let trace_id = logging::current_trace_id().unwrap_or_default();
+        let tenant = logging::current_tenant().unwrap_or_default();
         let request = RpcRequest::MutateGraph {
             insert: insert.to_vec(),
             delete: delete.to_vec(),
@@ -390,7 +393,7 @@ impl RemoteEngine {
         let mut applied: Option<MutationOutcome> = None;
         let mut last_err = String::from("no replica configured");
         for replica in &set.replicas {
-            match set.call_replica(replica, &trace_id, &request) {
+            match set.call_replica(replica, &trace_id, &tenant, &request) {
                 Ok(RpcResponse::Mutated {
                     epoch,
                     inserted,
@@ -463,6 +466,30 @@ impl EngineHandle for RemoteEngine {
         let _span = obs.span("rpc.rank");
         match self.call(&RpcRequest::Rank(params.clone()), Pick::RoundRobin)? {
             RpcResponse::Ranked { cached, result } => Ok(RankOutcome { result, cached }),
+            RpcResponse::Error(fault) => Err(Self::fault_to_error(fault)),
+            other => Err(EngineError::Unavailable(format!(
+                "shard {}: mismatched response {other:?}",
+                self.set.shard
+            ))),
+        }
+    }
+
+    fn keyword_rank(
+        &self,
+        params: &KeywordRequest,
+        obs: &dyn Observer,
+    ) -> Result<CachedResult, EngineError> {
+        let _span = obs.span("rpc.keyword");
+        // The batch hint: let the far side coalesce this request into a
+        // shared gather window — its scheduler answers singletons
+        // immediately once the window lapses, so the hint never changes
+        // the bytes of the answer.
+        let request = RpcRequest::Keyword {
+            params: params.clone(),
+            coalesce: true,
+        };
+        match self.call(&request, Pick::RoundRobin)? {
+            RpcResponse::KeywordRanked { result } => Ok(result),
             RpcResponse::Error(fault) => Err(Self::fault_to_error(fault)),
             other => Err(EngineError::Unavailable(format!(
                 "shard {}: mismatched response {other:?}",

@@ -248,8 +248,9 @@ fn serve_connection(stream: TcpStream, engine: Arc<Engine>, shutdown: Arc<Atomic
             }
         };
         let response = match wire::decode_request(&payload) {
-            Ok((trace_id, request)) => {
+            Ok((trace_id, tenant, request)) => {
                 let _scope = (!trace_id.is_empty()).then(|| logging::trace_scope(&trace_id));
+                let _tenant = (!tenant.is_empty()).then(|| logging::tenant_scope(&tenant));
                 let start = Instant::now();
                 let response = handle_request(&engine, &request);
                 logging::log_with(
@@ -285,6 +286,7 @@ fn request_name(req: &RpcRequest) -> &'static str {
         RpcRequest::SessionDelete { .. } => "session_delete",
         RpcRequest::Stats => "stats",
         RpcRequest::MutateGraph { .. } => "mutate_graph",
+        RpcRequest::Keyword { .. } => "keyword",
     }
 }
 
@@ -335,6 +337,12 @@ fn handle_request(engine: &Engine, request: &RpcRequest) -> RpcResponse {
         RpcRequest::SessionGet { id } => RpcResponse::Session(engine.session_view(*id)),
         RpcRequest::SessionDelete { id } => {
             RpcResponse::SessionDeleted(engine.session_delete(*id, obs))
+        }
+        RpcRequest::Keyword { params, coalesce } => {
+            match engine.keyword_rank_with(params, *coalesce, obs) {
+                Ok(result) => RpcResponse::KeywordRanked { result },
+                Err(e) => RpcResponse::Error(fault_of(e)),
+            }
         }
         RpcRequest::MutateGraph { insert, delete } => {
             match engine.mutate_graph(insert, delete, obs) {

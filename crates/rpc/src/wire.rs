@@ -11,7 +11,8 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use approxrank_engine::{
-    Algorithm, CacheStats, CachedResult, Estimate, EstimatorOptions, RankRequest, SessionView,
+    Algorithm, CacheStats, CachedResult, Estimate, EstimatorOptions, KeywordRequest, RankRequest,
+    SessionView,
 };
 use approxrank_store::crc32;
 
@@ -25,7 +26,16 @@ use approxrank_store::crc32;
 /// v3: the `MUTATE` opcode (graph edge-mutation batches) and its
 /// `Mutated` response; `STATS` answers carry the cache's stale-eviction
 /// counter and the engine's graph epoch.
-pub const WIRE_VERSION: u8 = 3;
+///
+/// v4: every request preamble carries a tenant string after the trace
+/// id (empty for untenanted callers), and the `KEYWORD` opcode ranks a
+/// subgraph under a keyword base-set personalization. The `KEYWORD`
+/// payload carries a `coalesce` batch hint: `true` lets the serving
+/// engine hold the request for its gather window and answer it from a
+/// shared multi-vector solve; `false` demands an immediate singleton
+/// solve (bit-identical either way — the hint trades latency for
+/// throughput, never accuracy).
+pub const WIRE_VERSION: u8 = 4;
 
 /// Ceiling on a frame's payload length. Anything larger is corruption
 /// (or a peer speaking a different protocol) — no legitimate message
@@ -53,6 +63,8 @@ pub mod opcode {
     pub const STATS: u8 = 7;
     /// Apply an edge-mutation batch to the live graph.
     pub const MUTATE: u8 = 8;
+    /// Rank a member list under a keyword base-set personalization.
+    pub const KEYWORD: u8 = 9;
 }
 
 /// Status bytes, the second byte of every response payload.
@@ -130,6 +142,15 @@ pub enum RpcRequest {
         /// Edges to delete, `(source, target)` pairs.
         delete: Vec<(u32, u32)>,
     },
+    /// Rank a member list under a keyword base-set personalization.
+    Keyword {
+        /// Members, base set, and solver knobs.
+        params: KeywordRequest,
+        /// Batch hint: `true` lets the server coalesce this request
+        /// into a shared multi-vector solve; `false` demands an
+        /// immediate singleton solve. Answers are bit-identical.
+        coalesce: bool,
+    },
 }
 
 /// What a `Ping` answers: enough for a router to verify it dialed the
@@ -192,6 +213,11 @@ pub enum RpcResponse {
     SessionDeleted(bool),
     /// Answer to [`RpcRequest::Stats`].
     Stats(StatsInfo),
+    /// Answer to [`RpcRequest::Keyword`].
+    KeywordRanked {
+        /// The keyword-personalized scores.
+        result: CachedResult,
+    },
     /// Answer to [`RpcRequest::MutateGraph`].
     Mutated {
         /// Graph epoch after the batch.
@@ -344,6 +370,16 @@ fn put_result(out: &mut Vec<u8>, r: &CachedResult) {
         }
         None => put_u8(out, 0),
     }
+}
+
+/// The `KEYWORD` payload tail: everything a [`KeywordRequest`] carries
+/// plus the coalesce batch hint.
+fn put_keyword_request(out: &mut Vec<u8>, r: &KeywordRequest, coalesce: bool) {
+    put_f64(out, r.damping);
+    put_f64(out, r.tolerance);
+    put_ids(out, &r.members);
+    put_ids(out, &r.base);
+    put_bool(out, coalesce);
 }
 
 /// The shared tail of `RANK` and `SESSION_CREATE` payloads: everything a
@@ -507,6 +543,23 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn keyword_request(&mut self, what: &str) -> Result<(KeywordRequest, bool), WireError> {
+        let damping = self.f64(what)?;
+        let tolerance = self.f64(what)?;
+        let members = self.ids(what)?;
+        let base = self.ids(what)?;
+        let coalesce = self.bool(what)?;
+        Ok((
+            KeywordRequest {
+                members,
+                base,
+                damping,
+                tolerance,
+            },
+            coalesce,
+        ))
+    }
+
     fn finish(&self, what: &str) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError(format!(
@@ -522,8 +575,10 @@ impl<'a> Reader<'a> {
 // Request encode/decode
 // ---------------------------------------------------------------------------
 
-/// Encodes a request payload (frame envelope not included).
-pub fn encode_request(trace_id: &str, req: &RpcRequest) -> Vec<u8> {
+/// Encodes a request payload (frame envelope not included). `tenant`
+/// attributes the request to a serving tenant for the far side's logs
+/// and quotas; untenanted callers pass `""`.
+pub fn encode_request(trace_id: &str, tenant: &str, req: &RpcRequest) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     put_u8(&mut out, WIRE_VERSION);
     let op = match req {
@@ -535,9 +590,11 @@ pub fn encode_request(trace_id: &str, req: &RpcRequest) -> Vec<u8> {
         RpcRequest::SessionDelete { .. } => opcode::SESSION_DELETE,
         RpcRequest::Stats => opcode::STATS,
         RpcRequest::MutateGraph { .. } => opcode::MUTATE,
+        RpcRequest::Keyword { .. } => opcode::KEYWORD,
     };
     put_u8(&mut out, op);
     put_str(&mut out, trace_id);
+    put_str(&mut out, tenant);
     match req {
         RpcRequest::Ping | RpcRequest::Stats => {}
         RpcRequest::Rank(r) | RpcRequest::SessionCreate(r) => {
@@ -554,6 +611,9 @@ pub fn encode_request(trace_id: &str, req: &RpcRequest) -> Vec<u8> {
         RpcRequest::MutateGraph { insert, delete } => {
             put_edges(&mut out, insert);
             put_edges(&mut out, delete);
+        }
+        RpcRequest::Keyword { params, coalesce } => {
+            put_keyword_request(&mut out, params, *coalesce);
         }
     }
     out
@@ -572,8 +632,8 @@ fn algorithm_from_code(code: u8) -> Result<Algorithm, WireError> {
     }
 }
 
-/// Decodes a request payload into `(trace_id, request)`.
-pub fn decode_request(payload: &[u8]) -> Result<(String, RpcRequest), WireError> {
+/// Decodes a request payload into `(trace_id, tenant, request)`.
+pub fn decode_request(payload: &[u8]) -> Result<(String, String, RpcRequest), WireError> {
     let mut r = Reader::new(payload);
     let version = r.u8("version")?;
     if version != WIRE_VERSION {
@@ -583,6 +643,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(String, RpcRequest), WireError>
     }
     let op = r.u8("opcode")?;
     let trace_id = r.str("trace_id")?;
+    let tenant = r.str("tenant")?;
     let req = match op {
         opcode::PING => RpcRequest::Ping,
         opcode::STATS => RpcRequest::Stats,
@@ -605,10 +666,14 @@ pub fn decode_request(payload: &[u8]) -> Result<(String, RpcRequest), WireError>
             let delete = r.edges("delete")?;
             RpcRequest::MutateGraph { insert, delete }
         }
+        opcode::KEYWORD => {
+            let (params, coalesce) = r.keyword_request("keyword")?;
+            RpcRequest::Keyword { params, coalesce }
+        }
         other => return Err(WireError(format!("unknown opcode {other}"))),
     };
     r.finish("request")?;
-    Ok((trace_id, req))
+    Ok((trace_id, tenant, req))
 }
 
 // ---------------------------------------------------------------------------
@@ -706,6 +771,10 @@ pub fn encode_response(resp: &RpcResponse) -> Vec<u8> {
                     put_u64(&mut out, info.session_count);
                     put_u64(&mut out, info.wal_errors);
                     put_u64(&mut out, info.graph_epoch);
+                }
+                RpcResponse::KeywordRanked { result } => {
+                    put_u8(&mut out, opcode::KEYWORD);
+                    put_result(&mut out, result);
                 }
                 RpcResponse::Mutated {
                     epoch,
@@ -817,6 +886,9 @@ pub fn decode_response(payload: &[u8]) -> Result<RpcResponse, WireError> {
                     wal_errors: r.u64("wal errors")?,
                     graph_epoch: r.u64("graph epoch")?,
                 }),
+                opcode::KEYWORD => RpcResponse::KeywordRanked {
+                    result: r.result("keyword result")?,
+                },
                 opcode::MUTATE => RpcResponse::Mutated {
                     epoch: r.u64("epoch")?,
                     inserted: r.u64("inserted")?,
@@ -903,6 +975,24 @@ mod tests {
                 insert: Vec::new(),
                 delete: Vec::new(),
             },
+            RpcRequest::Keyword {
+                params: KeywordRequest {
+                    members: vec![1, 5, 9],
+                    base: vec![5, 40],
+                    damping: 0.85,
+                    tolerance: 1e-10,
+                },
+                coalesce: true,
+            },
+            RpcRequest::Keyword {
+                params: KeywordRequest {
+                    members: vec![2],
+                    base: vec![2],
+                    damping: 0.9,
+                    tolerance: 1e-8,
+                },
+                coalesce: false,
+            },
         ]
     }
 
@@ -956,6 +1046,9 @@ mod tests {
                 solution: None,
             })),
             RpcResponse::SessionDeleted(true),
+            RpcResponse::KeywordRanked {
+                result: sample_result(),
+            },
             RpcResponse::Stats(StatsInfo {
                 cache: CacheStats {
                     hits: 1,
@@ -1015,18 +1108,20 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         for req in all_requests() {
-            let payload = encode_request("abc123", &req);
-            let (trace_id, back) = decode_request(&payload).unwrap();
+            let payload = encode_request("abc123", "acme", &req);
+            let (trace_id, tenant, back) = decode_request(&payload).unwrap();
             assert_eq!(trace_id, "abc123");
+            assert_eq!(tenant, "acme");
             assert_eq!(back, req);
         }
     }
 
     #[test]
-    fn empty_trace_id_round_trips() {
-        let payload = encode_request("", &RpcRequest::Ping);
-        let (trace_id, req) = decode_request(&payload).unwrap();
+    fn empty_trace_id_and_tenant_round_trip() {
+        let payload = encode_request("", "", &RpcRequest::Ping);
+        let (trace_id, tenant, req) = decode_request(&payload).unwrap();
         assert_eq!(trace_id, "");
+        assert_eq!(tenant, "");
         assert_eq!(req, RpcRequest::Ping);
     }
 
@@ -1046,7 +1141,7 @@ mod tests {
 
     #[test]
     fn frames_round_trip() {
-        let payload = encode_request("t", &RpcRequest::Ping);
+        let payload = encode_request("t", "", &RpcRequest::Ping);
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         assert_eq!(buf.len(), FRAME_HEADER + payload.len());
@@ -1075,7 +1170,7 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected_both_directions() {
-        let mut payload = encode_request("t", &RpcRequest::Ping);
+        let mut payload = encode_request("t", "", &RpcRequest::Ping);
         payload[0] = WIRE_VERSION + 1;
         assert!(decode_request(&payload).is_err());
         let mut payload = encode_response(&RpcResponse::SessionDeleted(false));
@@ -1085,7 +1180,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut payload = encode_request("t", &RpcRequest::Ping);
+        let mut payload = encode_request("t", "", &RpcRequest::Ping);
         payload.push(0);
         assert!(decode_request(&payload).is_err());
         let mut payload = encode_response(&RpcResponse::SessionDeleted(true));
@@ -1112,7 +1207,7 @@ mod tests {
     #[test]
     fn every_request_prefix_fails_cleanly() {
         for req in all_requests() {
-            let payload = encode_request("abc123", &req);
+            let payload = encode_request("abc123", "acme", &req);
             for cut in 0..payload.len() {
                 assert!(
                     decode_request(&payload[..cut]).is_err(),

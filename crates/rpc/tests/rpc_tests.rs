@@ -121,7 +121,7 @@ fn raw_client_round_trips_every_op() {
             .expect("connect");
 
     // Ping reports the engine's identity.
-    let RpcResponse::Pong(info) = client.call("", &RpcRequest::Ping).unwrap() else {
+    let RpcResponse::Pong(info) = client.call("", "", &RpcRequest::Ping).unwrap() else {
         panic!("expected Pong");
     };
     assert_eq!(info.shard_id, None);
@@ -131,7 +131,7 @@ fn raw_client_round_trips_every_op() {
     let request = rank_request(&[3, 4, 5, 6]);
     let direct = server.server.engine().rank(&request, null()).unwrap();
     let RpcResponse::Ranked { result, .. } =
-        client.call("t-1", &RpcRequest::Rank(request)).unwrap()
+        client.call("t-1", "", &RpcRequest::Rank(request)).unwrap()
     else {
         panic!("expected Ranked");
     };
@@ -141,6 +141,7 @@ fn raw_client_round_trips_every_op() {
     let RpcResponse::SessionCreated { id, .. } = client
         .call(
             "t-2",
+            "",
             &RpcRequest::SessionCreate(rank_request(&[10, 11, 12])),
         )
         .unwrap()
@@ -150,6 +151,7 @@ fn raw_client_round_trips_every_op() {
     let RpcResponse::SessionUpdated { members, .. } = client
         .call(
             "t-3",
+            "",
             &RpcRequest::SessionUpdate {
                 id,
                 add: vec![13],
@@ -161,21 +163,22 @@ fn raw_client_round_trips_every_op() {
         panic!("expected SessionUpdated");
     };
     assert_eq!(members, vec![11, 12, 13]);
-    let RpcResponse::Session(Some(view)) =
-        client.call("t-4", &RpcRequest::SessionGet { id }).unwrap()
+    let RpcResponse::Session(Some(view)) = client
+        .call("t-4", "", &RpcRequest::SessionGet { id })
+        .unwrap()
     else {
         panic!("expected a session view");
     };
     assert_eq!(view.members, vec![11, 12, 13]);
     let RpcResponse::SessionDeleted(true) = client
-        .call("t-5", &RpcRequest::SessionDelete { id })
+        .call("t-5", "", &RpcRequest::SessionDelete { id })
         .unwrap()
     else {
         panic!("expected deletion");
     };
 
     // Stats reflect the traffic above.
-    let RpcResponse::Stats(stats) = client.call("", &RpcRequest::Stats).unwrap() else {
+    let RpcResponse::Stats(stats) = client.call("", "", &RpcRequest::Stats).unwrap() else {
         panic!("expected Stats");
     };
     assert_eq!(stats.session_count, 0);
@@ -297,7 +300,7 @@ fn shard_engine_sessions_ride_their_stride_over_rpc() {
     let mut client =
         RpcClient::connect(&server.addr, Duration::from_secs(1), Duration::from_secs(5))
             .expect("connect");
-    let RpcResponse::Pong(info) = client.call("", &RpcRequest::Ping).unwrap() else {
+    let RpcResponse::Pong(info) = client.call("", "", &RpcRequest::Ping).unwrap() else {
         panic!("expected Pong");
     };
     assert_eq!(info.shard_id, Some(1));
@@ -305,6 +308,7 @@ fn shard_engine_sessions_ride_their_stride_over_rpc() {
     // Shard 1 of 2 owns the upper half of the 120-node range split.
     let RpcResponse::SessionCreated { id, .. } = client
         .call(
+            "",
             "",
             &RpcRequest::SessionCreate(rank_request(&[100, 101, 102])),
         )
@@ -317,7 +321,7 @@ fn shard_engine_sessions_ride_their_stride_over_rpc() {
 
     // A member resident on the *other* shard is a definitive 400.
     let RpcResponse::Error(fault) = client
-        .call("", &RpcRequest::SessionCreate(rank_request(&[1, 2])))
+        .call("", "", &RpcRequest::SessionCreate(rank_request(&[1, 2])))
         .unwrap()
     else {
         panic!("expected an error");
@@ -341,7 +345,7 @@ fn torn_frames_and_garbage_never_desync_the_server() {
         let mut buf = Vec::new();
         approxrank_rpc::wire::write_frame(
             &mut buf,
-            &approxrank_rpc::wire::encode_request("trace", &RpcRequest::Ping),
+            &approxrank_rpc::wire::encode_request("trace", "", &RpcRequest::Ping),
         )
         .unwrap();
         buf
@@ -365,7 +369,7 @@ fn torn_frames_and_garbage_never_desync_the_server() {
     let mut client =
         RpcClient::connect(&server.addr, Duration::from_secs(1), Duration::from_secs(5))
             .expect("connect");
-    let RpcResponse::Pong(_) = client.call("", &RpcRequest::Ping).unwrap() else {
+    let RpcResponse::Pong(_) = client.call("", "", &RpcRequest::Ping).unwrap() else {
         panic!("expected Pong");
     };
     server.stop();

@@ -22,6 +22,8 @@ pub struct ClientResponse {
     /// The `X-Request-Id` the server echoed, if any — the trace id to
     /// quote when digging into this exchange server-side.
     pub request_id: Option<String>,
+    /// The `Retry-After` seconds on a 429 load-shed answer, if any.
+    pub retry_after: Option<u64>,
 }
 
 impl ClientResponse {
@@ -41,6 +43,7 @@ pub struct Client {
     addr: String,
     stream: Option<BufReader<TcpStream>>,
     timeout: Duration,
+    tenant: Option<String>,
 }
 
 impl Client {
@@ -52,12 +55,20 @@ impl Client {
             addr: addr.to_string(),
             stream: None,
             timeout: Duration::from_secs(10),
+            tenant: None,
         }
     }
 
     /// Overrides the per-exchange I/O timeout (default 10 s).
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sends an `X-Tenant` header on every request, so the server's
+    /// admission control attributes this client's traffic.
+    pub fn with_tenant(mut self, tenant: &str) -> Client {
+        self.tenant = Some(tenant.to_string());
         self
     }
 
@@ -139,14 +150,19 @@ impl Client {
         body: Option<&str>,
         request_id: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
-        let reader = self.connection()?;
         let payload = body.unwrap_or("");
         let id_header = match request_id {
             Some(id) => format!("X-Request-Id: {id}\r\n"),
             None => String::new(),
         };
+        let tenant_header = match &self.tenant {
+            Some(tenant) => format!("X-Tenant: {tenant}\r\n"),
+            None => String::new(),
+        };
+        let reader = self.connection()?;
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: approxrank\r\n{id_header}Content-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: approxrank\r\n{id_header}{tenant_header}\
+             Content-Length: {}\r\n\r\n",
             payload.len()
         );
         {
@@ -196,6 +212,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<ClientResponse> 
     let mut content_length = 0usize;
     let mut closed = false;
     let mut request_id = None;
+    let mut retry_after = None;
     loop {
         let line = read_line(reader)?;
         if line.is_empty() {
@@ -214,6 +231,8 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<ClientResponse> 
             closed = true;
         } else if name == "x-request-id" {
             request_id = Some(value.to_string());
+        } else if name == "retry-after" {
+            retry_after = value.parse().ok();
         }
     }
     let mut body = vec![0u8; content_length];
@@ -223,6 +242,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<ClientResponse> 
         body,
         closed,
         request_id,
+        retry_after,
     })
 }
 
@@ -246,6 +266,17 @@ mod tests {
         let raw = "HTTP/1.1 200 OK\r\nX-Request-Id: cafef00d\r\nContent-Length: 2\r\n\r\n{}";
         let r = read_response(&mut BufReader::new(Cursor::new(raw))).unwrap();
         assert_eq!(r.request_id.as_deref(), Some("cafef00d"));
+    }
+
+    #[test]
+    fn captures_retry_after_header() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 3\r\nContent-Length: 0\r\n\r\n";
+        let r = read_response(&mut BufReader::new(Cursor::new(raw))).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.retry_after, Some(3));
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n";
+        let r = read_response(&mut BufReader::new(Cursor::new(raw))).unwrap();
+        assert_eq!(r.retry_after, None);
     }
 
     #[test]

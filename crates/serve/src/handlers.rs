@@ -12,13 +12,16 @@
 
 use std::sync::atomic::Ordering::Relaxed;
 
-use approxrank_engine::{Algorithm, CachedResult, EngineError, EstimatorOptions, RankRequest};
+use approxrank_engine::{
+    Algorithm, CachedResult, EngineError, EstimatorOptions, KeywordRequest, RankRequest,
+};
+use approxrank_objectrank::base_set_from_labels;
 use approxrank_trace::Observer;
 
 use crate::http::{Request, Response};
 use crate::json::{obj, parse, Json};
 use crate::metrics::Endpoint;
-use crate::state::AppState;
+use crate::state::{AppState, KeywordKey};
 
 /// Routes a request to its handler and returns the response together
 /// with the endpoint label for metrics. `obs` is the request-scoped
@@ -34,6 +37,7 @@ pub fn route(state: &AppState, request: &Request, obs: &dyn Observer) -> (Endpoi
         ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
         ("GET", "/debug/requests") => (Endpoint::DebugRequests, debug_requests(state)),
         ("POST", "/rank") => (Endpoint::Rank, rank(state, request, obs)),
+        ("POST", "/keyword") => (Endpoint::Keyword, keyword(state, request, obs)),
         ("POST", "/graph/edges") => (Endpoint::GraphEdges, graph_edges(state, request, obs)),
         ("POST", "/session") => (Endpoint::SessionCreate, session_create(state, request, obs)),
         _ => {
@@ -46,6 +50,7 @@ pub fn route(state: &AppState, request: &Request, obs: &dyn Observer) -> (Endpoi
                     | "/stats"
                     | "/metrics"
                     | "/rank"
+                    | "/keyword"
                     | "/graph/edges"
                     | "/session"
                     | "/debug/requests"
@@ -256,6 +261,45 @@ fn metrics(state: &AppState) -> Response {
              rpc_unavailable_total {unavailable}\nrpc_health_probes_total {probes}\n",
         ));
     }
+    // Batch-scheduler counters: how much coalescing the engines actually
+    // did. Occupancy is columns per multi-vector solve — 1.0 means no
+    // batching benefit, `max_columns` means full windows.
+    let batch = state.router.batch_stats();
+    let occupancy = if batch.keyword_solves > 0 {
+        batch.keyword_columns as f64 / batch.keyword_solves as f64
+    } else {
+        0.0
+    };
+    extra.push_str(&format!(
+        "batch_rank_leaders_total {}\nbatch_rank_coalesced_total {}\n\
+         batch_keyword_solves_total {}\nbatch_keyword_columns_total {}\n\
+         batch_keyword_coalesced_total {}\nbatch_keyword_occupancy {occupancy:?}\n",
+        batch.rank_leaders,
+        batch.rank_coalesced,
+        batch.keyword_solves,
+        batch.keyword_columns,
+        batch.keyword_coalesced,
+    ));
+    let (kw_hits, kw_misses, kw_entries) = state.keyword_cache.stats();
+    extra.push_str(&format!(
+        "keyword_cache_hits_total {kw_hits}\nkeyword_cache_misses_total {kw_misses}\n\
+         keyword_cache_entries {kw_entries}\n"
+    ));
+    if let Some(governor) = &state.tenants {
+        for row in governor.snapshot() {
+            extra.push_str(&format!(
+                "tenant_requests_total{{tenant=\"{t}\"}} {}\n\
+                 tenant_shed_total{{tenant=\"{t}\"}} {}\n\
+                 tenant_in_flight{{tenant=\"{t}\"}} {}\n\
+                 tenant_queue_depth{{tenant=\"{t}\"}} {}\n",
+                row.requests,
+                row.shed,
+                row.in_flight,
+                row.queue_depth,
+                t = row.tenant,
+            ));
+        }
+    }
     if let Some(pool) = state.pool_stats() {
         extra.push_str(&format!(
             "pool_threads {}\npool_jobs {}\npool_tasks {}\npool_imbalance {:?}\n",
@@ -457,6 +501,181 @@ fn rank(state: &AppState, request: &Request, obs: &dyn Observer) -> Response {
             routed.outcome.cached,
             routed.shards,
             vec![],
+        )
+        .emit(),
+    )
+}
+
+/// What `POST /keyword` parsed out of its body: the membership, the
+/// resolved base set, and the keyword text (when the base came from one).
+struct KeywordParams {
+    members: Vec<u32>,
+    base: Vec<u32>,
+    keyword: Option<String>,
+    damping: f64,
+    tolerance: f64,
+    top: usize,
+}
+
+/// Resolves the request's personalization: an explicit `"base"` id list,
+/// XOR a `"keyword"` matched against the page labels (the configured
+/// labels file, or generated `page-<i>` labels without one) under the
+/// ObjectRank rule shared with the `objectrank` crate. The error carries
+/// its HTTP status: a keyword matching nothing is a 404, everything else
+/// a 400.
+fn resolve_base(
+    state: &AppState,
+    body: &Json,
+) -> Result<(Vec<u32>, Option<String>), (u16, String)> {
+    let n = state.router.summary().nodes;
+    match (body.get("keyword"), body.get("base")) {
+        (Some(_), Some(_)) => Err((
+            400,
+            "give either \"keyword\" or \"base\", not both".to_string(),
+        )),
+        (None, None) => Err((400, "missing \"keyword\" or \"base\"".to_string())),
+        (None, Some(value)) => {
+            let items = value
+                .as_array()
+                .ok_or((400, "\"base\" must be an array".to_string()))?;
+            if items.is_empty() {
+                return Err((400, "\"base\" must be non-empty".to_string()));
+            }
+            let mut base = Vec::with_capacity(items.len());
+            for item in items {
+                let id = item
+                    .as_u64()
+                    .ok_or_else(|| (400, format!("bad base page {}", item.emit())))?;
+                if id as usize >= n {
+                    return Err((
+                        400,
+                        format!("base page {id} out of range (graph has {n} nodes)"),
+                    ));
+                }
+                base.push(id as u32);
+            }
+            base.sort_unstable();
+            base.dedup();
+            Ok((base, None))
+        }
+        (Some(value), None) => {
+            let kw = value
+                .as_str()
+                .ok_or((400, "\"keyword\" must be a string".to_string()))?;
+            if kw.is_empty() {
+                return Err((400, "\"keyword\" must be non-empty".to_string()));
+            }
+            let base = match &state.labels {
+                Some(labels) => base_set_from_labels(labels.iter().map(String::as_str), kw),
+                None => {
+                    let generated: Vec<String> = (0..n).map(|i| format!("page-{i}")).collect();
+                    base_set_from_labels(generated.iter().map(String::as_str), kw)
+                }
+            };
+            if base.is_empty() {
+                return Err((404, format!("keyword {kw:?} matches no page")));
+            }
+            Ok((base, Some(kw.to_string())))
+        }
+    }
+}
+
+fn parse_keyword_params(state: &AppState, raw: &[u8]) -> Result<KeywordParams, (u16, String)> {
+    let text = std::str::from_utf8(raw).map_err(|_| (400, "body is not utf-8".to_string()))?;
+    if text.trim().is_empty() {
+        return Err((400, "empty body; expected a JSON object".to_string()));
+    }
+    let body = parse(text).map_err(|e| (400, e))?;
+    let members = parse_members(state, &body).map_err(|e| (400, e))?;
+    let (base, keyword) = resolve_base(state, &body)?;
+    let damping = match body.get("damping") {
+        None => 0.85,
+        Some(v) => v
+            .as_f64()
+            .ok_or((400, "\"damping\" must be a number".to_string()))?,
+    };
+    if !(damping > 0.0 && damping < 1.0) {
+        return Err((400, format!("damping must be in (0,1), got {damping}")));
+    }
+    let tolerance = match body.get("tolerance") {
+        None => 1e-5,
+        Some(v) => v
+            .as_f64()
+            .ok_or((400, "\"tolerance\" must be a number".to_string()))?,
+    };
+    if !(tolerance > 0.0 && tolerance.is_finite()) {
+        return Err((400, format!("tolerance must be positive, got {tolerance}")));
+    }
+    let top = match body.get("top") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or((400, "\"top\" must be a non-negative integer".to_string()))?
+            as usize,
+    };
+    Ok(KeywordParams {
+        members,
+        base,
+        keyword,
+        damping,
+        tolerance,
+        top,
+    })
+}
+
+/// `POST /keyword`: ObjectRank keyword ranking of a membership — the
+/// random surfer teleports to the keyword's base set instead of
+/// uniformly, and the subgraph is ranked through the same Λ-collapse as
+/// `/rank`. Answers are cached per (membership, base, damping,
+/// tolerance, graph epoch); concurrent distinct queries are coalesced
+/// into multi-vector solves by the engines' batch scheduler.
+fn keyword(state: &AppState, request: &Request, obs: &dyn Observer) -> Response {
+    let params = match parse_keyword_params(state, &request.body) {
+        Ok(p) => p,
+        Err((status, e)) => return Response::error(status, &e),
+    };
+    let _span = obs.span("http.keyword");
+    let mut extra = vec![("base_pages", Json::Num(params.base.len() as f64))];
+    if let Some(kw) = &params.keyword {
+        extra.push(("keyword", Json::Str(kw.clone())));
+    }
+    let key = KeywordKey {
+        members: params.members.clone(),
+        base: params.base.clone(),
+        damping_bits: params.damping.to_bits(),
+        tolerance_bits: params.tolerance.to_bits(),
+        epoch: state.router.graph_epoch(),
+    };
+    if let Some((result, shards)) = state.keyword_cache.get(&key) {
+        return Response::json(
+            200,
+            result_body("objectrank", &result, params.top, true, shards, extra).emit(),
+        );
+    }
+    let routed = match state.router.keyword(
+        &KeywordRequest {
+            members: params.members,
+            base: params.base,
+            damping: params.damping,
+            tolerance: params.tolerance,
+        },
+        obs,
+    ) {
+        Ok(r) => r,
+        Err(e) => return engine_error(e),
+    };
+    state
+        .keyword_cache
+        .insert(key, (routed.outcome.result.clone(), routed.shards));
+    Response::json(
+        200,
+        result_body(
+            "objectrank",
+            &routed.outcome.result,
+            params.top,
+            false,
+            routed.shards,
+            extra,
         )
         .emit(),
     )
@@ -1303,6 +1522,185 @@ mod tests {
             .collect();
         rows.sort_by_key(|&(p, _)| p);
         rows
+    }
+
+    #[test]
+    fn keyword_matches_explicit_base_and_caches() {
+        let state = fig4_state();
+        // No labels file: keywords match the generated page-<i> labels.
+        let (ep, by_kw) = route(
+            &state,
+            &post(
+                "/keyword",
+                r#"{"members":[0,1,2,3],"keyword":"page-5","tolerance":1e-8}"#,
+            ),
+        );
+        assert_eq!(ep, Endpoint::Keyword);
+        assert_eq!(
+            by_kw.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&by_kw.body)
+        );
+        let v1 = body_json(&by_kw);
+        assert_eq!(v1.get("algorithm").unwrap().as_str(), Some("objectrank"));
+        assert_eq!(v1.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(v1.get("keyword").unwrap().as_str(), Some("page-5"));
+        assert_eq!(v1.get("base_pages").unwrap().as_u64(), Some(1));
+
+        // The same query with an explicit base resolves to the same cache
+        // key: a hit, identical scores.
+        let (_, by_base) = route(
+            &state,
+            &post(
+                "/keyword",
+                r#"{"members":[0,1,2,3],"base":[5],"tolerance":1e-8}"#,
+            ),
+        );
+        let v2 = body_json(&by_base);
+        assert_eq!(v2.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v1.get("scores"), v2.get("scores"));
+        assert_eq!(state.keyword_cache.stats().0, 1, "one keyword-cache hit");
+
+        // Base-set teleportation is a different walk than uniform /rank.
+        let (_, uniform) = route(
+            &state,
+            &post("/rank", r#"{"members":[0,1,2,3],"tolerance":1e-8}"#),
+        );
+        assert_ne!(v1.get("scores"), body_json(&uniform).get("scores"));
+
+        // The batch and keyword-cache counters surface on /metrics.
+        let (_, m) = route(&state, &get("/metrics"));
+        let text = String::from_utf8(m.body).unwrap();
+        assert!(text.contains("batch_keyword_solves_total 1"), "{text}");
+        assert!(text.contains("keyword_cache_hits_total 1"), "{text}");
+        assert!(text.contains("keyword_cache_misses_total 1"), "{text}");
+    }
+
+    #[test]
+    fn keyword_validates_input() {
+        let state = fig4_state();
+        for (body, status, needle) in [
+            (r#"{"members":[0,1]}"#, 400, "missing"),
+            (
+                r#"{"members":[0,1],"keyword":"x","base":[1]}"#,
+                400,
+                "not both",
+            ),
+            (r#"{"members":[0,1],"base":[]}"#, 400, "non-empty"),
+            (r#"{"members":[0,1],"base":[99]}"#, 400, "out of range"),
+            (r#"{"members":[0,1],"base":"x"}"#, 400, "array"),
+            (r#"{"members":[0,1],"keyword":""}"#, 400, "non-empty"),
+            (r#"{"members":[0,1],"keyword":7}"#, 400, "string"),
+            (
+                r#"{"members":[0,1],"keyword":"zebra"}"#,
+                404,
+                "matches no page",
+            ),
+            (
+                r#"{"members":[0,1],"keyword":"page-1","damping":2}"#,
+                400,
+                "damping",
+            ),
+            (
+                r#"{"members":[0,1],"keyword":"page-1","tolerance":-1}"#,
+                400,
+                "tolerance",
+            ),
+        ] {
+            let (_, r) = route(&state, &post("/keyword", body));
+            assert_eq!(r.status, status, "{body}");
+            let text = String::from_utf8_lossy(&r.body).to_string();
+            assert!(text.contains(needle), "{body} -> {text}");
+        }
+    }
+
+    #[test]
+    fn keyword_resolves_against_a_labels_file() {
+        let path = std::env::temp_dir().join(format!(
+            "approxrank-serve-labels-{}.txt",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "alpha\nbeta\ngamma subgraph\ndelta\nepsilon\nzeta\nSubgraph eta\n",
+        )
+        .unwrap();
+        let state = AppState::new(
+            fig4_graph(),
+            ServeConfig {
+                labels: Some(path.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let (_, r) = route(
+            &state,
+            &post("/keyword", r#"{"members":[0,1,2,3],"keyword":"subgraph"}"#),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        // Lines 2 and 6 match, case-insensitively.
+        assert_eq!(body_json(&r).get("base_pages").unwrap().as_u64(), Some(2));
+
+        // A labels file that does not cover the graph refuses to boot.
+        std::fs::write(&path, "one\ntwo\n").unwrap();
+        let err = AppState::new(
+            fig4_graph(),
+            ServeConfig {
+                labels: Some(path.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .err()
+        .expect("short labels file must refuse to boot");
+        assert!(err.contains("2 lines"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_keyword_routes_like_rank() {
+        let single = AppState::new(
+            {
+                let n = 200u32;
+                let edges: Vec<(u32, u32)> = (0..n)
+                    .flat_map(|i| [(i, (i + 1) % n), (i, (i * 13 + 7) % n)])
+                    .collect();
+                DiGraph::from_edges(n as usize, &edges)
+            },
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let sharded = sharded_state();
+        // Shard-resident: full response bodies byte-identical.
+        let req = post(
+            "/keyword",
+            r#"{"members":[10,11,12],"base":[0,150],"tolerance":1e-8}"#,
+        );
+        let (_, a) = route(&single, &req);
+        let (_, b) = route(&sharded, &req);
+        assert_eq!(a.status, 200, "{:?}", String::from_utf8_lossy(&a.body));
+        assert_eq!(a.body, b.body);
+        // Cross-shard: merged mixture over both shards.
+        let (_, r) = route(
+            &sharded,
+            &post(
+                "/keyword",
+                r#"{"members":[98,99,100,101],"base":[0,150],"tolerance":1e-8}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        assert_eq!(v.get("shards").unwrap().as_u64(), Some(2));
+        let mass: f64 = v
+            .get("scores")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("score").unwrap().as_f64().unwrap())
+            .sum::<f64>()
+            + v.get("lambda").unwrap().as_f64().unwrap();
+        assert!((mass - 1.0).abs() < 1e-9, "mixture mass {mass}");
     }
 
     #[test]

@@ -179,6 +179,10 @@ pub struct Response {
     /// header when set (the dispatcher fills this in; handlers leave it
     /// `None` so success bodies stay byte-identical).
     pub request_id: Option<String>,
+    /// Seconds to advertise in a `Retry-After` header — set on 429
+    /// load-shed answers so a well-behaved client backs off instead of
+    /// hammering an exhausted tenant quota.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -190,6 +194,7 @@ impl Response {
             body: body.into_bytes(),
             close: false,
             request_id: None,
+            retry_after: None,
         }
     }
 
@@ -201,6 +206,7 @@ impl Response {
             body: body.into_bytes(),
             close: false,
             request_id: None,
+            retry_after: None,
         }
     }
 
@@ -225,6 +231,7 @@ pub fn status_text(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -237,13 +244,18 @@ pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io:
         Some(id) => format!("X-Request-Id: {id}\r\n"),
         None => String::new(),
     };
+    let retry_after = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len(),
         request_id,
+        retry_after,
         if response.close {
             "close"
         } else {
@@ -352,6 +364,24 @@ mod tests {
         write_response(&mut out, &Response::json(200, "{}".into())).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(!text.contains("X-Request-Id"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_header_written_when_set() {
+        let mut r = Response::error(429, "tenant over quota");
+        r.retry_after = Some(1);
+        let mut out = Vec::new();
+        write_response(&mut out, &r).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into())).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | Route | What it does |
 //! |---|---|
 //! | `POST /rank` | Rank a member list (`approxrank`, `idealrank`, `local`, `lpr2`, `sc`); answers are cached and bit-identical to the offline CLI |
+//! | `POST /keyword` | ObjectRank keyword ranking: teleport to a base set (`"keyword"` resolved against page labels, or explicit `"base"` ids); answers cached per (membership, base, epoch), concurrent queries coalesced into multi-vector solves |
 //! | `POST /session` | Open a long-lived [`approxrank_core::SubgraphSession`] (warm-start re-solves) |
 //! | `POST /session/{id}/update` | Add/remove pages and warm-start re-solve; invalidates cache entries for the touched memberships |
 //! | `GET /session/{id}` / `DELETE /session/{id}` | Inspect / close a session |
@@ -57,6 +58,19 @@
 //! retry budget surfaces as a 503 carrying the request's trace id, and
 //! transport telemetry appears as `rpc_*` counters on `/metrics`.
 //!
+//! # Multi-tenancy
+//!
+//! Every request names a tenant via the `X-Tenant` header (`"default"`
+//! without one); the tenant is stamped onto log lines and remote shard
+//! calls. With `--tenant-quota N` a [`tenant::TenantGovernor`] admits at
+//! most `N` concurrent solving (`POST`) requests per tenant: over-quota
+//! requests queue (bounded by `--tenant-queue`, waiting at most the
+//! request timeout) and are shed with `429 Too Many Requests` plus a
+//! `Retry-After` header once the queue overflows or the wait expires.
+//! One tenant saturating its quota only ever queues its *own* traffic.
+//! Per-tenant counters (`tenant_requests_total`, `tenant_shed_total`,
+//! `tenant_in_flight`, `tenant_queue_depth`) appear on `/metrics`.
+//!
 //! # Consistency
 //!
 //! `/rank` responses are *bit-identical* to `subrank rank` for the same
@@ -97,9 +111,11 @@ pub mod persist;
 pub mod router;
 pub mod server;
 pub mod state;
+pub mod tenant;
 
 pub use approxrank_store::FsyncPolicy;
 pub use client::{Client, ClientResponse};
 pub use router::{GraphSummary, RoutedRank, Router};
 pub use server::{on_shutdown_signal, shutdown_on_signal, ServeSummary, Server, ServerHandle};
-pub use state::{AppState, ServeConfig};
+pub use state::{AppState, KeywordCache, KeywordKey, ServeConfig};
+pub use tenant::{Admission, TenantGovernor, TenantPermit, TenantSnapshot};

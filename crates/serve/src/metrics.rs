@@ -26,6 +26,8 @@ pub enum Endpoint {
     Metrics,
     /// `POST /rank`
     Rank,
+    /// `POST /keyword`
+    Keyword,
     /// `POST /graph/edges`
     GraphEdges,
     /// `POST /session`
@@ -42,11 +44,12 @@ pub enum Endpoint {
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 11] = [
+const ENDPOINTS: [Endpoint; 12] = [
     Endpoint::Healthz,
     Endpoint::Stats,
     Endpoint::Metrics,
     Endpoint::Rank,
+    Endpoint::Keyword,
     Endpoint::GraphEdges,
     Endpoint::SessionCreate,
     Endpoint::SessionUpdate,
@@ -68,6 +71,7 @@ impl Endpoint {
             Endpoint::Stats => "stats",
             Endpoint::Metrics => "metrics",
             Endpoint::Rank => "rank",
+            Endpoint::Keyword => "keyword",
             Endpoint::GraphEdges => "graph_edges",
             Endpoint::SessionCreate => "session_create",
             Endpoint::SessionUpdate => "session_update",

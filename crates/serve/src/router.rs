@@ -42,8 +42,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use approxrank_engine::{
-    Algorithm, CacheStats, CachedResult, DeltaGraph, DeltaShardView, Engine, EngineConfig,
-    EngineError, EngineHandle, Estimate, MutationOutcome, RankOutcome, RankRequest, SessionView,
+    Algorithm, BatchStats, CacheStats, CachedResult, DeltaGraph, DeltaShardView, Engine,
+    EngineConfig, EngineError, EngineHandle, Estimate, KeywordRequest, MutationOutcome,
+    RankOutcome, RankRequest, SessionView,
 };
 use approxrank_exec::Executor;
 use approxrank_graph::{assign_shards, DiGraph, PartitionStrategy};
@@ -482,6 +483,109 @@ impl Router {
         })
     }
 
+    /// Batch-scheduler counters summed across every engine (remote
+    /// handles report zeros — each shard server exports its own).
+    pub fn batch_stats(&self) -> BatchStats {
+        let mut total = BatchStats::default();
+        for engine in &self.engines {
+            let s = engine.batch_stats();
+            total.rank_leaders += s.rank_leaders;
+            total.rank_coalesced += s.rank_coalesced;
+            total.keyword_solves += s.keyword_solves;
+            total.keyword_columns += s.keyword_columns;
+            total.keyword_coalesced += s.keyword_coalesced;
+        }
+        total
+    }
+
+    /// Ranks a member list under a keyword (base-set) personalization,
+    /// with the same routing shape as [`Router::rank`]: shard-resident
+    /// memberships pass straight through (bit-identical to single-shard),
+    /// cross-shard memberships fan out one sub-solve per touched shard —
+    /// each solving its resident members against the **full** base set,
+    /// which stays global exactly like the Λ aggregates — and merge as a
+    /// uniform mixture. The engines batch concurrent keyword queries into
+    /// multi-vector solves underneath; the router never sees that.
+    pub fn keyword(
+        &self,
+        params: &KeywordRequest,
+        obs: &dyn Observer,
+    ) -> Result<RoutedRank, EngineError> {
+        let Some(assignment) = &self.assignment else {
+            self.shard_rank_requests[0].fetch_add(1, Ordering::Relaxed);
+            let result = self.engines[0].keyword_rank(params, obs)?;
+            return Ok(RoutedRank {
+                outcome: RankOutcome {
+                    result,
+                    cached: false,
+                },
+                shards: 1,
+            });
+        };
+
+        let _dispatch = obs.span("router.dispatch");
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.engines.len()];
+        for &m in &params.members {
+            per_shard[assignment[m as usize] as usize].push(m);
+        }
+        let touched: Vec<usize> = (0..per_shard.len())
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+
+        if let [only] = touched[..] {
+            self.shard_rank_requests[only].fetch_add(1, Ordering::Relaxed);
+            let result = self.engines[only].keyword_rank(params, obs)?;
+            return Ok(RoutedRank {
+                outcome: RankOutcome {
+                    result,
+                    cached: false,
+                },
+                shards: 1,
+            });
+        }
+        self.cross_rank_requests.fetch_add(1, Ordering::Relaxed);
+        for &s in &touched {
+            self.shard_rank_requests[s].fetch_add(1, Ordering::Relaxed);
+        }
+        let trace_id = logging::current_trace_id();
+        let slots: Vec<Mutex<Option<Result<CachedResult, EngineError>>>> =
+            touched.iter().map(|_| Mutex::new(None)).collect();
+        let fanout = self.fanout.as_ref().expect("sharded router has a pool");
+        let queue_wait_ns = fanout.run_chunks_timed(touched.len(), |i| {
+            let _trace = trace_id.as_deref().map(logging::trace_scope);
+            let s = touched[i];
+            let _shard_span = obs.span(&format!("router.shard{s}"));
+            let solve = Stopwatch::start(obs);
+            let sub = KeywordRequest {
+                members: per_shard[s].clone(),
+                ..params.clone()
+            };
+            let answer = self.engines[s].keyword_rank(&sub, obs);
+            obs.counter(&format!("shard_solve_us_{s}"), solve.elapsed_ns() / 1_000);
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(answer);
+        });
+        if queue_wait_ns > 0 {
+            obs.counter("exec_queue_wait_us", queue_wait_ns / 1_000);
+        }
+        let _merge = obs.span("router.merge");
+        let mut outcomes = Vec::with_capacity(touched.len());
+        for slot in &slots {
+            let answer = slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("fan-out slot filled");
+            outcomes.push(RankOutcome {
+                result: answer?,
+                cached: false,
+            });
+        }
+        Ok(RoutedRank {
+            outcome: merge(&outcomes),
+            shards: touched.len(),
+        })
+    }
+
     /// Applies one edge-mutation batch to the live graph, whatever the
     /// deployment shape:
     ///
@@ -807,6 +911,63 @@ mod tests {
         assert_eq!(est.walks, 20 * per_source);
         assert_eq!(est.epsilon, req.estimator.epsilon);
         assert!(est.residual > 0.0);
+    }
+
+    fn keyword_request(members: Vec<u32>) -> KeywordRequest {
+        KeywordRequest {
+            members,
+            base: vec![0, 50, 150],
+            damping: 0.85,
+            tolerance: 1e-8,
+        }
+    }
+
+    #[test]
+    fn shard_resident_keyword_is_bit_identical_to_single() {
+        let (single, sharded) = routers(200);
+        let req = keyword_request((10..40).collect());
+        let a = single.keyword(&req, null()).unwrap();
+        let b = sharded.keyword(&req, null()).unwrap();
+        assert_eq!((a.shards, b.shards), (1, 1));
+        for ((pa, sa), (pb, sb)) in a
+            .outcome
+            .result
+            .scores
+            .iter()
+            .zip(b.outcome.result.scores.iter())
+        {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "page {pa}");
+        }
+        assert_eq!(sharded.batch_stats().keyword_solves, 1);
+    }
+
+    #[test]
+    fn cross_shard_keyword_merges_a_distribution() {
+        let (_, sharded) = routers(200);
+        let members: Vec<u32> = (90..110).collect(); // straddles the 100 boundary
+        let routed = sharded
+            .keyword(&keyword_request(members.clone()), null())
+            .unwrap();
+        assert_eq!(routed.shards, 2);
+        let pages: Vec<u32> = routed
+            .outcome
+            .result
+            .scores
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
+        assert_eq!(pages, members, "merged scores cover the union in order");
+        let mass: f64 = routed
+            .outcome
+            .result
+            .scores
+            .iter()
+            .map(|&(_, s)| s)
+            .sum::<f64>()
+            + routed.outcome.result.lambda.unwrap();
+        assert!((mass - 1.0).abs() < 1e-9, "mixture mass {mass}");
+        assert_eq!(sharded.cross_rank_requests(), 1);
     }
 
     #[test]

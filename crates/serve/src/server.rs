@@ -27,6 +27,7 @@ use approxrank_trace::{logging, request, RequestRecorder, Tee, TraceId};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::metrics::{Endpoint, MetricsWithTrace};
 use crate::state::{AppState, ServeConfig};
+use crate::tenant::{Admission, DEFAULT_TENANT};
 
 /// How often blocked waits (accept, queue pop, idle keep-alive reads)
 /// re-check the shutdown flag.
@@ -424,6 +425,15 @@ fn read_error_response(status: u16, message: &str) -> Response {
 /// request-scoped recorder teed with the metrics registry, and the
 /// finished trace lands in the debug ring (and the slow-query log when
 /// it crossed `--slow-ms`). The id is echoed back as `X-Request-Id`.
+///
+/// The request's tenant — the `X-Tenant` header, `"default"` without one
+/// — is entered as a logging scope (so every log line and remote shard
+/// call carries it) and, when a [`crate::tenant::TenantGovernor`] is
+/// configured, charged for admission **before** the handler runs: `POST`
+/// (solving) requests over quota queue briefly and are shed with `429` +
+/// `Retry-After` when the tenant's queue is full or the wait times out.
+/// `GET` endpoints (health, metrics, debug) always pass, so operators
+/// can observe a saturated tenant.
 fn dispatch(state: &AppState, request: &Request) -> (Endpoint, Response) {
     let started = Instant::now();
     let trace_id = request
@@ -431,10 +441,36 @@ fn dispatch(state: &AppState, request: &Request) -> (Endpoint, Response) {
         .filter(|v| TraceId::is_valid(v))
         .map(str::to_string)
         .unwrap_or_else(TraceId::generate);
+    let tenant = request
+        .header("x-tenant")
+        .filter(|t| !t.is_empty())
+        .unwrap_or(DEFAULT_TENANT)
+        .to_string();
     let recorder = RequestRecorder::new(trace_id.clone());
     let traced_metrics = MetricsWithTrace::new(&state.metrics, &trace_id);
     let obs = Tee(&recorder, &traced_metrics);
     let _scope = logging::trace_scope(&trace_id);
+    let _tenant_scope = logging::tenant_scope(&tenant);
+    let _permit = match &state.tenants {
+        Some(governor) if request.method == "POST" => match governor.admit(&tenant) {
+            Admission::Granted(permit) => Some(permit),
+            Admission::Shed { retry_after } => {
+                let mut response = Response::error(
+                    429,
+                    &format!("tenant {tenant:?} is over its admission quota"),
+                );
+                response.retry_after = Some(retry_after);
+                state.metrics.observe_request(
+                    Endpoint::Other,
+                    429,
+                    started.elapsed().as_micros() as u64,
+                );
+                response.request_id = Some(trace_id);
+                return (Endpoint::Other, response);
+            }
+        },
+        _ => None,
+    };
     let (endpoint, mut response) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
         crate::handlers::route(state, request, &obs)
     })) {

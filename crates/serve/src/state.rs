@@ -6,12 +6,13 @@
 //! the state here owns one [`Router`] over those engines plus the
 //! transport-level registries the handlers share.
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use approxrank_engine::{CacheStats, EngineConfig};
+use approxrank_engine::{BatchConfig, CacheStats, CachedResult, EngineConfig};
 use approxrank_exec::{ExecStats, Executor};
 use approxrank_graph::{DiGraph, PartitionStrategy};
 use approxrank_rpc::RemoteConfig;
@@ -20,6 +21,7 @@ use approxrank_trace::{logging, TraceRing};
 
 use crate::metrics::Metrics;
 use crate::router::Router;
+use crate::tenant::TenantGovernor;
 
 /// File name of the slow-query log under the data dir.
 pub const SLOW_LOG_FILE: &str = "slow_requests.jsonl";
@@ -73,6 +75,24 @@ pub struct ServeConfig {
     /// RPC transport tunables (timeouts, retry budget, health-check
     /// cadence). Only meaningful with `remote_shards`.
     pub rpc: RemoteConfig,
+    /// Coalescing knobs for every in-process engine's
+    /// [`approxrank_engine::BatchConfig`]: how long a keyword gather
+    /// window stays open and how many personalization columns one
+    /// multi-vector solve carries.
+    pub batch: BatchConfig,
+    /// Per-tenant concurrency quota for the solving (`POST`) endpoints.
+    /// `0` (the default) disables admission control entirely — no
+    /// governor is built and no request is ever queued or shed.
+    pub tenant_quota: usize,
+    /// Requests a tenant may queue while over quota before further
+    /// arrivals are shed immediately with 429 (only meaningful with
+    /// `tenant_quota > 0`). A queued request waits at most
+    /// `request_timeout` for a slot.
+    pub tenant_queue: usize,
+    /// Page labels for `POST /keyword` keyword resolution: a text file
+    /// with one label per line, line `i` naming page `i`. Without it,
+    /// keywords match against generated `page-<i>` labels.
+    pub labels: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -93,7 +113,106 @@ impl Default for ServeConfig {
             trace_ring: 128,
             remote_shards: Vec::new(),
             rpc: RemoteConfig::default(),
+            batch: BatchConfig::default(),
+            tenant_quota: 0,
+            tenant_queue: 16,
+            labels: None,
         }
+    }
+}
+
+/// Cache key for one `POST /keyword` answer. The graph epoch is part of
+/// the key, so a live mutation implicitly invalidates every earlier
+/// keyword answer — stale entries age out of the LRU instead of being
+/// chased down.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct KeywordKey {
+    /// The ranked membership (sorted, deduped).
+    pub members: Vec<u32>,
+    /// The resolved base set (sorted, deduped global ids).
+    pub base: Vec<u32>,
+    /// `f64::to_bits` of the damping factor.
+    pub damping_bits: u64,
+    /// `f64::to_bits` of the convergence tolerance.
+    pub tolerance_bits: u64,
+    /// Graph epoch the answer was solved under.
+    pub epoch: u64,
+}
+
+struct KeywordCacheInner {
+    map: HashMap<KeywordKey, (u64, (CachedResult, usize))>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A small LRU for served keyword answers. The engine's result cache
+/// cannot hold these — its key has no room for a base set — so the serve
+/// layer owns them: same capacity philosophy, approximate LRU (evict the
+/// least-recently-stamped entry on overflow).
+pub struct KeywordCache {
+    capacity: usize,
+    inner: Mutex<KeywordCacheInner>,
+}
+
+impl KeywordCache {
+    /// A cache holding at most `capacity` keyword answers.
+    pub fn new(capacity: usize) -> KeywordCache {
+        KeywordCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(KeywordCacheInner {
+                map: HashMap::new(),
+                stamp: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. The cached value
+    /// carries the shard count of the original answer so a hit's response
+    /// body differs from the solve only in its `"cached"` flag.
+    pub fn get(&self, key: &KeywordKey) -> Option<(CachedResult, usize)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        match inner.map.get_mut(key) {
+            Some((at, result)) => {
+                *at = stamp;
+                let result = result.clone();
+                inner.hits += 1;
+                Some(result)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an answer, evicting the least-recently-used entry when
+    /// full.
+    pub fn insert(&self, key: KeywordKey, result: (CachedResult, usize)) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, (stamp, result));
+    }
+
+    /// `(hits, misses, entries)` for `/metrics`.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.hits, inner.misses, inner.map.len())
     }
 }
 
@@ -115,6 +234,16 @@ pub struct AppState {
     /// Append handle for the slow-query JSONL log (open only when both
     /// `slow_ms` and `data_dir` are configured).
     pub slow_log: Option<Mutex<File>>,
+    /// Page labels for keyword resolution, line `i` naming page `i`
+    /// (`None` when no labels file was configured — keywords then match
+    /// generated `page-<i>` labels).
+    pub labels: Option<Vec<String>>,
+    /// Served `POST /keyword` answers (the engine's result cache cannot
+    /// key a base set).
+    pub keyword_cache: KeywordCache,
+    /// Per-tenant admission control, present only with
+    /// [`ServeConfig::tenant_quota`] `> 0`.
+    pub tenants: Option<TenantGovernor>,
 }
 
 impl AppState {
@@ -124,9 +253,11 @@ impl AppState {
     /// instead. Only the remote wiring can fail (misconfigured replica
     /// lists, a reachable replica serving the wrong graph).
     pub fn new(graph: DiGraph, config: ServeConfig) -> Result<Self, String> {
+        let labels = load_labels(&config, graph.num_nodes())?;
         let engine_config = EngineConfig {
             cache_entries: config.cache_entries,
             fsync: config.fsync,
+            batch: config.batch.clone(),
             ..EngineConfig::default()
         };
         let router = if !config.remote_shards.is_empty() {
@@ -142,11 +273,21 @@ impl AppState {
             Router::sharded(&graph, config.shards, config.partition, engine_config)
         };
         let slow_log = open_slow_log(&config);
+        let tenants = (config.tenant_quota > 0).then(|| {
+            TenantGovernor::new(
+                config.tenant_quota,
+                config.tenant_queue,
+                config.request_timeout,
+            )
+        });
         Ok(AppState {
             router,
             metrics: Metrics::new(),
             traces: TraceRing::new(config.trace_ring),
             slow_log,
+            labels,
+            keyword_cache: KeywordCache::new(config.cache_entries),
+            tenants,
             config,
             pool: OnceLock::new(),
         })
@@ -167,6 +308,28 @@ impl AppState {
     pub fn session_count(&self) -> usize {
         self.router.session_count()
     }
+}
+
+/// Reads the labels file when one is configured: one label per line,
+/// line `i` naming page `i`. A missing or short/long file is a hard boot
+/// error — serving keyword answers against misaligned labels would be
+/// silently wrong, the one failure mode worse than not booting.
+fn load_labels(config: &ServeConfig, nodes: usize) -> Result<Option<Vec<String>>, String> {
+    let Some(path) = &config.labels else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read labels file {}: {e}", path.display()))?;
+    let labels: Vec<String> = text.lines().map(str::to_string).collect();
+    if labels.len() != nodes {
+        return Err(format!(
+            "labels file {} has {} lines but the graph has {} nodes",
+            path.display(),
+            labels.len(),
+            nodes
+        ));
+    }
+    Ok(Some(labels))
 }
 
 /// Opens the slow-query log in append mode when the config asks for one.

@@ -1,0 +1,283 @@
+//! Per-tenant admission control.
+//!
+//! Every request names a tenant — the `X-Tenant` header, or `"default"`
+//! when absent — and solving endpoints (the `POST` routes) must pass the
+//! [`TenantGovernor`] before dispatch. Each tenant gets a concurrency
+//! quota (solves in flight) and a bounded wait queue: a request over
+//! quota parks in the queue until a slot frees, and is shed with
+//! `429 Too Many Requests` + `Retry-After` when the queue itself is full
+//! or the wait exceeds its deadline. One tenant saturating its quota
+//! therefore queues *its own* traffic — other tenants' slots are
+//! untouched, which is the whole point.
+//!
+//! The governor is deliberately simple: one mutex over a per-tenant
+//! table, one condvar for slot handoff. Admission is on the request
+//! path, but the critical section is a hash lookup and two integer
+//! updates — microseconds against solves that take milliseconds.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Hard cap on distinct tenant labels the governor tracks, so a client
+/// spraying random `X-Tenant` values cannot grow the table (and the
+/// `/metrics` exposition) without bound. Requests naming a tenant beyond
+/// the cap are accounted to the synthetic `"overflow"` tenant.
+pub const MAX_TENANTS: usize = 1024;
+
+/// The tenant label used when a request carries no `X-Tenant` header.
+pub const DEFAULT_TENANT: &str = "default";
+
+#[derive(Default)]
+struct TenantState {
+    /// Requests holding an admission slot right now.
+    in_flight: usize,
+    /// Requests parked waiting for a slot.
+    waiting: usize,
+    /// Lifetime admissions + sheds (everything that asked).
+    requests: u64,
+    /// Lifetime requests answered 429.
+    shed: u64,
+}
+
+/// What [`TenantGovernor::admit`] decided.
+pub enum Admission<'a> {
+    /// The request may run; drop the permit when it finishes.
+    Granted(TenantPermit<'a>),
+    /// The request must be answered `429` with this `Retry-After`
+    /// (seconds).
+    Shed {
+        /// Seconds the client should wait before retrying.
+        retry_after: u64,
+    },
+}
+
+/// An admission slot held for the duration of one request. Dropping it
+/// releases the slot and wakes one queued waiter.
+pub struct TenantPermit<'a> {
+    governor: &'a TenantGovernor,
+    tenant: String,
+}
+
+impl Drop for TenantPermit<'_> {
+    fn drop(&mut self) {
+        let mut tenants = self.governor.lock();
+        if let Some(state) = tenants.get_mut(&self.tenant) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+        // A freed slot may unblock any waiter of this tenant; waiters of
+        // other tenants re-check and park again, which is cheap.
+        self.governor.freed.notify_all();
+    }
+}
+
+/// Per-tenant concurrency quotas with bounded wait queues.
+pub struct TenantGovernor {
+    /// Concurrent solves each tenant may run.
+    quota: usize,
+    /// Requests each tenant may park while over quota; the next one is
+    /// shed immediately.
+    queue: usize,
+    /// Longest a queued request waits for a slot before it is shed.
+    max_wait: Duration,
+    tenants: Mutex<HashMap<String, TenantState>>,
+    freed: Condvar,
+}
+
+impl TenantGovernor {
+    /// A governor allowing `quota` concurrent solves and `queue` parked
+    /// waiters per tenant; a waiter is shed after `max_wait`.
+    pub fn new(quota: usize, queue: usize, max_wait: Duration) -> TenantGovernor {
+        TenantGovernor {
+            quota: quota.max(1),
+            queue,
+            max_wait,
+            tenants: Mutex::new(HashMap::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, TenantState>> {
+        self.tenants.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Folds an unseen tenant label into `"overflow"` once the table is
+    /// at [`MAX_TENANTS`], bounding memory and metric cardinality.
+    fn slot_name(tenants: &HashMap<String, TenantState>, tenant: &str) -> String {
+        if tenants.contains_key(tenant) || tenants.len() < MAX_TENANTS {
+            tenant.to_string()
+        } else {
+            "overflow".to_string()
+        }
+    }
+
+    /// Admits or sheds one request for `tenant`. Granted requests hold
+    /// their permit until done; over-quota requests park (bounded queue,
+    /// bounded wait) and get a freed slot FIFO-fairly via the condvar.
+    pub fn admit(&self, tenant: &str) -> Admission<'_> {
+        let mut tenants = self.lock();
+        let name = Self::slot_name(&tenants, tenant);
+        let state = tenants.entry(name.clone()).or_default();
+        state.requests += 1;
+        if state.in_flight < self.quota {
+            state.in_flight += 1;
+            return Admission::Granted(TenantPermit {
+                governor: self,
+                tenant: name,
+            });
+        }
+        if state.waiting >= self.queue {
+            state.shed += 1;
+            return Admission::Shed { retry_after: 1 };
+        }
+        state.waiting += 1;
+        let deadline = Instant::now() + self.max_wait;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let state = tenants.get_mut(&name).expect("tenant entry persists");
+            if state.in_flight < self.quota {
+                state.waiting -= 1;
+                state.in_flight += 1;
+                return Admission::Granted(TenantPermit {
+                    governor: self,
+                    tenant: name,
+                });
+            }
+            if remaining.is_zero() {
+                state.waiting -= 1;
+                state.shed += 1;
+                // The slot did not free within a full wait budget, so
+                // advertise the budget itself (rounded up to a second).
+                let retry_after = self.max_wait.as_secs().max(1);
+                return Admission::Shed { retry_after };
+            }
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(tenants, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            tenants = guard;
+        }
+    }
+
+    /// One `/metrics` snapshot row per tenant seen so far.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let tenants = self.lock();
+        let mut rows: Vec<TenantSnapshot> = tenants
+            .iter()
+            .map(|(name, s)| TenantSnapshot {
+                tenant: name.clone(),
+                in_flight: s.in_flight,
+                queue_depth: s.waiting,
+                requests: s.requests,
+                shed: s.shed,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
+    }
+}
+
+/// One tenant's counters, as rendered on `/metrics`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant label.
+    pub tenant: String,
+    /// Admission slots held right now.
+    pub in_flight: usize,
+    /// Requests parked waiting for a slot.
+    pub queue_depth: usize,
+    /// Lifetime requests (admitted + shed).
+    pub requests: u64,
+    /// Lifetime 429 answers.
+    pub shed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn under_quota_requests_run_concurrently() {
+        let g = TenantGovernor::new(2, 0, Duration::from_millis(10));
+        let a = g.admit("acme");
+        let b = g.admit("acme");
+        assert!(matches!(a, Admission::Granted(_)));
+        assert!(matches!(b, Admission::Granted(_)));
+        // Third concurrent request: queue is 0, shed immediately.
+        match g.admit("acme") {
+            Admission::Shed { retry_after } => assert_eq!(retry_after, 1),
+            Admission::Granted(_) => panic!("over-quota request must shed"),
+        }
+        // A different tenant has its own slots.
+        assert!(matches!(g.admit("beta"), Admission::Granted(_)));
+        let snap = g.snapshot();
+        let acme = snap.iter().find(|s| s.tenant == "acme").unwrap();
+        assert_eq!((acme.in_flight, acme.requests, acme.shed), (2, 3, 1));
+    }
+
+    #[test]
+    fn dropping_a_permit_frees_the_slot() {
+        let g = TenantGovernor::new(1, 0, Duration::from_millis(10));
+        {
+            let _p = match g.admit("t") {
+                Admission::Granted(p) => p,
+                _ => panic!(),
+            };
+            assert!(matches!(g.admit("t"), Admission::Shed { .. }));
+        }
+        assert!(matches!(g.admit("t"), Admission::Granted(_)));
+    }
+
+    #[test]
+    fn queued_request_gets_the_freed_slot() {
+        let g = Arc::new(TenantGovernor::new(1, 4, Duration::from_secs(5)));
+        let p = match g.admit("t") {
+            Admission::Granted(p) => p,
+            _ => panic!(),
+        };
+        let ran = Arc::new(AtomicUsize::new(0));
+        let waiter = {
+            let (g, ran) = (Arc::clone(&g), Arc::clone(&ran));
+            std::thread::spawn(move || match g.admit("t") {
+                Admission::Granted(_p) => ran.store(1, Ordering::SeqCst),
+                Admission::Shed { .. } => ran.store(2, Ordering::SeqCst),
+            })
+        };
+        // Give the waiter time to park, then free the slot.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(g.snapshot()[0].queue_depth, 1);
+        drop(p);
+        waiter.join().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "waiter was admitted");
+    }
+
+    #[test]
+    fn queued_request_sheds_after_the_wait_budget() {
+        let g = TenantGovernor::new(1, 4, Duration::from_millis(30));
+        let _p = match g.admit("t") {
+            Admission::Granted(p) => p,
+            _ => panic!(),
+        };
+        let started = Instant::now();
+        match g.admit("t") {
+            Admission::Shed { retry_after } => assert!(retry_after >= 1),
+            Admission::Granted(_) => panic!("slot never freed"),
+        }
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        assert_eq!(g.snapshot()[0].queue_depth, 0, "waiter left the queue");
+    }
+
+    #[test]
+    fn tenant_table_is_bounded() {
+        let g = TenantGovernor::new(1, 0, Duration::from_millis(1));
+        for i in 0..MAX_TENANTS + 50 {
+            let _ = g.admit(&format!("t{i}"));
+        }
+        let snap = g.snapshot();
+        assert!(snap.len() <= MAX_TENANTS + 1, "{}", snap.len());
+        let overflow = snap.iter().find(|s| s.tenant == "overflow").unwrap();
+        assert_eq!(overflow.requests, 50);
+    }
+}

@@ -121,6 +121,36 @@ pub fn current_trace_id() -> Option<String> {
     CURRENT_TRACE.with(|cell| cell.borrow().clone())
 }
 
+thread_local! {
+    static CURRENT_TENANT: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// RAII guard restoring the thread's previous tenant on drop.
+pub struct TenantScope {
+    prior: Option<String>,
+}
+
+impl Drop for TenantScope {
+    fn drop(&mut self) {
+        CURRENT_TENANT.with(|cell| *cell.borrow_mut() = self.prior.take());
+    }
+}
+
+/// Marks `tenant` as the active tenant on this thread until the guard
+/// drops, mirroring [`trace_scope`]. The serving layer sets it after
+/// admission control so downstream layers (the RPC client in
+/// particular) can attribute work to the tenant without threading a
+/// parameter through every call.
+pub fn tenant_scope(tenant: &str) -> TenantScope {
+    let prior = CURRENT_TENANT.with(|cell| cell.borrow_mut().replace(tenant.to_string()));
+    TenantScope { prior }
+}
+
+/// The tenant of the request this thread is currently handling, if any.
+pub fn current_tenant() -> Option<String> {
+    CURRENT_TENANT.with(|cell| cell.borrow().clone())
+}
+
 /// Emits one structured line. Prefer [`log_with`] when there are
 /// key/value fields to attach.
 pub fn log(level: Level, target: &str, message: &str) {
@@ -148,6 +178,10 @@ pub fn log_with(level: Level, target: &str, message: &str, fields: &[(&str, &str
     if let Some(trace_id) = current_trace_id() {
         line.push_str(",\"trace_id\":");
         emit_str(&mut line, &trace_id);
+    }
+    if let Some(tenant) = current_tenant() {
+        line.push_str(",\"tenant\":");
+        emit_str(&mut line, &tenant);
     }
     for (key, value) in fields {
         line.push(',');
